@@ -1,0 +1,39 @@
+//! # baselines — every comparator data path from the paper
+//!
+//! The paper's evaluation (Table I, Fig. 5, Table III) compares SciDP
+//! against four conventional solutions, all of which are implemented here
+//! as runnable pipelines over the same substrates:
+//!
+//! | solution        | conversion | copy        | processing |
+//! |-----------------|-----------|-------------|------------|
+//! | Naive           | yes       | sequential  | sequential |
+//! | Vanilla Hadoop  | yes       | parallel    | parallel   |
+//! | PortHadoop      | yes       | no          | parallel   |
+//! | SciHadoop       | no        | parallel    | parallel   |
+//! | SciDP           | no        | no          | parallel   |
+//!
+//! plus the **Lustre HDFS connector** vs native HDFS comparison of Fig. 2
+//! (Terasort / Grep / TestDFSIO in [`workloads`]).
+//!
+//! Conversion time is *measured but excluded from totals*, exactly as the
+//! paper does ("we do not count the conversion time into the total time in
+//! any tests of this paper").
+
+pub mod convert;
+pub mod datapath;
+pub mod distcp;
+pub mod scihadoop;
+pub mod solutions;
+pub mod textjob;
+pub mod util;
+pub mod workloads;
+
+pub use convert::{convert_dataset, ConversionReport};
+pub use datapath::{data_path_table, DataPathRow, SolutionKind};
+pub use distcp::{distcp, CopyReport};
+pub use solutions::{
+    run_naive, run_porthadoop, run_porthadoop_with_chunks, run_scidp_solution, run_scihadoop,
+    run_vanilla, SolutionReport,
+};
+pub use util::{paper_cluster, stage_nuwrf, StagedDataset};
+pub use workloads::{run_fig2_workload, Backend, Fig2Workload};

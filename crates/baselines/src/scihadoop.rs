@@ -1,0 +1,276 @@
+//! SciHadoop: scientific-format-aware processing of data staged on HDFS
+//! (Buck et al., SC'11 — the paper's strongest copy-based comparator).
+//!
+//! SciHadoop avoids text conversion: the binary containers are `distcp`-ed
+//! from the PFS to HDFS **whole** ("the netCDF file is not dividable in the
+//! variable level, the whole file has to be moved, which introduces
+//! redundant I/O"), then chunk-aligned splits are processed with the same R
+//! program SciDP runs — only the block reads come from HDFS DataNodes.
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+use hdfs::Block;
+use mapreduce::{FetchResult, InputSplit, MrEnv, SplitFetcher, TaskInput};
+use scifmt::snc::{assemble_slab, chunk_extents_of};
+use scifmt::{SncMeta, VarMeta};
+use scidp::encode_slab_tag;
+use simnet::{NodeId, Sim};
+
+/// Reads a variable hyperslab out of an SNC container staged on HDFS.
+pub struct HdfsSciFetcher {
+    pub hdfs_path: String,
+    pub var: Arc<VarMeta>,
+    pub data_offset: usize,
+    pub start: Vec<usize>,
+    pub count: Vec<usize>,
+}
+
+impl SplitFetcher for HdfsSciFetcher {
+    fn fetch(
+        &self,
+        env: &MrEnv,
+        sim: &mut Sim,
+        node: NodeId,
+        done: Box<dyn FnOnce(&mut Sim, FetchResult)>,
+    ) {
+        // Resolve the chunks this slab needs and the HDFS blocks covering
+        // their byte extents.
+        let shape = self.var.shape();
+        let ids = scifmt::hyperslab::chunks_for_slab(
+            &shape,
+            &self.var.chunk_shape,
+            &self.start,
+            &self.count,
+        );
+        let extents = chunk_extents_of(&self.var, self.data_offset);
+        let chunk_ranges: Vec<(usize, u64, u64)> = ids
+            .iter()
+            .map(|&i| (i, extents[i].offset, extents[i].clen))
+            .collect();
+        let blocks: Vec<(u64, Block)> = {
+            let h = env.hdfs.borrow();
+            let mut off = 0u64;
+            h.namenode
+                .blocks(&self.hdfs_path)
+                .expect("staged container on HDFS")
+                .iter()
+                .map(|b| {
+                    let entry = (off, b.clone());
+                    off += b.len;
+                    entry
+                })
+                .collect()
+        };
+        // Which blocks overlap any needed chunk range?
+        let mut needed: Vec<usize> = Vec::new();
+        for (bi, (boff, b)) in blocks.iter().enumerate() {
+            let bend = boff + b.len;
+            if chunk_ranges
+                .iter()
+                .any(|&(_, coff, clen)| coff < bend && coff + clen > *boff)
+            {
+                needed.push(bi);
+            }
+        }
+        let total_raw: usize = ids.iter().map(|&i| extents[i].rlen as usize).sum();
+        let decompress_cost = sim.cost.decompress(total_raw);
+        let tag = {
+            let dims: Vec<String> = self.var.dims.iter().map(|d| d.name.clone()).collect();
+            encode_slab_tag(&self.hdfs_path, &self.var.name, &dims, &self.start)
+        };
+
+        // Read all needed blocks in parallel, then slice out the chunks.
+        use std::cell::RefCell;
+        let collected: Rc<RefCell<Vec<(u64, Arc<Vec<u8>>)>>> = Rc::new(RefCell::new(Vec::new()));
+        let remaining = Rc::new(RefCell::new(needed.len()));
+        let var = self.var.clone();
+        let start = self.start.clone();
+        let count = self.count.clone();
+        let done_cell = Rc::new(RefCell::new(Some(done)));
+        assert!(
+            !needed.is_empty(),
+            "slab {start:?}+{count:?} maps to no HDFS blocks"
+        );
+        for bi in needed {
+            let (boff, block) = blocks[bi].clone();
+            let collected = collected.clone();
+            let remaining = remaining.clone();
+            let done_cell = done_cell.clone();
+            let var = var.clone();
+            let start = start.clone();
+            let count = count.clone();
+            let chunk_ranges = chunk_ranges.clone();
+            let tag = tag.clone();
+            hdfs::read_block(sim, &env.topo, &env.hdfs, node, &block, move |sim, data| {
+                collected.borrow_mut().push((boff, data));
+                let mut rem = remaining.borrow_mut();
+                *rem -= 1;
+                if *rem > 0 {
+                    return;
+                }
+                drop(rem);
+                let mut parts = std::mem::take(&mut *collected.borrow_mut());
+                parts.sort_by_key(|(o, _)| *o);
+                // Slice each chunk frame from the block bytes and decode.
+                let slice_range = |lo: u64, len: u64| -> Vec<u8> {
+                    let mut out = Vec::with_capacity(len as usize);
+                    for (boff, data) in &parts {
+                        let bend = boff + data.len() as u64;
+                        let s = lo.max(*boff);
+                        let e = (lo + len).min(bend);
+                        if s < e {
+                            out.extend_from_slice(
+                                &data[(s - boff) as usize..(e - boff) as usize],
+                            );
+                        }
+                    }
+                    out
+                };
+                let mut raw_chunks = std::collections::HashMap::new();
+                for &(idx, coff, clen) in &chunk_ranges {
+                    let frame = slice_range(coff, clen);
+                    assert_eq!(frame.len() as u64, clen, "chunk fully covered by blocks");
+                    let raw = scifmt::codec::decompress(&frame).expect("staged chunk decodes");
+                    raw_chunks.insert(idx, raw);
+                }
+                let array = assemble_slab(&var, &start, &count, |i| {
+                    raw_chunks
+                        .get(&i)
+                        .cloned()
+                        .ok_or_else(|| scifmt::FmtError::NotFound(format!("chunk {i}")))
+                })
+                .expect("slab assembles from staged chunks");
+                let d = done_cell.borrow_mut().take().expect("single completion");
+                d(
+                    sim,
+                    FetchResult {
+                        input: TaskInput::Array(array),
+                        charges: vec![("decompress", decompress_cost)],
+                        tag,
+                    },
+                );
+            })
+            .expect("staged block readable");
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "scihadoop://{}#{}[{:?}+{:?}]",
+            self.hdfs_path, self.var.name, self.start, self.count
+        )
+    }
+}
+
+/// Build SciHadoop splits for one staged container: chunk-aligned slabs of
+/// the selected variables, located where their covering blocks live.
+pub fn scihadoop_splits(
+    env: &MrEnv,
+    meta: &SncMeta,
+    hdfs_path: &str,
+    variables: &[String],
+) -> Vec<InputSplit> {
+    let blocks: Vec<(u64, Block)> = {
+        let h = env.hdfs.borrow();
+        let mut off = 0u64;
+        h.namenode
+            .blocks(hdfs_path)
+            .expect("staged container on HDFS")
+            .iter()
+            .map(|b| {
+                let e = (off, b.clone());
+                off += b.len;
+                e
+            })
+            .collect()
+    };
+    let mut splits = Vec::new();
+    for (var_path, var) in meta.all_vars() {
+        if !variables.iter().any(|v| v == &var_path) {
+            continue;
+        }
+        let var = Arc::new(var.clone());
+        for ext in chunk_extents_of(&var, meta.data_offset) {
+            // Locality: nodes holding blocks that cover this chunk.
+            let mut locations = Vec::new();
+            for (boff, b) in &blocks {
+                let bend = boff + b.len;
+                if ext.offset < bend && ext.offset + ext.clen > *boff {
+                    for n in b.locations() {
+                        if !locations.contains(n) {
+                            locations.push(*n);
+                        }
+                    }
+                }
+            }
+            splits.push(InputSplit {
+                length: ext.clen,
+                locations,
+                fetcher: Rc::new(HdfsSciFetcher {
+                    hdfs_path: hdfs_path.to_string(),
+                    var: var.clone(),
+                    data_offset: meta.data_offset,
+                    start: ext.origin.clone(),
+                    count: ext.shape.clone(),
+                }),
+            });
+        }
+    }
+    splits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distcp::distcp_blocking;
+    use crate::util::{paper_cluster, stage_nuwrf};
+    use std::cell::RefCell;
+    use wrfgen::WrfSpec;
+
+    #[test]
+    fn staged_slab_matches_pfs_original() {
+        let wspec = WrfSpec::tiny(1);
+        let mut c = paper_cluster(2, &wspec);
+        let ds = stage_nuwrf(&mut c, &wspec, "nuwrf");
+        let src = ds.info.files[0].clone();
+        distcp_blocking(&mut c, vec![(src.clone(), "staged.snc".into())], 2);
+        // Parse metadata from the original bytes (identical content).
+        let bytes = c.pfs.borrow().file(&src).unwrap().data.clone();
+        let f = scifmt::SncFile::open(bytes.as_ref().clone()).unwrap();
+        let env = c.env();
+        let splits = scihadoop_splits(&env, f.meta(), "staged.snc", &["QR".to_string()]);
+        // tiny spec: 4 levels / 2-level chunks = 2 slabs.
+        assert_eq!(splits.len(), 2);
+        assert!(
+            !splits[0].locations.is_empty(),
+            "staged splits carry block locality"
+        );
+        // Fetch the second slab and compare against a direct read.
+        let got = Rc::new(RefCell::new(None));
+        let g = got.clone();
+        splits[1]
+            .fetcher
+            .fetch(
+                &env,
+                &mut c.sim,
+                NodeId(0),
+                Box::new(move |_, fr| {
+                    *g.borrow_mut() = Some(fr);
+                }),
+            );
+        c.run();
+        let fr = got.borrow_mut().take().unwrap();
+        let TaskInput::Array(a) = fr.input else {
+            panic!("expected array")
+        };
+        let expect = f.get_vara("QR", &[2, 0, 0], &[2, 8, 8]).unwrap();
+        assert_eq!(a, expect);
+        // Tag decodes to the right slab.
+        let (file, var, dims, origin) = scidp::decode_tag(&fr.tag).unwrap();
+        assert_eq!(file, "staged.snc");
+        assert_eq!(var, "QR");
+        assert_eq!(dims, vec!["lev", "lat", "lon"]);
+        assert_eq!(origin, vec![2, 0, 0]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Shared experiment plumbing: cluster construction and dataset staging.
+
+use mapreduce::Cluster;
+use pfs::PfsConfig;
+use simnet::{ClusterSpec, CostModel};
+use wrfgen::{DatasetInfo, WrfSpec};
+
+/// A generated NU-WRF dataset living on the PFS.
+#[derive(Clone, Debug)]
+pub struct StagedDataset {
+    pub dir: String,
+    pub spec: WrfSpec,
+    pub info: DatasetInfo,
+}
+
+impl StagedDataset {
+    /// The SciDP input URI for this dataset.
+    pub fn pfs_uri(&self) -> String {
+        format!("lustre://{}", self.dir)
+    }
+}
+
+/// Build the paper's testbed (§V-A) with the dataset's scale factor wired
+/// into the cost model. `compute_nodes` overrides the Hadoop cluster size
+/// (8 in most experiments, 4/8/16 in Fig. 8).
+pub fn paper_cluster(compute_nodes: usize, wspec: &WrfSpec) -> Cluster {
+    let spec = ClusterSpec {
+        compute_nodes,
+        ..ClusterSpec::default()
+    };
+    let pfs_cfg = PfsConfig {
+        n_osts: spec.osts,
+        // Stripe unit scaled with the dataset so segment counts stay
+        // realistic (logical 1 MiB).
+        stripe_size: ((1 << 20) as f64 / wspec.scale_factor()).max(64.0) as usize,
+        default_stripe_count: spec.osts,
+    };
+    let cost = CostModel {
+        scale: wspec.scale_factor(),
+        ..CostModel::default()
+    };
+    // HDFS block size: logical 128 MB scaled down to real bytes.
+    let block = ((128u64 << 20) as f64 / wspec.scale_factor()).max(64.0 * 1024.0) as usize;
+    Cluster::new(spec, pfs_cfg, block, 1, cost)
+}
+
+/// Generate the NU-WRF dataset onto the cluster's PFS.
+pub fn stage_nuwrf(cluster: &mut Cluster, wspec: &WrfSpec, dir: &str) -> StagedDataset {
+    let info = wrfgen::generate_dataset(&mut cluster.pfs.borrow_mut(), wspec, dir);
+    StagedDataset {
+        dir: dir.to_string(),
+        spec: wspec.clone(),
+        info,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staging_puts_files_on_pfs() {
+        let wspec = WrfSpec::tiny(2);
+        let mut c = paper_cluster(4, &wspec);
+        let ds = stage_nuwrf(&mut c, &wspec, "nuwrf");
+        assert_eq!(ds.info.files.len(), 2);
+        assert!(c.pfs.borrow().exists(&ds.info.files[0]));
+        assert!(ds.pfs_uri().starts_with("lustre://"));
+        assert_eq!(c.sim.cost.scale, wspec.scale_factor());
+    }
+}

@@ -1,0 +1,208 @@
+//! Criterion micro-benchmarks of the hot primitives behind the paper's
+//! figures: the codec (Fig. 6's decode share), hyperslab assembly, the
+//! text-parse-vs-binary-convert asymmetry (Fig. 7's mechanism), SQL
+//! execution (Fig. 9), rasterisation, the flow simulator, and the Data
+//! Mapper (mapping-table construction that SciDP keeps off the critical
+//! path).
+//!
+//! Run: `cargo bench -p scidp-bench`
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+use rframe::{read_table, sqldf, ColorMap, Column, DataFrame};
+use scifmt::{codec, Array, Codec, SncBuilder, SncFile};
+
+fn smooth_f32(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let x = i as f32 * 0.01;
+            280.0 + 10.0 * x.sin() + 0.5 * (x * 7.0).cos()
+        })
+        .map(|v| (v * 64.0).round() / 64.0)
+        .collect()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let vals = smooth_f32(64 * 1024);
+    let raw: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let frame = codec::compress(Codec::ShuffleLz { elem: 4 }, &raw);
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Bytes(raw.len() as u64));
+    g.bench_function("compress_shuffle_lz_256k", |b| {
+        b.iter(|| codec::compress(Codec::ShuffleLz { elem: 4 }, black_box(&raw)))
+    });
+    g.bench_function("decompress_shuffle_lz_256k", |b| {
+        b.iter(|| codec::decompress(black_box(&frame)).unwrap())
+    });
+    g.finish();
+}
+
+fn sample_container() -> SncFile {
+    let mut b = SncBuilder::new();
+    let data = smooth_f32(20 * 64 * 64);
+    b.add_var(
+        "",
+        "QR",
+        &[("lev", 20), ("lat", 64), ("lon", 64)],
+        &[5, 64, 64],
+        Codec::ShuffleLz { elem: 4 },
+        Array::from_f32(vec![20, 64, 64], data).unwrap(),
+    )
+    .unwrap();
+    SncFile::open(b.finish()).unwrap()
+}
+
+fn bench_hyperslab(c: &mut Criterion) {
+    let f = sample_container();
+    let mut g = c.benchmark_group("snc");
+    g.bench_function("get_vara_one_chunk", |b| {
+        b.iter(|| f.get_vara("QR", &[5, 0, 0], &[5, 64, 64]).unwrap())
+    });
+    g.bench_function("get_vara_cross_chunk_slab", |b| {
+        b.iter(|| f.get_vara("QR", &[3, 16, 16], &[10, 32, 32]).unwrap())
+    });
+    g.bench_function("parse_meta", |b| {
+        let bytes: Vec<u8> = {
+            let mut bb = SncBuilder::new();
+            bb.add_var(
+                "",
+                "QR",
+                &[("lev", 20), ("lat", 64), ("lon", 64)],
+                &[5, 64, 64],
+                Codec::None,
+                Array::zeros(scifmt::DType::F32, vec![20, 64, 64]),
+            )
+            .unwrap();
+            bb.finish()
+        };
+        b.iter(|| scifmt::SncMeta::parse(black_box(&bytes)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_parse_vs_convert(c: &mut Criterion) {
+    // Fig. 7's mechanism, measured for real: text parse vs binary convert
+    // of the same 64x64 level.
+    let f = sample_container();
+    let arr = f.get_vara("QR", &[0, 0, 0], &[1, 64, 64]).unwrap();
+    let text = scifmt::csvfmt::array_to_csv(&["lev", "lat", "lon"], &arr);
+    let mut g = c.benchmark_group("ingest");
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("read_table_level", |b| {
+        b.iter(|| read_table(black_box(&text), true, ',').unwrap())
+    });
+    let bytes = arr.to_bytes();
+    g.bench_function("binary_convert_level", |b| {
+        b.iter(|| {
+            Array::from_bytes(scifmt::DType::F32, vec![1, 64, 64], black_box(&bytes)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_sql(c: &mut Criterion) {
+    let n = 100_000;
+    let df = DataFrame::new()
+        .with_column("lev", Column::I64((0..n).map(|i| (i % 50) as i64).collect()))
+        .unwrap()
+        .with_column(
+            "value",
+            Column::F64((0..n).map(|i| ((i * 37) % 1000) as f64).collect()),
+        )
+        .unwrap();
+    let mut env = HashMap::new();
+    env.insert("df", &df);
+    let mut g = c.benchmark_group("sqldf");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("filter_100k", |b| {
+        b.iter(|| sqldf("SELECT value FROM df WHERE value >= 990", &env).unwrap())
+    });
+    g.bench_function("topk_100k", |b| {
+        b.iter(|| sqldf("SELECT value FROM df ORDER BY value DESC LIMIT 10", &env).unwrap())
+    });
+    g.bench_function("group_by_100k", |b| {
+        b.iter(|| {
+            sqldf(
+                "SELECT lev, MAX(value) AS peak FROM df GROUP BY lev",
+                &env,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_raster(c: &mut Criterion) {
+    let data: Vec<f64> = (0..64 * 64).map(|i| (i as f64 * 0.01).sin()).collect();
+    let mut g = c.benchmark_group("plot");
+    g.bench_function("image2d_64_to_256", |b| {
+        b.iter(|| rframe::image2d(black_box(&data), 64, 64, 256, 256, ColorMap::Jet).unwrap())
+    });
+    let raster = rframe::image2d(&data, 64, 64, 256, 256, ColorMap::Jet).unwrap();
+    g.bench_function("png_encode_256", |b| b.iter(|| raster.to_png()));
+    g.finish();
+}
+
+fn bench_flow_sim(c: &mut Criterion) {
+    use simnet::Sim;
+    let mut g = c.benchmark_group("simnet");
+    g.bench_function("thousand_flows_shared_links", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Sim::new();
+                let links: Vec<_> = (0..32)
+                    .map(|i| sim.net.add_resource(format!("l{i}"), 1e6))
+                    .collect();
+                (sim, links)
+            },
+            |(mut sim, links)| {
+                for i in 0..1000usize {
+                    let path = vec![links[i % 32], links[(i * 7 + 3) % 32]];
+                    sim.start_flow(path, 1e4 + i as f64, |_| {});
+                }
+                sim.run()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_mapper(c: &mut Criterion) {
+    use hdfs::NameNode;
+    use scidp::{DataMapper, FileExplorer, MapperOptions};
+    // 32 files x 3 variables: measure mapping-table construction.
+    let mut pfs = pfs::Pfs::new(pfs::PfsConfig::default());
+    let spec = wrfgen::WrfSpec::tiny(32);
+    wrfgen::generate_dataset(&mut pfs, &spec, "nuwrf");
+    let report = FileExplorer::scan(&pfs, "nuwrf").unwrap();
+    let mut g = c.benchmark_group("scidp");
+    g.bench_function("explorer_scan_32_files", |b| {
+        b.iter(|| FileExplorer::scan(black_box(&pfs), "nuwrf").unwrap())
+    });
+    g.bench_function("mapper_32_files", |b| {
+        b.iter_batched(
+            || NameNode::new(8, 1 << 20, 1),
+            |mut nn| DataMapper::map_to_hdfs(&mut nn, black_box(&report), &MapperOptions::default()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_codec, bench_hyperslab, bench_parse_vs_convert, bench_sql,
+              bench_raster, bench_flow_sim, bench_mapper
+}
+criterion_main!(benches);

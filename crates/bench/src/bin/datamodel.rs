@@ -1,0 +1,45 @@
+//! §IV-A / §V-A data-model self-check: variable sizes, compression ratio,
+//! text blow-up, dataset totals — paper vs generated.
+//!
+//! Run: `cargo run -p scidp-bench --bin datamodel [--timestamps N]`
+
+use baselines::{convert_dataset, paper_cluster, stage_nuwrf};
+use scidp_bench::{arg_usize, eval_spec};
+
+fn main() {
+    let timestamps = arg_usize("timestamps", 4);
+    let spec = eval_spec(timestamps);
+    let mut cluster = paper_cluster(8, &spec);
+    let ds = stage_nuwrf(&mut cluster, &spec, "nuwrf");
+    let scale = ds.info.scale;
+
+    let per_var_raw = spec.var_raw_bytes() as f64 * scale / 1e6;
+    let n_entries = spec.n_vars * timestamps;
+    let per_var_stored = ds.info.stored_bytes as f64 * scale / n_entries as f64 / 1e6;
+    println!("Data model check (synthetic NU-WRF, {timestamps} timestamps, scale {scale:.0})");
+    println!();
+    println!("| quantity                          | paper        | generated (logical) |");
+    println!("|-----------------------------------|--------------|---------------------|");
+    println!("| variables per file                | 23           | {:<19} |", spec.n_vars);
+    println!("| resolution (lev x lat x lon)      | 50x1250x1250 | {}x{}x{} (real {}x{}) |",
+        spec.levels, spec.paper_lat, spec.paper_lon, spec.lat, spec.lon);
+    println!("| raw bytes / variable              | ~298 MB      | {per_var_raw:.0} MB              |");
+    println!("| stored bytes / variable           | ~91 MB       | {per_var_stored:.0} MB               |");
+    println!(
+        "| compression ratio                 | ~3.27x       | {:.2}x               |",
+        ds.info.compression_ratio()
+    );
+    let total_48 = ds.info.stored_bytes as f64 * scale / timestamps as f64 * 48.0 / 1e9;
+    println!("| 48-timestamp dataset              | ~98 GB       | {total_48:.0} GB               |");
+
+    // Text blow-up (QR only; real conversion).
+    let conv = convert_dataset(&mut cluster, &ds, &["QR".to_string()]);
+    println!(
+        "| text / compressed expansion       | ~33x         | {:.1}x               |",
+        conv.expansion_vs_compressed
+    );
+    println!(
+        "| conversion time (48 ts, all vars) | >1 hour      | {:.2} h (QR-share extrapolated) |",
+        conv.conversion_time * (48.0 / timestamps as f64) * spec.n_vars as f64 / 3600.0
+    );
+}

@@ -1,0 +1,103 @@
+//! Figure 5 + Table III: total Img-only execution time of every solution at
+//! 96/192/384/768 timestamps, and SciDP's speedup over each.
+//!
+//! Paper shape: naive ≫ vanilla > PortHadoop > SciHadoop ≫ SciDP, with
+//! SciDP 6.58x over the best comparator and ~285x over naive at 384 files.
+//! Conversion time is measured separately and excluded from totals, as in
+//! the paper.
+//!
+//! Run: `cargo run --release -p scidp-bench --bin fig5 [--quick]`
+
+use baselines::{
+    convert_dataset, run_naive, run_porthadoop, run_scidp_solution, run_scihadoop, run_vanilla,
+    SolutionKind, SolutionReport,
+};
+use scidp::WorkflowConfig;
+use scidp_bench::{eval_spec, fmt_s, fmt_x, quick_mode, quick_spec, DatasetPool};
+
+fn main() {
+    let sizes: Vec<usize> = if quick_mode() {
+        vec![8, 16]
+    } else {
+        vec![96, 192, 384, 768]
+    };
+    let cfg = WorkflowConfig::img_only(["QR"]);
+    println!("Figure 5: total execution time, Img-only workload (8 Hadoop nodes)");
+    println!("(conversion time excluded from totals, as in the paper; shown last)");
+    println!();
+    println!("| timestamps | Naive (s) | Vanilla (s) | PortHadoop (s) | SciHadoop (s) | SciDP (s) |");
+    println!("|------------|-----------|-------------|----------------|---------------|-----------|");
+
+    let mut table3: Vec<(usize, Vec<(SolutionKind, f64)>)> = Vec::new();
+    let mut conversion_note = 0.0f64;
+    for &n in &sizes {
+        let spec = if quick_mode() { quick_spec(n) } else { eval_spec(n) };
+        let mut pool = DatasetPool::generate(spec, "nuwrf");
+        // Convert once (text shared across the three text-path solutions).
+        let conv = {
+            let mut c = pool.fresh_cluster(8);
+            let ds = pool.dataset.clone();
+            let conv = convert_dataset(&mut c, &ds, &cfg.variables);
+            pool.absorb_pfs(&c);
+            conv
+        };
+        conversion_note = conv.conversion_time;
+        let run =
+            |kind: SolutionKind, pool: &DatasetPool| -> SolutionReport {
+                let mut c = pool.fresh_cluster(8);
+                let ds = pool.dataset.clone();
+                match kind {
+                    SolutionKind::Naive => run_naive(&mut c, &conv, &cfg),
+                    SolutionKind::VanillaHadoop => run_vanilla(&mut c, &conv, &cfg),
+                    SolutionKind::PortHadoop => run_porthadoop(&mut c, &conv, &cfg),
+                    SolutionKind::SciHadoop => run_scihadoop(&mut c, &ds, &cfg),
+                    SolutionKind::SciDp => run_scidp_solution(&mut c, &ds, &cfg),
+                }
+            };
+        let mut totals = Vec::new();
+        for kind in SolutionKind::ALL {
+            let rep = run(kind, &pool);
+            totals.push((kind, rep.total()));
+        }
+        println!(
+            "| {:>10} | {:>9} | {:>11} | {:>14} | {:>13} | {:>9} |",
+            n,
+            fmt_s(totals[0].1),
+            fmt_s(totals[1].1),
+            fmt_s(totals[2].1),
+            fmt_s(totals[3].1),
+            fmt_s(totals[4].1),
+        );
+        table3.push((n, totals));
+    }
+
+    println!();
+    println!("Table III: speedup of SciDP over existing solutions");
+    println!("| timestamps | vs Naive | vs Vanilla | vs PortHadoop | vs SciHadoop |");
+    println!("|------------|----------|------------|---------------|--------------|");
+    for (n, totals) in &table3 {
+        let scidp = totals
+            .iter()
+            .find(|(k, _)| *k == SolutionKind::SciDp)
+            .unwrap()
+            .1;
+        let f = |k: SolutionKind| {
+            let t = totals.iter().find(|(kk, _)| *kk == k).unwrap().1;
+            fmt_x(t / scidp)
+        };
+        println!(
+            "| {:>10} | {:>8} | {:>10} | {:>13} | {:>12} |",
+            n,
+            f(SolutionKind::Naive),
+            f(SolutionKind::VanillaHadoop),
+            f(SolutionKind::PortHadoop),
+            f(SolutionKind::SciHadoop),
+        );
+    }
+    println!();
+    println!(
+        "(offline conversion for the text-path solutions at the largest size: {} s — excluded, as in the paper)",
+        fmt_s(conversion_note)
+    );
+    println!("(paper anchors at 384 files: 6.58x over the best comparator, 284.63x over naive)");
+}

@@ -1,0 +1,43 @@
+//! Figure 8: scale-out evaluation of SciDP — 4, 8, 16 compute nodes
+//! (8 tasks/node → 32/64/128-way parallelism).
+//!
+//! Paper shape: image plotting time roughly halves when the node count
+//! doubles (near-optimal speedup; plotting tasks are independent).
+//!
+//! Run: `cargo run --release -p scidp-bench --bin fig8 [--timestamps N]`
+
+use baselines::run_scidp_solution;
+use scidp::WorkflowConfig;
+use scidp_bench::{arg_usize, eval_spec, fmt_s, fmt_x, quick_mode, quick_spec, DatasetPool};
+
+fn main() {
+    let n = arg_usize("timestamps", if quick_mode() { 8 } else { 96 });
+    let spec = if quick_mode() { quick_spec(n) } else { eval_spec(n) };
+    let pool = DatasetPool::generate(spec, "nuwrf");
+
+    println!("Figure 8: SciDP scale-out, Img-only, {n} timestamps");
+    println!();
+    println!("| nodes | parallel tasks | time (s) | speedup vs 4 nodes |");
+    println!("|-------|----------------|----------|--------------------|");
+    let mut base = None;
+    for nodes in [4usize, 8, 16] {
+        // Reducers scale with the cluster, as a real deployment would set.
+        let cfg = WorkflowConfig {
+            n_reducers: nodes,
+            ..WorkflowConfig::img_only(["QR"])
+        };
+        let mut c = pool.fresh_cluster(nodes);
+        let ds = pool.dataset.clone();
+        let t = run_scidp_solution(&mut c, &ds, &cfg).total();
+        let b = *base.get_or_insert(t);
+        println!(
+            "| {:>5} | {:>14} | {:>8} | {:>18} |",
+            nodes,
+            nodes * 8,
+            fmt_s(t),
+            fmt_x(b / t)
+        );
+    }
+    println!();
+    println!("(paper shape: ~2x per doubling — plotting tasks are independent)");
+}

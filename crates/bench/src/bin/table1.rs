@@ -1,0 +1,23 @@
+//! Table I: data path of existing solutions and SciDP.
+//!
+//! Run: `cargo run -p scidp-bench --bin table1`
+
+use baselines::data_path_table;
+
+fn main() {
+    println!("Table I: Data Path of Existing Solutions and SciDP");
+    println!("| Solution        | Conversion | Data Copy  | Processing |");
+    println!("|-----------------|------------|------------|------------|");
+    for r in data_path_table() {
+        println!(
+            "| {:<15} | {:<10} | {:<10} | {:<10} |",
+            r.solution.name(),
+            if r.conversion { "Yes" } else { "No" },
+            r.copy,
+            r.processing,
+        );
+    }
+    println!();
+    println!("(Matches the paper's Table I by construction; each row is the");
+    println!(" declared data path of the runnable implementation in `baselines`.)");
+}

@@ -1,0 +1,145 @@
+//! # scidp-bench — harnesses regenerating every table and figure
+//!
+//! Each `src/bin/*` binary regenerates one table or figure of the paper's
+//! evaluation (§V), printing the same rows/series the paper reports so
+//! paper-vs-measured shapes can be compared side by side (EXPERIMENTS.md
+//! records the comparison). `benches/` holds Criterion micro-benchmarks of
+//! the hot primitives behind those figures.
+//!
+//! Absolute numbers will not match the paper — the substrate is a
+//! simulator, not the TACC testbed — but the *shapes* (who wins, by what
+//! factor, where crossovers fall) are the reproduction target.
+
+use mapreduce::Cluster;
+use wrfgen::WrfSpec;
+
+pub use baselines::{paper_cluster, stage_nuwrf, StagedDataset};
+
+/// Default evaluation spec: the paper's 50-level model at a reduced
+/// horizontal grid (16x16 real standing in for 1250x1250 logical; the cost
+/// model's `scale` recovers paper-sized bytes). All 23 variables are
+/// materialized.
+pub fn eval_spec(timestamps: usize) -> WrfSpec {
+    WrfSpec::scaled(16, 16, timestamps)
+}
+
+/// Quick spec for smoke runs (CI-sized).
+pub fn quick_spec(timestamps: usize) -> WrfSpec {
+    WrfSpec {
+        levels: 10,
+        chunk_levels: 5,
+        n_vars: 6,
+        ..WrfSpec::scaled(12, 12, timestamps)
+    }
+}
+
+/// Generate the dataset once, then hand out per-experiment worlds that
+/// share the staged bytes (payloads are `Arc`-shared).
+pub struct DatasetPool {
+    spec: WrfSpec,
+    staged_pfs: pfs::Pfs,
+    pub dataset: StagedDataset,
+}
+
+impl DatasetPool {
+    pub fn generate(spec: WrfSpec, dir: &str) -> DatasetPool {
+        let mut cluster = paper_cluster(8, &spec);
+        let dataset = stage_nuwrf(&mut cluster, &spec, dir);
+        let staged_pfs = cluster.pfs.borrow().clone();
+        DatasetPool {
+            spec,
+            staged_pfs,
+            dataset,
+        }
+    }
+
+    /// A fresh world (own simulator/HDFS) with the staged dataset visible.
+    pub fn fresh_cluster(&self, nodes: usize) -> Cluster {
+        let cluster = paper_cluster(nodes, &self.spec);
+        *cluster.pfs.borrow_mut() = self.staged_pfs.clone();
+        cluster
+    }
+
+    pub fn spec(&self) -> &WrfSpec {
+        &self.spec
+    }
+
+    /// Copy extra staged files (e.g. converted text) into the pool so later
+    /// worlds see them too.
+    pub fn absorb_pfs(&mut self, cluster: &Cluster) {
+        self.staged_pfs = cluster.pfs.borrow().clone();
+    }
+}
+
+/// Render a markdown-ish table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+/// Format seconds with sensible precision.
+pub fn fmt_s(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.1}")
+    } else {
+        format!("{s:.3}")
+    }
+}
+
+/// Format a speedup factor.
+pub fn fmt_x(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}x")
+    } else {
+        format!("{x:.2}x")
+    }
+}
+
+/// Parse the trailing `--timestamps N` style CLI overrides used by the
+/// harness binaries (`--key value` pairs; unknown keys rejected).
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == format!("--{name}") {
+            if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                return v;
+            }
+            eprintln!("warning: bad value for --{name}, using {default}");
+        }
+    }
+    default
+}
+
+/// `--quick` flag for smoke-sized runs.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_shares_dataset_across_worlds() {
+        let pool = DatasetPool::generate(quick_spec(2), "nuwrf");
+        let c1 = pool.fresh_cluster(4);
+        let c2 = pool.fresh_cluster(8);
+        assert_eq!(c1.pfs.borrow().n_files(), 2);
+        assert_eq!(c2.pfs.borrow().n_files(), 2);
+        assert_eq!(c2.topo.n_compute(), 8);
+        // Same bytes, shared storage.
+        let a = c1.pfs.borrow().file(&pool.dataset.info.files[0]).unwrap().data.clone();
+        let b = c2.pfs.borrow().file(&pool.dataset.info.files[0]).unwrap().data.clone();
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_s(123.4), "123");
+        assert_eq!(fmt_s(12.34), "12.3");
+        assert_eq!(fmt_s(0.1234), "0.123");
+        assert_eq!(fmt_x(6.58), "6.58x");
+        assert_eq!(fmt_x(284.6), "285x");
+    }
+}

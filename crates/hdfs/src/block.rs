@@ -1,0 +1,120 @@
+//! Block descriptors, including SciDP/PortHadoop *dummy* (virtual) blocks.
+
+use simnet::NodeId;
+
+/// Globally unique block identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u64);
+
+/// Descriptor of a dummy block's source data on the PFS — one entry of the
+/// paper's Virtual Mapping Table (§III-B).
+#[derive(Clone, Debug, PartialEq)]
+pub enum VirtualBlock {
+    /// A flat byte range of a PFS file (PortHadoop-style mapping; also used
+    /// by SciDP for files the Sci-format Head Reader classifies as flat).
+    FlatRange {
+        pfs_path: String,
+        offset: u64,
+        len: u64,
+    },
+    /// An element hyperslab of a scientific variable (SciDP mapping). The
+    /// PFS Reader resolves the slab to compressed chunk extents using the
+    /// file's SNC metadata.
+    SciSlab {
+        pfs_path: String,
+        /// Variable path within the container (e.g. `"QR"`).
+        var_path: String,
+        /// Element start per dimension.
+        start: Vec<usize>,
+        /// Element count per dimension.
+        count: Vec<usize>,
+    },
+}
+
+impl VirtualBlock {
+    /// The PFS file this block maps to.
+    pub fn pfs_path(&self) -> &str {
+        match self {
+            VirtualBlock::FlatRange { pfs_path, .. } => pfs_path,
+            VirtualBlock::SciSlab { pfs_path, .. } => pfs_path,
+        }
+    }
+}
+
+/// Storage class of a block.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BlockKind {
+    /// Real HDFS block; data lives on the listed DataNodes.
+    Real { locations: Vec<NodeId> },
+    /// Placeholder with no data; fetched from the PFS by the task itself.
+    /// Dummy blocks carry no location (paper: "There is no location
+    /// information in the dummy blocks").
+    Dummy(VirtualBlock),
+}
+
+/// One block of a file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    pub id: BlockId,
+    /// Real stored bytes (for dummy blocks: the real bytes the mapped PFS
+    /// extent occupies, used for scheduling weight).
+    pub len: u64,
+    pub kind: BlockKind,
+}
+
+impl Block {
+    pub fn is_dummy(&self) -> bool {
+        matches!(self.kind, BlockKind::Dummy(_))
+    }
+
+    /// Replica locations (empty for dummy blocks).
+    pub fn locations(&self) -> &[NodeId] {
+        match &self.kind {
+            BlockKind::Real { locations } => locations,
+            BlockKind::Dummy(_) => &[],
+        }
+    }
+
+    /// The virtual descriptor, if this is a dummy block.
+    pub fn virtual_block(&self) -> Option<&VirtualBlock> {
+        match &self.kind {
+            BlockKind::Dummy(v) => Some(v),
+            BlockKind::Real { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dummy_blocks_have_no_locations() {
+        let b = Block {
+            id: BlockId(1),
+            len: 100,
+            kind: BlockKind::Dummy(VirtualBlock::FlatRange {
+                pfs_path: "lustre://out/f.csv".into(),
+                offset: 0,
+                len: 100,
+            }),
+        };
+        assert!(b.is_dummy());
+        assert!(b.locations().is_empty());
+        assert_eq!(b.virtual_block().unwrap().pfs_path(), "lustre://out/f.csv");
+    }
+
+    #[test]
+    fn real_blocks_expose_locations() {
+        let b = Block {
+            id: BlockId(2),
+            len: 42,
+            kind: BlockKind::Real {
+                locations: vec![NodeId(3), NodeId(1)],
+            },
+        };
+        assert!(!b.is_dummy());
+        assert_eq!(b.locations(), &[NodeId(3), NodeId(1)]);
+        assert!(b.virtual_block().is_none());
+    }
+}

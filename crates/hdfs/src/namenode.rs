@@ -1,0 +1,455 @@
+//! The NameNode: directory tree, block map, placement policy, and the
+//! Virtual Mapping Table for dummy blocks.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use simnet::NodeId;
+
+use crate::block::{Block, BlockId, BlockKind, VirtualBlock};
+
+/// Namespace errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NsError {
+    NotFound(String),
+    NotADirectory(String),
+    NotAFile(String),
+    AlreadyExists(String),
+}
+
+impl fmt::Display for NsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NsError::NotFound(p) => write!(f, "no such path: {p}"),
+            NsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            NsError::NotAFile(p) => write!(f, "not a file: {p}"),
+            NsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for NsError {}
+
+#[derive(Debug)]
+enum INode {
+    File(Vec<Block>),
+    Dir(BTreeMap<String, INode>),
+}
+
+/// Listing entry (`FileStatus` in Hadoop).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FileStatus {
+    pub path: String,
+    pub is_dir: bool,
+    /// Sum of block lengths (real bytes).
+    pub len: u64,
+    pub n_blocks: usize,
+}
+
+/// The HDFS master: namespace + block map + placement.
+#[derive(Debug)]
+pub struct NameNode {
+    root: BTreeMap<String, INode>,
+    next_block: u64,
+    n_nodes: usize,
+    /// Default split/placement unit in real bytes (`dfs.blocksize`).
+    pub block_size: usize,
+    /// Replication factor (`dfs.replication`; the paper sets 1).
+    pub replication: usize,
+    /// Round-robin cursor for non-local replica placement.
+    rr: usize,
+    /// Metadata operations served (for diagnostics / RPC accounting).
+    pub ops: u64,
+}
+
+fn split_path(path: &str) -> Vec<&str> {
+    path.split('/').filter(|s| !s.is_empty()).collect()
+}
+
+impl NameNode {
+    pub fn new(n_nodes: usize, block_size: usize, replication: usize) -> NameNode {
+        assert!(n_nodes > 0, "need at least one DataNode");
+        assert!(block_size > 0, "block size must be positive");
+        assert!(
+            replication >= 1 && replication <= n_nodes,
+            "replication {replication} must be in 1..={n_nodes}"
+        );
+        NameNode {
+            root: BTreeMap::new(),
+            next_block: 0,
+            n_nodes,
+            block_size,
+            replication,
+            rr: 0,
+            ops: 0,
+        }
+    }
+
+    fn dir_mut(&mut self, parts: &[&str], create: bool) -> Result<&mut BTreeMap<String, INode>, NsError> {
+        let mut cur = &mut self.root;
+        for (i, part) in parts.iter().enumerate() {
+            if create && !cur.contains_key(*part) {
+                cur.insert(part.to_string(), INode::Dir(BTreeMap::new()));
+            }
+            match cur.get_mut(*part) {
+                Some(INode::Dir(children)) => cur = children,
+                Some(INode::File(_)) => {
+                    return Err(NsError::NotADirectory(parts[..=i].join("/")))
+                }
+                None => return Err(NsError::NotFound(parts[..=i].join("/"))),
+            }
+        }
+        Ok(cur)
+    }
+
+    fn node(&self, path: &str) -> Option<&INode> {
+        let parts = split_path(path);
+        let mut cur = &self.root;
+        let (last, dirs) = parts.split_last()?;
+        for part in dirs {
+            match cur.get(*part) {
+                Some(INode::Dir(children)) => cur = children,
+                _ => return None,
+            }
+        }
+        cur.get(*last)
+    }
+
+    /// `hdfs dfs -mkdir -p`.
+    pub fn mkdirs(&mut self, path: &str) -> Result<(), NsError> {
+        self.ops += 1;
+        let parts = split_path(path);
+        self.dir_mut(&parts, true).map(|_| ())
+    }
+
+    pub fn exists(&self, path: &str) -> bool {
+        if split_path(path).is_empty() {
+            return true;
+        }
+        self.node(path).is_some()
+    }
+
+    pub fn is_dir(&self, path: &str) -> bool {
+        if split_path(path).is_empty() {
+            return true;
+        }
+        matches!(self.node(path), Some(INode::Dir(_)))
+    }
+
+    pub fn is_file(&self, path: &str) -> bool {
+        matches!(self.node(path), Some(INode::File(_)))
+    }
+
+    /// Create an empty file (parents created as needed). Fails if the path
+    /// already exists.
+    pub fn create_file(&mut self, path: &str) -> Result<(), NsError> {
+        self.ops += 1;
+        let parts = split_path(path);
+        let (name, dirs) = parts
+            .split_last()
+            .ok_or_else(|| NsError::NotAFile(path.to_string()))?;
+        let dir = self.dir_mut(dirs, true)?;
+        if dir.contains_key(*name) {
+            return Err(NsError::AlreadyExists(path.to_string()));
+        }
+        dir.insert(name.to_string(), INode::File(Vec::new()));
+        Ok(())
+    }
+
+    /// Choose replica targets for a new block written from `writer`
+    /// (Hadoop's default policy: first replica local, others spread).
+    pub fn choose_targets(&mut self, writer: Option<NodeId>) -> Vec<NodeId> {
+        let mut targets = Vec::with_capacity(self.replication);
+        if let Some(w) = writer {
+            targets.push(w);
+        }
+        while targets.len() < self.replication {
+            let cand = NodeId((self.rr % self.n_nodes) as u32);
+            self.rr += 1;
+            if !targets.contains(&cand) {
+                targets.push(cand);
+            }
+        }
+        targets
+    }
+
+    /// Allocate and append a *real* block to a file.
+    pub fn add_block(
+        &mut self,
+        path: &str,
+        len: u64,
+        locations: Vec<NodeId>,
+    ) -> Result<BlockId, NsError> {
+        self.ops += 1;
+        let id = BlockId(self.next_block);
+        self.next_block += 1;
+        let block = Block {
+            id,
+            len,
+            kind: BlockKind::Real { locations },
+        };
+        self.file_blocks_mut(path)?.push(block);
+        Ok(id)
+    }
+
+    /// Append a *dummy* block mapping PFS data — the Data Mapper's write
+    /// into the Virtual Mapping Table.
+    pub fn add_dummy_block(
+        &mut self,
+        path: &str,
+        len: u64,
+        descriptor: VirtualBlock,
+    ) -> Result<BlockId, NsError> {
+        self.ops += 1;
+        let id = BlockId(self.next_block);
+        self.next_block += 1;
+        let block = Block {
+            id,
+            len,
+            kind: BlockKind::Dummy(descriptor),
+        };
+        self.file_blocks_mut(path)?.push(block);
+        Ok(id)
+    }
+
+    fn file_blocks_mut(&mut self, path: &str) -> Result<&mut Vec<Block>, NsError> {
+        let parts = split_path(path);
+        let (name, dirs) = parts
+            .split_last()
+            .ok_or_else(|| NsError::NotAFile(path.to_string()))?;
+        let dir = self.dir_mut(dirs, false)?;
+        match dir.get_mut(*name) {
+            Some(INode::File(blocks)) => Ok(blocks),
+            Some(INode::Dir(_)) => Err(NsError::NotAFile(path.to_string())),
+            None => Err(NsError::NotFound(path.to_string())),
+        }
+    }
+
+    /// Block list of a file (what `getBlockLocations` returns).
+    pub fn blocks(&self, path: &str) -> Result<&[Block], NsError> {
+        match self.node(path) {
+            Some(INode::File(blocks)) => Ok(blocks),
+            Some(INode::Dir(_)) => Err(NsError::NotAFile(path.to_string())),
+            None => Err(NsError::NotFound(path.to_string())),
+        }
+    }
+
+    /// File length in real bytes.
+    pub fn file_len(&self, path: &str) -> Result<u64, NsError> {
+        Ok(self.blocks(path)?.iter().map(|b| b.len).sum())
+    }
+
+    /// Immediate children of a directory (`listStatus`).
+    pub fn list_status(&self, path: &str) -> Result<Vec<FileStatus>, NsError> {
+        let parts = split_path(path);
+        let mut cur = &self.root;
+        for part in &parts {
+            match cur.get(*part) {
+                Some(INode::Dir(children)) => cur = children,
+                Some(INode::File(_)) => return Err(NsError::NotADirectory(path.to_string())),
+                None => return Err(NsError::NotFound(path.to_string())),
+            }
+        }
+        let prefix = if parts.is_empty() {
+            String::new()
+        } else {
+            format!("{}/", parts.join("/"))
+        };
+        Ok(cur
+            .iter()
+            .map(|(name, node)| match node {
+                INode::Dir(_) => FileStatus {
+                    path: format!("{prefix}{name}"),
+                    is_dir: true,
+                    len: 0,
+                    n_blocks: 0,
+                },
+                INode::File(blocks) => FileStatus {
+                    path: format!("{prefix}{name}"),
+                    is_dir: false,
+                    len: blocks.iter().map(|b| b.len).sum(),
+                    n_blocks: blocks.len(),
+                },
+            })
+            .collect())
+    }
+
+    /// All files under a path, recursively (used by InputFormats).
+    pub fn list_files_recursive(&self, path: &str) -> Result<Vec<FileStatus>, NsError> {
+        let mut out = Vec::new();
+        if self.is_file(path) {
+            let blocks = self.blocks(path)?;
+            out.push(FileStatus {
+                path: split_path(path).join("/"),
+                is_dir: false,
+                len: blocks.iter().map(|b| b.len).sum(),
+                n_blocks: blocks.len(),
+            });
+            return Ok(out);
+        }
+        let mut stack = vec![split_path(path).join("/")];
+        while let Some(dir) = stack.pop() {
+            for st in self.list_status(&dir)? {
+                if st.is_dir {
+                    stack.push(st.path);
+                } else {
+                    out.push(st);
+                }
+            }
+        }
+        out.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(out)
+    }
+
+    /// Delete a file or directory subtree. Returns the ids of real blocks
+    /// to reclaim on DataNodes.
+    pub fn delete(&mut self, path: &str) -> Result<Vec<BlockId>, NsError> {
+        self.ops += 1;
+        let parts = split_path(path);
+        let (name, dirs) = parts
+            .split_last()
+            .ok_or_else(|| NsError::NotFound(path.to_string()))?;
+        let dir = self.dir_mut(dirs, false)?;
+        let node = dir
+            .remove(*name)
+            .ok_or_else(|| NsError::NotFound(path.to_string()))?;
+        let mut ids = Vec::new();
+        fn collect(node: &INode, ids: &mut Vec<BlockId>) {
+            match node {
+                INode::File(blocks) => {
+                    ids.extend(blocks.iter().filter(|b| !b.is_dummy()).map(|b| b.id))
+                }
+                INode::Dir(children) => children.values().for_each(|n| collect(n, ids)),
+            }
+        }
+        collect(&node, &mut ids);
+        Ok(ids)
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nn() -> NameNode {
+        NameNode::new(4, 128, 1)
+    }
+
+    #[test]
+    fn mkdir_and_nested_files() {
+        let mut n = nn();
+        n.mkdirs("a/b/c").unwrap();
+        assert!(n.is_dir("a/b"));
+        n.create_file("a/b/c/f").unwrap();
+        assert!(n.is_file("a/b/c/f"));
+        assert!(!n.is_file("a/b"));
+        assert!(n.exists(""));
+        assert!(matches!(
+            n.create_file("a/b/c/f"),
+            Err(NsError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn file_in_path_blocks_mkdir() {
+        let mut n = nn();
+        n.create_file("x").unwrap();
+        assert!(matches!(n.mkdirs("x/y"), Err(NsError::NotADirectory(_))));
+    }
+
+    #[test]
+    fn blocks_accumulate_and_len_sums() {
+        let mut n = nn();
+        n.create_file("f").unwrap();
+        n.add_block("f", 100, vec![NodeId(0)]).unwrap();
+        n.add_block("f", 28, vec![NodeId(1)]).unwrap();
+        assert_eq!(n.file_len("f").unwrap(), 128);
+        assert_eq!(n.blocks("f").unwrap().len(), 2);
+        assert!(matches!(n.blocks("g"), Err(NsError::NotFound(_))));
+    }
+
+    #[test]
+    fn dummy_blocks_in_mapping_table() {
+        let mut n = nn();
+        n.mkdirs("mirror/plot_18.nc").unwrap();
+        n.create_file("mirror/plot_18.nc/QR").unwrap();
+        n.add_dummy_block(
+            "mirror/plot_18.nc/QR",
+            1000,
+            VirtualBlock::SciSlab {
+                pfs_path: "out/plot_18.nc".into(),
+                var_path: "QR".into(),
+                start: vec![0, 0, 0],
+                count: vec![10, 64, 64],
+            },
+        )
+        .unwrap();
+        let blocks = n.blocks("mirror/plot_18.nc/QR").unwrap();
+        assert_eq!(blocks.len(), 1);
+        assert!(blocks[0].is_dummy());
+        assert_eq!(blocks[0].locations(), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn placement_first_replica_local() {
+        let mut n = NameNode::new(4, 128, 3);
+        let t = n.choose_targets(Some(NodeId(2)));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0], NodeId(2));
+        let uniq: std::collections::HashSet<_> = t.iter().collect();
+        assert_eq!(uniq.len(), 3);
+    }
+
+    #[test]
+    fn placement_without_writer_spreads() {
+        let mut n = NameNode::new(4, 128, 1);
+        let picks: Vec<NodeId> = (0..4).map(|_| n.choose_targets(None)[0]).collect();
+        let uniq: std::collections::HashSet<_> = picks.iter().collect();
+        assert_eq!(uniq.len(), 4, "round robin should cover all nodes");
+    }
+
+    #[test]
+    fn listing_and_recursion() {
+        let mut n = nn();
+        n.create_file("d/x").unwrap();
+        n.create_file("d/sub/y").unwrap();
+        n.add_block("d/x", 10, vec![NodeId(0)]).unwrap();
+        let ls = n.list_status("d").unwrap();
+        assert_eq!(ls.len(), 2);
+        assert_eq!(ls[0].path, "d/sub");
+        assert!(ls[0].is_dir);
+        assert_eq!(ls[1].path, "d/x");
+        assert_eq!(ls[1].len, 10);
+        let all = n.list_files_recursive("d").unwrap();
+        let paths: Vec<&str> = all.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, vec!["d/sub/y", "d/x"]);
+        let single = n.list_files_recursive("d/x").unwrap();
+        assert_eq!(single.len(), 1);
+    }
+
+    #[test]
+    fn delete_returns_real_block_ids_only() {
+        let mut n = nn();
+        n.create_file("d/a").unwrap();
+        n.create_file("d/b").unwrap();
+        let id = n.add_block("d/a", 5, vec![NodeId(0)]).unwrap();
+        n.add_dummy_block(
+            "d/b",
+            5,
+            VirtualBlock::FlatRange {
+                pfs_path: "p".into(),
+                offset: 0,
+                len: 5,
+            },
+        )
+        .unwrap();
+        let ids = n.delete("d").unwrap();
+        assert_eq!(ids, vec![id]);
+        assert!(!n.exists("d"));
+        assert!(matches!(n.delete("d"), Err(NsError::NotFound(_))));
+    }
+}

@@ -1,0 +1,104 @@
+//! The combined simulated-cluster world: simulator + topology + both file
+//! systems. Every experiment builds one of these.
+
+use pfs::{Pfs, PfsConfig, SharedPfs};
+use simnet::{ClusterSpec, CostModel, FlowNet, Sim, SimTime, Topology};
+
+use hdfs::{Hdfs, SharedHdfs};
+
+/// Handles a task needs to reach the world from inside sim callbacks.
+#[derive(Clone)]
+pub struct MrEnv {
+    pub topo: Topology,
+    pub pfs: SharedPfs,
+    pub hdfs: SharedHdfs,
+    /// Concurrent task slots per compute node (8 in the paper).
+    pub slots_per_node: usize,
+}
+
+/// The full simulated world: one Hadoop cluster + one PFS storage cluster.
+pub struct Cluster {
+    pub sim: Sim,
+    pub topo: Topology,
+    pub pfs: SharedPfs,
+    pub hdfs: SharedHdfs,
+}
+
+impl Cluster {
+    /// Build a cluster. `block_size` is the HDFS block size in *real*
+    /// bytes; `replication` is `dfs.replication` (the paper uses 1).
+    pub fn new(
+        spec: ClusterSpec,
+        pfs_cfg: PfsConfig,
+        block_size: usize,
+        replication: usize,
+        cost: CostModel,
+    ) -> Cluster {
+        assert_eq!(
+            pfs_cfg.n_osts, spec.osts,
+            "PFS OST count must match the topology"
+        );
+        let mut sim = Sim::with_cost(cost);
+        let mut net = std::mem::replace(&mut sim.net, FlowNet::new());
+        let topo = Topology::build(&mut net, spec.clone());
+        sim.net = net;
+        let pfs = Pfs::shared(pfs_cfg);
+        let hdfs = Hdfs::shared(spec.compute_nodes, block_size, replication);
+        Cluster {
+            sim,
+            topo,
+            pfs,
+            hdfs,
+        }
+    }
+
+    /// Paper-default cluster (§V-A): 8 Hadoop nodes, 2 OSS / 24 OSTs.
+    pub fn paper_default(block_size: usize, cost: CostModel) -> Cluster {
+        let spec = ClusterSpec::default();
+        let pfs_cfg = PfsConfig {
+            n_osts: spec.osts,
+            ..PfsConfig::default()
+        };
+        Cluster::new(spec, pfs_cfg, block_size, 1, cost)
+    }
+
+    /// Shared handles for tasks.
+    pub fn env(&self) -> MrEnv {
+        MrEnv {
+            topo: self.topo.clone(),
+            pfs: self.pfs.clone(),
+            hdfs: self.hdfs.clone(),
+            slots_per_node: self.topo.spec.slots_per_node,
+        }
+    }
+
+    /// Drain the event queue; returns final virtual time.
+    pub fn run(&mut self) -> SimTime {
+        self.sim.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_shape() {
+        let c = Cluster::paper_default(1 << 20, CostModel::default());
+        assert_eq!(c.topo.n_compute(), 8);
+        assert_eq!(c.topo.n_osts(), 24);
+        assert_eq!(c.env().slots_per_node, 8);
+        assert_eq!(c.hdfs.borrow().datanodes.n_nodes(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "OST count")]
+    fn mismatched_ost_config_panics() {
+        let spec = ClusterSpec::default();
+        let pfs_cfg = PfsConfig {
+            n_osts: spec.osts + 1,
+            ..PfsConfig::default()
+        };
+        Cluster::new(spec, pfs_cfg, 1024, 1, CostModel::default());
+    }
+}

@@ -1,0 +1,71 @@
+//! Job counters (Hadoop-style), deterministic to report.
+
+use std::collections::BTreeMap;
+
+/// Named additive counters collected over a job run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Counters {
+    values: BTreeMap<&'static str, f64>,
+}
+
+/// Counter names used by the engine.
+pub mod keys {
+    pub const MAP_TASKS: &str = "map_tasks";
+    pub const REDUCE_TASKS: &str = "reduce_tasks";
+    pub const INPUT_BYTES: &str = "input_bytes";
+    pub const MAP_OUTPUT_BYTES: &str = "map_output_bytes";
+    pub const SHUFFLE_BYTES: &str = "shuffle_bytes";
+    pub const HDFS_WRITE_BYTES: &str = "hdfs_write_bytes";
+    pub const LOCAL_MAPS: &str = "data_local_maps";
+    pub const REMOTE_MAPS: &str = "rack_remote_maps";
+    pub const RECORDS_EMITTED: &str = "records_emitted";
+}
+
+impl Counters {
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    pub fn add(&mut self, key: &'static str, v: f64) {
+        *self.values.entry(key).or_insert(0.0) += v;
+    }
+
+    pub fn get(&self, key: &str) -> f64 {
+        self.values.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.values.iter().map(|(k, v)| (*k, *v))
+    }
+
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_merge() {
+        let mut a = Counters::new();
+        a.add(keys::MAP_TASKS, 3.0);
+        a.add(keys::MAP_TASKS, 2.0);
+        assert_eq!(a.get(keys::MAP_TASKS), 5.0);
+        assert_eq!(a.get("missing"), 0.0);
+        let mut b = Counters::new();
+        b.add(keys::MAP_TASKS, 1.0);
+        b.add(keys::INPUT_BYTES, 10.0);
+        a.merge(&b);
+        assert_eq!(a.get(keys::MAP_TASKS), 6.0);
+        assert_eq!(a.get(keys::INPUT_BYTES), 10.0);
+        let names: Vec<&str> = a.iter().map(|(k, _)| k).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "iteration is deterministic");
+    }
+}

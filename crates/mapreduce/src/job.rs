@@ -1,0 +1,1172 @@
+//! The job driver: slot scheduling, map execution, shuffle, reduce, output.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+use simnet::{NodeId, Sim};
+
+use crate::cluster::{Cluster, MrEnv};
+use crate::counters::{keys, Counters};
+use crate::input::{InputSplit, TaskInput};
+
+/// Task-level failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MrError(pub String);
+
+impl fmt::Display for MrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for MrError {}
+
+/// A value travelling through the shuffle.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    Bytes(Vec<u8>),
+    Frame(rframe::DataFrame),
+}
+
+impl Payload {
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            Payload::Bytes(b) => b.len(),
+            Payload::Frame(f) => f.approx_bytes(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Kv {
+    pub key: String,
+    pub value: Payload,
+}
+
+/// Execution context handed to map/reduce closures: charge virtual compute,
+/// emit key/value pairs.
+pub struct TaskCtx {
+    cost: simnet::CostModel,
+    charges: Vec<(&'static str, f64)>,
+    emitted: Vec<Kv>,
+    records: u64,
+    tag: String,
+}
+
+impl TaskCtx {
+    /// Standalone context for running task payloads outside the engine
+    /// (the naive baseline processes files without Hadoop).
+    pub fn standalone(cost: simnet::CostModel) -> TaskCtx {
+        TaskCtx::new(cost)
+    }
+
+    /// Set the split tag (engine-internal; also used by standalone runs).
+    pub fn set_tag(&mut self, tag: impl Into<String>) {
+        self.tag = tag.into();
+    }
+
+    /// Sum of all charges so far.
+    pub fn total_charge_s(&self) -> f64 {
+        self.total_charge()
+    }
+
+    /// Drain emitted pairs (standalone runs handle their own output).
+    pub fn take_emitted(&mut self) -> Vec<(String, Payload)> {
+        std::mem::take(&mut self.emitted)
+            .into_iter()
+            .map(|kv| (kv.key, kv.value))
+            .collect()
+    }
+
+    fn new(cost: simnet::CostModel) -> TaskCtx {
+        TaskCtx {
+            cost,
+            charges: Vec::new(),
+            emitted: Vec::new(),
+            records: 0,
+            tag: String::new(),
+        }
+    }
+
+    /// Split metadata set by the fetcher (empty when the fetcher sets
+    /// none) — how SciDP's R layer learns which slab a task received.
+    pub fn input_tag(&self) -> &str {
+        &self.tag
+    }
+
+    /// The cluster's cost model (to derive charges from byte/pixel counts).
+    pub fn cost(&self) -> &simnet::CostModel {
+        &self.cost
+    }
+
+    /// Charge `secs` of virtual compute under a phase label ("convert",
+    /// "plot", "analysis", ...). Phase totals surface in [`TaskReport`].
+    pub fn charge(&mut self, phase: &'static str, secs: f64) {
+        assert!(secs >= 0.0 && secs.is_finite(), "bad charge {secs}");
+        self.charges.push((phase, secs));
+    }
+
+    /// Emit a key/value pair into the shuffle (or the task output for
+    /// map-only jobs).
+    pub fn emit(&mut self, key: impl Into<String>, value: Payload) {
+        self.records += 1;
+        self.emitted.push(Kv {
+            key: key.into(),
+            value,
+        });
+    }
+
+    fn total_charge(&self) -> f64 {
+        self.charges.iter().map(|(_, s)| s).sum()
+    }
+}
+
+/// Map closure: real work over the fetched input.
+pub type MapFn = Rc<dyn Fn(TaskInput, &mut TaskCtx) -> Result<(), MrError>>;
+/// Reduce closure: one key group at a time.
+pub type ReduceFn = Rc<dyn Fn(&str, Vec<Payload>, &mut TaskCtx) -> Result<(), MrError>>;
+
+/// A MapReduce job specification.
+#[derive(Clone)]
+pub struct Job {
+    pub name: String,
+    pub splits: Vec<InputSplit>,
+    pub map_fn: MapFn,
+    /// `None` = map-only job (outputs written as `part-m-*`).
+    pub reduce_fn: Option<ReduceFn>,
+    pub n_reducers: usize,
+    /// Directory for part files (HDFS by default, PFS with
+    /// `output_to_pfs`).
+    pub output_dir: String,
+    /// Lustre-connector mode (Fig. 2): map spills go to the PFS over the
+    /// network instead of the node-local disk ("diskless Hadoop").
+    pub spill_to_pfs: bool,
+    /// Lustre-connector mode: part files are written to the PFS.
+    pub output_to_pfs: bool,
+}
+
+impl Job {
+    /// A standard HDFS-backed job.
+    pub fn new(
+        name: impl Into<String>,
+        splits: Vec<InputSplit>,
+        map_fn: MapFn,
+        reduce_fn: Option<ReduceFn>,
+        n_reducers: usize,
+        output_dir: impl Into<String>,
+    ) -> Job {
+        Job {
+            name: name.into(),
+            splits,
+            map_fn,
+            reduce_fn,
+            n_reducers,
+            output_dir: output_dir.into(),
+            spill_to_pfs: false,
+            output_to_pfs: false,
+        }
+    }
+}
+
+/// Map or reduce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskKind {
+    Map,
+    Reduce,
+}
+
+/// Timing of one finished task, decomposed by phase — Figure 7's raw data.
+#[derive(Clone, Debug)]
+pub struct TaskReport {
+    pub kind: TaskKind,
+    pub index: usize,
+    pub node: NodeId,
+    pub start_s: f64,
+    pub end_s: f64,
+    /// `(phase, virtual seconds)`: "startup", "read", fetch charges,
+    /// map charges, "spill" / "shuffle", "sort", "write".
+    pub phases: Vec<(&'static str, f64)>,
+}
+
+impl TaskReport {
+    pub fn duration(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+
+    /// Total seconds recorded under a phase label.
+    pub fn phase(&self, name: &str) -> f64 {
+        self.phases
+            .iter()
+            .filter(|(p, _)| *p == name)
+            .map(|(_, s)| s)
+            .sum()
+    }
+}
+
+/// Completed job summary.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    pub name: String,
+    pub start_s: f64,
+    pub end_s: f64,
+    pub tasks: Vec<TaskReport>,
+    pub counters: Counters,
+}
+
+impl JobResult {
+    pub fn elapsed(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+
+    /// Mean of a phase over all tasks of one kind.
+    pub fn mean_phase(&self, kind: TaskKind, phase: &str) -> f64 {
+        let v: Vec<f64> = self
+            .tasks
+            .iter()
+            .filter(|t| t.kind == kind)
+            .map(|t| t.phase(phase))
+            .collect();
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    }
+
+    /// Mean wall duration of tasks of one kind.
+    pub fn mean_task_time(&self, kind: TaskKind) -> f64 {
+        let v: Vec<f64> = self
+            .tasks
+            .iter()
+            .filter(|t| t.kind == kind)
+            .map(TaskReport::duration)
+            .collect();
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+struct Driver {
+    env: MrEnv,
+    job: Job,
+    start_s: f64,
+    pending: VecDeque<usize>,
+    free_slots: Vec<usize>,
+    n_maps: usize,
+    maps_done: usize,
+    map_outputs: Vec<Vec<Vec<Kv>>>,
+    map_nodes: Vec<NodeId>,
+    reports: Vec<TaskReport>,
+    counters: Counters,
+    reduces_done: usize,
+    failed: Option<MrError>,
+    done_cb: Option<Box<dyn FnOnce(&mut Sim, Result<JobResult, MrError>)>>,
+}
+
+type SharedDriver = Rc<RefCell<Driver>>;
+
+fn stable_hash(s: &str) -> u64 {
+    // FNV-1a: deterministic across runs and platforms.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Submit a job; `done` fires (with the result) when the last task output
+/// commits. The simulation keeps running — callers can chain stages.
+pub fn submit_job(
+    cluster: &mut Cluster,
+    job: Job,
+    done: impl FnOnce(&mut Sim, Result<JobResult, MrError>) + 'static,
+) {
+    let env = cluster.env();
+    submit_job_env(&mut cluster.sim, env, job, done)
+}
+
+/// Like [`submit_job`] but usable from inside sim callbacks.
+pub fn submit_job_env(
+    sim: &mut Sim,
+    env: MrEnv,
+    job: Job,
+    done: impl FnOnce(&mut Sim, Result<JobResult, MrError>) + 'static,
+) {
+    assert!(job.n_reducers > 0 || job.reduce_fn.is_none());
+    let n_nodes = env.topo.n_compute();
+    let n_maps = job.splits.len();
+    let d = Rc::new(RefCell::new(Driver {
+        free_slots: vec![env.slots_per_node; n_nodes],
+        env,
+        start_s: sim.now().secs(),
+        pending: (0..n_maps).collect(),
+        n_maps,
+        maps_done: 0,
+        map_outputs: vec![Vec::new(); n_maps],
+        map_nodes: vec![NodeId(0); n_maps],
+        reports: Vec::new(),
+        counters: Counters::new(),
+        reduces_done: 0,
+        failed: None,
+        done_cb: Some(Box::new(done)),
+        job,
+    }));
+    if n_maps == 0 {
+        let d2 = d.clone();
+        sim.after(0.0, move |sim| maybe_finish_maps(sim, &d2));
+        return;
+    }
+    try_schedule(sim, &d);
+}
+
+/// Convenience: submit, run the world to completion, return the result.
+pub fn run_job(cluster: &mut Cluster, job: Job) -> Result<JobResult, MrError> {
+    let out: Rc<RefCell<Option<Result<JobResult, MrError>>>> = Rc::new(RefCell::new(None));
+    let o = out.clone();
+    submit_job(cluster, job, move |_, r| {
+        *o.borrow_mut() = Some(r);
+    });
+    cluster.run();
+    let result = out.borrow_mut().take().expect("job completed");
+    result
+}
+
+fn try_schedule(sim: &mut Sim, d: &SharedDriver) {
+    loop {
+        let pick = {
+            let mut dd = d.borrow_mut();
+            if dd.failed.is_some() {
+                return;
+            }
+            let mut pick: Option<(NodeId, usize, bool)> = None;
+            let n_nodes = dd.free_slots.len();
+            'outer: for node in 0..n_nodes {
+                if dd.free_slots[node] == 0 {
+                    continue;
+                }
+                let nid = NodeId(node as u32);
+                // Locality preference: a pending split stored on this node.
+                if let Some(pos) = dd
+                    .pending
+                    .iter()
+                    .position(|&t| dd.job.splits[t].locations.contains(&nid))
+                {
+                    let t = dd.pending.remove(pos).unwrap();
+                    pick = Some((nid, t, true));
+                    break 'outer;
+                }
+            }
+            if pick.is_none() && !dd.pending.is_empty() {
+                // Any pending task on the least-loaded node with a free
+                // slot — spreads non-local work across the cluster.
+                let best = (0..n_nodes)
+                    .filter(|&n| dd.free_slots[n] > 0)
+                    .max_by_key(|&n| dd.free_slots[n]);
+                if let Some(node) = best {
+                    let t = dd.pending.pop_front().expect("pending nonempty");
+                    pick = Some((NodeId(node as u32), t, false));
+                }
+            }
+            if let Some((node, task, local)) = pick {
+                dd.free_slots[node.0 as usize] -= 1;
+                let has_locations = !dd.job.splits[task].locations.is_empty();
+                dd.counters.add(
+                    if local || !has_locations {
+                        keys::LOCAL_MAPS
+                    } else {
+                        keys::REMOTE_MAPS
+                    },
+                    1.0,
+                );
+                Some((node, task))
+            } else {
+                None
+            }
+        };
+        match pick {
+            Some((node, task)) => run_map_task(sim, d, task, node),
+            None => return,
+        }
+    }
+}
+
+fn compute_penalty(d: &SharedDriver) -> f64 {
+    let dd = d.borrow();
+    if dd.env.slots_per_node > 1 {
+        // Shared memory bandwidth / cache interference between co-running
+        // tasks; the paper's explanation of naive's slightly faster plots.
+        dd.env.topo.spec.slots_per_node as f64 * 0.0 + 1.0 // base
+    } else {
+        1.0
+    }
+}
+
+fn run_map_task(sim: &mut Sim, d: &SharedDriver, task: usize, node: NodeId) {
+    let (env, startup, fetcher, length) = {
+        let mut dd = d.borrow_mut();
+        dd.map_nodes[task] = node;
+        dd.counters.add(keys::MAP_TASKS, 1.0);
+        let split_len = dd.job.splits[task].length as f64;
+        dd.counters.add(keys::INPUT_BYTES, split_len);
+        (
+            dd.env.clone(),
+            sim.cost.task_startup_s,
+            dd.job.splits[task].fetcher.clone(),
+            dd.job.splits[task].length,
+        )
+    };
+    let _ = length;
+    let start_s = sim.now().secs();
+    let d2 = d.clone();
+    sim.after(startup, move |sim| {
+        let fetch_start = sim.now().secs();
+        let d3 = d2.clone();
+        let env2 = env.clone();
+        fetcher.fetch(
+            &env,
+            sim,
+            node,
+            Box::new(move |sim, fr| {
+                let read_s = sim.now().secs() - fetch_start;
+                // Real map execution.
+                let (map_fn, penalty) = {
+                    let dd = d3.borrow();
+                    let p = if dd.env.slots_per_node > 1 {
+                        sim.cost.parallel_compute_penalty
+                    } else {
+                        1.0
+                    };
+                    (dd.job.map_fn.clone(), p)
+                };
+                let mut ctx = TaskCtx::new(sim.cost.clone());
+                ctx.tag = fr.tag;
+                for (phase, secs) in &fr.charges {
+                    ctx.charge(phase, *secs);
+                }
+                if let Err(e) = (map_fn)(fr.input, &mut ctx) {
+                    fail_job(sim, &d3, e);
+                    return;
+                }
+                let compute = ctx.total_charge() * penalty;
+                let mut phases = vec![("startup", startup), ("read", read_s)];
+                for (p, s) in &ctx.charges {
+                    phases.push((p, s * penalty));
+                }
+                let records = ctx.records;
+                let emitted = ctx.emitted;
+                let d4 = d3.clone();
+                sim.after(compute, move |sim| {
+                    finish_map_compute(
+                        sim, &d4, task, node, start_s, phases, emitted, records, env2,
+                    )
+                });
+            }),
+        );
+    });
+    let _ = compute_penalty(d);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish_map_compute(
+    sim: &mut Sim,
+    d: &SharedDriver,
+    task: usize,
+    node: NodeId,
+    start_s: f64,
+    phases: Vec<(&'static str, f64)>,
+    emitted: Vec<Kv>,
+    records: u64,
+    env: MrEnv,
+) {
+    let out_bytes: usize = emitted
+        .iter()
+        .map(|kv| kv.key.len() + kv.value.approx_bytes())
+        .sum();
+    {
+        let mut dd = d.borrow_mut();
+        dd.counters.add(keys::MAP_OUTPUT_BYTES, out_bytes as f64);
+        dd.counters.add(keys::RECORDS_EMITTED, records as f64);
+    }
+    let has_reduce = d.borrow().job.reduce_fn.is_some();
+    if has_reduce {
+        // Partition + spill to local disk.
+        let n_red = d.borrow().job.n_reducers;
+        let mut parts: Vec<Vec<Kv>> = (0..n_red).map(|_| Vec::new()).collect();
+        for kv in emitted {
+            let p = (stable_hash(&kv.key) % n_red as u64) as usize;
+            parts[p].push(kv);
+        }
+        let spill_start = sim.now().secs();
+        let d2 = d.clone();
+        let spill_to_pfs = d.borrow().job.spill_to_pfs;
+        let job_name = d.borrow().job.name.clone();
+        let finish_spill = move |sim: &mut Sim, mut phases: Vec<(&'static str, f64)>| {
+            phases.push(("spill", sim.now().secs() - spill_start));
+            {
+                let mut dd = d2.borrow_mut();
+                dd.map_outputs[task] = parts;
+                dd.reports.push(TaskReport {
+                    kind: TaskKind::Map,
+                    index: task,
+                    node,
+                    start_s,
+                    end_s: sim.now().secs(),
+                    phases,
+                });
+            }
+            release_slot_and_continue(sim, &d2, node);
+        };
+        if spill_to_pfs {
+            // Connector mode: intermediate data crosses the network to the
+            // PFS (the "diskless" deployment of the Lustre connectors).
+            let spill_path = format!("_spill/{job_name}/m{task:05}");
+            pfs::write_new(
+                sim,
+                &env.topo,
+                &env.pfs,
+                node,
+                spill_path,
+                vec![0u8; out_bytes],
+                move |sim| finish_spill(sim, phases),
+            );
+        } else {
+            let bytes = sim.cost.lbytes(out_bytes);
+            let path = env.topo.path_local_disk(node);
+            sim.start_flow(path, bytes, move |sim| finish_spill(sim, phases));
+        }
+    } else {
+        // Map-only: write output straight to HDFS.
+        let data = serialize_kvs(&emitted);
+        let (dir, name) = {
+            let dd = d.borrow();
+            (dd.job.output_dir.clone(), format!("part-m-{task:05}"))
+        };
+        let write_start = sim.now().secs();
+        let d2 = d.clone();
+        if data.is_empty() {
+            let mut dd = d.borrow_mut();
+            dd.reports.push(TaskReport {
+                kind: TaskKind::Map,
+                index: task,
+                node,
+                start_s,
+                end_s: sim.now().secs(),
+                phases,
+            });
+            drop(dd);
+            release_slot_and_continue(sim, d, node);
+            return;
+        }
+        let len = data.len() as f64;
+        let finish_write = move |sim: &mut Sim, mut phases: Vec<(&'static str, f64)>| {
+            phases.push(("write", sim.now().secs() - write_start));
+            {
+                let mut dd = d2.borrow_mut();
+                dd.counters.add(keys::HDFS_WRITE_BYTES, len);
+                dd.reports.push(TaskReport {
+                    kind: TaskKind::Map,
+                    index: task,
+                    node,
+                    start_s,
+                    end_s: sim.now().secs(),
+                    phases,
+                });
+            }
+            release_slot_and_continue(sim, &d2, node);
+        };
+        if d.borrow().job.output_to_pfs {
+            pfs::write_new(
+                sim,
+                &env.topo,
+                &env.pfs,
+                node,
+                format!("{dir}/{name}"),
+                data,
+                move |sim| finish_write(sim, phases),
+            );
+        } else {
+            hdfs::write_file(
+                sim,
+                &env.topo,
+                &env.hdfs,
+                node,
+                format!("{dir}/{name}"),
+                data,
+                move |sim| finish_write(sim, phases),
+            )
+            .expect("map output path free");
+        }
+    }
+}
+
+fn release_slot_and_continue(sim: &mut Sim, d: &SharedDriver, node: NodeId) {
+    {
+        let mut dd = d.borrow_mut();
+        dd.free_slots[node.0 as usize] += 1;
+        dd.maps_done += 1;
+    }
+    try_schedule(sim, d);
+    maybe_finish_maps(sim, d);
+}
+
+fn maybe_finish_maps(sim: &mut Sim, d: &SharedDriver) {
+    let (all_done, has_reduce) = {
+        let dd = d.borrow();
+        (dd.maps_done == dd.n_maps, dd.job.reduce_fn.is_some())
+    };
+    if !all_done {
+        return;
+    }
+    if has_reduce {
+        start_reduce_phase(sim, d);
+    } else {
+        complete(sim, d);
+    }
+}
+
+fn start_reduce_phase(sim: &mut Sim, d: &SharedDriver) {
+    let n_red = d.borrow().job.n_reducers;
+    let n_nodes = d.borrow().env.topo.n_compute();
+    for r in 0..n_red {
+        let node = NodeId((r % n_nodes) as u32);
+        run_reduce_task(sim, d, r, node);
+    }
+}
+
+fn run_reduce_task(sim: &mut Sim, d: &SharedDriver, r: usize, node: NodeId) {
+    let startup = sim.cost.task_startup_s;
+    let start_s = sim.now().secs();
+    {
+        d.borrow_mut().counters.add(keys::REDUCE_TASKS, 1.0);
+    }
+    let d2 = d.clone();
+    sim.after(startup, move |sim| {
+        // Shuffle: pull partition r from every map.
+        let (transfers, env) = {
+            let mut dd = d2.borrow_mut();
+            let mut t: Vec<(usize, NodeId, Vec<Kv>)> = Vec::new();
+            for m in 0..dd.n_maps {
+                if dd.map_outputs[m].len() > r {
+                    let kvs = std::mem::take(&mut dd.map_outputs[m][r]);
+                    if !kvs.is_empty() {
+                        t.push((m, dd.map_nodes[m], kvs));
+                    }
+                }
+            }
+            (t, dd.env.clone())
+        };
+        let shuffle_start = sim.now().secs();
+        let shuffle_bytes: usize = transfers
+            .iter()
+            .flat_map(|(_, _, kvs)| kvs.iter())
+            .map(|kv| kv.key.len() + kv.value.approx_bytes())
+            .sum();
+        {
+            d2.borrow_mut()
+                .counters
+                .add(keys::SHUFFLE_BYTES, shuffle_bytes as f64);
+        }
+        let collected: Rc<RefCell<Vec<Kv>>> = Rc::new(RefCell::new(Vec::new()));
+        let n_transfers = transfers.len();
+        let remaining = Rc::new(RefCell::new(n_transfers));
+        let d3 = d2.clone();
+        let env2 = env.clone();
+        let after_shuffle = Rc::new(RefCell::new(Some(Box::new(
+            move |sim: &mut Sim, kvs: Vec<Kv>| {
+                reduce_execute(sim, &d3, r, node, start_s, startup, shuffle_start, kvs, env2);
+            },
+        )
+            as Box<dyn FnOnce(&mut Sim, Vec<Kv>)>)));
+        if n_transfers == 0 {
+            let cb = after_shuffle.borrow_mut().take().unwrap();
+            cb(sim, Vec::new());
+            return;
+        }
+        let spill_to_pfs = d2.borrow().job.spill_to_pfs;
+        let job_name = d2.borrow().job.name.clone();
+        for (m_idx, src, kvs) in transfers {
+            let bytes: usize = kvs
+                .iter()
+                .map(|kv| kv.key.len() + kv.value.approx_bytes())
+                .sum();
+            let collected = collected.clone();
+            let remaining = remaining.clone();
+            let after_shuffle = after_shuffle.clone();
+            let arrive = move |sim: &mut Sim| {
+                collected.borrow_mut().extend(kvs);
+                let mut rem = remaining.borrow_mut();
+                *rem -= 1;
+                if *rem == 0 {
+                    drop(rem);
+                    let cb = after_shuffle.borrow_mut().take().unwrap();
+                    let kvs = std::mem::take(&mut *collected.borrow_mut());
+                    cb(sim, kvs);
+                }
+            };
+            if spill_to_pfs {
+                // Fetch the partition back from the PFS spill file. The
+                // exact byte range is immaterial to the timing model; the
+                // volume is.
+                let spill_path = format!("_spill/{job_name}/m{m_idx:05}");
+                let have = env.pfs.borrow().len_of(&spill_path).unwrap_or(0);
+                let len = bytes.min(have);
+                pfs::read_at(sim, &env.topo, &env.pfs, node, &spill_path, 0, len, move |sim, _| {
+                    arrive(sim)
+                })
+                .expect("spill file present");
+            } else {
+                let flow_bytes = sim.cost.lbytes(bytes);
+                let path = env.topo.path_net(src, node);
+                sim.start_flow(path, flow_bytes, move |sim| arrive(sim));
+            }
+        }
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn reduce_execute(
+    sim: &mut Sim,
+    d: &SharedDriver,
+    r: usize,
+    node: NodeId,
+    start_s: f64,
+    startup: f64,
+    shuffle_start: f64,
+    kvs: Vec<Kv>,
+    env: MrEnv,
+) {
+
+    let shuffle_s = sim.now().secs() - shuffle_start;
+    let in_bytes: usize = kvs
+        .iter()
+        .map(|kv| kv.key.len() + kv.value.approx_bytes())
+        .sum();
+    // Sort/merge (real grouping via BTreeMap).
+    let sort_s = sim.cost.lbytes(in_bytes) * sim.cost.sort_per_byte;
+    let mut groups: BTreeMap<String, Vec<Payload>> = BTreeMap::new();
+    for kv in kvs {
+        groups.entry(kv.key).or_default().push(kv.value);
+    }
+    let reduce_fn = d.borrow().job.reduce_fn.clone().expect("reduce fn");
+    let mut ctx = TaskCtx::new(sim.cost.clone());
+    for (key, values) in groups {
+        if let Err(e) = (reduce_fn)(&key, values, &mut ctx) {
+            fail_job(sim, d, e);
+            return;
+        }
+    }
+    let compute = ctx.total_charge() + sort_s;
+    let mut phases = vec![
+        ("startup", startup),
+        ("shuffle", shuffle_s),
+        ("sort", sort_s),
+    ];
+    for (p, s) in &ctx.charges {
+        phases.push((p, *s));
+    }
+    let records = ctx.records;
+    let emitted = ctx.emitted;
+    let d2 = d.clone();
+    sim.after(compute, move |sim| {
+        {
+            d2.borrow_mut()
+                .counters
+                .add(keys::RECORDS_EMITTED, records as f64);
+        }
+        let data = serialize_kvs(&emitted);
+        let (dir,) = {
+            let dd = d2.borrow();
+            (dd.job.output_dir.clone(),)
+        };
+        let finish = {
+            let d3 = d2.clone();
+            move |sim: &mut Sim, mut phases: Vec<(&'static str, f64)>, write_start: f64| {
+                phases.push(("write", sim.now().secs() - write_start));
+                {
+                    let mut dd = d3.borrow_mut();
+                    dd.reports.push(TaskReport {
+                        kind: TaskKind::Reduce,
+                        index: r,
+                        node,
+                        start_s,
+                        end_s: sim.now().secs(),
+                        phases,
+                    });
+                    dd.reduces_done += 1;
+                }
+                let all = {
+                    let dd = d3.borrow();
+                    dd.reduces_done == dd.job.n_reducers
+                };
+                if all {
+                    complete(sim, &d3);
+                }
+            }
+        };
+        let write_start = sim.now().secs();
+        if data.is_empty() {
+            finish(sim, phases, write_start);
+            return;
+        }
+        let len = data.len() as f64;
+        {
+            d2.borrow_mut().counters.add(keys::HDFS_WRITE_BYTES, len);
+        }
+        if d2.borrow().job.output_to_pfs {
+            pfs::write_new(
+                sim,
+                &env.topo,
+                &env.pfs,
+                node,
+                format!("{dir}/part-r-{r:05}"),
+                data,
+                move |sim| finish(sim, phases, write_start),
+            );
+        } else {
+            hdfs::write_file(
+                sim,
+                &env.topo,
+                &env.hdfs,
+                node,
+                format!("{dir}/part-r-{r:05}"),
+                data,
+                move |sim| finish(sim, phases, write_start),
+            )
+            .expect("reduce output path free");
+        }
+    });
+}
+
+fn serialize_kvs(kvs: &[Kv]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for kv in kvs {
+        out.extend_from_slice(kv.key.as_bytes());
+        out.push(b'\t');
+        match &kv.value {
+            Payload::Bytes(b) => out.extend_from_slice(b),
+            Payload::Frame(f) => {
+                // Frames persist as CSV (what rhdfs writes back).
+                let mut text = String::new();
+                for (i, n) in f.names().iter().enumerate() {
+                    if i > 0 {
+                        text.push(',');
+                    }
+                    text.push_str(n);
+                }
+                text.push('\n');
+                for row in 0..f.n_rows() {
+                    for c in 0..f.n_cols() {
+                        if c > 0 {
+                            text.push(',');
+                        }
+                        text.push_str(&f.column_at(c).value(row).to_string());
+                    }
+                    text.push('\n');
+                }
+                out.extend_from_slice(text.as_bytes());
+            }
+        }
+        out.push(b'\n');
+    }
+    out
+}
+
+fn fail_job(sim: &mut Sim, d: &SharedDriver, e: MrError) {
+    let cb = {
+        let mut dd = d.borrow_mut();
+        if dd.failed.is_none() {
+            dd.failed = Some(e.clone());
+        }
+        dd.done_cb.take()
+    };
+    if let Some(cb) = cb {
+        cb(sim, Err(e));
+    }
+}
+
+fn complete(sim: &mut Sim, d: &SharedDriver) {
+    let (result, cb) = {
+        let mut dd = d.borrow_mut();
+        let mut tasks = std::mem::take(&mut dd.reports);
+        tasks.sort_by_key(|t| (t.kind == TaskKind::Reduce, t.index));
+        let result = JobResult {
+            name: dd.job.name.clone(),
+            start_s: dd.start_s,
+            end_s: sim.now().secs(),
+            tasks,
+            counters: dd.counters.clone(),
+        };
+        (result, dd.done_cb.take())
+    };
+    if let Some(cb) = cb {
+        cb(sim, Ok(result));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{hdfs_file_splits, InMemoryFetcher, InputSplit};
+    use pfs::PfsConfig;
+    use simnet::{ClusterSpec, CostModel};
+
+    fn small_cluster(nodes: usize, slots: usize) -> Cluster {
+        let spec = ClusterSpec {
+            compute_nodes: nodes,
+            storage_nodes: 1,
+            osts: 2,
+            slots_per_node: slots,
+            ..ClusterSpec::default()
+        };
+        let pfs_cfg = PfsConfig {
+            n_osts: 2,
+            ..PfsConfig::default()
+        };
+        Cluster::new(spec, pfs_cfg, 1 << 16, 1, CostModel::default())
+    }
+
+    fn mem_splits(n: usize, bytes: usize) -> Vec<InputSplit> {
+        (0..n)
+            .map(|i| InputSplit {
+                length: bytes as u64,
+                locations: vec![],
+                fetcher: Rc::new(InMemoryFetcher {
+                    data: vec![i as u8; bytes],
+                }),
+            })
+            .collect()
+    }
+
+    fn word_count_job(splits: Vec<InputSplit>, reducers: usize) -> Job {
+        Job {
+            name: "wordcount".into(),
+            spill_to_pfs: false,
+            output_to_pfs: false,
+            splits,
+            map_fn: Rc::new(|input, ctx| {
+                let TaskInput::Bytes(b) = input else {
+                    return Err(MrError("expected bytes".into()));
+                };
+                // Count byte values (stand-in for words).
+                let mut counts: BTreeMap<u8, usize> = BTreeMap::new();
+                for &x in &b {
+                    *counts.entry(x).or_default() += 1;
+                }
+                ctx.charge("scan", ctx.cost().scan_per_byte * b.len() as f64);
+                for (k, v) in counts {
+                    ctx.emit(format!("w{k}"), Payload::Bytes(v.to_string().into_bytes()));
+                }
+                Ok(())
+            }),
+            reduce_fn: Some(Rc::new(|key, values, ctx| {
+                let total: usize = values
+                    .iter()
+                    .map(|v| match v {
+                        Payload::Bytes(b) => String::from_utf8_lossy(b).parse::<usize>().unwrap(),
+                        _ => 0,
+                    })
+                    .sum();
+                ctx.emit(key, Payload::Bytes(total.to_string().into_bytes()));
+                Ok(())
+            })),
+            n_reducers: reducers,
+            output_dir: "out".into(),
+        }
+    }
+
+    #[test]
+    fn map_reduce_end_to_end() {
+        let mut c = small_cluster(2, 2);
+        let job = word_count_job(mem_splits(4, 100), 2);
+        let r = run_job(&mut c, job).unwrap();
+        assert_eq!(r.counters.get(keys::MAP_TASKS), 4.0);
+        assert_eq!(r.counters.get(keys::REDUCE_TASKS), 2.0);
+        assert!(r.elapsed() > 0.0);
+        // Each split is 100 identical bytes → each map emits one record.
+        assert_eq!(r.counters.get(keys::RECORDS_EMITTED), 8.0);
+        // Output files exist on HDFS.
+        let h = c.hdfs.borrow();
+        let files = h.namenode.list_files_recursive("out").unwrap();
+        assert!(!files.is_empty());
+        let total: u64 = files.iter().map(|f| f.len).sum();
+        assert!(total > 0);
+        // 4 maps + 2 reduces reported, maps first.
+        assert_eq!(r.tasks.len(), 6);
+        assert_eq!(r.tasks[0].kind, TaskKind::Map);
+        assert_eq!(r.tasks[5].kind, TaskKind::Reduce);
+    }
+
+    #[test]
+    fn reduce_output_values_are_correct() {
+        // All splits carry byte value 7 → one key, count = total bytes.
+        let mut c = small_cluster(2, 2);
+        let splits: Vec<InputSplit> = (0..3)
+            .map(|_| InputSplit {
+                length: 50,
+                locations: vec![],
+                fetcher: Rc::new(InMemoryFetcher { data: vec![7; 50] }),
+            })
+            .collect();
+        let job = word_count_job(splits, 1);
+        run_job(&mut c, job).unwrap();
+        let h = c.hdfs.borrow();
+        let files = h.namenode.list_files_recursive("out").unwrap();
+        assert_eq!(files.len(), 1);
+        // Read back through datanodes (single block).
+        let blocks = h.namenode.blocks(&files[0].path).unwrap();
+        let data = h
+            .datanodes
+            .get(blocks[0].locations()[0], blocks[0].id)
+            .unwrap();
+        let text = String::from_utf8(data.as_ref().clone()).unwrap();
+        assert_eq!(text.trim(), "w7\t150");
+    }
+
+    #[test]
+    fn map_only_job_writes_part_m_files() {
+        let mut c = small_cluster(2, 2);
+        let mut job = word_count_job(mem_splits(3, 10), 1);
+        job.reduce_fn = None;
+        let r = run_job(&mut c, job).unwrap();
+        assert_eq!(r.counters.get(keys::REDUCE_TASKS), 0.0);
+        let h = c.hdfs.borrow();
+        let files = h.namenode.list_files_recursive("out").unwrap();
+        assert_eq!(files.len(), 3);
+        assert!(files[0].path.contains("part-m-"));
+    }
+
+    #[test]
+    fn slots_limit_parallelism() {
+        // 8 equal tasks, 1 node: with 1 slot the job takes ~8x the span of
+        // a single task; with 8 slots roughly 1x (plus contention).
+        let elapsed = |slots: usize| {
+            let mut c = small_cluster(1, slots);
+            let job = word_count_job(mem_splits(8, 1000), 1);
+            run_job(&mut c, job).unwrap().elapsed()
+        };
+        let serial = elapsed(1);
+        let parallel = elapsed(8);
+        assert!(
+            serial > 4.0 * parallel,
+            "slots not limiting: serial={serial}, parallel={parallel}"
+        );
+    }
+
+    #[test]
+    fn locality_preferred_when_available() {
+        let mut c = small_cluster(2, 1);
+        // Stage a real HDFS file: 2 blocks land on different nodes.
+        hdfs::write_file(
+            &mut c.sim,
+            &c.topo,
+            &c.hdfs,
+            NodeId(0),
+            "in",
+            vec![1u8; (1 << 16) + 100],
+            |_| {},
+        )
+        .unwrap();
+        c.run();
+        let env = c.env();
+        let splits = hdfs_file_splits(&env, "in");
+        assert_eq!(splits.len(), 2);
+        let job = word_count_job(splits, 1);
+        let r = run_job(&mut c, job).unwrap();
+        // Both blocks were written from node 0 → both local there; at least
+        // one map must be data-local.
+        assert!(r.counters.get(keys::LOCAL_MAPS) >= 1.0);
+        for t in r.tasks.iter().filter(|t| t.kind == TaskKind::Map) {
+            assert!(t.phase("read") > 0.0, "read phase recorded");
+            assert!(t.phase("startup") > 0.0);
+        }
+    }
+
+    #[test]
+    fn failing_map_fails_job() {
+        let mut c = small_cluster(1, 1);
+        let job = Job {
+            name: "boom".into(),
+            spill_to_pfs: false,
+            output_to_pfs: false,
+            splits: mem_splits(2, 10),
+            map_fn: Rc::new(|_, _| Err(MrError("kaboom".into()))),
+            reduce_fn: None,
+            n_reducers: 1,
+            output_dir: "out".into(),
+        };
+        let r = run_job(&mut c, job);
+        assert_eq!(r.unwrap_err(), MrError("kaboom".into()));
+    }
+
+    #[test]
+    fn empty_job_completes() {
+        let mut c = small_cluster(1, 1);
+        let job = word_count_job(Vec::new(), 1);
+        let r = run_job(&mut c, job).unwrap();
+        assert_eq!(r.counters.get(keys::MAP_TASKS), 0.0);
+        // Reduce still runs (Hadoop would too) and writes nothing.
+        assert_eq!(r.counters.get(keys::REDUCE_TASKS), 1.0);
+    }
+
+    #[test]
+    fn non_local_tasks_spread_across_nodes() {
+        // Location-free splits must not pile onto node 0: with 4 nodes and
+        // 4 equal tasks, every node runs exactly one.
+        let mut c = small_cluster(4, 8);
+        let mut nodes_used = std::collections::HashSet::new();
+        let job = word_count_job(mem_splits(4, 100), 1);
+        let r = run_job(&mut c, job).unwrap();
+        for t in r.tasks.iter().filter(|t| t.kind == TaskKind::Map) {
+            nodes_used.insert(t.node);
+        }
+        assert_eq!(nodes_used.len(), 4, "tasks not spread: {nodes_used:?}");
+    }
+
+    #[test]
+    fn deterministic_execution() {
+        let run = || {
+            let mut c = small_cluster(2, 2);
+            let job = word_count_job(mem_splits(6, 500), 2);
+            let r = run_job(&mut c, job).unwrap();
+            (r.elapsed(), r.counters.get(keys::SHUFFLE_BYTES))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn charges_appear_in_task_phases() {
+        let mut c = small_cluster(1, 1);
+        let job = Job {
+            name: "charge".into(),
+            spill_to_pfs: false,
+            output_to_pfs: false,
+            splits: mem_splits(1, 10),
+            map_fn: Rc::new(|_, ctx| {
+                ctx.charge("plot", 2.0);
+                ctx.charge("plot", 1.0);
+                ctx.charge("convert", 0.5);
+                Ok(())
+            }),
+            reduce_fn: None,
+            n_reducers: 1,
+            output_dir: "out".into(),
+        };
+        let r = run_job(&mut c, job).unwrap();
+        let t = &r.tasks[0];
+        assert!((t.phase("plot") - 3.0).abs() < 1e-9);
+        assert!((t.phase("convert") - 0.5).abs() < 1e-9);
+        // Wall time covers startup + compute.
+        assert!(t.duration() >= 3.5);
+        assert!((r.mean_phase(TaskKind::Map, "plot") - 3.0).abs() < 1e-9);
+    }
+}

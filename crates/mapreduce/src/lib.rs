@@ -1,0 +1,36 @@
+//! # mapreduce — a Hadoop-like MapReduce engine on the simulated cluster
+//!
+//! Reproduces the execution substrate SciDP plugs into: jobs are split into
+//! map tasks by an input format, scheduled onto per-node task slots with
+//! **data-locality preference**, executed (the map/reduce closures really
+//! run on real data), shuffled, reduced and written back to HDFS — while
+//! every I/O goes through [`simnet`] flows and every compute phase is
+//! charged through the [`simnet::CostModel`].
+//!
+//! SciDP's two Hadoop modifications map onto two extension points here:
+//!
+//! * `FileInputFormat.addInputPath` → any code can construct
+//!   [`input::InputSplit`]s with a custom [`input::SplitFetcher`] — that is
+//!   what `scidp`'s File Explorer / Data Mapper do;
+//! * `MapTask`'s record reader → the fetcher runs *inside the task*,
+//!   so SciDP's PFS Reader naturally overlaps its PFS reads with other
+//!   tasks' compute, exactly the paper's overlap argument (§III-A.3).
+//!
+//! Per-task phase timings (startup / read / convert / plot / ... / spill)
+//! are recorded in [`job::TaskReport`]s — Figure 7 is generated from them.
+
+pub mod cluster;
+pub mod counters;
+pub mod input;
+pub mod job;
+
+pub use cluster::{Cluster, MrEnv};
+pub use counters::{keys as counter_keys, Counters};
+pub use input::{
+    hdfs_file_splits, FetchResult, FlatPfsFetcher, HdfsBlockFetcher, InMemoryFetcher, InputSplit,
+    SplitFetcher, TaskInput,
+};
+pub use job::{
+    run_job, submit_job, submit_job_env, Job, JobResult, MapFn, MrError, Payload, ReduceFn,
+    TaskCtx, TaskKind, TaskReport,
+};

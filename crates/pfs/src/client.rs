@@ -1,0 +1,368 @@
+//! Timed PFS client operations.
+//!
+//! A read costs one MDS RPC, then one seek + one flow per OST segment; all
+//! segment flows run concurrently (that is where PFS aggregate bandwidth
+//! comes from) and contend with every other active transfer in the
+//! simulation. Completion hands the caller the *real* bytes.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use simnet::{NodeId, Sim, Topology};
+
+use crate::fs::SharedPfs;
+
+/// Errors surfaced synchronously when issuing a PFS operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PfsError {
+    NotFound(String),
+    OutOfRange {
+        path: String,
+        offset: usize,
+        len: usize,
+        file_len: usize,
+    },
+}
+
+impl fmt::Display for PfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PfsError::NotFound(p) => write!(f, "PFS file not found: {p}"),
+            PfsError::OutOfRange {
+                path,
+                offset,
+                len,
+                file_len,
+            } => write!(
+                f,
+                "read [{offset}, {offset}+{len}) out of range for {path} (len {file_len})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PfsError {}
+
+/// Read `[offset, offset+len)` of `path` into the memory of `node`.
+///
+/// `done` receives the bytes at the virtual time the last segment lands.
+pub fn read_at(
+    sim: &mut Sim,
+    topo: &Topology,
+    pfs: &SharedPfs,
+    node: NodeId,
+    path: &str,
+    offset: usize,
+    len: usize,
+    done: impl FnOnce(&mut Sim, Vec<u8>) + 'static,
+) -> Result<(), PfsError> {
+    let (segments, payload) = {
+        let p = pfs.borrow();
+        let file = p
+            .file(path)
+            .ok_or_else(|| PfsError::NotFound(path.to_string()))?;
+        if offset + len > file.len() {
+            return Err(PfsError::OutOfRange {
+                path: path.to_string(),
+                offset,
+                len,
+                file_len: file.len(),
+            });
+        }
+        let segments = file.layout.segments(offset, len, p.config.n_osts);
+        let payload = file.data[offset..offset + len].to_vec();
+        (segments, payload)
+    };
+    let rpc = sim.cost.rpc_s;
+    let seek = sim.cost.seek_s;
+    if segments.is_empty() {
+        sim.after(rpc, move |sim| done(sim, payload));
+        return Ok(());
+    }
+    let join = Rc::new(RefCell::new((segments.len(), Some(done), payload)));
+    for seg in segments {
+        let flow_path = topo.path_ost_read(seg.ost, node);
+        let bytes = sim.cost.lbytes(seg.len);
+        let join = join.clone();
+        // The head positioning occupies the disk itself (it serializes with
+        // other requests on that OST), modelled as a disk-only flow of the
+        // bandwidth-equivalent byte count before the data flow starts. One
+        // seek per contiguous OST segment — readahead streams the stripes
+        // of a segment back to back; *interleaving* across clients is
+        // modelled separately by the disk thrash factor.
+        let disk = flow_path[0];
+        let seek_bytes = seek * sim.net.resource(disk).capacity;
+        sim.after(rpc, move |sim| {
+            let seek_flow = if seek_bytes.is_finite() { seek_bytes } else { 0.0 };
+            sim.start_flow(vec![disk], seek_flow, move |sim| {
+                sim.start_flow(flow_path, bytes, move |sim| {
+                    let mut j = join.borrow_mut();
+                    j.0 -= 1;
+                    if j.0 == 0 {
+                        let cb = j.1.take().expect("completion callback present");
+                        let data = std::mem::take(&mut j.2);
+                        drop(j);
+                        cb(sim, data);
+                    }
+                });
+            });
+        });
+    }
+    Ok(())
+}
+
+/// Read an entire file into the memory of `node`.
+pub fn read_file(
+    sim: &mut Sim,
+    topo: &Topology,
+    pfs: &SharedPfs,
+    node: NodeId,
+    path: &str,
+    done: impl FnOnce(&mut Sim, Vec<u8>) + 'static,
+) -> Result<(), PfsError> {
+    let len = pfs
+        .borrow()
+        .len_of(path)
+        .ok_or_else(|| PfsError::NotFound(path.to_string()))?;
+    read_at(sim, topo, pfs, node, path, 0, len, done)
+}
+
+/// Create a new file by writing `data` from `node` (used by the Fig. 2
+/// Lustre-connector workloads, where Hadoop output/spill lands on the PFS).
+/// The file becomes visible in the namespace when the last stripe lands.
+pub fn write_new(
+    sim: &mut Sim,
+    topo: &Topology,
+    pfs: &SharedPfs,
+    node: NodeId,
+    path: impl Into<String>,
+    data: Vec<u8>,
+    done: impl FnOnce(&mut Sim) + 'static,
+) {
+    let path = path.into();
+    let (layout, n_osts) = {
+        let p = pfs.borrow();
+        let count = p.config.default_stripe_count.min(p.config.n_osts);
+        (
+            crate::layout::StripeLayout::new(p.config.stripe_size, count, 0),
+            p.config.n_osts,
+        )
+    };
+    let segments = layout.segments(0, data.len(), n_osts);
+    let rpc = sim.cost.rpc_s;
+    let seek = sim.cost.seek_s;
+    let pfs2 = pfs.clone();
+    let commit = move |sim: &mut Sim, data: Vec<u8>| {
+        pfs2.borrow_mut().create_with_layout(path, data, layout);
+        done(sim);
+    };
+    if segments.is_empty() {
+        sim.after(rpc, move |sim| commit(sim, data));
+        return;
+    }
+    let join = Rc::new(RefCell::new((segments.len(), Some(commit), data)));
+    for seg in segments {
+        let flow_path = topo.path_ost_write(node, seg.ost);
+        let bytes = sim.cost.lbytes(seg.len);
+        let join = join.clone();
+        let disk = *flow_path.last().expect("write path has a disk");
+        // Writes are buffered and laid out by the OSS (elevator/coalescing):
+        // one positioning cost per OST segment, unlike interleaved reads.
+        let seek_bytes = seek * sim.net.resource(disk).capacity;
+        sim.after(rpc, move |sim| {
+            let seek_flow = if seek_bytes.is_finite() { seek_bytes } else { 0.0 };
+            sim.start_flow(vec![disk], seek_flow, move |sim| {
+            sim.start_flow(flow_path, bytes, move |sim| {
+                let mut j = join.borrow_mut();
+                j.0 -= 1;
+                if j.0 == 0 {
+                    let cb = j.1.take().expect("commit callback present");
+                    let data = std::mem::take(&mut j.2);
+                    drop(j);
+                    cb(sim, data);
+                }
+            });
+            });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::{Pfs, PfsConfig};
+    use simnet::{ClusterSpec, FlowNet};
+
+    fn setup(spec: ClusterSpec, pfs_cfg: PfsConfig) -> (Sim, Topology, SharedPfs) {
+        let mut sim = Sim::new();
+        let mut net = std::mem::replace(&mut sim.net, FlowNet::new());
+        let topo = Topology::build(&mut net, spec);
+        sim.net = net;
+        let pfs = Pfs::shared(pfs_cfg);
+        (sim, topo, pfs)
+    }
+
+    fn one_ost_setup() -> (Sim, Topology, SharedPfs) {
+        setup(
+            ClusterSpec {
+                compute_nodes: 2,
+                storage_nodes: 1,
+                osts: 1,
+                ost_bw: 100.0,
+                nic_bw: 1e9,
+                core_bw: 1e9,
+                ..ClusterSpec::default()
+            },
+            PfsConfig {
+                stripe_size: 1 << 20,
+                default_stripe_count: 1,
+                n_osts: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn read_returns_exact_bytes_with_exact_timing() {
+        let (mut sim, topo, pfs) = one_ost_setup();
+        pfs.borrow_mut().create("f", (0..200u8).collect());
+        let out: Rc<RefCell<Option<(f64, Vec<u8>)>>> = Rc::new(RefCell::new(None));
+        let o = out.clone();
+        read_at(&mut sim, &topo, &pfs, NodeId(0), "f", 50, 100, move |sim, data| {
+            *o.borrow_mut() = Some((sim.now().secs(), data));
+        })
+        .unwrap();
+        sim.run();
+        let (t, data) = out.borrow_mut().take().unwrap();
+        assert_eq!(data, (50..150u8).collect::<Vec<_>>());
+        // rpc + seek + 100 bytes / 100 B/s
+        let expect = sim.cost.rpc_s + sim.cost.seek_s + 1.0;
+        assert!((t - expect).abs() < 1e-9, "t={t}, expect {expect}");
+    }
+
+    #[test]
+    fn missing_file_and_bad_range_error() {
+        let (mut sim, topo, pfs) = one_ost_setup();
+        pfs.borrow_mut().create("f", vec![0; 10]);
+        assert!(matches!(
+            read_at(&mut sim, &topo, &pfs, NodeId(0), "g", 0, 1, |_, _| {}),
+            Err(PfsError::NotFound(_))
+        ));
+        assert!(matches!(
+            read_at(&mut sim, &topo, &pfs, NodeId(0), "f", 5, 10, |_, _| {}),
+            Err(PfsError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn striped_read_uses_parallel_osts() {
+        // 4 OSTs at 100 B/s each: a 400-byte file striped over 4 should read
+        // ~4x faster than over 1.
+        let mk = |count: usize| {
+            let (mut sim, topo, pfs) = setup(
+                ClusterSpec {
+                    compute_nodes: 1,
+                    storage_nodes: 1,
+                    osts: 4,
+                    ost_bw: 100.0,
+                    nic_bw: 1e9,
+                    core_bw: 1e9,
+                    ..ClusterSpec::default()
+                },
+                PfsConfig {
+                    stripe_size: 100,
+                    default_stripe_count: count,
+                    n_osts: 4,
+                },
+            );
+            pfs.borrow_mut().create("f", vec![7u8; 400]);
+            let t = Rc::new(RefCell::new(0.0));
+            let t2 = t.clone();
+            read_file(&mut sim, &topo, &pfs, NodeId(0), "f", move |sim, d| {
+                assert_eq!(d.len(), 400);
+                *t2.borrow_mut() = sim.now().secs();
+            })
+            .unwrap();
+            sim.run();
+            let v = *t.borrow();
+            v
+        };
+        let wide = mk(4);
+        let narrow = mk(1);
+        assert!(
+            narrow > 3.0 * wide,
+            "striping speedup missing: narrow={narrow}, wide={wide}"
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_contend_on_ost() {
+        let (mut sim, topo, pfs) = one_ost_setup();
+        pfs.borrow_mut().create("f", vec![1u8; 100]);
+        let times = Rc::new(RefCell::new(Vec::new()));
+        for n in 0..2 {
+            let times = times.clone();
+            read_file(&mut sim, &topo, &pfs, NodeId(n), "f", move |sim, _| {
+                times.borrow_mut().push(sim.now().secs());
+            })
+            .unwrap();
+        }
+        sim.run();
+        // Two 100-byte reads sharing a 100 B/s disk → ~2s each, not ~1s.
+        for &t in times.borrow().iter() {
+            assert!(t > 1.9, "no contention observed: {t}");
+        }
+    }
+
+    #[test]
+    fn zero_length_read_completes() {
+        let (mut sim, topo, pfs) = one_ost_setup();
+        pfs.borrow_mut().create("f", vec![]);
+        let hit = Rc::new(RefCell::new(false));
+        let h = hit.clone();
+        read_file(&mut sim, &topo, &pfs, NodeId(0), "f", move |_, d| {
+            assert!(d.is_empty());
+            *h.borrow_mut() = true;
+        })
+        .unwrap();
+        sim.run();
+        assert!(*hit.borrow());
+    }
+
+    #[test]
+    fn write_commits_file_at_completion() {
+        let (mut sim, topo, pfs) = one_ost_setup();
+        let p2 = pfs.clone();
+        write_new(
+            &mut sim,
+            &topo,
+            &pfs,
+            NodeId(1),
+            "w",
+            vec![9u8; 300],
+            move |sim| {
+                assert!(p2.borrow().exists("w"));
+                assert!(sim.now().secs() > 2.9, "write should take ~3s");
+            },
+        );
+        assert!(!pfs.borrow().exists("w"), "not visible before completion");
+        sim.run();
+        assert_eq!(pfs.borrow().len_of("w"), Some(300));
+    }
+
+    #[test]
+    fn scale_multiplies_transfer_time() {
+        let (mut sim, topo, pfs) = one_ost_setup();
+        sim.cost.scale = 10.0;
+        pfs.borrow_mut().create("f", vec![0u8; 100]);
+        let t = Rc::new(RefCell::new(0.0));
+        let t2 = t.clone();
+        read_file(&mut sim, &topo, &pfs, NodeId(0), "f", move |sim, _| {
+            *t2.borrow_mut() = sim.now().secs();
+        })
+        .unwrap();
+        sim.run();
+        // 100 real bytes → 1000 logical / 100 B/s = 10s.
+        assert!((*t.borrow() - (sim.cost.rpc_s + sim.cost.seek_s + 10.0)).abs() < 1e-9);
+    }
+}

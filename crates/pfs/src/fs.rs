@@ -1,0 +1,221 @@
+//! The PFS namespace (MDS) and in-memory object store.
+//!
+//! Files carry real bytes plus a [`StripeLayout`]. Creation through
+//! [`Pfs::create`] is *untimed* — datasets are produced by the simulation
+//! phase, which the paper does not benchmark; timed writes for the Fig. 2
+//! connector workloads go through [`crate::client::write_new`].
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use crate::layout::StripeLayout;
+
+/// PFS-wide configuration.
+#[derive(Clone, Debug)]
+pub struct PfsConfig {
+    /// Stripe unit in (real) bytes.
+    pub stripe_size: usize,
+    /// Default stripe count for new files (Lustre `lfs setstripe -c`).
+    pub default_stripe_count: usize,
+    /// Number of OSTs in the pool (must match the simnet topology).
+    pub n_osts: usize,
+}
+
+impl Default for PfsConfig {
+    fn default() -> Self {
+        PfsConfig {
+            stripe_size: 64 << 10,
+            default_stripe_count: 24,
+            n_osts: 24,
+        }
+    }
+}
+
+/// One file: real bytes + placement.
+#[derive(Clone, Debug)]
+pub struct PfsFile {
+    pub path: String,
+    pub data: Arc<Vec<u8>>,
+    pub layout: StripeLayout,
+}
+
+impl PfsFile {
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// The parallel file system state: namespace + object store.
+///
+/// `Clone` is cheap-ish: file payloads are `Arc`-shared, so cloning a
+/// staged dataset into several fresh experiment worlds costs only the
+/// namespace map.
+#[derive(Clone, Debug)]
+pub struct Pfs {
+    pub config: PfsConfig,
+    files: BTreeMap<String, PfsFile>,
+    next_start_ost: usize,
+}
+
+/// Shared handle used inside simulator callbacks (single-threaded sim).
+pub type SharedPfs = Rc<RefCell<Pfs>>;
+
+impl Pfs {
+    pub fn new(config: PfsConfig) -> Pfs {
+        assert!(config.n_osts > 0, "PFS needs at least one OST");
+        assert!(
+            config.default_stripe_count > 0,
+            "stripe count must be positive"
+        );
+        Pfs {
+            config,
+            files: BTreeMap::new(),
+            next_start_ost: 0,
+        }
+    }
+
+    pub fn shared(config: PfsConfig) -> SharedPfs {
+        Rc::new(RefCell::new(Pfs::new(config)))
+    }
+
+    /// Create (or replace) a file with the default layout. Untimed — used
+    /// by data generators standing in for the MPI simulation phase.
+    pub fn create(&mut self, path: impl Into<String>, data: Vec<u8>) -> &PfsFile {
+        let count = self.config.default_stripe_count.min(self.config.n_osts);
+        let layout = StripeLayout::new(self.config.stripe_size, count, self.next_start_ost);
+        self.create_with_layout(path, data, layout)
+    }
+
+    /// Create with an explicit layout.
+    pub fn create_with_layout(
+        &mut self,
+        path: impl Into<String>,
+        data: Vec<u8>,
+        layout: StripeLayout,
+    ) -> &PfsFile {
+        let path = path.into();
+        // Round-robin the starting OST like Lustre's allocator.
+        self.next_start_ost = (self.next_start_ost + 1) % self.config.n_osts;
+        let file = PfsFile {
+            path: path.clone(),
+            data: Arc::new(data),
+            layout,
+        };
+        self.files.insert(path.clone(), file);
+        self.files.get(&path).unwrap()
+    }
+
+    /// Look up a file.
+    pub fn file(&self, path: &str) -> Option<&PfsFile> {
+        self.files.get(path)
+    }
+
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    pub fn len_of(&self, path: &str) -> Option<usize> {
+        self.files.get(path).map(|f| f.len())
+    }
+
+    pub fn delete(&mut self, path: &str) -> bool {
+        self.files.remove(path).is_some()
+    }
+
+    /// Paths under a directory prefix, sorted (the Path Reader's `ls`).
+    /// A prefix of `"out/"` matches `"out/a.snc"` but not `"output/x"`.
+    pub fn list(&self, dir: &str) -> Vec<String> {
+        let prefix = if dir.is_empty() || dir.ends_with('/') {
+            dir.to_string()
+        } else {
+            format!("{dir}/")
+        };
+        self.files
+            .range(prefix.clone()..)
+            .take_while(|(p, _)| p.starts_with(&prefix))
+            .map(|(p, _)| p.clone())
+            .collect()
+    }
+
+    /// Number of files.
+    pub fn n_files(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Total stored bytes (real).
+    pub fn total_bytes(&self) -> usize {
+        self.files.values().map(|f| f.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_lookup() {
+        let mut p = Pfs::new(PfsConfig::default());
+        p.create("out/a.snc", vec![1, 2, 3]);
+        assert!(p.exists("out/a.snc"));
+        assert_eq!(p.len_of("out/a.snc"), Some(3));
+        assert_eq!(p.file("out/a.snc").unwrap().data.as_ref(), &vec![1, 2, 3]);
+        assert!(!p.exists("out/b.snc"));
+        assert_eq!(p.n_files(), 1);
+        assert_eq!(p.total_bytes(), 3);
+    }
+
+    #[test]
+    fn listing_respects_directory_boundaries() {
+        let mut p = Pfs::new(PfsConfig::default());
+        p.create("out/a", vec![0]);
+        p.create("out/b", vec![0]);
+        p.create("output/c", vec![0]);
+        p.create("other", vec![0]);
+        assert_eq!(p.list("out"), vec!["out/a".to_string(), "out/b".into()]);
+        assert_eq!(p.list("out/"), vec!["out/a".to_string(), "out/b".into()]);
+        assert_eq!(p.list("output"), vec!["output/c".to_string()]);
+        assert_eq!(p.list("").len(), 4);
+    }
+
+    #[test]
+    fn start_ost_rotates() {
+        let mut p = Pfs::new(PfsConfig {
+            n_osts: 4,
+            default_stripe_count: 2,
+            stripe_size: 1024,
+        });
+        p.create("a", vec![0; 10]);
+        p.create("b", vec![0; 10]);
+        let a = p.file("a").unwrap().layout.start_ost;
+        let b = p.file("b").unwrap().layout.start_ost;
+        assert_ne!(a, b, "allocator should rotate start OST");
+    }
+
+    #[test]
+    fn replace_overwrites() {
+        let mut p = Pfs::new(PfsConfig::default());
+        p.create("a", vec![1]);
+        p.create("a", vec![2, 3]);
+        assert_eq!(p.len_of("a"), Some(2));
+        assert_eq!(p.n_files(), 1);
+        assert!(p.delete("a"));
+        assert!(!p.delete("a"));
+    }
+
+    #[test]
+    fn stripe_count_clamped_to_pool() {
+        let mut p = Pfs::new(PfsConfig {
+            n_osts: 3,
+            default_stripe_count: 24,
+            stripe_size: 64,
+        });
+        p.create("a", vec![0; 1000]);
+        assert_eq!(p.file("a").unwrap().layout.stripe_count, 3);
+    }
+}

@@ -1,0 +1,346 @@
+//! MPI-IO-style parallel reads: *independent* and *two-phase collective*.
+//!
+//! These are the HPC-side I/O modes the paper benchmarks in Figure 6
+//! ("NC Ind I/O", "NC Coll I/O", "MPI Coll I/O"). Independent I/O lets each
+//! rank issue its own (possibly small, poorly aligned) striped reads;
+//! collective I/O elects one aggregator per node, has aggregators read
+//! large contiguous spans, and redistributes data to ranks over the
+//! network — trading an extra network hop for far friendlier disk access.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simnet::{NodeId, Sim, Topology};
+
+use crate::client::{read_at, PfsError};
+use crate::fs::SharedPfs;
+
+/// One rank's read request.
+#[derive(Clone, Debug)]
+pub struct RankRead {
+    pub node: NodeId,
+    pub offset: usize,
+    pub len: usize,
+}
+
+/// Outcome of a parallel read.
+#[derive(Clone, Debug)]
+pub struct MpiReport {
+    /// Virtual time the operation started.
+    pub start_s: f64,
+    /// Virtual time the last rank finished.
+    pub end_s: f64,
+    /// Total logical bytes delivered to ranks.
+    pub logical_bytes: f64,
+}
+
+impl MpiReport {
+    pub fn elapsed(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+
+    /// Aggregate bandwidth in (logical) bytes/second.
+    pub fn bandwidth(&self) -> f64 {
+        if self.elapsed() <= 0.0 {
+            0.0
+        } else {
+            self.logical_bytes / self.elapsed()
+        }
+    }
+}
+
+fn finish_report(
+    sim: &Sim,
+    start_s: f64,
+    logical_bytes: f64,
+) -> MpiReport {
+    MpiReport {
+        start_s,
+        end_s: sim.now().secs(),
+        logical_bytes,
+    }
+}
+
+/// Independent parallel read: every rank issues its own striped read
+/// concurrently. `done` fires when the slowest rank completes.
+pub fn independent_read(
+    sim: &mut Sim,
+    topo: &Topology,
+    pfs: &SharedPfs,
+    path: &str,
+    ranks: &[RankRead],
+    done: impl FnOnce(&mut Sim, MpiReport) + 'static,
+) -> Result<(), PfsError> {
+    let start_s = sim.now().secs();
+    let logical: f64 = ranks.iter().map(|r| sim.cost.lbytes(r.len)).sum();
+    if ranks.is_empty() {
+        sim.after(0.0, move |sim| {
+            let r = finish_report(sim, start_s, 0.0);
+            done(sim, r);
+        });
+        return Ok(());
+    }
+    let join = Rc::new(RefCell::new((ranks.len(), Some(done))));
+    for r in ranks {
+        let join = join.clone();
+        read_at(
+            sim,
+            topo,
+            pfs,
+            r.node,
+            path,
+            r.offset,
+            r.len,
+            move |sim, _| {
+                let mut j = join.borrow_mut();
+                j.0 -= 1;
+                if j.0 == 0 {
+                    let cb = j.1.take().expect("mpi done callback");
+                    drop(j);
+                    let rep = finish_report(sim, start_s, logical);
+                    cb(sim, rep);
+                }
+            },
+        )?;
+    }
+    Ok(())
+}
+
+/// Two-phase collective read.
+///
+/// Phase 1: one aggregator per distinct node reads an equal contiguous span
+/// of the union range. Phase 2: each rank pulls the parts of its request
+/// that landed on *other* aggregators over the network. `done` fires when
+/// redistribution completes.
+pub fn collective_read(
+    sim: &mut Sim,
+    topo: &Topology,
+    pfs: &SharedPfs,
+    path: &str,
+    ranks: &[RankRead],
+    done: impl FnOnce(&mut Sim, MpiReport) + 'static,
+) -> Result<(), PfsError> {
+    let start_s = sim.now().secs();
+    if ranks.is_empty() {
+        sim.after(0.0, move |sim| {
+            let r = finish_report(sim, start_s, 0.0);
+            done(sim, r);
+        });
+        return Ok(());
+    }
+    let logical: f64 = ranks.iter().map(|r| sim.cost.lbytes(r.len)).sum();
+    // Union range (collective patterns are contiguous in our workloads).
+    let lo = ranks.iter().map(|r| r.offset).min().unwrap();
+    let hi = ranks.iter().map(|r| r.offset + r.len).max().unwrap();
+    // Aggregators: distinct nodes, stable order.
+    let mut aggs: Vec<NodeId> = Vec::new();
+    for r in ranks {
+        if !aggs.contains(&r.node) {
+            aggs.push(r.node);
+        }
+    }
+    let span = (hi - lo).div_ceil(aggs.len());
+    // Aggregator spans: [lo + i*span, lo + (i+1)*span) clipped to hi.
+    let spans: Vec<(NodeId, usize, usize)> = aggs
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let s = lo + i * span;
+            let e = (s + span).min(hi);
+            (n, s, e.saturating_sub(s))
+        })
+        .filter(|&(_, _, l)| l > 0)
+        .collect();
+
+    // Phase 2 transfers: for each rank, overlap with every foreign span.
+    let mut transfers: Vec<(NodeId, NodeId, usize)> = Vec::new();
+    for r in ranks {
+        for &(agg, s, l) in &spans {
+            if agg == r.node {
+                continue;
+            }
+            let o_lo = r.offset.max(s);
+            let o_hi = (r.offset + r.len).min(s + l);
+            if o_lo < o_hi {
+                transfers.push((agg, r.node, o_hi - o_lo));
+            }
+        }
+    }
+
+    let ranks_n = ranks.len();
+    let topo2 = topo.clone();
+    let phase1 = Rc::new(RefCell::new((spans.len(), Some(done))));
+    for (node, s, l) in spans {
+        let phase1 = phase1.clone();
+        let transfers = transfers.clone();
+        let topo3 = topo2.clone();
+        read_at(sim, topo, pfs, node, path, s, l, move |sim, _| {
+            let mut p = phase1.borrow_mut();
+            p.0 -= 1;
+            if p.0 != 0 {
+                return;
+            }
+            let cb = p.1.take().expect("collective done callback");
+            drop(p);
+            // Phase 2: redistribute.
+            if transfers.is_empty() {
+                let rep = finish_report(sim, start_s, logical);
+                cb(sim, rep);
+                return;
+            }
+            let join = Rc::new(RefCell::new((transfers.len(), Some(cb))));
+            for (src, dst, len) in transfers {
+                let join = join.clone();
+                let bytes = sim.cost.lbytes(len);
+                let path = topo3.path_net(src, dst);
+                sim.start_flow(path, bytes, move |sim| {
+                    let mut j = join.borrow_mut();
+                    j.0 -= 1;
+                    if j.0 == 0 {
+                        let cb = j.1.take().expect("phase2 callback");
+                        drop(j);
+                        let rep = finish_report(sim, start_s, logical);
+                        cb(sim, rep);
+                    }
+                });
+            }
+            let _ = ranks_n;
+        })?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::{Pfs, PfsConfig};
+    use simnet::{ClusterSpec, FlowNet};
+
+    fn setup(osts: usize, nodes: usize) -> (Sim, Topology, SharedPfs) {
+        let mut sim = Sim::new();
+        let mut net = std::mem::replace(&mut sim.net, FlowNet::new());
+        let topo = Topology::build(
+            &mut net,
+            ClusterSpec {
+                compute_nodes: nodes,
+                storage_nodes: 1,
+                osts,
+                ost_bw: 100.0,
+                nic_bw: 1e6,
+                core_bw: 1e6,
+                ..ClusterSpec::default()
+            },
+        );
+        sim.net = net;
+        let pfs = Pfs::shared(PfsConfig {
+            stripe_size: 100,
+            default_stripe_count: osts,
+            n_osts: osts,
+        });
+        (sim, topo, pfs)
+    }
+
+    #[test]
+    fn independent_read_reports_bandwidth() {
+        let (mut sim, topo, pfs) = setup(4, 4);
+        pfs.borrow_mut().create("f", vec![0u8; 4000]);
+        let rep = Rc::new(RefCell::new(None));
+        let ranks: Vec<RankRead> = (0..4)
+            .map(|i| RankRead {
+                node: NodeId(i),
+                offset: i as usize * 1000,
+                len: 1000,
+            })
+            .collect();
+        let r2 = rep.clone();
+        independent_read(&mut sim, &topo, &pfs, "f", &ranks, move |_, r| {
+            *r2.borrow_mut() = Some(r);
+        })
+        .unwrap();
+        sim.run();
+        let r = rep.borrow_mut().take().unwrap();
+        assert_eq!(r.logical_bytes, 4000.0);
+        assert!(r.elapsed() > 0.0);
+        // 4 OSTs x 100 B/s = 400 B/s peak aggregate.
+        assert!(r.bandwidth() <= 400.0 + 1e-6, "bw {}", r.bandwidth());
+        assert!(r.bandwidth() > 200.0, "bw {}", r.bandwidth());
+    }
+
+    #[test]
+    fn collective_beats_independent_on_small_interleaved_reads() {
+        // Many tiny interleaved per-rank reads: independent I/O pays a seek
+        // per rank-segment; collective reads two big spans then
+        // redistributes over a fast network.
+        let run = |collective: bool| {
+            let (mut sim, topo, pfs) = setup(4, 2);
+            pfs.borrow_mut().create("f", vec![0u8; 4000]);
+            // 40 interleaved 100-byte reads alternating between 2 nodes.
+            let ranks: Vec<RankRead> = (0..40)
+                .map(|i| RankRead {
+                    node: NodeId((i % 2) as u32),
+                    offset: i as usize * 100,
+                    len: 100,
+                })
+                .collect();
+            let t = Rc::new(RefCell::new(0.0));
+            let t2 = t.clone();
+            let cb = move |_: &mut Sim, r: MpiReport| {
+                *t2.borrow_mut() = r.elapsed();
+            };
+            if collective {
+                collective_read(&mut sim, &topo, &pfs, "f", &ranks, cb).unwrap();
+            } else {
+                independent_read(&mut sim, &topo, &pfs, "f", &ranks, cb).unwrap();
+            }
+            sim.run();
+            let v = *t.borrow();
+            v
+        };
+        let coll = run(true);
+        let ind = run(false);
+        assert!(
+            coll < ind,
+            "collective ({coll}) should beat independent ({ind}) here"
+        );
+    }
+
+    #[test]
+    fn empty_rank_list_completes() {
+        let (mut sim, topo, pfs) = setup(2, 2);
+        pfs.borrow_mut().create("f", vec![0u8; 100]);
+        let hits = Rc::new(RefCell::new(0));
+        for collective in [false, true] {
+            let h = hits.clone();
+            let cb = move |_: &mut Sim, r: MpiReport| {
+                assert_eq!(r.logical_bytes, 0.0);
+                *h.borrow_mut() += 1;
+            };
+            if collective {
+                collective_read(&mut sim, &topo, &pfs, "f", &[], cb).unwrap();
+            } else {
+                independent_read(&mut sim, &topo, &pfs, "f", &[], cb).unwrap();
+            }
+        }
+        sim.run();
+        assert_eq!(*hits.borrow(), 2);
+    }
+
+    #[test]
+    fn collective_single_node_skips_redistribution() {
+        let (mut sim, topo, pfs) = setup(2, 1);
+        pfs.borrow_mut().create("f", vec![0u8; 1000]);
+        let rep = Rc::new(RefCell::new(None));
+        let ranks = vec![RankRead {
+            node: NodeId(0),
+            offset: 0,
+            len: 1000,
+        }];
+        let r2 = rep.clone();
+        collective_read(&mut sim, &topo, &pfs, "f", &ranks, move |_, r| {
+            *r2.borrow_mut() = Some(r);
+        })
+        .unwrap();
+        sim.run();
+        assert!(rep.borrow().is_some());
+    }
+}

@@ -1,0 +1,40 @@
+//! Error type for frame / plot / SQL operations.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameError {
+    /// Column not present in the frame.
+    NoSuchColumn(String),
+    /// Columns of a frame must share one length.
+    LengthMismatch { expected: usize, got: usize },
+    /// Operation applied to a column of the wrong type.
+    TypeMismatch { column: String, expected: &'static str },
+    /// Malformed text input to `read_table`.
+    Parse { line: usize, msg: String },
+    /// SQL syntax error.
+    Sql(String),
+    /// Invalid argument (shapes, empty input, ...).
+    Invalid(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            FrameError::LengthMismatch { expected, got } => {
+                write!(f, "column length {got}, frame has {expected} rows")
+            }
+            FrameError::TypeMismatch { column, expected } => {
+                write!(f, "column {column} is not {expected}")
+            }
+            FrameError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            FrameError::Sql(m) => write!(f, "SQL error: {m}"),
+            FrameError::Invalid(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+pub type Result<T> = std::result::Result<T, FrameError>;

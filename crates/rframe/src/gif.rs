@@ -1,0 +1,333 @@
+//! Animated GIF89a encoder — the paper's final artifact is an *animation*
+//! ("a series of images generated along a specific dimension", §II-A).
+//! This assembles plotted [`crate::Raster`] frames into a real, viewable
+//! animated GIF: palette quantisation + LZW compression, implemented here.
+
+use crate::error::{FrameError, Result};
+use crate::plot::Raster;
+
+/// A GIF animation under construction.
+pub struct GifAnimation {
+    width: u16,
+    height: u16,
+    /// Centiseconds between frames.
+    delay_cs: u16,
+    frames: Vec<Vec<u8>>, // palette-indexed pixels
+    palette: Vec<[u8; 3]>,
+}
+
+/// 6-7-6 levels RGB cube fits in 252 palette entries + transparent slot.
+const R_LEVELS: usize = 6;
+const G_LEVELS: usize = 7;
+const B_LEVELS: usize = 6;
+
+fn quantise(rgba: &[u8]) -> u8 {
+    if rgba[3] < 128 {
+        return 255; // transparent index
+    }
+    let r = (rgba[0] as usize * (R_LEVELS - 1) + 127) / 255;
+    let g = (rgba[1] as usize * (G_LEVELS - 1) + 127) / 255;
+    let b = (rgba[2] as usize * (B_LEVELS - 1) + 127) / 255;
+    ((r * G_LEVELS + g) * B_LEVELS + b) as u8
+}
+
+fn build_palette() -> Vec<[u8; 3]> {
+    let mut p = Vec::with_capacity(256);
+    for r in 0..R_LEVELS {
+        for g in 0..G_LEVELS {
+            for b in 0..B_LEVELS {
+                p.push([
+                    (r * 255 / (R_LEVELS - 1)) as u8,
+                    (g * 255 / (G_LEVELS - 1)) as u8,
+                    (b * 255 / (B_LEVELS - 1)) as u8,
+                ]);
+            }
+        }
+    }
+    while p.len() < 256 {
+        p.push([0, 0, 0]);
+    }
+    p
+}
+
+impl GifAnimation {
+    /// Start an animation of `width x height` frames at `fps` frames/sec.
+    pub fn new(width: u32, height: u32, fps: u32) -> Result<GifAnimation> {
+        if width == 0 || height == 0 || width > u16::MAX as u32 || height > u16::MAX as u32 {
+            return Err(FrameError::Invalid(format!(
+                "GIF dimensions {width}x{height} out of range"
+            )));
+        }
+        let delay_cs = (100 / fps.clamp(1, 100)) as u16;
+        Ok(GifAnimation {
+            width: width as u16,
+            height: height as u16,
+            delay_cs,
+            frames: Vec::new(),
+            palette: build_palette(),
+        })
+    }
+
+    /// Append a plotted frame (must match the animation dimensions).
+    pub fn add_frame(&mut self, raster: &Raster) -> Result<()> {
+        if raster.width as u16 != self.width || raster.height as u16 != self.height {
+            return Err(FrameError::Invalid(format!(
+                "frame {}x{} does not match animation {}x{}",
+                raster.width, raster.height, self.width, self.height
+            )));
+        }
+        let indexed: Vec<u8> = raster.pixels.chunks_exact(4).map(quantise).collect();
+        self.frames.push(indexed);
+        Ok(())
+    }
+
+    pub fn n_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Encode the animation (loops forever, as climate animations do).
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        if self.frames.is_empty() {
+            return Err(FrameError::Invalid("animation has no frames".into()));
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(b"GIF89a");
+        // Logical screen descriptor: global palette, 256 colours, 8 bpp.
+        out.extend_from_slice(&self.width.to_le_bytes());
+        out.extend_from_slice(&self.height.to_le_bytes());
+        out.push(0b1111_0111); // GCT present, 8-bit colour, 256 entries
+        out.push(0); // background colour index
+        out.push(0); // pixel aspect ratio
+        for c in &self.palette {
+            out.extend_from_slice(c);
+        }
+        // Netscape looping extension (loop count 0 = forever).
+        out.extend_from_slice(&[0x21, 0xFF, 0x0B]);
+        out.extend_from_slice(b"NETSCAPE2.0");
+        out.extend_from_slice(&[0x03, 0x01, 0x00, 0x00, 0x00]);
+        for frame in &self.frames {
+            // Graphic control: delay + transparency on index 255.
+            out.extend_from_slice(&[0x21, 0xF9, 0x04, 0b0000_1001]);
+            out.extend_from_slice(&self.delay_cs.to_le_bytes());
+            out.extend_from_slice(&[255, 0]);
+            // Image descriptor: full frame, no local palette.
+            out.push(0x2C);
+            out.extend_from_slice(&[0, 0, 0, 0]);
+            out.extend_from_slice(&self.width.to_le_bytes());
+            out.extend_from_slice(&self.height.to_le_bytes());
+            out.push(0);
+            // LZW-compressed indices.
+            out.push(8); // minimum code size
+            let compressed = lzw_encode(frame, 8);
+            for chunk in compressed.chunks(255) {
+                out.push(chunk.len() as u8);
+                out.extend_from_slice(chunk);
+            }
+            out.push(0); // block terminator
+        }
+        out.push(0x3B); // trailer
+        Ok(out)
+    }
+}
+
+/// GIF-flavoured LZW: variable-width codes, clear/EOI, table reset at 4096.
+fn lzw_encode(data: &[u8], min_code_size: u8) -> Vec<u8> {
+    let clear: u16 = 1 << min_code_size;
+    let eoi: u16 = clear + 1;
+    let mut out = BitWriter::new();
+    let mut code_size = min_code_size as u32 + 1;
+    // Dictionary: maps (prefix code, next byte) -> code.
+    let mut dict: std::collections::HashMap<(u16, u8), u16> = std::collections::HashMap::new();
+    let mut next_code: u16 = eoi + 1;
+    out.write(clear as u32, code_size);
+    let mut prefix: Option<u16> = None;
+    for &byte in data {
+        match prefix {
+            None => prefix = Some(byte as u16),
+            Some(p) => {
+                if let Some(&code) = dict.get(&(p, byte)) {
+                    prefix = Some(code);
+                } else {
+                    out.write(p as u32, code_size);
+                    dict.insert((p, byte), next_code);
+                    if next_code as u32 == (1 << code_size) {
+                        code_size += 1;
+                    }
+                    next_code += 1;
+                    if next_code >= 4095 {
+                        out.write(clear as u32, code_size);
+                        dict.clear();
+                        next_code = eoi + 1;
+                        code_size = min_code_size as u32 + 1;
+                    }
+                    prefix = Some(byte as u16);
+                }
+            }
+        }
+    }
+    if let Some(p) = prefix {
+        out.write(p as u32, code_size);
+    }
+    out.write(eoi as u32, code_size);
+    out.finish()
+}
+
+/// LSB-first bit packer (GIF bit order).
+struct BitWriter {
+    bytes: Vec<u8>,
+    cur: u32,
+    nbits: u32,
+}
+
+impl BitWriter {
+    fn new() -> BitWriter {
+        BitWriter {
+            bytes: Vec::new(),
+            cur: 0,
+            nbits: 0,
+        }
+    }
+
+    fn write(&mut self, value: u32, bits: u32) {
+        debug_assert!(bits <= 12 && value < (1 << bits));
+        self.cur |= value << self.nbits;
+        self.nbits += bits;
+        while self.nbits >= 8 {
+            self.bytes.push((self.cur & 0xff) as u8);
+            self.cur >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.bytes.push((self.cur & 0xff) as u8);
+        }
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plot::{image2d, ColorMap};
+
+    fn frame(phase: f64) -> Raster {
+        let data: Vec<f64> = (0..64)
+            .map(|i| ((i % 8) as f64 * 0.5 + phase).sin())
+            .collect();
+        image2d(&data, 8, 8, 16, 16, ColorMap::Jet).unwrap()
+    }
+
+    #[test]
+    fn encodes_valid_gif_structure() {
+        let mut anim = GifAnimation::new(16, 16, 10).unwrap();
+        for i in 0..5 {
+            anim.add_frame(&frame(i as f64 * 0.3)).unwrap();
+        }
+        assert_eq!(anim.n_frames(), 5);
+        let gif = anim.encode().unwrap();
+        assert_eq!(&gif[..6], b"GIF89a");
+        assert_eq!(*gif.last().unwrap(), 0x3B);
+        // Logical screen 16x16.
+        assert_eq!(u16::from_le_bytes([gif[6], gif[7]]), 16);
+        assert_eq!(u16::from_le_bytes([gif[8], gif[9]]), 16);
+        // 5 image descriptors.
+        assert_eq!(gif.iter().filter(|&&b| b == 0x2C).count() >= 5, true);
+        // Netscape loop block present.
+        assert!(gif.windows(11).any(|w| w == b"NETSCAPE2.0"));
+    }
+
+    #[test]
+    fn frame_dimension_mismatch_rejected() {
+        let mut anim = GifAnimation::new(16, 16, 10).unwrap();
+        let small = image2d(&[1.0; 4], 2, 2, 8, 8, ColorMap::Grey).unwrap();
+        assert!(anim.add_frame(&small).is_err());
+    }
+
+    #[test]
+    fn empty_animation_rejected() {
+        let anim = GifAnimation::new(8, 8, 10).unwrap();
+        assert!(anim.encode().is_err());
+        assert!(GifAnimation::new(0, 8, 10).is_err());
+    }
+
+    #[test]
+    fn quantisation_covers_the_cube() {
+        // Every opaque colour maps into [0, 252); transparency to 255.
+        assert_eq!(quantise(&[0, 0, 0, 255]), 0);
+        let white = quantise(&[255, 255, 255, 255]);
+        assert_eq!(white as usize, R_LEVELS * G_LEVELS * B_LEVELS - 1);
+        assert_eq!(quantise(&[10, 10, 10, 0]), 255);
+        // Quantised palette colour is close to the original.
+        let p = build_palette();
+        let idx = quantise(&[200, 100, 50, 255]) as usize;
+        let [r, g, b] = p[idx];
+        assert!((r as i32 - 200).abs() <= 26);
+        assert!((g as i32 - 100).abs() <= 22);
+        assert!((b as i32 - 50).abs() <= 26);
+    }
+
+    #[test]
+    fn lzw_roundtrip_via_reference_decoder() {
+        // Decode our LZW with a tiny reference decoder.
+        fn lzw_decode(data: &[u8], min_code: u8) -> Vec<u8> {
+            let clear = 1u16 << min_code;
+            let eoi = clear + 1;
+            let mut dict: Vec<Vec<u8>> = (0..clear).map(|i| vec![i as u8]).collect();
+            dict.push(vec![]); // clear
+            dict.push(vec![]); // eoi
+            let mut code_size = min_code as u32 + 1;
+            let mut out = Vec::new();
+            let mut bitpos = 0usize;
+            let read = |pos: &mut usize, bits: u32| -> u16 {
+                let mut v = 0u32;
+                for i in 0..bits {
+                    let byte = data[(*pos + i as usize) / 8];
+                    if byte & (1 << ((*pos + i as usize) % 8)) != 0 {
+                        v |= 1 << i;
+                    }
+                }
+                *pos += bits as usize;
+                v as u16
+            };
+            let mut prev: Option<u16> = None;
+            loop {
+                let code = read(&mut bitpos, code_size);
+                if code == clear {
+                    dict.truncate((clear + 2) as usize);
+                    code_size = min_code as u32 + 1;
+                    prev = None;
+                    continue;
+                }
+                if code == eoi {
+                    break;
+                }
+                let entry = if (code as usize) < dict.len() {
+                    dict[code as usize].clone()
+                } else {
+                    let mut e = dict[prev.unwrap() as usize].clone();
+                    e.push(dict[prev.unwrap() as usize][0]);
+                    e
+                };
+                out.extend_from_slice(&entry);
+                if let Some(p) = prev {
+                    let mut ne = dict[p as usize].clone();
+                    ne.push(entry[0]);
+                    dict.push(ne);
+                    if dict.len() == (1 << code_size) && code_size < 12 {
+                        code_size += 1;
+                    }
+                }
+                prev = Some(code);
+            }
+            out
+        }
+        let data: Vec<u8> = (0..1000u32).map(|i| ((i / 7) % 250) as u8).collect();
+        let enc = lzw_encode(&data, 8);
+        assert_eq!(lzw_decode(&enc, 8), data);
+        // Compressible data shrinks.
+        let runs = vec![42u8; 4000];
+        assert!(lzw_encode(&runs, 8).len() < runs.len() / 4);
+    }
+}

@@ -1,0 +1,34 @@
+//! # rframe — an R-like data-analysis substrate
+//!
+//! SciDP's user interface is R: map/reduce functions written in R receive
+//! simulation data as data frames, plot levels with `plot3D::image2D` on a
+//! Cairo device, and run SQL over frames with `sqldf`. This crate
+//! reproduces that surface as a typed Rust embedded DSL with the same
+//! nouns, and — crucially for the paper's Figure 7 — with both ingestion
+//! paths:
+//!
+//! * [`readtable::read_table`] — the slow text path (`read.table`), which
+//!   every conversion-based baseline must use;
+//! * [`frame::DataFrame`] binary construction — SciDP's fast path from
+//!   decoded arrays.
+//!
+//! The plotting ([`plot::image2d`]) really rasterises into RGBA and
+//! [`png`] emits real, viewable PNG files (store-mode deflate, CRC32 and
+//! Adler32 implemented here). The SQL engine ([`sql::sqldf`]) parses and
+//! executes SELECT queries over data frames, which is how the paper's
+//! `highlight` and `top 1%` analyses run inside map tasks.
+
+pub mod error;
+pub mod frame;
+pub mod gif;
+pub mod plot;
+pub mod png;
+pub mod readtable;
+pub mod sql;
+
+pub use error::{FrameError, Result};
+pub use frame::{Column, DataFrame, Value};
+pub use gif::GifAnimation;
+pub use plot::{image2d, ColorMap, Raster};
+pub use readtable::read_table;
+pub use sql::sqldf;

@@ -1,0 +1,233 @@
+//! `image2D`: rasterise a 2-D field into a colour-mapped RGBA image
+//! (the `plot3D::image2D` + Cairo pipeline of the paper's visualization
+//! phase). Rows are rasterised in parallel with Rayon — this is real
+//! compute the reproduction performs for every plotted level.
+
+use rayon::prelude::*;
+
+use crate::error::{FrameError, Result};
+
+/// Colour maps (control-point interpolated).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColorMap {
+    /// Perceptually uniform dark-blue → green → yellow.
+    Viridis,
+    /// Classic rainbow (IDL-style, what older Earth-science plots used).
+    Jet,
+    /// Linear greyscale.
+    Grey,
+}
+
+impl ColorMap {
+    /// Map `t ∈ [0,1]` to RGB.
+    #[allow(clippy::approx_constant)] // 0.318 is a viridis control point
+    pub fn rgb(self, t: f64) -> [u8; 3] {
+        let t = t.clamp(0.0, 1.0);
+        let pts: &[[f64; 3]] = match self {
+            ColorMap::Viridis => &[
+                [0.267, 0.005, 0.329],
+                [0.283, 0.141, 0.458],
+                [0.254, 0.265, 0.530],
+                [0.207, 0.372, 0.553],
+                [0.164, 0.471, 0.558],
+                [0.128, 0.567, 0.551],
+                [0.135, 0.659, 0.518],
+                [0.267, 0.749, 0.441],
+                [0.478, 0.821, 0.318],
+                [0.741, 0.873, 0.150],
+                [0.993, 0.906, 0.144],
+            ],
+            ColorMap::Jet => &[
+                [0.0, 0.0, 0.5],
+                [0.0, 0.0, 1.0],
+                [0.0, 0.5, 1.0],
+                [0.0, 1.0, 1.0],
+                [0.5, 1.0, 0.5],
+                [1.0, 1.0, 0.0],
+                [1.0, 0.5, 0.0],
+                [1.0, 0.0, 0.0],
+                [0.5, 0.0, 0.0],
+            ],
+            ColorMap::Grey => &[[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]],
+        };
+        let x = t * (pts.len() - 1) as f64;
+        let i = (x.floor() as usize).min(pts.len() - 2);
+        let f = x - i as f64;
+        let mut rgb = [0u8; 3];
+        for c in 0..3 {
+            let v = pts[i][c] * (1.0 - f) + pts[i + 1][c] * f;
+            rgb[c] = (v * 255.0).round().clamp(0.0, 255.0) as u8;
+        }
+        rgb
+    }
+}
+
+/// An RGBA raster.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Raster {
+    pub width: u32,
+    pub height: u32,
+    /// Row-major RGBA, `width * height * 4` bytes.
+    pub pixels: Vec<u8>,
+}
+
+impl Raster {
+    /// Encode as a real PNG (see [`crate::png`]).
+    pub fn to_png(&self) -> Vec<u8> {
+        crate::png::encode_rgba(self.width, self.height, &self.pixels)
+    }
+
+    /// RGBA of one pixel.
+    pub fn pixel(&self, x: u32, y: u32) -> [u8; 4] {
+        let i = ((y * self.width + x) * 4) as usize;
+        self.pixels[i..i + 4].try_into().unwrap()
+    }
+}
+
+/// Rasterise a row-major `rows x cols` field into a `width x height` image
+/// with bilinear resampling and min–max normalisation (NaNs transparent).
+pub fn image2d(
+    data: &[f64],
+    rows: usize,
+    cols: usize,
+    width: u32,
+    height: u32,
+    cmap: ColorMap,
+) -> Result<Raster> {
+    if rows * cols != data.len() {
+        return Err(FrameError::Invalid(format!(
+            "grid {rows}x{cols} != {} values",
+            data.len()
+        )));
+    }
+    if rows == 0 || cols == 0 || width == 0 || height == 0 {
+        return Err(FrameError::Invalid("empty grid or raster".into()));
+    }
+    // Normalisation range over finite values.
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in data {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    let mut pixels = vec![0u8; width as usize * height as usize * 4];
+    let w = width as usize;
+    pixels
+        .par_chunks_mut(w * 4)
+        .enumerate()
+        .for_each(|(py, row_out)| {
+            // Map pixel centre to grid coordinates.
+            let gy = (py as f64 + 0.5) / height as f64 * rows as f64 - 0.5;
+            let y0 = gy.floor().clamp(0.0, (rows - 1) as f64) as usize;
+            let y1 = (y0 + 1).min(rows - 1);
+            let fy = (gy - y0 as f64).clamp(0.0, 1.0);
+            for px in 0..w {
+                let gx = (px as f64 + 0.5) / width as f64 * cols as f64 - 0.5;
+                let x0 = gx.floor().clamp(0.0, (cols - 1) as f64) as usize;
+                let x1 = (x0 + 1).min(cols - 1);
+                let fx = (gx - x0 as f64).clamp(0.0, 1.0);
+                let v00 = data[y0 * cols + x0];
+                let v01 = data[y0 * cols + x1];
+                let v10 = data[y1 * cols + x0];
+                let v11 = data[y1 * cols + x1];
+                let v = v00 * (1.0 - fy) * (1.0 - fx)
+                    + v01 * (1.0 - fy) * fx
+                    + v10 * fy * (1.0 - fx)
+                    + v11 * fy * fx;
+                let o = px * 4;
+                if v.is_finite() {
+                    let [r, g, b] = cmap.rgb((v - lo) / span);
+                    row_out[o] = r;
+                    row_out[o + 1] = g;
+                    row_out[o + 2] = b;
+                    row_out[o + 3] = 255;
+                } else {
+                    row_out[o..o + 4].copy_from_slice(&[0, 0, 0, 0]);
+                }
+            }
+        });
+    Ok(Raster {
+        width,
+        height,
+        pixels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colormap_endpoints() {
+        assert_eq!(ColorMap::Grey.rgb(0.0), [0, 0, 0]);
+        assert_eq!(ColorMap::Grey.rgb(1.0), [255, 255, 255]);
+        assert_eq!(ColorMap::Grey.rgb(0.5), [128, 128, 128]);
+        // Out-of-range clamps.
+        assert_eq!(ColorMap::Grey.rgb(-3.0), [0, 0, 0]);
+        assert_eq!(ColorMap::Grey.rgb(7.0), [255, 255, 255]);
+        // Jet starts dark blue, ends dark red.
+        let lo = ColorMap::Jet.rgb(0.0);
+        let hi = ColorMap::Jet.rgb(1.0);
+        assert!(lo[2] > lo[0], "jet low end is blue: {lo:?}");
+        assert!(hi[0] > hi[2], "jet high end is red: {hi:?}");
+    }
+
+    #[test]
+    fn gradient_renders_monotonic() {
+        // A left-to-right ramp should produce brightness increasing in x.
+        let cols = 16;
+        let data: Vec<f64> = (0..cols).map(|i| i as f64).collect();
+        let r = image2d(&data, 1, cols, 32, 4, ColorMap::Grey).unwrap();
+        let left = r.pixel(0, 0)[0];
+        let mid = r.pixel(16, 0)[0];
+        let right = r.pixel(31, 0)[0];
+        assert!(left < mid && mid < right, "{left} {mid} {right}");
+        assert_eq!(r.pixel(31, 3)[3], 255);
+    }
+
+    #[test]
+    fn constant_field_is_uniform() {
+        let data = vec![5.0; 9];
+        let r = image2d(&data, 3, 3, 6, 6, ColorMap::Viridis).unwrap();
+        let p = r.pixel(0, 0);
+        for y in 0..6 {
+            for x in 0..6 {
+                assert_eq!(r.pixel(x, y), p);
+            }
+        }
+    }
+
+    #[test]
+    fn nan_pixels_are_transparent() {
+        let data = vec![f64::NAN, 1.0, 1.0, 1.0];
+        let r = image2d(&data, 2, 2, 2, 2, ColorMap::Jet).unwrap();
+        assert_eq!(r.pixel(0, 0)[3], 0, "NaN corner transparent");
+        assert_eq!(r.pixel(1, 1)[3], 255);
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(image2d(&[1.0; 5], 2, 3, 4, 4, ColorMap::Grey).is_err());
+        assert!(image2d(&[], 0, 0, 4, 4, ColorMap::Grey).is_err());
+        assert!(image2d(&[1.0], 1, 1, 0, 4, ColorMap::Grey).is_err());
+    }
+
+    #[test]
+    fn png_output_is_wellformed() {
+        let data: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin()).collect();
+        let r = image2d(&data, 8, 8, 16, 16, ColorMap::Viridis).unwrap();
+        let png = r.to_png();
+        assert_eq!(&png[1..4], b"PNG");
+        assert!(png.len() > 16 * 16 * 4, "stored deflate, roughly raw size");
+    }
+
+    #[test]
+    fn deterministic_under_parallel_rasterisation() {
+        let data: Vec<f64> = (0..1024).map(|i| ((i * 37) % 101) as f64).collect();
+        let a = image2d(&data, 32, 32, 64, 64, ColorMap::Jet).unwrap();
+        let b = image2d(&data, 32, 32, 64, 64, ColorMap::Jet).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,39 @@
+//! SciDP error type.
+
+use std::fmt;
+
+#[derive(Debug, Clone)]
+pub enum ScidpError {
+    /// Input path is not on the PFS and not on HDFS.
+    BadInputPath(String),
+    /// PFS-level failure (missing file, bad range).
+    Pfs(String),
+    /// HDFS namespace failure while building the mirror.
+    Hdfs(String),
+    /// Scientific format failure (corrupt container, missing variable).
+    Format(scifmt::FmtError),
+    /// Requested variables not present in any input file.
+    NoMatchingVariables(Vec<String>),
+}
+
+impl fmt::Display for ScidpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScidpError::BadInputPath(p) => write!(f, "bad input path: {p}"),
+            ScidpError::Pfs(m) => write!(f, "PFS error: {m}"),
+            ScidpError::Hdfs(m) => write!(f, "HDFS error: {m}"),
+            ScidpError::Format(e) => write!(f, "format error: {e}"),
+            ScidpError::NoMatchingVariables(v) => {
+                write!(f, "no input file contains any of the variables {v:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScidpError {}
+
+impl From<scifmt::FmtError> for ScidpError {
+    fn from(e: scifmt::FmtError) -> Self {
+        ScidpError::Format(e)
+    }
+}

@@ -1,0 +1,534 @@
+//! The R interface (paper §IV-E2): `rmr2`-style map/reduce over SciDP
+//! inputs, with slabs delivered as R data frames.
+//!
+//! An [`RJob`] is the Rust rendering of the paper's R program: the user
+//! writes a map function over a [`MapSlab`] (typed array + coordinate data
+//! frame) and an optional reduce function; [`ScidpInput`] decides whether
+//! the input comes straight from the PFS (SciDP's whole point) or from
+//! HDFS (vanilla behaviour, kept identical to Hadoop's).
+
+use std::rc::Rc;
+
+use mapreduce::{
+    hdfs_file_splits, FlatPfsFetcher, InputSplit, Job, MapFn, MrEnv, MrError, Payload, TaskCtx,
+    TaskInput,
+};
+use rframe::{image2d, ColorMap, Column, DataFrame, Raster};
+use scifmt::Array;
+
+use crate::error::ScidpError;
+use crate::explorer::{parse_pfs_path, FileExplorer};
+use crate::mapper::{DataMapper, MapperOptions};
+use crate::reader::SciSlabFetcher;
+
+/// Job input description (the `input=` argument of `rmr2::mapreduce`).
+#[derive(Clone, Debug)]
+pub struct ScidpInput {
+    /// `lustre://dir`, `gpfs://dir`, or a plain HDFS path.
+    pub path: String,
+    /// Variable subsetting (maps to [`MapperOptions::variables`]).
+    pub variables: Option<Vec<String>>,
+    /// Split each chunk into this many dummy blocks.
+    pub chunk_split: usize,
+    /// Chunk-aligned mapping (default) or the misaligned ablation.
+    pub align_to_chunks: bool,
+    /// Dummy-block size for flat files (real bytes).
+    pub flat_block_size: usize,
+}
+
+impl ScidpInput {
+    pub fn path(p: impl Into<String>) -> ScidpInput {
+        ScidpInput {
+            path: p.into(),
+            variables: None,
+            chunk_split: 1,
+            align_to_chunks: true,
+            flat_block_size: 128 << 20,
+        }
+    }
+
+    /// Select variables (`vars=` in the paper's API).
+    pub fn vars<S: Into<String>>(mut self, names: impl IntoIterator<Item = S>) -> Self {
+        self.variables = Some(names.into_iter().map(Into::into).collect());
+        self
+    }
+
+    pub fn chunk_split(mut self, k: usize) -> Self {
+        self.chunk_split = k.max(1);
+        self
+    }
+
+    pub fn align_to_chunks(mut self, yes: bool) -> Self {
+        self.align_to_chunks = yes;
+        self
+    }
+
+    pub fn flat_block_size(mut self, bytes: usize) -> Self {
+        self.flat_block_size = bytes;
+        self
+    }
+}
+
+/// Extra info returned by split construction.
+#[derive(Clone, Debug, Default)]
+pub struct SetupInfo {
+    /// Virtual seconds of metadata work (explorer scan + mapping table).
+    pub setup_cost: f64,
+    /// Real bytes of selected data on the PFS (0 for HDFS inputs).
+    pub mapped_bytes: u64,
+    /// Real bytes skipped by subsetting.
+    pub skipped_bytes: u64,
+    /// Number of virtual files created.
+    pub virtual_files: usize,
+}
+
+/// Build input splits for a [`ScidpInput`] — the `addInputPath` hook.
+///
+/// PFS-prefixed paths run the File Explorer + Data Mapper and produce
+/// PFS-reader splits; other paths enumerate HDFS blocks exactly like the
+/// stock `FileInputFormat` ("if a match cannot be found, SciDP will behave
+/// as the original Hadoop").
+pub fn make_splits(env: &MrEnv, input: &ScidpInput) -> Result<(Vec<InputSplit>, SetupInfo), ScidpError> {
+    if let Some(dir) = parse_pfs_path(&input.path) {
+        let report = {
+            let pfs = env.pfs.borrow();
+            FileExplorer::scan(&pfs, dir)?
+        };
+        let opts = MapperOptions {
+            variables: input.variables.clone(),
+            chunk_split: input.chunk_split,
+            align_to_chunks: input.align_to_chunks,
+            flat_block_size: input.flat_block_size,
+            ..MapperOptions::default()
+        };
+        let mapping = {
+            let mut h = env.hdfs.borrow_mut();
+            DataMapper::map_to_hdfs(&mut h.namenode, &report, &opts)?
+        };
+        let mut splits = Vec::with_capacity(mapping.blocks.len());
+        for b in &mapping.blocks {
+            let fetcher: Rc<dyn mapreduce::SplitFetcher> = match (&b.descriptor, &b.var) {
+                (hdfs::VirtualBlock::SciSlab { pfs_path, start, count, .. }, Some((var, off))) => {
+                    Rc::new(TaggedSciFetcher {
+                        inner: SciSlabFetcher {
+                            pfs_path: pfs_path.clone(),
+                            var: var.clone(),
+                            data_offset: *off,
+                            start: start.clone(),
+                            count: count.clone(),
+                        },
+                    })
+                }
+                (hdfs::VirtualBlock::FlatRange { pfs_path, offset, len }, _) => {
+                    Rc::new(FlatPfsFetcher {
+                        pfs_path: pfs_path.clone(),
+                        offset: *offset,
+                        len: *len,
+                        sequential_chunks: 1,
+                    })
+                }
+                other => unreachable!("inconsistent mapping entry: {other:?}"),
+            };
+            splits.push(InputSplit {
+                length: b.len,
+                locations: Vec::new(), // dummy blocks carry no locations
+                fetcher,
+            });
+        }
+        let cost = simnet::CostModel::default();
+        Ok((
+            splits,
+            SetupInfo {
+                setup_cost: report.setup_cost(&cost),
+                mapped_bytes: mapping.mapped_bytes,
+                skipped_bytes: mapping.skipped_bytes,
+                virtual_files: mapping.virtual_files.len(),
+            },
+        ))
+    } else {
+        // Vanilla path: every file under the HDFS directory.
+        let files = env
+            .hdfs
+            .borrow()
+            .namenode
+            .list_files_recursive(&input.path)
+            .map_err(|e| ScidpError::Hdfs(e.to_string()))?;
+        let mut splits = Vec::new();
+        for f in files {
+            splits.extend(hdfs_file_splits(env, &f.path));
+        }
+        Ok((splits, SetupInfo::default()))
+    }
+}
+
+/// Wraps [`SciSlabFetcher`] to tag the result with slab coordinates so the
+/// R layer can reconstruct keys.
+struct TaggedSciFetcher {
+    inner: SciSlabFetcher,
+}
+
+fn encode_tag(fetcher: &SciSlabFetcher) -> String {
+    let dims: Vec<String> = fetcher.var.dims.iter().map(|d| d.name.clone()).collect();
+    encode_slab_tag(&fetcher.pfs_path, &fetcher.var.name, &dims, &fetcher.start)
+}
+
+/// Encode slab metadata into the split tag [`decode_tag`] parses. Public so
+/// baselines delivering identical slabs (SciHadoop) can produce compatible
+/// tags.
+pub fn encode_slab_tag(file: &str, var: &str, dims: &[String], origin: &[usize]) -> String {
+    let origin: Vec<String> = origin.iter().map(|s| s.to_string()).collect();
+    format!(
+        "{}\u{1}{}\u{1}{}\u{1}{}",
+        file,
+        var,
+        dims.join(","),
+        origin.join(",")
+    )
+}
+
+/// Parse a tag produced by a slab fetcher.
+pub fn decode_tag(tag: &str) -> Option<(String, String, Vec<String>, Vec<usize>)> {
+    let mut it = tag.split('\u{1}');
+    let file = it.next()?.to_string();
+    let var = it.next()?.to_string();
+    let dims: Vec<String> = it.next()?.split(',').map(str::to_string).collect();
+    let origin: Vec<usize> = it
+        .next()?
+        .split(',')
+        .map(|s| s.parse().ok())
+        .collect::<Option<_>>()?;
+    Some((file, var, dims, origin))
+}
+
+impl mapreduce::SplitFetcher for TaggedSciFetcher {
+    fn fetch(
+        &self,
+        env: &MrEnv,
+        sim: &mut simnet::Sim,
+        node: simnet::NodeId,
+        done: Box<dyn FnOnce(&mut simnet::Sim, mapreduce::FetchResult)>,
+    ) {
+        let tag = encode_tag(&self.inner);
+        self.inner.fetch(
+            env,
+            sim,
+            node,
+            Box::new(move |sim, mut fr| {
+                fr.tag = tag;
+                done(sim, fr);
+            }),
+        );
+    }
+
+    fn describe(&self) -> String {
+        self.inner.describe()
+    }
+}
+
+/// What the R map function receives: the slab as a typed array plus the
+/// coordinate data frame SciDP prepares ("multi-dimensional array will be
+/// prepared as R data frame").
+#[derive(Debug, Clone)]
+pub struct MapSlab {
+    /// PFS file the slab came from.
+    pub file: String,
+    /// Variable name.
+    pub var: String,
+    /// Dimension names (e.g. `["lev", "lat", "lon"]`).
+    pub dims: Vec<String>,
+    /// Global element origin of the slab.
+    pub origin: Vec<usize>,
+    /// The slab itself.
+    pub array: Array,
+    /// Coordinate + value frame (columns: one per dim, plus `value`).
+    pub frame: DataFrame,
+}
+
+/// R-side execution context: plotting and SQL with proper cost charging.
+pub struct RCtx<'a> {
+    pub(crate) inner: &'a mut TaskCtx,
+    /// Logical output image size (the paper renders 1200x1200).
+    pub logical_image: (u64, u64),
+    /// Real raster size (scaled with the dataset).
+    pub raster: (u32, u32),
+    /// Logical rows per real row (the dataset's spatial scale factor).
+    pub scale: f64,
+}
+
+impl<'a> RCtx<'a> {
+    /// Wrap an engine task context for R-side execution (used by SciDP
+    /// itself and by baselines that reuse the same R program).
+    pub fn new(
+        inner: &'a mut TaskCtx,
+        logical_image: (u64, u64),
+        raster: (u32, u32),
+        scale: f64,
+    ) -> RCtx<'a> {
+        RCtx {
+            inner,
+            logical_image,
+            raster,
+            scale,
+        }
+    }
+
+    /// Plot one level with `image2D` on the Cairo device: real raster, PNG
+    /// encoding, and a virtual charge for the paper-sized render.
+    pub fn image2d(&mut self, grid: &[f64], rows: usize, cols: usize, cmap: ColorMap) -> Raster {
+        let r = image2d(grid, rows, cols, self.raster.0, self.raster.1, cmap)
+            .expect("level grid is rectangular");
+        let pixels = self.logical_image.0 * self.logical_image.1;
+        self.inner.charge("plot", self.inner.cost().plot(pixels));
+        r
+    }
+
+    /// Run a `sqldf` query against frames, charging per logical row.
+    pub fn sqldf(
+        &mut self,
+        query: &str,
+        env: &std::collections::HashMap<&str, &DataFrame>,
+    ) -> Result<DataFrame, MrError> {
+        let rows: usize = env.values().map(|f| f.n_rows()).sum();
+        let logical_rows = (rows as f64 * self.scale) as u64;
+        self.inner
+            .charge("analysis", self.inner.cost().sql(logical_rows));
+        rframe::sqldf(query, env).map_err(|e| MrError(e.to_string()))
+    }
+
+    /// Emit an image keyed for the reduce side (`rhdfs` store).
+    pub fn emit_image(&mut self, key: impl Into<String>, raster: &Raster) {
+        self.inner.emit(key, Payload::Bytes(raster.to_png()));
+    }
+
+    /// Emit a data frame.
+    pub fn emit_frame(&mut self, key: impl Into<String>, frame: DataFrame) {
+        self.inner.emit(key, Payload::Frame(frame));
+    }
+
+    /// Emit raw bytes.
+    pub fn emit_bytes(&mut self, key: impl Into<String>, bytes: Vec<u8>) {
+        self.inner.emit(key, Payload::Bytes(bytes));
+    }
+
+    /// Extra compute charge (e.g. bespoke numeric analysis).
+    pub fn charge(&mut self, phase: &'static str, secs: f64) {
+        self.inner.charge(phase, secs);
+    }
+
+    pub fn cost(&self) -> &simnet::CostModel {
+        self.inner.cost()
+    }
+}
+
+/// R map closure.
+pub type RMapFn = Rc<dyn Fn(&MapSlab, &mut RCtx) -> Result<(), MrError>>;
+/// R reduce closure (one key group).
+pub type RReduceFn = Rc<dyn Fn(&str, Vec<Payload>, &mut RCtx) -> Result<(), MrError>>;
+
+/// An R-level SciDP job (the `rmr2::mapreduce(input=..., map=..., reduce=...)`
+/// call of §IV-E).
+#[derive(Clone)]
+pub struct RJob {
+    pub name: String,
+    pub input: ScidpInput,
+    pub map: RMapFn,
+    pub reduce: Option<RReduceFn>,
+    pub n_reducers: usize,
+    pub output_dir: String,
+    /// Logical image size for plot charges.
+    pub logical_image: (u64, u64),
+    /// Real raster size; `(0, 0)` derives it from the dataset scale so
+    /// real PNG bytes and logical image bytes stay proportional.
+    pub raster: (u32, u32),
+}
+
+/// Build the slab's coordinate data frame (really, with real columns).
+pub fn slab_to_frame(dims: &[String], origin: &[usize], array: &Array) -> DataFrame {
+    let shape = array.shape().to_vec();
+    let n = array.len();
+    let rank = shape.len();
+    let mut coord_cols: Vec<Vec<i64>> = vec![Vec::with_capacity(n); rank];
+    let mut coords = vec![0usize; rank];
+    let mut values = Vec::with_capacity(n);
+    for i in 0..n {
+        for (d, c) in coords.iter().enumerate() {
+            coord_cols[d].push((origin[d] + c) as i64);
+        }
+        values.push(array.get_f64(i));
+        let mut d = rank;
+        while d > 0 {
+            d -= 1;
+            coords[d] += 1;
+            if coords[d] < shape[d] {
+                break;
+            }
+            coords[d] = 0;
+        }
+    }
+    let mut df = DataFrame::new();
+    for (name, col) in dims.iter().zip(coord_cols) {
+        df = df
+            .with_column(name.clone(), Column::I64(col))
+            .expect("coordinate columns are consistent");
+    }
+    df.with_column("value", Column::F64(values))
+        .expect("value column matches")
+}
+
+/// Real raster size derived from the dataset scale so that real PNG bytes
+/// and logical image bytes stay proportional.
+pub fn derived_raster(logical_image: (u64, u64), scale: f64) -> (u32, u32) {
+    let w = ((logical_image.0 as f64 / scale.sqrt()).round() as u32).max(8);
+    let h = ((logical_image.1 as f64 / scale.sqrt()).round() as u32).max(8);
+    (w, h)
+}
+
+/// Wrap an R map function into an engine map function: decode the slab tag,
+/// charge the binary→frame conversion, build the coordinate frame, run the
+/// user code under an [`RCtx`]. Reused by the SciHadoop baseline, whose
+/// tasks receive identical slabs (staged on HDFS instead of the PFS).
+pub fn wrap_r_map(
+    user_map: RMapFn,
+    logical_image: (u64, u64),
+    raster: (u32, u32),
+    scale: f64,
+) -> MapFn {
+    Rc::new(move |input, ctx| {
+        let TaskInput::Array(array) = input else {
+            return Err(MrError(
+                "SciDP R job expects scientific slabs; flat inputs need a bytes map".into(),
+            ));
+        };
+        let (file, var, dims, origin) = decode_tag(ctx.input_tag())
+            .ok_or_else(|| MrError("missing slab tag".into()))?;
+        // Convert binary slab into the R data frame ("Convert" in
+        // Fig. 7 — cheap for SciDP because the data is already binary).
+        let raw = array.len() * array.dtype().size();
+        ctx.charge("convert", ctx.cost().binary_convert(raw));
+        let frame = slab_to_frame(&dims, &origin, &array);
+        let slab = MapSlab {
+            file,
+            var,
+            dims,
+            origin,
+            array,
+            frame,
+        };
+        let mut rctx = RCtx {
+            inner: ctx,
+            logical_image,
+            raster,
+            scale,
+        };
+        (user_map)(&slab, &mut rctx)
+    })
+}
+
+/// Wrap an R reduce function into an engine reduce function.
+pub fn wrap_r_reduce(
+    user_reduce: RReduceFn,
+    logical_image: (u64, u64),
+    raster: (u32, u32),
+    scale: f64,
+) -> mapreduce::ReduceFn {
+    Rc::new(move |key, values, ctx| {
+        let mut rctx = RCtx {
+            inner: ctx,
+            logical_image,
+            raster,
+            scale,
+        };
+        (user_reduce)(key, values, &mut rctx)
+    })
+}
+
+impl RJob {
+    /// Lower to an engine [`Job`] plus setup info. `scale` is the
+    /// dataset's logical/real factor (from `sim.cost.scale`).
+    pub fn into_job(self, env: &MrEnv, scale: f64) -> Result<(Job, SetupInfo), ScidpError> {
+        let (splits, setup) = make_splits(env, &self.input)?;
+        let logical_image = self.logical_image;
+        let raster = if self.raster == (0, 0) {
+            derived_raster(logical_image, scale)
+        } else {
+            self.raster
+        };
+        let map_fn = wrap_r_map(self.map.clone(), logical_image, raster, scale);
+        let reduce_fn = self
+            .reduce
+            .clone()
+            .map(|r| wrap_r_reduce(r, logical_image, raster, scale));
+        Ok((
+            Job {
+                name: self.name,
+                splits,
+                map_fn,
+                reduce_fn,
+                n_reducers: self.n_reducers,
+                output_dir: self.output_dir,
+                spill_to_pfs: false,
+                output_to_pfs: false,
+            },
+            setup,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip() {
+        let var = scifmt::VarMeta {
+            name: "QR".into(),
+            dtype: scifmt::DType::F32,
+            dims: vec![
+                scifmt::Dim { name: "lev".into(), len: 4 },
+                scifmt::Dim { name: "lat".into(), len: 8 },
+            ],
+            chunk_shape: vec![2, 8],
+            codec: scifmt::Codec::None,
+            attrs: vec![],
+            chunks: vec![],
+        };
+        let f = SciSlabFetcher {
+            pfs_path: "run/f.snc".into(),
+            var: std::sync::Arc::new(var),
+            data_offset: 64,
+            start: vec![2, 0],
+            count: vec![2, 8],
+        };
+        let tag = encode_tag(&f);
+        let (file, var, dims, origin) = decode_tag(&tag).unwrap();
+        assert_eq!(file, "run/f.snc");
+        assert_eq!(var, "QR");
+        assert_eq!(dims, vec!["lev", "lat"]);
+        assert_eq!(origin, vec![2, 0]);
+        assert!(decode_tag("garbage").is_none());
+    }
+
+    #[test]
+    fn slab_frame_has_global_coordinates() {
+        let a = Array::from_f32(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let df = slab_to_frame(
+            &["lev".to_string(), "lon".to_string()],
+            &[10, 20],
+            &a,
+        );
+        assert_eq!(df.n_rows(), 6);
+        assert_eq!(df.names(), &["lev".to_string(), "lon".into(), "value".into()]);
+        // Row 0: global coords (10, 20), value 1.0.
+        assert_eq!(df.column("lev").unwrap().value(0), rframe::Value::I64(10));
+        assert_eq!(df.column("lon").unwrap().value(5), rframe::Value::I64(22));
+        assert_eq!(df.f64_column("value").unwrap()[4], 5.0);
+    }
+
+    #[test]
+    fn input_builder() {
+        let i = ScidpInput::path("lustre://run").vars(["QR"]).chunk_split(3);
+        assert_eq!(i.variables, Some(vec!["QR".to_string()]));
+        assert_eq!(i.chunk_split, 3);
+        assert!(parse_pfs_path(&i.path).is_some());
+    }
+}

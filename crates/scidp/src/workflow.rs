@@ -1,0 +1,402 @@
+//! The NU-WRF workflows of §IV–V: image plotting (Img-only) and integrated
+//! analysis (Anlys), expressed as [`RJob`]s over SciDP input.
+//!
+//! * **Img-only** — every map task receives a slab of the selected
+//!   variable, plots each vertical level with `image2d`, and emits the PNG
+//!   keyed by `(file, var, level)`; reducers collect and store the frames
+//!   on HDFS (the animation's images).
+//! * **Anlys** — additionally runs SQL over the task's data frame
+//!   (`highlight`: global top-k points; `top 1%`: threshold selection whose
+//!   result is stored on HDFS), reusing the already-read data — the paper's
+//!   "no extra data read" property holds by construction.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use mapreduce::{run_job, submit_job_env, Cluster, JobResult, MrError, Payload};
+use rframe::{ColorMap, DataFrame};
+
+use crate::error::ScidpError;
+use crate::rapi::{RCtx, RJob, ScidpInput};
+
+/// In-map analysis (Fig. 9's x-axis cases).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Analysis {
+    /// Img-only: no analysis.
+    None,
+    /// Highlight the global top-`k` data points.
+    Highlight { k: usize },
+    /// Select and store the top `pct` percent of data points.
+    TopPercent { pct: f64 },
+}
+
+/// Workflow parameters.
+#[derive(Clone, Debug)]
+pub struct WorkflowConfig {
+    /// Variables to process (paper: `["QR"]`).
+    pub variables: Vec<String>,
+    pub analysis: Analysis,
+    pub n_reducers: usize,
+    /// Logical plot resolution (paper default 1200x1200).
+    pub logical_image: (u64, u64),
+    /// Real raster; `(0,0)` = derive from dataset scale.
+    pub raster: (u32, u32),
+    pub colormap: ColorMap,
+    pub chunk_split: usize,
+    pub align_to_chunks: bool,
+    /// Block size for the misaligned-mapping ablation and flat files
+    /// (real bytes).
+    pub flat_block_size: usize,
+    pub output_dir: String,
+}
+
+impl WorkflowConfig {
+    /// Img-only workload over the given variables.
+    pub fn img_only<S: Into<String>>(vars: impl IntoIterator<Item = S>) -> WorkflowConfig {
+        WorkflowConfig {
+            variables: vars.into_iter().map(Into::into).collect(),
+            analysis: Analysis::None,
+            n_reducers: 8,
+            logical_image: (1200, 1200),
+            raster: (0, 0),
+            colormap: ColorMap::Jet,
+            chunk_split: 1,
+            align_to_chunks: true,
+            flat_block_size: 128 << 20,
+            output_dir: "scidp_out".into(),
+        }
+    }
+
+    /// Anlys workload (plotting + animation keys + analysis).
+    pub fn anlys<S: Into<String>>(
+        vars: impl IntoIterator<Item = S>,
+        analysis: Analysis,
+    ) -> WorkflowConfig {
+        WorkflowConfig {
+            analysis,
+            ..WorkflowConfig::img_only(vars)
+        }
+    }
+}
+
+/// Workflow outcome.
+#[derive(Clone, Debug)]
+pub struct WorkflowReport {
+    pub job: JobResult,
+    /// Images plotted (one per level per slab).
+    pub images: u64,
+    /// Virtual seconds spent building the mapping table.
+    pub setup_cost: f64,
+    /// Real bytes skipped thanks to variable subsetting.
+    pub skipped_bytes: u64,
+}
+
+impl WorkflowReport {
+    /// Total workflow time (setup + job).
+    pub fn total_time(&self) -> f64 {
+        self.setup_cost + self.job.elapsed()
+    }
+}
+
+/// The NU-WRF R map function: plot every level, then run the configured
+/// in-map analysis. Shared by SciDP and by the SciHadoop baseline (which
+/// runs the same R program over HDFS-staged data).
+pub fn nuwrf_map_fn(cfg: &WorkflowConfig) -> crate::rapi::RMapFn {
+    let analysis = cfg.analysis.clone();
+    let cmap = cfg.colormap;
+    {
+        let analysis = analysis.clone();
+        Rc::new(move |slab: &crate::MapSlab, rctx: &mut RCtx<'_>| -> Result<(), MrError> {
+            let shape = slab.array.shape().to_vec();
+            if shape.len() != 3 {
+                return Err(MrError(format!(
+                    "NU-WRF workflow expects 3-D slabs, got {shape:?}"
+                )));
+            }
+            let (levels, rows, cols) = (shape[0], shape[1], shape[2]);
+            // Plot every vertical level of the slab.
+            for l in 0..levels {
+                let mut grid = Vec::with_capacity(rows * cols);
+                for i in 0..rows {
+                    for j in 0..cols {
+                        grid.push(slab.array.at(&[l, i, j]));
+                    }
+                }
+                let raster = rctx.image2d(&grid, rows, cols, cmap);
+                let global_lev = slab.origin[0] + l;
+                rctx.emit_image(
+                    format!("img/{}/{}/{global_lev:04}", slab.file, slab.var),
+                    &raster,
+                );
+            }
+            // In-map analysis over the already-loaded frame.
+            match &analysis {
+                Analysis::None => {}
+                Analysis::Highlight { k } => {
+                    let mut env = HashMap::new();
+                    env.insert("df", &slab.frame);
+                    let q = format!("SELECT * FROM df ORDER BY value DESC LIMIT {k}");
+                    let top = rctx.sqldf(&q, &env)?;
+                    rctx.emit_frame(format!("hl/{}", slab.var), top);
+                }
+                Analysis::TopPercent { pct } => {
+                    // Per-task threshold, partial results merged in reduce.
+                    let values = slab
+                        .frame
+                        .f64_column("value")
+                        .map_err(|e| MrError(e.to_string()))?;
+                    let mut sorted: Vec<f64> =
+                        values.iter().copied().filter(|v| v.is_finite()).collect();
+                    sorted.sort_by(f64::total_cmp);
+                    let idx = ((sorted.len() as f64) * (1.0 - pct / 100.0)) as usize;
+                    let thr = sorted.get(idx.min(sorted.len().saturating_sub(1))).copied()
+                        .unwrap_or(f64::NEG_INFINITY);
+                    let mut env = HashMap::new();
+                    env.insert("df", &slab.frame);
+                    let q = format!("SELECT * FROM df WHERE value >= {thr:e}");
+                    let sel = rctx.sqldf(&q, &env)?;
+                    rctx.emit_frame(format!("top/{}", slab.var), sel);
+                }
+            }
+            Ok(())
+        })
+    }
+}
+
+/// The NU-WRF R reduce function: store images, merge analysis partials.
+pub fn nuwrf_reduce_fn() -> crate::rapi::RReduceFn {
+    Rc::new(
+        move |key: &str, values: Vec<Payload>, rctx: &mut RCtx<'_>| -> Result<(), MrError> {
+            if key.starts_with("img/") {
+                // Images pass through to HDFS storage (rhdfs).
+                for v in values {
+                    rctx.inner.emit(key, v);
+                }
+                return Ok(());
+            }
+            // Analysis keys: merge the partial frames.
+            let frames: Vec<DataFrame> = values
+                .into_iter()
+                .filter_map(|v| match v {
+                    Payload::Frame(f) => Some(f),
+                    Payload::Bytes(_) => None,
+                })
+                .collect();
+            let merged =
+                DataFrame::concat(frames.iter()).map_err(|e| MrError(e.to_string()))?;
+            let rows = merged.n_rows();
+            let out = if key.starts_with("hl/") {
+                // Global top-k from the per-task top-k partials.
+                let mut env = HashMap::new();
+                env.insert("df", &merged);
+                rctx.sqldf("SELECT * FROM df ORDER BY value DESC LIMIT 10", &env)?
+            } else {
+                rctx.charge("analysis", rctx.cost().sql(rows as u64));
+                merged
+            };
+            rctx.emit_frame(key, out);
+            Ok(())
+        },
+    )
+}
+
+/// Build the R job implementing the workflow.
+pub fn build_rjob(input_path: &str, cfg: &WorkflowConfig) -> RJob {
+    let map = nuwrf_map_fn(cfg);
+    let reduce = nuwrf_reduce_fn();
+    RJob {
+        name: format!("scidp-{:?}", cfg.analysis),
+        input: ScidpInput::path(input_path)
+            .vars(cfg.variables.clone())
+            .chunk_split(cfg.chunk_split)
+            .align_to_chunks(cfg.align_to_chunks)
+            .flat_block_size(cfg.flat_block_size),
+        map,
+        reduce: Some(reduce),
+        n_reducers: cfg.n_reducers,
+        output_dir: cfg.output_dir.clone(),
+        logical_image: cfg.logical_image,
+        raster: cfg.raster,
+    }
+}
+
+/// Run the workflow to completion on a fresh cluster world.
+pub fn run_scidp(
+    cluster: &mut Cluster,
+    input_path: &str,
+    cfg: &WorkflowConfig,
+) -> Result<WorkflowReport, ScidpError> {
+    let rjob = build_rjob(input_path, cfg);
+    let env = cluster.env();
+    let scale = cluster.sim.cost.scale;
+    let (job, setup) = rjob.into_job(&env, scale)?;
+    // Count images: one per level covered by each scientific slab.
+    let images: u64 = job
+        .splits
+        .iter()
+        .map(|s| {
+            // SciDP slab fetchers encode level counts in their descriptors;
+            // approximate via split description (lev extent is first count).
+            let d = s.fetcher.describe();
+            parse_levels(&d).unwrap_or(0)
+        })
+        .sum();
+    // Charge the mapping-table setup, then run.
+    let setup_cost = setup.setup_cost;
+    let result: std::rc::Rc<std::cell::RefCell<Option<Result<JobResult, MrError>>>> =
+        Rc::new(std::cell::RefCell::new(None));
+    let r2 = result.clone();
+    let env2 = env.clone();
+    cluster.sim.after(setup_cost, move |sim| {
+        submit_job_env(sim, env2, job, move |_, r| {
+            *r2.borrow_mut() = Some(r);
+        });
+    });
+    cluster.run();
+    let job = result
+        .borrow_mut()
+        .take()
+        .expect("workflow completed")
+        .map_err(|e| ScidpError::Hdfs(e.to_string()))?;
+    Ok(WorkflowReport {
+        job,
+        images,
+        setup_cost,
+        skipped_bytes: setup.skipped_bytes,
+    })
+}
+
+/// Pull the first `count` extent out of a slab fetcher description like
+/// `scidp://f#QR[[0, 0, 0]+[2, 8, 5]]`.
+fn parse_levels(desc: &str) -> Option<u64> {
+    let plus = desc.find("+[")?;
+    let rest = &desc[plus + 2..];
+    let end = rest.find([',', ']'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// Convenience used by tests/benches: run one workflow on a staged dataset.
+pub fn run_to_result(
+    cluster: &mut Cluster,
+    input_path: &str,
+    cfg: &WorkflowConfig,
+) -> Result<JobResult, ScidpError> {
+    // Kept for API symmetry with the baseline runners.
+    let rjob = build_rjob(input_path, cfg);
+    let env = cluster.env();
+    let scale = cluster.sim.cost.scale;
+    let (job, _) = rjob.into_job(&env, scale)?;
+    run_job(cluster, job).map_err(|e| ScidpError::Hdfs(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfs::PfsConfig;
+    use simnet::{ClusterSpec, CostModel};
+    use wrfgen::WrfSpec;
+
+    fn stage(timestamps: usize) -> (Cluster, String) {
+        let spec = ClusterSpec {
+            compute_nodes: 2,
+            storage_nodes: 1,
+            osts: 4,
+            slots_per_node: 2,
+            ..ClusterSpec::default()
+        };
+        let pfs_cfg = PfsConfig {
+            n_osts: 4,
+            stripe_size: 4096,
+            default_stripe_count: 4,
+        };
+        let wspec = WrfSpec::tiny(timestamps);
+        let cost = CostModel {
+            scale: wspec.scale_factor(),
+            ..CostModel::default()
+        };
+        let mut cluster = Cluster::new(spec, pfs_cfg, 1 << 20, 1, cost);
+        wrfgen::generate_dataset(&mut cluster.pfs.borrow_mut(), &wspec, "nuwrf/run");
+        (cluster, "lustre://nuwrf/run".to_string())
+    }
+
+    #[test]
+    fn img_only_plots_every_level() {
+        let (mut cluster, input) = stage(2);
+        let cfg = WorkflowConfig {
+            n_reducers: 2,
+            raster: (8, 8),
+            ..WorkflowConfig::img_only(["QR"])
+        };
+        let rep = run_scidp(&mut cluster, &input, &cfg).unwrap();
+        // 2 files x 4 levels (tiny spec) = 8 images.
+        assert_eq!(rep.images, 8);
+        assert!(rep.setup_cost > 0.0);
+        assert!(rep.total_time() > rep.job.elapsed());
+        assert!(rep.skipped_bytes > 0, "QC/QI skipped by subsetting");
+        // Images landed on HDFS via the reducers.
+        let h = cluster.hdfs.borrow();
+        let outs = h.namenode.list_files_recursive("scidp_out").unwrap();
+        assert!(!outs.is_empty());
+        let bytes: u64 = outs.iter().map(|f| f.len).sum();
+        assert!(bytes > 0);
+    }
+
+    #[test]
+    fn highlight_adds_little_time() {
+        let (mut c1, input) = stage(2);
+        let cfg_none = WorkflowConfig {
+            n_reducers: 2,
+            raster: (8, 8),
+            ..WorkflowConfig::img_only(["QR"])
+        };
+        let t_none = run_scidp(&mut c1, &input, &cfg_none).unwrap().total_time();
+        let (mut c2, input2) = stage(2);
+        let cfg_hl = WorkflowConfig {
+            n_reducers: 2,
+            raster: (8, 8),
+            ..WorkflowConfig::anlys(["QR"], Analysis::Highlight { k: 10 })
+        };
+        let t_hl = run_scidp(&mut c2, &input2, &cfg_hl).unwrap().total_time();
+        // Paper Fig. 9: highlight ≈ no-analysis.
+        assert!(
+            t_hl < t_none * 1.3,
+            "highlight should be near-free: {t_hl} vs {t_none}"
+        );
+        assert!(t_hl >= t_none * 0.7);
+    }
+
+    #[test]
+    fn top_percent_stores_results() {
+        let (mut cluster, input) = stage(2);
+        let cfg = WorkflowConfig {
+            n_reducers: 2,
+            raster: (8, 8),
+            output_dir: "anlys_out".into(),
+            ..WorkflowConfig::anlys(["QR"], Analysis::TopPercent { pct: 1.0 })
+        };
+        let rep = run_scidp(&mut cluster, &input, &cfg).unwrap();
+        assert!(rep.job.counters.get("hdfs_write_bytes") > 0.0);
+        let h = cluster.hdfs.borrow();
+        let outs = h.namenode.list_files_recursive("anlys_out").unwrap();
+        // Output contains both images and the top-1% frames.
+        let total: u64 = outs.iter().map(|f| f.len).sum();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn subsetting_reduces_read_volume() {
+        let elapsed_and_input = |vars: Vec<&str>| {
+            let (mut cluster, input) = stage(2);
+            let cfg = WorkflowConfig {
+                n_reducers: 2,
+                raster: (8, 8),
+                ..WorkflowConfig::img_only(vars)
+            };
+            let rep = run_scidp(&mut cluster, &input, &cfg).unwrap();
+            rep.job.counters.get("input_bytes")
+        };
+        let one = elapsed_and_input(vec!["QR"]);
+        let all = elapsed_and_input(vec!["QR", "QC", "QI"]);
+        assert!(all > 2.0 * one, "subsetting not reducing input: {one} vs {all}");
+    }
+}

@@ -1,0 +1,370 @@
+//! Chunk compression: byte-shuffle + LZ, the same family netCDF-4 uses
+//! (shuffle filter + deflate).
+//!
+//! Scientific float arrays compress poorly byte-for-byte but very well after
+//! a *shuffle* transpose: grouping the i-th byte of every element together
+//! turns the slowly-varying exponent/high-mantissa bytes into long runs that
+//! an LZ matcher eats. The LZ stage is an LZ4-style greedy matcher with a
+//! 64 KiB window — small, fast, and entirely self-contained.
+//!
+//! Frame layout: `[codec_id:u8][raw_len:varint][elem:u8 if shuffled][payload]`.
+
+use crate::error::{FmtError, Result};
+use crate::wire::{Reader, Writer};
+
+const MIN_MATCH: usize = 4;
+const MAX_DISTANCE: usize = 65_535;
+const HASH_BITS: u32 = 15;
+
+/// Compression scheme applied to a chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Codec {
+    /// Stored verbatim.
+    None,
+    /// LZ only (flat byte data, e.g. text).
+    Lz,
+    /// Byte shuffle with the given element width, then LZ (float arrays).
+    ShuffleLz { elem: u8 },
+}
+
+impl Codec {
+    fn id(self) -> u8 {
+        match self {
+            Codec::None => 0,
+            Codec::Lz => 1,
+            Codec::ShuffleLz { .. } => 2,
+        }
+    }
+}
+
+/// Transpose `data` so that byte `b` of every `elem`-wide element is
+/// contiguous. `data.len()` must be a multiple of `elem`.
+pub fn shuffle(data: &[u8], elem: usize) -> Vec<u8> {
+    assert!(elem > 0 && data.len().is_multiple_of(elem), "bad shuffle width");
+    let n = data.len() / elem;
+    let mut out = vec![0u8; data.len()];
+    for b in 0..elem {
+        let dst = &mut out[b * n..(b + 1) * n];
+        for (i, d) in dst.iter_mut().enumerate() {
+            *d = data[i * elem + b];
+        }
+    }
+    out
+}
+
+/// Inverse of [`shuffle`].
+pub fn unshuffle(data: &[u8], elem: usize) -> Vec<u8> {
+    assert!(elem > 0 && data.len().is_multiple_of(elem), "bad unshuffle width");
+    let n = data.len() / elem;
+    let mut out = vec![0u8; data.len()];
+    for b in 0..elem {
+        let src = &data[b * n..(b + 1) * n];
+        for (i, &s) in src.iter().enumerate() {
+            out[i * elem + b] = s;
+        }
+    }
+    out
+}
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    ((v.wrapping_mul(2654435761)) >> (32 - HASH_BITS)) as usize
+}
+
+fn put_len(out: &mut Vec<u8>, mut extra: usize) {
+    // LZ4-style length extension: each 255 byte adds 255, terminator < 255.
+    while extra >= 255 {
+        out.push(255);
+        extra -= 255;
+    }
+    out.push(extra as u8);
+}
+
+/// Raw LZ encode (no frame).
+fn lz_encode(src: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(src.len() / 2 + 16);
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut i = 0usize; // cursor
+    let mut anchor = 0usize; // start of pending literals
+    let n = src.len();
+
+    while i + MIN_MATCH <= n {
+        let h = hash4(&src[i..]);
+        let cand = table[h];
+        table[h] = i;
+        let is_match = cand != usize::MAX
+            && i - cand <= MAX_DISTANCE
+            && src[cand..cand + MIN_MATCH] == src[i..i + MIN_MATCH];
+        if !is_match {
+            i += 1;
+            continue;
+        }
+        // Extend the match forward.
+        let mut mlen = MIN_MATCH;
+        while i + mlen < n && src[cand + mlen] == src[i + mlen] {
+            mlen += 1;
+        }
+        let lit = &src[anchor..i];
+        let lit_nib = lit.len().min(15) as u8;
+        let mat_nib = (mlen - MIN_MATCH).min(15) as u8;
+        out.push((lit_nib << 4) | mat_nib);
+        if lit_nib == 15 {
+            put_len(&mut out, lit.len() - 15);
+        }
+        out.extend_from_slice(lit);
+        out.extend_from_slice(&((i - cand) as u16).to_le_bytes());
+        if mat_nib == 15 {
+            put_len(&mut out, mlen - MIN_MATCH - 15);
+        }
+        // Seed the table inside the match so later data can reference it.
+        let step = if mlen > 64 { 8 } else { 2 };
+        let mut j = i + 1;
+        while j + MIN_MATCH <= n && j < i + mlen {
+            table[hash4(&src[j..])] = j;
+            j += step;
+        }
+        i += mlen;
+        anchor = i;
+    }
+    // Trailing literals (match nibble 0, no distance follows — decoder knows
+    // because the input ends right after the literal run).
+    let lit = &src[anchor..];
+    let lit_nib = lit.len().min(15) as u8;
+    out.push(lit_nib << 4);
+    if lit_nib == 15 {
+        put_len(&mut out, lit.len() - 15);
+    }
+    out.extend_from_slice(lit);
+    out
+}
+
+fn get_len(r: &mut Reader<'_>, nib: u8) -> Result<usize> {
+    let mut len = nib as usize;
+    if nib == 15 {
+        loop {
+            let b = r.get_u8()?;
+            len += b as usize;
+            if b < 255 {
+                break;
+            }
+        }
+    }
+    Ok(len)
+}
+
+/// Raw LZ decode (no frame). `raw_len` is the expected output size.
+fn lz_decode(src: &[u8], raw_len: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(raw_len);
+    let mut r = Reader::new(src);
+    while r.remaining() > 0 {
+        let token = r.get_u8()?;
+        let lit_len = get_len(&mut r, token >> 4)?;
+        let lits = r.get_bytes(lit_len)?;
+        out.extend_from_slice(lits);
+        if r.remaining() == 0 {
+            break; // final literal-only token
+        }
+        let d = r.get_bytes(2)?;
+        let dist = u16::from_le_bytes([d[0], d[1]]) as usize;
+        if dist == 0 || dist > out.len() {
+            return Err(FmtError::Corrupt(format!(
+                "bad match distance {dist} at output {}",
+                out.len()
+            )));
+        }
+        let mlen = MIN_MATCH + get_len(&mut r, token & 0x0f)?;
+        // Overlapping copy must be byte-by-byte (RLE-style matches).
+        let start = out.len() - dist;
+        for k in 0..mlen {
+            let b = out[start + k];
+            out.push(b);
+        }
+        if out.len() > raw_len {
+            return Err(FmtError::Corrupt("decoded past declared length".into()));
+        }
+    }
+    if out.len() != raw_len {
+        return Err(FmtError::Corrupt(format!(
+            "decoded {} bytes, expected {raw_len}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// Compress `raw` into a framed chunk.
+pub fn compress(codec: Codec, raw: &[u8]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(codec.id());
+    w.put_varint(raw.len() as u64);
+    match codec {
+        Codec::None => w.put_bytes(raw),
+        Codec::Lz => w.put_bytes(&lz_encode(raw)),
+        Codec::ShuffleLz { elem } => {
+            w.put_u8(elem);
+            let shuffled = shuffle(raw, elem as usize);
+            w.put_bytes(&lz_encode(&shuffled));
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decompress a framed chunk produced by [`compress`].
+pub fn decompress(frame: &[u8]) -> Result<Vec<u8>> {
+    let mut r = Reader::new(frame);
+    let id = r.get_u8()?;
+    let raw_len = r.get_varint()? as usize;
+    match id {
+        0 => {
+            let b = r.get_bytes(raw_len)?;
+            Ok(b.to_vec())
+        }
+        1 => lz_decode(r.get_bytes(r.remaining())?, raw_len),
+        2 => {
+            let elem = r.get_u8()? as usize;
+            if elem == 0 || !raw_len.is_multiple_of(elem) {
+                return Err(FmtError::Corrupt(format!(
+                    "shuffle width {elem} incompatible with length {raw_len}"
+                )));
+            }
+            let shuffled = lz_decode(r.get_bytes(r.remaining())?, raw_len)?;
+            Ok(unshuffle(&shuffled, elem))
+        }
+        other => Err(FmtError::Corrupt(format!("unknown codec id {other}"))),
+    }
+}
+
+/// Declared raw (uncompressed) length of a framed chunk, without decoding.
+pub fn frame_raw_len(frame: &[u8]) -> Result<usize> {
+    let mut r = Reader::new(frame);
+    let _ = r.get_u8()?;
+    Ok(r.get_varint()? as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_roundtrip() {
+        for c in [Codec::None, Codec::Lz, Codec::ShuffleLz { elem: 4 }] {
+            let f = compress(c, &[]);
+            assert_eq!(decompress(&f).unwrap(), Vec::<u8>::new());
+        }
+    }
+
+    #[test]
+    fn stored_roundtrip() {
+        let data = b"hello world".to_vec();
+        let f = compress(Codec::None, &data);
+        assert_eq!(decompress(&f).unwrap(), data);
+        assert_eq!(frame_raw_len(&f).unwrap(), data.len());
+    }
+
+    #[test]
+    fn repetitive_data_compresses_well() {
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i / 1000) as u8).collect();
+        let f = compress(Codec::Lz, &data);
+        assert!(
+            f.len() < data.len() / 10,
+            "ratio too poor: {} -> {}",
+            data.len(),
+            f.len()
+        );
+        assert_eq!(decompress(&f).unwrap(), data);
+    }
+
+    #[test]
+    fn smooth_floats_compress_after_shuffle() {
+        // A smooth field like NU-WRF output: shuffle should expose the
+        // near-constant exponent bytes.
+        let vals: Vec<f32> = (0..50_000)
+            .map(|i| 280.0 + 5.0 * (i as f32 * 0.001).sin())
+            .collect();
+        let raw: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let shuffled = compress(Codec::ShuffleLz { elem: 4 }, &raw);
+        let plain = compress(Codec::Lz, &raw);
+        assert_eq!(decompress(&shuffled).unwrap(), raw);
+        assert!(
+            shuffled.len() < plain.len(),
+            "shuffle should help: {} vs {}",
+            shuffled.len(),
+            plain.len()
+        );
+        let ratio = raw.len() as f64 / shuffled.len() as f64;
+        assert!(ratio > 2.0, "ratio {ratio:.2} too low for smooth field");
+    }
+
+    #[test]
+    fn incompressible_data_roundtrips() {
+        // Pseudo-random bytes: expansion is allowed, corruption is not.
+        let mut x = 0x12345678u64;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 33) as u8
+            })
+            .collect();
+        for c in [Codec::Lz, Codec::ShuffleLz { elem: 8 }] {
+            let f = compress(c, &data);
+            assert_eq!(decompress(&f).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_involution() {
+        let data: Vec<u8> = (0..64).collect();
+        assert_eq!(unshuffle(&shuffle(&data, 4), 4), data);
+        assert_eq!(unshuffle(&shuffle(&data, 8), 8), data);
+        assert_eq!(unshuffle(&shuffle(&data, 1), 1), data);
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected() {
+        let data = vec![42u8; 1000];
+        let mut f = compress(Codec::Lz, &data);
+        // Unknown codec id.
+        let mut g = f.clone();
+        g[0] = 99;
+        assert!(decompress(&g).is_err());
+        // Truncated payload.
+        f.truncate(f.len() / 2);
+        assert!(decompress(&f).is_err());
+    }
+
+    #[test]
+    fn overlapping_match_rle() {
+        let data = vec![7u8; 100_000];
+        let f = compress(Codec::Lz, &data);
+        assert!(f.len() < 600);
+        assert_eq!(decompress(&f).unwrap(), data);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn lz_roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+            let f = compress(Codec::Lz, &data);
+            prop_assert_eq!(decompress(&f).unwrap(), data);
+        }
+
+        #[test]
+        fn shuffle_lz_roundtrip_f32(vals in proptest::collection::vec(any::<f32>(), 0..1024)) {
+            let raw: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+            let f = compress(Codec::ShuffleLz { elem: 4 }, &raw);
+            prop_assert_eq!(decompress(&f).unwrap(), raw);
+        }
+
+        #[test]
+        fn lz_roundtrip_structured(
+            runs in proptest::collection::vec((any::<u8>(), 1usize..200), 0..64)
+        ) {
+            let data: Vec<u8> = runs.iter().flat_map(|&(b, n)| std::iter::repeat(b).take(n)).collect();
+            let f = compress(Codec::Lz, &data);
+            prop_assert_eq!(decompress(&f).unwrap(), data);
+        }
+    }
+}

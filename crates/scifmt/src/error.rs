@@ -1,0 +1,38 @@
+//! Error type shared across the format crate.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding SNC containers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FmtError {
+    /// Magic bytes did not match — not an SNC file (the Sci-format Head
+    /// Reader relies on this to classify files as *flat*).
+    NotSnc,
+    /// The byte stream ended before a complete value was read.
+    Truncated { what: &'static str },
+    /// A structurally invalid value (bad tag, bad length, bad UTF-8...).
+    Corrupt(String),
+    /// A named entity (group, variable, dimension) was not found.
+    NotFound(String),
+    /// A request was out of the variable's bounds.
+    OutOfBounds(String),
+    /// Mismatched argument shape/rank/type.
+    Invalid(String),
+}
+
+impl fmt::Display for FmtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FmtError::NotSnc => write!(f, "not an SNC container"),
+            FmtError::Truncated { what } => write!(f, "truncated input while reading {what}"),
+            FmtError::Corrupt(m) => write!(f, "corrupt container: {m}"),
+            FmtError::NotFound(m) => write!(f, "not found: {m}"),
+            FmtError::OutOfBounds(m) => write!(f, "out of bounds: {m}"),
+            FmtError::Invalid(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FmtError {}
+
+pub type Result<T> = std::result::Result<T, FmtError>;

@@ -1,0 +1,352 @@
+//! N-dimensional index arithmetic: chunk grids, region intersection and
+//! strided sub-array copies — the machinery behind `nc_get_vara`-style
+//! hyperslab reads and behind SciDP's chunk-to-block mapping.
+
+use crate::error::{FmtError, Result};
+
+/// Row-major element strides for a shape.
+pub fn strides(shape: &[usize]) -> Vec<usize> {
+    let mut s = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        s[i] = s[i + 1] * shape[i + 1];
+    }
+    s
+}
+
+/// Number of chunks along each dimension (`ceil(shape/chunk)`).
+pub fn chunk_grid(shape: &[usize], chunk: &[usize]) -> Vec<usize> {
+    assert_eq!(shape.len(), chunk.len());
+    shape
+        .iter()
+        .zip(chunk)
+        .map(|(&s, &c)| {
+            assert!(c > 0, "zero chunk extent");
+            s.div_ceil(c)
+        })
+        .collect()
+}
+
+/// Linear chunk index (row-major over the chunk grid) → per-dim coordinates.
+pub fn unrank(grid: &[usize], mut idx: usize) -> Vec<usize> {
+    let mut coords = vec![0usize; grid.len()];
+    for i in (0..grid.len()).rev() {
+        coords[i] = idx % grid[i];
+        idx /= grid[i];
+    }
+    assert_eq!(idx, 0, "chunk index out of grid");
+    coords
+}
+
+/// Per-dim chunk coordinates → linear index.
+pub fn rank_of(grid: &[usize], coords: &[usize]) -> usize {
+    let mut idx = 0usize;
+    for (c, g) in coords.iter().zip(grid) {
+        debug_assert!(c < g);
+        idx = idx * g + c;
+    }
+    idx
+}
+
+/// Element origin of a chunk.
+pub fn chunk_origin(coords: &[usize], chunk: &[usize]) -> Vec<usize> {
+    coords.iter().zip(chunk).map(|(&c, &k)| c * k).collect()
+}
+
+/// Actual shape of a chunk (edge chunks are clipped by the variable shape).
+pub fn chunk_shape_at(coords: &[usize], chunk: &[usize], shape: &[usize]) -> Vec<usize> {
+    coords
+        .iter()
+        .zip(chunk)
+        .zip(shape)
+        .map(|((&c, &k), &s)| k.min(s - c * k))
+        .collect()
+}
+
+/// Intersect two boxes given as (start, count). Returns `None` if disjoint.
+pub fn intersect(
+    a_start: &[usize],
+    a_count: &[usize],
+    b_start: &[usize],
+    b_count: &[usize],
+) -> Option<(Vec<usize>, Vec<usize>)> {
+    let rank = a_start.len();
+    let mut start = Vec::with_capacity(rank);
+    let mut count = Vec::with_capacity(rank);
+    for d in 0..rank {
+        let lo = a_start[d].max(b_start[d]);
+        let hi = (a_start[d] + a_count[d]).min(b_start[d] + b_count[d]);
+        if lo >= hi {
+            return None;
+        }
+        start.push(lo);
+        count.push(hi - lo);
+    }
+    Some((start, count))
+}
+
+/// Validate that `(start, count)` lies within `shape`.
+pub fn check_bounds(shape: &[usize], start: &[usize], count: &[usize]) -> Result<()> {
+    if start.len() != shape.len() || count.len() != shape.len() {
+        return Err(FmtError::Invalid(format!(
+            "rank mismatch: shape {shape:?}, start {start:?}, count {count:?}"
+        )));
+    }
+    for d in 0..shape.len() {
+        if start[d] + count[d] > shape[d] {
+            return Err(FmtError::OutOfBounds(format!(
+                "dim {d}: start {} + count {} > extent {}",
+                start[d], count[d], shape[d]
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Linear chunk indices of every chunk intersecting `(start, count)`.
+pub fn chunks_for_slab(
+    shape: &[usize],
+    chunk: &[usize],
+    start: &[usize],
+    count: &[usize],
+) -> Vec<usize> {
+    let grid = chunk_grid(shape, chunk);
+    let rank = shape.len();
+    if count.iter().any(|&c| c == 0) {
+        return Vec::new();
+    }
+    let lo: Vec<usize> = (0..rank).map(|d| start[d] / chunk[d]).collect();
+    let hi: Vec<usize> = (0..rank)
+        .map(|d| (start[d] + count[d] - 1) / chunk[d])
+        .collect();
+    let mut out = Vec::new();
+    let mut cur = lo.clone();
+    'outer: loop {
+        out.push(rank_of(&grid, &cur));
+        for d in (0..rank).rev() {
+            cur[d] += 1;
+            if cur[d] <= hi[d] {
+                continue 'outer;
+            }
+            cur[d] = lo[d];
+            if d == 0 {
+                break 'outer;
+            }
+        }
+        if rank == 0 {
+            break;
+        }
+    }
+    out
+}
+
+/// Copy a box of elements between two row-major byte buffers.
+///
+/// * `src` has shape `src_shape`; the box starts at `src_off` inside it.
+/// * `dst` has shape `dst_shape`; the box lands at `dst_off` inside it.
+/// * `count` is the box shape; `elem` the element size in bytes.
+///
+/// Rows along the innermost dimension are contiguous and copied with
+/// `copy_from_slice`.
+#[allow(clippy::too_many_arguments)]
+pub fn copy_slab(
+    src: &[u8],
+    src_shape: &[usize],
+    src_off: &[usize],
+    dst: &mut [u8],
+    dst_shape: &[usize],
+    dst_off: &[usize],
+    count: &[usize],
+    elem: usize,
+) {
+    let rank = count.len();
+    assert_eq!(src_shape.len(), rank);
+    assert_eq!(dst_shape.len(), rank);
+    if count.iter().any(|&c| c == 0) {
+        return;
+    }
+    if rank == 0 {
+        dst[..elem].copy_from_slice(&src[..elem]);
+        return;
+    }
+    let s_str = strides(src_shape);
+    let d_str = strides(dst_shape);
+    let row = count[rank - 1] * elem;
+    // Odometer over all dims but the innermost.
+    let mut idx = vec![0usize; rank - 1];
+    loop {
+        let mut s_base = src_off[rank - 1];
+        let mut d_base = dst_off[rank - 1];
+        for d in 0..rank - 1 {
+            s_base += (src_off[d] + idx[d]) * s_str[d];
+            d_base += (dst_off[d] + idx[d]) * d_str[d];
+        }
+        let s_byte = s_base * elem;
+        let d_byte = d_base * elem;
+        dst[d_byte..d_byte + row].copy_from_slice(&src[s_byte..s_byte + row]);
+        // Advance odometer.
+        let mut d = rank - 1;
+        loop {
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] < count[d] {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides(&[5]), vec![1]);
+        assert_eq!(strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn chunk_grid_rounds_up() {
+        assert_eq!(chunk_grid(&[10, 10], &[4, 5]), vec![3, 2]);
+        assert_eq!(chunk_grid(&[8], &[8]), vec![1]);
+        assert_eq!(chunk_grid(&[9], &[8]), vec![2]);
+    }
+
+    #[test]
+    fn rank_unrank_inverse() {
+        let grid = vec![3, 4, 5];
+        for i in 0..60 {
+            assert_eq!(rank_of(&grid, &unrank(&grid, i)), i);
+        }
+    }
+
+    #[test]
+    fn edge_chunks_clipped() {
+        let coords = unrank(&chunk_grid(&[10], &[4]), 2);
+        assert_eq!(chunk_shape_at(&coords, &[4], &[10]), vec![2]);
+    }
+
+    #[test]
+    fn intersection_cases() {
+        assert_eq!(
+            intersect(&[0, 0], &[4, 4], &[2, 2], &[4, 4]),
+            Some((vec![2, 2], vec![2, 2]))
+        );
+        assert_eq!(intersect(&[0], &[4], &[4], &[4]), None);
+        assert_eq!(intersect(&[0], &[4], &[3], &[4]), Some((vec![3], vec![1])));
+    }
+
+    #[test]
+    fn chunks_for_slab_covers_region() {
+        // 10x10 array, 4x4 chunks → 3x3 grid. Slab [3..9) x [0..5).
+        let ids = chunks_for_slab(&[10, 10], &[4, 4], &[3, 0], &[6, 5]);
+        // Rows 3..8 span chunk rows 0..2; cols 0..4 span chunk cols 0..1.
+        assert_eq!(ids, vec![0, 1, 3, 4, 6, 7]);
+    }
+
+    #[test]
+    fn zero_count_slab_has_no_chunks() {
+        assert!(chunks_for_slab(&[10], &[4], &[2], &[0]).is_empty());
+    }
+
+    #[test]
+    fn copy_slab_2d() {
+        // 4x4 source filled 0..16, copy centre 2x2 into 3x3 dest at (1,1).
+        let src: Vec<u8> = (0..16).collect();
+        let mut dst = vec![0u8; 9];
+        copy_slab(&src, &[4, 4], &[1, 1], &mut dst, &[3, 3], &[1, 1], &[2, 2], 1);
+        assert_eq!(dst, vec![0, 0, 0, 0, 5, 6, 0, 9, 10]);
+    }
+
+    #[test]
+    fn copy_slab_multielem() {
+        let src: Vec<u8> = (0..32).collect(); // 4x4 of u16
+        let mut dst = vec![0u8; 8]; // 2x2 of u16
+        copy_slab(&src, &[4, 4], &[2, 2], &mut dst, &[2, 2], &[0, 0], &[2, 2], 2);
+        // elements (2,2),(2,3),(3,2),(3,3) = linear 10,11,14,15 → bytes 20..
+        assert_eq!(dst, vec![20, 21, 22, 23, 28, 29, 30, 31]);
+    }
+
+    #[test]
+    fn bounds_checking() {
+        assert!(check_bounds(&[4, 4], &[0, 0], &[4, 4]).is_ok());
+        assert!(check_bounds(&[4, 4], &[1, 0], &[4, 4]).is_err());
+        assert!(check_bounds(&[4], &[0, 0], &[1, 1]).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// chunks_for_slab returns exactly the chunks whose boxes intersect.
+        #[test]
+        fn chunk_cover_is_exact(
+            shape in proptest::collection::vec(1usize..12, 1..4),
+            seed in any::<u64>(),
+        ) {
+            let rank = shape.len();
+            let mut x = seed | 1;
+            let mut next = |m: usize| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((x >> 33) as usize) % m
+            };
+            let chunk: Vec<usize> = shape.iter().map(|&s| 1 + next(s)).collect();
+            let start: Vec<usize> = shape.iter().map(|&s| next(s)).collect();
+            let count: Vec<usize> = (0..rank).map(|d| 1 + next(shape[d] - start[d])).collect();
+            let ids = chunks_for_slab(&shape, &chunk, &start, &count);
+            let grid = chunk_grid(&shape, &chunk);
+            let total: usize = grid.iter().product();
+            for i in 0..total {
+                let coords = unrank(&grid, i);
+                let origin = chunk_origin(&coords, &chunk);
+                let cshape = chunk_shape_at(&coords, &chunk, &shape);
+                let hits = intersect(&origin, &cshape, &start, &count).is_some();
+                prop_assert_eq!(ids.contains(&i), hits, "chunk {} mismatch", i);
+            }
+        }
+
+        /// copy_slab moves exactly the selected elements (1-byte elems).
+        #[test]
+        fn copy_slab_matches_reference(
+            shape in proptest::collection::vec(1usize..8, 1..4),
+            seed in any::<u64>(),
+        ) {
+            let rank = shape.len();
+            let mut x = seed | 1;
+            let mut next = |m: usize| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((x >> 33) as usize) % m
+            };
+            let start: Vec<usize> = shape.iter().map(|&s| next(s)).collect();
+            let count: Vec<usize> = (0..rank).map(|d| 1 + next(shape[d] - start[d])).collect();
+            let n: usize = shape.iter().product();
+            let src: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+            let m: usize = count.iter().product();
+            let mut dst = vec![0xaau8; m];
+            let zero = vec![0usize; rank];
+            copy_slab(&src, &shape, &start, &mut dst, &count, &zero, &count, 1);
+            // Reference: iterate all coordinates of the box.
+            let sstr = strides(&shape);
+            let dstr = strides(&count);
+            let mut coords = vec![0usize; rank];
+            loop {
+                let si: usize = (0..rank).map(|d| (start[d] + coords[d]) * sstr[d]).sum();
+                let di: usize = (0..rank).map(|d| coords[d] * dstr[d]).sum();
+                prop_assert_eq!(dst[di], src[si]);
+                let mut d = rank;
+                loop {
+                    if d == 0 { return Ok(()); }
+                    d -= 1;
+                    coords[d] += 1;
+                    if coords[d] < count[d] { break; }
+                    coords[d] = 0;
+                }
+            }
+        }
+    }
+}

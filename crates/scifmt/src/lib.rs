@@ -1,0 +1,41 @@
+//! # scifmt — the SNC scientific data container
+//!
+//! A from-scratch, self-descriptive, chunked and compressed array container
+//! standing in for netCDF-4/HDF5 in the SciDP reproduction. The paper's
+//! whole contribution hinges on format *metadata*: SciDP reads a file's
+//! header on the parallel file system, learns each variable's dimensions,
+//! chunk layout and byte extents, and maps chunks to virtual HDFS blocks.
+//! SNC therefore reproduces the features that matter:
+//!
+//! * **self-description** — named dimensions, attributes, typed N-D
+//!   variables, hierarchical groups (HDF5-style);
+//! * **chunked storage** — each variable is split into fixed-shape chunks,
+//!   stored independently so a reader can fetch any hyperslab without
+//!   touching the rest of the file;
+//! * **real compression** — a byte-shuffle + LZ codec (the same family as
+//!   netCDF-4's shuffle+deflate) that genuinely round-trips data and gives
+//!   realistic ratios on smooth geophysical fields;
+//! * **the C-API surface** — [`SncFile::open`] (`nc_open`),
+//!   [`snc::is_snc`] (`H5Fis_hdf5`), variable/dimension inquiry
+//!   (`nc_inq*`) and hyperslab reads ([`SncFile::get_vara`], `nc_get_vara`).
+//!
+//! The crate is pure and synchronous: it operates on byte slices. Timing of
+//! the reads that produce those bytes is charged by the callers (`scidp`,
+//! `baselines`) through the simulator, using the byte extents this crate
+//! reports ([`SncFile::chunk_extents`]).
+
+pub mod array;
+pub mod codec;
+pub mod convert;
+pub mod csvfmt;
+pub mod error;
+pub mod hyperslab;
+pub mod snc;
+pub mod wire;
+
+pub use array::{Array, ArrayData, DType};
+pub use codec::Codec;
+pub use error::{FmtError, Result};
+pub use snc::{
+    is_snc, AttrValue, ChunkExtent, Dim, SncBuilder, SncFile, SncMeta, VarMeta, MAGIC,
+};

@@ -1,0 +1,1000 @@
+//! The SNC container: metadata model, builder (writer) and reader.
+//!
+//! File layout:
+//!
+//! ```text
+//! +--------+------------------+------------------+---------------------+
+//! | "SNC1" | header_len (u64) | header (wire.rs) | chunk data ........ |
+//! +--------+------------------+------------------+---------------------+
+//! ```
+//!
+//! The header describes a tree of groups (HDF5-style); each group holds
+//! attributes, variables and subgroups. A variable records its named
+//! dimensions, chunk shape, codec, and the byte extent of every stored chunk
+//! (offset *relative to the data section*, compressed and raw lengths).
+//! That chunk table is exactly what SciDP's Data Mapper walks to create
+//! dummy HDFS blocks, and what the PFS Reader uses to fetch a hyperslab
+//! with one contiguous read per chunk.
+
+use std::sync::Arc;
+
+use crate::array::{Array, DType};
+use crate::codec::{self, Codec};
+use crate::error::{FmtError, Result};
+use crate::hyperslab;
+use crate::wire::{Reader, Writer};
+
+/// File magic for format detection (`H5Fis_hdf5` equivalent: [`is_snc`]).
+pub const MAGIC: [u8; 4] = *b"SNC1";
+
+/// Attribute payloads (netCDF attribute types we need).
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrValue {
+    Str(String),
+    F64(f64),
+    I64(i64),
+}
+
+/// A named dimension with its extent. Dimensions are stored inline per
+/// variable (like netCDF's resolved view of shared dims).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dim {
+    pub name: String,
+    pub len: usize,
+}
+
+/// Stored byte extent of one chunk, offset relative to the data section.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChunkMeta {
+    pub rel_offset: u64,
+    /// Compressed (stored) length in bytes.
+    pub clen: u64,
+    /// Raw (decompressed) length in bytes.
+    pub rlen: u64,
+}
+
+/// Metadata of one variable (the `nc_inq_var` result).
+#[derive(Clone, Debug)]
+pub struct VarMeta {
+    pub name: String,
+    pub dtype: DType,
+    pub dims: Vec<Dim>,
+    pub chunk_shape: Vec<usize>,
+    pub codec: Codec,
+    pub attrs: Vec<(String, AttrValue)>,
+    /// Row-major over the chunk grid.
+    pub chunks: Vec<ChunkMeta>,
+}
+
+impl VarMeta {
+    /// Element extents per dimension.
+    pub fn shape(&self) -> Vec<usize> {
+        self.dims.iter().map(|d| d.len).collect()
+    }
+
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    pub fn n_elems(&self) -> usize {
+        self.dims.iter().map(|d| d.len).product()
+    }
+
+    /// Total raw (uncompressed) byte size.
+    pub fn raw_size(&self) -> usize {
+        self.n_elems() * self.dtype.size()
+    }
+
+    /// Total stored (compressed) byte size.
+    pub fn stored_size(&self) -> usize {
+        self.chunks.iter().map(|c| c.clen as usize).sum()
+    }
+
+    /// Chunk-grid extents per dimension.
+    pub fn grid(&self) -> Vec<usize> {
+        hyperslab::chunk_grid(&self.shape(), &self.chunk_shape)
+    }
+}
+
+/// A group node: attributes, variables, subgroups.
+#[derive(Clone, Debug, Default)]
+pub struct GroupMeta {
+    pub name: String,
+    pub attrs: Vec<(String, AttrValue)>,
+    pub vars: Vec<VarMeta>,
+    pub groups: Vec<GroupMeta>,
+}
+
+/// Parsed container metadata plus the data-section offset.
+#[derive(Clone, Debug)]
+pub struct SncMeta {
+    pub root: GroupMeta,
+    /// Absolute byte offset of the data section in the file.
+    pub data_offset: usize,
+    /// Header length in bytes (excluding magic and the length field).
+    pub header_len: usize,
+}
+
+/// Byte extent + geometry of one chunk, with the absolute file offset —
+/// the unit SciDP maps to a dummy HDFS block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChunkExtent {
+    /// Linear chunk index (row-major over the chunk grid).
+    pub index: usize,
+    /// Chunk coordinates in the grid.
+    pub coords: Vec<usize>,
+    /// Element origin of the chunk in the variable.
+    pub origin: Vec<usize>,
+    /// Clipped element shape of the chunk.
+    pub shape: Vec<usize>,
+    /// Absolute byte offset in the file.
+    pub offset: u64,
+    pub clen: u64,
+    pub rlen: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Detection helpers (Sci-format Head Reader primitives)
+// ---------------------------------------------------------------------------
+
+/// `true` if `head` (any prefix of a file, ≥ 4 bytes) starts with the SNC
+/// magic — the `nc_open`/`H5Fis_hdf5` probe used by the Sci-format Head
+/// Reader to classify files.
+pub fn is_snc(head: &[u8]) -> bool {
+    head.len() >= 4 && head[..4] == MAGIC
+}
+
+/// Given at least the first 12 bytes, how many bytes from file start are
+/// needed to parse the full header.
+pub fn required_header_bytes(prefix: &[u8]) -> Result<usize> {
+    if prefix.len() < 12 {
+        return Err(FmtError::Truncated {
+            what: "SNC preamble",
+        });
+    }
+    if !is_snc(prefix) {
+        return Err(FmtError::NotSnc);
+    }
+    let len = u64::from_le_bytes(prefix[4..12].try_into().unwrap()) as usize;
+    Ok(12 + len)
+}
+
+// ---------------------------------------------------------------------------
+// Header (de)serialization
+// ---------------------------------------------------------------------------
+
+fn write_attrs(w: &mut Writer, attrs: &[(String, AttrValue)]) {
+    w.put_varint(attrs.len() as u64);
+    for (name, v) in attrs {
+        w.put_str(name);
+        match v {
+            AttrValue::Str(s) => {
+                w.put_u8(0);
+                w.put_str(s);
+            }
+            AttrValue::F64(x) => {
+                w.put_u8(1);
+                w.put_f64(*x);
+            }
+            AttrValue::I64(x) => {
+                w.put_u8(2);
+                w.put_u64(*x as u64);
+            }
+        }
+    }
+}
+
+fn read_attrs(r: &mut Reader<'_>) -> Result<Vec<(String, AttrValue)>> {
+    let n = r.get_varint()? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = r.get_str()?;
+        let tag = r.get_u8()?;
+        let v = match tag {
+            0 => AttrValue::Str(r.get_str()?),
+            1 => AttrValue::F64(r.get_f64()?),
+            2 => AttrValue::I64(r.get_u64()? as i64),
+            t => return Err(FmtError::Corrupt(format!("bad attr tag {t}"))),
+        };
+        out.push((name, v));
+    }
+    Ok(out)
+}
+
+fn write_var(w: &mut Writer, v: &VarMeta) {
+    w.put_str(&v.name);
+    w.put_u8(v.dtype.id());
+    w.put_varint(v.dims.len() as u64);
+    for d in &v.dims {
+        w.put_str(&d.name);
+        w.put_varint(d.len as u64);
+    }
+    for &c in &v.chunk_shape {
+        w.put_varint(c as u64);
+    }
+    match v.codec {
+        Codec::None => w.put_u8(0),
+        Codec::Lz => w.put_u8(1),
+        Codec::ShuffleLz { elem } => {
+            w.put_u8(2);
+            w.put_u8(elem);
+        }
+    }
+    write_attrs(w, &v.attrs);
+    w.put_varint(v.chunks.len() as u64);
+    for c in &v.chunks {
+        w.put_varint(c.rel_offset);
+        w.put_varint(c.clen);
+        w.put_varint(c.rlen);
+    }
+}
+
+fn read_var(r: &mut Reader<'_>) -> Result<VarMeta> {
+    let name = r.get_str()?;
+    let dtype = DType::from_id(r.get_u8()?)?;
+    let rank = r.get_varint()? as usize;
+    if rank > 16 {
+        return Err(FmtError::Corrupt(format!("rank {rank} implausible")));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        let dname = r.get_str()?;
+        let len = r.get_varint()? as usize;
+        dims.push(Dim { name: dname, len });
+    }
+    let mut chunk_shape = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        let c = r.get_varint()? as usize;
+        if c == 0 {
+            return Err(FmtError::Corrupt("zero chunk extent".into()));
+        }
+        chunk_shape.push(c);
+    }
+    let codec = match r.get_u8()? {
+        0 => Codec::None,
+        1 => Codec::Lz,
+        2 => Codec::ShuffleLz { elem: r.get_u8()? },
+        t => return Err(FmtError::Corrupt(format!("bad codec tag {t}"))),
+    };
+    let attrs = read_attrs(r)?;
+    let n_chunks = r.get_varint()? as usize;
+    let expect: usize = hyperslab::chunk_grid(
+        &dims.iter().map(|d| d.len).collect::<Vec<_>>(),
+        &chunk_shape,
+    )
+    .iter()
+    .product();
+    if n_chunks != expect {
+        return Err(FmtError::Corrupt(format!(
+            "variable {name}: {n_chunks} chunks stored, grid wants {expect}"
+        )));
+    }
+    let mut chunks = Vec::with_capacity(n_chunks);
+    for _ in 0..n_chunks {
+        chunks.push(ChunkMeta {
+            rel_offset: r.get_varint()?,
+            clen: r.get_varint()?,
+            rlen: r.get_varint()?,
+        });
+    }
+    Ok(VarMeta {
+        name,
+        dtype,
+        dims,
+        chunk_shape,
+        codec,
+        attrs,
+        chunks,
+    })
+}
+
+fn write_group(w: &mut Writer, g: &GroupMeta) {
+    w.put_str(&g.name);
+    write_attrs(w, &g.attrs);
+    w.put_varint(g.vars.len() as u64);
+    for v in &g.vars {
+        write_var(w, v);
+    }
+    w.put_varint(g.groups.len() as u64);
+    for sub in &g.groups {
+        write_group(w, sub);
+    }
+}
+
+fn read_group(r: &mut Reader<'_>, depth: usize) -> Result<GroupMeta> {
+    if depth > 32 {
+        return Err(FmtError::Corrupt("group nesting too deep".into()));
+    }
+    let name = r.get_str()?;
+    let attrs = read_attrs(r)?;
+    let n_vars = r.get_varint()? as usize;
+    let mut vars = Vec::with_capacity(n_vars.min(4096));
+    for _ in 0..n_vars {
+        vars.push(read_var(r)?);
+    }
+    let n_groups = r.get_varint()? as usize;
+    let mut groups = Vec::with_capacity(n_groups.min(1024));
+    for _ in 0..n_groups {
+        groups.push(read_group(r, depth + 1)?);
+    }
+    Ok(GroupMeta {
+        name,
+        attrs,
+        vars,
+        groups,
+    })
+}
+
+impl SncMeta {
+    /// Parse metadata from a file prefix containing the complete header
+    /// (use [`required_header_bytes`] to learn how much to read).
+    pub fn parse(bytes: &[u8]) -> Result<SncMeta> {
+        let need = required_header_bytes(bytes)?;
+        if bytes.len() < need {
+            return Err(FmtError::Truncated { what: "SNC header" });
+        }
+        let header = &bytes[12..need];
+        let mut r = Reader::new(header);
+        let root = read_group(&mut r, 0)?;
+        if r.remaining() != 0 {
+            return Err(FmtError::Corrupt(format!(
+                "{} trailing bytes after header",
+                r.remaining()
+            )));
+        }
+        Ok(SncMeta {
+            root,
+            data_offset: need,
+            header_len: need - 12,
+        })
+    }
+
+    /// Resolve a slash-separated variable path (e.g. `"physics/QR"`;
+    /// a bare name addresses root-group variables).
+    pub fn var(&self, path: &str) -> Result<&VarMeta> {
+        let mut group = &self.root;
+        let mut parts: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        let Some(var_name) = parts.pop() else {
+            return Err(FmtError::NotFound(format!("empty variable path {path:?}")));
+        };
+        for p in parts {
+            group = group
+                .groups
+                .iter()
+                .find(|g| g.name == p)
+                .ok_or_else(|| FmtError::NotFound(format!("group {p:?} in path {path:?}")))?;
+        }
+        group
+            .vars
+            .iter()
+            .find(|v| v.name == var_name)
+            .ok_or_else(|| FmtError::NotFound(format!("variable {path:?}")))
+    }
+
+    /// All variables flattened as `(path, meta)` pairs, depth-first.
+    pub fn all_vars(&self) -> Vec<(String, &VarMeta)> {
+        fn walk<'a>(g: &'a GroupMeta, prefix: &str, out: &mut Vec<(String, &'a VarMeta)>) {
+            for v in &g.vars {
+                let path = if prefix.is_empty() {
+                    v.name.clone()
+                } else {
+                    format!("{prefix}/{}", v.name)
+                };
+                out.push((path, v));
+            }
+            for sub in &g.groups {
+                let p = if prefix.is_empty() {
+                    sub.name.clone()
+                } else {
+                    format!("{prefix}/{}", sub.name)
+                };
+                walk(sub, &p, out);
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, "", &mut out);
+        out
+    }
+
+    /// Chunk extents (absolute offsets) of a variable.
+    pub fn chunk_extents(&self, path: &str) -> Result<Vec<ChunkExtent>> {
+        let var = self.var(path)?;
+        Ok(chunk_extents_of(var, self.data_offset))
+    }
+}
+
+/// Expand a variable's chunk table into geometric extents with absolute
+/// file offsets.
+pub fn chunk_extents_of(var: &VarMeta, data_offset: usize) -> Vec<ChunkExtent> {
+    let shape = var.shape();
+    let grid = var.grid();
+    var.chunks
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let coords = hyperslab::unrank(&grid, i);
+            let origin = hyperslab::chunk_origin(&coords, &var.chunk_shape);
+            let cshape = hyperslab::chunk_shape_at(&coords, &var.chunk_shape, &shape);
+            ChunkExtent {
+                index: i,
+                coords,
+                origin,
+                shape: cshape,
+                offset: data_offset as u64 + c.rel_offset,
+                clen: c.clen,
+                rlen: c.rlen,
+            }
+        })
+        .collect()
+}
+
+/// Assemble a hyperslab from already-decompressed chunk payloads.
+///
+/// `raw_chunks` maps linear chunk index → raw bytes (only intersecting
+/// chunks need be present). This is the reusable core of `nc_get_vara`,
+/// shared by [`SncFile::get_vara`] (local bytes) and SciDP's PFS Reader
+/// (bytes fetched remotely).
+pub fn assemble_slab(
+    var: &VarMeta,
+    start: &[usize],
+    count: &[usize],
+    raw_chunk: impl Fn(usize) -> Result<Vec<u8>>,
+) -> Result<Array> {
+    let shape = var.shape();
+    hyperslab::check_bounds(&shape, start, count)?;
+    let elem = var.dtype.size();
+    let n: usize = count.iter().product();
+    let mut dst = vec![0u8; n * elem];
+    let grid = var.grid();
+    for idx in hyperslab::chunks_for_slab(&shape, &var.chunk_shape, start, count) {
+        let coords = hyperslab::unrank(&grid, idx);
+        let origin = hyperslab::chunk_origin(&coords, &var.chunk_shape);
+        let cshape = hyperslab::chunk_shape_at(&coords, &var.chunk_shape, &shape);
+        let raw = raw_chunk(idx)?;
+        if raw.len() != cshape.iter().product::<usize>() * elem {
+            return Err(FmtError::Corrupt(format!(
+                "chunk {idx} of {:?}: raw length {} != shape {cshape:?} x {elem}",
+                var.name,
+                raw.len()
+            )));
+        }
+        let (isect_start, isect_count) =
+            hyperslab::intersect(&origin, &cshape, start, count).ok_or_else(|| {
+                FmtError::Corrupt("chunk selection does not intersect slab".into())
+            })?;
+        let src_off: Vec<usize> = isect_start
+            .iter()
+            .zip(&origin)
+            .map(|(s, o)| s - o)
+            .collect();
+        let dst_off: Vec<usize> = isect_start.iter().zip(start).map(|(s, o)| s - o).collect();
+        hyperslab::copy_slab(
+            &raw,
+            &cshape,
+            &src_off,
+            &mut dst,
+            count,
+            &dst_off,
+            &isect_count,
+            elem,
+        );
+    }
+    Array::from_bytes(var.dtype, count.to_vec(), &dst)
+}
+
+// ---------------------------------------------------------------------------
+// Builder (writer)
+// ---------------------------------------------------------------------------
+
+struct PendingVar {
+    meta: VarMeta,
+    data: Array,
+}
+
+#[derive(Default)]
+struct PendingGroup {
+    name: String,
+    attrs: Vec<(String, AttrValue)>,
+    vars: Vec<PendingVar>,
+    groups: Vec<PendingGroup>,
+}
+
+/// Incrementally builds an SNC container, then serializes it with
+/// [`SncBuilder::finish`]. Chunking and compression happen at finish time.
+#[derive(Default)]
+pub struct SncBuilder {
+    root: PendingGroup,
+}
+
+impl SncBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn group_mut(&mut self, path: &str) -> &mut PendingGroup {
+        let mut g = &mut self.root;
+        for part in path.split('/').filter(|s| !s.is_empty()) {
+            let pos = g.groups.iter().position(|sub| sub.name == part);
+            let idx = match pos {
+                Some(i) => i,
+                None => {
+                    g.groups.push(PendingGroup {
+                        name: part.to_string(),
+                        ..Default::default()
+                    });
+                    g.groups.len() - 1
+                }
+            };
+            g = &mut g.groups[idx];
+        }
+        g
+    }
+
+    /// Attach an attribute to the group at `path` (`""` = root). Groups on
+    /// the path are created as needed.
+    pub fn attr(&mut self, path: &str, name: &str, value: AttrValue) -> &mut Self {
+        self.group_mut(path)
+            .attrs
+            .push((name.to_string(), value));
+        self
+    }
+
+    /// Add a variable under the group at `group_path`.
+    ///
+    /// * `dims` — named dimensions, product must equal `data.len()`;
+    /// * `chunk` — chunk shape (same rank); clipped at array edges;
+    /// * `codec` — per-chunk compression.
+    pub fn add_var(
+        &mut self,
+        group_path: &str,
+        name: &str,
+        dims: &[(&str, usize)],
+        chunk: &[usize],
+        codec: Codec,
+        data: Array,
+    ) -> Result<&mut Self> {
+        if dims.len() != chunk.len() {
+            return Err(FmtError::Invalid(format!(
+                "variable {name}: {} dims but {} chunk extents",
+                dims.len(),
+                chunk.len()
+            )));
+        }
+        if chunk.iter().any(|&c| c == 0) {
+            return Err(FmtError::Invalid(format!(
+                "variable {name}: zero chunk extent"
+            )));
+        }
+        let shape: Vec<usize> = dims.iter().map(|&(_, l)| l).collect();
+        if shape != data.shape() {
+            return Err(FmtError::Invalid(format!(
+                "variable {name}: dims {shape:?} but data shape {:?}",
+                data.shape()
+            )));
+        }
+        if let Codec::ShuffleLz { elem } = codec {
+            if elem as usize != data.dtype().size() {
+                return Err(FmtError::Invalid(format!(
+                    "variable {name}: shuffle width {elem} != element size {}",
+                    data.dtype().size()
+                )));
+            }
+        }
+        let meta = VarMeta {
+            name: name.to_string(),
+            dtype: data.dtype(),
+            dims: dims
+                .iter()
+                .map(|&(n, l)| Dim {
+                    name: n.to_string(),
+                    len: l,
+                })
+                .collect(),
+            chunk_shape: chunk.to_vec(),
+            codec,
+            attrs: Vec::new(),
+            chunks: Vec::new(),
+        };
+        self.group_mut(group_path)
+            .vars
+            .push(PendingVar { meta, data });
+        Ok(self)
+    }
+
+    /// Serialize: chunk + compress every variable, lay out the data section
+    /// and emit the final container bytes.
+    pub fn finish(self) -> Vec<u8> {
+        fn seal(g: PendingGroup, data: &mut Vec<u8>) -> GroupMeta {
+            let mut vars = Vec::with_capacity(g.vars.len());
+            for pv in g.vars {
+                let mut meta = pv.meta;
+                let shape = meta.shape();
+                let grid = hyperslab::chunk_grid(&shape, &meta.chunk_shape);
+                let total: usize = grid.iter().product();
+                let elem = meta.dtype.size();
+                let full = pv.data.to_bytes();
+                let zero = vec![0usize; shape.len()];
+                for idx in 0..total {
+                    let coords = hyperslab::unrank(&grid, idx);
+                    let origin = hyperslab::chunk_origin(&coords, &meta.chunk_shape);
+                    let cshape = hyperslab::chunk_shape_at(&coords, &meta.chunk_shape, &shape);
+                    let n: usize = cshape.iter().product();
+                    let mut raw = vec![0u8; n * elem];
+                    hyperslab::copy_slab(
+                        &full, &shape, &origin, &mut raw, &cshape, &zero, &cshape, elem,
+                    );
+                    let frame = codec::compress(meta.codec, &raw);
+                    meta.chunks.push(ChunkMeta {
+                        rel_offset: data.len() as u64,
+                        clen: frame.len() as u64,
+                        rlen: raw.len() as u64,
+                    });
+                    data.extend_from_slice(&frame);
+                }
+                vars.push(meta);
+            }
+            let groups = g.groups.into_iter().map(|sub| seal(sub, data)).collect();
+            GroupMeta {
+                name: g.name,
+                attrs: g.attrs,
+                vars,
+                groups,
+            }
+        }
+
+        let mut data = Vec::new();
+        let root = seal(self.root, &mut data);
+        let mut hw = Writer::new();
+        write_group(&mut hw, &root);
+        let header = hw.into_bytes();
+        let mut out = Vec::with_capacity(12 + header.len() + data.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&(header.len() as u64).to_le_bytes());
+        out.extend_from_slice(&header);
+        out.extend_from_slice(&data);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// An opened SNC container (the `nc_open` result): parsed metadata plus the
+/// full file bytes.
+#[derive(Clone, Debug)]
+pub struct SncFile {
+    meta: SncMeta,
+    bytes: Arc<Vec<u8>>,
+}
+
+impl SncFile {
+    /// Open a container from its complete bytes.
+    pub fn open(bytes: impl Into<Arc<Vec<u8>>>) -> Result<SncFile> {
+        let bytes = bytes.into();
+        let meta = SncMeta::parse(&bytes)?;
+        Ok(SncFile { meta, bytes })
+    }
+
+    pub fn meta(&self) -> &SncMeta {
+        &self.meta
+    }
+
+    /// Total file size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Decompressed payload of one chunk of a variable.
+    pub fn read_chunk_raw(&self, var: &VarMeta, index: usize) -> Result<Vec<u8>> {
+        let c = var
+            .chunks
+            .get(index)
+            .ok_or_else(|| FmtError::OutOfBounds(format!("chunk {index} of {}", var.name)))?;
+        let off = self.meta.data_offset + c.rel_offset as usize;
+        let frame = self
+            .bytes
+            .get(off..off + c.clen as usize)
+            .ok_or(FmtError::Truncated { what: "chunk data" })?;
+        let raw = codec::decompress(frame)?;
+        if raw.len() != c.rlen as usize {
+            return Err(FmtError::Corrupt(format!(
+                "chunk {index} of {}: raw {} != recorded {}",
+                var.name,
+                raw.len(),
+                c.rlen
+            )));
+        }
+        Ok(raw)
+    }
+
+    /// Read a hyperslab of a variable (`nc_get_vara`).
+    pub fn get_vara(&self, path: &str, start: &[usize], count: &[usize]) -> Result<Array> {
+        let var = self.meta.var(path)?.clone();
+        assemble_slab(&var, start, count, |idx| self.read_chunk_raw(&var, idx))
+    }
+
+    /// Read an entire variable.
+    pub fn get_var(&self, path: &str) -> Result<Array> {
+        let shape = self.meta.var(path)?.shape();
+        let start = vec![0usize; shape.len()];
+        self.get_vara(path, &start, &shape)
+    }
+
+    /// Chunk extents (absolute offsets) of a variable — the Data Mapper's
+    /// input.
+    pub fn chunk_extents(&self, path: &str) -> Result<Vec<ChunkExtent>> {
+        self.meta.chunk_extents(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ArrayData;
+    use proptest::prelude::*;
+
+    fn ramp_f32(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32) * 0.5 - 10.0).collect()
+    }
+
+    fn sample_file() -> Vec<u8> {
+        let mut b = SncBuilder::new();
+        b.attr("", "title", AttrValue::Str("test".into()));
+        b.attr("", "version", AttrValue::I64(3));
+        b.add_var(
+            "",
+            "QR",
+            &[("lev", 4), ("lat", 6), ("lon", 5)],
+            &[2, 3, 5],
+            Codec::ShuffleLz { elem: 4 },
+            Array::from_f32(vec![4, 6, 5], ramp_f32(120)).unwrap(),
+        )
+        .unwrap();
+        b.attr("physics", "scheme", AttrValue::Str("GCE".into()));
+        b.add_var(
+            "physics",
+            "T",
+            &[("lat", 3), ("lon", 3)],
+            &[3, 3],
+            Codec::None,
+            Array::from_f64(vec![3, 3], (0..9).map(|i| i as f64).collect()).unwrap(),
+        )
+        .unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn detection() {
+        let f = sample_file();
+        assert!(is_snc(&f));
+        assert!(!is_snc(b"time,lat,lon,value"));
+        assert!(!is_snc(b"SN"));
+        assert_eq!(required_header_bytes(&f[..12]).unwrap(), 12 + {
+            u64::from_le_bytes(f[4..12].try_into().unwrap()) as usize
+        });
+        assert!(matches!(
+            required_header_bytes(b"notsncdata.."),
+            Err(FmtError::NotSnc)
+        ));
+    }
+
+    #[test]
+    fn metadata_roundtrip() {
+        let f = sample_file();
+        let meta = SncMeta::parse(&f).unwrap();
+        assert_eq!(meta.root.attrs.len(), 2);
+        let qr = meta.var("QR").unwrap();
+        assert_eq!(qr.shape(), vec![4, 6, 5]);
+        assert_eq!(qr.grid(), vec![2, 2, 1]);
+        assert_eq!(qr.chunks.len(), 4);
+        assert_eq!(qr.raw_size(), 120 * 4);
+        let t = meta.var("physics/T").unwrap();
+        assert_eq!(t.dtype, DType::F64);
+        assert!(meta.var("missing").is_err());
+        assert!(meta.var("physics/missing").is_err());
+        let all = meta.all_vars();
+        let paths: Vec<&str> = all.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, vec!["QR", "physics/T"]);
+    }
+
+    #[test]
+    fn full_variable_roundtrip() {
+        let f = SncFile::open(sample_file()).unwrap();
+        let a = f.get_var("QR").unwrap();
+        assert_eq!(a.shape(), &[4, 6, 5]);
+        let expect = ramp_f32(120);
+        match a.data() {
+            ArrayData::F32(v) => assert_eq!(v, &expect),
+            other => panic!("wrong dtype {other:?}"),
+        }
+        let t = f.get_var("physics/T").unwrap();
+        assert_eq!(t.at(&[2, 2]), 8.0);
+    }
+
+    #[test]
+    fn hyperslab_matches_full_read() {
+        let f = SncFile::open(sample_file()).unwrap();
+        let full = f.get_var("QR").unwrap();
+        // A slab crossing chunk boundaries in every dim.
+        let slab = f.get_vara("QR", &[1, 2, 1], &[2, 3, 3]).unwrap();
+        assert_eq!(slab.shape(), &[2, 3, 3]);
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..3 {
+                    assert_eq!(
+                        slab.at(&[i, j, k]),
+                        full.at(&[1 + i, 2 + j, 1 + k]),
+                        "mismatch at {i},{j},{k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_slab_rejected() {
+        let f = SncFile::open(sample_file()).unwrap();
+        assert!(f.get_vara("QR", &[3, 0, 0], &[2, 1, 1]).is_err());
+        assert!(f.get_vara("QR", &[0, 0], &[1, 1]).is_err());
+    }
+
+    #[test]
+    fn chunk_extents_are_disjoint_and_ordered() {
+        let f = SncFile::open(sample_file()).unwrap();
+        let exts = f.chunk_extents("QR").unwrap();
+        assert_eq!(exts.len(), 4);
+        let mut prev_end = f.meta().data_offset as u64;
+        for e in &exts {
+            assert_eq!(e.offset, prev_end, "chunks must be contiguous");
+            prev_end = e.offset + e.clen;
+            assert_eq!(e.rlen as usize, e.shape.iter().product::<usize>() * 4);
+        }
+    }
+
+    #[test]
+    fn corrupt_header_rejected() {
+        let mut f = sample_file();
+        // Flip a byte inside the header region.
+        f[20] ^= 0xff;
+        assert!(SncMeta::parse(&f).is_err() || SncFile::open(f.clone()).is_err());
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let f = sample_file();
+        assert!(SncMeta::parse(&f[..8]).is_err());
+        let file = SncFile::open(f[..f.len() - 4].to_vec());
+        // Header parses but the last chunk read must fail.
+        if let Ok(file) = file {
+            assert!(file.get_var("physics/T").is_err() || file.get_var("QR").is_err());
+        }
+    }
+
+    #[test]
+    fn builder_rejects_bad_args() {
+        let mut b = SncBuilder::new();
+        // rank mismatch
+        assert!(b
+            .add_var(
+                "",
+                "x",
+                &[("a", 2)],
+                &[2, 2],
+                Codec::None,
+                Array::zeros(DType::F32, vec![2]),
+            )
+            .is_err());
+        // shape mismatch
+        assert!(b
+            .add_var(
+                "",
+                "x",
+                &[("a", 3)],
+                &[2],
+                Codec::None,
+                Array::zeros(DType::F32, vec![2]),
+            )
+            .is_err());
+        // wrong shuffle width
+        assert!(b
+            .add_var(
+                "",
+                "x",
+                &[("a", 2)],
+                &[2],
+                Codec::ShuffleLz { elem: 8 },
+                Array::zeros(DType::F32, vec![2]),
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn compression_shrinks_smooth_fields() {
+        let n = 64 * 64;
+        let vals: Vec<f32> = (0..n)
+            .map(|i| {
+                let x = (i % 64) as f32 / 64.0;
+                let y = (i / 64) as f32 / 64.0;
+                280.0 + 10.0 * (x * 6.0).sin() * (y * 6.0).cos()
+            })
+            .collect();
+        let mut b = SncBuilder::new();
+        b.add_var(
+            "",
+            "T",
+            &[("lat", 64), ("lon", 64)],
+            &[32, 64],
+            Codec::ShuffleLz { elem: 4 },
+            Array::from_f32(vec![64, 64], vals).unwrap(),
+        )
+        .unwrap();
+        let f = SncFile::open(b.finish()).unwrap();
+        let var = f.meta().var("T").unwrap();
+        let ratio = var.raw_size() as f64 / var.stored_size() as f64;
+        assert!(ratio > 1.5, "smooth field ratio {ratio:.2} too low");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Any chunking of any small array round-trips both full reads and
+        /// random hyperslabs.
+        #[test]
+        fn arbitrary_chunking_roundtrip(
+            shape in proptest::collection::vec(1usize..9, 1..4),
+            seed in any::<u64>(),
+        ) {
+            let rank = shape.len();
+            let mut x = seed | 1;
+            let mut next = |m: usize| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((x >> 33) as usize) % m
+            };
+            let chunk: Vec<usize> = shape.iter().map(|&s| 1 + next(s)).collect();
+            let n: usize = shape.iter().product();
+            let data: Vec<f32> = (0..n).map(|i| i as f32 * 0.25).collect();
+            let dims: Vec<(String, usize)> = shape
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (format!("d{i}"), s))
+                .collect();
+            let dim_refs: Vec<(&str, usize)> =
+                dims.iter().map(|(n, s)| (n.as_str(), *s)).collect();
+            let mut b = SncBuilder::new();
+            b.add_var(
+                "",
+                "v",
+                &dim_refs,
+                &chunk,
+                Codec::ShuffleLz { elem: 4 },
+                Array::from_f32(shape.clone(), data.clone()).unwrap(),
+            )
+            .unwrap();
+            let f = SncFile::open(b.finish()).unwrap();
+            let full = f.get_var("v").unwrap();
+            prop_assert_eq!(full.data(), &ArrayData::F32(data));
+            // Random slab.
+            let start: Vec<usize> = shape.iter().map(|&s| next(s)).collect();
+            let count: Vec<usize> = (0..rank).map(|d| 1 + next(shape[d] - start[d])).collect();
+            let slab = f.get_vara("v", &start, &count).unwrap();
+            let mut coords = vec![0usize; rank];
+            loop {
+                let fc: Vec<usize> = coords.iter().zip(&start).map(|(c, s)| c + s).collect();
+                prop_assert_eq!(slab.at(&coords), full.at(&fc));
+                let mut d = rank;
+                loop {
+                    if d == 0 { return Ok(()); }
+                    d -= 1;
+                    coords[d] += 1;
+                    if coords[d] < count[d] { break; }
+                    coords[d] = 0;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Simulated-time newtype.
+//!
+//! Virtual time is kept as `f64` seconds. The newtype provides a total order
+//! (via [`f64::total_cmp`]) so times can live in ordered collections, and
+//! guards against accidentally mixing virtual seconds with real wall-clock
+//! durations.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in seconds since simulation start.
+#[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    /// Simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Seconds since simulation start.
+    #[inline]
+    pub fn secs(self) -> f64 {
+        self.0
+    }
+
+    /// `true` if this time is finite and non-negative — i.e. a time the
+    /// simulator is actually able to reach.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: f64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime(1.0);
+        let b = SimTime(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime(1.5) + 0.5;
+        assert_eq!(t, SimTime(2.0));
+        assert!((t - SimTime(0.5) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(SimTime(0.0).is_valid());
+        assert!(SimTime(1e9).is_valid());
+        assert!(!SimTime(-1.0).is_valid());
+        assert!(!SimTime(f64::NAN).is_valid());
+        assert!(!SimTime(f64::INFINITY).is_valid());
+    }
+
+    #[test]
+    fn display_renders_seconds() {
+        assert_eq!(SimTime(1.25).to_string(), "1.250s");
+    }
+}

@@ -1,0 +1,22 @@
+//! # wrfgen — synthetic NU-WRF-shaped dataset generator
+//!
+//! The paper's evaluation data is a 48-hour NU-WRF run: one netCDF file per
+//! timestamp, 23 single-precision variables of shape
+//! `level x latitude x longitude` (50 x 1250 x 1250 low-res), chunked and
+//! compressed with netCDF-4 (~298 MB raw → ~91 MB stored per variable).
+//! Because 48 files were not enough, the authors *themselves* used a
+//! synthetic generator to scale the dataset to 96–768 timestamps — we do
+//! exactly the same, with one extra knob: a spatial scale-down so the real
+//! bytes stay laptop-sized while the simulator charges paper-sized logical
+//! bytes (`scale = paper elements / real elements`).
+//!
+//! Fields are smooth correlated noise (low-resolution noise, bilinearly
+//! upsampled, mildly quantised like observational data), which gives the
+//! byte-shuffle + LZ codec a realistic scientific-data compression ratio.
+
+pub mod field;
+pub mod model;
+pub mod writer;
+
+pub use model::{DatasetInfo, WrfSpec, VAR_NAMES};
+pub use writer::{generate_dataset, generate_file};

@@ -1,0 +1,87 @@
+//! The full NU-WRF case study of §IV–V: one dataset, all five solutions,
+//! both workloads — the paper's analysis & visualization pipeline end to
+//! end, with the per-phase breakdown each solution pays.
+//!
+//! Run: `cargo run --release --example nuwrf_pipeline`
+
+use scidp_suite::baselines::convert::ConversionReport;
+use scidp_suite::prelude::*;
+
+fn fresh(spec: &WrfSpec) -> (mapreduce::Cluster, baselines::StagedDataset) {
+    let mut cluster = paper_cluster(8, spec);
+    let ds = stage_nuwrf(&mut cluster, spec, "nuwrf/run1");
+    (cluster, ds)
+}
+
+fn main() {
+    let spec = WrfSpec {
+        n_vars: 8,
+        ..WrfSpec::scaled(16, 16, 12)
+    };
+    println!("NU-WRF pipeline: 12 timestamps, {} variables, QR analysed\n", spec.n_vars);
+    let cfg = WorkflowConfig::img_only(["QR"]);
+
+    // --- Conversion (needed by the text-path solutions; real CSV text;
+    //     regenerated deterministically inside each solution's world). ----
+    {
+        let (mut c, ds) = fresh(&spec);
+        let conv = convert_dataset(&mut c, &ds, &cfg.variables);
+        println!(
+            "offline conversion (excluded from totals, as in the paper): {:.0}s, {:.1}x text blow-up",
+            conv.conversion_time, conv.expansion_vs_compressed
+        );
+    }
+
+    println!();
+    println!("| solution        | copy (s) | processing (s) | total (s) |");
+    println!("|-----------------|----------|----------------|-----------|");
+    let mut rows: Vec<(SolutionKind, f64)> = Vec::new();
+    let print_row = |rep: &baselines::SolutionReport| {
+        println!(
+            "| {:<15} | {:>8.1} | {:>14.1} | {:>9.1} |",
+            rep.solution.name(),
+            rep.copy_time,
+            rep.process_time,
+            rep.total()
+        );
+    };
+    for kind in SolutionKind::ALL {
+        let (mut c, ds) = fresh(&spec);
+        let conv: ConversionReport = convert_dataset(&mut c, &ds, &cfg.variables);
+        let rep = match kind {
+            SolutionKind::Naive => run_naive(&mut c, &conv, &cfg),
+            SolutionKind::VanillaHadoop => run_vanilla(&mut c, &conv, &cfg),
+            SolutionKind::PortHadoop => run_porthadoop(&mut c, &conv, &cfg),
+            SolutionKind::SciHadoop => run_scihadoop(&mut c, &ds, &cfg),
+            SolutionKind::SciDp => run_scidp_solution(&mut c, &ds, &cfg),
+        };
+        print_row(&rep);
+        rows.push((kind, rep.total()));
+    }
+    let scidp = rows.last().unwrap().1;
+    println!();
+    for (kind, total) in &rows[..rows.len() - 1] {
+        println!("SciDP speedup over {:<15}: {:6.2}x", kind.name(), total / scidp);
+    }
+
+    // --- The Anlys workload: plotting + SQL analysis in the same pass. ---
+    println!("\nAnlys workload (Fig. 9 cases):");
+    for (label, analysis) in [
+        ("no analysis", Analysis::None),
+        ("highlight (top-10)", Analysis::Highlight { k: 10 }),
+        ("top 1% stored to HDFS", Analysis::TopPercent { pct: 1.0 }),
+    ] {
+        let (mut c, ds) = fresh(&spec);
+        let cfg = WorkflowConfig {
+            output_dir: format!("anlys_{}", label.len()),
+            ..WorkflowConfig::anlys(["QR"], analysis)
+        };
+        let rep = run_scidp(&mut c, &ds.pfs_uri(), &cfg).unwrap();
+        println!(
+            "  {:<22} {:>8.1}s  (HDFS writes: {:.1} MB real)",
+            label,
+            rep.total_time(),
+            rep.job.counters.get("hdfs_write_bytes") / 1e6
+        );
+    }
+}

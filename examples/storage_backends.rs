@@ -1,0 +1,42 @@
+//! Why not just mount Lustre under Hadoop? The paper's Figure 2 answer,
+//! as a runnable demo: the same Terasort/Grep/TestDFSIO jobs on native
+//! HDFS vs a Lustre-connector deployment where every byte (input, shuffle
+//! spill, output) crosses the network to the PFS.
+//!
+//! Run: `cargo run --release --example storage_backends`
+
+use scidp_suite::baselines::workloads::{
+    run_fig2_workload, Backend, Fig2Config, Fig2Workload,
+};
+
+fn main() {
+    let cfg = Fig2Config {
+        nodes: 8,
+        bytes_per_node: 32_000,
+        scale: 16384.0,
+        block_size: 8_000,
+    };
+    println!(
+        "Hadoop on native HDFS vs the Lustre HDFS connector ({} nodes, {:.1} GB/node logical)\n",
+        cfg.nodes,
+        cfg.bytes_per_node as f64 * cfg.scale / 1e9
+    );
+    let mut ratios = Vec::new();
+    for w in Fig2Workload::ALL {
+        let hdfs = run_fig2_workload(w, Backend::Hdfs, &cfg);
+        let conn = run_fig2_workload(w, Backend::Connector, &cfg);
+        ratios.push(conn / hdfs);
+        println!(
+            "{:<16}  HDFS {:>7.1}s   connector {:>7.1}s   ({:.2}x slower)",
+            w.name(),
+            hdfs,
+            conn,
+            conn / hdfs
+        );
+    }
+    println!(
+        "\naverage connector slowdown: {:.2}x — the paper's motivation for keeping",
+        ratios.iter().sum::<f64>() / ratios.len() as f64
+    );
+    println!("two separate, natively-tuned storage systems and bridging them with SciDP.");
+}

@@ -1,0 +1,46 @@
+//! # scidp-suite — the SciDP reproduction, in one import
+//!
+//! A from-scratch Rust reproduction of *SciDP: Support HPC and Big Data
+//! Applications via Integrated Scientific Data Processing* (CLUSTER 2018).
+//! This facade re-exports every crate of the workspace; the `examples/`
+//! directory and `tests/` integration suite build against it.
+//!
+//! ```
+//! use scidp_suite::prelude::*;
+//!
+//! // Stage a (tiny) synthetic NU-WRF dataset on the simulated PFS...
+//! let spec = WrfSpec::tiny(2);
+//! let mut cluster = paper_cluster(4, &spec);
+//! let ds = stage_nuwrf(&mut cluster, &spec, "nuwrf");
+//! // ...and process it with SciDP straight from the PFS: no copy, no
+//! // conversion.
+//! let cfg = WorkflowConfig { n_reducers: 2, ..WorkflowConfig::img_only(["QR"]) };
+//! let report = run_scidp(&mut cluster, &ds.pfs_uri(), &cfg).unwrap();
+//! assert_eq!(report.images, 2 * 4); // 2 files x 4 levels
+//! ```
+
+pub use baselines;
+pub use hdfs;
+pub use mapreduce;
+pub use pfs;
+pub use rframe;
+pub use scidp;
+pub use scifmt;
+pub use simnet;
+pub use wrfgen;
+
+/// The names an end-to-end user touches.
+pub mod prelude {
+    pub use baselines::{
+        convert_dataset, data_path_table, paper_cluster, run_naive, run_porthadoop,
+        run_scidp_solution, run_scihadoop, run_vanilla, stage_nuwrf, SolutionKind,
+    };
+    pub use mapreduce::{run_job, Cluster, Job, JobResult, TaskKind};
+    pub use rframe::{read_table, sqldf, ColorMap, Column, DataFrame};
+    pub use scidp::{
+        run_scidp, Analysis, RJob, ScidpInput, WorkflowConfig, WorkflowReport,
+    };
+    pub use scifmt::{Array, Codec, SncBuilder, SncFile};
+    pub use simnet::{ClusterSpec, CostModel, Sim};
+    pub use wrfgen::{generate_dataset, WrfSpec};
+}

@@ -1,0 +1,153 @@
+//! Cross-crate determinism and failure-injection tests: the simulator must
+//! be bit-reproducible end to end, and broken inputs must fail cleanly,
+//! not corrupt results.
+
+use scidp_suite::prelude::*;
+use scidp_suite::scidp::ScidpError;
+
+fn run_once(seed: u64) -> (f64, f64, u64) {
+    let spec = WrfSpec {
+        seed,
+        ..WrfSpec::tiny(3)
+    };
+    let mut cluster = paper_cluster(4, &spec);
+    let ds = stage_nuwrf(&mut cluster, &spec, "nuwrf");
+    let cfg = WorkflowConfig {
+        n_reducers: 2,
+        ..WorkflowConfig::img_only(["QR"])
+    };
+    let rep = run_scidp(&mut cluster, &ds.pfs_uri(), &cfg).unwrap();
+    (
+        rep.total_time(),
+        rep.job.counters.get("input_bytes"),
+        rep.images,
+    )
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let a = run_once(7);
+    let b = run_once(7);
+    assert_eq!(a, b, "identical worlds must produce identical timings");
+    let c = run_once(8);
+    assert_ne!(a.0, c.0, "different data should differ in timing detail");
+}
+
+#[test]
+fn baselines_are_deterministic_too() {
+    let run = || {
+        let spec = WrfSpec::tiny(2);
+        let mut cluster = paper_cluster(4, &spec);
+        let ds = stage_nuwrf(&mut cluster, &spec, "nuwrf");
+        let conv = convert_dataset(&mut cluster, &ds, &["QR".to_string()]);
+        let rep = run_vanilla(&mut cluster, &conv, &WorkflowConfig {
+            n_reducers: 2,
+            ..WorkflowConfig::img_only(["QR"])
+        });
+        (rep.copy_time, rep.process_time)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn missing_variable_fails_cleanly() {
+    let spec = WrfSpec::tiny(1);
+    let mut cluster = paper_cluster(4, &spec);
+    let ds = stage_nuwrf(&mut cluster, &spec, "nuwrf");
+    let cfg = WorkflowConfig {
+        n_reducers: 1,
+        ..WorkflowConfig::img_only(["NO_SUCH_VAR"])
+    };
+    let err = run_scidp(&mut cluster, &ds.pfs_uri(), &cfg).unwrap_err();
+    assert!(matches!(err, ScidpError::NoMatchingVariables(_)), "{err}");
+}
+
+#[test]
+fn empty_input_directory_fails_cleanly() {
+    let spec = WrfSpec::tiny(1);
+    let mut cluster = paper_cluster(4, &spec);
+    let cfg = WorkflowConfig {
+        n_reducers: 1,
+        ..WorkflowConfig::img_only(["QR"])
+    };
+    let err = run_scidp(&mut cluster, "lustre://does/not/exist", &cfg).unwrap_err();
+    assert!(matches!(err, ScidpError::Pfs(_)), "{err}");
+}
+
+#[test]
+fn corrupt_container_is_classified_flat_not_crashed() {
+    // A file with a damaged header fails the Sci-format probe and falls
+    // back to the flat mapping (the paper's classification rule), so the
+    // NU-WRF R job then rejects it with a task error — never a panic.
+    let spec = WrfSpec::tiny(1);
+    let mut cluster = paper_cluster(4, &spec);
+    let ds = stage_nuwrf(&mut cluster, &spec, "nuwrf");
+    // Corrupt the magic of the only file.
+    {
+        let mut p = cluster.pfs.borrow_mut();
+        let mut bytes = p.file(&ds.info.files[0]).unwrap().data.as_ref().clone();
+        bytes[0] = b'X';
+        p.create(ds.info.files[0].clone(), bytes);
+    }
+    let cfg = WorkflowConfig {
+        n_reducers: 1,
+        ..WorkflowConfig::img_only(["QR"])
+    };
+    let err = run_scidp(&mut cluster, &ds.pfs_uri(), &cfg).unwrap_err();
+    // Flat fallback feeds bytes into the slab-expecting R job → task error.
+    let msg = err.to_string();
+    assert!(
+        msg.contains("flat") || msg.contains("slab") || msg.contains("scientific"),
+        "unexpected error: {msg}"
+    );
+}
+
+#[test]
+fn truncated_container_header_is_detected() {
+    // Damage inside the header (after the magic): the explorer must
+    // surface a format error rather than map garbage.
+    let spec = WrfSpec::tiny(1);
+    let mut cluster = paper_cluster(4, &spec);
+    let ds = stage_nuwrf(&mut cluster, &spec, "nuwrf");
+    {
+        let mut p = cluster.pfs.borrow_mut();
+        let bytes = p.file(&ds.info.files[0]).unwrap().data.as_ref().clone();
+        // Keep magic + a truncated header-length field promise that the
+        // remaining bytes cannot honour.
+        let mut broken = bytes[..32.min(bytes.len())].to_vec();
+        broken[4] = 0xff;
+        broken[5] = 0xff;
+        p.create(ds.info.files[0].clone(), broken);
+    }
+    let cfg = WorkflowConfig {
+        n_reducers: 1,
+        ..WorkflowConfig::img_only(["QR"])
+    };
+    let err = run_scidp(&mut cluster, &ds.pfs_uri(), &cfg).unwrap_err();
+    assert!(matches!(err, ScidpError::Format(_)), "{err}");
+}
+
+#[test]
+fn failing_user_map_function_fails_the_job_not_the_process() {
+    use std::rc::Rc;
+    let spec = WrfSpec::tiny(1);
+    let mut cluster = paper_cluster(4, &spec);
+    let ds = stage_nuwrf(&mut cluster, &spec, "nuwrf");
+    let rjob = RJob {
+        name: "boom".into(),
+        input: ScidpInput::path(ds.pfs_uri()).vars(["QR"]),
+        map: Rc::new(|_, _| Err(mapreduce::MrError("user code exploded".into()))),
+        reduce: None,
+        n_reducers: 1,
+        output_dir: "boom_out".into(),
+        logical_image: (100, 100),
+        raster: (8, 8),
+    };
+    let env = cluster.env();
+    let (job, _) = rjob.into_job(&env, 1.0).unwrap();
+    let result = run_job(&mut cluster, job);
+    assert_eq!(
+        result.unwrap_err(),
+        mapreduce::MrError("user code exploded".into())
+    );
+}

@@ -36,12 +36,18 @@ pub fn convert_dataset(
     let mut text_bytes = 0usize;
     let mut raw_bytes = 0usize;
     let mut stored_bytes = 0usize;
+    // One decompressed-chunk pool across every staged file: cache keys are
+    // content-derived, so the converter never re-decodes a chunk it (or a
+    // prior conversion of the same dataset) has already seen.
+    let cache = std::sync::Arc::new(scifmt::ChunkCache::default());
     for path in &ds.info.files {
         let bytes = {
             let p = cluster.pfs.borrow();
             p.file(path).expect("staged file present").data.clone()
         };
-        let f = SncFile::open(bytes.as_ref().clone()).expect("staged file parses");
+        let f = SncFile::open(bytes.as_ref().clone())
+            .expect("staged file parses")
+            .with_cache(cache.clone());
         let converted =
             scifmt::convert::snc_to_csv(&f, Some(variables)).expect("selected variables exist");
         for c in converted {
@@ -50,7 +56,12 @@ pub fn convert_dataset(
             stored_bytes += var.stored_size();
             text_bytes += c.text.len();
             let base = path.rsplit('/').next().unwrap();
-            let out = format!("{}_text/{}.{}.csv", ds.dir, base, c.var_path.replace('/', "_"));
+            let out = format!(
+                "{}_text/{}.{}.csv",
+                ds.dir,
+                base,
+                c.var_path.replace('/', "_")
+            );
             cluster.pfs.borrow_mut().create(out.clone(), c.text);
             text_files.push(out);
         }
@@ -79,12 +90,24 @@ mod tests {
         let rep = convert_dataset(&mut c, &ds, &["QR".to_string()]);
         assert_eq!(rep.text_files.len(), 2);
         assert!(rep.conversion_time > 0.0);
-        assert!(rep.expansion_vs_compressed > 4.0, "{}", rep.expansion_vs_compressed);
+        assert!(
+            rep.expansion_vs_compressed > 4.0,
+            "{}",
+            rep.expansion_vs_compressed
+        );
         // The text really parses back.
         let p = c.pfs.borrow();
         let text = p.file(&rep.text_files[0]).unwrap().data.clone();
         let df = rframe::read_table(std::str::from_utf8(&text).unwrap(), true, ',').unwrap();
-        assert_eq!(df.names(), &["lev".to_string(), "lat".into(), "lon".into(), "value".into()]);
+        assert_eq!(
+            df.names(),
+            &[
+                "lev".to_string(),
+                "lat".into(),
+                "lon".into(),
+                "value".into()
+            ]
+        );
         assert_eq!(df.n_rows(), 4 * 8 * 8);
     }
 

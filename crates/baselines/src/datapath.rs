@@ -97,7 +97,10 @@ mod tests {
         let t = data_path_table();
         assert_eq!(t.len(), 5);
         // SciDP is the only no-conversion, no-copy row.
-        let scidp = t.iter().find(|r| r.solution == SolutionKind::SciDp).unwrap();
+        let scidp = t
+            .iter()
+            .find(|r| r.solution == SolutionKind::SciDp)
+            .unwrap();
         assert!(!scidp.conversion);
         assert_eq!(scidp.copy, "No");
         assert_eq!(scidp.processing, "Parallel");
@@ -116,7 +119,10 @@ mod tests {
         assert!(!sh.conversion);
         assert_eq!(sh.copy, "Parallel");
         // Naive is all-sequential.
-        let nv = t.iter().find(|r| r.solution == SolutionKind::Naive).unwrap();
+        let nv = t
+            .iter()
+            .find(|r| r.solution == SolutionKind::Naive)
+            .unwrap();
         assert_eq!(nv.copy, "Sequential");
         assert_eq!(nv.processing, "Sequential");
     }

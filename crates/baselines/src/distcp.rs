@@ -28,11 +28,13 @@ struct CopyState {
     active: usize,
     bytes: u64,
     start: f64,
+    #[allow(clippy::type_complexity)]
     done: Option<Box<dyn FnOnce(&mut Sim, CopyReport)>>,
 }
 
 type Shared = Rc<RefCell<CopyState>>;
 
+#[allow(clippy::only_used_in_recursion)]
 fn pump(sim: &mut Sim, st: &Shared, worker: usize, streams: usize) {
     let (src, dst, node) = {
         let mut s = st.borrow_mut();
@@ -129,7 +131,12 @@ mod tests {
             .info
             .files
             .iter()
-            .map(|f| (f.clone(), format!("staging/{}", f.rsplit('/').next().unwrap())))
+            .map(|f| {
+                (
+                    f.clone(),
+                    format!("staging/{}", f.rsplit('/').next().unwrap()),
+                )
+            })
             .collect();
         (c, files)
     }

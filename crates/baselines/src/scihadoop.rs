@@ -11,10 +11,10 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use hdfs::Block;
-use mapreduce::{FetchResult, InputSplit, MrEnv, SplitFetcher, TaskInput};
+use mapreduce::{FetchDone, FetchResult, InputSplit, MrEnv, SplitFetcher, TaskInput};
+use scidp::encode_slab_tag;
 use scifmt::snc::{assemble_slab, chunk_extents_of};
 use scifmt::{SncMeta, VarMeta};
-use scidp::encode_slab_tag;
 use simnet::{NodeId, Sim};
 
 /// Reads a variable hyperslab out of an SNC container staged on HDFS.
@@ -27,13 +27,7 @@ pub struct HdfsSciFetcher {
 }
 
 impl SplitFetcher for HdfsSciFetcher {
-    fn fetch(
-        &self,
-        env: &MrEnv,
-        sim: &mut Sim,
-        node: NodeId,
-        done: Box<dyn FnOnce(&mut Sim, FetchResult)>,
-    ) {
+    fn fetch(&self, env: &MrEnv, sim: &mut Sim, node: NodeId, done: FetchDone) {
         // Resolve the chunks this slab needs and the HDFS blocks covering
         // their byte extents.
         let shape = self.var.shape();
@@ -82,6 +76,7 @@ impl SplitFetcher for HdfsSciFetcher {
 
         // Read all needed blocks in parallel, then slice out the chunks.
         use std::cell::RefCell;
+        #[allow(clippy::type_complexity)]
         let collected: Rc<RefCell<Vec<(u64, Arc<Vec<u8>>)>>> = Rc::new(RefCell::new(Vec::new()));
         let remaining = Rc::new(RefCell::new(needed.len()));
         let var = self.var.clone();
@@ -120,9 +115,7 @@ impl SplitFetcher for HdfsSciFetcher {
                         let s = lo.max(*boff);
                         let e = (lo + len).min(bend);
                         if s < e {
-                            out.extend_from_slice(
-                                &data[(s - boff) as usize..(e - boff) as usize],
-                            );
+                            out.extend_from_slice(&data[(s - boff) as usize..(e - boff) as usize]);
                         }
                     }
                     out
@@ -147,6 +140,7 @@ impl SplitFetcher for HdfsSciFetcher {
                     FetchResult {
                         input: TaskInput::Array(array),
                         charges: vec![("decompress", decompress_cost)],
+                        counters: Vec::new(),
                         tag,
                     },
                 );
@@ -249,16 +243,14 @@ mod tests {
         // Fetch the second slab and compare against a direct read.
         let got = Rc::new(RefCell::new(None));
         let g = got.clone();
-        splits[1]
-            .fetcher
-            .fetch(
-                &env,
-                &mut c.sim,
-                NodeId(0),
-                Box::new(move |_, fr| {
-                    *g.borrow_mut() = Some(fr);
-                }),
-            );
+        splits[1].fetcher.fetch(
+            &env,
+            &mut c.sim,
+            NodeId(0),
+            Box::new(move |_, fr| {
+                *g.borrow_mut() = Some(fr);
+            }),
+        );
         c.run();
         let fr = got.borrow_mut().take().unwrap();
         let TaskInput::Array(a) = fr.input else {

@@ -11,7 +11,9 @@ use std::rc::Rc;
 use mapreduce::{
     run_job, Cluster, FlatPfsFetcher, InputSplit, Job, JobResult, MrEnv, SplitFetcher, TaskCtx,
 };
-use scidp::{derived_raster, nuwrf_map_fn, nuwrf_reduce_fn, wrap_r_map, wrap_r_reduce, WorkflowConfig};
+use scidp::{
+    derived_raster, nuwrf_map_fn, nuwrf_reduce_fn, wrap_r_map, wrap_r_reduce, WorkflowConfig,
+};
 use simnet::{NodeId, Sim};
 
 use crate::convert::ConversionReport;
@@ -61,16 +63,24 @@ impl SplitFetcher for HdfsWholeFileFetcher {
         node: NodeId,
         done: Box<dyn FnOnce(&mut Sim, mapreduce::FetchResult)>,
     ) {
-        hdfs::read_file(sim, &env.topo, &env.hdfs, node, &self.path, move |sim, data| {
-            done(
-                sim,
-                mapreduce::FetchResult {
-                    input: mapreduce::TaskInput::Bytes(data),
-                    charges: Vec::new(),
-                    tag: String::new(),
-                },
-            )
-        })
+        hdfs::read_file(
+            sim,
+            &env.topo,
+            &env.hdfs,
+            node,
+            &self.path,
+            move |sim, data| {
+                done(
+                    sim,
+                    mapreduce::FetchResult {
+                        input: mapreduce::TaskInput::Bytes(data),
+                        charges: Vec::new(),
+                        counters: Vec::new(),
+                        tag: String::new(),
+                    },
+                )
+            },
+        )
         .expect("staged text file readable");
     }
 
@@ -190,13 +200,13 @@ pub fn run_naive(
         cluster.run();
         let copy_time = *copy_end.borrow();
         let end = *done_at.borrow();
-        return SolutionReport {
+        SolutionReport {
             solution: SolutionKind::Naive,
             conversion_time: conv.conversion_time,
             copy_time,
             process_time: end - copy_time,
             job: None,
-        };
+        }
     }
 }
 
@@ -217,7 +227,12 @@ pub fn run_vanilla(
     let pairs: Vec<(String, String)> = conv
         .text_files
         .iter()
-        .map(|f| (f.clone(), format!("staging_text/{}", f.rsplit('/').next().unwrap())))
+        .map(|f| {
+            (
+                f.clone(),
+                format!("staging_text/{}", f.rsplit('/').next().unwrap()),
+            )
+        })
         .collect();
     let staged: Vec<String> = pairs.iter().map(|(_, d)| d.clone()).collect();
     let copy = distcp_blocking(cluster, pairs, streams);
@@ -364,7 +379,12 @@ pub fn run_scihadoop(
         .info
         .files
         .iter()
-        .map(|f| (f.clone(), format!("staging_bin/{}", f.rsplit('/').next().unwrap())))
+        .map(|f| {
+            (
+                f.clone(),
+                format!("staging_bin/{}", f.rsplit('/').next().unwrap()),
+            )
+        })
         .collect();
     let copy = distcp_blocking(cluster, pairs.clone(), streams);
     let env = cluster.env();
@@ -491,7 +511,10 @@ mod tests {
         // Fig. 5 / Table III shape: naive ≫ vanilla > porthadoop >
         // scihadoop > scidp, with SciDP winning by a large factor.
         assert!(naive > vanilla, "naive {naive} vs vanilla {vanilla}");
-        assert!(vanilla > porthadoop, "vanilla {vanilla} vs port {porthadoop}");
+        assert!(
+            vanilla > porthadoop,
+            "vanilla {vanilla} vs port {porthadoop}"
+        );
         assert!(
             porthadoop > scihadoop,
             "port {porthadoop} vs scihadoop {scihadoop}"

@@ -7,7 +7,7 @@
 
 use std::rc::Rc;
 
-use mapreduce::{InputSplit, MapFn, MrError, MrEnv, SplitFetcher, TaskCtx, TaskInput};
+use mapreduce::{InputSplit, MapFn, MrEnv, MrError, SplitFetcher, TaskCtx, TaskInput};
 use rframe::read_table;
 use scidp::{RCtx, WorkflowConfig};
 use simnet::{NodeId, Sim};
@@ -67,18 +67,14 @@ pub fn process_text(
 ) -> Result<(), MrError> {
     // read.table: the expensive text parse (real + charged).
     ctx.charge("convert", ctx.cost().text_parse(text.len()));
-    let s = std::str::from_utf8(text)
-        .map_err(|e| MrError(format!("input is not UTF-8 text: {e}")))?;
+    let s =
+        std::str::from_utf8(text).map_err(|e| MrError(format!("input is not UTF-8 text: {e}")))?;
     let df = read_table(s, true, ',').map_err(|e| MrError(e.to_string()))?;
     if df.n_rows() == 0 {
         return Ok(());
     }
-    let lat_max = df
-        .column("lat")
-        .map_err(|e| MrError(e.to_string()))?;
-    let lon_max = df
-        .column("lon")
-        .map_err(|e| MrError(e.to_string()))?;
+    let lat_max = df.column("lat").map_err(|e| MrError(e.to_string()))?;
+    let lon_max = df.column("lon").map_err(|e| MrError(e.to_string()))?;
     let lat_n = (0..df.n_rows())
         .map(|r| lat_max.f64_at(r) as usize)
         .max()

@@ -12,12 +12,10 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use mapreduce::{
-    run_job, Cluster, FlatPfsFetcher, InMemoryFetcher, InputSplit, Job, MrError, Payload,
-    TaskInput,
+    run_job, Cluster, FlatPfsFetcher, InMemoryFetcher, InputSplit, Job, MrError, Payload, TaskInput,
 };
 use pfs::PfsConfig;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use scirng::Rng;
 use simnet::{ClusterSpec, CostModel, NodeId};
 
 /// Which storage backs the Hadoop cluster.
@@ -105,15 +103,15 @@ fn fig2_cluster(cfg: &Fig2Config) -> Cluster {
 
 /// Deterministic pseudo-random input: 100-byte records (10-byte key).
 fn gen_records(seed: u64, bytes: usize) -> Vec<u8> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let n = bytes / 100;
     let mut out = Vec::with_capacity(n * 100);
     for _ in 0..n {
         for _ in 0..10 {
-            out.push(rng.gen_range(b'A'..=b'Z'));
+            out.push(rng.byte_inclusive(b'A', b'Z'));
         }
         for _ in 0..90 {
-            out.push(rng.gen_range(b'a'..=b'z'));
+            out.push(rng.byte_inclusive(b'a', b'z'));
         }
     }
     out
@@ -214,7 +212,10 @@ fn terasort(cluster: &mut Cluster, backend: Backend, cfg: &Fig2Config) -> f64 {
             let TaskInput::Bytes(b) = input else {
                 return Err(MrError("terasort expects bytes".into()));
             };
-            ctx.charge("scan", ctx.cost().lbytes(b.len()) * ctx.cost().scan_per_byte);
+            ctx.charge(
+                "scan",
+                ctx.cost().lbytes(b.len()) * ctx.cost().scan_per_byte,
+            );
             // Range-partition by first key byte; records travel whole.
             for rec in b.chunks_exact(100) {
                 let bucket = rec[0].saturating_sub(b'A');
@@ -263,7 +264,10 @@ fn grep(cluster: &mut Cluster, backend: Backend, cfg: &Fig2Config) -> f64 {
             let TaskInput::Bytes(b) = input else {
                 return Err(MrError("grep expects bytes".into()));
             };
-            ctx.charge("scan", ctx.cost().lbytes(b.len()) * ctx.cost().scan_per_byte);
+            ctx.charge(
+                "scan",
+                ctx.cost().lbytes(b.len()) * ctx.cost().scan_per_byte,
+            );
             // Real substring count.
             let pat = b"abc";
             let count = b.windows(pat.len()).filter(|w| w == pat).count();
@@ -274,9 +278,7 @@ fn grep(cluster: &mut Cluster, backend: Backend, cfg: &Fig2Config) -> f64 {
             let total: usize = values
                 .iter()
                 .map(|v| match v {
-                    Payload::Bytes(b) => {
-                        String::from_utf8_lossy(b).parse::<usize>().unwrap_or(0)
-                    }
+                    Payload::Bytes(b) => String::from_utf8_lossy(b).parse::<usize>().unwrap_or(0),
                     _ => 0,
                 })
                 .sum();
@@ -316,7 +318,9 @@ fn dfsio_write(cluster: &mut Cluster, backend: Backend, cfg: &Fig2Config) -> f64
         output_to_pfs: false,
     };
     apply_backend(&mut job, backend);
-    run_job(cluster, job).expect("dfsio write succeeds").elapsed()
+    run_job(cluster, job)
+        .expect("dfsio write succeeds")
+        .elapsed()
 }
 
 fn dfsio_read(cluster: &mut Cluster, backend: Backend, cfg: &Fig2Config) -> f64 {
@@ -341,7 +345,9 @@ fn dfsio_read(cluster: &mut Cluster, backend: Backend, cfg: &Fig2Config) -> f64 
         output_to_pfs: false,
     };
     apply_backend(&mut job, backend);
-    run_job(cluster, job).expect("dfsio read succeeds").elapsed()
+    run_job(cluster, job)
+        .expect("dfsio read succeeds")
+        .elapsed()
 }
 
 #[cfg(test)]
@@ -384,7 +390,10 @@ mod tests {
         }
         let avg: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
         assert!(avg > 1.3, "avg slowdown {avg:.2} too small: {ratios:?}");
-        assert!(avg < 6.0, "avg slowdown {avg:.2} implausibly large: {ratios:?}");
+        assert!(
+            avg < 6.0,
+            "avg slowdown {avg:.2} implausibly large: {ratios:?}"
+        );
     }
 
     #[test]

@@ -11,7 +11,11 @@ use scidp_bench::{arg_usize, eval_spec, fmt_s, quick_mode, quick_spec, DatasetPo
 
 fn main() {
     let n = arg_usize("timestamps", if quick_mode() { 4 } else { 48 });
-    let spec = if quick_mode() { quick_spec(n) } else { eval_spec(n) };
+    let spec = if quick_mode() {
+        quick_spec(n)
+    } else {
+        eval_spec(n)
+    };
     let pool = DatasetPool::generate(spec.clone(), "nuwrf");
     let spec = pool.spec().clone();
     println!("Ablation: dummy-block alignment ({n} timestamps)");
@@ -21,7 +25,10 @@ fn main() {
     // Misaligned blocks span 12 levels against a 10-level chunk, so every
     // task reads (and decodes) up to two extra chunks (§III-B).
     let bytes_per_level = spec.lat * spec.lon * 4;
-    for (label, aligned) in [("chunk-aligned (SciDP)", true), ("fixed-size, misaligned", false)] {
+    for (label, aligned) in [
+        ("chunk-aligned (SciDP)", true),
+        ("fixed-size, misaligned", false),
+    ] {
         let cfg = WorkflowConfig {
             align_to_chunks: aligned,
             flat_block_size: 12 * bytes_per_level,
@@ -34,7 +41,10 @@ fn main() {
         // Bytes actually admitted into the network give the read
         // amplification (input_bytes counts mapped lengths only).
         let read_gb = c.sim.net.bytes_admitted / 1e9;
-        let _ = rep.job.as_ref().map(|j| j.counters.get(counter_keys::INPUT_BYTES));
+        let _ = rep
+            .job
+            .as_ref()
+            .map(|j| j.counters.get(counter_keys::INPUT_BYTES));
         println!(
             "| {:<24} | {:>8} | {:>28.2} |",
             label,

@@ -17,7 +17,11 @@ use scidp_bench::{arg_usize, eval_spec, fmt_s, fmt_x, quick_mode, quick_spec, Da
 
 fn main() {
     let n = arg_usize("timestamps", if quick_mode() { 4 } else { 24 });
-    let spec = if quick_mode() { quick_spec(n) } else { eval_spec(n) };
+    let spec = if quick_mode() {
+        quick_spec(n)
+    } else {
+        eval_spec(n)
+    };
     let pool = DatasetPool::generate(spec, "nuwrf");
     println!("Ablation: PFS read granularity ({n} timestamps, read-dominated scan)");
     println!();
@@ -57,7 +61,10 @@ fn main() {
                 let TaskInput::Bytes(b) = input else {
                     return Err(MrError("scan expects bytes".into()));
                 };
-                ctx.charge("scan", ctx.cost().lbytes(b.len()) * ctx.cost().scan_per_byte);
+                ctx.charge(
+                    "scan",
+                    ctx.cost().lbytes(b.len()) * ctx.cost().scan_per_byte,
+                );
                 Ok(())
             }),
             reduce_fn: None,

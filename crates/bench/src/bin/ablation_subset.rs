@@ -11,7 +11,11 @@ use wrfgen::VAR_NAMES;
 
 fn main() {
     let n = arg_usize("timestamps", if quick_mode() { 4 } else { 48 });
-    let spec = if quick_mode() { quick_spec(n) } else { eval_spec(n) };
+    let spec = if quick_mode() {
+        quick_spec(n)
+    } else {
+        eval_spec(n)
+    };
     let n_vars = spec.n_vars;
     let pool = DatasetPool::generate(spec, "nuwrf");
     let scale = pool.dataset.info.scale;

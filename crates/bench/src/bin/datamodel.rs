@@ -20,17 +20,26 @@ fn main() {
     println!();
     println!("| quantity                          | paper        | generated (logical) |");
     println!("|-----------------------------------|--------------|---------------------|");
-    println!("| variables per file                | 23           | {:<19} |", spec.n_vars);
-    println!("| resolution (lev x lat x lon)      | 50x1250x1250 | {}x{}x{} (real {}x{}) |",
-        spec.levels, spec.paper_lat, spec.paper_lon, spec.lat, spec.lon);
-    println!("| raw bytes / variable              | ~298 MB      | {per_var_raw:.0} MB              |");
+    println!(
+        "| variables per file                | 23           | {:<19} |",
+        spec.n_vars
+    );
+    println!(
+        "| resolution (lev x lat x lon)      | 50x1250x1250 | {}x{}x{} (real {}x{}) |",
+        spec.levels, spec.paper_lat, spec.paper_lon, spec.lat, spec.lon
+    );
+    println!(
+        "| raw bytes / variable              | ~298 MB      | {per_var_raw:.0} MB              |"
+    );
     println!("| stored bytes / variable           | ~91 MB       | {per_var_stored:.0} MB               |");
     println!(
         "| compression ratio                 | ~3.27x       | {:.2}x               |",
         ds.info.compression_ratio()
     );
     let total_48 = ds.info.stored_bytes as f64 * scale / timestamps as f64 * 48.0 / 1e9;
-    println!("| 48-timestamp dataset              | ~98 GB       | {total_48:.0} GB               |");
+    println!(
+        "| 48-timestamp dataset              | ~98 GB       | {total_48:.0} GB               |"
+    );
 
     // Text blow-up (QR only; real conversion).
     let conv = convert_dataset(&mut cluster, &ds, &["QR".to_string()]);

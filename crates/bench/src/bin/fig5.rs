@@ -25,13 +25,21 @@ fn main() {
     println!("Figure 5: total execution time, Img-only workload (8 Hadoop nodes)");
     println!("(conversion time excluded from totals, as in the paper; shown last)");
     println!();
-    println!("| timestamps | Naive (s) | Vanilla (s) | PortHadoop (s) | SciHadoop (s) | SciDP (s) |");
-    println!("|------------|-----------|-------------|----------------|---------------|-----------|");
+    println!(
+        "| timestamps | Naive (s) | Vanilla (s) | PortHadoop (s) | SciHadoop (s) | SciDP (s) |"
+    );
+    println!(
+        "|------------|-----------|-------------|----------------|---------------|-----------|"
+    );
 
     let mut table3: Vec<(usize, Vec<(SolutionKind, f64)>)> = Vec::new();
     let mut conversion_note = 0.0f64;
     for &n in &sizes {
-        let spec = if quick_mode() { quick_spec(n) } else { eval_spec(n) };
+        let spec = if quick_mode() {
+            quick_spec(n)
+        } else {
+            eval_spec(n)
+        };
         let mut pool = DatasetPool::generate(spec, "nuwrf");
         // Convert once (text shared across the three text-path solutions).
         let conv = {
@@ -42,18 +50,17 @@ fn main() {
             conv
         };
         conversion_note = conv.conversion_time;
-        let run =
-            |kind: SolutionKind, pool: &DatasetPool| -> SolutionReport {
-                let mut c = pool.fresh_cluster(8);
-                let ds = pool.dataset.clone();
-                match kind {
-                    SolutionKind::Naive => run_naive(&mut c, &conv, &cfg),
-                    SolutionKind::VanillaHadoop => run_vanilla(&mut c, &conv, &cfg),
-                    SolutionKind::PortHadoop => run_porthadoop(&mut c, &conv, &cfg),
-                    SolutionKind::SciHadoop => run_scihadoop(&mut c, &ds, &cfg),
-                    SolutionKind::SciDp => run_scidp_solution(&mut c, &ds, &cfg),
-                }
-            };
+        let run = |kind: SolutionKind, pool: &DatasetPool| -> SolutionReport {
+            let mut c = pool.fresh_cluster(8);
+            let ds = pool.dataset.clone();
+            match kind {
+                SolutionKind::Naive => run_naive(&mut c, &conv, &cfg),
+                SolutionKind::VanillaHadoop => run_vanilla(&mut c, &conv, &cfg),
+                SolutionKind::PortHadoop => run_porthadoop(&mut c, &conv, &cfg),
+                SolutionKind::SciHadoop => run_scihadoop(&mut c, &ds, &cfg),
+                SolutionKind::SciDp => run_scidp_solution(&mut c, &ds, &cfg),
+            }
+        };
         let mut totals = Vec::new();
         for kind in SolutionKind::ALL {
             let rep = run(kind, &pool);

@@ -13,14 +13,18 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
-
 use scidp::SciSlabFetcher;
 use scidp_bench::{eval_spec, quick_mode, quick_spec, DatasetPool};
 use scifmt::SncFile;
 use simnet::NodeId;
 
 struct Workload {
-    files: Vec<(String, Vec<scifmt::ChunkExtent>, Arc<scifmt::VarMeta>, usize)>,
+    files: Vec<(
+        String,
+        Vec<scifmt::ChunkExtent>,
+        Arc<scifmt::VarMeta>,
+        usize,
+    )>,
     compressed_logical: f64,
     raw_logical: f64,
 }
@@ -49,10 +53,7 @@ fn build_workload(pool: &DatasetPool) -> Workload {
 /// Run `readers` MPI processes, each draining its queue of
 /// `(file, offset, len, post_delay)` reads sequentially; all processes in
 /// parallel. Returns the time the slowest process finishes.
-fn chained_reads(
-    pool: &DatasetPool,
-    queues: Vec<Vec<(String, usize, usize, f64)>>,
-) -> f64 {
+fn chained_reads(pool: &DatasetPool, queues: Vec<Vec<(String, usize, usize, f64)>>) -> f64 {
     let mut cluster = pool.fresh_cluster(8);
     let nodes = cluster.topo.n_compute();
     let end = Rc::new(RefCell::new(0.0f64));
@@ -138,14 +139,17 @@ fn nc_coll(pool: &DatasetPool, w: &Workload, readers: usize) -> f64 {
     let mut queues: Vec<Vec<(String, usize, usize, f64)>> = vec![Vec::new(); readers];
     for (path, exts, var, _) in &w.files {
         let lo = exts.first().map(|e| e.offset as usize).unwrap_or(0);
-        let hi = exts.last().map(|e| (e.offset + e.clen) as usize).unwrap_or(0);
+        let hi = exts
+            .last()
+            .map(|e| (e.offset + e.clen) as usize)
+            .unwrap_or(0);
         let span = (hi - lo).div_ceil(readers);
         let decode = var.raw_size() as f64 * scale * decode_per_byte / readers as f64;
-        for i in 0..readers {
+        for (i, queue) in queues.iter_mut().enumerate() {
             let off = lo + i * span;
             let len = span.min((hi - lo).saturating_sub(i * span));
             if len > 0 {
-                queues[i].push((path.clone(), off, len, decode));
+                queue.push((path.clone(), off, len, decode));
             }
         }
     }
@@ -160,11 +164,11 @@ fn mpi_coll(pool: &DatasetPool, readers: usize) -> f64 {
     for path in &pool.dataset.info.files {
         let len = cluster.pfs.borrow().len_of(path).unwrap();
         let span = len.div_ceil(readers);
-        for i in 0..readers {
+        for (i, queue) in queues.iter_mut().enumerate() {
             let off = i * span;
             let l = span.min(len.saturating_sub(off));
             if l > 0 {
-                queues[i].push((path.clone(), off, l, 0.0));
+                queue.push((path.clone(), off, l, 0.0));
             }
         }
     }
@@ -186,6 +190,9 @@ fn scidp_read(pool: &DatasetPool, w: &Workload, readers: usize) -> f64 {
                 data_offset: *off,
                 start: e.origin.clone(),
                 count: e.shape.clone(),
+                // Bandwidth series reads every chunk exactly once; a cache
+                // would only distort the measured I/O.
+                cache: Arc::new(scifmt::ChunkCache::new(0)),
             });
         }
     }
@@ -251,7 +258,11 @@ fn scidp_read(pool: &DatasetPool, w: &Workload, readers: usize) -> f64 {
 }
 
 fn main() {
-    let spec = if quick_mode() { quick_spec(8) } else { eval_spec(16) };
+    let spec = if quick_mode() {
+        quick_spec(8)
+    } else {
+        eval_spec(16)
+    };
     let pool = DatasetPool::generate(spec, "nuwrf");
     let w = build_workload(&pool);
     let readers_list: &[usize] = if quick_mode() {

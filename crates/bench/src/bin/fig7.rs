@@ -8,9 +8,7 @@
 //!
 //! Run: `cargo run --release -p scidp-bench --bin fig7 [--timestamps N]`
 
-use baselines::{
-    convert_dataset, run_porthadoop, run_scidp_solution, run_vanilla, SolutionReport,
-};
+use baselines::{convert_dataset, run_porthadoop, run_scidp_solution, run_vanilla, SolutionReport};
 use mapreduce::TaskKind;
 use scidp::WorkflowConfig;
 use scidp_bench::{arg_usize, eval_spec, quick_mode, quick_spec, DatasetPool};
@@ -24,7 +22,11 @@ fn per_level(rep: &SolutionReport, phase: &str, levels_per_task: f64) -> f64 {
 
 fn main() {
     let n = arg_usize("timestamps", if quick_mode() { 8 } else { 96 });
-    let spec = if quick_mode() { quick_spec(n) } else { eval_spec(n) };
+    let spec = if quick_mode() {
+        quick_spec(n)
+    } else {
+        eval_spec(n)
+    };
     let levels = spec.levels as f64;
     let chunk_levels = spec.chunk_levels as f64;
     let cfg = WorkflowConfig::img_only(["QR"]);
@@ -85,11 +87,20 @@ fn main() {
     );
     println!(
         "| SciDP       | {:>6.3} | {:>7.3} | {:>5.3} |",
-        per_level(&scidp, "read", chunk_levels)
-            + per_level(&scidp, "decompress", chunk_levels),
+        per_level(&scidp, "read", chunk_levels) + per_level(&scidp, "decompress", chunk_levels),
         per_level(&scidp, "convert", chunk_levels),
         per_level(&scidp, "plot", chunk_levels),
     );
+    if let Some(job) = scidp.job.as_ref() {
+        use mapreduce::counter_keys as keys;
+        println!();
+        println!(
+            "SciDP chunk cache: {} hits / {} misses, codec decode {:.3} ms total",
+            job.counters.get(keys::CHUNK_CACHE_HITS) as u64,
+            job.counters.get(keys::CHUNK_CACHE_MISSES) as u64,
+            job.counters.get(keys::CODEC_DECODE_S) * 1e3,
+        );
+    }
     println!();
     println!("(paper anchors: Convert dominates the text solutions; SciDP reads");
     println!(" a 50-level variable in ~1.75 s = 0.035 s/level; Plot equal across");

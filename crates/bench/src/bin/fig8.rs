@@ -12,7 +12,11 @@ use scidp_bench::{arg_usize, eval_spec, fmt_s, fmt_x, quick_mode, quick_spec, Da
 
 fn main() {
     let n = arg_usize("timestamps", if quick_mode() { 8 } else { 96 });
-    let spec = if quick_mode() { quick_spec(n) } else { eval_spec(n) };
+    let spec = if quick_mode() {
+        quick_spec(n)
+    } else {
+        eval_spec(n)
+    };
     let pool = DatasetPool::generate(spec, "nuwrf");
 
     println!("Figure 8: SciDP scale-out, Img-only, {n} timestamps");

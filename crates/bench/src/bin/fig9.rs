@@ -16,13 +16,21 @@ use scidp::{Analysis, WorkflowConfig};
 use scidp_bench::{eval_spec, fmt_s, quick_mode, quick_spec, DatasetPool};
 
 fn main() {
-    let sizes: Vec<usize> = if quick_mode() { vec![4, 8] } else { vec![96, 192, 384] };
+    let sizes: Vec<usize> = if quick_mode() {
+        vec![4, 8]
+    } else {
+        vec![96, 192, 384]
+    };
     println!("Figure 9: SciDP data analysis performance (seconds)");
     println!();
     println!("| timestamps | no analysis | highlight | top 1% | extra HDFS writes, top-1% (GB) |");
     println!("|------------|-------------|-----------|--------|--------------------------------|");
     for &n in &sizes {
-        let spec = if quick_mode() { quick_spec(n) } else { eval_spec(n) };
+        let spec = if quick_mode() {
+            quick_spec(n)
+        } else {
+            eval_spec(n)
+        };
         let scale = spec.scale_factor();
         let pool = DatasetPool::generate(spec, "nuwrf");
         let run = |analysis: Analysis| {

@@ -3,8 +3,8 @@
 //! Each `src/bin/*` binary regenerates one table or figure of the paper's
 //! evaluation (§V), printing the same rows/series the paper reports so
 //! paper-vs-measured shapes can be compared side by side (EXPERIMENTS.md
-//! records the comparison). `benches/` holds Criterion micro-benchmarks of
-//! the hot primitives behind those figures.
+//! records the comparison), plus micro-benchmark bins (`codec_scaling`)
+//! for the hot primitives behind those figures.
 //!
 //! Absolute numbers will not match the paper — the substrate is a
 //! simulator, not the TACC testbed — but the *shapes* (who wins, by what
@@ -129,8 +129,20 @@ mod tests {
         assert_eq!(c2.pfs.borrow().n_files(), 2);
         assert_eq!(c2.topo.n_compute(), 8);
         // Same bytes, shared storage.
-        let a = c1.pfs.borrow().file(&pool.dataset.info.files[0]).unwrap().data.clone();
-        let b = c2.pfs.borrow().file(&pool.dataset.info.files[0]).unwrap().data.clone();
+        let a = c1
+            .pfs
+            .borrow()
+            .file(&pool.dataset.info.files[0])
+            .unwrap()
+            .data
+            .clone();
+        let b = c2
+            .pfs
+            .borrow()
+            .file(&pool.dataset.info.files[0])
+            .unwrap()
+            .data
+            .clone();
         assert!(std::sync::Arc::ptr_eq(&a, &b));
     }
 

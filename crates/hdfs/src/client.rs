@@ -52,6 +52,7 @@ struct WriteState {
     writer: NodeId,
     path: String,
     chunks: Vec<Arc<Vec<u8>>>,
+    #[allow(clippy::type_complexity)]
     done: RefCell<Option<Box<dyn FnOnce(&mut Sim)>>>,
 }
 
@@ -62,7 +63,11 @@ fn write_step(sim: &mut Sim, st: Rc<WriteState>, idx: usize) {
         return;
     }
     let data = st.chunks[idx].clone();
-    let targets = st.hdfs.borrow_mut().namenode.choose_targets(Some(st.writer));
+    let targets = st
+        .hdfs
+        .borrow_mut()
+        .namenode
+        .choose_targets(Some(st.writer));
     let rpc = sim.cost.rpc_s;
     // Pipeline: writer → t0 → t1 → ... each hop is a flow; the block
     // commits when the last replica lands. We model hops as sequential
@@ -99,7 +104,11 @@ fn hop_step(
         write_step(sim, st, idx + 1);
         return;
     }
-    let src = if hop == 0 { st.writer } else { targets[hop - 1] };
+    let src = if hop == 0 {
+        st.writer
+    } else {
+        targets[hop - 1]
+    };
     let dst = targets[hop];
     let bytes = sim.cost.lbytes(data.len());
     let path = st.topo.path_remote_disk_write(src, dst);
@@ -175,7 +184,11 @@ pub fn read_block(
     let disk = flow_path[0];
     let seek_bytes = seek * sim.net.resource(disk).capacity;
     sim.after(rpc, move |sim| {
-        let seek_flow = if seek_bytes.is_finite() { seek_bytes } else { 0.0 };
+        let seek_flow = if seek_bytes.is_finite() {
+            seek_bytes
+        } else {
+            0.0
+        };
         sim.start_flow(vec![disk], seek_flow, move |sim| {
             sim.start_flow(flow_path, bytes, move |sim| done(sim, data));
         });
@@ -189,6 +202,7 @@ struct ReadState {
     reader: NodeId,
     blocks: Vec<Block>,
     buf: RefCell<Vec<u8>>,
+    #[allow(clippy::type_complexity)]
     done: RefCell<Option<Box<dyn FnOnce(&mut Sim, Vec<u8>)>>>,
 }
 
@@ -273,12 +287,20 @@ mod tests {
         let t2 = topo.clone();
         let got = Rc::new(RefCell::new(None));
         let g = got.clone();
-        write_file(&mut sim, &topo, &hdfs, NodeId(0), "f", data.clone(), move |sim| {
-            read_file(sim, &t2, &h2, NodeId(1), "f", move |_, bytes| {
-                *g.borrow_mut() = Some(bytes);
-            })
-            .unwrap();
-        })
+        write_file(
+            &mut sim,
+            &topo,
+            &hdfs,
+            NodeId(0),
+            "f",
+            data.clone(),
+            move |sim| {
+                read_file(sim, &t2, &h2, NodeId(1), "f", move |_, bytes| {
+                    *g.borrow_mut() = Some(bytes);
+                })
+                .unwrap();
+            },
+        )
         .unwrap();
         sim.run();
         assert_eq!(got.borrow_mut().take().unwrap(), data);
@@ -301,7 +323,16 @@ mod tests {
     fn local_read_beats_remote_read() {
         let (mut sim, topo, hdfs) = setup(2, 1);
         // Written from node 0 → replica on node 0.
-        write_file(&mut sim, &topo, &hdfs, NodeId(0), "f", vec![0u8; 64], |_| {}).unwrap();
+        write_file(
+            &mut sim,
+            &topo,
+            &hdfs,
+            NodeId(0),
+            "f",
+            vec![0u8; 64],
+            |_| {},
+        )
+        .unwrap();
         sim.run();
         let timing = |reader: u32| {
             let (mut sim, topo2, _) = setup(2, 1);
@@ -321,9 +352,16 @@ mod tests {
             };
             let t = Rc::new(RefCell::new(0.0));
             let t2 = t.clone();
-            read_file(&mut sim, &topo2, &hdfs2, NodeId(reader), "f", move |sim, _| {
-                *t2.borrow_mut() = sim.now().secs();
-            })
+            read_file(
+                &mut sim,
+                &topo2,
+                &hdfs2,
+                NodeId(reader),
+                "f",
+                move |sim, _| {
+                    *t2.borrow_mut() = sim.now().secs();
+                },
+            )
             .unwrap();
             sim.run();
             let v = *t.borrow();
@@ -341,7 +379,16 @@ mod tests {
     #[test]
     fn replication_places_copies_on_distinct_nodes() {
         let (mut sim, topo, hdfs) = setup(3, 2);
-        write_file(&mut sim, &topo, &hdfs, NodeId(1), "f", vec![7u8; 64], |_| {}).unwrap();
+        write_file(
+            &mut sim,
+            &topo,
+            &hdfs,
+            NodeId(1),
+            "f",
+            vec![7u8; 64],
+            |_| {},
+        )
+        .unwrap();
         sim.run();
         let h = hdfs.borrow();
         let blocks = h.namenode.blocks("f").unwrap();

@@ -49,10 +49,7 @@ impl DataNodes {
 
     /// Real bytes stored on one node.
     pub fn used_bytes(&self, node: NodeId) -> usize {
-        self.stores[node.0 as usize]
-            .values()
-            .map(|d| d.len())
-            .sum()
+        self.stores[node.0 as usize].values().map(|d| d.len()).sum()
     }
 
     /// Real bytes stored across the cluster (replicas counted).

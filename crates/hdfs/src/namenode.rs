@@ -85,7 +85,11 @@ impl NameNode {
         }
     }
 
-    fn dir_mut(&mut self, parts: &[&str], create: bool) -> Result<&mut BTreeMap<String, INode>, NsError> {
+    fn dir_mut(
+        &mut self,
+        parts: &[&str],
+        create: bool,
+    ) -> Result<&mut BTreeMap<String, INode>, NsError> {
         let mut cur = &mut self.root;
         for (i, part) in parts.iter().enumerate() {
             if create && !cur.contains_key(*part) {
@@ -93,9 +97,7 @@ impl NameNode {
             }
             match cur.get_mut(*part) {
                 Some(INode::Dir(children)) => cur = children,
-                Some(INode::File(_)) => {
-                    return Err(NsError::NotADirectory(parts[..=i].join("/")))
-                }
+                Some(INode::File(_)) => return Err(NsError::NotADirectory(parts[..=i].join("/"))),
                 None => return Err(NsError::NotFound(parts[..=i].join("/"))),
             }
         }

@@ -19,6 +19,12 @@ pub mod keys {
     pub const LOCAL_MAPS: &str = "data_local_maps";
     pub const REMOTE_MAPS: &str = "rack_remote_maps";
     pub const RECORDS_EMITTED: &str = "records_emitted";
+    /// Decompressed chunks served from the node-local chunk cache.
+    pub const CHUNK_CACHE_HITS: &str = "chunk_cache_hits";
+    /// Chunks that had to be read from the PFS and decompressed.
+    pub const CHUNK_CACHE_MISSES: &str = "chunk_cache_misses";
+    /// Real (wall-clock) seconds spent in the chunk codec during fetches.
+    pub const CODEC_DECODE_S: &str = "codec_decode_s";
 }
 
 impl Counters {

@@ -40,21 +40,33 @@ pub struct FetchResult {
     pub input: TaskInput,
     /// `(phase name, virtual seconds)` charged after the transfer.
     pub charges: Vec<(&'static str, f64)>,
+    /// `(counter key, amount)` added to the job counters (e.g. chunk-cache
+    /// hits/misses, real codec seconds — see [`crate::counters::keys`]).
+    pub counters: Vec<(&'static str, f64)>,
     /// Opaque split metadata forwarded to the map function via
     /// [`crate::TaskCtx::input_tag`] (e.g. which variable slab this is).
     pub tag: String,
 }
 
+impl FetchResult {
+    /// A result with no extra charges, counters or tag.
+    pub fn plain(input: TaskInput) -> FetchResult {
+        FetchResult {
+            input,
+            charges: Vec::new(),
+            counters: Vec::new(),
+            tag: String::new(),
+        }
+    }
+}
+
+/// Completion callback of a [`SplitFetcher::fetch`].
+pub type FetchDone = Box<dyn FnOnce(&mut Sim, FetchResult)>;
+
 /// Fetches one split's data inside a running task.
 pub trait SplitFetcher {
     /// Start the (timed) fetch on `node`; call `done` with the result.
-    fn fetch(
-        &self,
-        env: &MrEnv,
-        sim: &mut Sim,
-        node: NodeId,
-        done: Box<dyn FnOnce(&mut Sim, FetchResult)>,
-    );
+    fn fetch(&self, env: &MrEnv, sim: &mut Sim, node: NodeId, done: FetchDone);
 
     /// Human-readable description for traces.
     fn describe(&self) -> String;
@@ -92,24 +104,18 @@ pub struct HdfsBlockFetcher {
 }
 
 impl SplitFetcher for HdfsBlockFetcher {
-    fn fetch(
-        &self,
-        env: &MrEnv,
-        sim: &mut Sim,
-        node: NodeId,
-        done: Box<dyn FnOnce(&mut Sim, FetchResult)>,
-    ) {
-        let block = env.hdfs.borrow().namenode.blocks(&self.path).expect("input file exists")
-            [self.block_index]
+    fn fetch(&self, env: &MrEnv, sim: &mut Sim, node: NodeId, done: FetchDone) {
+        let block = env
+            .hdfs
+            .borrow()
+            .namenode
+            .blocks(&self.path)
+            .expect("input file exists")[self.block_index]
             .clone();
         hdfs::read_block(sim, &env.topo, &env.hdfs, node, &block, move |sim, data| {
             done(
                 sim,
-                FetchResult {
-                    input: TaskInput::Bytes(data.as_ref().clone()),
-                    charges: Vec::new(),
-                    tag: String::new(),
-                },
+                FetchResult::plain(TaskInput::Bytes(data.as_ref().clone())),
             )
         })
         .expect("real block readable");
@@ -155,6 +161,7 @@ pub struct FlatPfsFetcher {
 }
 
 impl FlatPfsFetcher {
+    #[allow(clippy::too_many_arguments)]
     fn read_chunks(
         env: MrEnv,
         sim: &mut Sim,
@@ -163,17 +170,10 @@ impl FlatPfsFetcher {
         ranges: Vec<(u64, u64)>,
         idx: usize,
         mut acc: Vec<u8>,
-        done: Box<dyn FnOnce(&mut Sim, FetchResult)>,
+        done: FetchDone,
     ) {
         if idx >= ranges.len() {
-            done(
-                sim,
-                FetchResult {
-                    input: TaskInput::Bytes(acc),
-                    charges: Vec::new(),
-                    tag: String::new(),
-                },
-            );
+            done(sim, FetchResult::plain(TaskInput::Bytes(acc)));
             return;
         }
         let (off, len) = ranges[idx];
@@ -197,13 +197,7 @@ impl FlatPfsFetcher {
 }
 
 impl SplitFetcher for FlatPfsFetcher {
-    fn fetch(
-        &self,
-        env: &MrEnv,
-        sim: &mut Sim,
-        node: NodeId,
-        done: Box<dyn FnOnce(&mut Sim, FetchResult)>,
-    ) {
+    fn fetch(&self, env: &MrEnv, sim: &mut Sim, node: NodeId, done: FetchDone) {
         let k = self.sequential_chunks.max(1) as u64;
         let chunk = self.len.div_ceil(k);
         let mut ranges = Vec::new();
@@ -244,23 +238,10 @@ pub struct InMemoryFetcher {
 }
 
 impl SplitFetcher for InMemoryFetcher {
-    fn fetch(
-        &self,
-        _env: &MrEnv,
-        sim: &mut Sim,
-        _node: NodeId,
-        done: Box<dyn FnOnce(&mut Sim, FetchResult)>,
-    ) {
+    fn fetch(&self, _env: &MrEnv, sim: &mut Sim, _node: NodeId, done: FetchDone) {
         let data = self.data.clone();
         sim.after(0.0, move |sim| {
-            done(
-                sim,
-                FetchResult {
-                    input: TaskInput::Bytes(data),
-                    charges: Vec::new(),
-                    tag: String::new(),
-                },
-            )
+            done(sim, FetchResult::plain(TaskInput::Bytes(data)))
         });
     }
 

@@ -269,6 +269,7 @@ struct Driver {
     counters: Counters,
     reduces_done: usize,
     failed: Option<MrError>,
+    #[allow(clippy::type_complexity)]
     done_cb: Option<Box<dyn FnOnce(&mut Sim, Result<JobResult, MrError>)>>,
 }
 
@@ -452,6 +453,12 @@ fn run_map_task(sim: &mut Sim, d: &SharedDriver, task: usize, node: NodeId) {
                 ctx.tag = fr.tag;
                 for (phase, secs) in &fr.charges {
                     ctx.charge(phase, *secs);
+                }
+                {
+                    let mut dd = d3.borrow_mut();
+                    for (key, v) in &fr.counters {
+                        dd.counters.add(key, *v);
+                    }
                 }
                 if let Err(e) = (map_fn)(fr.input, &mut ctx) {
                     fail_job(sim, &d3, e);
@@ -683,7 +690,17 @@ fn run_reduce_task(sim: &mut Sim, d: &SharedDriver, r: usize, node: NodeId) {
         let env2 = env.clone();
         let after_shuffle = Rc::new(RefCell::new(Some(Box::new(
             move |sim: &mut Sim, kvs: Vec<Kv>| {
-                reduce_execute(sim, &d3, r, node, start_s, startup, shuffle_start, kvs, env2);
+                reduce_execute(
+                    sim,
+                    &d3,
+                    r,
+                    node,
+                    start_s,
+                    startup,
+                    shuffle_start,
+                    kvs,
+                    env2,
+                );
             },
         )
             as Box<dyn FnOnce(&mut Sim, Vec<Kv>)>)));
@@ -720,14 +737,21 @@ fn run_reduce_task(sim: &mut Sim, d: &SharedDriver, r: usize, node: NodeId) {
                 let spill_path = format!("_spill/{job_name}/m{m_idx:05}");
                 let have = env.pfs.borrow().len_of(&spill_path).unwrap_or(0);
                 let len = bytes.min(have);
-                pfs::read_at(sim, &env.topo, &env.pfs, node, &spill_path, 0, len, move |sim, _| {
-                    arrive(sim)
-                })
+                pfs::read_at(
+                    sim,
+                    &env.topo,
+                    &env.pfs,
+                    node,
+                    &spill_path,
+                    0,
+                    len,
+                    move |sim, _| arrive(sim),
+                )
                 .expect("spill file present");
             } else {
                 let flow_bytes = sim.cost.lbytes(bytes);
                 let path = env.topo.path_net(src, node);
-                sim.start_flow(path, flow_bytes, move |sim| arrive(sim));
+                sim.start_flow(path, flow_bytes, arrive);
             }
         }
     });
@@ -745,7 +769,6 @@ fn reduce_execute(
     kvs: Vec<Kv>,
     env: MrEnv,
 ) {
-
     let shuffle_s = sim.now().secs() - shuffle_start;
     let in_bytes: usize = kvs
         .iter()

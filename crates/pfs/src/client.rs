@@ -47,6 +47,7 @@ impl std::error::Error for PfsError {}
 /// Read `[offset, offset+len)` of `path` into the memory of `node`.
 ///
 /// `done` receives the bytes at the virtual time the last segment lands.
+#[allow(clippy::too_many_arguments)]
 pub fn read_at(
     sim: &mut Sim,
     topo: &Topology,
@@ -94,7 +95,11 @@ pub fn read_at(
         let disk = flow_path[0];
         let seek_bytes = seek * sim.net.resource(disk).capacity;
         sim.after(rpc, move |sim| {
-            let seek_flow = if seek_bytes.is_finite() { seek_bytes } else { 0.0 };
+            let seek_flow = if seek_bytes.is_finite() {
+                seek_bytes
+            } else {
+                0.0
+            };
             sim.start_flow(vec![disk], seek_flow, move |sim| {
                 sim.start_flow(flow_path, bytes, move |sim| {
                     let mut j = join.borrow_mut();
@@ -171,18 +176,22 @@ pub fn write_new(
         // one positioning cost per OST segment, unlike interleaved reads.
         let seek_bytes = seek * sim.net.resource(disk).capacity;
         sim.after(rpc, move |sim| {
-            let seek_flow = if seek_bytes.is_finite() { seek_bytes } else { 0.0 };
+            let seek_flow = if seek_bytes.is_finite() {
+                seek_bytes
+            } else {
+                0.0
+            };
             sim.start_flow(vec![disk], seek_flow, move |sim| {
-            sim.start_flow(flow_path, bytes, move |sim| {
-                let mut j = join.borrow_mut();
-                j.0 -= 1;
-                if j.0 == 0 {
-                    let cb = j.1.take().expect("commit callback present");
-                    let data = std::mem::take(&mut j.2);
-                    drop(j);
-                    cb(sim, data);
-                }
-            });
+                sim.start_flow(flow_path, bytes, move |sim| {
+                    let mut j = join.borrow_mut();
+                    j.0 -= 1;
+                    if j.0 == 0 {
+                        let cb = j.1.take().expect("commit callback present");
+                        let data = std::mem::take(&mut j.2);
+                        drop(j);
+                        cb(sim, data);
+                    }
+                });
             });
         });
     }
@@ -226,11 +235,21 @@ mod tests {
     fn read_returns_exact_bytes_with_exact_timing() {
         let (mut sim, topo, pfs) = one_ost_setup();
         pfs.borrow_mut().create("f", (0..200u8).collect());
+        #[allow(clippy::type_complexity)]
         let out: Rc<RefCell<Option<(f64, Vec<u8>)>>> = Rc::new(RefCell::new(None));
         let o = out.clone();
-        read_at(&mut sim, &topo, &pfs, NodeId(0), "f", 50, 100, move |sim, data| {
-            *o.borrow_mut() = Some((sim.now().secs(), data));
-        })
+        read_at(
+            &mut sim,
+            &topo,
+            &pfs,
+            NodeId(0),
+            "f",
+            50,
+            100,
+            move |sim, data| {
+                *o.borrow_mut() = Some((sim.now().secs(), data));
+            },
+        )
         .unwrap();
         sim.run();
         let (t, data) = out.borrow_mut().take().unwrap();

@@ -49,11 +49,7 @@ impl MpiReport {
     }
 }
 
-fn finish_report(
-    sim: &Sim,
-    start_s: f64,
-    logical_bytes: f64,
-) -> MpiReport {
+fn finish_report(sim: &Sim, start_s: f64, logical_bytes: f64) -> MpiReport {
     MpiReport {
         start_s,
         end_s: sim.now().secs(),

@@ -9,7 +9,10 @@ pub enum FrameError {
     /// Columns of a frame must share one length.
     LengthMismatch { expected: usize, got: usize },
     /// Operation applied to a column of the wrong type.
-    TypeMismatch { column: String, expected: &'static str },
+    TypeMismatch {
+        column: String,
+        expected: &'static str,
+    },
     /// Malformed text input to `read_table`.
     Parse { line: usize, msg: String },
     /// SQL syntax error.

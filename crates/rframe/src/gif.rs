@@ -233,7 +233,7 @@ mod tests {
         assert_eq!(u16::from_le_bytes([gif[6], gif[7]]), 16);
         assert_eq!(u16::from_le_bytes([gif[8], gif[9]]), 16);
         // 5 image descriptors.
-        assert_eq!(gif.iter().filter(|&&b| b == 0x2C).count() >= 5, true);
+        assert!(gif.iter().filter(|&&b| b == 0x2C).count() >= 5);
         // Netscape loop block present.
         assert!(gif.windows(11).any(|w| w == b"NETSCAPE2.0"));
     }

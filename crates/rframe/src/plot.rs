@@ -1,9 +1,8 @@
 //! `image2D`: rasterise a 2-D field into a colour-mapped RGBA image
 //! (the `plot3D::image2D` + Cairo pipeline of the paper's visualization
-//! phase). Rows are rasterised in parallel with Rayon — this is real
-//! compute the reproduction performs for every plotted level.
-
-use rayon::prelude::*;
+//! phase). Rows are rasterised in parallel with the workspace's own
+//! [`scifmt::par`] helper — this is real compute the reproduction performs
+//! for every plotted level.
 
 use crate::error::{FrameError, Result};
 
@@ -114,10 +113,13 @@ pub fn image2d(
     let span = if hi > lo { hi - lo } else { 1.0 };
     let mut pixels = vec![0u8; width as usize * height as usize * 4];
     let w = width as usize;
-    pixels
-        .par_chunks_mut(w * 4)
-        .enumerate()
-        .for_each(|(py, row_out)| {
+    // Rows are independent; below ~64 rows the spawn cost outweighs the win.
+    scifmt::par::par_chunks_mut(
+        &mut pixels,
+        w * 4,
+        scifmt::par::default_threads(),
+        64,
+        |py, row_out| {
             // Map pixel centre to grid coordinates.
             let gy = (py as f64 + 0.5) / height as f64 * rows as f64 - 0.5;
             let y0 = gy.floor().clamp(0.0, (rows - 1) as f64) as usize;
@@ -147,7 +149,8 @@ pub fn image2d(
                     row_out[o..o + 4].copy_from_slice(&[0, 0, 0, 0]);
                 }
             }
-        });
+        },
+    );
     Ok(Raster {
         width,
         height,

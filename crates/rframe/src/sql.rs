@@ -213,7 +213,10 @@ impl AggFunc {
 #[derive(Clone, Debug)]
 enum Item {
     Star,
-    Expr { expr: Expr, alias: Option<String> },
+    Expr {
+        expr: Expr,
+        alias: Option<String>,
+    },
     Agg {
         func: AggFunc,
         arg: Option<Expr>,
@@ -250,7 +253,11 @@ impl Parser {
     }
 
     fn eat_kw(&mut self, kw: &str) -> bool {
-        if self.peek() == Some(&Tok::Kw(KEYWORDS.iter().find(|&&k| k == kw).copied().unwrap_or(""))) {
+        if self.peek()
+            == Some(&Tok::Kw(
+                KEYWORDS.iter().find(|&&k| k == kw).copied().unwrap_or(""),
+            ))
+        {
             self.pos += 1;
             true
         } else {
@@ -281,7 +288,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next() {
             Some(Tok::Ident(s)) => Ok(s),
-            other => Err(FrameError::Sql(format!("expected identifier, got {other:?}"))),
+            other => Err(FrameError::Sql(format!(
+                "expected identifier, got {other:?}"
+            ))),
         }
     }
 
@@ -684,7 +693,9 @@ fn execute(q: &Query, env: &HashMap<&str, &DataFrame>) -> Result<DataFrame> {
     // Aggregation path (with or without GROUP BY).
     for item in &q.items {
         match item {
-            Item::Expr { expr: Expr::Col(c), .. } if q.group_by.contains(c) => {}
+            Item::Expr {
+                expr: Expr::Col(c), ..
+            } if q.group_by.contains(c) => {}
             Item::Agg { .. } => {}
             Item::Star => {
                 return Err(FrameError::Sql(
@@ -703,7 +714,11 @@ fn execute(q: &Query, env: &HashMap<&str, &DataFrame>) -> Result<DataFrame> {
     let mut order: Vec<Vec<Value>> = Vec::new();
     let mut groups: HashMap<String, usize> = HashMap::new();
     let mut states: Vec<Vec<AggState>> = Vec::new();
-    let n_aggs = q.items.iter().filter(|i| matches!(i, Item::Agg { .. })).count();
+    let n_aggs = q
+        .items
+        .iter()
+        .filter(|i| matches!(i, Item::Agg { .. }))
+        .count();
     for r in 0..filtered.n_rows() {
         let key_vals: Vec<Value> = q
             .group_by
@@ -746,7 +761,9 @@ fn execute(q: &Query, env: &HashMap<&str, &DataFrame>) -> Result<DataFrame> {
     for item in &q.items {
         let name = item_name(item);
         match item {
-            Item::Expr { expr: Expr::Col(c), .. } => {
+            Item::Expr {
+                expr: Expr::Col(c), ..
+            } => {
                 let pos = q.group_by.iter().position(|g| g == c).unwrap();
                 // Group key column: retain original type when uniform.
                 let vals: Vec<Value> = order.iter().map(|k| k[pos].clone()).collect();
@@ -767,11 +784,7 @@ fn execute(q: &Query, env: &HashMap<&str, &DataFrame>) -> Result<DataFrame> {
                 out = out.with_column(name, col)?;
             }
             Item::Agg { .. } => {
-                let ai = q.items[..q
-                    .items
-                    .iter()
-                    .position(|i| std::ptr::eq(i, item))
-                    .unwrap()]
+                let ai = q.items[..q.items.iter().position(|i| std::ptr::eq(i, item)).unwrap()]
                     .iter()
                     .filter(|i| matches!(i, Item::Agg { .. }))
                     .count();
@@ -790,7 +803,11 @@ fn execute(q: &Query, env: &HashMap<&str, &DataFrame>) -> Result<DataFrame> {
     } else {
         out
     };
-    Ok(if let Some(n) = q.limit { out.head(n) } else { out })
+    Ok(if let Some(n) = q.limit {
+        out.head(n)
+    } else {
+        out
+    })
 }
 
 /// Run a SQL query over named data frames.
@@ -830,7 +847,13 @@ mod tests {
             .unwrap()
             .with_column(
                 "tag",
-                Column::Str(vec!["a".into(), "b".into(), "a".into(), "b".into(), "a".into()]),
+                Column::Str(vec![
+                    "a".into(),
+                    "b".into(),
+                    "a".into(),
+                    "b".into(),
+                    "a".into(),
+                ]),
             )
             .unwrap()
     }
@@ -877,7 +900,11 @@ mod tests {
     #[test]
     fn order_by_unselected_column() {
         let df = sample();
-        let out = sqldf("SELECT tag FROM df ORDER BY value ASC LIMIT 1", &env_with(&df)).unwrap();
+        let out = sqldf(
+            "SELECT tag FROM df ORDER BY value ASC LIMIT 1",
+            &env_with(&df),
+        )
+        .unwrap();
         assert_eq!(out.column("tag").unwrap().value(0), Value::Str("b".into()));
     }
 
@@ -941,7 +968,11 @@ mod tests {
     #[test]
     fn aggregate_over_empty_input() {
         let df = sample();
-        let out = sqldf("SELECT COUNT(*) AS n FROM df WHERE value > 100", &env_with(&df)).unwrap();
+        let out = sqldf(
+            "SELECT COUNT(*) AS n FROM df WHERE value > 100",
+            &env_with(&df),
+        )
+        .unwrap();
         assert_eq!(out.f64_column("n").unwrap(), &vec![0.0]);
     }
 
@@ -954,14 +985,21 @@ mod tests {
         assert!(sqldf("SELECT missing FROM df", &env).is_err());
         assert!(sqldf("SELECT value FROM df LIMIT -1", &env).is_err());
         assert!(sqldf("SELECT value FROM df extra", &env).is_err());
-        assert!(sqldf("SELECT tag, SUM(value) FROM df", &env).is_err(), "tag not grouped");
+        assert!(
+            sqldf("SELECT tag, SUM(value) FROM df", &env).is_err(),
+            "tag not grouped"
+        );
         assert!(sqldf("SELECT 'unterminated FROM df", &env).is_err());
     }
 
     #[test]
     fn keywords_case_insensitive() {
         let df = sample();
-        let out = sqldf("select value from df where value >= 8 order by value desc", &env_with(&df)).unwrap();
+        let out = sqldf(
+            "select value from df where value >= 8 order by value desc",
+            &env_with(&df),
+        )
+        .unwrap();
         assert_eq!(out.n_rows(), 2);
     }
 

@@ -33,13 +33,12 @@ pub mod workflow;
 
 pub use error::ScidpError;
 pub use explorer::{parse_pfs_path, ExploreReport, ExploredFile, FileExplorer, FileFormat};
-pub use mapper::{DataMapper, MappedBlock, Mapping, MapperOptions};
+pub use mapper::{DataMapper, MappedBlock, MapperOptions, Mapping};
 pub use rapi::{
-    decode_tag, derived_raster, encode_slab_tag, make_splits, wrap_r_map, wrap_r_reduce, MapSlab, RCtx, RJob,
-    RMapFn, RReduceFn, ScidpInput, SetupInfo,
+    decode_tag, derived_raster, encode_slab_tag, make_splits, wrap_r_map, wrap_r_reduce, MapSlab,
+    RCtx, RJob, RMapFn, RReduceFn, ScidpInput, SetupInfo,
 };
 pub use reader::SciSlabFetcher;
 pub use workflow::{
-    build_rjob, nuwrf_map_fn, nuwrf_reduce_fn, run_scidp, Analysis, WorkflowConfig,
-    WorkflowReport,
+    build_rjob, nuwrf_map_fn, nuwrf_reduce_fn, run_scidp, Analysis, WorkflowConfig, WorkflowReport,
 };

@@ -117,7 +117,7 @@ impl DataMapper {
                         let selected = opts
                             .variables
                             .as_ref()
-                            .map_or(true, |want| want.iter().any(|w| w == &var_path));
+                            .is_none_or(|want| want.iter().any(|w| w == &var_path));
                         if !selected {
                             mapping.skipped_bytes += var.stored_size() as u64;
                             continue;
@@ -253,8 +253,7 @@ impl DataMapper {
             // Ablation: fixed-size slabs along dim 0, ignoring chunk
             // boundaries. Tasks will read (and decompress) every chunk
             // their slab touches — the misalignment overhead of §III-B.
-            let bytes_per_row: usize =
-                shape[1..].iter().product::<usize>() * var.dtype.size();
+            let bytes_per_row: usize = shape[1..].iter().product::<usize>() * var.dtype.size();
             let rows_per_block = (opts.flat_block_size / bytes_per_row.max(1)).max(1);
             let mut s0 = 0usize;
             while s0 < shape[0] {
@@ -327,10 +326,27 @@ mod tests {
         assert_eq!(qr_blocks.len(), 3);
         assert!(qr_blocks.iter().all(|b| b.is_dummy()));
         // T: 6 / 3 = 2 blocks.
-        assert_eq!(namenode.blocks("scidp/run/plot_18.snc/physics/T").unwrap().len(), 2);
+        assert_eq!(
+            namenode
+                .blocks("scidp/run/plot_18.snc/physics/T")
+                .unwrap()
+                .len(),
+            2
+        );
         // Blocks carry slab descriptors aligned to chunk origins.
-        match &m.blocks.iter().find(|b| b.hdfs_path.ends_with("/QR")).unwrap().descriptor {
-            VirtualBlock::SciSlab { start, count, var_path, .. } => {
+        match &m
+            .blocks
+            .iter()
+            .find(|b| b.hdfs_path.ends_with("/QR"))
+            .unwrap()
+            .descriptor
+        {
+            VirtualBlock::SciSlab {
+                start,
+                count,
+                var_path,
+                ..
+            } => {
                 assert_eq!(var_path, "QR");
                 assert_eq!(start, &vec![0, 0, 0]);
                 assert_eq!(count, &vec![2, 8, 5]);
@@ -350,7 +366,10 @@ mod tests {
         let m = DataMapper::map_to_hdfs(&mut namenode, &rep, &opts).unwrap();
         assert!(namenode.is_file("scidp/run/plot_18.snc/QR"));
         assert!(!namenode.exists("scidp/run/plot_18.snc/physics"));
-        assert!(m.skipped_bytes > 0, "unselected variable counted as skipped");
+        assert!(
+            m.skipped_bytes > 0,
+            "unselected variable counted as skipped"
+        );
         // Flat files are still mapped (format-based, not name-based).
         assert!(namenode.is_file("scidp/run/notes.csv"));
     }

@@ -88,7 +88,10 @@ pub struct SetupInfo {
 /// PFS-reader splits; other paths enumerate HDFS blocks exactly like the
 /// stock `FileInputFormat` ("if a match cannot be found, SciDP will behave
 /// as the original Hadoop").
-pub fn make_splits(env: &MrEnv, input: &ScidpInput) -> Result<(Vec<InputSplit>, SetupInfo), ScidpError> {
+pub fn make_splits(
+    env: &MrEnv,
+    input: &ScidpInput,
+) -> Result<(Vec<InputSplit>, SetupInfo), ScidpError> {
     if let Some(dir) = parse_pfs_path(&input.path) {
         let report = {
             let pfs = env.pfs.borrow();
@@ -105,28 +108,43 @@ pub fn make_splits(env: &MrEnv, input: &ScidpInput) -> Result<(Vec<InputSplit>, 
             let mut h = env.hdfs.borrow_mut();
             DataMapper::map_to_hdfs(&mut h.namenode, &report, &opts)?
         };
+        // One decompressed-chunk cache shared by every fetcher of this job
+        // (keys are content-unique per file, so one pool serves them all).
+        let cache = std::sync::Arc::new(scifmt::snc::ChunkCache::default());
         let mut splits = Vec::with_capacity(mapping.blocks.len());
         for b in &mapping.blocks {
             let fetcher: Rc<dyn mapreduce::SplitFetcher> = match (&b.descriptor, &b.var) {
-                (hdfs::VirtualBlock::SciSlab { pfs_path, start, count, .. }, Some((var, off))) => {
-                    Rc::new(TaggedSciFetcher {
-                        inner: SciSlabFetcher {
-                            pfs_path: pfs_path.clone(),
-                            var: var.clone(),
-                            data_offset: *off,
-                            start: start.clone(),
-                            count: count.clone(),
-                        },
-                    })
-                }
-                (hdfs::VirtualBlock::FlatRange { pfs_path, offset, len }, _) => {
-                    Rc::new(FlatPfsFetcher {
+                (
+                    hdfs::VirtualBlock::SciSlab {
+                        pfs_path,
+                        start,
+                        count,
+                        ..
+                    },
+                    Some((var, off)),
+                ) => Rc::new(TaggedSciFetcher {
+                    inner: SciSlabFetcher {
                         pfs_path: pfs_path.clone(),
-                        offset: *offset,
-                        len: *len,
-                        sequential_chunks: 1,
-                    })
-                }
+                        var: var.clone(),
+                        data_offset: *off,
+                        start: start.clone(),
+                        count: count.clone(),
+                        cache: cache.clone(),
+                    },
+                }),
+                (
+                    hdfs::VirtualBlock::FlatRange {
+                        pfs_path,
+                        offset,
+                        len,
+                    },
+                    _,
+                ) => Rc::new(FlatPfsFetcher {
+                    pfs_path: pfs_path.clone(),
+                    offset: *offset,
+                    len: *len,
+                    sequential_chunks: 1,
+                }),
                 other => unreachable!("inconsistent mapping entry: {other:?}"),
             };
             splits.push(InputSplit {
@@ -399,8 +417,8 @@ pub fn wrap_r_map(
                 "SciDP R job expects scientific slabs; flat inputs need a bytes map".into(),
             ));
         };
-        let (file, var, dims, origin) = decode_tag(ctx.input_tag())
-            .ok_or_else(|| MrError("missing slab tag".into()))?;
+        let (file, var, dims, origin) =
+            decode_tag(ctx.input_tag()).ok_or_else(|| MrError("missing slab tag".into()))?;
         // Convert binary slab into the R data frame ("Convert" in
         // Fig. 7 — cheap for SciDP because the data is already binary).
         let raw = array.len() * array.dtype().size();
@@ -484,8 +502,14 @@ mod tests {
             name: "QR".into(),
             dtype: scifmt::DType::F32,
             dims: vec![
-                scifmt::Dim { name: "lev".into(), len: 4 },
-                scifmt::Dim { name: "lat".into(), len: 8 },
+                scifmt::Dim {
+                    name: "lev".into(),
+                    len: 4,
+                },
+                scifmt::Dim {
+                    name: "lat".into(),
+                    len: 8,
+                },
             ],
             chunk_shape: vec![2, 8],
             codec: scifmt::Codec::None,
@@ -498,6 +522,7 @@ mod tests {
             data_offset: 64,
             start: vec![2, 0],
             count: vec![2, 8],
+            cache: std::sync::Arc::new(scifmt::ChunkCache::new(0)),
         };
         let tag = encode_tag(&f);
         let (file, var, dims, origin) = decode_tag(&tag).unwrap();
@@ -511,13 +536,12 @@ mod tests {
     #[test]
     fn slab_frame_has_global_coordinates() {
         let a = Array::from_f32(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
-        let df = slab_to_frame(
-            &["lev".to_string(), "lon".to_string()],
-            &[10, 20],
-            &a,
-        );
+        let df = slab_to_frame(&["lev".to_string(), "lon".to_string()], &[10, 20], &a);
         assert_eq!(df.n_rows(), 6);
-        assert_eq!(df.names(), &["lev".to_string(), "lon".into(), "value".into()]);
+        assert_eq!(
+            df.names(),
+            &["lev".to_string(), "lon".into(), "value".into()]
+        );
         // Row 0: global coords (10, 20), value 1.0.
         assert_eq!(df.column("lev").unwrap().value(0), rframe::Value::I64(10));
         assert_eq!(df.column("lon").unwrap().value(5), rframe::Value::I64(22));

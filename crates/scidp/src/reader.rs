@@ -15,9 +15,10 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use mapreduce::{FetchResult, MrEnv, SplitFetcher, TaskInput};
+use mapreduce::counters::keys;
+use mapreduce::{FetchDone, FetchResult, MrEnv, SplitFetcher, TaskInput};
 use scifmt::hyperslab;
-use scifmt::snc::{assemble_slab, chunk_extents_of};
+use scifmt::snc::{assemble_slab, chunk_extents_of, ChunkCache};
 use scifmt::VarMeta;
 use simnet::{NodeId, Sim};
 
@@ -30,60 +31,82 @@ pub struct SciSlabFetcher {
     /// Element slab this block covers.
     pub start: Vec<usize>,
     pub count: Vec<usize>,
+    /// Node-local decompressed-chunk cache shared by the job's fetchers.
+    /// Chunks found here skip both the PFS read and the decompression
+    /// charge (repeated overlapping hyperslabs of the same variable).
+    pub cache: Arc<ChunkCache>,
 }
 
 impl SplitFetcher for SciSlabFetcher {
-    fn fetch(
-        &self,
-        env: &MrEnv,
-        sim: &mut Sim,
-        node: NodeId,
-        done: Box<dyn FnOnce(&mut Sim, FetchResult)>,
-    ) {
+    fn fetch(&self, env: &MrEnv, sim: &mut Sim, node: NodeId, done: FetchDone) {
         let shape = self.var.shape();
-        let ids = hyperslab::chunks_for_slab(&shape, &self.var.chunk_shape, &self.start, &self.count);
+        let ids =
+            hyperslab::chunks_for_slab(&shape, &self.var.chunk_shape, &self.start, &self.count);
         let extents = chunk_extents_of(&self.var, self.data_offset);
-        let needed: Vec<(usize, u64, u64, u64)> = ids
-            .iter()
-            .map(|&i| (i, extents[i].offset, extents[i].clen, extents[i].rlen))
-            .collect();
+        // Consult the node-local cache first: chunks another task of this
+        // job already decompressed need neither the PFS read nor the
+        // decompression charge.
+        let file_key = ChunkCache::file_key(&self.pfs_path);
+        let collected: Rc<RefCell<HashMap<usize, Arc<Vec<u8>>>>> =
+            Rc::new(RefCell::new(HashMap::new()));
+        let mut needed: Vec<(usize, u64, u64, u64)> = Vec::new();
+        for &i in &ids {
+            match self.cache.lookup((file_key, extents[i].offset)) {
+                Some(raw) => {
+                    collected.borrow_mut().insert(i, raw);
+                }
+                None => needed.push((i, extents[i].offset, extents[i].clen, extents[i].rlen)),
+            }
+        }
+        let hits = ids.len() - needed.len();
+        let misses = needed.len();
         let var = self.var.clone();
         let start = self.start.clone();
         let count = self.count.clone();
-        let total_raw: u64 = needed.iter().map(|&(_, _, _, r)| r).sum();
-        let decompress_cost = sim.cost.decompress(total_raw as usize);
+        // Decompression is only paid for the chunks not served from cache.
+        let missed_raw: u64 = needed.iter().map(|&(_, _, _, r)| r).sum();
+        let decompress_cost = sim.cost.decompress(missed_raw as usize);
 
-        // Fetch all chunk extents in parallel; decode + assemble when the
-        // last one lands.
-        let collected: Rc<RefCell<HashMap<usize, Vec<u8>>>> =
-            Rc::new(RefCell::new(HashMap::new()));
-        let remaining = Rc::new(RefCell::new(needed.len()));
-        let done_cell = Rc::new(RefCell::new(Some(done)));
-        if needed.is_empty() {
-            let d = done_cell.borrow_mut().take().unwrap();
-            let array = assemble_slab(&var, &start, &count, |_| {
-                unreachable!("empty slab needs no chunks")
+        let assemble = move |chunks: &HashMap<usize, Arc<Vec<u8>>>| {
+            assemble_slab(&var, &start, &count, |i| {
+                chunks
+                    .get(&i)
+                    .map(|a| a.as_slice())
+                    .ok_or_else(|| scifmt::FmtError::NotFound(format!("chunk {i}")))
             })
-            .expect("empty slab assembles");
+            .expect("slab assembles from fetched chunks")
+        };
+
+        if needed.is_empty() {
+            // Everything (possibly nothing) came from the cache.
+            let array = assemble(&collected.borrow());
+            let counters = vec![(keys::CHUNK_CACHE_HITS, hits as f64)];
             sim.after(0.0, move |sim| {
-                d(
+                done(
                     sim,
                     FetchResult {
                         input: TaskInput::Array(array),
                         charges: vec![],
+                        counters,
                         tag: String::new(),
                     },
                 )
             });
             return;
         }
+
+        // Fetch the remaining chunk extents in parallel; decode + assemble
+        // when the last one lands.
+        let remaining = Rc::new(RefCell::new(needed.len()));
+        let done_cell = Rc::new(RefCell::new(Some(done)));
+        let decode_s = Rc::new(RefCell::new(0.0f64));
         for (idx, offset, clen, _rlen) in needed {
             let collected = collected.clone();
             let remaining = remaining.clone();
             let done_cell = done_cell.clone();
-            let var = var.clone();
-            let start = start.clone();
-            let count = count.clone();
+            let decode_s = decode_s.clone();
+            let cache = self.cache.clone();
+            let assemble = assemble.clone();
             pfs::read_at(
                 sim,
                 &env.topo,
@@ -93,9 +116,13 @@ impl SplitFetcher for SciSlabFetcher {
                 offset as usize,
                 clen as usize,
                 move |sim, frame| {
-                    // Real decode of the real chunk bytes.
-                    let raw = scifmt::codec::decompress(&frame)
-                        .expect("stored chunk decodes");
+                    // Real decode of the real chunk bytes (timed for the
+                    // Fig. 7 Read/Convert decomposition).
+                    let t0 = std::time::Instant::now();
+                    let raw = scifmt::codec::decompress(&frame).expect("stored chunk decodes");
+                    *decode_s.borrow_mut() += t0.elapsed().as_secs_f64();
+                    let raw = Arc::new(raw);
+                    cache.insert((file_key, offset), raw.clone());
                     collected.borrow_mut().insert(idx, raw);
                     let mut rem = remaining.borrow_mut();
                     *rem -= 1;
@@ -104,19 +131,18 @@ impl SplitFetcher for SciSlabFetcher {
                     }
                     drop(rem);
                     let chunks = std::mem::take(&mut *collected.borrow_mut());
-                    let array = assemble_slab(&var, &start, &count, |i| {
-                        chunks
-                            .get(&i)
-                            .cloned()
-                            .ok_or_else(|| scifmt::FmtError::NotFound(format!("chunk {i}")))
-                    })
-                    .expect("slab assembles from fetched chunks");
+                    let array = assemble(&chunks);
                     let d = done_cell.borrow_mut().take().expect("single completion");
                     d(
                         sim,
                         FetchResult {
                             input: TaskInput::Array(array),
                             charges: vec![("decompress", decompress_cost)],
+                            counters: vec![
+                                (keys::CHUNK_CACHE_HITS, hits as f64),
+                                (keys::CHUNK_CACHE_MISSES, misses as f64),
+                                (keys::CODEC_DECODE_S, *decode_s.borrow()),
+                            ],
                             tag: String::new(),
                         },
                     );
@@ -194,7 +220,9 @@ mod tests {
             data_offset: off,
             start: vec![1, 2, 0],
             count: vec![3, 4, 5],
+            cache: Arc::new(ChunkCache::new(0)),
         };
+        #[allow(clippy::type_complexity)]
         let got: Rc<RefCell<Option<(TaskInput, Vec<(&'static str, f64)>)>>> =
             Rc::new(RefCell::new(None));
         let g = got.clone();
@@ -238,6 +266,7 @@ mod tests {
             data_offset: off,
             start: vec![2, 0, 0],
             count: vec![2, 8, 5],
+            cache: Arc::new(ChunkCache::new(0)),
         };
         let env = c.env();
         fetcher.fetch(&env, &mut c.sim, NodeId(1), Box::new(|_, _| {}));
@@ -252,6 +281,86 @@ mod tests {
     }
 
     #[test]
+    fn shared_cache_skips_repeat_reads() {
+        // Two fetchers of the same job share a cache: the second fetch of an
+        // overlapping slab moves zero PFS bytes, charges no decompression,
+        // and reports the hits through the fetch counters.
+        let mut c = cluster();
+        let (var, off, full) = stage_var(&mut c);
+        let cache = Arc::new(ChunkCache::default());
+        let mk = |start: Vec<usize>, count: Vec<usize>| SciSlabFetcher {
+            pfs_path: "run/f.snc".into(),
+            var: var.clone(),
+            data_offset: off,
+            start,
+            count,
+            cache: cache.clone(),
+        };
+        let env = c.env();
+        let first = mk(vec![0, 0, 0], vec![4, 8, 5]); // chunks 0 and 1
+        first.fetch(&env, &mut c.sim, NodeId(0), Box::new(|_, _| {}));
+        c.run();
+        let bytes_after_first = c.sim.net.bytes_admitted;
+        assert!(bytes_after_first > 0.0);
+
+        let got = Rc::new(RefCell::new(None));
+        let g = got.clone();
+        let second = mk(vec![1, 0, 0], vec![2, 8, 5]); // same two chunks
+        second.fetch(
+            &env,
+            &mut c.sim,
+            NodeId(1),
+            Box::new(move |_, fr| {
+                *g.borrow_mut() = Some(fr);
+            }),
+        );
+        c.run();
+        assert_eq!(
+            c.sim.net.bytes_admitted, bytes_after_first,
+            "cached fetch must not touch the PFS"
+        );
+        let fr = got.borrow_mut().take().unwrap();
+        assert!(fr.charges.is_empty(), "no decompression charge on hits");
+        assert_eq!(fr.counters, vec![(keys::CHUNK_CACHE_HITS, 2.0)]);
+        let TaskInput::Array(a) = fr.input else {
+            panic!("expected array");
+        };
+        assert_eq!(a.at(&[0, 0, 0]), full.at(&[1, 0, 0]));
+        assert_eq!(a.at(&[1, 7, 4]), full.at(&[2, 7, 4]));
+    }
+
+    #[test]
+    fn miss_fetch_reports_counters() {
+        let mut c = cluster();
+        let (var, off, _) = stage_var(&mut c);
+        let fetcher = SciSlabFetcher {
+            pfs_path: "run/f.snc".into(),
+            var,
+            data_offset: off,
+            start: vec![0, 0, 0],
+            count: vec![6, 8, 5],
+            cache: Arc::new(ChunkCache::default()),
+        };
+        let got = Rc::new(RefCell::new(None));
+        let g = got.clone();
+        let env = c.env();
+        fetcher.fetch(
+            &env,
+            &mut c.sim,
+            NodeId(0),
+            Box::new(move |_, fr| {
+                *g.borrow_mut() = Some(fr.counters);
+            }),
+        );
+        c.run();
+        let counters = got.borrow_mut().take().unwrap();
+        assert_eq!(counters[0], (keys::CHUNK_CACHE_HITS, 0.0));
+        assert_eq!(counters[1], (keys::CHUNK_CACHE_MISSES, 3.0));
+        assert_eq!(counters[2].0, keys::CODEC_DECODE_S);
+        assert!(counters[2].1 > 0.0, "real decode time was measured");
+    }
+
+    #[test]
     fn unaligned_slab_reads_extra_chunks() {
         // Levels 1..3 straddle chunks 0 and 1 → both chunks transferred.
         let mut c = cluster();
@@ -263,6 +372,7 @@ mod tests {
             data_offset: off,
             start: vec![1, 0, 0],
             count: vec![2, 8, 5],
+            cache: Arc::new(ChunkCache::new(0)),
         };
         let got = Rc::new(RefCell::new(None));
         let g = got.clone();

@@ -106,60 +106,64 @@ pub fn nuwrf_map_fn(cfg: &WorkflowConfig) -> crate::rapi::RMapFn {
     let cmap = cfg.colormap;
     {
         let analysis = analysis.clone();
-        Rc::new(move |slab: &crate::MapSlab, rctx: &mut RCtx<'_>| -> Result<(), MrError> {
-            let shape = slab.array.shape().to_vec();
-            if shape.len() != 3 {
-                return Err(MrError(format!(
-                    "NU-WRF workflow expects 3-D slabs, got {shape:?}"
-                )));
-            }
-            let (levels, rows, cols) = (shape[0], shape[1], shape[2]);
-            // Plot every vertical level of the slab.
-            for l in 0..levels {
-                let mut grid = Vec::with_capacity(rows * cols);
-                for i in 0..rows {
-                    for j in 0..cols {
-                        grid.push(slab.array.at(&[l, i, j]));
+        Rc::new(
+            move |slab: &crate::MapSlab, rctx: &mut RCtx<'_>| -> Result<(), MrError> {
+                let shape = slab.array.shape().to_vec();
+                if shape.len() != 3 {
+                    return Err(MrError(format!(
+                        "NU-WRF workflow expects 3-D slabs, got {shape:?}"
+                    )));
+                }
+                let (levels, rows, cols) = (shape[0], shape[1], shape[2]);
+                // Plot every vertical level of the slab.
+                for l in 0..levels {
+                    let mut grid = Vec::with_capacity(rows * cols);
+                    for i in 0..rows {
+                        for j in 0..cols {
+                            grid.push(slab.array.at(&[l, i, j]));
+                        }
+                    }
+                    let raster = rctx.image2d(&grid, rows, cols, cmap);
+                    let global_lev = slab.origin[0] + l;
+                    rctx.emit_image(
+                        format!("img/{}/{}/{global_lev:04}", slab.file, slab.var),
+                        &raster,
+                    );
+                }
+                // In-map analysis over the already-loaded frame.
+                match &analysis {
+                    Analysis::None => {}
+                    Analysis::Highlight { k } => {
+                        let mut env = HashMap::new();
+                        env.insert("df", &slab.frame);
+                        let q = format!("SELECT * FROM df ORDER BY value DESC LIMIT {k}");
+                        let top = rctx.sqldf(&q, &env)?;
+                        rctx.emit_frame(format!("hl/{}", slab.var), top);
+                    }
+                    Analysis::TopPercent { pct } => {
+                        // Per-task threshold, partial results merged in reduce.
+                        let values = slab
+                            .frame
+                            .f64_column("value")
+                            .map_err(|e| MrError(e.to_string()))?;
+                        let mut sorted: Vec<f64> =
+                            values.iter().copied().filter(|v| v.is_finite()).collect();
+                        sorted.sort_by(f64::total_cmp);
+                        let idx = ((sorted.len() as f64) * (1.0 - pct / 100.0)) as usize;
+                        let thr = sorted
+                            .get(idx.min(sorted.len().saturating_sub(1)))
+                            .copied()
+                            .unwrap_or(f64::NEG_INFINITY);
+                        let mut env = HashMap::new();
+                        env.insert("df", &slab.frame);
+                        let q = format!("SELECT * FROM df WHERE value >= {thr:e}");
+                        let sel = rctx.sqldf(&q, &env)?;
+                        rctx.emit_frame(format!("top/{}", slab.var), sel);
                     }
                 }
-                let raster = rctx.image2d(&grid, rows, cols, cmap);
-                let global_lev = slab.origin[0] + l;
-                rctx.emit_image(
-                    format!("img/{}/{}/{global_lev:04}", slab.file, slab.var),
-                    &raster,
-                );
-            }
-            // In-map analysis over the already-loaded frame.
-            match &analysis {
-                Analysis::None => {}
-                Analysis::Highlight { k } => {
-                    let mut env = HashMap::new();
-                    env.insert("df", &slab.frame);
-                    let q = format!("SELECT * FROM df ORDER BY value DESC LIMIT {k}");
-                    let top = rctx.sqldf(&q, &env)?;
-                    rctx.emit_frame(format!("hl/{}", slab.var), top);
-                }
-                Analysis::TopPercent { pct } => {
-                    // Per-task threshold, partial results merged in reduce.
-                    let values = slab
-                        .frame
-                        .f64_column("value")
-                        .map_err(|e| MrError(e.to_string()))?;
-                    let mut sorted: Vec<f64> =
-                        values.iter().copied().filter(|v| v.is_finite()).collect();
-                    sorted.sort_by(f64::total_cmp);
-                    let idx = ((sorted.len() as f64) * (1.0 - pct / 100.0)) as usize;
-                    let thr = sorted.get(idx.min(sorted.len().saturating_sub(1))).copied()
-                        .unwrap_or(f64::NEG_INFINITY);
-                    let mut env = HashMap::new();
-                    env.insert("df", &slab.frame);
-                    let q = format!("SELECT * FROM df WHERE value >= {thr:e}");
-                    let sel = rctx.sqldf(&q, &env)?;
-                    rctx.emit_frame(format!("top/{}", slab.var), sel);
-                }
-            }
-            Ok(())
-        })
+                Ok(())
+            },
+        )
     }
 }
 
@@ -182,8 +186,7 @@ pub fn nuwrf_reduce_fn() -> crate::rapi::RReduceFn {
                     Payload::Bytes(_) => None,
                 })
                 .collect();
-            let merged =
-                DataFrame::concat(frames.iter()).map_err(|e| MrError(e.to_string()))?;
+            let merged = DataFrame::concat(frames.iter()).map_err(|e| MrError(e.to_string()))?;
             let rows = merged.n_rows();
             let out = if key.starts_with("hl/") {
                 // Global top-k from the per-task top-k partials.
@@ -314,7 +317,7 @@ mod tests {
             scale: wspec.scale_factor(),
             ..CostModel::default()
         };
-        let mut cluster = Cluster::new(spec, pfs_cfg, 1 << 20, 1, cost);
+        let cluster = Cluster::new(spec, pfs_cfg, 1 << 20, 1, cost);
         wrfgen::generate_dataset(&mut cluster.pfs.borrow_mut(), &wspec, "nuwrf/run");
         (cluster, "lustre://nuwrf/run".to_string())
     }
@@ -397,6 +400,9 @@ mod tests {
         };
         let one = elapsed_and_input(vec!["QR"]);
         let all = elapsed_and_input(vec!["QR", "QC", "QI"]);
-        assert!(all > 2.0 * one, "subsetting not reducing input: {one} vs {all}");
+        assert!(
+            all > 2.0 * one,
+            "subsetting not reducing input: {one} vs {all}"
+        );
     }
 }

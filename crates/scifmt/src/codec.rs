@@ -8,13 +8,24 @@
 //! 64 KiB window — small, fast, and entirely self-contained.
 //!
 //! Frame layout: `[codec_id:u8][raw_len:varint][elem:u8 if shuffled][payload]`.
+//!
+//! Two API tiers:
+//!
+//! * [`compress`]/[`decompress`] — convenience, allocate fresh buffers;
+//! * [`compress_into`]/[`decompress_into`] with a reusable [`Scratch`] —
+//!   the hot path used by the parallel chunk pipeline, where each worker
+//!   thread keeps one `Scratch` and amortises the shuffle buffer and the
+//!   256 KiB LZ hash table across every chunk it processes.
 
 use crate::error::{FmtError, Result};
-use crate::wire::{Reader, Writer};
+use crate::wire::Reader;
 
 const MIN_MATCH: usize = 4;
 const MAX_DISTANCE: usize = 65_535;
 const HASH_BITS: u32 = 15;
+/// Elements per transpose tile: 512 × `elem` source bytes stay L1-resident
+/// while the tile's writes stream to `elem` separate destinations.
+const SHUFFLE_TILE: usize = 512;
 
 /// Compression scheme applied to a chunk.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,34 +48,107 @@ impl Codec {
     }
 }
 
+/// Reusable work buffers for [`compress_into`]/[`decompress_into`]. One per
+/// worker thread; cheap to create, much cheaper to reuse.
+#[derive(Default, Debug)]
+pub struct Scratch {
+    /// Shuffle/unshuffle transpose buffer.
+    shuf: Vec<u8>,
+    /// LZ match hash table (`1 << HASH_BITS` entries once used).
+    table: Vec<usize>,
+}
+
+impl Scratch {
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
+
+    fn table(&mut self) -> &mut [usize] {
+        if self.table.is_empty() {
+            self.table = vec![usize::MAX; 1 << HASH_BITS];
+        } else {
+            self.table.fill(usize::MAX);
+        }
+        &mut self.table
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shuffle (blocked transpose)
+// ---------------------------------------------------------------------------
+
+/// Transpose `data` into `out` so that byte `b` of every `elem`-wide element
+/// is contiguous. `out` is cleared and resized. Tiled over elements so the
+/// working set of each pass stays cache-resident.
+pub fn shuffle_into(data: &[u8], elem: usize, out: &mut Vec<u8>) {
+    assert!(
+        elem > 0 && data.len().is_multiple_of(elem),
+        "bad shuffle width"
+    );
+    let n = data.len() / elem;
+    out.clear();
+    out.resize(data.len(), 0);
+    if elem == 1 {
+        out.copy_from_slice(data);
+        return;
+    }
+    let mut t0 = 0;
+    while t0 < n {
+        let t1 = (t0 + SHUFFLE_TILE).min(n);
+        for b in 0..elem {
+            let dst = &mut out[b * n + t0..b * n + t1];
+            for (k, d) in dst.iter_mut().enumerate() {
+                *d = data[(t0 + k) * elem + b];
+            }
+        }
+        t0 = t1;
+    }
+}
+
+/// Inverse of [`shuffle_into`].
+pub fn unshuffle_into(data: &[u8], elem: usize, out: &mut Vec<u8>) {
+    assert!(
+        elem > 0 && data.len().is_multiple_of(elem),
+        "bad unshuffle width"
+    );
+    let n = data.len() / elem;
+    out.clear();
+    out.resize(data.len(), 0);
+    if elem == 1 {
+        out.copy_from_slice(data);
+        return;
+    }
+    let mut t0 = 0;
+    while t0 < n {
+        let t1 = (t0 + SHUFFLE_TILE).min(n);
+        for b in 0..elem {
+            let src = &data[b * n + t0..b * n + t1];
+            for (k, &s) in src.iter().enumerate() {
+                out[(t0 + k) * elem + b] = s;
+            }
+        }
+        t0 = t1;
+    }
+}
+
 /// Transpose `data` so that byte `b` of every `elem`-wide element is
 /// contiguous. `data.len()` must be a multiple of `elem`.
 pub fn shuffle(data: &[u8], elem: usize) -> Vec<u8> {
-    assert!(elem > 0 && data.len().is_multiple_of(elem), "bad shuffle width");
-    let n = data.len() / elem;
-    let mut out = vec![0u8; data.len()];
-    for b in 0..elem {
-        let dst = &mut out[b * n..(b + 1) * n];
-        for (i, d) in dst.iter_mut().enumerate() {
-            *d = data[i * elem + b];
-        }
-    }
+    let mut out = Vec::new();
+    shuffle_into(data, elem, &mut out);
     out
 }
 
 /// Inverse of [`shuffle`].
 pub fn unshuffle(data: &[u8], elem: usize) -> Vec<u8> {
-    assert!(elem > 0 && data.len().is_multiple_of(elem), "bad unshuffle width");
-    let n = data.len() / elem;
-    let mut out = vec![0u8; data.len()];
-    for b in 0..elem {
-        let src = &data[b * n..(b + 1) * n];
-        for (i, &s) in src.iter().enumerate() {
-            out[i * elem + b] = s;
-        }
-    }
+    let mut out = Vec::new();
+    unshuffle_into(data, elem, &mut out);
     out
 }
+
+// ---------------------------------------------------------------------------
+// LZ core
+// ---------------------------------------------------------------------------
 
 #[inline]
 fn hash4(bytes: &[u8]) -> usize {
@@ -81,10 +165,23 @@ fn put_len(out: &mut Vec<u8>, mut extra: usize) {
     out.push(extra as u8);
 }
 
-/// Raw LZ encode (no frame).
-fn lz_encode(src: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(src.len() / 2 + 16);
-    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+/// LEB128 varint (same encoding as `wire::Writer::put_varint`).
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Raw LZ encode (no frame), appended to `out`. `table` is the caller's
+/// hash table, already reset to `usize::MAX`.
+fn lz_encode_into(src: &[u8], table: &mut [usize], out: &mut Vec<u8>) {
+    out.reserve(src.len() / 2 + 16);
     let mut i = 0usize; // cursor
     let mut anchor = 0usize; // start of pending literals
     let n = src.len();
@@ -110,12 +207,12 @@ fn lz_encode(src: &[u8]) -> Vec<u8> {
         let mat_nib = (mlen - MIN_MATCH).min(15) as u8;
         out.push((lit_nib << 4) | mat_nib);
         if lit_nib == 15 {
-            put_len(&mut out, lit.len() - 15);
+            put_len(out, lit.len() - 15);
         }
         out.extend_from_slice(lit);
         out.extend_from_slice(&((i - cand) as u16).to_le_bytes());
         if mat_nib == 15 {
-            put_len(&mut out, mlen - MIN_MATCH - 15);
+            put_len(out, mlen - MIN_MATCH - 15);
         }
         // Seed the table inside the match so later data can reference it.
         let step = if mlen > 64 { 8 } else { 2 };
@@ -133,10 +230,9 @@ fn lz_encode(src: &[u8]) -> Vec<u8> {
     let lit_nib = lit.len().min(15) as u8;
     out.push(lit_nib << 4);
     if lit_nib == 15 {
-        put_len(&mut out, lit.len() - 15);
+        put_len(out, lit.len() - 15);
     }
     out.extend_from_slice(lit);
-    out
 }
 
 fn get_len(r: &mut Reader<'_>, nib: u8) -> Result<usize> {
@@ -153,9 +249,11 @@ fn get_len(r: &mut Reader<'_>, nib: u8) -> Result<usize> {
     Ok(len)
 }
 
-/// Raw LZ decode (no frame). `raw_len` is the expected output size.
-fn lz_decode(src: &[u8], raw_len: usize) -> Result<Vec<u8>> {
-    let mut out = Vec::with_capacity(raw_len);
+/// Raw LZ decode (no frame) appended to `out`, which the caller has cleared.
+/// `raw_len` is the expected output size.
+fn lz_decode_into(src: &[u8], raw_len: usize, out: &mut Vec<u8>) -> Result<()> {
+    debug_assert!(out.is_empty());
+    out.reserve(raw_len);
     let mut r = Reader::new(src);
     while r.remaining() > 0 {
         let token = r.get_u8()?;
@@ -190,37 +288,44 @@ fn lz_decode(src: &[u8], raw_len: usize) -> Result<Vec<u8>> {
             out.len()
         )));
     }
-    Ok(out)
+    Ok(())
 }
 
-/// Compress `raw` into a framed chunk.
-pub fn compress(codec: Codec, raw: &[u8]) -> Vec<u8> {
-    let mut w = Writer::new();
-    w.put_u8(codec.id());
-    w.put_varint(raw.len() as u64);
+// ---------------------------------------------------------------------------
+// Framed API
+// ---------------------------------------------------------------------------
+
+/// Compress `raw` into a framed chunk appended to `out` (cleared first),
+/// reusing `scratch`'s buffers. Output bytes are identical to [`compress`].
+pub fn compress_into(codec: Codec, raw: &[u8], scratch: &mut Scratch, out: &mut Vec<u8>) {
+    out.clear();
+    out.push(codec.id());
+    put_varint(out, raw.len() as u64);
     match codec {
-        Codec::None => w.put_bytes(raw),
-        Codec::Lz => w.put_bytes(&lz_encode(raw)),
+        Codec::None => out.extend_from_slice(raw),
+        Codec::Lz => lz_encode_into(raw, scratch.table(), out),
         Codec::ShuffleLz { elem } => {
-            w.put_u8(elem);
-            let shuffled = shuffle(raw, elem as usize);
-            w.put_bytes(&lz_encode(&shuffled));
+            out.push(elem);
+            let mut shuf = std::mem::take(&mut scratch.shuf);
+            shuffle_into(raw, elem as usize, &mut shuf);
+            lz_encode_into(&shuf, scratch.table(), out);
+            scratch.shuf = shuf;
         }
     }
-    w.into_bytes()
 }
 
-/// Decompress a framed chunk produced by [`compress`].
-pub fn decompress(frame: &[u8]) -> Result<Vec<u8>> {
+/// Decompress a framed chunk into `out` (cleared first), reusing `scratch`.
+pub fn decompress_into(frame: &[u8], scratch: &mut Scratch, out: &mut Vec<u8>) -> Result<()> {
+    out.clear();
     let mut r = Reader::new(frame);
     let id = r.get_u8()?;
     let raw_len = r.get_varint()? as usize;
     match id {
         0 => {
-            let b = r.get_bytes(raw_len)?;
-            Ok(b.to_vec())
+            out.extend_from_slice(r.get_bytes(raw_len)?);
+            Ok(())
         }
-        1 => lz_decode(r.get_bytes(r.remaining())?, raw_len),
+        1 => lz_decode_into(r.get_bytes(r.remaining())?, raw_len, out),
         2 => {
             let elem = r.get_u8()? as usize;
             if elem == 0 || !raw_len.is_multiple_of(elem) {
@@ -228,11 +333,31 @@ pub fn decompress(frame: &[u8]) -> Result<Vec<u8>> {
                     "shuffle width {elem} incompatible with length {raw_len}"
                 )));
             }
-            let shuffled = lz_decode(r.get_bytes(r.remaining())?, raw_len)?;
-            Ok(unshuffle(&shuffled, elem))
+            let mut shuf = std::mem::take(&mut scratch.shuf);
+            shuf.clear();
+            let res = lz_decode_into(r.get_bytes(r.remaining())?, raw_len, &mut shuf);
+            if res.is_ok() {
+                unshuffle_into(&shuf, elem, out);
+            }
+            scratch.shuf = shuf;
+            res
         }
         other => Err(FmtError::Corrupt(format!("unknown codec id {other}"))),
     }
+}
+
+/// Compress `raw` into a framed chunk.
+pub fn compress(codec: Codec, raw: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    compress_into(codec, raw, &mut Scratch::new(), &mut out);
+    out
+}
+
+/// Decompress a framed chunk produced by [`compress`].
+pub fn decompress(frame: &[u8]) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    decompress_into(frame, &mut Scratch::new(), &mut out)?;
+    Ok(out)
 }
 
 /// Declared raw (uncompressed) length of a framed chunk, without decoding.
@@ -245,7 +370,7 @@ pub fn frame_raw_len(frame: &[u8]) -> Result<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use scirng::Rng;
 
     #[test]
     fn empty_roundtrip() {
@@ -300,13 +425,9 @@ mod tests {
     #[test]
     fn incompressible_data_roundtrips() {
         // Pseudo-random bytes: expansion is allowed, corruption is not.
-        let mut x = 0x12345678u64;
-        let data: Vec<u8> = (0..10_000)
-            .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                (x >> 33) as u8
-            })
-            .collect();
+        let mut rng = Rng::seed_from_u64(0x12345678);
+        let mut data = vec![0u8; 10_000];
+        rng.fill_bytes(&mut data);
         for c in [Codec::Lz, Codec::ShuffleLz { elem: 8 }] {
             let f = compress(c, &data);
             assert_eq!(decompress(&f).unwrap(), data);
@@ -319,6 +440,55 @@ mod tests {
         assert_eq!(unshuffle(&shuffle(&data, 4), 4), data);
         assert_eq!(unshuffle(&shuffle(&data, 8), 8), data);
         assert_eq!(unshuffle(&shuffle(&data, 1), 1), data);
+    }
+
+    #[test]
+    fn blocked_shuffle_matches_reference() {
+        // Inputs longer than one tile must still produce the canonical
+        // transpose: out[b*n + i] == data[i*elem + b].
+        let mut rng = Rng::seed_from_u64(11);
+        for elem in [2usize, 4, 8] {
+            let n = SHUFFLE_TILE * 2 + 37;
+            let mut data = vec![0u8; n * elem];
+            rng.fill_bytes(&mut data);
+            let out = shuffle(&data, elem);
+            for i in 0..n {
+                for b in 0..elem {
+                    assert_eq!(out[b * n + i], data[i * elem + b], "i={i} b={b}");
+                }
+            }
+            assert_eq!(unshuffle(&out, elem), data);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        let mut rng = Rng::seed_from_u64(21);
+        let mut scratch = Scratch::new();
+        let mut frame = Vec::new();
+        let mut back = Vec::new();
+        for case in 0..32 {
+            let n = 64 + rng.below(4096);
+            let elem = [1usize, 2, 4, 8][case % 4];
+            let mut data = vec![0u8; n * elem];
+            // Half the cases smooth, half random.
+            if case % 2 == 0 {
+                for (i, b) in data.iter_mut().enumerate() {
+                    *b = ((i / 7) % 251) as u8;
+                }
+            } else {
+                rng.fill_bytes(&mut data);
+            }
+            let codec = if elem == 1 {
+                Codec::Lz
+            } else {
+                Codec::ShuffleLz { elem: elem as u8 }
+            };
+            compress_into(codec, &data, &mut scratch, &mut frame);
+            assert_eq!(frame, compress(codec, &data), "case {case}: frames differ");
+            decompress_into(&frame, &mut scratch, &mut back).unwrap();
+            assert_eq!(back, data, "case {case}: roundtrip");
+        }
     }
 
     #[test]
@@ -342,29 +512,46 @@ mod tests {
         assert_eq!(decompress(&f).unwrap(), data);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        #[test]
-        fn lz_roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+    #[test]
+    fn lz_roundtrip_arbitrary_seeded() {
+        // Replaces the former proptest case: arbitrary byte vectors.
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..64 {
+            let n = rng.below(4096);
+            let mut data = vec![0u8; n];
+            rng.fill_bytes(&mut data);
             let f = compress(Codec::Lz, &data);
-            prop_assert_eq!(decompress(&f).unwrap(), data);
+            assert_eq!(decompress(&f).unwrap(), data);
         }
+    }
 
-        #[test]
-        fn shuffle_lz_roundtrip_f32(vals in proptest::collection::vec(any::<f32>(), 0..1024)) {
-            let raw: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+    #[test]
+    fn shuffle_lz_roundtrip_f32_seeded() {
+        let mut rng = Rng::seed_from_u64(2);
+        for _ in 0..64 {
+            let n = rng.below(1024);
+            let raw: Vec<u8> = (0..n)
+                .flat_map(|_| f32::from_bits(rng.next_u32()).to_le_bytes())
+                .collect();
             let f = compress(Codec::ShuffleLz { elem: 4 }, &raw);
-            prop_assert_eq!(decompress(&f).unwrap(), raw);
+            assert_eq!(decompress(&f).unwrap(), raw);
         }
+    }
 
-        #[test]
-        fn lz_roundtrip_structured(
-            runs in proptest::collection::vec((any::<u8>(), 1usize..200), 0..64)
-        ) {
-            let data: Vec<u8> = runs.iter().flat_map(|&(b, n)| std::iter::repeat(b).take(n)).collect();
+    #[test]
+    fn lz_roundtrip_structured_seeded() {
+        // Run-structured data (the old proptest `lz_roundtrip_structured`).
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..64 {
+            let n_runs = rng.below(64);
+            let mut data = Vec::new();
+            for _ in 0..n_runs {
+                let b = rng.below(256) as u8;
+                let len = 1 + rng.below(199);
+                data.extend(std::iter::repeat_n(b, len));
+            }
             let f = compress(Codec::Lz, &data);
-            prop_assert_eq!(decompress(&f).unwrap(), data);
+            assert_eq!(decompress(&f).unwrap(), data);
         }
     }
 }

@@ -125,8 +125,10 @@ mod tests {
         let a = Array::from_f32(vec![8, 8], vec![1.5; 64]).unwrap();
         let actual = array_to_csv(&["a", "b"], &a).len();
         let est = csv_bytes_estimate(&a);
-        assert!(est as f64 > actual as f64 * 0.5 && (est as f64) < actual as f64 * 2.0,
-            "estimate {est} vs actual {actual}");
+        assert!(
+            est as f64 > actual as f64 * 0.5 && (est as f64) < actual as f64 * 2.0,
+            "estimate {est} vs actual {actual}"
+        );
     }
 
     #[test]

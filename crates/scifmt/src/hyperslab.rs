@@ -111,7 +111,7 @@ pub fn chunks_for_slab(
 ) -> Vec<usize> {
     let grid = chunk_grid(shape, chunk);
     let rank = shape.len();
-    if count.iter().any(|&c| c == 0) {
+    if count.contains(&0) {
         return Vec::new();
     }
     let lo: Vec<usize> = (0..rank).map(|d| start[d] / chunk[d]).collect();
@@ -161,7 +161,7 @@ pub fn copy_slab(
     let rank = count.len();
     assert_eq!(src_shape.len(), rank);
     assert_eq!(dst_shape.len(), rank);
-    if count.iter().any(|&c| c == 0) {
+    if count.contains(&0) {
         return;
     }
     if rank == 0 {
@@ -202,7 +202,7 @@ pub fn copy_slab(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use scirng::Rng;
 
     #[test]
     fn strides_row_major() {
@@ -260,7 +260,16 @@ mod tests {
         // 4x4 source filled 0..16, copy centre 2x2 into 3x3 dest at (1,1).
         let src: Vec<u8> = (0..16).collect();
         let mut dst = vec![0u8; 9];
-        copy_slab(&src, &[4, 4], &[1, 1], &mut dst, &[3, 3], &[1, 1], &[2, 2], 1);
+        copy_slab(
+            &src,
+            &[4, 4],
+            &[1, 1],
+            &mut dst,
+            &[3, 3],
+            &[1, 1],
+            &[2, 2],
+            1,
+        );
         assert_eq!(dst, vec![0, 0, 0, 0, 5, 6, 0, 9, 10]);
     }
 
@@ -268,7 +277,16 @@ mod tests {
     fn copy_slab_multielem() {
         let src: Vec<u8> = (0..32).collect(); // 4x4 of u16
         let mut dst = vec![0u8; 8]; // 2x2 of u16
-        copy_slab(&src, &[4, 4], &[2, 2], &mut dst, &[2, 2], &[0, 0], &[2, 2], 2);
+        copy_slab(
+            &src,
+            &[4, 4],
+            &[2, 2],
+            &mut dst,
+            &[2, 2],
+            &[0, 0],
+            &[2, 2],
+            2,
+        );
         // elements (2,2),(2,3),(3,2),(3,3) = linear 10,11,14,15 → bytes 20..
         assert_eq!(dst, vec![20, 21, 22, 23, 28, 29, 30, 31]);
     }
@@ -280,24 +298,19 @@ mod tests {
         assert!(check_bounds(&[4], &[0, 0], &[1, 1]).is_err());
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(128))]
-
-        /// chunks_for_slab returns exactly the chunks whose boxes intersect.
-        #[test]
-        fn chunk_cover_is_exact(
-            shape in proptest::collection::vec(1usize..12, 1..4),
-            seed in any::<u64>(),
-        ) {
-            let rank = shape.len();
-            let mut x = seed | 1;
-            let mut next = |m: usize| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                ((x >> 33) as usize) % m
-            };
-            let chunk: Vec<usize> = shape.iter().map(|&s| 1 + next(s)).collect();
-            let start: Vec<usize> = shape.iter().map(|&s| next(s)).collect();
-            let count: Vec<usize> = (0..rank).map(|d| 1 + next(shape[d] - start[d])).collect();
+    /// chunks_for_slab returns exactly the chunks whose boxes intersect
+    /// (seeded replacement of the former proptest case).
+    #[test]
+    fn chunk_cover_is_exact() {
+        for seed in 0u64..128 {
+            let mut rng = Rng::seed_from_u64(seed);
+            let rank = 1 + rng.below(3);
+            let shape: Vec<usize> = (0..rank).map(|_| 1 + rng.below(11)).collect();
+            let chunk: Vec<usize> = shape.iter().map(|&s| 1 + rng.below(s)).collect();
+            let start: Vec<usize> = shape.iter().map(|&s| rng.below(s)).collect();
+            let count: Vec<usize> = (0..rank)
+                .map(|d| 1 + rng.below(shape[d] - start[d]))
+                .collect();
             let ids = chunks_for_slab(&shape, &chunk, &start, &count);
             let grid = chunk_grid(&shape, &chunk);
             let total: usize = grid.iter().product();
@@ -306,24 +319,22 @@ mod tests {
                 let origin = chunk_origin(&coords, &chunk);
                 let cshape = chunk_shape_at(&coords, &chunk, &shape);
                 let hits = intersect(&origin, &cshape, &start, &count).is_some();
-                prop_assert_eq!(ids.contains(&i), hits, "chunk {} mismatch", i);
+                assert_eq!(ids.contains(&i), hits, "chunk {i} mismatch, seed {seed}");
             }
         }
+    }
 
-        /// copy_slab moves exactly the selected elements (1-byte elems).
-        #[test]
-        fn copy_slab_matches_reference(
-            shape in proptest::collection::vec(1usize..8, 1..4),
-            seed in any::<u64>(),
-        ) {
-            let rank = shape.len();
-            let mut x = seed | 1;
-            let mut next = |m: usize| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                ((x >> 33) as usize) % m
-            };
-            let start: Vec<usize> = shape.iter().map(|&s| next(s)).collect();
-            let count: Vec<usize> = (0..rank).map(|d| 1 + next(shape[d] - start[d])).collect();
+    /// copy_slab moves exactly the selected elements (1-byte elems).
+    #[test]
+    fn copy_slab_matches_reference() {
+        for seed in 0u64..128 {
+            let mut rng = Rng::seed_from_u64(seed);
+            let rank = 1 + rng.below(3);
+            let shape: Vec<usize> = (0..rank).map(|_| 1 + rng.below(7)).collect();
+            let start: Vec<usize> = shape.iter().map(|&s| rng.below(s)).collect();
+            let count: Vec<usize> = (0..rank)
+                .map(|d| 1 + rng.below(shape[d] - start[d]))
+                .collect();
             let n: usize = shape.iter().product();
             let src: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
             let m: usize = count.iter().product();
@@ -334,16 +345,20 @@ mod tests {
             let sstr = strides(&shape);
             let dstr = strides(&count);
             let mut coords = vec![0usize; rank];
-            loop {
+            'odo: loop {
                 let si: usize = (0..rank).map(|d| (start[d] + coords[d]) * sstr[d]).sum();
                 let di: usize = (0..rank).map(|d| coords[d] * dstr[d]).sum();
-                prop_assert_eq!(dst[di], src[si]);
+                assert_eq!(dst[di], src[si], "seed {seed} at {coords:?}");
                 let mut d = rank;
                 loop {
-                    if d == 0 { return Ok(()); }
+                    if d == 0 {
+                        break 'odo;
+                    }
                     d -= 1;
                     coords[d] += 1;
-                    if coords[d] < count[d] { break; }
+                    if coords[d] < count[d] {
+                        continue 'odo;
+                    }
                     coords[d] = 0;
                 }
             }

@@ -30,6 +30,7 @@ pub mod convert;
 pub mod csvfmt;
 pub mod error;
 pub mod hyperslab;
+pub mod par;
 pub mod snc;
 pub mod wire;
 
@@ -37,5 +38,6 @@ pub use array::{Array, ArrayData, DType};
 pub use codec::Codec;
 pub use error::{FmtError, Result};
 pub use snc::{
-    is_snc, AttrValue, ChunkExtent, Dim, SncBuilder, SncFile, SncMeta, VarMeta, MAGIC,
+    is_snc, AttrValue, CacheStats, ChunkCache, ChunkExtent, Dim, SncBuilder, SncFile, SncMeta,
+    VarMeta, MAGIC,
 };

@@ -151,7 +151,7 @@ impl<'a> Reader<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use scirng::Rng;
 
     #[test]
     fn scalar_roundtrip() {
@@ -198,24 +198,34 @@ mod tests {
         assert!(matches!(r.get_varint(), Err(FmtError::Corrupt(_))));
     }
 
-    proptest! {
-        #[test]
-        fn varint_roundtrip(v in any::<u64>()) {
+    #[test]
+    fn varint_roundtrip_random() {
+        let mut rng = Rng::seed_from_u64(0x1a2b);
+        for i in 0..512 {
+            // Spread values across all byte-length classes.
+            let v = rng.next_u64() >> (i % 64);
             let mut w = Writer::new();
             w.put_varint(v);
             let bytes = w.into_bytes();
             let mut r = Reader::new(&bytes);
-            prop_assert_eq!(r.get_varint().unwrap(), v);
-            prop_assert_eq!(r.remaining(), 0);
+            assert_eq!(r.get_varint().unwrap(), v);
+            assert_eq!(r.remaining(), 0);
         }
+    }
 
-        #[test]
-        fn string_roundtrip(s in ".{0,64}") {
+    #[test]
+    fn string_roundtrip_random() {
+        let mut rng = Rng::seed_from_u64(0x3c4d);
+        for _ in 0..256 {
+            let len = rng.below(65);
+            let s: String = (0..len)
+                .map(|_| char::from_u32(rng.below(0xd7ff) as u32 + 1).unwrap())
+                .collect();
             let mut w = Writer::new();
             w.put_str(&s);
             let bytes = w.into_bytes();
             let mut r = Reader::new(&bytes);
-            prop_assert_eq!(r.get_str().unwrap(), s);
+            assert_eq!(r.get_str().unwrap(), s);
         }
     }
 }

@@ -1,0 +1,220 @@
+//! # scirng — the workspace's internal PRNG
+//!
+//! A tiny, dependency-free replacement for the `rand` crate: SplitMix64
+//! expands a `u64` seed into the 256-bit state of a xoshiro256++ generator
+//! (Blackman & Vigna). Deterministic across platforms and Rust versions —
+//! exactly what the synthetic-dataset generators and the seeded tests need.
+//! Not cryptographic, and not intended to be.
+
+/// SplitMix64 step — also usable standalone for cheap hash mixing.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mix arbitrary bytes into a 64-bit value (FNV-1a folded through
+/// SplitMix64) — used to derive cache keys and per-name seeds.
+pub fn hash64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    let mut s = h;
+    splitmix64(&mut s)
+}
+
+/// xoshiro256++ generator.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seed deterministically from a single `u64` (SplitMix64 expansion,
+    /// the seeding procedure the xoshiro authors recommend).
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform in `[0, n)`. `n` must be nonzero. Uses the widening-multiply
+    /// method (Lemire) with a rejection step for exact uniformity.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        let n = n as u64;
+        let reject_below = n.wrapping_neg() % n; // 2^64 mod n
+        loop {
+            let m = (self.next_u64() as u128) * (n as u128);
+            if (m as u64) >= reject_below {
+                return (m >> 64) as usize;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    #[inline]
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below((span + 1) as usize) as u64
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    pub fn f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.f32()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform byte in `[lo, hi]` (inclusive) — the `gen_range(b'a'..=b'z')`
+    /// pattern used by the text-workload generators.
+    #[inline]
+    pub fn byte_inclusive(&mut self, lo: u8, hi: u8) -> u8 {
+        lo + self.below((hi - lo + 1) as usize) as u8
+    }
+
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        let mut chunks = out.chunks_exact_mut(8);
+        for c in &mut chunks {
+            c.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let b = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&b[..rem.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(Rng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First outputs for seed 0 (published SplitMix64 test vector).
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xe220a8397b1dcdaf);
+        assert_eq!(splitmix64(&mut s), 0x6e789e6aa1b965f4);
+        assert_eq!(splitmix64(&mut s), 0x06c45d188009454f);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = Rng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.below(10);
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit: {seen:?}");
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.f32();
+            assert!((0.0..1.0).contains(&y));
+            let z = r.range_f32(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn byte_inclusive_hits_bounds() {
+        let mut r = Rng::seed_from_u64(3);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..2000 {
+            let b = r.byte_inclusive(b'A', b'Z');
+            assert!(b.is_ascii_uppercase());
+            lo_seen |= b == b'A';
+            hi_seen |= b == b'Z';
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn fill_bytes_varies() {
+        let mut r = Rng::seed_from_u64(5);
+        let mut a = [0u8; 13];
+        let mut b = [0u8; 13];
+        r.fill_bytes(&mut a);
+        r.fill_bytes(&mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hash64_distinguishes() {
+        assert_ne!(hash64(b"a"), hash64(b"b"));
+        assert_ne!(hash64(b""), hash64(b"a"));
+        assert_eq!(hash64(b"path/x.snc"), hash64(b"path/x.snc"));
+    }
+}

@@ -138,8 +138,10 @@ mod tests {
 
     #[test]
     fn scale_multiplies_bytes() {
-        let mut c = CostModel::default();
-        c.scale = 10.0;
+        let c = CostModel {
+            scale: 10.0,
+            ..CostModel::default()
+        };
         assert_eq!(c.lbytes(100), 1000.0);
         assert!((c.text_parse(100) - 1000.0 * c.text_parse_per_byte).abs() < 1e-15);
     }

@@ -83,7 +83,10 @@ impl FlowNet {
         thrash: f64,
     ) -> ResourceId {
         assert!(capacity > 0.0, "resource capacity must be positive");
-        assert!((0.0..=10.0).contains(&thrash), "implausible thrash {thrash}");
+        assert!(
+            (0.0..=10.0).contains(&thrash),
+            "implausible thrash {thrash}"
+        );
         let id = ResourceId(self.resources.len() as u32);
         self.resources.push(Resource {
             name: name.into(),
@@ -124,7 +127,10 @@ impl FlowNet {
     /// Admit a flow of `bytes` along `path`. Caller must `advance_to(now)`
     /// first and recompute rates afterwards.
     pub(crate) fn admit(&mut self, path: Vec<ResourceId>, bytes: f64) -> FlowId {
-        assert!(bytes >= 0.0 && bytes.is_finite(), "invalid flow size {bytes}");
+        assert!(
+            bytes >= 0.0 && bytes.is_finite(),
+            "invalid flow size {bytes}"
+        );
         for r in &path {
             assert!(
                 (r.0 as usize) < self.resources.len(),

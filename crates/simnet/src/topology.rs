@@ -100,11 +100,7 @@ impl Topology {
         let core = net.add_resource("core-switch", spec.core_bw);
         let compute = (0..spec.compute_nodes)
             .map(|i| ComputeRes {
-                disk: net.add_resource_thrash(
-                    format!("c{i}.disk"),
-                    spec.disk_bw,
-                    spec.disk_thrash,
-                ),
+                disk: net.add_resource_thrash(format!("c{i}.disk"), spec.disk_bw, spec.disk_thrash),
                 tx: net.add_resource(format!("c{i}.tx"), spec.nic_bw),
                 rx: net.add_resource(format!("c{i}.rx"), spec.nic_bw),
             })

@@ -7,12 +7,11 @@
 //! upsampling a coarse noise grid (plus a vertical profile) and quantising
 //! mildly, then verify the ratio instead of assuming it.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use scirng::Rng;
 
 /// Deterministic per-(file, variable) RNG.
-pub fn field_rng(seed: u64, timestamp: usize, var: usize) -> SmallRng {
-    SmallRng::seed_from_u64(
+pub fn field_rng(seed: u64, timestamp: usize, var: usize) -> Rng {
+    Rng::seed_from_u64(
         seed ^ (timestamp as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
             ^ (var as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f),
     )
@@ -23,7 +22,7 @@ pub fn field_rng(seed: u64, timestamp: usize, var: usize) -> SmallRng {
 /// `base`/`amp` set the physical value range (e.g. rainfall ≥ 0 around
 /// `base = 0`, temperature around `base = 280`).
 pub fn smooth_field(
-    rng: &mut SmallRng,
+    rng: &mut Rng,
     levels: usize,
     lat: usize,
     lon: usize,
@@ -36,13 +35,13 @@ pub fn smooth_field(
     let clon = (lon / 8).max(2);
     let mut out = Vec::with_capacity(levels * lat * lon);
     // Coarse noise evolves slowly between levels (vertical correlation).
-    let mut coarse: Vec<f32> = (0..clat * clon).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut coarse: Vec<f32> = (0..clat * clon).map(|_| rng.range_f32(-1.0, 1.0)).collect();
     for lev in 0..levels {
         // Vertical profile: fields decay or grow with altitude.
         let profile = 1.0 - 0.8 * (lev as f32 / levels as f32);
         // Drift the coarse grid a little per level.
         for c in coarse.iter_mut() {
-            *c = (*c * 0.9 + rng.gen_range(-0.1..0.1)).clamp(-1.5, 1.5);
+            *c = (*c * 0.9 + rng.range_f32(-0.1, 0.1)).clamp(-1.5, 1.5);
         }
         for i in 0..lat {
             // Map to coarse coordinates.
@@ -142,6 +141,9 @@ mod tests {
         // Adjacent levels should be similar (drifted, not independent).
         let diff: f32 = a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f32>() / a.len() as f32;
         let spread: f32 = a.iter().map(|x| x.abs()).sum::<f32>() / a.len() as f32;
-        assert!(diff < spread, "levels uncorrelated: diff {diff}, spread {spread}");
+        assert!(
+            diff < spread,
+            "levels uncorrelated: diff {diff}, spread {spread}"
+        );
     }
 }

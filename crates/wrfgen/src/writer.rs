@@ -9,7 +9,11 @@ use crate::model::{DatasetInfo, WrfSpec};
 /// Generate the SNC container bytes of one timestamp file.
 pub fn generate_file(spec: &WrfSpec, t: usize) -> Vec<u8> {
     let mut b = SncBuilder::new();
-    b.attr("", "model", scifmt::AttrValue::Str("NU-WRF (synthetic)".into()));
+    b.attr(
+        "",
+        "model",
+        scifmt::AttrValue::Str("NU-WRF (synthetic)".into()),
+    );
     b.attr("", "timestamp", scifmt::AttrValue::I64(t as i64));
     b.attr(
         "",
@@ -19,15 +23,17 @@ pub fn generate_file(spec: &WrfSpec, t: usize) -> Vec<u8> {
             spec.levels, spec.lat, spec.lon, spec.levels, spec.paper_lat, spec.paper_lon
         )),
     );
-    let chunk = [
-        spec.chunk_levels.min(spec.levels),
-        spec.lat,
-        spec.lon,
-    ];
-    for (vi, name) in spec.var_names().iter().enumerate() {
-        let mut rng = field_rng(spec.seed, t, vi);
-        let (base, amp) = var_range(vi);
-        let data = smooth_field(&mut rng, spec.levels, spec.lat, spec.lon, base, amp);
+    let chunk = [spec.chunk_levels.min(spec.levels), spec.lat, spec.lon];
+    // Every variable seeds its own RNG, so fields can be synthesized in
+    // parallel without changing a single output byte.
+    let names = spec.var_names();
+    let fields =
+        scifmt::par::par_map_indexed(names.len(), scifmt::par::default_threads(), 2, |vi| {
+            let mut rng = field_rng(spec.seed, t, vi);
+            let (base, amp) = var_range(vi);
+            smooth_field(&mut rng, spec.levels, spec.lat, spec.lon, base, amp)
+        });
+    for (name, data) in names.iter().zip(fields) {
         let array = Array::from_f32(vec![spec.levels, spec.lat, spec.lon], data)
             .expect("generated shape consistent");
         b.add_var(

@@ -45,8 +45,8 @@ fn main() {
             .get_vara("QR", &[0, 0, 0], &[1, spec.lat, spec.lon])
             .unwrap();
         let grid: Vec<f64> = level.iter_f64().collect();
-        let frame = rframe::image2d(&grid, spec.lat, spec.lon, raster.0, raster.1, cfg.colormap)
-            .unwrap();
+        let frame =
+            rframe::image2d(&grid, spec.lat, spec.lon, raster.0, raster.1, cfg.colormap).unwrap();
         anim.add_frame(&frame).unwrap();
     }
     let gif = anim.encode().expect("frames present");

@@ -82,7 +82,7 @@ fn level_means(cluster: &mut mapreduce::Cluster, uri: &str) -> Vec<(i64, f64)> {
             }
         }
     }
-    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out.sort_by_key(|a| a.0);
     out
 }
 
@@ -92,7 +92,10 @@ fn main() {
         n_vars: 8,
         ..WrfSpec::scaled(24, 24, 4)
     };
-    let model_a = WrfSpec { seed: 1001, ..base.clone() };
+    let model_a = WrfSpec {
+        seed: 1001,
+        ..base.clone()
+    };
     let model_b = WrfSpec { seed: 2002, ..base };
 
     let mut cluster = paper_cluster(8, &model_a);
@@ -111,22 +114,22 @@ fn main() {
             worst = (*lev, d);
         }
     }
-    println!("largest divergence at level {} (Δ = {:+.4})", worst.0, worst.1);
+    println!(
+        "largest divergence at level {} (Δ = {:+.4})",
+        worst.0, worst.1
+    );
 
     // Visualize the raw difference field of that level, straight from the
     // containers (a real PNG, like the paper's animation frames).
     let grab = |path: &str| {
         let bytes = cluster.pfs.borrow().file(path).unwrap().data.clone();
         let f = SncFile::open(bytes.as_ref().clone()).unwrap();
-        f.get_vara("T", &[worst.0 as usize, 0, 0], &[1, 24, 24]).unwrap()
+        f.get_vara("T", &[worst.0 as usize, 0, 0], &[1, 24, 24])
+            .unwrap()
     };
     let a = grab("cmip/model_a/plot_0000_00_00.snc");
     let b = grab(&ds_b.info.files[0]);
-    let diff: Vec<f64> = a
-        .iter_f64()
-        .zip(b.iter_f64())
-        .map(|(x, y)| x - y)
-        .collect();
+    let diff: Vec<f64> = a.iter_f64().zip(b.iter_f64()).map(|(x, y)| x - y).collect();
     let raster = rframe::image2d(&diff, 24, 24, 240, 240, ColorMap::Viridis).unwrap();
     std::fs::create_dir_all("target/example_out").unwrap();
     let out = "target/example_out/cmip_diff.png";

@@ -18,7 +18,10 @@ fn main() {
         n_vars: 8,
         ..WrfSpec::scaled(16, 16, 12)
     };
-    println!("NU-WRF pipeline: 12 timestamps, {} variables, QR analysed\n", spec.n_vars);
+    println!(
+        "NU-WRF pipeline: 12 timestamps, {} variables, QR analysed\n",
+        spec.n_vars
+    );
     let cfg = WorkflowConfig::img_only(["QR"]);
 
     // --- Conversion (needed by the text-path solutions; real CSV text;
@@ -61,7 +64,11 @@ fn main() {
     let scidp = rows.last().unwrap().1;
     println!();
     for (kind, total) in &rows[..rows.len() - 1] {
-        println!("SciDP speedup over {:<15}: {:6.2}x", kind.name(), total / scidp);
+        println!(
+            "SciDP speedup over {:<15}: {:6.2}x",
+            kind.name(),
+            total / scidp
+        );
     }
 
     // --- The Anlys workload: plotting + SQL analysis in the same pass. ---

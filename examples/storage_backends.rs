@@ -5,9 +5,7 @@
 //!
 //! Run: `cargo run --release --example storage_backends`
 
-use scidp_suite::baselines::workloads::{
-    run_fig2_workload, Backend, Fig2Config, Fig2Workload,
-};
+use scidp_suite::baselines::workloads::{run_fig2_workload, Backend, Fig2Config, Fig2Workload};
 
 fn main() {
     let cfg = Fig2Config {

@@ -37,9 +37,7 @@ pub mod prelude {
     };
     pub use mapreduce::{run_job, Cluster, Job, JobResult, TaskKind};
     pub use rframe::{read_table, sqldf, ColorMap, Column, DataFrame};
-    pub use scidp::{
-        run_scidp, Analysis, RJob, ScidpInput, WorkflowConfig, WorkflowReport,
-    };
+    pub use scidp::{run_scidp, Analysis, RJob, ScidpInput, WorkflowConfig, WorkflowReport};
     pub use scifmt::{Array, Codec, SncBuilder, SncFile};
     pub use simnet::{ClusterSpec, CostModel, Sim};
     pub use wrfgen::{generate_dataset, WrfSpec};

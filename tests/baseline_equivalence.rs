@@ -6,7 +6,11 @@ use scidp_suite::baselines::convert::ConversionReport;
 use scidp_suite::mapreduce::counter_keys;
 use scidp_suite::prelude::*;
 
-fn world() -> (mapreduce::Cluster, baselines::StagedDataset, ConversionReport) {
+fn world() -> (
+    mapreduce::Cluster,
+    baselines::StagedDataset,
+    ConversionReport,
+) {
     let spec = WrfSpec::tiny(2);
     let mut cluster = paper_cluster(4, &spec);
     let ds = stage_nuwrf(&mut cluster, &spec, "nuwrf");
@@ -31,8 +35,7 @@ fn image_keys(cluster: &mapreduce::Cluster, dir: &str) -> Vec<String> {
             let data = h.datanodes.get(b.locations()[0], b.id).unwrap();
             for line in data.split(|&c| c == b'\n') {
                 if line.starts_with(b"img/") {
-                    let key: Vec<u8> =
-                        line.iter().take_while(|&&c| c != b'\t').copied().collect();
+                    let key: Vec<u8> = line.iter().take_while(|&&c| c != b'\t').copied().collect();
                     // Normalise: keep file-basename/var/level (solutions
                     // stage under different directories).
                     let s = String::from_utf8(key).unwrap();
@@ -98,7 +101,11 @@ fn scihadoop_moves_whole_files_scidp_moves_one_variable() {
     };
     assert_eq!(staged as usize, {
         let p = c1.pfs.borrow();
-        ds1.info.files.iter().map(|f| p.len_of(f).unwrap()).sum::<usize>()
+        ds1.info
+            .files
+            .iter()
+            .map(|f| p.len_of(f).unwrap())
+            .sum::<usize>()
     });
     assert!(!c2.hdfs.borrow().namenode.exists("staging_bin"));
     let _ = ds2;
@@ -115,8 +122,18 @@ fn input_byte_accounting_matches_table1() {
     let port = run_porthadoop(&mut c1, &conv, &cfg);
     let (mut c2, ds, _) = world();
     let dp = run_scidp_solution(&mut c2, &ds, &cfg);
-    let port_in = port.job.as_ref().unwrap().counters.get(counter_keys::INPUT_BYTES);
-    let dp_in = dp.job.as_ref().unwrap().counters.get(counter_keys::INPUT_BYTES);
+    let port_in = port
+        .job
+        .as_ref()
+        .unwrap()
+        .counters
+        .get(counter_keys::INPUT_BYTES);
+    let dp_in = dp
+        .job
+        .as_ref()
+        .unwrap()
+        .counters
+        .get(counter_keys::INPUT_BYTES);
     assert!(
         port_in > 5.0 * dp_in,
         "text input {port_in} should dwarf compressed input {dp_in}"

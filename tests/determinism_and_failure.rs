@@ -40,10 +40,14 @@ fn baselines_are_deterministic_too() {
         let mut cluster = paper_cluster(4, &spec);
         let ds = stage_nuwrf(&mut cluster, &spec, "nuwrf");
         let conv = convert_dataset(&mut cluster, &ds, &["QR".to_string()]);
-        let rep = run_vanilla(&mut cluster, &conv, &WorkflowConfig {
-            n_reducers: 2,
-            ..WorkflowConfig::img_only(["QR"])
-        });
+        let rep = run_vanilla(
+            &mut cluster,
+            &conv,
+            &WorkflowConfig {
+                n_reducers: 2,
+                ..WorkflowConfig::img_only(["QR"])
+            },
+        );
         (rep.copy_time, rep.process_time)
     };
     assert_eq!(run(), run());

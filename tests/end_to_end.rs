@@ -33,8 +33,7 @@ fn images_cover_every_file_and_level() {
             let data = h.datanodes.get(b.locations()[0], b.id).unwrap();
             for line in data.split(|&c| c == b'\n') {
                 if line.starts_with(b"img/") {
-                    let key: Vec<u8> =
-                        line.iter().take_while(|&&c| c != b'\t').copied().collect();
+                    let key: Vec<u8> = line.iter().take_while(|&&c| c != b'\t').copied().collect();
                     keys.push(String::from_utf8(key).unwrap());
                 }
             }

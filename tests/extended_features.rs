@@ -194,9 +194,11 @@ fn hdfs_input_fallback_behaves_like_vanilla_hadoop() {
     .unwrap();
     cluster.run();
     let env = cluster.env();
-    let (splits, setup) =
-        scidp::make_splits(&env, &ScidpInput::path("plain")).unwrap();
+    let (splits, setup) = scidp::make_splits(&env, &ScidpInput::path("plain")).unwrap();
     assert!(!splits.is_empty());
     assert_eq!(setup.mapped_bytes, 0, "no virtual mapping for HDFS inputs");
-    assert!(splits.iter().all(|s| !s.locations.is_empty()), "HDFS locality");
+    assert!(
+        splits.iter().all(|s| !s.locations.is_empty()),
+        "HDFS locality"
+    );
 }

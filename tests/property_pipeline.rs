@@ -2,24 +2,21 @@
 //! the distributed SciDP read path must agree exactly with direct
 //! container reads, and accounting invariants must hold.
 
-use proptest::prelude::*;
-
 use scidp_suite::prelude::*;
 use scidp_suite::scifmt::SncFile;
+use scirng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// For random (levels, grid, chunking, timestamps), every slab SciDP
-    /// delivers equals the hyperslab read straight from the container.
-    #[test]
-    fn scidp_slabs_equal_direct_reads(
-        levels in 2usize..7,
-        grid in 4usize..10,
-        chunk_levels in 1usize..4,
-        timestamps in 1usize..3,
-        seed in any::<u64>(),
-    ) {
+/// For random (levels, grid, chunking, timestamps), every slab SciDP
+/// delivers equals the hyperslab read straight from the container.
+#[test]
+fn scidp_slabs_equal_direct_reads() {
+    for case in 0u64..12 {
+        let mut rng = Rng::seed_from_u64(case.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let levels = 2 + rng.below(5);
+        let grid = 4 + rng.below(6);
+        let chunk_levels = 1 + rng.below(3);
+        let timestamps = 1 + rng.below(2);
+        let seed = rng.next_u64();
         let spec = WrfSpec {
             timestamps,
             levels,
@@ -44,7 +41,9 @@ proptest! {
             input: ScidpInput::path(ds.pfs_uri()).vars(["QR"]),
             map: Rc::new(move |slab, _| {
                 let s: f64 = slab.array.iter_f64().sum();
-                sums2.borrow_mut().push((slab.file.clone(), slab.origin[0], s));
+                sums2
+                    .borrow_mut()
+                    .push((slab.file.clone(), slab.origin[0], s));
                 Ok(())
             }),
             reduce: None,
@@ -60,7 +59,7 @@ proptest! {
         // Compare against direct reads.
         let collected = sums.borrow();
         let chunks_per_file = levels.div_ceil(chunk_levels.min(levels));
-        prop_assert_eq!(collected.len(), timestamps * chunks_per_file);
+        assert_eq!(collected.len(), timestamps * chunks_per_file, "case {case}");
         for (file, lev0, got) in collected.iter() {
             let bytes = cluster.pfs.borrow().file(file).unwrap().data.clone();
             let f = SncFile::open(bytes.as_ref().clone()).unwrap();
@@ -69,35 +68,38 @@ proptest! {
                 .get_vara("QR", &[*lev0, 0, 0], &[count0, grid, grid])
                 .unwrap();
             let want: f64 = direct.iter_f64().sum();
-            prop_assert!((got - want).abs() < 1e-6 * want.abs().max(1.0),
-                "slab sum mismatch at {}@{}: {} vs {}", file, lev0, got, want);
+            assert!(
+                (got - want).abs() < 1e-6 * want.abs().max(1.0),
+                "slab sum mismatch at {file}@{lev0}: {got} vs {want} (case {case})"
+            );
         }
     }
+}
 
-    /// Input-byte accounting equals the mapped compressed bytes exactly.
-    #[test]
-    fn input_bytes_equal_mapped_bytes(
-        timestamps in 1usize..4,
-        chunk_levels in 1usize..4,
-    ) {
-        let spec = WrfSpec {
-            chunk_levels: chunk_levels.min(4),
-            ..WrfSpec::tiny(timestamps)
-        };
-        let mut cluster = paper_cluster(2, &spec);
-        let ds = stage_nuwrf(&mut cluster, &spec, "nuwrf");
-        let cfg = WorkflowConfig {
-            n_reducers: 1,
-            ..WorkflowConfig::img_only(["QR"])
-        };
-        let rep = run_scidp(&mut cluster, &ds.pfs_uri(), &cfg).unwrap();
-        // Sum of QR chunk clens across files.
-        let mut want = 0u64;
-        for path in &ds.info.files {
-            let bytes = cluster.pfs.borrow().file(path).unwrap().data.clone();
-            let f = SncFile::open(bytes.as_ref().clone()).unwrap();
-            want += f.meta().var("QR").unwrap().stored_size() as u64;
+/// Input-byte accounting equals the mapped compressed bytes exactly.
+#[test]
+fn input_bytes_equal_mapped_bytes() {
+    for timestamps in 1usize..4 {
+        for chunk_levels in 1usize..4 {
+            let spec = WrfSpec {
+                chunk_levels: chunk_levels.min(4),
+                ..WrfSpec::tiny(timestamps)
+            };
+            let mut cluster = paper_cluster(2, &spec);
+            let ds = stage_nuwrf(&mut cluster, &spec, "nuwrf");
+            let cfg = WorkflowConfig {
+                n_reducers: 1,
+                ..WorkflowConfig::img_only(["QR"])
+            };
+            let rep = run_scidp(&mut cluster, &ds.pfs_uri(), &cfg).unwrap();
+            // Sum of QR chunk clens across files.
+            let mut want = 0u64;
+            for path in &ds.info.files {
+                let bytes = cluster.pfs.borrow().file(path).unwrap().data.clone();
+                let f = SncFile::open(bytes.as_ref().clone()).unwrap();
+                want += f.meta().var("QR").unwrap().stored_size() as u64;
+            }
+            assert_eq!(rep.job.counters.get("input_bytes") as u64, want);
         }
-        prop_assert_eq!(rep.job.counters.get("input_bytes") as u64, want);
     }
 }

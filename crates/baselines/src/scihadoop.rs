@@ -97,55 +97,67 @@ impl SplitFetcher for HdfsSciFetcher {
             let count = count.clone();
             let chunk_ranges = chunk_ranges.clone();
             let tag = tag.clone();
-            hdfs::read_block(sim, &env.topo, &env.hdfs, node, &block, move |sim, data| {
-                collected.borrow_mut().push((boff, data));
-                let mut rem = remaining.borrow_mut();
-                *rem -= 1;
-                if *rem > 0 {
-                    return;
-                }
-                drop(rem);
-                let mut parts = std::mem::take(&mut *collected.borrow_mut());
-                parts.sort_by_key(|(o, _)| *o);
-                // Slice each chunk frame from the block bytes and decode.
-                let slice_range = |lo: u64, len: u64| -> Vec<u8> {
-                    let mut out = Vec::with_capacity(len as usize);
-                    for (boff, data) in &parts {
-                        let bend = boff + data.len() as u64;
-                        let s = lo.max(*boff);
-                        let e = (lo + len).min(bend);
-                        if s < e {
-                            out.extend_from_slice(&data[(s - boff) as usize..(e - boff) as usize]);
-                        }
+            let dc = done_cell.clone();
+            let res =
+                hdfs::read_block(sim, &env.topo, &env.hdfs, node, &block, move |sim, data| {
+                    collected.borrow_mut().push((boff, data));
+                    let mut rem = remaining.borrow_mut();
+                    *rem -= 1;
+                    if *rem > 0 {
+                        return;
                     }
-                    out
-                };
-                let mut raw_chunks = std::collections::HashMap::new();
-                for &(idx, coff, clen) in &chunk_ranges {
-                    let frame = slice_range(coff, clen);
-                    assert_eq!(frame.len() as u64, clen, "chunk fully covered by blocks");
-                    let raw = scifmt::codec::decompress(&frame).expect("staged chunk decodes");
-                    raw_chunks.insert(idx, raw);
+                    drop(rem);
+                    let mut parts = std::mem::take(&mut *collected.borrow_mut());
+                    parts.sort_by_key(|(o, _)| *o);
+                    // Slice each chunk frame from the block bytes and decode.
+                    let slice_range = |lo: u64, len: u64| -> Vec<u8> {
+                        let mut out = Vec::with_capacity(len as usize);
+                        for (boff, data) in &parts {
+                            let bend = boff + data.len() as u64;
+                            let s = lo.max(*boff);
+                            let e = (lo + len).min(bend);
+                            if s < e {
+                                out.extend_from_slice(
+                                    &data[(s - boff) as usize..(e - boff) as usize],
+                                );
+                            }
+                        }
+                        out
+                    };
+                    let mut raw_chunks = std::collections::HashMap::new();
+                    for &(idx, coff, clen) in &chunk_ranges {
+                        let frame = slice_range(coff, clen);
+                        assert_eq!(frame.len() as u64, clen, "chunk fully covered by blocks");
+                        let raw = scifmt::codec::decompress(&frame).expect("staged chunk decodes");
+                        raw_chunks.insert(idx, raw);
+                    }
+                    let array = assemble_slab(&var, &start, &count, |i| {
+                        raw_chunks
+                            .get(&i)
+                            .cloned()
+                            .ok_or_else(|| scifmt::FmtError::NotFound(format!("chunk {i}")))
+                    })
+                    .expect("slab assembles from staged chunks");
+                    let Some(d) = dc.borrow_mut().take() else {
+                        return; // a sibling block read already failed this fetch
+                    };
+                    d(
+                        sim,
+                        Ok(FetchResult {
+                            input: TaskInput::Array(array),
+                            charges: vec![("decompress", decompress_cost)],
+                            counters: Vec::new(),
+                            tag,
+                        }),
+                    );
+                });
+            if let Err(e) = res {
+                if let Some(d) = done_cell.borrow_mut().take() {
+                    let e = mapreduce::MrError(format!("hdfs: {e} ({})", self.hdfs_path));
+                    sim.after(0.0, move |sim| d(sim, Err(e)));
                 }
-                let array = assemble_slab(&var, &start, &count, |i| {
-                    raw_chunks
-                        .get(&i)
-                        .cloned()
-                        .ok_or_else(|| scifmt::FmtError::NotFound(format!("chunk {i}")))
-                })
-                .expect("slab assembles from staged chunks");
-                let d = done_cell.borrow_mut().take().expect("single completion");
-                d(
-                    sim,
-                    FetchResult {
-                        input: TaskInput::Array(array),
-                        charges: vec![("decompress", decompress_cost)],
-                        counters: Vec::new(),
-                        tag,
-                    },
-                );
-            })
-            .expect("staged block readable");
+                return;
+            }
         }
     }
 
@@ -252,7 +264,7 @@ mod tests {
             }),
         );
         c.run();
-        let fr = got.borrow_mut().take().unwrap();
+        let fr = got.borrow_mut().take().unwrap().unwrap();
         let TaskInput::Array(a) = fr.input else {
             panic!("expected array")
         };

@@ -56,32 +56,37 @@ struct HdfsWholeFileFetcher {
 }
 
 impl SplitFetcher for HdfsWholeFileFetcher {
-    fn fetch(
-        &self,
-        env: &MrEnv,
-        sim: &mut Sim,
-        node: NodeId,
-        done: Box<dyn FnOnce(&mut Sim, mapreduce::FetchResult)>,
-    ) {
-        hdfs::read_file(
+    fn fetch(&self, env: &MrEnv, sim: &mut Sim, node: NodeId, done: mapreduce::FetchDone) {
+        // `read_file` consumes the callback even on a synchronous error, so
+        // completion is routed through a take-once cell.
+        let done_cell = Rc::new(RefCell::new(Some(done)));
+        let dc = done_cell.clone();
+        let res = hdfs::read_file(
             sim,
             &env.topo,
             &env.hdfs,
             node,
             &self.path,
             move |sim, data| {
-                done(
-                    sim,
-                    mapreduce::FetchResult {
-                        input: mapreduce::TaskInput::Bytes(data),
-                        charges: Vec::new(),
-                        counters: Vec::new(),
-                        tag: String::new(),
-                    },
-                )
+                if let Some(done) = dc.borrow_mut().take() {
+                    done(
+                        sim,
+                        Ok(mapreduce::FetchResult {
+                            input: mapreduce::TaskInput::Bytes(data),
+                            charges: Vec::new(),
+                            counters: Vec::new(),
+                            tag: String::new(),
+                        }),
+                    )
+                }
             },
-        )
-        .expect("staged text file readable");
+        );
+        if let Err(e) = res {
+            if let Some(done) = done_cell.borrow_mut().take() {
+                let e = mapreduce::MrError(format!("hdfs: {e} ({})", self.path));
+                sim.after(0.0, move |sim| done(sim, Err(e)));
+            }
+        }
     }
 
     fn describe(&self) -> String {
@@ -277,6 +282,7 @@ pub fn run_vanilla(
         output_dir: format!("{}_vanilla", cfg.output_dir),
         spill_to_pfs: false,
         output_to_pfs: false,
+        ft: mapreduce::FtConfig::default(),
     };
     let result = run_job(cluster, job).expect("vanilla job succeeds");
     SolutionReport {
@@ -349,6 +355,7 @@ pub fn run_porthadoop_with_chunks(
         output_dir: format!("{}_porthadoop", cfg.output_dir),
         spill_to_pfs: false,
         output_to_pfs: false,
+        ft: mapreduce::FtConfig::default(),
     };
     let result = run_job(cluster, job).expect("porthadoop job succeeds");
     SolutionReport {
@@ -408,6 +415,7 @@ pub fn run_scihadoop(
         output_dir: format!("{}_scihadoop", cfg.output_dir),
         spill_to_pfs: false,
         output_to_pfs: false,
+        ft: mapreduce::FtConfig::default(),
     };
     let result = run_job(cluster, job).expect("scihadoop job succeeds");
     SolutionReport {

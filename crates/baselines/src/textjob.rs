@@ -20,21 +20,20 @@ pub struct TagFetcher {
 }
 
 impl SplitFetcher for TagFetcher {
-    fn fetch(
-        &self,
-        env: &MrEnv,
-        sim: &mut Sim,
-        node: NodeId,
-        done: Box<dyn FnOnce(&mut Sim, mapreduce::FetchResult)>,
-    ) {
+    fn fetch(&self, env: &MrEnv, sim: &mut Sim, node: NodeId, done: mapreduce::FetchDone) {
         let tag = self.tag.clone();
         self.inner.fetch(
             env,
             sim,
             node,
-            Box::new(move |sim, mut fr| {
-                fr.tag = tag;
-                done(sim, fr);
+            Box::new(move |sim, fr| {
+                done(
+                    sim,
+                    fr.map(|mut fr| {
+                        fr.tag = tag;
+                        fr
+                    }),
+                );
             }),
         );
     }

@@ -246,6 +246,7 @@ fn terasort(cluster: &mut Cluster, backend: Backend, cfg: &Fig2Config) -> f64 {
         output_dir: "tera_out".into(),
         spill_to_pfs: false,
         output_to_pfs: false,
+        ft: mapreduce::FtConfig::default(),
     };
     apply_backend(&mut job, backend);
     run_job(cluster, job).expect("terasort succeeds").elapsed()
@@ -289,6 +290,7 @@ fn grep(cluster: &mut Cluster, backend: Backend, cfg: &Fig2Config) -> f64 {
         output_dir: "grep_out".into(),
         spill_to_pfs: false,
         output_to_pfs: false,
+        ft: mapreduce::FtConfig::default(),
     };
     apply_backend(&mut job, backend);
     run_job(cluster, job).expect("grep succeeds").elapsed()
@@ -316,6 +318,7 @@ fn dfsio_write(cluster: &mut Cluster, backend: Backend, cfg: &Fig2Config) -> f64
         output_dir: "dfsio_out".into(),
         spill_to_pfs: false,
         output_to_pfs: false,
+        ft: mapreduce::FtConfig::default(),
     };
     apply_backend(&mut job, backend);
     run_job(cluster, job)
@@ -343,6 +346,7 @@ fn dfsio_read(cluster: &mut Cluster, backend: Backend, cfg: &Fig2Config) -> f64 
         output_dir: "dfsio_read_out".into(),
         spill_to_pfs: false,
         output_to_pfs: false,
+        ft: mapreduce::FtConfig::default(),
     };
     apply_backend(&mut job, backend);
     run_job(cluster, job)

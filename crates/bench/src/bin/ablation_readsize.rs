@@ -72,6 +72,7 @@ fn main() {
             output_dir: format!("scan_out_{chunks}"),
             spill_to_pfs: false,
             output_to_pfs: false,
+            ft: mapreduce::FtConfig::default(),
         };
         let t = run_job(&mut c, job).expect("scan job succeeds").elapsed();
         let b = *base.get_or_insert(t);

@@ -1,0 +1,274 @@
+//! Fault-tolerance benchmark: job completion time under injected faults.
+//!
+//! Three experiments on a fixed byte-count job over a flat PFS file:
+//!  1. a sweep of per-read failure probabilities — elapsed time, attempt
+//!     counts, and a byte-identity check of the reduce output against the
+//!     fault-free run;
+//!  2. a straggler node with speculative execution off vs on;
+//!  3. a node killed mid-run.
+//!
+//! Results go to stdout as tables and to `BENCH_faults.json`.
+//!
+//! Run: `cargo run --release -p scidp-bench --bin faults [--quick]`
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use mapreduce::{
+    counter_keys as keys, run_job, Cluster, FlatPfsFetcher, FtConfig, InputSplit, Job, MrError,
+    Payload, TaskInput,
+};
+use pfs::PfsConfig;
+use scidp_bench::{fmt_s, fmt_x, quick_mode, row};
+use simnet::{ClusterSpec, CostModel, FaultPlan};
+
+const INPUT: &str = "data/faultbench.bin";
+const FILE_BYTES: u64 = 64 * 1024;
+const N_SPLITS: u64 = 16;
+
+fn fresh_cluster() -> Cluster {
+    let spec = ClusterSpec {
+        compute_nodes: 4,
+        storage_nodes: 1,
+        osts: 4,
+        slots_per_node: 2,
+        ..ClusterSpec::default()
+    };
+    let pfs_cfg = PfsConfig {
+        n_osts: 4,
+        ..PfsConfig::default()
+    };
+    let c = Cluster::new(spec, pfs_cfg, 1 << 16, 1, CostModel::default());
+    let bytes: Vec<u8> = (0..FILE_BYTES).map(|i| (i % 11) as u8).collect();
+    c.pfs.borrow_mut().create(INPUT.to_string(), bytes);
+    c
+}
+
+fn byte_count_job(ft: FtConfig) -> Job {
+    let per = FILE_BYTES / N_SPLITS;
+    let splits: Vec<InputSplit> = (0..N_SPLITS)
+        .map(|i| InputSplit {
+            length: per,
+            locations: Vec::new(),
+            fetcher: Rc::new(FlatPfsFetcher {
+                pfs_path: INPUT.to_string(),
+                offset: i * per,
+                len: per,
+                sequential_chunks: 1,
+            }),
+        })
+        .collect();
+    Job {
+        name: "faultbench".into(),
+        splits,
+        map_fn: Rc::new(|input, ctx| {
+            let TaskInput::Bytes(b) = input else {
+                return Err(MrError("expected bytes".into()));
+            };
+            let mut counts: BTreeMap<u8, usize> = BTreeMap::new();
+            for &x in &b {
+                *counts.entry(x).or_default() += 1;
+            }
+            // A fixed per-map compute cost so stragglers are visible.
+            ctx.charge("compute", 4.0);
+            for (k, v) in counts {
+                ctx.emit(format!("b{k}"), Payload::Bytes(v.to_string().into_bytes()));
+            }
+            Ok(())
+        }),
+        reduce_fn: Some(Rc::new(|key, values, ctx| {
+            let total: usize = values
+                .iter()
+                .map(|v| match v {
+                    Payload::Bytes(b) => String::from_utf8_lossy(b).parse::<usize>().unwrap(),
+                    _ => 0,
+                })
+                .sum();
+            ctx.emit(key, Payload::Bytes(total.to_string().into_bytes()));
+            Ok(())
+        })),
+        n_reducers: 2,
+        output_dir: "out".into(),
+        spill_to_pfs: false,
+        output_to_pfs: false,
+        ft,
+    }
+}
+
+/// Committed reduce output, sorted by path, for byte-identity checks.
+fn read_output(c: &Cluster) -> Vec<(String, Vec<u8>)> {
+    let h = c.hdfs.borrow();
+    let mut files = h.namenode.list_files_recursive("out").unwrap();
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    files
+        .iter()
+        .map(|f| {
+            let mut data = Vec::new();
+            for b in h.namenode.blocks(&f.path).unwrap() {
+                data.extend_from_slice(&h.datanodes.get(b.locations()[0], b.id).unwrap());
+            }
+            (f.path.clone(), data)
+        })
+        .collect()
+}
+
+struct RunStats {
+    elapsed: f64,
+    map_attempts: f64,
+    retries: f64,
+    spec_launched: f64,
+    spec_won: f64,
+    blacklisted: f64,
+    injected: u64,
+    output: Vec<(String, Vec<u8>)>,
+}
+
+fn run_with(plan: FaultPlan, ft: FtConfig) -> RunStats {
+    let mut c = fresh_cluster();
+    c.sim.faults.install(plan);
+    let r = run_job(&mut c, byte_count_job(ft)).expect("fault bench job must survive its plan");
+    RunStats {
+        elapsed: r.elapsed(),
+        map_attempts: r.counters.get(keys::MAP_ATTEMPTS),
+        retries: r.counters.get(keys::TASK_RETRIES),
+        spec_launched: r.counters.get(keys::SPECULATIVE_LAUNCHED),
+        spec_won: r.counters.get(keys::SPECULATIVE_WON),
+        blacklisted: r.counters.get(keys::NODE_BLACKLISTED),
+        injected: c.sim.faults.injected_read_failures(),
+        output: read_output(&c),
+    }
+}
+
+fn main() {
+    let probs: &[f64] = if quick_mode() {
+        &[0.0, 0.05, 0.2]
+    } else {
+        &[0.0, 0.02, 0.05, 0.1, 0.2]
+    };
+    let sweep_ft = FtConfig {
+        max_task_attempts: 6,
+        ..FtConfig::default()
+    };
+
+    println!(
+        "faults: byte-count job, {} splits of {} KiB, 4 nodes x 2 slots",
+        N_SPLITS,
+        FILE_BYTES / N_SPLITS / 1024
+    );
+    println!();
+    println!(
+        "{}",
+        row(&[
+            "read fail prob".into(),
+            "time".into(),
+            "vs clean".into(),
+            "map attempts".into(),
+            "retries".into(),
+            "injected".into(),
+            "output ok".into(),
+        ])
+    );
+    let mut sweep = Vec::new();
+    let mut baseline: Option<RunStats> = None;
+    for &p in probs {
+        let plan = if p > 0.0 {
+            FaultPlan::none().with_random_read_failures(1234, p)
+        } else {
+            FaultPlan::none()
+        };
+        let s = run_with(plan, sweep_ft.clone());
+        let base = baseline.get_or_insert_with(|| RunStats {
+            output: s.output.clone(),
+            ..RunStats {
+                elapsed: s.elapsed,
+                map_attempts: s.map_attempts,
+                retries: s.retries,
+                spec_launched: s.spec_launched,
+                spec_won: s.spec_won,
+                blacklisted: s.blacklisted,
+                injected: s.injected,
+                output: Vec::new(),
+            }
+        });
+        let identical = s.output == base.output;
+        assert!(identical, "fault rate {p}: output diverged from clean run");
+        println!(
+            "{}",
+            row(&[
+                format!("{p:.2}"),
+                fmt_s(s.elapsed),
+                fmt_x(s.elapsed / base.elapsed),
+                format!("{:.0}", s.map_attempts),
+                format!("{:.0}", s.retries),
+                s.injected.to_string(),
+                "yes".into(),
+            ])
+        );
+        sweep.push((p, s));
+    }
+
+    // Straggler: node 1 computes 6x slower; speculation off vs on.
+    let straggler = FaultPlan::none().slow_node(1, 6.0);
+    let no_spec = run_with(
+        straggler.clone(),
+        FtConfig {
+            speculative: false,
+            ..FtConfig::default()
+        },
+    );
+    let with_spec = run_with(straggler, FtConfig::default());
+    assert_eq!(
+        no_spec.output, with_spec.output,
+        "speculation must not change the output"
+    );
+    println!();
+    println!("straggler (node 1 at 6x compute):");
+    println!(
+        "  speculation off: {}   on: {} ({} speedup, {} launched, {} won)",
+        fmt_s(no_spec.elapsed),
+        fmt_s(with_spec.elapsed),
+        fmt_x(no_spec.elapsed / with_spec.elapsed),
+        with_spec.spec_launched,
+        with_spec.spec_won,
+    );
+
+    // Node kill mid-run: maps on the dead node are retried on survivors.
+    let kill = run_with(FaultPlan::none().kill_node(1, 1.5), FtConfig::default());
+    let base = baseline.as_ref().unwrap();
+    assert_eq!(kill.output, base.output, "node kill must not change output");
+    println!();
+    println!(
+        "node kill at t=1.5s: {} (vs clean {}), {} retries, {} blacklisted",
+        fmt_s(kill.elapsed),
+        fmt_s(base.elapsed),
+        kill.retries,
+        kill.blacklisted,
+    );
+
+    // JSON artifact.
+    let sweep_json = sweep
+        .iter()
+        .map(|(p, s)| {
+            format!(
+                "{{\"fail_prob\":{p},\"elapsed_s\":{:.6},\"map_attempts\":{:.0},\"task_retries\":{:.0},\"injected_read_failures\":{},\"output_identical\":true}}",
+                s.elapsed, s.map_attempts, s.retries, s.injected
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let json = format!(
+        "{{\n  \"sweep\": [{sweep_json}],\n  \"speculation\": {{\"slow_factor\": 6.0, \"off_s\": {:.6}, \"on_s\": {:.6}, \"speedup\": {:.3}, \"launched\": {:.0}, \"won\": {:.0}}},\n  \"node_kill\": {{\"elapsed_s\": {:.6}, \"clean_s\": {:.6}, \"task_retries\": {:.0}, \"node_blacklisted\": {:.0}}}\n}}\n",
+        no_spec.elapsed,
+        with_spec.elapsed,
+        no_spec.elapsed / with_spec.elapsed,
+        with_spec.spec_launched,
+        with_spec.spec_won,
+        kill.elapsed,
+        base.elapsed,
+        kill.retries,
+        kill.blacklisted,
+    );
+    std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
+    println!();
+    println!("wrote BENCH_faults.json");
+}

@@ -231,6 +231,7 @@ fn scidp_read(pool: &DatasetPool, w: &Workload, readers: usize) -> f64 {
                     sim,
                     node,
                     Box::new(move |sim, fr| {
+                        let fr = fr.expect("fig6 fetch runs without fault injection");
                         let decode: f64 = fr.charges.iter().map(|(_, s)| s).sum();
                         sim.after(decode, move |sim| {
                             *active2.borrow_mut() -= 1;

@@ -26,6 +26,8 @@ pub enum HdfsError {
     DummyBlock,
     /// Block has no replica (corrupt cluster state).
     NoReplica,
+    /// Every replica of the block sits on a node the fault plan has killed.
+    NodeDead,
 }
 
 impl fmt::Display for HdfsError {
@@ -34,6 +36,7 @@ impl fmt::Display for HdfsError {
             HdfsError::Ns(e) => write!(f, "namenode: {e}"),
             HdfsError::DummyBlock => write!(f, "cannot read a dummy block from DataNodes"),
             HdfsError::NoReplica => write!(f, "block has no replica"),
+            HdfsError::NodeDead => write!(f, "all replicas are on dead nodes"),
         }
     }
 }
@@ -88,19 +91,21 @@ fn hop_step(
     hop: usize,
 ) {
     if hop >= targets.len() {
-        // All replicas landed: commit to NameNode + DataNodes.
-        let id = {
+        // All replicas landed: commit to NameNode + DataNodes. If the file
+        // was deleted while the pipeline was in flight (an abandoned task
+        // attempt), drop the block on the floor but still drive the chain
+        // to completion so the writer's `done` callback can clean up.
+        {
             let mut h = st.hdfs.borrow_mut();
-            let id = h
+            if let Ok(id) = h
                 .namenode
                 .add_block(&st.path, data.len() as u64, targets.clone())
-                .expect("file exists during write");
-            for t in &targets {
-                h.datanodes.put(*t, id, data.clone());
+            {
+                for t in &targets {
+                    h.datanodes.put(*t, id, data.clone());
+                }
             }
-            id
-        };
-        let _ = id;
+        }
         write_step(sim, st, idx + 1);
         return;
     }
@@ -167,11 +172,22 @@ pub fn read_block(
     if block.is_dummy() {
         return Err(HdfsError::DummyBlock);
     }
-    let owner = *locations
+    if locations.is_empty() {
+        return Err(HdfsError::NoReplica);
+    }
+    // Skip replicas on killed nodes (a live DataNode would be picked by a
+    // real DFSClient after a connect timeout; we pick it directly).
+    let now = sim.now().secs();
+    let alive: Vec<NodeId> = locations
+        .iter()
+        .copied()
+        .filter(|n| !sim.faults.node_dead(n.0, now))
+        .collect();
+    let owner = *alive
         .iter()
         .find(|&&n| n == reader)
-        .or_else(|| locations.first())
-        .ok_or(HdfsError::NoReplica)?;
+        .or_else(|| alive.first())
+        .ok_or(HdfsError::NodeDead)?;
     let data = hdfs
         .borrow()
         .datanodes

@@ -303,6 +303,49 @@ impl NameNode {
         Ok(out)
     }
 
+    /// Rename a file or directory subtree (how task attempts atomically
+    /// commit temp output). Destination parents are created as needed;
+    /// fails if the destination already exists.
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<(), NsError> {
+        self.ops += 1;
+        let fparts = split_path(from);
+        let (fname, fdirs) = fparts
+            .split_last()
+            .ok_or_else(|| NsError::NotFound(from.to_string()))?;
+        let fname = fname.to_string();
+        let fdirs: Vec<&str> = fdirs.to_vec();
+        let tparts = split_path(to);
+        let (tname, tdirs) = tparts
+            .split_last()
+            .ok_or_else(|| NsError::NotAFile(to.to_string()))?;
+        let tname = tname.to_string();
+        let tdirs: Vec<&str> = tdirs.to_vec();
+        // Validate/create the destination first so a failure leaves the
+        // source untouched.
+        let dst = self.dir_mut(&tdirs, true)?;
+        if dst.contains_key(&tname) {
+            return Err(NsError::AlreadyExists(to.to_string()));
+        }
+        let node = self
+            .dir_mut(&fdirs, false)?
+            .remove(&fname)
+            .ok_or_else(|| NsError::NotFound(from.to_string()))?;
+        match self.dir_mut(&tdirs, false) {
+            Ok(d) => {
+                d.insert(tname, node);
+                Ok(())
+            }
+            Err(e) => {
+                // Destination vanished with the source removal (renaming a
+                // dir into itself); undo.
+                self.dir_mut(&fdirs, false)
+                    .expect("source dir present")
+                    .insert(fname, node);
+                Err(e)
+            }
+        }
+    }
+
     /// Delete a file or directory subtree. Returns the ids of real blocks
     /// to reclaim on DataNodes.
     pub fn delete(&mut self, path: &str) -> Result<Vec<BlockId>, NsError> {

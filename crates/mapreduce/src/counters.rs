@@ -16,9 +16,26 @@ pub mod keys {
     pub const MAP_OUTPUT_BYTES: &str = "map_output_bytes";
     pub const SHUFFLE_BYTES: &str = "shuffle_bytes";
     pub const HDFS_WRITE_BYTES: &str = "hdfs_write_bytes";
+    /// Part-file bytes written to the PFS (`output_to_pfs` jobs).
+    pub const PFS_WRITE_BYTES: &str = "pfs_write_bytes";
     pub const LOCAL_MAPS: &str = "data_local_maps";
     pub const REMOTE_MAPS: &str = "rack_remote_maps";
+    /// Maps over location-less splits (PFS dummy blocks) — neither local
+    /// nor remote, locality is simply not a concept for them.
+    pub const ANY_MAPS: &str = "any_locality_maps";
     pub const RECORDS_EMITTED: &str = "records_emitted";
+    /// Map attempts launched (≥ `map_tasks` under retries/speculation).
+    pub const MAP_ATTEMPTS: &str = "map_attempts";
+    /// Reduce attempts launched.
+    pub const REDUCE_ATTEMPTS: &str = "reduce_attempts";
+    /// Attempts re-queued after a failure (I/O error or node death).
+    pub const TASK_RETRIES: &str = "task_retries";
+    /// Speculative duplicate attempts launched for straggling maps.
+    pub const SPECULATIVE_LAUNCHED: &str = "speculative_launched";
+    /// Speculative attempts that committed before the original.
+    pub const SPECULATIVE_WON: &str = "speculative_won";
+    /// Nodes blacklisted after repeated task failures.
+    pub const NODE_BLACKLISTED: &str = "node_blacklisted";
     /// Decompressed chunks served from the node-local chunk cache.
     pub const CHUNK_CACHE_HITS: &str = "chunk_cache_hits";
     /// Chunks that had to be read from the PFS and decompressed.

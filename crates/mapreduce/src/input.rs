@@ -11,6 +11,7 @@ use std::rc::Rc;
 use simnet::{NodeId, Sim};
 
 use crate::cluster::MrEnv;
+use crate::job::MrError;
 
 /// Data delivered to a map function.
 #[derive(Debug, Clone)]
@@ -60,12 +61,15 @@ impl FetchResult {
     }
 }
 
-/// Completion callback of a [`SplitFetcher::fetch`].
-pub type FetchDone = Box<dyn FnOnce(&mut Sim, FetchResult)>;
+/// Completion callback of a [`SplitFetcher::fetch`]. An `Err` marks the
+/// *attempt* as failed — the driver releases the slot and retries the task;
+/// fetchers must never panic on I/O errors.
+pub type FetchDone = Box<dyn FnOnce(&mut Sim, Result<FetchResult, MrError>)>;
 
 /// Fetches one split's data inside a running task.
 pub trait SplitFetcher {
-    /// Start the (timed) fetch on `node`; call `done` with the result.
+    /// Start the (timed) fetch on `node`; call `done` exactly once with the
+    /// result (or the error that killed this attempt).
     fn fetch(&self, env: &MrEnv, sim: &mut Sim, node: NodeId, done: FetchDone);
 
     /// Human-readable description for traces.
@@ -105,20 +109,57 @@ pub struct HdfsBlockFetcher {
 
 impl SplitFetcher for HdfsBlockFetcher {
     fn fetch(&self, env: &MrEnv, sim: &mut Sim, node: NodeId, done: FetchDone) {
-        let block = env
-            .hdfs
-            .borrow()
-            .namenode
-            .blocks(&self.path)
-            .expect("input file exists")[self.block_index]
-            .clone();
-        hdfs::read_block(sim, &env.topo, &env.hdfs, node, &block, move |sim, data| {
-            done(
-                sim,
-                FetchResult::plain(TaskInput::Bytes(data.as_ref().clone())),
-            )
-        })
-        .expect("real block readable");
+        // HDFS block reads address blocks, not paths; count the read (and
+        // test it against the fault plan) under the file path here.
+        if let Some(nth) = sim.faults.take_read_fault(&self.path) {
+            let e = MrError(format!(
+                "injected I/O error on read #{nth} of {}",
+                self.path
+            ));
+            sim.after(0.0, move |sim| done(sim, Err(e)));
+            return;
+        }
+        let block = {
+            let h = env.hdfs.borrow();
+            match h.namenode.blocks(&self.path) {
+                Ok(blocks) => match blocks.get(self.block_index) {
+                    Some(b) => b.clone(),
+                    None => {
+                        drop(h);
+                        let e = MrError(format!(
+                            "block #{} of {} out of range",
+                            self.block_index, self.path
+                        ));
+                        sim.after(0.0, move |sim| done(sim, Err(e)));
+                        return;
+                    }
+                },
+                Err(e) => {
+                    drop(h);
+                    let e = MrError(format!("hdfs: {e}"));
+                    sim.after(0.0, move |sim| done(sim, Err(e)));
+                    return;
+                }
+            }
+        };
+        // `read_block` consumes its callback even when it fails
+        // synchronously, so route completion through a take-once cell.
+        let done_cell = std::rc::Rc::new(std::cell::RefCell::new(Some(done)));
+        let dc = done_cell.clone();
+        let res = hdfs::read_block(sim, &env.topo, &env.hdfs, node, &block, move |sim, data| {
+            if let Some(d) = dc.borrow_mut().take() {
+                d(
+                    sim,
+                    Ok(FetchResult::plain(TaskInput::Bytes(data.as_ref().clone()))),
+                );
+            }
+        });
+        if let Err(e) = res {
+            if let Some(d) = done_cell.borrow_mut().take() {
+                let e = MrError(format!("hdfs: {e} ({})", self.path));
+                sim.after(0.0, move |sim| d(sim, Err(e)));
+            }
+        }
     }
 
     fn describe(&self) -> String {
@@ -129,7 +170,12 @@ impl SplitFetcher for HdfsBlockFetcher {
 /// Build one split per block of an HDFS file (`FileInputFormat` on HDFS).
 pub fn hdfs_file_splits(env: &MrEnv, path: &str) -> Vec<InputSplit> {
     let hdfs = env.hdfs.borrow();
-    let blocks = hdfs.namenode.blocks(path).expect("input file exists");
+    // Job-setup time (not task time): a missing input path is a caller bug,
+    // so failing fast here is the Hadoop `InvalidInputException` analogue.
+    let blocks = hdfs
+        .namenode
+        .blocks(path)
+        .expect("hdfs_file_splits: input path missing at job setup");
     blocks
         .iter()
         .enumerate()
@@ -173,13 +219,15 @@ impl FlatPfsFetcher {
         done: FetchDone,
     ) {
         if idx >= ranges.len() {
-            done(sim, FetchResult::plain(TaskInput::Bytes(acc)));
+            done(sim, Ok(FetchResult::plain(TaskInput::Bytes(acc))));
             return;
         }
         let (off, len) = ranges[idx];
         let env2 = env.clone();
         let path2 = path.clone();
-        pfs::read_at(
+        let done_cell = std::rc::Rc::new(std::cell::RefCell::new(Some(done)));
+        let dc = done_cell.clone();
+        let res = pfs::read_at(
             sim,
             &env.topo,
             &env.pfs,
@@ -188,11 +236,19 @@ impl FlatPfsFetcher {
             off as usize,
             len as usize,
             move |sim, bytes| {
+                let Some(done) = dc.borrow_mut().take() else {
+                    return;
+                };
                 acc.extend_from_slice(&bytes);
                 FlatPfsFetcher::read_chunks(env2, sim, node, path2, ranges, idx + 1, acc, done);
             },
-        )
-        .expect("PFS range readable");
+        );
+        if let Err(e) = res {
+            if let Some(done) = done_cell.borrow_mut().take() {
+                let e = MrError(format!("pfs: {e}"));
+                sim.after(0.0, move |sim| done(sim, Err(e)));
+            }
+        }
     }
 }
 
@@ -241,7 +297,7 @@ impl SplitFetcher for InMemoryFetcher {
     fn fetch(&self, _env: &MrEnv, sim: &mut Sim, _node: NodeId, done: FetchDone) {
         let data = self.data.clone();
         sim.after(0.0, move |sim| {
-            done(sim, FetchResult::plain(TaskInput::Bytes(data)))
+            done(sim, Ok(FetchResult::plain(TaskInput::Bytes(data))))
         });
     }
 

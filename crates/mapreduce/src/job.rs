@@ -128,6 +128,38 @@ pub type MapFn = Rc<dyn Fn(TaskInput, &mut TaskCtx) -> Result<(), MrError>>;
 /// Reduce closure: one key group at a time.
 pub type ReduceFn = Rc<dyn Fn(&str, Vec<Payload>, &mut TaskCtx) -> Result<(), MrError>>;
 
+/// Fault-tolerance policy of one job (Hadoop's
+/// `mapreduce.map.maxattempts` family).
+#[derive(Clone, Debug)]
+pub struct FtConfig {
+    /// Attempts per task before the job fails (Hadoop default: 4).
+    pub max_task_attempts: usize,
+    /// Task failures on one node before it is blacklisted for this job
+    /// (0 disables blacklisting). The last usable node is never
+    /// blacklisted.
+    pub node_blacklist_threshold: usize,
+    /// Launch duplicate attempts for straggling maps.
+    pub speculative: bool,
+    /// A running map is a straggler once its elapsed time exceeds this
+    /// multiple of the median committed map duration.
+    pub speculative_slowdown: f64,
+    /// Fraction of maps that must have committed before speculation is
+    /// considered (there is no meaningful median earlier).
+    pub speculative_min_completed: f64,
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        FtConfig {
+            max_task_attempts: 4,
+            node_blacklist_threshold: 3,
+            speculative: true,
+            speculative_slowdown: 2.0,
+            speculative_min_completed: 0.5,
+        }
+    }
+}
+
 /// A MapReduce job specification.
 #[derive(Clone)]
 pub struct Job {
@@ -145,6 +177,8 @@ pub struct Job {
     pub spill_to_pfs: bool,
     /// Lustre-connector mode: part files are written to the PFS.
     pub output_to_pfs: bool,
+    /// Retry / blacklist / speculation policy.
+    pub ft: FtConfig,
 }
 
 impl Job {
@@ -166,6 +200,7 @@ impl Job {
             output_dir: output_dir.into(),
             spill_to_pfs: false,
             output_to_pfs: false,
+            ft: FtConfig::default(),
         }
     }
 }
@@ -249,22 +284,83 @@ impl JobResult {
             v.iter().sum::<f64>() / v.len() as f64
         }
     }
+
+    /// One-line fault-tolerance summary from the counters: attempts vs
+    /// committed tasks, retries, speculation, blacklisting. `None` when the
+    /// run was clean (every task committed on its first and only attempt).
+    pub fn fault_summary(&self) -> Option<String> {
+        let c = &self.counters;
+        let attempts = c.get(keys::MAP_ATTEMPTS) + c.get(keys::REDUCE_ATTEMPTS);
+        let tasks = c.get(keys::MAP_TASKS) + c.get(keys::REDUCE_TASKS);
+        let retries = c.get(keys::TASK_RETRIES);
+        let spec = c.get(keys::SPECULATIVE_LAUNCHED);
+        let black = c.get(keys::NODE_BLACKLISTED);
+        if attempts <= tasks && retries == 0.0 && spec == 0.0 && black == 0.0 {
+            return None;
+        }
+        Some(format!(
+            "{attempts:.0} attempts for {tasks:.0} tasks ({retries:.0} retries, \
+             {spec:.0} speculative launched / {:.0} won, {black:.0} nodes blacklisted)",
+            c.get(keys::SPECULATIVE_WON),
+        ))
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
+/// One in-flight execution of a task on a node.
+#[derive(Clone, Debug)]
+struct AttemptInfo {
+    kind: TaskKind,
+    task: usize,
+    node: NodeId,
+    start_s: f64,
+    /// Scheduled on a node holding the split (locality hit).
+    local: bool,
+    /// A speculative duplicate of a straggling attempt.
+    speculative: bool,
+    /// A straggler check event has been queued for this attempt.
+    spec_check_scheduled: bool,
+}
+
+type AttemptId = u64;
+
+/// Per-task attempt bookkeeping.
+#[derive(Clone, Debug, Default)]
+struct TaskState {
+    /// Attempts launched so far (including the live ones).
+    started: usize,
+    /// The task has committed; later attempt callbacks are orphans.
+    done: bool,
+    /// Attempt ids currently in flight.
+    live: Vec<AttemptId>,
+    /// A speculative twin has been launched (at most one per task).
+    speculated: bool,
+}
+
 struct Driver {
     env: MrEnv,
     job: Job,
     start_s: f64,
-    pending: VecDeque<usize>,
+    pending_maps: VecDeque<usize>,
+    pending_reduces: VecDeque<usize>,
+    reduce_phase: bool,
     free_slots: Vec<usize>,
+    node_dead: Vec<bool>,
+    node_blacklisted: Vec<bool>,
+    node_failures: Vec<usize>,
     n_maps: usize,
     maps_done: usize,
+    map_states: Vec<TaskState>,
+    reduce_states: Vec<TaskState>,
     map_outputs: Vec<Vec<Vec<Kv>>>,
     map_nodes: Vec<NodeId>,
+    /// Durations of committed maps (speculation median).
+    map_durations: Vec<f64>,
+    attempts: BTreeMap<AttemptId, AttemptInfo>,
+    next_attempt: AttemptId,
     reports: Vec<TaskReport>,
     counters: Counters,
     reduces_done: usize,
@@ -274,6 +370,34 @@ struct Driver {
 }
 
 type SharedDriver = Rc<RefCell<Driver>>;
+
+impl Driver {
+    fn node_usable(&self, n: usize) -> bool {
+        !self.node_dead[n] && !self.node_blacklisted[n]
+    }
+
+    fn task_state_mut(&mut self, kind: TaskKind, task: usize) -> &mut TaskState {
+        match kind {
+            TaskKind::Map => &mut self.map_states[task],
+            TaskKind::Reduce => &mut self.reduce_states[task],
+        }
+    }
+
+    /// The job is still accepting task-completion events.
+    fn alive(&self) -> bool {
+        self.failed.is_none() && self.done_cb.is_some()
+    }
+}
+
+/// Whether attempt `id` may still affect the job. False once the attempt
+/// was orphaned (task committed elsewhere, node died) or the job finished —
+/// every continuation of an attempt checks this before touching the driver,
+/// which is what stops in-flight callbacks from mutating counters/reports
+/// after `fail_job`.
+fn attempt_live(d: &SharedDriver, id: AttemptId) -> bool {
+    let dd = d.borrow();
+    dd.alive() && dd.attempts.contains_key(&id)
+}
 
 fn stable_hash(s: &str) -> u64 {
     // FNV-1a: deterministic across runs and platforms.
@@ -306,15 +430,34 @@ pub fn submit_job_env(
     assert!(job.n_reducers > 0 || job.reduce_fn.is_none());
     let n_nodes = env.topo.n_compute();
     let n_maps = job.splits.len();
+    let now = sim.now().secs();
+    // Nodes the fault plan has already killed start out dead.
+    let node_dead: Vec<bool> = (0..n_nodes)
+        .map(|n| sim.faults.node_dead(n as u32, now))
+        .collect();
+    let n_reducers = job.n_reducers;
     let d = Rc::new(RefCell::new(Driver {
-        free_slots: vec![env.slots_per_node; n_nodes],
+        free_slots: node_dead
+            .iter()
+            .map(|&dead| if dead { 0 } else { env.slots_per_node })
+            .collect(),
+        node_dead,
+        node_blacklisted: vec![false; n_nodes],
+        node_failures: vec![0; n_nodes],
         env,
-        start_s: sim.now().secs(),
-        pending: (0..n_maps).collect(),
+        start_s: now,
+        pending_maps: (0..n_maps).collect(),
+        pending_reduces: VecDeque::new(),
+        reduce_phase: false,
         n_maps,
         maps_done: 0,
+        map_states: vec![TaskState::default(); n_maps],
+        reduce_states: vec![TaskState::default(); n_reducers],
         map_outputs: vec![Vec::new(); n_maps],
         map_nodes: vec![NodeId(0); n_maps],
+        map_durations: Vec::new(),
+        attempts: BTreeMap::new(),
+        next_attempt: 0,
         reports: Vec::new(),
         counters: Counters::new(),
         reduces_done: 0,
@@ -322,6 +465,21 @@ pub fn submit_job_env(
         done_cb: Some(Box::new(done)),
         job,
     }));
+    // Watch for planned node kills that are still in the future.
+    let kills: Vec<(u32, f64)> = sim
+        .faults
+        .plan()
+        .node_kills
+        .iter()
+        .filter(|(n, t)| (*n as usize) < n_nodes && t.is_finite() && *t > now)
+        .cloned()
+        .collect();
+    for (node, t) in kills {
+        let d2 = d.clone();
+        sim.at(simnet::SimTime(t), move |sim| {
+            on_node_killed(sim, &d2, node as usize)
+        });
+    }
     if n_maps == 0 {
         let d2 = d.clone();
         sim.after(0.0, move |sim| maybe_finish_maps(sim, &d2));
@@ -342,102 +500,419 @@ pub fn run_job(cluster: &mut Cluster, job: Job) -> Result<JobResult, MrError> {
     result
 }
 
+enum Pick {
+    Map {
+        node: NodeId,
+        task: usize,
+        local: bool,
+    },
+    Reduce {
+        node: NodeId,
+        task: usize,
+    },
+}
+
+enum Sched {
+    Run(Pick),
+    /// Work is pending but nothing runs and no usable node has a slot —
+    /// no event will ever free one, so the job can only fail.
+    Stuck(usize),
+    Idle,
+}
+
 fn try_schedule(sim: &mut Sim, d: &SharedDriver) {
     loop {
-        let pick = {
+        let sched = {
             let mut dd = d.borrow_mut();
-            if dd.failed.is_some() {
+            if !dd.alive() {
                 return;
             }
-            let mut pick: Option<(NodeId, usize, bool)> = None;
             let n_nodes = dd.free_slots.len();
-            'outer: for node in 0..n_nodes {
-                if dd.free_slots[node] == 0 {
-                    continue;
+            let mut pick: Option<Pick> = None;
+            if !dd.pending_maps.is_empty() {
+                'outer: for node in 0..n_nodes {
+                    if !dd.node_usable(node) || dd.free_slots[node] == 0 {
+                        continue;
+                    }
+                    let nid = NodeId(node as u32);
+                    // Locality preference: a pending split stored on this
+                    // node.
+                    if let Some(pos) = dd
+                        .pending_maps
+                        .iter()
+                        .position(|&t| dd.job.splits[t].locations.contains(&nid))
+                    {
+                        let task = dd.pending_maps.remove(pos).unwrap();
+                        pick = Some(Pick::Map {
+                            node: nid,
+                            task,
+                            local: true,
+                        });
+                        break 'outer;
+                    }
                 }
-                let nid = NodeId(node as u32);
-                // Locality preference: a pending split stored on this node.
-                if let Some(pos) = dd
-                    .pending
-                    .iter()
-                    .position(|&t| dd.job.splits[t].locations.contains(&nid))
-                {
-                    let t = dd.pending.remove(pos).unwrap();
-                    pick = Some((nid, t, true));
-                    break 'outer;
+                if pick.is_none() {
+                    // Any pending task on the least-loaded usable node with
+                    // a free slot — spreads non-local work across the
+                    // cluster.
+                    let best = (0..n_nodes)
+                        .filter(|&n| dd.node_usable(n) && dd.free_slots[n] > 0)
+                        .max_by_key(|&n| dd.free_slots[n]);
+                    if let Some(node) = best {
+                        let task = dd.pending_maps.pop_front().expect("pending nonempty");
+                        pick = Some(Pick::Map {
+                            node: NodeId(node as u32),
+                            task,
+                            local: false,
+                        });
+                    }
                 }
             }
-            if pick.is_none() && !dd.pending.is_empty() {
-                // Any pending task on the least-loaded node with a free
-                // slot — spreads non-local work across the cluster.
-                let best = (0..n_nodes)
-                    .filter(|&n| dd.free_slots[n] > 0)
-                    .max_by_key(|&n| dd.free_slots[n]);
-                if let Some(node) = best {
-                    let t = dd.pending.pop_front().expect("pending nonempty");
-                    pick = Some((NodeId(node as u32), t, false));
+            if pick.is_none() && !dd.pending_reduces.is_empty() {
+                // Reducers honor the same slot limits as maps; prefer the
+                // round-robin home node `r % n_nodes` when it has capacity.
+                let r = *dd.pending_reduces.front().expect("reduce pending");
+                let pref = r % n_nodes;
+                let node = if dd.node_usable(pref) && dd.free_slots[pref] > 0 {
+                    Some(pref)
+                } else {
+                    (0..n_nodes)
+                        .filter(|&n| dd.node_usable(n) && dd.free_slots[n] > 0)
+                        .max_by_key(|&n| dd.free_slots[n])
+                };
+                if let Some(node) = node {
+                    dd.pending_reduces.pop_front();
+                    pick = Some(Pick::Reduce {
+                        node: NodeId(node as u32),
+                        task: r,
+                    });
                 }
             }
-            if let Some((node, task, local)) = pick {
-                dd.free_slots[node.0 as usize] -= 1;
-                let has_locations = !dd.job.splits[task].locations.is_empty();
-                dd.counters.add(
-                    if local || !has_locations {
-                        keys::LOCAL_MAPS
+            match pick {
+                Some(p) => {
+                    let node = match &p {
+                        Pick::Map { node, .. } | Pick::Reduce { node, .. } => node.0 as usize,
+                    };
+                    dd.free_slots[node] -= 1;
+                    Sched::Run(p)
+                }
+                None => {
+                    let waiting = dd.pending_maps.len() + dd.pending_reduces.len();
+                    if waiting > 0 && dd.attempts.is_empty() {
+                        Sched::Stuck(waiting)
                     } else {
-                        keys::REMOTE_MAPS
-                    },
-                    1.0,
-                );
-                Some((node, task))
-            } else {
-                None
+                        Sched::Idle
+                    }
+                }
             }
         };
-        match pick {
-            Some((node, task)) => run_map_task(sim, d, task, node),
-            None => return,
+        match sched {
+            Sched::Run(Pick::Map { node, task, local }) => {
+                let id = register_attempt(sim, d, TaskKind::Map, task, node, local, false);
+                run_map_attempt(sim, d, id);
+            }
+            Sched::Run(Pick::Reduce { node, task }) => {
+                let id = register_attempt(sim, d, TaskKind::Reduce, task, node, false, false);
+                run_reduce_attempt(sim, d, id);
+            }
+            Sched::Stuck(waiting) => {
+                fail_job(
+                    sim,
+                    d,
+                    MrError(format!(
+                        "no usable nodes left for {waiting} pending task(s)"
+                    )),
+                );
+                return;
+            }
+            Sched::Idle => return,
         }
     }
 }
 
-fn compute_penalty(d: &SharedDriver) -> f64 {
-    let dd = d.borrow();
-    if dd.env.slots_per_node > 1 {
-        // Shared memory bandwidth / cache interference between co-running
-        // tasks; the paper's explanation of naive's slightly faster plots.
-        dd.env.topo.spec.slots_per_node as f64 * 0.0 + 1.0 // base
-    } else {
-        1.0
+/// Register a new attempt of `task` on `node` and charge the attempt-level
+/// counters (these are job-global meta counters, not task output).
+fn register_attempt(
+    sim: &Sim,
+    d: &SharedDriver,
+    kind: TaskKind,
+    task: usize,
+    node: NodeId,
+    local: bool,
+    speculative: bool,
+) -> AttemptId {
+    let mut dd = d.borrow_mut();
+    let id = dd.next_attempt;
+    dd.next_attempt += 1;
+    dd.attempts.insert(
+        id,
+        AttemptInfo {
+            kind,
+            task,
+            node,
+            start_s: sim.now().secs(),
+            local,
+            speculative,
+            spec_check_scheduled: false,
+        },
+    );
+    {
+        let st = dd.task_state_mut(kind, task);
+        st.started += 1;
+        st.live.push(id);
+        if speculative {
+            st.speculated = true;
+        }
+    }
+    dd.counters.add(
+        match kind {
+            TaskKind::Map => keys::MAP_ATTEMPTS,
+            TaskKind::Reduce => keys::REDUCE_ATTEMPTS,
+        },
+        1.0,
+    );
+    if speculative {
+        dd.counters.add(keys::SPECULATIVE_LAUNCHED, 1.0);
+    }
+    id
+}
+
+/// An attempt failed (fetch error, user code error). Release the slot,
+/// update blacklist accounting, and requeue the task unless its attempts
+/// are exhausted — in which case the job fails with the attempt's error,
+/// unchanged.
+fn attempt_failed(sim: &mut Sim, d: &SharedDriver, id: AttemptId, err: MrError) {
+    let exhausted = {
+        let mut dd = d.borrow_mut();
+        if !dd.alive() {
+            return;
+        }
+        let Some(info) = dd.attempts.remove(&id) else {
+            return; // orphaned twin failing after the task committed
+        };
+        let node = info.node.0 as usize;
+        let (task_done, others_running, started) = {
+            let st = dd.task_state_mut(info.kind, info.task);
+            st.live.retain(|&x| x != id);
+            (st.done, !st.live.is_empty(), st.started)
+        };
+        if !dd.node_dead[node] {
+            dd.free_slots[node] += 1;
+            dd.node_failures[node] += 1;
+            let th = dd.job.ft.node_blacklist_threshold;
+            let usable = (0..dd.node_dead.len())
+                .filter(|&n| dd.node_usable(n))
+                .count();
+            if th > 0 && !dd.node_blacklisted[node] && dd.node_failures[node] >= th && usable > 1 {
+                dd.node_blacklisted[node] = true;
+                dd.counters.add(keys::NODE_BLACKLISTED, 1.0);
+            }
+        }
+        if task_done || others_running {
+            // A speculative twin died while its sibling lives on (or after
+            // the task already committed): nothing to requeue.
+            None
+        } else if started >= dd.job.ft.max_task_attempts.max(1) {
+            Some(err)
+        } else {
+            dd.counters.add(keys::TASK_RETRIES, 1.0);
+            match info.kind {
+                TaskKind::Map => dd.pending_maps.push_back(info.task),
+                TaskKind::Reduce => dd.pending_reduces.push_back(info.task),
+            }
+            None
+        }
+    };
+    match exhausted {
+        Some(e) => fail_job(sim, d, e),
+        None => try_schedule(sim, d),
     }
 }
 
-fn run_map_task(sim: &mut Sim, d: &SharedDriver, task: usize, node: NodeId) {
-    let (env, startup, fetcher, length) = {
+/// A node died (fault plan): drop its slots, orphan its live attempts and
+/// requeue their tasks on the survivors.
+fn on_node_killed(sim: &mut Sim, d: &SharedDriver, node: usize) {
+    let exhausted = {
         let mut dd = d.borrow_mut();
-        dd.map_nodes[task] = node;
-        dd.counters.add(keys::MAP_TASKS, 1.0);
-        let split_len = dd.job.splits[task].length as f64;
-        dd.counters.add(keys::INPUT_BYTES, split_len);
+        if !dd.alive() || dd.node_dead[node] {
+            return;
+        }
+        dd.node_dead[node] = true;
+        dd.free_slots[node] = 0;
+        let victims: Vec<AttemptId> = dd
+            .attempts
+            .iter()
+            .filter(|(_, i)| i.node.0 as usize == node)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut exhausted: Option<MrError> = None;
+        for id in victims {
+            let info = dd.attempts.remove(&id).expect("victim attempt present");
+            let (task_done, others_running, started) = {
+                let st = dd.task_state_mut(info.kind, info.task);
+                st.live.retain(|&x| x != id);
+                (st.done, !st.live.is_empty(), st.started)
+            };
+            if task_done || others_running {
+                continue;
+            }
+            if started >= dd.job.ft.max_task_attempts.max(1) {
+                exhausted.get_or_insert(MrError(format!(
+                    "{:?} task {} lost to death of node {} after {} attempts",
+                    info.kind, info.task, node, started
+                )));
+            } else {
+                dd.counters.add(keys::TASK_RETRIES, 1.0);
+                match info.kind {
+                    TaskKind::Map => dd.pending_maps.push_back(info.task),
+                    TaskKind::Reduce => dd.pending_reduces.push_back(info.task),
+                }
+            }
+        }
+        exhausted
+    };
+    match exhausted {
+        Some(e) => fail_job(sim, d, e),
+        None => try_schedule(sim, d),
+    }
+}
+
+fn median(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    let mut s = v.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+    let n = s.len();
+    if n % 2 == 1 {
+        s[n / 2]
+    } else {
+        0.5 * (s[n / 2 - 1] + s[n / 2])
+    }
+}
+
+/// Called at every map commit: queue one straggler check per still-running
+/// map attempt at the instant it would cross the slowdown threshold.
+fn schedule_speculation_checks(sim: &mut Sim, d: &SharedDriver) {
+    let checks: Vec<(AttemptId, f64)> = {
+        let mut dd = d.borrow_mut();
+        if !dd.job.ft.speculative || !dd.alive() {
+            return;
+        }
+        let enough = dd.maps_done as f64 >= dd.job.ft.speculative_min_completed * dd.n_maps as f64;
+        if !enough {
+            return;
+        }
+        let med = median(&dd.map_durations);
+        if med <= 0.0 {
+            return;
+        }
+        let factor = dd.job.ft.speculative_slowdown.max(1.0);
+        let ids: Vec<AttemptId> = dd
+            .attempts
+            .iter()
+            .filter(|(_, i)| i.kind == TaskKind::Map && !i.spec_check_scheduled)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut out = Vec::new();
+        for id in ids {
+            let (task, start_s) = {
+                let i = &dd.attempts[&id];
+                (i.task, i.start_s)
+            };
+            if dd.map_states[task].done || dd.map_states[task].speculated {
+                continue;
+            }
+            dd.attempts
+                .get_mut(&id)
+                .expect("attempt present")
+                .spec_check_scheduled = true;
+            out.push((id, start_s + factor * med));
+        }
+        out
+    };
+    let now = sim.now().secs();
+    for (id, t) in checks {
+        let d2 = d.clone();
+        sim.at(simnet::SimTime(t.max(now)), move |sim| {
+            maybe_speculate(sim, &d2, id)
+        });
+    }
+}
+
+/// The straggler check: if the attempt is still running past its threshold
+/// and a different usable node has a free slot, launch a duplicate attempt.
+/// First commit wins; the loser is orphaned.
+fn maybe_speculate(sim: &mut Sim, d: &SharedDriver, id: AttemptId) {
+    let launch = {
+        let mut dd = d.borrow_mut();
+        if !dd.alive() {
+            return;
+        }
+        let Some(info) = dd.attempts.get(&id) else {
+            return; // finished or failed before its check fired
+        };
+        let (task, node) = (info.task, info.node.0 as usize);
+        let st = &dd.map_states[task];
+        if st.done || st.speculated || st.started >= dd.job.ft.max_task_attempts.max(1) {
+            return;
+        }
+        let n_nodes = dd.free_slots.len();
+        let cand = (0..n_nodes)
+            .filter(|&n| n != node && dd.node_usable(n) && dd.free_slots[n] > 0)
+            .max_by_key(|&n| dd.free_slots[n]);
+        let Some(c) = cand else {
+            return; // no spare capacity elsewhere; let the original run
+        };
+        dd.free_slots[c] -= 1;
+        let nid = NodeId(c as u32);
+        let local = dd.job.splits[task].locations.contains(&nid);
+        (task, nid, local)
+    };
+    let (task, node, local) = launch;
+    let id2 = register_attempt(sim, d, TaskKind::Map, task, node, local, true);
+    run_map_attempt(sim, d, id2);
+}
+
+/// Run one map attempt. All task-level counters land in an attempt-local
+/// [`Counters`] merged only at commit, so failed/orphaned attempts never
+/// distort the job totals.
+fn run_map_attempt(sim: &mut Sim, d: &SharedDriver, id: AttemptId) {
+    let (env, startup, fetcher, node, split_len) = {
+        let dd = d.borrow();
+        let info = &dd.attempts[&id];
         (
             dd.env.clone(),
             sim.cost.task_startup_s,
-            dd.job.splits[task].fetcher.clone(),
-            dd.job.splits[task].length,
+            dd.job.splits[info.task].fetcher.clone(),
+            info.node,
+            dd.job.splits[info.task].length as f64,
         )
     };
-    let _ = length;
-    let start_s = sim.now().secs();
+    let mut acnt = Counters::new();
+    acnt.add(keys::INPUT_BYTES, split_len);
     let d2 = d.clone();
     sim.after(startup, move |sim| {
+        if !attempt_live(&d2, id) {
+            return;
+        }
         let fetch_start = sim.now().secs();
         let d3 = d2.clone();
-        let env2 = env.clone();
         fetcher.fetch(
             &env,
             sim,
             node,
             Box::new(move |sim, fr| {
+                if !attempt_live(&d3, id) {
+                    return;
+                }
+                let fr = match fr {
+                    Ok(fr) => fr,
+                    Err(e) => {
+                        attempt_failed(sim, &d3, id, e);
+                        return;
+                    }
+                };
                 let read_s = sim.now().secs() - fetch_start;
                 // Real map execution.
                 let (map_fn, penalty) = {
@@ -454,60 +929,217 @@ fn run_map_task(sim: &mut Sim, d: &SharedDriver, task: usize, node: NodeId) {
                 for (phase, secs) in &fr.charges {
                     ctx.charge(phase, *secs);
                 }
-                {
-                    let mut dd = d3.borrow_mut();
-                    for (key, v) in &fr.counters {
-                        dd.counters.add(key, *v);
-                    }
+                for (key, v) in &fr.counters {
+                    acnt.add(key, *v);
                 }
                 if let Err(e) = (map_fn)(fr.input, &mut ctx) {
-                    fail_job(sim, &d3, e);
+                    attempt_failed(sim, &d3, id, e);
                     return;
                 }
-                let compute = ctx.total_charge() * penalty;
+                // A fault-plan slowdown stretches this attempt's compute —
+                // the straggler model speculation reacts to.
+                let factor = penalty * sim.faults.slow_factor(node.0);
+                let compute = ctx.total_charge() * factor;
                 let mut phases = vec![("startup", startup), ("read", read_s)];
                 for (p, s) in &ctx.charges {
-                    phases.push((p, s * penalty));
+                    phases.push((p, s * factor));
                 }
                 let records = ctx.records;
                 let emitted = ctx.emitted;
                 let d4 = d3.clone();
                 sim.after(compute, move |sim| {
-                    finish_map_compute(
-                        sim, &d4, task, node, start_s, phases, emitted, records, env2,
-                    )
+                    if !attempt_live(&d4, id) {
+                        return;
+                    }
+                    finish_map_compute(sim, &d4, id, phases, emitted, records, acnt)
                 });
             }),
         );
     });
-    let _ = compute_penalty(d);
+}
+
+/// Final step of a task-output write: an orphaned attempt deletes its own
+/// temp file; a live one renames it into place and charges the write
+/// bytes to the correct store (PFS vs HDFS). Returns whether the attempt
+/// committed its file.
+fn promote_task_output(
+    d: &SharedDriver,
+    id: AttemptId,
+    tmp: &str,
+    final_path: &str,
+    output_to_pfs: bool,
+    len: f64,
+    acnt: &mut Counters,
+) -> bool {
+    let env = d.borrow().env.clone();
+    if !attempt_live(d, id) {
+        // The sim has no GC — the loser of a speculative race (or a write
+        // that outlived a failed job) removes its own temp file.
+        if output_to_pfs {
+            env.pfs.borrow_mut().delete(tmp);
+        } else {
+            let mut h = env.hdfs.borrow_mut();
+            if let Ok(ids) = h.namenode.delete(tmp) {
+                h.datanodes.reclaim(&ids);
+            }
+        }
+        return false;
+    }
+    if output_to_pfs {
+        let mut p = env.pfs.borrow_mut();
+        p.delete(final_path);
+        p.rename(tmp, final_path);
+    } else {
+        let mut h = env.hdfs.borrow_mut();
+        if let Ok(ids) = h.namenode.delete(final_path) {
+            h.datanodes.reclaim(&ids);
+        }
+        let _ = h.namenode.rename(tmp, final_path);
+    }
+    acnt.add(
+        if output_to_pfs {
+            keys::PFS_WRITE_BYTES
+        } else {
+            keys::HDFS_WRITE_BYTES
+        },
+        len,
+    );
+    true
+}
+
+/// Commit one finished task attempt: first commit wins, later siblings are
+/// orphaned; counters, locality stats and the task report are recorded
+/// exactly once per task here.
+fn commit_task(
+    sim: &mut Sim,
+    d: &SharedDriver,
+    id: AttemptId,
+    phases: Vec<(&'static str, f64)>,
+    map_parts: Option<Vec<Vec<Kv>>>,
+    acnt: &Counters,
+) {
+    let committed = {
+        let mut dd = d.borrow_mut();
+        if !dd.alive() {
+            return;
+        }
+        let Some(info) = dd.attempts.remove(&id) else {
+            return; // lost the speculative race
+        };
+        let (kind, task) = (info.kind, info.task);
+        let others = {
+            let st = dd.task_state_mut(kind, task);
+            st.done = true;
+            st.live.retain(|&x| x != id);
+            std::mem::take(&mut st.live)
+        };
+        // Orphan the losing twins: their continuations see `attempt_live`
+        // false and fall silent; release their slots now.
+        for o in others {
+            if let Some(oi) = dd.attempts.remove(&o) {
+                let n = oi.node.0 as usize;
+                if !dd.node_dead[n] {
+                    dd.free_slots[n] += 1;
+                }
+            }
+        }
+        dd.counters.merge(acnt);
+        let end_s = sim.now().secs();
+        match kind {
+            TaskKind::Map => {
+                dd.map_nodes[task] = info.node;
+                if let Some(parts) = map_parts {
+                    dd.map_outputs[task] = parts;
+                }
+                dd.counters.add(keys::MAP_TASKS, 1.0);
+                let has_locations = !dd.job.splits[task].locations.is_empty();
+                dd.counters.add(
+                    if !has_locations {
+                        keys::ANY_MAPS
+                    } else if info.local {
+                        keys::LOCAL_MAPS
+                    } else {
+                        keys::REMOTE_MAPS
+                    },
+                    1.0,
+                );
+                if info.speculative {
+                    dd.counters.add(keys::SPECULATIVE_WON, 1.0);
+                }
+                dd.map_durations.push(end_s - info.start_s);
+                dd.maps_done += 1;
+            }
+            TaskKind::Reduce => {
+                dd.counters.add(keys::REDUCE_TASKS, 1.0);
+                dd.reduces_done += 1;
+            }
+        }
+        dd.reports.push(TaskReport {
+            kind,
+            index: task,
+            node: info.node,
+            start_s: info.start_s,
+            end_s,
+            phases,
+        });
+        let n = info.node.0 as usize;
+        if !dd.node_dead[n] {
+            dd.free_slots[n] += 1;
+        }
+        kind
+    };
+    match committed {
+        TaskKind::Map => {
+            schedule_speculation_checks(sim, d);
+            try_schedule(sim, d);
+            maybe_finish_maps(sim, d);
+        }
+        TaskKind::Reduce => {
+            try_schedule(sim, d);
+            let all = {
+                let dd = d.borrow();
+                dd.reduces_done == dd.job.n_reducers
+            };
+            if all {
+                complete(sim, d);
+            }
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
 fn finish_map_compute(
     sim: &mut Sim,
     d: &SharedDriver,
-    task: usize,
-    node: NodeId,
-    start_s: f64,
+    id: AttemptId,
     phases: Vec<(&'static str, f64)>,
     emitted: Vec<Kv>,
     records: u64,
-    env: MrEnv,
+    mut acnt: Counters,
 ) {
     let out_bytes: usize = emitted
         .iter()
         .map(|kv| kv.key.len() + kv.value.approx_bytes())
         .sum();
-    {
-        let mut dd = d.borrow_mut();
-        dd.counters.add(keys::MAP_OUTPUT_BYTES, out_bytes as f64);
-        dd.counters.add(keys::RECORDS_EMITTED, records as f64);
-    }
-    let has_reduce = d.borrow().job.reduce_fn.is_some();
+    acnt.add(keys::MAP_OUTPUT_BYTES, out_bytes as f64);
+    acnt.add(keys::RECORDS_EMITTED, records as f64);
+    let (env, has_reduce, n_red, spill_to_pfs, output_to_pfs, job_name, dir, node, task) = {
+        let dd = d.borrow();
+        let info = &dd.attempts[&id];
+        (
+            dd.env.clone(),
+            dd.job.reduce_fn.is_some(),
+            dd.job.n_reducers,
+            dd.job.spill_to_pfs,
+            dd.job.output_to_pfs,
+            dd.job.name.clone(),
+            dd.job.output_dir.clone(),
+            info.node,
+            info.task,
+        )
+    };
     if has_reduce {
-        // Partition + spill to local disk.
-        let n_red = d.borrow().job.n_reducers;
+        // Partition + spill.
         let mut parts: Vec<Vec<Kv>> = (0..n_red).map(|_| Vec::new()).collect();
         for kv in emitted {
             let p = (stable_hash(&kv.key) % n_red as u64) as usize;
@@ -515,27 +1147,19 @@ fn finish_map_compute(
         }
         let spill_start = sim.now().secs();
         let d2 = d.clone();
-        let spill_to_pfs = d.borrow().job.spill_to_pfs;
-        let job_name = d.borrow().job.name.clone();
         let finish_spill = move |sim: &mut Sim, mut phases: Vec<(&'static str, f64)>| {
-            phases.push(("spill", sim.now().secs() - spill_start));
-            {
-                let mut dd = d2.borrow_mut();
-                dd.map_outputs[task] = parts;
-                dd.reports.push(TaskReport {
-                    kind: TaskKind::Map,
-                    index: task,
-                    node,
-                    start_s,
-                    end_s: sim.now().secs(),
-                    phases,
-                });
+            if !attempt_live(&d2, id) {
+                return;
             }
-            release_slot_and_continue(sim, &d2, node);
+            phases.push(("spill", sim.now().secs() - spill_start));
+            commit_task(sim, &d2, id, phases, Some(parts), &acnt);
         };
         if spill_to_pfs {
             // Connector mode: intermediate data crosses the network to the
-            // PFS (the "diskless" deployment of the Lustre connectors).
+            // PFS (the "diskless" deployment of the Lustre connectors). The
+            // path is task-scoped (not attempt-scoped) and `write_new`
+            // replaces — twins racing here write identical bytes, so either
+            // order leaves a correct spill file.
             let spill_path = format!("_spill/{job_name}/m{task:05}");
             pfs::write_new(
                 sim,
@@ -552,119 +1176,87 @@ fn finish_map_compute(
             sim.start_flow(path, bytes, move |sim| finish_spill(sim, phases));
         }
     } else {
-        // Map-only: write output straight to HDFS.
+        // Map-only: write under an attempt-scoped temp name, rename into
+        // place at commit — an orphaned attempt's file never shadows the
+        // winner's.
         let data = serialize_kvs(&emitted);
-        let (dir, name) = {
-            let dd = d.borrow();
-            (dd.job.output_dir.clone(), format!("part-m-{task:05}"))
-        };
-        let write_start = sim.now().secs();
-        let d2 = d.clone();
         if data.is_empty() {
-            let mut dd = d.borrow_mut();
-            dd.reports.push(TaskReport {
-                kind: TaskKind::Map,
-                index: task,
-                node,
-                start_s,
-                end_s: sim.now().secs(),
-                phases,
-            });
-            drop(dd);
-            release_slot_and_continue(sim, d, node);
+            commit_task(sim, d, id, phases, Some(Vec::new()), &acnt);
             return;
         }
+        let tmp = format!("{dir}/_tmp/attempt-{id}");
+        let tmp_w = tmp.clone();
+        let final_path = format!("{dir}/part-m-{task:05}");
         let len = data.len() as f64;
-        let finish_write = move |sim: &mut Sim, mut phases: Vec<(&'static str, f64)>| {
-            phases.push(("write", sim.now().secs() - write_start));
-            {
-                let mut dd = d2.borrow_mut();
-                dd.counters.add(keys::HDFS_WRITE_BYTES, len);
-                dd.reports.push(TaskReport {
-                    kind: TaskKind::Map,
-                    index: task,
-                    node,
-                    start_s,
-                    end_s: sim.now().secs(),
-                    phases,
-                });
+        let write_start = sim.now().secs();
+        let d2 = d.clone();
+        let mut finish_write = move |sim: &mut Sim, mut phases: Vec<(&'static str, f64)>| {
+            if !promote_task_output(&d2, id, &tmp, &final_path, output_to_pfs, len, &mut acnt) {
+                return;
             }
-            release_slot_and_continue(sim, &d2, node);
+            phases.push(("write", sim.now().secs() - write_start));
+            commit_task(sim, &d2, id, phases, Some(Vec::new()), &acnt);
         };
-        if d.borrow().job.output_to_pfs {
-            pfs::write_new(
-                sim,
-                &env.topo,
-                &env.pfs,
-                node,
-                format!("{dir}/{name}"),
-                data,
-                move |sim| finish_write(sim, phases),
-            );
+        if output_to_pfs {
+            pfs::write_new(sim, &env.topo, &env.pfs, node, tmp_w, data, move |sim| {
+                finish_write(sim, phases)
+            });
         } else {
-            hdfs::write_file(
-                sim,
-                &env.topo,
-                &env.hdfs,
-                node,
-                format!("{dir}/{name}"),
-                data,
-                move |sim| finish_write(sim, phases),
-            )
-            .expect("map output path free");
+            let res = hdfs::write_file(sim, &env.topo, &env.hdfs, node, tmp_w, data, move |sim| {
+                finish_write(sim, phases)
+            });
+            if let Err(e) = res {
+                attempt_failed(sim, d, id, MrError(format!("hdfs: {e}")));
+            }
         }
     }
-}
-
-fn release_slot_and_continue(sim: &mut Sim, d: &SharedDriver, node: NodeId) {
-    {
-        let mut dd = d.borrow_mut();
-        dd.free_slots[node.0 as usize] += 1;
-        dd.maps_done += 1;
-    }
-    try_schedule(sim, d);
-    maybe_finish_maps(sim, d);
 }
 
 fn maybe_finish_maps(sim: &mut Sim, d: &SharedDriver) {
-    let (all_done, has_reduce) = {
-        let dd = d.borrow();
-        (dd.maps_done == dd.n_maps, dd.job.reduce_fn.is_some())
+    let action = {
+        let mut dd = d.borrow_mut();
+        if !dd.alive() || dd.maps_done < dd.n_maps {
+            return;
+        }
+        if dd.job.reduce_fn.is_some() {
+            if dd.reduce_phase {
+                return; // reducers already queued
+            }
+            dd.reduce_phase = true;
+            dd.pending_reduces = (0..dd.job.n_reducers).collect();
+            true
+        } else {
+            false
+        }
     };
-    if !all_done {
-        return;
-    }
-    if has_reduce {
-        start_reduce_phase(sim, d);
+    if action {
+        try_schedule(sim, d);
     } else {
         complete(sim, d);
     }
 }
 
-fn start_reduce_phase(sim: &mut Sim, d: &SharedDriver) {
-    let n_red = d.borrow().job.n_reducers;
-    let n_nodes = d.borrow().env.topo.n_compute();
-    for r in 0..n_red {
-        let node = NodeId((r % n_nodes) as u32);
-        run_reduce_task(sim, d, r, node);
-    }
-}
-
-fn run_reduce_task(sim: &mut Sim, d: &SharedDriver, r: usize, node: NodeId) {
+/// Run one reduce attempt: shuffle, sort, reduce, write. Map outputs are
+/// *cloned* per pull (not drained) so a retried reducer can shuffle again.
+fn run_reduce_attempt(sim: &mut Sim, d: &SharedDriver, id: AttemptId) {
     let startup = sim.cost.task_startup_s;
-    let start_s = sim.now().secs();
-    {
-        d.borrow_mut().counters.add(keys::REDUCE_TASKS, 1.0);
-    }
+    let (r, node) = {
+        let dd = d.borrow();
+        let info = &dd.attempts[&id];
+        (info.task, info.node)
+    };
     let d2 = d.clone();
     sim.after(startup, move |sim| {
+        if !attempt_live(&d2, id) {
+            return;
+        }
         // Shuffle: pull partition r from every map.
         let (transfers, env) = {
-            let mut dd = d2.borrow_mut();
+            let dd = d2.borrow();
             let mut t: Vec<(usize, NodeId, Vec<Kv>)> = Vec::new();
             for m in 0..dd.n_maps {
                 if dd.map_outputs[m].len() > r {
-                    let kvs = std::mem::take(&mut dd.map_outputs[m][r]);
+                    let kvs = dd.map_outputs[m][r].clone();
                     if !kvs.is_empty() {
                         t.push((m, dd.map_nodes[m], kvs));
                     }
@@ -678,29 +1270,15 @@ fn run_reduce_task(sim: &mut Sim, d: &SharedDriver, r: usize, node: NodeId) {
             .flat_map(|(_, _, kvs)| kvs.iter())
             .map(|kv| kv.key.len() + kv.value.approx_bytes())
             .sum();
-        {
-            d2.borrow_mut()
-                .counters
-                .add(keys::SHUFFLE_BYTES, shuffle_bytes as f64);
-        }
+        let mut acnt = Counters::new();
+        acnt.add(keys::SHUFFLE_BYTES, shuffle_bytes as f64);
         let collected: Rc<RefCell<Vec<Kv>>> = Rc::new(RefCell::new(Vec::new()));
         let n_transfers = transfers.len();
         let remaining = Rc::new(RefCell::new(n_transfers));
         let d3 = d2.clone();
-        let env2 = env.clone();
         let after_shuffle = Rc::new(RefCell::new(Some(Box::new(
             move |sim: &mut Sim, kvs: Vec<Kv>| {
-                reduce_execute(
-                    sim,
-                    &d3,
-                    r,
-                    node,
-                    start_s,
-                    startup,
-                    shuffle_start,
-                    kvs,
-                    env2,
-                );
+                reduce_execute(sim, &d3, id, startup, shuffle_start, kvs, acnt);
             },
         )
             as Box<dyn FnOnce(&mut Sim, Vec<Kv>)>)));
@@ -711,6 +1289,7 @@ fn run_reduce_task(sim: &mut Sim, d: &SharedDriver, r: usize, node: NodeId) {
         }
         let spill_to_pfs = d2.borrow().job.spill_to_pfs;
         let job_name = d2.borrow().job.name.clone();
+        let mut spill_read_err: Option<MrError> = None;
         for (m_idx, src, kvs) in transfers {
             let bytes: usize = kvs
                 .iter()
@@ -719,7 +1298,11 @@ fn run_reduce_task(sim: &mut Sim, d: &SharedDriver, r: usize, node: NodeId) {
             let collected = collected.clone();
             let remaining = remaining.clone();
             let after_shuffle = after_shuffle.clone();
+            let d4 = d2.clone();
             let arrive = move |sim: &mut Sim| {
+                if !attempt_live(&d4, id) {
+                    return;
+                }
                 collected.borrow_mut().extend(kvs);
                 let mut rem = remaining.borrow_mut();
                 *rem -= 1;
@@ -737,7 +1320,7 @@ fn run_reduce_task(sim: &mut Sim, d: &SharedDriver, r: usize, node: NodeId) {
                 let spill_path = format!("_spill/{job_name}/m{m_idx:05}");
                 let have = env.pfs.borrow().len_of(&spill_path).unwrap_or(0);
                 let len = bytes.min(have);
-                pfs::read_at(
+                let res = pfs::read_at(
                     sim,
                     &env.topo,
                     &env.pfs,
@@ -746,29 +1329,48 @@ fn run_reduce_task(sim: &mut Sim, d: &SharedDriver, r: usize, node: NodeId) {
                     0,
                     len,
                     move |sim, _| arrive(sim),
-                )
-                .expect("spill file present");
+                );
+                if let Err(e) = res {
+                    // Un-issued pulls keep `remaining` above zero, so the
+                    // after_shuffle callback can never double-fire.
+                    spill_read_err = Some(MrError(format!("pfs: {e} ({spill_path})")));
+                    break;
+                }
             } else {
                 let flow_bytes = sim.cost.lbytes(bytes);
                 let path = env.topo.path_net(src, node);
                 sim.start_flow(path, flow_bytes, arrive);
             }
         }
+        if let Some(e) = spill_read_err {
+            attempt_failed(sim, &d2, id, e);
+        }
     });
 }
 
-#[allow(clippy::too_many_arguments)]
 fn reduce_execute(
     sim: &mut Sim,
     d: &SharedDriver,
-    r: usize,
-    node: NodeId,
-    start_s: f64,
+    id: AttemptId,
     startup: f64,
     shuffle_start: f64,
     kvs: Vec<Kv>,
-    env: MrEnv,
+    mut acnt: Counters,
 ) {
+    if !attempt_live(d, id) {
+        return;
+    }
+    let (env, r, node, output_to_pfs, dir) = {
+        let dd = d.borrow();
+        let info = &dd.attempts[&id];
+        (
+            dd.env.clone(),
+            info.task,
+            info.node,
+            dd.job.output_to_pfs,
+            dd.job.output_dir.clone(),
+        )
+    };
     let shuffle_s = sim.now().secs() - shuffle_start;
     let in_bytes: usize = kvs
         .iter()
@@ -784,88 +1386,58 @@ fn reduce_execute(
     let mut ctx = TaskCtx::new(sim.cost.clone());
     for (key, values) in groups {
         if let Err(e) = (reduce_fn)(&key, values, &mut ctx) {
-            fail_job(sim, d, e);
+            attempt_failed(sim, d, id, e);
             return;
         }
     }
-    let compute = ctx.total_charge() + sort_s;
+    let slow = sim.faults.slow_factor(node.0);
+    let compute = (ctx.total_charge() + sort_s) * slow;
     let mut phases = vec![
         ("startup", startup),
         ("shuffle", shuffle_s),
-        ("sort", sort_s),
+        ("sort", sort_s * slow),
     ];
     for (p, s) in &ctx.charges {
-        phases.push((p, *s));
+        phases.push((p, s * slow));
     }
     let records = ctx.records;
     let emitted = ctx.emitted;
     let d2 = d.clone();
     sim.after(compute, move |sim| {
-        {
-            d2.borrow_mut()
-                .counters
-                .add(keys::RECORDS_EMITTED, records as f64);
-        }
-        let data = serialize_kvs(&emitted);
-        let (dir,) = {
-            let dd = d2.borrow();
-            (dd.job.output_dir.clone(),)
-        };
-        let finish = {
-            let d3 = d2.clone();
-            move |sim: &mut Sim, mut phases: Vec<(&'static str, f64)>, write_start: f64| {
-                phases.push(("write", sim.now().secs() - write_start));
-                {
-                    let mut dd = d3.borrow_mut();
-                    dd.reports.push(TaskReport {
-                        kind: TaskKind::Reduce,
-                        index: r,
-                        node,
-                        start_s,
-                        end_s: sim.now().secs(),
-                        phases,
-                    });
-                    dd.reduces_done += 1;
-                }
-                let all = {
-                    let dd = d3.borrow();
-                    dd.reduces_done == dd.job.n_reducers
-                };
-                if all {
-                    complete(sim, &d3);
-                }
-            }
-        };
-        let write_start = sim.now().secs();
-        if data.is_empty() {
-            finish(sim, phases, write_start);
+        if !attempt_live(&d2, id) {
             return;
         }
-        let len = data.len() as f64;
-        {
-            d2.borrow_mut().counters.add(keys::HDFS_WRITE_BYTES, len);
+        acnt.add(keys::RECORDS_EMITTED, records as f64);
+        let data = serialize_kvs(&emitted);
+        if data.is_empty() {
+            commit_task(sim, &d2, id, phases, None, &acnt);
+            return;
         }
-        if d2.borrow().job.output_to_pfs {
-            pfs::write_new(
-                sim,
-                &env.topo,
-                &env.pfs,
-                node,
-                format!("{dir}/part-r-{r:05}"),
-                data,
-                move |sim| finish(sim, phases, write_start),
-            );
+        // Attempt-scoped temp file, renamed into place at commit.
+        let tmp = format!("{dir}/_tmp/attempt-{id}");
+        let tmp_w = tmp.clone();
+        let final_path = format!("{dir}/part-r-{r:05}");
+        let len = data.len() as f64;
+        let write_start = sim.now().secs();
+        let d3 = d2.clone();
+        let mut finish = move |sim: &mut Sim, mut phases: Vec<(&'static str, f64)>| {
+            if !promote_task_output(&d3, id, &tmp, &final_path, output_to_pfs, len, &mut acnt) {
+                return;
+            }
+            phases.push(("write", sim.now().secs() - write_start));
+            commit_task(sim, &d3, id, phases, None, &acnt);
+        };
+        if output_to_pfs {
+            pfs::write_new(sim, &env.topo, &env.pfs, node, tmp_w, data, move |sim| {
+                finish(sim, phases)
+            });
         } else {
-            hdfs::write_file(
-                sim,
-                &env.topo,
-                &env.hdfs,
-                node,
-                format!("{dir}/part-r-{r:05}"),
-                data,
-                move |sim| finish(sim, phases, write_start),
-            )
-            .expect("reduce output path free");
+            let res = hdfs::write_file(sim, &env.topo, &env.hdfs, node, tmp_w, data, move |sim| {
+                finish(sim, phases)
+            });
+            if let Err(e) = res {
+                attempt_failed(sim, &d2, id, MrError(format!("hdfs: {e}")));
+            }
         }
     });
 }
@@ -910,6 +1482,12 @@ fn fail_job(sim: &mut Sim, d: &SharedDriver, e: MrError) {
         if dd.failed.is_none() {
             dd.failed = Some(e.clone());
         }
+        // Orphan every in-flight attempt and drop the queues: their
+        // continuations see `attempt_live` false and can no longer mutate
+        // counters or reports.
+        dd.attempts.clear();
+        dd.pending_maps.clear();
+        dd.pending_reduces.clear();
         dd.done_cb.take()
     };
     if let Some(cb) = cb {
@@ -920,6 +1498,9 @@ fn fail_job(sim: &mut Sim, d: &SharedDriver, e: MrError) {
 fn complete(sim: &mut Sim, d: &SharedDriver) {
     let (result, cb) = {
         let mut dd = d.borrow_mut();
+        if dd.done_cb.is_none() {
+            return;
+        }
         let mut tasks = std::mem::take(&mut dd.reports);
         tasks.sort_by_key(|t| (t.kind == TaskKind::Reduce, t.index));
         let result = JobResult {
@@ -1004,6 +1585,7 @@ mod tests {
             })),
             n_reducers: reducers,
             output_dir: "out".into(),
+            ft: FtConfig::default(),
         }
     }
 
@@ -1126,6 +1708,7 @@ mod tests {
             reduce_fn: None,
             n_reducers: 1,
             output_dir: "out".into(),
+            ft: FtConfig::default(),
         };
         let r = run_job(&mut c, job);
         assert_eq!(r.unwrap_err(), MrError("kaboom".into()));
@@ -1183,6 +1766,7 @@ mod tests {
             reduce_fn: None,
             n_reducers: 1,
             output_dir: "out".into(),
+            ft: FtConfig::default(),
         };
         let r = run_job(&mut c, job).unwrap();
         let t = &r.tasks[0];

@@ -31,6 +31,6 @@ pub use input::{
     InputSplit, SplitFetcher, TaskInput,
 };
 pub use job::{
-    run_job, submit_job, submit_job_env, Job, JobResult, MapFn, MrError, Payload, ReduceFn,
-    TaskCtx, TaskKind, TaskReport,
+    run_job, submit_job, submit_job_env, FtConfig, Job, JobResult, MapFn, MrError, Payload,
+    ReduceFn, TaskCtx, TaskKind, TaskReport,
 };

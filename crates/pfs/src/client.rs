@@ -23,6 +23,12 @@ pub enum PfsError {
         len: usize,
         file_len: usize,
     },
+    /// A fault injected by the simulator's [`simnet::FaultPlan`] — stands
+    /// in for a transient OST/network error a real client would see.
+    Injected {
+        path: String,
+        nth: u64,
+    },
 }
 
 impl fmt::Display for PfsError {
@@ -38,6 +44,9 @@ impl fmt::Display for PfsError {
                 f,
                 "read [{offset}, {offset}+{len}) out of range for {path} (len {file_len})"
             ),
+            PfsError::Injected { path, nth } => {
+                write!(f, "injected I/O error on read #{nth} of {path}")
+            }
         }
     }
 }
@@ -58,6 +67,12 @@ pub fn read_at(
     len: usize,
     done: impl FnOnce(&mut Sim, Vec<u8>) + 'static,
 ) -> Result<(), PfsError> {
+    if let Some(nth) = sim.faults.take_read_fault(path) {
+        return Err(PfsError::Injected {
+            path: path.to_string(),
+            nth,
+        });
+    }
     let (segments, payload) = {
         let p = pfs.borrow();
         let file = p

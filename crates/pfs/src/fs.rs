@@ -128,6 +128,20 @@ impl Pfs {
         self.files.remove(path).is_some()
     }
 
+    /// Atomically rename a file (how task attempts commit their output).
+    /// Replaces any existing file at `to`; returns false if `from` is
+    /// missing.
+    pub fn rename(&mut self, from: &str, to: &str) -> bool {
+        match self.files.remove(from) {
+            Some(mut f) => {
+                f.path = to.to_string();
+                self.files.insert(to.to_string(), f);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Paths under a directory prefix, sorted (the Path Reader's `ls`).
     /// A prefix of `"out/"` matches `"out/a.snc"` but not `"output/x"`.
     pub fn list(&self, dir: &str) -> Vec<String> {

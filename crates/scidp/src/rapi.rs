@@ -224,16 +224,21 @@ impl mapreduce::SplitFetcher for TaggedSciFetcher {
         env: &MrEnv,
         sim: &mut simnet::Sim,
         node: simnet::NodeId,
-        done: Box<dyn FnOnce(&mut simnet::Sim, mapreduce::FetchResult)>,
+        done: mapreduce::FetchDone,
     ) {
         let tag = encode_tag(&self.inner);
         self.inner.fetch(
             env,
             sim,
             node,
-            Box::new(move |sim, mut fr| {
-                fr.tag = tag;
-                done(sim, fr);
+            Box::new(move |sim, fr| {
+                done(
+                    sim,
+                    fr.map(|mut fr| {
+                        fr.tag = tag;
+                        fr
+                    }),
+                );
             }),
         );
     }
@@ -486,6 +491,7 @@ impl RJob {
                 output_dir: self.output_dir,
                 spill_to_pfs: false,
                 output_to_pfs: false,
+                ft: mapreduce::FtConfig::default(),
             },
             setup,
         ))

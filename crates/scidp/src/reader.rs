@@ -16,7 +16,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use mapreduce::counters::keys;
-use mapreduce::{FetchDone, FetchResult, MrEnv, SplitFetcher, TaskInput};
+use mapreduce::{FetchDone, FetchResult, MrEnv, MrError, SplitFetcher, TaskInput};
 use scifmt::hyperslab;
 use scifmt::snc::{assemble_slab, chunk_extents_of, ChunkCache};
 use scifmt::VarMeta;
@@ -84,12 +84,12 @@ impl SplitFetcher for SciSlabFetcher {
             sim.after(0.0, move |sim| {
                 done(
                     sim,
-                    FetchResult {
+                    Ok(FetchResult {
                         input: TaskInput::Array(array),
                         charges: vec![],
                         counters,
                         tag: String::new(),
-                    },
+                    }),
                 )
             });
             return;
@@ -103,11 +103,11 @@ impl SplitFetcher for SciSlabFetcher {
         for (idx, offset, clen, _rlen) in needed {
             let collected = collected.clone();
             let remaining = remaining.clone();
-            let done_cell = done_cell.clone();
+            let dc = done_cell.clone();
             let decode_s = decode_s.clone();
             let cache = self.cache.clone();
             let assemble = assemble.clone();
-            pfs::read_at(
+            let res = pfs::read_at(
                 sim,
                 &env.topo,
                 &env.pfs,
@@ -119,7 +119,15 @@ impl SplitFetcher for SciSlabFetcher {
                     // Real decode of the real chunk bytes (timed for the
                     // Fig. 7 Read/Convert decomposition).
                     let t0 = std::time::Instant::now();
-                    let raw = scifmt::codec::decompress(&frame).expect("stored chunk decodes");
+                    let raw = match scifmt::codec::decompress(&frame) {
+                        Ok(raw) => raw,
+                        Err(e) => {
+                            if let Some(d) = dc.borrow_mut().take() {
+                                d(sim, Err(MrError(format!("snc chunk {idx} decode: {e:?}"))));
+                            }
+                            return;
+                        }
+                    };
                     *decode_s.borrow_mut() += t0.elapsed().as_secs_f64();
                     let raw = Arc::new(raw);
                     cache.insert((file_key, offset), raw.clone());
@@ -130,12 +138,15 @@ impl SplitFetcher for SciSlabFetcher {
                         return;
                     }
                     drop(rem);
+                    // A sibling chunk may have failed this fetch already.
+                    let Some(d) = dc.borrow_mut().take() else {
+                        return;
+                    };
                     let chunks = std::mem::take(&mut *collected.borrow_mut());
                     let array = assemble(&chunks);
-                    let d = done_cell.borrow_mut().take().expect("single completion");
                     d(
                         sim,
-                        FetchResult {
+                        Ok(FetchResult {
                             input: TaskInput::Array(array),
                             charges: vec![("decompress", decompress_cost)],
                             counters: vec![
@@ -144,11 +155,19 @@ impl SplitFetcher for SciSlabFetcher {
                                 (keys::CODEC_DECODE_S, *decode_s.borrow()),
                             ],
                             tag: String::new(),
-                        },
+                        }),
                     );
                 },
-            )
-            .expect("mapped chunk extent readable");
+            );
+            if let Err(e) = res {
+                // Injected or genuine PFS error: fail the attempt (once) and
+                // stop issuing the remaining chunk reads.
+                if let Some(d) = done_cell.borrow_mut().take() {
+                    let e = MrError(format!("pfs: {e} ({})", self.pfs_path));
+                    sim.after(0.0, move |sim| d(sim, Err(e)));
+                }
+                return;
+            }
         }
     }
 
@@ -232,6 +251,7 @@ mod tests {
             &mut c.sim,
             NodeId(0),
             Box::new(move |_, fr| {
+                let fr = fr.unwrap();
                 *g.borrow_mut() = Some((fr.input, fr.charges));
             }),
         );
@@ -319,7 +339,7 @@ mod tests {
             c.sim.net.bytes_admitted, bytes_after_first,
             "cached fetch must not touch the PFS"
         );
-        let fr = got.borrow_mut().take().unwrap();
+        let fr = got.borrow_mut().take().unwrap().unwrap();
         assert!(fr.charges.is_empty(), "no decompression charge on hits");
         assert_eq!(fr.counters, vec![(keys::CHUNK_CACHE_HITS, 2.0)]);
         let TaskInput::Array(a) = fr.input else {
@@ -349,7 +369,7 @@ mod tests {
             &mut c.sim,
             NodeId(0),
             Box::new(move |_, fr| {
-                *g.borrow_mut() = Some(fr.counters);
+                *g.borrow_mut() = Some(fr.unwrap().counters);
             }),
         );
         c.run();
@@ -382,7 +402,7 @@ mod tests {
             &mut c.sim,
             NodeId(0),
             Box::new(move |_, fr| {
-                *g.borrow_mut() = Some(fr.input);
+                *g.borrow_mut() = Some(fr.unwrap().input);
             }),
         );
         c.run();

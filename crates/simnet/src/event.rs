@@ -13,6 +13,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use crate::cost::CostModel;
+use crate::fault::FaultInjector;
 use crate::flow::{FlowId, FlowNet, ResourceId};
 use crate::time::SimTime;
 
@@ -55,6 +56,8 @@ pub struct Sim {
     pub net: FlowNet,
     /// Calibrated virtual costs for compute phases.
     pub cost: CostModel,
+    /// Deterministic fault injection (empty plan by default).
+    pub faults: FaultInjector,
     flow_callbacks: HashMap<FlowId, Callback>,
     events_processed: u64,
 }
@@ -79,6 +82,7 @@ impl Sim {
             next_event: 0,
             net: FlowNet::new(),
             cost,
+            faults: FaultInjector::default(),
             flow_callbacks: HashMap::new(),
             events_processed: 0,
         }

@@ -1,0 +1,238 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] declares, up front and in full, every fault one run will
+//! experience: nodes killed at fixed virtual times, specific reads that
+//! fail, straggler nodes, and a seeded per-read failure probability. The
+//! plan is interpreted by a [`FaultInjector`] owned by the [`crate::Sim`],
+//! so every layer (PFS client, HDFS client, the MapReduce driver) consults
+//! the *same* state. Because the plan is data and the probabilistic
+//! failures are drawn from a [`scirng::Rng`] seeded from the plan, the same
+//! seed + the same plan reproduce bit-identical fault sequences — and,
+//! since the simulator itself is deterministic, bit-identical timings.
+
+use std::collections::HashMap;
+
+/// A declarative, seeded description of the faults to inject into one run.
+///
+/// The default plan is empty (no faults); [`FaultInjector::take_read_fault`]
+/// short-circuits in that case so fault-free runs pay nothing.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// `(node, at_s)`: kill compute node `node` at virtual time `at_s`.
+    /// A dead node loses its task slots, its running attempts, and its
+    /// HDFS replicas.
+    pub node_kills: Vec<(u32, f64)>,
+    /// `(path, nth)`: fail the `nth` (1-based) timed read of `path`.
+    pub read_faults: Vec<(String, u64)>,
+    /// `(node, factor)`: multiply compute time on `node` by `factor`
+    /// (a straggler; speculation exists to absorb these).
+    pub slow_nodes: Vec<(u32, f64)>,
+    /// Independently fail each timed read with this probability.
+    pub read_fail_prob: f64,
+    /// Seed for the probabilistic read failures.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// The empty plan (no faults).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.node_kills.is_empty()
+            && self.read_faults.is_empty()
+            && self.slow_nodes.is_empty()
+            && self.read_fail_prob == 0.0
+    }
+
+    /// Kill `node` at virtual time `at_s`.
+    pub fn kill_node(mut self, node: u32, at_s: f64) -> FaultPlan {
+        self.node_kills.push((node, at_s));
+        self
+    }
+
+    /// Fail the `nth` (1-based) timed read of `path`.
+    pub fn fail_read(mut self, path: impl Into<String>, nth: u64) -> FaultPlan {
+        self.read_faults.push((path.into(), nth));
+        self
+    }
+
+    /// Slow compute on `node` by `factor` (> 1 = straggler).
+    pub fn slow_node(mut self, node: u32, factor: f64) -> FaultPlan {
+        assert!(factor > 0.0 && factor.is_finite(), "bad slow factor");
+        self.slow_nodes.push((node, factor));
+        self
+    }
+
+    /// Fail each timed read independently with probability `prob`, drawn
+    /// from a PRNG seeded with `seed`.
+    pub fn with_random_read_failures(mut self, seed: u64, prob: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        self.seed = seed;
+        self.read_fail_prob = prob;
+        self
+    }
+}
+
+/// Runtime interpreter of a [`FaultPlan`], owned by the simulator.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    read_counts: HashMap<String, u64>,
+    rng: scirng::Rng,
+    injected: u64,
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector {
+            plan: FaultPlan::none(),
+            read_counts: HashMap::new(),
+            rng: scirng::Rng::seed_from_u64(0),
+            injected: 0,
+        }
+    }
+}
+
+impl FaultInjector {
+    /// Install a plan, resetting all per-run state (read counters, PRNG).
+    pub fn install(&mut self, plan: FaultPlan) {
+        self.rng = scirng::Rng::seed_from_u64(plan.seed);
+        self.read_counts.clear();
+        self.injected = 0;
+        self.plan = plan;
+    }
+
+    /// The installed plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Total read failures injected so far (diagnostics).
+    pub fn injected_read_failures(&self) -> u64 {
+        self.injected
+    }
+
+    /// Record one timed read of `path`; returns `Some(nth)` when this read
+    /// must fail (either a planned `(path, nth)` fault or a probabilistic
+    /// one). Called by the storage clients at the top of every timed read.
+    pub fn take_read_fault(&mut self, path: &str) -> Option<u64> {
+        if self.plan.is_empty() {
+            return None;
+        }
+        let n = self.read_counts.entry(path.to_string()).or_insert(0);
+        *n += 1;
+        let nth = *n;
+        if self
+            .plan
+            .read_faults
+            .iter()
+            .any(|(p, k)| *k == nth && p == path)
+        {
+            self.injected += 1;
+            return Some(nth);
+        }
+        if self.plan.read_fail_prob > 0.0 && self.rng.f64() < self.plan.read_fail_prob {
+            self.injected += 1;
+            return Some(nth);
+        }
+        None
+    }
+
+    /// When (if ever) `node` is scheduled to die. With duplicate entries the
+    /// earliest kill wins.
+    pub fn kill_time(&self, node: u32) -> Option<f64> {
+        self.plan
+            .node_kills
+            .iter()
+            .filter(|(n, _)| *n == node)
+            .map(|(_, t)| *t)
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.min(t))))
+    }
+
+    /// Whether `node` is dead at virtual time `now`.
+    pub fn node_dead(&self, node: u32, now: f64) -> bool {
+        self.kill_time(node).is_some_and(|t| t <= now)
+    }
+
+    /// Compute slowdown factor for `node` (1.0 = healthy).
+    pub fn slow_factor(&self, node: u32) -> f64 {
+        self.plan
+            .slow_nodes
+            .iter()
+            .filter(|(n, _)| *n == node)
+            .map(|(_, f)| *f)
+            .fold(1.0, |acc, f| acc * f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let mut inj = FaultInjector::default();
+        for _ in 0..100 {
+            assert_eq!(inj.take_read_fault("p"), None);
+        }
+        assert!(!inj.node_dead(0, 1e9));
+        assert_eq!(inj.slow_factor(3), 1.0);
+        assert_eq!(inj.injected_read_failures(), 0);
+    }
+
+    #[test]
+    fn nth_read_fault_fires_exactly_once() {
+        let mut inj = FaultInjector::default();
+        inj.install(FaultPlan::none().fail_read("f", 3));
+        assert_eq!(inj.take_read_fault("f"), None);
+        assert_eq!(inj.take_read_fault("g"), None);
+        assert_eq!(inj.take_read_fault("f"), None);
+        assert_eq!(inj.take_read_fault("f"), Some(3));
+        assert_eq!(inj.take_read_fault("f"), None);
+        assert_eq!(inj.injected_read_failures(), 1);
+    }
+
+    #[test]
+    fn probabilistic_faults_are_seed_deterministic() {
+        let run = |seed| {
+            let mut inj = FaultInjector::default();
+            inj.install(FaultPlan::none().with_random_read_failures(seed, 0.3));
+            (0..200)
+                .map(|i| inj.take_read_fault(&format!("p{}", i % 5)).is_some())
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should differ");
+        assert!(run(7).iter().any(|&b| b), "some faults should fire");
+        assert!(!run(7).iter().all(|&b| b), "not every read fails");
+    }
+
+    #[test]
+    fn kill_time_and_slow_factor() {
+        let mut inj = FaultInjector::default();
+        inj.install(
+            FaultPlan::none()
+                .kill_node(2, 50.0)
+                .kill_node(2, 10.0)
+                .slow_node(1, 4.0),
+        );
+        assert_eq!(inj.kill_time(2), Some(10.0), "earliest kill wins");
+        assert_eq!(inj.kill_time(0), None);
+        assert!(!inj.node_dead(2, 9.9));
+        assert!(inj.node_dead(2, 10.0));
+        assert_eq!(inj.slow_factor(1), 4.0);
+        assert_eq!(inj.slow_factor(2), 1.0);
+    }
+
+    #[test]
+    fn install_resets_counts() {
+        let mut inj = FaultInjector::default();
+        inj.install(FaultPlan::none().fail_read("f", 1));
+        assert!(inj.take_read_fault("f").is_some());
+        inj.install(FaultPlan::none().fail_read("f", 1));
+        assert!(inj.take_read_fault("f").is_some(), "counts were reset");
+    }
+}

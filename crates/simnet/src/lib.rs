@@ -26,12 +26,14 @@
 
 pub mod cost;
 pub mod event;
+pub mod fault;
 pub mod flow;
 pub mod time;
 pub mod topology;
 
 pub use cost::CostModel;
 pub use event::Sim;
+pub use fault::{FaultInjector, FaultPlan};
 pub use flow::{FlowId, FlowNet, Resource, ResourceId};
 pub use time::SimTime;
 pub use topology::{ClusterSpec, NodeId, StorageNodeId, Topology};

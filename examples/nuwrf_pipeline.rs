@@ -91,4 +91,32 @@ fn main() {
             rep.job.counters.get("hdfs_write_bytes") / 1e6
         );
     }
+
+    // --- Fault tolerance: same SciDP pass with a node killed mid-run and
+    //     a 2% read-failure rate; results unchanged, retries reported. ---
+    println!("\nFault tolerance (SciDP pass under injected faults):");
+    let (mut c, ds) = fresh(&spec);
+    let clean = run_scidp(&mut c, &ds.pfs_uri(), &cfg).unwrap();
+    let (mut c, ds) = fresh(&spec);
+    c.sim.faults.install(
+        FaultPlan::none()
+            .kill_node(1, 2.0)
+            .with_random_read_failures(7, 0.02),
+    );
+    let faulted = run_scidp(&mut c, &ds.pfs_uri(), &cfg).unwrap();
+    println!(
+        "  clean: {:.1}s   faulted: {:.1}s   images: {} vs {}",
+        clean.total_time(),
+        faulted.total_time(),
+        clean.images,
+        faulted.images
+    );
+    match faulted.job.fault_summary() {
+        Some(s) => println!("  {s}"),
+        None => println!("  (no faults hit the job this run)"),
+    }
+    assert_eq!(
+        clean.images, faulted.images,
+        "faults must not change output"
+    );
 }

@@ -35,10 +35,10 @@ pub mod prelude {
         convert_dataset, data_path_table, paper_cluster, run_naive, run_porthadoop,
         run_scidp_solution, run_scihadoop, run_vanilla, stage_nuwrf, SolutionKind,
     };
-    pub use mapreduce::{run_job, Cluster, Job, JobResult, TaskKind};
+    pub use mapreduce::{run_job, Cluster, FtConfig, Job, JobResult, TaskKind};
     pub use rframe::{read_table, sqldf, ColorMap, Column, DataFrame};
     pub use scidp::{run_scidp, Analysis, RJob, ScidpInput, WorkflowConfig, WorkflowReport};
     pub use scifmt::{Array, Codec, SncBuilder, SncFile};
-    pub use simnet::{ClusterSpec, CostModel, Sim};
+    pub use simnet::{ClusterSpec, CostModel, FaultPlan, Sim};
     pub use wrfgen::{generate_dataset, WrfSpec};
 }

@@ -155,3 +155,222 @@ fn failing_user_map_function_fails_the_job_not_the_process() {
         mapreduce::MrError("user code exploded".into())
     );
 }
+
+// ---------------------------------------------------------------------------
+// Fault injection: retried I/O errors, node death, and determinism under
+// faults. These drive a seeded byte-count job over a flat PFS file so the
+// correct output is known exactly and comparable bit-for-bit across runs.
+// ---------------------------------------------------------------------------
+
+mod faults {
+    use scidp_suite::mapreduce::{
+        counter_keys as keys, run_job, Cluster, FlatPfsFetcher, FtConfig, InputSplit, Job, MrError,
+        Payload, TaskInput,
+    };
+    use scidp_suite::pfs::PfsConfig;
+    use scidp_suite::simnet::{ClusterSpec, CostModel, FaultPlan};
+    use std::collections::BTreeMap;
+    use std::rc::Rc;
+
+    const INPUT: &str = "data/faultwc.bin";
+    const N_SPLITS: u64 = 8;
+
+    fn fault_cluster() -> Cluster {
+        let spec = ClusterSpec {
+            compute_nodes: 4,
+            storage_nodes: 1,
+            osts: 2,
+            slots_per_node: 2,
+            ..ClusterSpec::default()
+        };
+        let pfs_cfg = PfsConfig {
+            n_osts: 2,
+            ..PfsConfig::default()
+        };
+        let c = Cluster::new(spec, pfs_cfg, 1 << 16, 1, CostModel::default());
+        // Deterministic pattern bytes so the byte-count output is known.
+        let bytes: Vec<u8> = (0..8 * 1024u64).map(|i| (i % 7) as u8).collect();
+        c.pfs.borrow_mut().create(INPUT.to_string(), bytes);
+        c
+    }
+
+    fn byte_count_job(ft: FtConfig) -> Job {
+        let per = 8 * 1024 / N_SPLITS;
+        let splits: Vec<InputSplit> = (0..N_SPLITS)
+            .map(|i| InputSplit {
+                length: per,
+                locations: Vec::new(),
+                fetcher: Rc::new(FlatPfsFetcher {
+                    pfs_path: INPUT.to_string(),
+                    offset: i * per,
+                    len: per,
+                    sequential_chunks: 1,
+                }),
+            })
+            .collect();
+        Job {
+            name: "faultwc".into(),
+            splits,
+            map_fn: Rc::new(|input, ctx| {
+                let TaskInput::Bytes(b) = input else {
+                    return Err(MrError("expected bytes".into()));
+                };
+                let mut counts: BTreeMap<u8, usize> = BTreeMap::new();
+                for &x in &b {
+                    *counts.entry(x).or_default() += 1;
+                }
+                ctx.charge("scan", ctx.cost().scan_per_byte * b.len() as f64);
+                for (k, v) in counts {
+                    ctx.emit(format!("b{k}"), Payload::Bytes(v.to_string().into_bytes()));
+                }
+                Ok(())
+            }),
+            reduce_fn: Some(Rc::new(|key, values, ctx| {
+                let total: usize = values
+                    .iter()
+                    .map(|v| match v {
+                        Payload::Bytes(b) => String::from_utf8_lossy(b).parse::<usize>().unwrap(),
+                        _ => 0,
+                    })
+                    .sum();
+                ctx.emit(key, Payload::Bytes(total.to_string().into_bytes()));
+                Ok(())
+            })),
+            n_reducers: 2,
+            output_dir: "out".into(),
+            spill_to_pfs: false,
+            output_to_pfs: false,
+            ft,
+        }
+    }
+
+    /// Read the committed reduce output back from the HDFS datanodes,
+    /// sorted by path, so two runs can be compared byte for byte.
+    fn read_output(c: &Cluster) -> Vec<(String, Vec<u8>)> {
+        let h = c.hdfs.borrow();
+        let mut files = h.namenode.list_files_recursive("out").unwrap();
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        files
+            .iter()
+            .map(|f| {
+                let mut data = Vec::new();
+                for b in h.namenode.blocks(&f.path).unwrap() {
+                    data.extend_from_slice(&h.datanodes.get(b.locations()[0], b.id).unwrap());
+                }
+                (f.path.clone(), data)
+            })
+            .collect()
+    }
+
+    /// Run the job under `plan`; returns (elapsed, counters, output files).
+    fn run_with_plan(
+        plan: FaultPlan,
+    ) -> (
+        f64,
+        scidp_suite::mapreduce::Counters,
+        Vec<(String, Vec<u8>)>,
+    ) {
+        let mut c = fault_cluster();
+        c.sim.faults.install(plan);
+        let r = run_job(&mut c, byte_count_job(FtConfig::default())).unwrap();
+        let out = read_output(&c);
+        (r.elapsed(), r.counters, out)
+    }
+
+    /// The data-plane counters that must be exact regardless of faults.
+    /// (Meta counters — attempts, retries — legitimately differ.)
+    fn data_counters(cnt: &scidp_suite::mapreduce::Counters) -> Vec<(&'static str, f64)> {
+        [
+            keys::MAP_TASKS,
+            keys::REDUCE_TASKS,
+            keys::INPUT_BYTES,
+            keys::RECORDS_EMITTED,
+            keys::SHUFFLE_BYTES,
+        ]
+        .iter()
+        .map(|&k| (k, cnt.get(k)))
+        .collect()
+    }
+
+    #[test]
+    fn injected_read_failures_are_retried_and_output_is_exact() {
+        let (_, clean_cnt, clean_out) = run_with_plan(FaultPlan::none());
+        assert!(!clean_out.is_empty(), "reduce output committed");
+
+        let plan = FaultPlan::none().fail_read(INPUT, 2).fail_read(INPUT, 5);
+        let (_, cnt, out) = run_with_plan(plan);
+        assert_eq!(out, clean_out, "faulted run must produce identical bytes");
+        assert_eq!(data_counters(&cnt), data_counters(&clean_cnt));
+        assert_eq!(cnt.get(keys::TASK_RETRIES), 2.0, "one retry per fault");
+        assert_eq!(
+            cnt.get(keys::MAP_ATTEMPTS),
+            cnt.get(keys::MAP_TASKS) + 2.0,
+            "exactly two extra map attempts"
+        );
+    }
+
+    #[test]
+    fn node_kill_and_read_failures_survive_with_identical_output() {
+        // The acceptance scenario: one node killed mid-run plus two injected
+        // read failures; the job completes on the survivors with output
+        // byte-identical to the fault-free run.
+        let (_, clean_cnt, clean_out) = run_with_plan(FaultPlan::none());
+        let plan = FaultPlan::none()
+            .kill_node(1, 1.05)
+            .fail_read(INPUT, 2)
+            .fail_read(INPUT, 5);
+        let mut c = fault_cluster();
+        c.sim.faults.install(plan);
+        let r = run_job(&mut c, byte_count_job(FtConfig::default())).unwrap();
+        assert!(
+            c.sim.faults.injected_read_failures() >= 2,
+            "both planned read faults fired"
+        );
+        assert_eq!(read_output(&c), clean_out);
+        assert_eq!(data_counters(&r.counters), data_counters(&clean_cnt));
+        assert!(
+            r.counters.get(keys::TASK_RETRIES) >= 1.0,
+            "killed node's attempts were retried"
+        );
+        assert!(r.fault_summary().is_some(), "faults show up in the summary");
+    }
+
+    #[test]
+    fn same_seed_and_plan_reproduce_identical_timings() {
+        let plan = || {
+            FaultPlan::none()
+                .kill_node(2, 1.05)
+                .fail_read(INPUT, 3)
+                .with_random_read_failures(42, 0.05)
+        };
+        let (t1, c1, o1) = run_with_plan(plan());
+        let (t2, c2, o2) = run_with_plan(plan());
+        assert_eq!(t1, t2, "same plan + seed must be bit-identical in time");
+        assert_eq!(c1.get(keys::MAP_ATTEMPTS), c2.get(keys::MAP_ATTEMPTS));
+        assert_eq!(c1.get(keys::TASK_RETRIES), c2.get(keys::TASK_RETRIES));
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn exhausted_attempts_fail_the_job_cleanly() {
+        // Every read fails: attempts exhaust and the job returns the last
+        // task error as a clean MrError — no panic, no partial success.
+        let mut c = fault_cluster();
+        c.sim
+            .faults
+            .install(FaultPlan::none().with_random_read_failures(7, 1.0));
+        let err = run_job(&mut c, byte_count_job(FtConfig::default())).unwrap_err();
+        assert!(
+            err.0.contains("injected I/O error"),
+            "task error passes through unchanged: {err:?}"
+        );
+        let h = c.hdfs.borrow();
+        assert!(
+            h.namenode
+                .list_files_recursive("out")
+                .map(|f| f.is_empty())
+                .unwrap_or(true),
+            "no partial output committed"
+        );
+    }
+}

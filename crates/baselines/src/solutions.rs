@@ -69,15 +69,18 @@ impl SplitFetcher for HdfsWholeFileFetcher {
             &self.path,
             move |sim, data| {
                 if let Some(done) = dc.borrow_mut().take() {
-                    done(
-                        sim,
-                        Ok(mapreduce::FetchResult {
-                            input: mapreduce::TaskInput::Bytes(data),
-                            charges: Vec::new(),
-                            counters: Vec::new(),
-                            tag: String::new(),
-                        }),
-                    )
+                    match data {
+                        Ok(data) => done(
+                            sim,
+                            Ok(mapreduce::FetchResult {
+                                input: mapreduce::TaskInput::Bytes(data),
+                                charges: Vec::new(),
+                                counters: Vec::new(),
+                                tag: String::new(),
+                            }),
+                        ),
+                        Err(e) => done(sim, Err(mapreduce::MrError(format!("hdfs: {e}")))),
+                    }
                 }
             },
         );

@@ -100,7 +100,7 @@ pub fn process_text(
     let mut rctx = RCtx::new(ctx, cfg.logical_image, raster, scale);
     for (li, grid) in values.chunks(per_level).enumerate() {
         let lev = levs.f64_at(li * per_level) as usize;
-        let raster_img = rctx.image2d(grid, lat_n, lon_n, cfg.colormap);
+        let raster_img = rctx.image2d(grid, lat_n, lon_n, cfg.colormap)?;
         rctx.emit_image(format!("img/{file}/QR/{lev:04}"), &raster_img);
     }
     Ok(())

@@ -128,9 +128,10 @@ fn stage_input(cluster: &mut Cluster, backend: Backend, path: &str, data: Vec<u8
             let chunks: Vec<Vec<u8>> = data.chunks(block).map(<[u8]>::to_vec).collect();
             for c in chunks {
                 let len = c.len() as u64;
+                let crc = scirng::crc32c(&c);
                 let id = h
                     .namenode
-                    .add_block(path, len, vec![home])
+                    .add_block(path, len, vec![home], crc)
                     .expect("file exists");
                 h.datanodes.put(home, id, Arc::new(c));
             }

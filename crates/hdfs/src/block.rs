@@ -60,6 +60,18 @@ pub struct Block {
     /// extent occupies, used for scheduling weight).
     pub len: u64,
     pub kind: BlockKind,
+    /// CRC-32C of the block payload, recorded when the write pipeline
+    /// commits. Every replica read is verified against it; `0` marks an
+    /// unchecksummed block (dummy blocks, hand-built test state) and skips
+    /// verification.
+    pub crc: u32,
+}
+
+/// Fault-plan key for reads of a block — the string corruption specs in
+/// [`simnet::FaultPlan`] address HDFS replicas by (via
+/// [`simnet::FaultPlan::corrupt_replica`]).
+pub fn block_fault_key(id: BlockId) -> String {
+    format!("blk#{}", id.0)
 }
 
 impl Block {
@@ -98,6 +110,7 @@ mod tests {
                 offset: 0,
                 len: 100,
             }),
+            crc: 0,
         };
         assert!(b.is_dummy());
         assert!(b.locations().is_empty());
@@ -112,9 +125,16 @@ mod tests {
             kind: BlockKind::Real {
                 locations: vec![NodeId(3), NodeId(1)],
             },
+            crc: 0xDEAD_BEEF,
         };
         assert!(!b.is_dummy());
         assert_eq!(b.locations(), &[NodeId(3), NodeId(1)]);
         assert!(b.virtual_block().is_none());
+    }
+
+    #[test]
+    fn fault_keys_are_stable_per_block() {
+        assert_eq!(block_fault_key(BlockId(7)), "blk#7");
+        assert_ne!(block_fault_key(BlockId(1)), block_fault_key(BlockId(2)));
     }
 }

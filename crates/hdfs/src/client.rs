@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use simnet::{NodeId, Sim, Topology};
 
-use crate::block::Block;
+use crate::block::{block_fault_key, Block};
 use crate::namenode::NsError;
 use crate::SharedHdfs;
 
@@ -28,6 +28,12 @@ pub enum HdfsError {
     NoReplica,
     /// Every replica of the block sits on a node the fault plan has killed.
     NodeDead,
+    /// Every live replica of the block delivers bytes that fail CRC-32C
+    /// verification — there is no clean copy left to repair from.
+    Integrity {
+        block: u64,
+        replicas: usize,
+    },
 }
 
 impl fmt::Display for HdfsError {
@@ -37,8 +43,26 @@ impl fmt::Display for HdfsError {
             HdfsError::DummyBlock => write!(f, "cannot read a dummy block from DataNodes"),
             HdfsError::NoReplica => write!(f, "block has no replica"),
             HdfsError::NodeDead => write!(f, "all replicas are on dead nodes"),
+            HdfsError::Integrity { block, replicas } => write!(
+                f,
+                "IntegrityError: block blk#{block}: all {replicas} live replicas failed crc32c verification"
+            ),
         }
     }
+}
+
+/// Cluster-wide integrity accounting, updated by [`read_block`]. Jobs fold
+/// deltas of these into their counters for attribution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IntegrityStats {
+    /// Payload bytes that passed CRC-32C verification on delivery.
+    pub verified_bytes: u64,
+    /// Replica deliveries whose bytes failed verification.
+    pub detected: u64,
+    /// Block reads that met corruption but completed from another replica.
+    pub repaired: u64,
+    /// Block reads abandoned because every live replica was corrupt.
+    pub failed: u64,
 }
 
 impl std::error::Error for HdfsError {}
@@ -96,10 +120,13 @@ fn hop_step(
         // attempt), drop the block on the floor but still drive the chain
         // to completion so the writer's `done` callback can clean up.
         {
+            // The pipeline checksums the payload once at commit; every
+            // replica read verifies against this.
+            let crc = scirng::crc32c(&data);
             let mut h = st.hdfs.borrow_mut();
             if let Ok(id) = h
                 .namenode
-                .add_block(&st.path, data.len() as u64, targets.clone())
+                .add_block(&st.path, data.len() as u64, targets.clone(), crc)
             {
                 for t in &targets {
                     h.datanodes.put(*t, id, data.clone());
@@ -159,7 +186,99 @@ pub fn write_file(
     Ok(())
 }
 
+/// One replica transfer scheduled within a block read.
+struct ReplicaAttempt {
+    owner: NodeId,
+    data: Arc<Vec<u8>>,
+    corrupt: bool,
+}
+
+struct BlockReadState {
+    topo: Topology,
+    hdfs: SharedHdfs,
+    reader: NodeId,
+    /// Stored CRC-32C of the block (0 = unchecksummed, skip verification).
+    crc: u32,
+    key: String,
+    nth: u64,
+    attempts: Vec<ReplicaAttempt>,
+    #[allow(clippy::type_complexity)]
+    done: RefCell<Option<Box<dyn FnOnce(&mut Sim, Arc<Vec<u8>>)>>>,
+}
+
+/// Schedule the timed transfer of attempt `i`: RPC, disk seek, data flow.
+fn attempt_step(sim: &mut Sim, st: Rc<BlockReadState>, i: usize) {
+    let owner = st.attempts[i].owner;
+    let data = st.attempts[i].data.clone();
+    let bytes = sim.cost.lbytes(data.len());
+    let seek = sim.cost.seek_s;
+    let rpc = sim.cost.rpc_s;
+    let flow_path = st.topo.path_remote_disk_read(owner, st.reader);
+    let disk = flow_path[0];
+    let seek_bytes = seek * sim.net.resource(disk).capacity;
+    let st2 = st.clone();
+    sim.after(rpc, move |sim| {
+        let seek_flow = if seek_bytes.is_finite() {
+            seek_bytes
+        } else {
+            0.0
+        };
+        sim.start_flow(vec![disk], seek_flow, move |sim| {
+            sim.start_flow(flow_path, bytes, move |sim| {
+                deliver_attempt(sim, st2, i, data);
+            });
+        });
+    });
+}
+
+/// A replica transfer landed: materialize the delivered copy (the fault
+/// plan may flip one byte in flight — the stored replica stays clean),
+/// verify it against the block checksum, and either hand it over or fall
+/// back to the next replica.
+fn deliver_attempt(sim: &mut Sim, st: Rc<BlockReadState>, i: usize, data: Arc<Vec<u8>>) {
+    let delivered = if st.attempts[i].corrupt && !data.is_empty() {
+        let (selector, mask) = sim.faults.corruption_pattern(&st.key, st.nth);
+        let mut copy = data.as_ref().clone();
+        let pos = (selector % copy.len() as u64) as usize;
+        copy[pos] ^= mask;
+        Arc::new(copy)
+    } else {
+        data
+    };
+    let ok = st.crc == 0 || scirng::crc32c(&delivered) == st.crc;
+    if ok {
+        {
+            let mut h = st.hdfs.borrow_mut();
+            if st.crc != 0 {
+                h.integrity.verified_bytes += delivered.len() as u64;
+            }
+            if i > 0 {
+                h.integrity.repaired += 1;
+            }
+        }
+        let cb = st
+            .done
+            .borrow_mut()
+            .take()
+            .expect("read_block completion fires once");
+        cb(sim, delivered);
+    } else {
+        st.hdfs.borrow_mut().integrity.detected += 1;
+        // The planning phase only schedules a corrupt attempt when a clean
+        // replica follows it, so `i + 1` is always in bounds here.
+        attempt_step(sim, st, i + 1);
+    }
+}
+
 /// Read one real block into `reader`'s memory, preferring a local replica.
+///
+/// Every delivered copy of a checksummed block is verified against the
+/// CRC-32C the write pipeline recorded. A copy that fails verification is
+/// discarded and the next live replica is tried — each fallback costs a
+/// full extra transfer. If every live replica would deliver corrupt bytes,
+/// the read fails synchronously with [`HdfsError::Integrity`]; corrupt
+/// data is never handed to `done`. Blocks with `crc == 0` (hand-built
+/// state) skip verification, so corruption passes through silently there.
 pub fn read_block(
     sim: &mut Sim,
     topo: &Topology,
@@ -176,39 +295,73 @@ pub fn read_block(
         return Err(HdfsError::NoReplica);
     }
     // Skip replicas on killed nodes (a live DataNode would be picked by a
-    // real DFSClient after a connect timeout; we pick it directly).
+    // real DFSClient after a connect timeout; we pick it directly). The
+    // reader-local replica, if any, is tried first.
     let now = sim.now().secs();
-    let alive: Vec<NodeId> = locations
+    let mut candidates: Vec<NodeId> = locations
         .iter()
         .copied()
         .filter(|n| !sim.faults.node_dead(n.0, now))
         .collect();
-    let owner = *alive
-        .iter()
-        .find(|&&n| n == reader)
-        .or_else(|| alive.first())
-        .ok_or(HdfsError::NodeDead)?;
-    let data = hdfs
-        .borrow()
-        .datanodes
-        .get(owner, block.id)
-        .ok_or(HdfsError::NoReplica)?;
-    let bytes = sim.cost.lbytes(data.len());
-    let seek = sim.cost.seek_s;
-    let rpc = sim.cost.rpc_s;
-    let flow_path = topo.path_remote_disk_read(owner, reader);
-    let disk = flow_path[0];
-    let seek_bytes = seek * sim.net.resource(disk).capacity;
-    sim.after(rpc, move |sim| {
-        let seek_flow = if seek_bytes.is_finite() {
-            seek_bytes
-        } else {
-            0.0
-        };
-        sim.start_flow(vec![disk], seek_flow, move |sim| {
-            sim.start_flow(flow_path, bytes, move |sim| done(sim, data));
+    if candidates.is_empty() {
+        return Err(HdfsError::NodeDead);
+    }
+    if let Some(pos) = candidates.iter().position(|&n| n == reader) {
+        let local = candidates.remove(pos);
+        candidates.insert(0, local);
+    }
+    let key = block_fault_key(block.id);
+    let nth = sim.faults.begin_block_read(&key);
+    // The fault plan is deterministic, so each candidate's verdict is known
+    // up front; stop at the first replica whose delivery will be accepted.
+    // (Unchecksummed blocks accept anything — verification cannot catch
+    // their corruption.)
+    let mut attempts = Vec::new();
+    let mut clean_found = false;
+    {
+        let h = hdfs.borrow();
+        for &cand in &candidates {
+            let Some(data) = h.datanodes.get(cand, block.id) else {
+                // Listed location without a copy: stale cluster state;
+                // skip it like a dead node.
+                continue;
+            };
+            let corrupt = sim.faults.replica_corrupt(&key, nth, cand.0);
+            let accepted = !corrupt || block.crc == 0;
+            attempts.push(ReplicaAttempt {
+                owner: cand,
+                data,
+                corrupt,
+            });
+            if accepted {
+                clean_found = true;
+                break;
+            }
+        }
+    }
+    if attempts.is_empty() {
+        return Err(HdfsError::NoReplica);
+    }
+    if !clean_found {
+        let mut h = hdfs.borrow_mut();
+        h.integrity.detected += attempts.len() as u64;
+        h.integrity.failed += 1;
+        return Err(HdfsError::Integrity {
+            block: block.id.0,
+            replicas: attempts.len(),
         });
+    }
+    let st = Rc::new(BlockReadState {
+        topo: topo.clone(),
+        hdfs: hdfs.clone(),
+        reader,
+        crc: block.crc,
+        key,
+        nth,
+        attempts,
+        done: RefCell::new(Some(Box::new(done))),
     });
+    attempt_step(sim, st, 0);
     Ok(())
 }
 
@@ -219,18 +372,18 @@ struct ReadState {
     blocks: Vec<Block>,
     buf: RefCell<Vec<u8>>,
     #[allow(clippy::type_complexity)]
-    done: RefCell<Option<Box<dyn FnOnce(&mut Sim, Vec<u8>)>>>,
+    done: RefCell<Option<Box<dyn FnOnce(&mut Sim, Result<Vec<u8>, HdfsError>)>>>,
 }
 
 fn read_step(sim: &mut Sim, st: Rc<ReadState>, idx: usize) {
     if idx >= st.blocks.len() {
         let cb = st.done.borrow_mut().take().expect("read completion");
         let buf = std::mem::take(&mut *st.buf.borrow_mut());
-        cb(sim, buf);
+        cb(sim, Ok(buf));
         return;
     }
     let st2 = st.clone();
-    read_block(
+    let res = read_block(
         sim,
         &st.topo,
         &st.hdfs,
@@ -240,18 +393,27 @@ fn read_step(sim: &mut Sim, st: Rc<ReadState>, idx: usize) {
             st2.buf.borrow_mut().extend_from_slice(&data);
             read_step(sim, st2.clone(), idx + 1);
         },
-    )
-    .expect("block readable");
+    );
+    if let Err(e) = res {
+        // Mid-stream failure (dead nodes, unrepairable corruption): the
+        // per-block callback was dropped unscheduled, so the stream's own
+        // completion cell is still armed — fail the whole read through it.
+        if let Some(cb) = st.done.borrow_mut().take() {
+            sim.after(0.0, move |sim| cb(sim, Err(e)));
+        }
+    }
 }
 
 /// Read a whole file (blocks streamed sequentially, like `DFSInputStream`).
+/// `done` receives the bytes, or the first error a block read hit (a dummy
+/// block anywhere in the file is still rejected synchronously).
 pub fn read_file(
     sim: &mut Sim,
     topo: &Topology,
     hdfs: &SharedHdfs,
     reader: NodeId,
     path: &str,
-    done: impl FnOnce(&mut Sim, Vec<u8>) + 'static,
+    done: impl FnOnce(&mut Sim, Result<Vec<u8>, HdfsError>) + 'static,
 ) -> Result<(), HdfsError> {
     let blocks: Vec<Block> = hdfs.borrow().namenode.blocks(path)?.to_vec();
     if blocks.iter().any(|b| b.is_dummy()) {
@@ -312,7 +474,7 @@ mod tests {
             data.clone(),
             move |sim| {
                 read_file(sim, &t2, &h2, NodeId(1), "f", move |_, bytes| {
-                    *g.borrow_mut() = Some(bytes);
+                    *g.borrow_mut() = Some(bytes.expect("clean read"));
                 })
                 .unwrap();
             },
@@ -359,7 +521,7 @@ mod tests {
                 let id = h
                     .borrow_mut()
                     .namenode
-                    .add_block("f", 64, vec![NodeId(0)])
+                    .add_block("f", 64, vec![NodeId(0)], scirng::crc32c(&[0u8; 64]))
                     .unwrap();
                 h.borrow_mut()
                     .datanodes
@@ -441,6 +603,120 @@ mod tests {
     }
 
     #[test]
+    fn clean_reads_accumulate_verified_bytes() {
+        let (mut sim, topo, hdfs) = setup(2, 1);
+        let h2 = hdfs.clone();
+        let t2 = topo.clone();
+        write_file(
+            &mut sim,
+            &topo,
+            &hdfs,
+            NodeId(0),
+            "f",
+            vec![3u8; 64],
+            move |sim| {
+                read_file(sim, &t2, &h2, NodeId(1), "f", |_, bytes| {
+                    assert_eq!(bytes.unwrap(), vec![3u8; 64]);
+                })
+                .unwrap();
+            },
+        )
+        .unwrap();
+        sim.run();
+        let stats = hdfs.borrow().integrity;
+        assert_eq!(stats.verified_bytes, 64);
+        assert_eq!(stats.detected, 0);
+        assert_eq!(stats.repaired, 0);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn corrupt_replica_repaired_from_alternate() {
+        use crate::block::block_fault_key;
+        use simnet::FaultPlan;
+        let (mut sim, topo, hdfs) = setup(3, 2);
+        let data: Vec<u8> = (0..64u8).collect();
+        write_file(&mut sim, &topo, &hdfs, NodeId(1), "f", data.clone(), |_| {}).unwrap();
+        sim.run();
+        let block = hdfs.borrow().namenode.blocks("f").unwrap()[0].clone();
+        assert_eq!(block.locations()[0], NodeId(1), "writer-local first");
+        assert_eq!(block.crc, scirng::crc32c(&data));
+        // Corrupt the reader-local copy; the read must detect the flip and
+        // recover from the other replica, delivering the true bytes.
+        sim.faults
+            .install(FaultPlan::none().corrupt_replica(block_fault_key(block.id), 1));
+        let got = Rc::new(RefCell::new(None));
+        let g = got.clone();
+        read_block(&mut sim, &topo, &hdfs, NodeId(1), &block, move |_, d| {
+            *g.borrow_mut() = Some(d.as_ref().clone());
+        })
+        .unwrap();
+        sim.run();
+        assert_eq!(got.borrow_mut().take().unwrap(), data, "repair is exact");
+        let stats = hdfs.borrow().integrity;
+        assert_eq!(stats.detected, 1);
+        assert_eq!(stats.repaired, 1);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.verified_bytes, 64, "only the good copy counts");
+        // The stored replica itself was never touched: a later read with no
+        // plan installed is clean.
+        sim.faults.install(FaultPlan::none());
+        let got2 = Rc::new(RefCell::new(None));
+        let g2 = got2.clone();
+        read_block(&mut sim, &topo, &hdfs, NodeId(1), &block, move |_, d| {
+            *g2.borrow_mut() = Some(d.as_ref().clone());
+        })
+        .unwrap();
+        sim.run();
+        assert_eq!(got2.borrow_mut().take().unwrap(), data);
+    }
+
+    #[test]
+    fn all_replicas_corrupt_fails_typed_not_wrong_data() {
+        use crate::block::block_fault_key;
+        use simnet::FaultPlan;
+        let (mut sim, topo, hdfs) = setup(3, 2);
+        write_file(
+            &mut sim,
+            &topo,
+            &hdfs,
+            NodeId(0),
+            "f",
+            vec![9u8; 64],
+            |_| {},
+        )
+        .unwrap();
+        sim.run();
+        let block = hdfs.borrow().namenode.blocks("f").unwrap()[0].clone();
+        sim.faults
+            .install(FaultPlan::none().corrupt_all_replicas(block_fault_key(block.id)));
+        let err = read_block(&mut sim, &topo, &hdfs, NodeId(0), &block, |_, _| {
+            panic!("corrupt data must never be delivered");
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, HdfsError::Integrity { replicas: 2, .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("IntegrityError"), "{err}");
+        let stats = hdfs.borrow().integrity;
+        assert_eq!(stats.detected, 2);
+        assert_eq!(stats.failed, 1);
+        // And through the whole-file path the error reaches the callback.
+        let got = Rc::new(RefCell::new(None));
+        let g = got.clone();
+        read_file(&mut sim, &topo, &hdfs, NodeId(0), "f", move |_, r| {
+            *g.borrow_mut() = Some(r);
+        })
+        .unwrap();
+        sim.run();
+        assert!(matches!(
+            got.borrow_mut().take().unwrap(),
+            Err(HdfsError::Integrity { .. })
+        ));
+    }
+
+    #[test]
     fn empty_file_roundtrip() {
         let (mut sim, topo, hdfs) = setup(2, 1);
         let hit = Rc::new(RefCell::new(false));
@@ -449,7 +725,7 @@ mod tests {
         let hitc = hit.clone();
         write_file(&mut sim, &topo, &hdfs, NodeId(0), "e", vec![], move |sim| {
             read_file(sim, &t2, &h2, NodeId(0), "e", move |_, bytes| {
-                assert!(bytes.is_empty());
+                assert!(bytes.expect("clean read").is_empty());
                 *hitc.borrow_mut() = true;
             })
             .unwrap();

@@ -29,13 +29,18 @@ impl DataNodes {
         self.stores[node.0 as usize].insert(id, data);
     }
 
-    /// Fetch a replica from a node (None if the node has no copy).
+    /// Fetch a replica from a node (None if the node has no copy or the
+    /// node id is out of range).
     pub fn get(&self, node: NodeId, id: BlockId) -> Option<Arc<Vec<u8>>> {
-        self.stores[node.0 as usize].get(&id).cloned()
+        self.stores
+            .get(node.0 as usize)
+            .and_then(|s| s.get(&id).cloned())
     }
 
     pub fn has(&self, node: NodeId, id: BlockId) -> bool {
-        self.stores[node.0 as usize].contains_key(&id)
+        self.stores
+            .get(node.0 as usize)
+            .is_some_and(|s| s.contains_key(&id))
     }
 
     /// Reclaim deleted blocks everywhere.

@@ -25,16 +25,18 @@ pub mod namenode;
 use std::cell::RefCell;
 use std::rc::Rc;
 
-pub use block::{Block, BlockId, BlockKind, VirtualBlock};
-pub use client::{read_block, read_file, write_file, HdfsError};
+pub use block::{block_fault_key, Block, BlockId, BlockKind, VirtualBlock};
+pub use client::{read_block, read_file, write_file, HdfsError, IntegrityStats};
 pub use datanode::DataNodes;
-pub use namenode::{FileStatus, NameNode};
+pub use namenode::{EditLog, EditOp, FileStatus, NameNode};
 
 /// Combined HDFS state (NameNode + DataNodes).
 #[derive(Debug)]
 pub struct Hdfs {
     pub namenode: NameNode,
     pub datanodes: DataNodes,
+    /// Checksum-verification accounting across all block reads.
+    pub integrity: IntegrityStats,
 }
 
 impl Hdfs {
@@ -44,7 +46,22 @@ impl Hdfs {
         Hdfs {
             namenode: NameNode::new(n_nodes, block_size, replication),
             datanodes: DataNodes::new(n_nodes),
+            integrity: IntegrityStats::default(),
         }
+    }
+
+    /// Simulate a NameNode kill + restart: throw away the in-memory
+    /// namespace and rebuild it from the journal (last fsimage checkpoint
+    /// plus the edit-log tail). DataNode block stores are untouched, as in
+    /// real HDFS, where block data outlives the master.
+    pub fn restart_namenode(&mut self) {
+        let journal = self.namenode.journal().clone();
+        let (n, bs, repl) = (
+            self.namenode.n_nodes(),
+            self.namenode.block_size,
+            self.namenode.replication,
+        );
+        self.namenode = NameNode::recover(&journal, n, bs, repl);
     }
 
     pub fn shared(n_nodes: usize, block_size: usize, replication: usize) -> SharedHdfs {

@@ -30,10 +30,92 @@ impl fmt::Display for NsError {
 
 impl std::error::Error for NsError {}
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum INode {
     File(Vec<Block>),
     Dir(BTreeMap<String, INode>),
+}
+
+/// One namespace mutation, as recorded in the write-ahead edit log.
+///
+/// Ops are logged *before* they are applied. A failed op (e.g. creating an
+/// existing file) therefore appears in the log too; replay drives it through
+/// the same code path, where it fails identically, so recovery converges on
+/// the killed namenode's exact state either way.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EditOp {
+    Mkdirs {
+        path: String,
+    },
+    CreateFile {
+        path: String,
+    },
+    AddBlock {
+        path: String,
+        len: u64,
+        locations: Vec<NodeId>,
+        crc: u32,
+    },
+    AddDummyBlock {
+        path: String,
+        len: u64,
+        descriptor: VirtualBlock,
+    },
+    Rename {
+        from: String,
+        to: String,
+    },
+    Delete {
+        path: String,
+    },
+}
+
+/// Namespace snapshot taken at checkpoint time (the `fsimage` file).
+#[derive(Clone, Debug)]
+struct FsImage {
+    root: BTreeMap<String, INode>,
+    next_block: u64,
+    rr: usize,
+}
+
+/// The NameNode's persistent state: the last fsimage checkpoint plus the
+/// tail of edits since. Conceptually this lives on the master's disk — it
+/// survives a simulated namenode kill, and [`NameNode::recover`] rebuilds
+/// the full namespace from it.
+#[derive(Clone, Debug)]
+pub struct EditLog {
+    fsimage: Option<FsImage>,
+    edits: Vec<EditOp>,
+    /// Automatic checkpoint threshold: once this many edits accumulate, the
+    /// namenode writes a new fsimage and truncates the log.
+    pub checkpoint_interval: usize,
+    /// Checkpoints taken so far (diagnostics).
+    pub checkpoints: u64,
+}
+
+impl EditLog {
+    fn new(checkpoint_interval: usize) -> EditLog {
+        EditLog {
+            fsimage: None,
+            edits: Vec::new(),
+            checkpoint_interval: checkpoint_interval.max(1),
+            checkpoints: 0,
+        }
+    }
+
+    /// Edits accumulated since the last checkpoint.
+    pub fn n_edits(&self) -> usize {
+        self.edits.len()
+    }
+
+    pub fn has_checkpoint(&self) -> bool {
+        self.fsimage.is_some()
+    }
+
+    /// The edit tail (oldest first) — what replay applies after the image.
+    pub fn edits(&self) -> &[EditOp] {
+        &self.edits
+    }
 }
 
 /// Listing entry (`FileStatus` in Hadoop).
@@ -60,7 +142,12 @@ pub struct NameNode {
     rr: usize,
     /// Metadata operations served (for diagnostics / RPC accounting).
     pub ops: u64,
+    /// Write-ahead edit log + fsimage checkpoints (crash consistency).
+    journal: EditLog,
 }
+
+/// Default edits between automatic fsimage checkpoints.
+pub const DEFAULT_CHECKPOINT_INTERVAL: usize = 64;
 
 fn split_path(path: &str) -> Vec<&str> {
     path.split('/').filter(|s| !s.is_empty()).collect()
@@ -82,7 +169,116 @@ impl NameNode {
             replication,
             rr: 0,
             ops: 0,
+            journal: EditLog::new(DEFAULT_CHECKPOINT_INTERVAL),
         }
+    }
+
+    /// The persistent journal (what survives a namenode kill).
+    pub fn journal(&self) -> &EditLog {
+        &self.journal
+    }
+
+    pub fn set_checkpoint_interval(&mut self, every: usize) {
+        self.journal.checkpoint_interval = every.max(1);
+    }
+
+    /// Write an fsimage snapshot and truncate the edit log (the secondary
+    /// namenode's job in real Hadoop).
+    pub fn checkpoint(&mut self) {
+        self.journal.fsimage = Some(FsImage {
+            root: self.root.clone(),
+            next_block: self.next_block,
+            rr: self.rr,
+        });
+        self.journal.edits.clear();
+        self.journal.checkpoints += 1;
+    }
+
+    fn maybe_checkpoint(&mut self) {
+        if self.journal.edits.len() >= self.journal.checkpoint_interval {
+            self.checkpoint();
+        }
+    }
+
+    fn log_edit(&mut self, op: EditOp) {
+        self.journal.edits.push(op);
+    }
+
+    /// Rebuild a NameNode from a journal — the crash-recovery path. Starts
+    /// from the last fsimage checkpoint (or an empty namespace) and replays
+    /// the edit tail through the normal mutation code, so the recovered
+    /// namespace — virtual files, dummy blocks, block→PFS mappings — is
+    /// identical to the killed namenode's (compare [`Self::namespace_dump`]).
+    pub fn recover(
+        journal: &EditLog,
+        n_nodes: usize,
+        block_size: usize,
+        replication: usize,
+    ) -> NameNode {
+        let mut nn = NameNode::new(n_nodes, block_size, replication);
+        nn.journal.checkpoint_interval = journal.checkpoint_interval;
+        nn.journal.checkpoints = journal.checkpoints;
+        if let Some(img) = &journal.fsimage {
+            nn.root = img.root.clone();
+            nn.next_block = img.next_block;
+            nn.rr = img.rr;
+            nn.journal.fsimage = Some(img.clone());
+        }
+        for op in &journal.edits {
+            nn.replay(op.clone());
+        }
+        nn
+    }
+
+    /// Apply one logged op through the public mutators (which re-log it, so
+    /// the recovered journal tail matches the original's). Failures are
+    /// deliberately ignored: an op that failed live fails identically here.
+    fn replay(&mut self, op: EditOp) {
+        let _ = match op {
+            EditOp::Mkdirs { path } => self.mkdirs(&path),
+            EditOp::CreateFile { path } => self.create_file(&path),
+            EditOp::AddBlock {
+                path,
+                len,
+                locations,
+                crc,
+            } => self.add_block(&path, len, locations, crc).map(|_| ()),
+            EditOp::AddDummyBlock {
+                path,
+                len,
+                descriptor,
+            } => self.add_dummy_block(&path, len, descriptor).map(|_| ()),
+            EditOp::Rename { from, to } => self.rename(&from, &to),
+            EditOp::Delete { path } => self.delete(&path).map(|_| ()),
+        };
+    }
+
+    /// Deterministic dump of the entire namespace: directory tree plus
+    /// per-file block lists (ids, lengths, checksums, locations, virtual
+    /// descriptors). Two namenodes with equal dumps serve identical
+    /// metadata; the kill/restart test compares dumps across recovery.
+    pub fn namespace_dump(&self) -> String {
+        fn walk(prefix: &str, nodes: &BTreeMap<String, INode>, out: &mut String) {
+            for (name, node) in nodes {
+                let path = if prefix.is_empty() {
+                    name.clone()
+                } else {
+                    format!("{prefix}/{name}")
+                };
+                match node {
+                    INode::Dir(children) => {
+                        out.push_str(&format!("dir {path}\n"));
+                        walk(&path, children, out);
+                    }
+                    INode::File(blocks) => {
+                        out.push_str(&format!("file {path} {blocks:?}\n"));
+                    }
+                }
+            }
+        }
+        let mut out = format!("next_block={}\n", self.next_block);
+        walk("", &self.root, &mut out);
+        out
     }
 
     fn dir_mut(
@@ -120,8 +316,13 @@ impl NameNode {
     /// `hdfs dfs -mkdir -p`.
     pub fn mkdirs(&mut self, path: &str) -> Result<(), NsError> {
         self.ops += 1;
+        self.log_edit(EditOp::Mkdirs {
+            path: path.to_string(),
+        });
         let parts = split_path(path);
-        self.dir_mut(&parts, true).map(|_| ())
+        let r = self.dir_mut(&parts, true).map(|_| ());
+        self.maybe_checkpoint();
+        r
     }
 
     pub fn exists(&self, path: &str) -> bool {
@@ -146,6 +347,15 @@ impl NameNode {
     /// already exists.
     pub fn create_file(&mut self, path: &str) -> Result<(), NsError> {
         self.ops += 1;
+        self.log_edit(EditOp::CreateFile {
+            path: path.to_string(),
+        });
+        let r = self.create_file_inner(path);
+        self.maybe_checkpoint();
+        r
+    }
+
+    fn create_file_inner(&mut self, path: &str) -> Result<(), NsError> {
         let parts = split_path(path);
         let (name, dirs) = parts
             .split_last()
@@ -175,23 +385,37 @@ impl NameNode {
         targets
     }
 
-    /// Allocate and append a *real* block to a file.
+    /// Allocate and append a *real* block to a file. `crc` is the CRC-32C
+    /// of the block payload as committed by the write pipeline (`0` for
+    /// unchecksummed hand-built state; reads then skip verification).
     pub fn add_block(
         &mut self,
         path: &str,
         len: u64,
         locations: Vec<NodeId>,
+        crc: u32,
     ) -> Result<BlockId, NsError> {
         self.ops += 1;
+        self.log_edit(EditOp::AddBlock {
+            path: path.to_string(),
+            len,
+            locations: locations.clone(),
+            crc,
+        });
         let id = BlockId(self.next_block);
         self.next_block += 1;
         let block = Block {
             id,
             len,
             kind: BlockKind::Real { locations },
+            crc,
         };
-        self.file_blocks_mut(path)?.push(block);
-        Ok(id)
+        let r = self.file_blocks_mut(path).map(|blocks| {
+            blocks.push(block);
+            id
+        });
+        self.maybe_checkpoint();
+        r
     }
 
     /// Append a *dummy* block mapping PFS data — the Data Mapper's write
@@ -203,15 +427,25 @@ impl NameNode {
         descriptor: VirtualBlock,
     ) -> Result<BlockId, NsError> {
         self.ops += 1;
+        self.log_edit(EditOp::AddDummyBlock {
+            path: path.to_string(),
+            len,
+            descriptor: descriptor.clone(),
+        });
         let id = BlockId(self.next_block);
         self.next_block += 1;
         let block = Block {
             id,
             len,
             kind: BlockKind::Dummy(descriptor),
+            crc: 0,
         };
-        self.file_blocks_mut(path)?.push(block);
-        Ok(id)
+        let r = self.file_blocks_mut(path).map(|blocks| {
+            blocks.push(block);
+            id
+        });
+        self.maybe_checkpoint();
+        r
     }
 
     fn file_blocks_mut(&mut self, path: &str) -> Result<&mut Vec<Block>, NsError> {
@@ -308,6 +542,16 @@ impl NameNode {
     /// fails if the destination already exists.
     pub fn rename(&mut self, from: &str, to: &str) -> Result<(), NsError> {
         self.ops += 1;
+        self.log_edit(EditOp::Rename {
+            from: from.to_string(),
+            to: to.to_string(),
+        });
+        let r = self.rename_inner(from, to);
+        self.maybe_checkpoint();
+        r
+    }
+
+    fn rename_inner(&mut self, from: &str, to: &str) -> Result<(), NsError> {
         let fparts = split_path(from);
         let (fname, fdirs) = fparts
             .split_last()
@@ -350,6 +594,15 @@ impl NameNode {
     /// to reclaim on DataNodes.
     pub fn delete(&mut self, path: &str) -> Result<Vec<BlockId>, NsError> {
         self.ops += 1;
+        self.log_edit(EditOp::Delete {
+            path: path.to_string(),
+        });
+        let r = self.delete_inner(path);
+        self.maybe_checkpoint();
+        r
+    }
+
+    fn delete_inner(&mut self, path: &str) -> Result<Vec<BlockId>, NsError> {
         let parts = split_path(path);
         let (name, dirs) = parts
             .split_last()
@@ -410,8 +663,8 @@ mod tests {
     fn blocks_accumulate_and_len_sums() {
         let mut n = nn();
         n.create_file("f").unwrap();
-        n.add_block("f", 100, vec![NodeId(0)]).unwrap();
-        n.add_block("f", 28, vec![NodeId(1)]).unwrap();
+        n.add_block("f", 100, vec![NodeId(0)], 0).unwrap();
+        n.add_block("f", 28, vec![NodeId(1)], 0).unwrap();
         assert_eq!(n.file_len("f").unwrap(), 128);
         assert_eq!(n.blocks("f").unwrap().len(), 2);
         assert!(matches!(n.blocks("g"), Err(NsError::NotFound(_))));
@@ -462,7 +715,7 @@ mod tests {
         let mut n = nn();
         n.create_file("d/x").unwrap();
         n.create_file("d/sub/y").unwrap();
-        n.add_block("d/x", 10, vec![NodeId(0)]).unwrap();
+        n.add_block("d/x", 10, vec![NodeId(0)], 0).unwrap();
         let ls = n.list_status("d").unwrap();
         assert_eq!(ls.len(), 2);
         assert_eq!(ls[0].path, "d/sub");
@@ -476,12 +729,77 @@ mod tests {
         assert_eq!(single.len(), 1);
     }
 
+    fn busy_namespace(n: &mut NameNode) {
+        n.mkdirs("warm/depth/one").unwrap();
+        n.create_file("warm/f1").unwrap();
+        n.add_block("warm/f1", 100, vec![NodeId(0)], 0xAAAA_0001)
+            .unwrap();
+        n.add_block("warm/f1", 28, vec![NodeId(1)], 0xAAAA_0002)
+            .unwrap();
+        n.create_file("mirror/plot.nc/QR").unwrap();
+        n.add_dummy_block(
+            "mirror/plot.nc/QR",
+            4096,
+            VirtualBlock::SciSlab {
+                pfs_path: "out/plot.nc".into(),
+                var_path: "QR".into(),
+                start: vec![0, 0],
+                count: vec![4, 8],
+            },
+        )
+        .unwrap();
+        n.create_file("tmp/attempt_0").unwrap();
+        n.rename("tmp/attempt_0", "out/part-0").unwrap();
+        n.create_file("junk").unwrap();
+        n.delete("junk").unwrap();
+        // A failed op, to prove replay re-fails it identically.
+        let _ = n.create_file("warm/f1");
+    }
+
+    #[test]
+    fn journal_replay_rebuilds_identical_namespace() {
+        let mut n = nn();
+        busy_namespace(&mut n);
+        assert!(!n.journal().has_checkpoint(), "interval not reached");
+        let recovered = NameNode::recover(n.journal(), 4, 128, 1);
+        assert_eq!(recovered.namespace_dump(), n.namespace_dump());
+        assert_eq!(recovered.journal().n_edits(), n.journal().n_edits());
+        // Block ids keep allocating from the same point after recovery.
+        let mut n2 = recovered;
+        let mut n1 = n;
+        let a = n1.add_block("warm/f1", 1, vec![NodeId(2)], 7).unwrap();
+        let b = n2.add_block("warm/f1", 1, vec![NodeId(2)], 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn checkpoint_truncates_edits_and_recovery_still_matches() {
+        let mut n = nn();
+        n.set_checkpoint_interval(4);
+        busy_namespace(&mut n);
+        assert!(n.journal().has_checkpoint());
+        assert!(n.journal().checkpoints >= 1);
+        assert!(n.journal().n_edits() < 4);
+        let recovered = NameNode::recover(n.journal(), 4, 128, 1);
+        assert_eq!(recovered.namespace_dump(), n.namespace_dump());
+    }
+
+    #[test]
+    fn explicit_checkpoint_then_empty_tail() {
+        let mut n = nn();
+        busy_namespace(&mut n);
+        n.checkpoint();
+        assert_eq!(n.journal().n_edits(), 0);
+        let recovered = NameNode::recover(n.journal(), 4, 128, 1);
+        assert_eq!(recovered.namespace_dump(), n.namespace_dump());
+    }
+
     #[test]
     fn delete_returns_real_block_ids_only() {
         let mut n = nn();
         n.create_file("d/a").unwrap();
         n.create_file("d/b").unwrap();
-        let id = n.add_block("d/a", 5, vec![NodeId(0)]).unwrap();
+        let id = n.add_block("d/a", 5, vec![NodeId(0)], 0).unwrap();
         n.add_dummy_block(
             "d/b",
             5,

@@ -42,6 +42,17 @@ pub mod keys {
     pub const CHUNK_CACHE_MISSES: &str = "chunk_cache_misses";
     /// Real (wall-clock) seconds spent in the chunk codec during fetches.
     pub const CODEC_DECODE_S: &str = "codec_decode_s";
+    /// Payload bytes that passed CRC-32C verification on delivery (HDFS
+    /// replica reads and SNC chunk frames).
+    pub const CHECKSUM_VERIFIED_BYTES: &str = "checksum_verified_bytes";
+    /// Deliveries whose bytes failed checksum verification.
+    pub const CORRUPTION_DETECTED: &str = "corruption_detected";
+    /// Corrupt deliveries recovered (a clean re-read, or replica fallback).
+    pub const CORRUPTION_REPAIRED: &str = "corruption_repaired";
+    /// SNC chunks that failed verification twice and were quarantined.
+    pub const CHUNKS_QUARANTINED: &str = "chunks_quarantined";
+    /// Data Mapper source files revalidated against the PFS at job launch.
+    pub const MAPPING_REVALIDATIONS: &str = "mapping_revalidations";
 }
 
 impl Counters {

@@ -101,6 +101,35 @@ impl std::fmt::Debug for InputSplit {
 // HDFS block fetcher
 // ---------------------------------------------------------------------------
 
+/// Counter deltas for the integrity events one read produced (only keys
+/// with events appear, keeping fault-free fetch results unchanged).
+pub fn integrity_counter_delta(
+    before: hdfs::IntegrityStats,
+    after: hdfs::IntegrityStats,
+) -> Vec<(&'static str, f64)> {
+    use crate::counters::keys;
+    let mut out = Vec::new();
+    if after.verified_bytes > before.verified_bytes {
+        out.push((
+            keys::CHECKSUM_VERIFIED_BYTES,
+            (after.verified_bytes - before.verified_bytes) as f64,
+        ));
+    }
+    if after.detected > before.detected {
+        out.push((
+            keys::CORRUPTION_DETECTED,
+            (after.detected - before.detected) as f64,
+        ));
+    }
+    if after.repaired > before.repaired {
+        out.push((
+            keys::CORRUPTION_REPAIRED,
+            (after.repaired - before.repaired) as f64,
+        ));
+    }
+    out
+}
+
 /// Reads one real HDFS block (the vanilla Hadoop record reader).
 pub struct HdfsBlockFetcher {
     pub path: String,
@@ -144,14 +173,19 @@ impl SplitFetcher for HdfsBlockFetcher {
         };
         // `read_block` consumes its callback even when it fails
         // synchronously, so route completion through a take-once cell.
+        // Integrity accounting: snapshot the cluster-wide stats and charge
+        // this attempt with the delta its read produced. The deltas land in
+        // attempt-local counters, so a failed attempt's events are dropped
+        // with it — exactly like every other per-attempt counter.
+        let before = env.hdfs.borrow().integrity;
+        let env2 = env.clone();
         let done_cell = std::rc::Rc::new(std::cell::RefCell::new(Some(done)));
         let dc = done_cell.clone();
         let res = hdfs::read_block(sim, &env.topo, &env.hdfs, node, &block, move |sim, data| {
             if let Some(d) = dc.borrow_mut().take() {
-                d(
-                    sim,
-                    Ok(FetchResult::plain(TaskInput::Bytes(data.as_ref().clone()))),
-                );
+                let mut fr = FetchResult::plain(TaskInput::Bytes(data.as_ref().clone()));
+                fr.counters = integrity_counter_delta(before, env2.hdfs.borrow().integrity);
+                d(sim, Ok(fr));
             }
         });
         if let Err(e) = res {

@@ -27,8 +27,8 @@ pub mod job;
 pub use cluster::{Cluster, MrEnv};
 pub use counters::{keys as counter_keys, Counters};
 pub use input::{
-    hdfs_file_splits, FetchDone, FetchResult, FlatPfsFetcher, HdfsBlockFetcher, InMemoryFetcher,
-    InputSplit, SplitFetcher, TaskInput,
+    hdfs_file_splits, integrity_counter_delta, FetchDone, FetchResult, FlatPfsFetcher,
+    HdfsBlockFetcher, InMemoryFetcher, InputSplit, SplitFetcher, TaskInput,
 };
 pub use job::{
     run_job, submit_job, submit_job_env, FtConfig, Job, JobResult, MapFn, MrError, Payload,

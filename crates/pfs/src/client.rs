@@ -9,7 +9,7 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-use simnet::{NodeId, Sim, Topology};
+use simnet::{NodeId, ReadOutcome, Sim, Topology};
 
 use crate::fs::SharedPfs;
 
@@ -29,6 +29,15 @@ pub enum PfsError {
         path: String,
         nth: u64,
     },
+    /// The client's CRC-32C of the delivered stripe bytes disagreed with
+    /// the store's checksum — detected corruption. The bytes are discarded;
+    /// callers may retry (a transient flip re-reads clean).
+    Checksum {
+        path: String,
+        nth: u64,
+        stored: u32,
+        computed: u32,
+    },
 }
 
 impl fmt::Display for PfsError {
@@ -47,6 +56,16 @@ impl fmt::Display for PfsError {
             PfsError::Injected { path, nth } => {
                 write!(f, "injected I/O error on read #{nth} of {path}")
             }
+            PfsError::Checksum {
+                path,
+                nth,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "IntegrityError: corrupt stripe read #{nth} of {path}: \
+                 stored crc32c {stored:#010x} != computed {computed:#010x}"
+            ),
         }
     }
 }
@@ -67,7 +86,8 @@ pub fn read_at(
     len: usize,
     done: impl FnOnce(&mut Sim, Vec<u8>) + 'static,
 ) -> Result<(), PfsError> {
-    if let Some(nth) = sim.faults.take_read_fault(path) {
+    let outcome = sim.faults.take_read_outcome(path);
+    if let ReadOutcome::Fail { nth } = outcome {
         return Err(PfsError::Injected {
             path: path.to_string(),
             nth,
@@ -87,7 +107,28 @@ pub fn read_at(
             });
         }
         let segments = file.layout.segments(offset, len, p.config.n_osts);
-        let payload = file.data[offset..offset + len].to_vec();
+        let mut payload = file.data[offset..offset + len].to_vec();
+        // Corruption faults flip one byte of the *delivered* copy — the
+        // stored object stays intact, so a transient flip re-reads clean.
+        if let ReadOutcome::Corrupt { nth, silent } = outcome {
+            if !payload.is_empty() {
+                let (selector, mask) = sim.faults.corruption_pattern(path, nth);
+                let pos = (selector % payload.len() as u64) as usize;
+                payload[pos] ^= mask;
+                if !silent {
+                    // Detected: the client checksums the delivered stripes
+                    // against the store's CRC and refuses the bad bytes.
+                    let stored = scirng::crc32c(&file.data[offset..offset + len]);
+                    let computed = scirng::crc32c(&payload);
+                    return Err(PfsError::Checksum {
+                        path: path.to_string(),
+                        nth,
+                        stored,
+                        computed,
+                    });
+                }
+            }
+        }
         (segments, payload)
     };
     let rpc = sim.cost.rpc_s;
@@ -382,6 +423,90 @@ mod tests {
         assert!(!pfs.borrow().exists("w"), "not visible before completion");
         sim.run();
         assert_eq!(pfs.borrow().len_of("w"), Some(300));
+    }
+
+    #[test]
+    fn silent_corruption_flips_one_delivered_byte_with_clean_timing() {
+        let run = |plan: simnet::FaultPlan| {
+            let (mut sim, topo, pfs) = one_ost_setup();
+            sim.faults.install(plan);
+            pfs.borrow_mut().create("f", (0..200u8).collect());
+            #[allow(clippy::type_complexity)]
+            let out: Rc<RefCell<Option<(f64, Vec<u8>)>>> = Rc::new(RefCell::new(None));
+            let o = out.clone();
+            read_at(
+                &mut sim,
+                &topo,
+                &pfs,
+                NodeId(0),
+                "f",
+                50,
+                100,
+                move |sim, d| {
+                    *o.borrow_mut() = Some((sim.now().secs(), d));
+                },
+            )
+            .unwrap();
+            sim.run();
+            let v = out.borrow_mut().take().unwrap();
+            v
+        };
+        let (t_clean, clean) = run(simnet::FaultPlan::none());
+        let (t_bad, bad) = run(simnet::FaultPlan::none().corrupt_read("f", 1));
+        assert_eq!(t_clean, t_bad, "corruption must not change read timing");
+        assert_ne!(clean, bad, "a byte was flipped");
+        let diffs = clean.iter().zip(&bad).filter(|(a, b)| a != b).count();
+        assert_eq!(diffs, 1, "exactly one byte differs");
+        // Determinism: the same plan flips the same byte.
+        let (_, bad2) = run(simnet::FaultPlan::none().corrupt_read("f", 1));
+        assert_eq!(bad, bad2);
+        // The store itself is untouched: the second read of a fresh world
+        // with nth=2 corruption delivers the first read clean.
+        let (_, clean2) = run(simnet::FaultPlan::none().corrupt_read("f", 2));
+        assert_eq!(clean, clean2);
+    }
+
+    #[test]
+    fn detected_corruption_surfaces_typed_checksum_error() {
+        let (mut sim, topo, pfs) = one_ost_setup();
+        sim.faults
+            .install(simnet::FaultPlan::none().corrupt_read_detected("f", 1));
+        pfs.borrow_mut().create("f", (0..100u8).collect());
+        let err = read_at(&mut sim, &topo, &pfs, NodeId(0), "f", 0, 100, |_, _| {
+            panic!("must not deliver corrupt bytes")
+        })
+        .unwrap_err();
+        let PfsError::Checksum {
+            nth,
+            stored,
+            computed,
+            ..
+        } = &err
+        else {
+            panic!("wrong error: {err}");
+        };
+        assert_eq!(*nth, 1);
+        assert_ne!(stored, computed);
+        assert!(err.to_string().contains("IntegrityError"), "{err}");
+        // The retry (read #2) succeeds with clean bytes.
+        let ok = Rc::new(RefCell::new(false));
+        let ok2 = ok.clone();
+        read_at(
+            &mut sim,
+            &topo,
+            &pfs,
+            NodeId(0),
+            "f",
+            0,
+            100,
+            move |_, d| {
+                assert_eq!(d, (0..100u8).collect::<Vec<_>>());
+                *ok2.borrow_mut() = true;
+            },
+        )
+        .unwrap();
+        sim.run();
+        assert!(*ok.borrow());
     }
 
     #[test]

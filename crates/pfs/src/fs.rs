@@ -39,6 +39,16 @@ pub struct PfsFile {
     pub path: String,
     pub data: Arc<Vec<u8>>,
     pub layout: StripeLayout,
+    /// Logical modification stamp: a PFS-wide monotonic counter bumped on
+    /// every create/replace. Virtual time is not involved, so staging data
+    /// before the clock starts still yields distinct, ordered stamps. The
+    /// Data Mapper records `(mtime, len)` per source file and revalidates
+    /// them at job launch to catch files changed under a stale mapping.
+    pub mtime: u64,
+    /// CRC-32C of the full object, computed at create time — the store's
+    /// authoritative checksum that detected stripe-read corruption is
+    /// verified against.
+    pub crc: u32,
 }
 
 impl PfsFile {
@@ -61,6 +71,7 @@ pub struct Pfs {
     pub config: PfsConfig,
     files: BTreeMap<String, PfsFile>,
     next_start_ost: usize,
+    next_mtime: u64,
 }
 
 /// Shared handle used inside simulator callbacks (single-threaded sim).
@@ -77,6 +88,7 @@ impl Pfs {
             config,
             files: BTreeMap::new(),
             next_start_ost: 0,
+            next_mtime: 0,
         }
     }
 
@@ -102,13 +114,19 @@ impl Pfs {
         let path = path.into();
         // Round-robin the starting OST like Lustre's allocator.
         self.next_start_ost = (self.next_start_ost + 1) % self.config.n_osts;
+        self.next_mtime += 1;
+        let crc = scirng::crc32c(&data);
         let file = PfsFile {
             path: path.clone(),
             data: Arc::new(data),
             layout,
+            mtime: self.next_mtime,
+            crc,
         };
         self.files.insert(path.clone(), file);
-        self.files.get(&path).unwrap()
+        self.files
+            .get(&path)
+            .expect("file present: inserted on the line above")
     }
 
     /// Look up a file.
@@ -220,6 +238,29 @@ mod tests {
         assert_eq!(p.n_files(), 1);
         assert!(p.delete("a"));
         assert!(!p.delete("a"));
+    }
+
+    #[test]
+    fn mtime_advances_on_replace_and_crc_tracks_content() {
+        let mut p = Pfs::new(PfsConfig::default());
+        p.create("a", vec![1, 2, 3]);
+        let (m1, c1) = {
+            let f = p.file("a").unwrap();
+            (f.mtime, f.crc)
+        };
+        p.create("b", vec![1, 2, 3]);
+        let b = p.file("b").unwrap();
+        assert!(b.mtime > m1, "later create gets a later stamp");
+        assert_eq!(b.crc, c1, "same bytes, same checksum");
+        p.create("a", vec![9]);
+        let f = p.file("a").unwrap();
+        assert!(f.mtime > m1, "replacement bumps mtime");
+        assert_ne!(f.crc, c1, "different bytes, different checksum");
+        assert_eq!(f.crc, scirng::crc32c(&[9]));
+        // Rename preserves content identity.
+        let m_before = f.mtime;
+        assert!(p.rename("a", "c"));
+        assert_eq!(p.file("c").unwrap().mtime, m_before);
     }
 
     #[test]

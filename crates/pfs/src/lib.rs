@@ -20,6 +20,6 @@ pub mod fs;
 pub mod layout;
 pub mod mpiio;
 
-pub use client::{read_at, read_file, write_new};
+pub use client::{read_at, read_file, write_new, PfsError};
 pub use fs::{Pfs, PfsConfig, PfsFile, SharedPfs};
 pub use layout::{Segment, StripeLayout};

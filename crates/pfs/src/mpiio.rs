@@ -126,8 +126,16 @@ pub fn collective_read(
     }
     let logical: f64 = ranks.iter().map(|r| sim.cost.lbytes(r.len)).sum();
     // Union range (collective patterns are contiguous in our workloads).
-    let lo = ranks.iter().map(|r| r.offset).min().unwrap();
-    let hi = ranks.iter().map(|r| r.offset + r.len).max().unwrap();
+    let lo = ranks
+        .iter()
+        .map(|r| r.offset)
+        .min()
+        .expect("ranks non-empty: early return above");
+    let hi = ranks
+        .iter()
+        .map(|r| r.offset + r.len)
+        .max()
+        .expect("ranks non-empty: early return above");
     // Aggregators: distinct nodes, stable order.
     let mut aggs: Vec<NodeId> = Vec::new();
     for r in ranks {

@@ -14,6 +14,11 @@ pub enum ScidpError {
     Format(scifmt::FmtError),
     /// Requested variables not present in any input file.
     NoMatchingVariables(Vec<String>),
+    /// Data failed checksum verification and could not be repaired.
+    Integrity(String),
+    /// A mapped source file vanished from the PFS after the scan — the
+    /// mapping cannot be rebuilt, only failed.
+    StaleMapping { path: String, reason: String },
 }
 
 impl fmt::Display for ScidpError {
@@ -25,6 +30,10 @@ impl fmt::Display for ScidpError {
             ScidpError::Format(e) => write!(f, "format error: {e}"),
             ScidpError::NoMatchingVariables(v) => {
                 write!(f, "no input file contains any of the variables {v:?}")
+            }
+            ScidpError::Integrity(m) => write!(f, "{m}"),
+            ScidpError::StaleMapping { path, reason } => {
+                write!(f, "stale mapping: source file {path}: {reason}")
             }
         }
     }

@@ -39,6 +39,12 @@ pub enum FileFormat {
 pub struct ExploredFile {
     pub pfs_path: String,
     pub format: FileFormat,
+    /// PFS modification stamp at scan time — the Data Mapper records it so
+    /// a stale mapping (file rewritten after the scan) is caught at job
+    /// launch rather than silently reading reshuffled bytes.
+    pub mtime: u64,
+    /// File size at scan time, same purpose.
+    pub size: u64,
 }
 
 impl ExploredFile {
@@ -113,6 +119,8 @@ impl FileExplorer {
             files.push(ExploredFile {
                 pfs_path: path,
                 format,
+                mtime: file.mtime,
+                size: bytes.len() as u64,
             });
         }
         Ok(ExploreReport {

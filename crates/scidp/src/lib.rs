@@ -33,7 +33,7 @@ pub mod workflow;
 
 pub use error::ScidpError;
 pub use explorer::{parse_pfs_path, ExploreReport, ExploredFile, FileExplorer, FileFormat};
-pub use mapper::{DataMapper, MappedBlock, MapperOptions, Mapping};
+pub use mapper::{DataMapper, MappedBlock, MapperOptions, Mapping, Revalidation};
 pub use rapi::{
     decode_tag, derived_raster, encode_slab_tag, make_splits, wrap_r_map, wrap_r_reduce, MapSlab,
     RCtx, RJob, RMapFn, RReduceFn, ScidpInput, SetupInfo,

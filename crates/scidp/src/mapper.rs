@@ -80,6 +80,20 @@ pub struct Mapping {
     pub mapped_bytes: u64,
     /// Real bytes skipped by variable subsetting.
     pub skipped_bytes: u64,
+    /// `(pfs_path, mtime, size)` of every source file at scan time. The
+    /// mapping's block offsets are only valid against these exact file
+    /// versions — [`DataMapper::revalidate`] checks them at job launch.
+    pub sources: Vec<(String, u64, u64)>,
+}
+
+/// Outcome of revalidating a mapping's sources against the live PFS.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Revalidation {
+    /// Every source still matches its recorded `(mtime, size)`.
+    Current,
+    /// At least one source changed — the mapping must be rebuilt before
+    /// the job may run (its offsets point into the old file layout).
+    Changed,
 }
 
 /// The Data Mapper.
@@ -96,6 +110,9 @@ impl DataMapper {
         let mut mapping = Mapping::default();
         let mut any_var_matched = false;
         for file in &explored.files {
+            mapping
+                .sources
+                .push((file.pfs_path.clone(), file.mtime, file.size));
             match &file.format {
                 FileFormat::Flat { len } => {
                     Self::map_flat(namenode, &mut mapping, &file.pfs_path, *len, opts)?;
@@ -143,6 +160,34 @@ impl DataMapper {
             }
         }
         Ok(mapping)
+    }
+
+    /// Check a mapping's recorded sources against the live PFS (job-launch
+    /// revalidation). A changed file means the mapping's offsets are stale
+    /// and it must be rebuilt ([`Revalidation::Changed`] — remap); a
+    /// vanished file cannot be remapped and is a hard
+    /// [`ScidpError::StaleMapping`].
+    pub fn revalidate(
+        pfs: &pfs::Pfs,
+        sources: &[(String, u64, u64)],
+    ) -> Result<Revalidation, ScidpError> {
+        let mut out = Revalidation::Current;
+        for (path, mtime, size) in sources {
+            match pfs.file(path) {
+                None => {
+                    return Err(ScidpError::StaleMapping {
+                        path: path.clone(),
+                        reason: "file no longer exists on the PFS".into(),
+                    })
+                }
+                Some(f) => {
+                    if f.mtime != *mtime || f.len() as u64 != *size {
+                        out = Revalidation::Changed;
+                    }
+                }
+            }
+        }
+        Ok(out)
     }
 
     fn map_flat(
@@ -411,6 +456,32 @@ mod tests {
                 _ => panic!("expected slab"),
             }
         }
+    }
+
+    #[test]
+    fn mapping_records_sources_and_revalidates() {
+        let (mut p, rep) = staged();
+        let mut namenode = nn();
+        let m = DataMapper::map_to_hdfs(&mut namenode, &rep, &MapperOptions::default()).unwrap();
+        // Both input files recorded with their scan-time (mtime, size).
+        assert_eq!(m.sources.len(), 2);
+        assert!(m.sources.iter().any(|(path, _, _)| path == "run/notes.csv"));
+        assert_eq!(
+            DataMapper::revalidate(&p, &m.sources).unwrap(),
+            Revalidation::Current
+        );
+        // Rewriting a source bumps its mtime → the mapping is stale.
+        p.create("run/notes.csv", vec![b'y'; 300]);
+        assert_eq!(
+            DataMapper::revalidate(&p, &m.sources).unwrap(),
+            Revalidation::Changed
+        );
+        // A vanished source cannot be remapped: hard error.
+        p.delete("run/notes.csv");
+        assert!(matches!(
+            DataMapper::revalidate(&p, &m.sources),
+            Err(ScidpError::StaleMapping { path, .. }) if path == "run/notes.csv"
+        ));
     }
 
     #[test]

@@ -80,6 +80,12 @@ pub struct SetupInfo {
     pub skipped_bytes: u64,
     /// Number of virtual files created.
     pub virtual_files: usize,
+    /// `(pfs_path, mtime, size)` of every mapped source file, for
+    /// job-launch revalidation (empty for HDFS inputs).
+    pub sources: Vec<(String, u64, u64)>,
+    /// The job's shared decompressed-chunk cache (PFS inputs only) — the
+    /// workflow reads its quarantine count into the job counters.
+    pub chunk_cache: Option<std::sync::Arc<scifmt::snc::ChunkCache>>,
 }
 
 /// Build input splits for a [`ScidpInput`] — the `addInputPath` hook.
@@ -161,6 +167,8 @@ pub fn make_splits(
                 mapped_bytes: mapping.mapped_bytes,
                 skipped_bytes: mapping.skipped_bytes,
                 virtual_files: mapping.virtual_files.len(),
+                sources: mapping.sources,
+                chunk_cache: Some(cache),
             },
         ))
     } else {
@@ -296,13 +304,21 @@ impl<'a> RCtx<'a> {
     }
 
     /// Plot one level with `image2D` on the Cairo device: real raster, PNG
-    /// encoding, and a virtual charge for the paper-sized render.
-    pub fn image2d(&mut self, grid: &[f64], rows: usize, cols: usize, cmap: ColorMap) -> Raster {
+    /// encoding, and a virtual charge for the paper-sized render. A grid
+    /// whose dimensions do not match the data fails the task with a typed
+    /// error rather than panicking the engine.
+    pub fn image2d(
+        &mut self,
+        grid: &[f64],
+        rows: usize,
+        cols: usize,
+        cmap: ColorMap,
+    ) -> Result<Raster, MrError> {
         let r = image2d(grid, rows, cols, self.raster.0, self.raster.1, cmap)
-            .expect("level grid is rectangular");
+            .map_err(|e| MrError(format!("image2d: {e}")))?;
         let pixels = self.logical_image.0 * self.logical_image.1;
         self.inner.charge("plot", self.inner.cost().plot(pixels));
-        r
+        Ok(r)
     }
 
     /// Run a `sqldf` query against frames, charging per logical row.

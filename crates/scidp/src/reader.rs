@@ -22,6 +22,90 @@ use scifmt::snc::{assemble_slab, chunk_extents_of, ChunkCache};
 use scifmt::VarMeta;
 use simnet::{NodeId, Sim};
 
+/// Events the chunk-integrity machinery recorded during one fetch.
+#[derive(Default)]
+struct IntegrityEvents {
+    verified_bytes: u64,
+    detected: u64,
+    repaired: u64,
+}
+
+/// Completion of one verified chunk-extent read: the compressed frame, or
+/// the error that kills this attempt.
+type FrameDone = Box<dyn FnOnce(&mut Sim, Result<Vec<u8>, MrError>)>;
+
+/// One chunk-extent read with end-to-end verification and repair.
+struct ChunkRead {
+    env: MrEnv,
+    node: NodeId,
+    pfs_path: Rc<String>,
+    idx: usize,
+    offset: u64,
+    clen: u64,
+    /// CRC-32C the SNC builder stored for this chunk's compressed frame.
+    crc: u32,
+    events: Rc<RefCell<IntegrityEvents>>,
+    cache: Arc<ChunkCache>,
+    file_key: u64,
+    done: RefCell<Option<FrameDone>>,
+}
+
+/// Issue (or re-issue) the timed PFS read of a chunk extent, verifying the
+/// delivered frame against the stored CRC. A mismatch is detected
+/// corruption: the first one triggers exactly one re-read (a transient
+/// flip repairs — the store is clean); a second mismatch quarantines the
+/// chunk and fails the attempt with an `IntegrityError` rather than ever
+/// decoding wrong bytes. Returns the synchronous error of the *initial*
+/// `read_at` call so the caller can stop issuing sibling reads (re-read
+/// errors are routed through `done` instead).
+fn chunk_read_attempt(sim: &mut Sim, st: Rc<ChunkRead>, attempt: u32) -> Result<(), pfs::PfsError> {
+    let st2 = st.clone();
+    pfs::read_at(
+        sim,
+        &st.env.topo,
+        &st.env.pfs,
+        st.node,
+        &st.pfs_path,
+        st.offset as usize,
+        st.clen as usize,
+        move |sim, frame| {
+            if scirng::crc32c(&frame) == st2.crc {
+                {
+                    let mut ev = st2.events.borrow_mut();
+                    ev.verified_bytes += frame.len() as u64;
+                    if attempt > 0 {
+                        ev.repaired += 1;
+                    }
+                }
+                if let Some(d) = st2.done.borrow_mut().take() {
+                    d(sim, Ok(frame));
+                }
+                return;
+            }
+            st2.events.borrow_mut().detected += 1;
+            if attempt == 0 {
+                let st3 = st2.clone();
+                if let Err(e) = chunk_read_attempt(sim, st3, 1) {
+                    if let Some(d) = st2.done.borrow_mut().take() {
+                        let e = MrError(format!("pfs: {e} ({})", st2.pfs_path));
+                        sim.after(0.0, move |sim| d(sim, Err(e)));
+                    }
+                }
+            } else {
+                st2.cache.quarantine((st2.file_key, st2.offset));
+                if let Some(d) = st2.done.borrow_mut().take() {
+                    let e = MrError(format!(
+                        "IntegrityError: chunk {} of {} failed crc32c verification twice; \
+                         chunk quarantined",
+                        st2.idx, st2.pfs_path
+                    ));
+                    sim.after(0.0, move |sim| d(sim, Err(e)));
+                }
+            }
+        },
+    )
+}
+
 /// Fetches one scientific dummy block (a variable hyperslab) from the PFS.
 pub struct SciSlabFetcher {
     pub pfs_path: String,
@@ -49,13 +133,29 @@ impl SplitFetcher for SciSlabFetcher {
         let file_key = ChunkCache::file_key(&self.pfs_path);
         let collected: Rc<RefCell<HashMap<usize, Arc<Vec<u8>>>>> =
             Rc::new(RefCell::new(HashMap::new()));
-        let mut needed: Vec<(usize, u64, u64, u64)> = Vec::new();
+        let mut needed: Vec<(usize, u64, u64, u64, u32)> = Vec::new();
         for &i in &ids {
+            if self.cache.is_quarantined((file_key, extents[i].offset)) {
+                // A prior fetch proved this chunk unreadable (two CRC
+                // failures); fail fast instead of re-reading known-bad data.
+                let e = MrError(format!(
+                    "IntegrityError: chunk {i} of {} is quarantined",
+                    self.pfs_path
+                ));
+                sim.after(0.0, move |sim| done(sim, Err(e)));
+                return;
+            }
             match self.cache.lookup((file_key, extents[i].offset)) {
                 Some(raw) => {
                     collected.borrow_mut().insert(i, raw);
                 }
-                None => needed.push((i, extents[i].offset, extents[i].clen, extents[i].rlen)),
+                None => needed.push((
+                    i,
+                    extents[i].offset,
+                    extents[i].clen,
+                    extents[i].rlen,
+                    extents[i].crc,
+                )),
             }
         }
         let hits = ids.len() - needed.len();
@@ -64,7 +164,7 @@ impl SplitFetcher for SciSlabFetcher {
         let start = self.start.clone();
         let count = self.count.clone();
         // Decompression is only paid for the chunks not served from cache.
-        let missed_raw: u64 = needed.iter().map(|&(_, _, _, r)| r).sum();
+        let missed_raw: u64 = needed.iter().map(|&(_, _, _, r, _)| r).sum();
         let decompress_cost = sim.cost.decompress(missed_raw as usize);
 
         let assemble = move |chunks: &HashMap<usize, Arc<Vec<u8>>>| {
@@ -74,92 +174,123 @@ impl SplitFetcher for SciSlabFetcher {
                     .map(|a| a.as_slice())
                     .ok_or_else(|| scifmt::FmtError::NotFound(format!("chunk {i}")))
             })
-            .expect("slab assembles from fetched chunks")
+            .map_err(|e| MrError(format!("snc slab assembly: {e}")))
         };
 
         if needed.is_empty() {
             // Everything (possibly nothing) came from the cache.
-            let array = assemble(&collected.borrow());
-            let counters = vec![(keys::CHUNK_CACHE_HITS, hits as f64)];
-            sim.after(0.0, move |sim| {
-                done(
-                    sim,
-                    Ok(FetchResult {
-                        input: TaskInput::Array(array),
-                        charges: vec![],
-                        counters,
-                        tag: String::new(),
-                    }),
-                )
+            let result = assemble(&collected.borrow()).map(|array| FetchResult {
+                input: TaskInput::Array(array),
+                charges: vec![],
+                counters: vec![(keys::CHUNK_CACHE_HITS, hits as f64)],
+                tag: String::new(),
             });
+            sim.after(0.0, move |sim| done(sim, result));
             return;
         }
 
-        // Fetch the remaining chunk extents in parallel; decode + assemble
-        // when the last one lands.
+        // Fetch the remaining chunk extents in parallel — each behind the
+        // verify/repair machine — then decode + assemble when the last one
+        // lands.
         let remaining = Rc::new(RefCell::new(needed.len()));
         let done_cell = Rc::new(RefCell::new(Some(done)));
         let decode_s = Rc::new(RefCell::new(0.0f64));
-        for (idx, offset, clen, _rlen) in needed {
+        let events = Rc::new(RefCell::new(IntegrityEvents::default()));
+        let path = Rc::new(self.pfs_path.clone());
+        for (idx, offset, clen, _rlen, crc) in needed {
             let collected = collected.clone();
             let remaining = remaining.clone();
             let dc = done_cell.clone();
             let decode_s = decode_s.clone();
+            let events2 = events.clone();
             let cache = self.cache.clone();
             let assemble = assemble.clone();
-            let res = pfs::read_at(
-                sim,
-                &env.topo,
-                &env.pfs,
-                node,
-                &self.pfs_path,
-                offset as usize,
-                clen as usize,
-                move |sim, frame| {
-                    // Real decode of the real chunk bytes (timed for the
-                    // Fig. 7 Read/Convert decomposition).
-                    let t0 = std::time::Instant::now();
-                    let raw = match scifmt::codec::decompress(&frame) {
-                        Ok(raw) => raw,
-                        Err(e) => {
-                            if let Some(d) = dc.borrow_mut().take() {
-                                d(sim, Err(MrError(format!("snc chunk {idx} decode: {e:?}"))));
-                            }
-                            return;
+            let frame_done: FrameDone = Box::new(move |sim, frame| {
+                let frame = match frame {
+                    Ok(frame) => frame,
+                    Err(e) => {
+                        // Verification exhausted its re-read (or the re-read
+                        // itself failed): kill this attempt once.
+                        if let Some(d) = dc.borrow_mut().take() {
+                            d(sim, Err(e));
                         }
-                    };
-                    *decode_s.borrow_mut() += t0.elapsed().as_secs_f64();
-                    let raw = Arc::new(raw);
-                    cache.insert((file_key, offset), raw.clone());
-                    collected.borrow_mut().insert(idx, raw);
-                    let mut rem = remaining.borrow_mut();
-                    *rem -= 1;
-                    if *rem > 0 {
                         return;
                     }
-                    drop(rem);
-                    // A sibling chunk may have failed this fetch already.
-                    let Some(d) = dc.borrow_mut().take() else {
+                };
+                // Real decode of the real (now verified) chunk bytes, timed
+                // for the Fig. 7 Read/Convert decomposition.
+                let t0 = std::time::Instant::now();
+                let raw = match scifmt::codec::decompress(&frame) {
+                    Ok(raw) => raw,
+                    Err(e) => {
+                        if let Some(d) = dc.borrow_mut().take() {
+                            d(sim, Err(MrError(format!("snc chunk {idx} decode: {e:?}"))));
+                        }
                         return;
-                    };
-                    let chunks = std::mem::take(&mut *collected.borrow_mut());
-                    let array = assemble(&chunks);
-                    d(
-                        sim,
-                        Ok(FetchResult {
-                            input: TaskInput::Array(array),
-                            charges: vec![("decompress", decompress_cost)],
-                            counters: vec![
-                                (keys::CHUNK_CACHE_HITS, hits as f64),
-                                (keys::CHUNK_CACHE_MISSES, misses as f64),
-                                (keys::CODEC_DECODE_S, *decode_s.borrow()),
-                            ],
-                            tag: String::new(),
-                        }),
-                    );
-                },
-            );
-            if let Err(e) = res {
+                    }
+                };
+                *decode_s.borrow_mut() += t0.elapsed().as_secs_f64();
+                let raw = Arc::new(raw);
+                cache.insert((file_key, offset), raw.clone());
+                collected.borrow_mut().insert(idx, raw);
+                let mut rem = remaining.borrow_mut();
+                *rem -= 1;
+                if *rem > 0 {
+                    return;
+                }
+                drop(rem);
+                // A sibling chunk may have failed this fetch already.
+                let Some(d) = dc.borrow_mut().take() else {
+                    return;
+                };
+                let chunks = std::mem::take(&mut *collected.borrow_mut());
+                let array = match assemble(&chunks) {
+                    Ok(array) => array,
+                    Err(e) => {
+                        d(sim, Err(e));
+                        return;
+                    }
+                };
+                let mut counters = vec![
+                    (keys::CHUNK_CACHE_HITS, hits as f64),
+                    (keys::CHUNK_CACHE_MISSES, misses as f64),
+                    (keys::CODEC_DECODE_S, *decode_s.borrow()),
+                ];
+                let ev = events2.borrow();
+                if ev.verified_bytes > 0 {
+                    counters.push((keys::CHECKSUM_VERIFIED_BYTES, ev.verified_bytes as f64));
+                }
+                if ev.detected > 0 {
+                    counters.push((keys::CORRUPTION_DETECTED, ev.detected as f64));
+                }
+                if ev.repaired > 0 {
+                    counters.push((keys::CORRUPTION_REPAIRED, ev.repaired as f64));
+                }
+                drop(ev);
+                d(
+                    sim,
+                    Ok(FetchResult {
+                        input: TaskInput::Array(array),
+                        charges: vec![("decompress", decompress_cost)],
+                        counters,
+                        tag: String::new(),
+                    }),
+                );
+            });
+            let st = Rc::new(ChunkRead {
+                env: env.clone(),
+                node,
+                pfs_path: path.clone(),
+                idx,
+                offset,
+                clen,
+                crc,
+                events: events.clone(),
+                cache: self.cache.clone(),
+                file_key,
+                done: RefCell::new(Some(frame_done)),
+            });
+            if let Err(e) = chunk_read_attempt(sim, st, 0) {
                 // Injected or genuine PFS error: fail the attempt (once) and
                 // stop issuing the remaining chunk reads.
                 if let Some(d) = done_cell.borrow_mut().take() {
@@ -412,5 +543,117 @@ mod tests {
             panic!()
         };
         assert_eq!(a.at(&[0, 0, 0]), full.at(&[1, 0, 0]));
+    }
+
+    #[test]
+    fn transient_corruption_detected_and_repaired_by_reread() {
+        // A silent flip on the first chunk read fails CRC verification; the
+        // automatic re-read fetches clean bytes and the slab is delivered
+        // bit-exact, with the events reported through the fetch counters.
+        let mut c = cluster();
+        let (var, off, full) = stage_var(&mut c);
+        let chunk1 = var.chunks[1].clen as f64;
+        c.sim
+            .faults
+            .install(simnet::FaultPlan::none().corrupt_read("run/f.snc", 1));
+        let fetcher = SciSlabFetcher {
+            pfs_path: "run/f.snc".into(),
+            var,
+            data_offset: off,
+            start: vec![2, 0, 0],
+            count: vec![2, 8, 5],
+            cache: Arc::new(ChunkCache::new(0)),
+        };
+        let got = Rc::new(RefCell::new(None));
+        let g = got.clone();
+        let env = c.env();
+        fetcher.fetch(
+            &env,
+            &mut c.sim,
+            NodeId(0),
+            Box::new(move |_, fr| {
+                *g.borrow_mut() = Some(fr);
+            }),
+        );
+        c.run();
+        let fr = got.borrow_mut().take().unwrap().expect("repaired fetch");
+        let TaskInput::Array(a) = fr.input else {
+            panic!("expected array");
+        };
+        for i in 0..8 {
+            for j in 0..5 {
+                assert_eq!(a.at(&[0, i, j]), full.at(&[2, i, j]));
+            }
+        }
+        let counters: HashMap<_, _> = fr.counters.iter().copied().collect();
+        assert_eq!(counters[keys::CORRUPTION_DETECTED], 1.0);
+        assert_eq!(counters[keys::CORRUPTION_REPAIRED], 1.0);
+        assert_eq!(counters[keys::CHECKSUM_VERIFIED_BYTES], chunk1);
+        // The repair really moved the chunk a second time.
+        assert!(
+            c.sim.net.bytes_admitted >= chunk1 * 1.9,
+            "expected two transfers of the chunk, admitted {}",
+            c.sim.net.bytes_admitted
+        );
+    }
+
+    #[test]
+    fn persistent_corruption_quarantines_instead_of_wrong_data() {
+        // Media corruption survives the re-read: the fetch must fail with a
+        // typed IntegrityError (never deliver wrong bytes), quarantine the
+        // chunk, and later fetches must fail fast without touching the PFS.
+        let mut c = cluster();
+        let (var, off, _) = stage_var(&mut c);
+        c.sim
+            .faults
+            .install(simnet::FaultPlan::none().corrupt_read_persistent("run/f.snc", 1));
+        let cache = Arc::new(ChunkCache::default());
+        let mk = || SciSlabFetcher {
+            pfs_path: "run/f.snc".into(),
+            var: var.clone(),
+            data_offset: off,
+            start: vec![2, 0, 0],
+            count: vec![2, 8, 5],
+            cache: cache.clone(),
+        };
+        let got = Rc::new(RefCell::new(None));
+        let g = got.clone();
+        let env = c.env();
+        mk().fetch(
+            &env,
+            &mut c.sim,
+            NodeId(0),
+            Box::new(move |_, fr| {
+                *g.borrow_mut() = Some(fr);
+            }),
+        );
+        c.run();
+        let err = match got.borrow_mut().take().unwrap() {
+            Err(e) => e,
+            Ok(_) => panic!("persistent corruption must fail the fetch"),
+        };
+        assert!(err.0.contains("IntegrityError"), "{err}");
+        assert!(err.0.contains("quarantined"), "{err}");
+        assert_eq!(cache.n_quarantined(), 1);
+
+        // Second fetch: fast-fail on the quarantine list, zero PFS traffic.
+        let bytes_before = c.sim.net.bytes_admitted;
+        let got2 = Rc::new(RefCell::new(None));
+        let g2 = got2.clone();
+        mk().fetch(
+            &env,
+            &mut c.sim,
+            NodeId(1),
+            Box::new(move |_, fr| {
+                *g2.borrow_mut() = Some(fr);
+            }),
+        );
+        c.run();
+        let err2 = match got2.borrow_mut().take().unwrap() {
+            Err(e) => e,
+            Ok(_) => panic!("quarantined chunk must fail the fetch"),
+        };
+        assert!(err2.0.contains("is quarantined"), "{err2}");
+        assert_eq!(c.sim.net.bytes_admitted, bytes_before);
     }
 }

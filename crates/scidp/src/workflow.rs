@@ -123,7 +123,7 @@ pub fn nuwrf_map_fn(cfg: &WorkflowConfig) -> crate::rapi::RMapFn {
                             grid.push(slab.array.at(&[l, i, j]));
                         }
                     }
-                    let raster = rctx.image2d(&grid, rows, cols, cmap);
+                    let raster = rctx.image2d(&grid, rows, cols, cmap)?;
                     let global_lev = slab.origin[0] + l;
                     rctx.emit_image(
                         format!("img/{}/{}/{global_lev:04}", slab.file, slab.var),
@@ -223,6 +223,17 @@ pub fn build_rjob(input_path: &str, cfg: &WorkflowConfig) -> RJob {
     }
 }
 
+/// Map a job-level error back to the SciDP error type: unrepaired
+/// corruption surfaces as [`ScidpError::Integrity`], everything else as the
+/// generic engine failure.
+fn job_error(e: MrError) -> ScidpError {
+    if e.0.contains("IntegrityError") {
+        ScidpError::Integrity(e.0)
+    } else {
+        ScidpError::Hdfs(e.0)
+    }
+}
+
 /// Run the workflow to completion on a fresh cluster world.
 pub fn run_scidp(
     cluster: &mut Cluster,
@@ -230,6 +241,9 @@ pub fn run_scidp(
     cfg: &WorkflowConfig,
 ) -> Result<WorkflowReport, ScidpError> {
     let rjob = build_rjob(input_path, cfg);
+    // Kept aside in case launch-time revalidation finds the sources
+    // changed and the mapping must be rebuilt.
+    let rjob_remap = rjob.clone();
     let env = cluster.env();
     let scale = cluster.sim.cost.scale;
     let (job, setup) = rjob.into_job(&env, scale)?;
@@ -246,21 +260,69 @@ pub fn run_scidp(
         .sum();
     // Charge the mapping-table setup, then run.
     let setup_cost = setup.setup_cost;
+    let sources = setup.sources.clone();
+    let cache_cell = Rc::new(std::cell::RefCell::new(setup.chunk_cache.clone()));
+    let revalidations = Rc::new(std::cell::Cell::new(0u64));
     let result: std::rc::Rc<std::cell::RefCell<Option<Result<JobResult, MrError>>>> =
         Rc::new(std::cell::RefCell::new(None));
     let r2 = result.clone();
     let env2 = env.clone();
+    let cc = cache_cell.clone();
+    let rv = revalidations.clone();
     cluster.sim.after(setup_cost, move |sim| {
+        // Job launch: `setup_cost` virtual seconds have passed since the
+        // scan, so revalidate every source against the PFS as it is *now*.
+        // Changed file → remap against the current contents; vanished file
+        // → fail (the mapping cannot be rebuilt).
+        let reval = {
+            let pfs = env2.pfs.borrow();
+            crate::mapper::DataMapper::revalidate(&pfs, &sources)
+        };
+        rv.set(sources.len() as u64);
+        let job = match reval {
+            Err(e) => {
+                *r2.borrow_mut() = Some(Err(MrError(e.to_string())));
+                return;
+            }
+            Ok(crate::mapper::Revalidation::Current) => job,
+            Ok(crate::mapper::Revalidation::Changed) => match rjob_remap.into_job(&env2, scale) {
+                Ok((job, setup)) => {
+                    *cc.borrow_mut() = setup.chunk_cache;
+                    job
+                }
+                Err(e) => {
+                    *r2.borrow_mut() = Some(Err(MrError(e.to_string())));
+                    return;
+                }
+            },
+        };
         submit_job_env(sim, env2, job, move |_, r| {
             *r2.borrow_mut() = Some(r);
         });
     });
     cluster.run();
-    let job = result
+    let mut job = result
         .borrow_mut()
         .take()
-        .expect("workflow completed")
-        .map_err(|e| ScidpError::Hdfs(e.to_string()))?;
+        .ok_or_else(|| ScidpError::Hdfs("workflow did not run to completion".into()))?
+        .map_err(job_error)?;
+    // Fold in the integrity bookkeeping only the workflow can see: the
+    // launch-time source checks and the shared cache's quarantine count
+    // (quarantining attempts always fail, so their per-attempt counters
+    // never reach the job).
+    if revalidations.get() > 0 {
+        job.counters.add(
+            mapreduce::counters::keys::MAPPING_REVALIDATIONS,
+            revalidations.get() as f64,
+        );
+    }
+    if let Some(cache) = cache_cell.borrow().as_ref() {
+        let q = cache.n_quarantined();
+        if q > 0 {
+            job.counters
+                .add(mapreduce::counters::keys::CHUNKS_QUARANTINED, q as f64);
+        }
+    }
     Ok(WorkflowReport {
         job,
         images,
@@ -289,7 +351,7 @@ pub fn run_to_result(
     let env = cluster.env();
     let scale = cluster.sim.cost.scale;
     let (job, _) = rjob.into_job(&env, scale)?;
-    run_job(cluster, job).map_err(|e| ScidpError::Hdfs(e.to_string()))
+    run_job(cluster, job).map_err(job_error)
 }
 
 #[cfg(test)]

@@ -18,6 +18,14 @@ pub enum FmtError {
     OutOfBounds(String),
     /// Mismatched argument shape/rank/type.
     Invalid(String),
+    /// A stored checksum did not match the bytes read — the data was
+    /// corrupted somewhere between the writer and this reader. Callers may
+    /// retry the read (transient corruption) before giving up.
+    Checksum {
+        what: String,
+        stored: u32,
+        computed: u32,
+    },
 }
 
 impl fmt::Display for FmtError {
@@ -29,6 +37,14 @@ impl fmt::Display for FmtError {
             FmtError::NotFound(m) => write!(f, "not found: {m}"),
             FmtError::OutOfBounds(m) => write!(f, "out of bounds: {m}"),
             FmtError::Invalid(m) => write!(f, "invalid argument: {m}"),
+            FmtError::Checksum {
+                what,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "IntegrityError: {what}: stored crc32c {stored:#010x} != computed {computed:#010x}"
+            ),
         }
     }
 }

@@ -69,6 +69,10 @@ pub struct ChunkMeta {
     pub clen: u64,
     /// Raw (decompressed) length in bytes.
     pub rlen: u64,
+    /// CRC-32C of the stored (compressed) frame, computed at build time and
+    /// verified on every decode — the end-to-end integrity check for bytes
+    /// that travel over the PFS without an HDFS checksum layer.
+    pub crc: u32,
 }
 
 /// Metadata of one variable (the `nc_inq_var` result).
@@ -149,6 +153,9 @@ pub struct ChunkExtent {
     pub offset: u64,
     pub clen: u64,
     pub rlen: u64,
+    /// CRC-32C of the stored frame (from [`ChunkMeta::crc`]) — lets remote
+    /// readers verify fetched frames without the container header.
+    pub crc: u32,
 }
 
 // ---------------------------------------------------------------------------
@@ -244,6 +251,7 @@ fn write_var(w: &mut Writer, v: &VarMeta) {
         w.put_varint(c.rel_offset);
         w.put_varint(c.clen);
         w.put_varint(c.rlen);
+        w.put_varint(c.crc as u64);
     }
 }
 
@@ -289,10 +297,16 @@ fn read_var(r: &mut Reader<'_>) -> Result<VarMeta> {
     }
     let mut chunks = Vec::with_capacity(n_chunks);
     for _ in 0..n_chunks {
+        let (rel_offset, clen, rlen) = (r.get_varint()?, r.get_varint()?, r.get_varint()?);
+        let crc = r.get_varint()?;
+        if crc > u32::MAX as u64 {
+            return Err(FmtError::Corrupt(format!("chunk crc {crc:#x} exceeds u32")));
+        }
         chunks.push(ChunkMeta {
-            rel_offset: r.get_varint()?,
-            clen: r.get_varint()?,
-            rlen: r.get_varint()?,
+            rel_offset,
+            clen,
+            rlen,
+            crc: crc as u32,
         });
     }
     Ok(VarMeta {
@@ -441,6 +455,7 @@ pub fn chunk_extents_of(var: &VarMeta, data_offset: usize) -> Vec<ChunkExtent> {
                 offset: data_offset as u64 + c.rel_offset,
                 clen: c.clen,
                 rlen: c.rlen,
+                crc: c.crc,
             }
         })
         .collect()
@@ -656,13 +671,15 @@ impl SncBuilder {
                     TLS_SCRATCH.with(|s| {
                         codec::compress_into(meta.codec, &raw, &mut s.borrow_mut(), &mut frame);
                     });
-                    (frame, raw.len())
+                    let crc = scirng::crc32c(&frame);
+                    (frame, raw.len(), crc)
                 });
-                for (frame, rlen) in frames {
+                for (frame, rlen, crc) in frames {
                     meta.chunks.push(ChunkMeta {
                         rel_offset: data.len() as u64,
                         clen: frame.len() as u64,
                         rlen: rlen as u64,
+                        crc,
                     });
                     data.extend_from_slice(&frame);
                 }
@@ -738,6 +755,10 @@ pub struct ChunkCache {
     inner: Mutex<CacheInner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Chunks that failed CRC verification twice (media corruption — a
+    /// re-read cannot repair them). Readers check this before issuing I/O
+    /// and fail fast instead of re-fetching known-bad bytes.
+    quarantined: Mutex<std::collections::BTreeSet<(u64, u64)>>,
 }
 
 impl std::fmt::Debug for ChunkCache {
@@ -770,7 +791,28 @@ impl ChunkCache {
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            quarantined: Mutex::new(std::collections::BTreeSet::new()),
         }
+    }
+
+    /// Mark a chunk as unrepairably corrupt. Any cached payload for it is
+    /// dropped (defensive — verification happens before decode, so a bad
+    /// chunk should never have entered the cache).
+    pub fn quarantine(&self, key: (u64, u64)) {
+        self.quarantined.lock().unwrap().insert(key);
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(e) = inner.map.remove(&key) {
+            inner.bytes -= e.data.len();
+        }
+    }
+
+    pub fn is_quarantined(&self, key: (u64, u64)) -> bool {
+        self.quarantined.lock().unwrap().contains(&key)
+    }
+
+    /// Number of quarantined chunks (reported through job counters).
+    pub fn n_quarantined(&self) -> u64 {
+        self.quarantined.lock().unwrap().len() as u64
     }
 
     /// Stable 64-bit id for a file name (FNV-1a) — combine with a chunk
@@ -963,6 +1005,14 @@ impl SncFile {
             .bytes
             .get(off..off + c.clen as usize)
             .ok_or(FmtError::Truncated { what: "chunk data" })?;
+        let computed = scirng::crc32c(frame);
+        if computed != c.crc {
+            return Err(FmtError::Checksum {
+                what: format!("chunk {index} of {}", var.name),
+                stored: c.crc,
+                computed,
+            });
+        }
         let mut raw = Vec::new();
         TLS_SCRATCH.with(|s| codec::decompress_into(frame, &mut s.borrow_mut(), &mut raw))?;
         if raw.len() != c.rlen as usize {
@@ -1163,6 +1213,41 @@ mod tests {
         // Flip a byte inside the header region.
         f[20] ^= 0xff;
         assert!(SncMeta::parse(&f).is_err() || SncFile::open(f.clone()).is_err());
+    }
+
+    #[test]
+    fn corrupt_chunk_data_fails_crc_check() {
+        let bytes = sample_file();
+        let clean = SncFile::open(bytes.clone()).unwrap();
+        let data_offset = clean.meta().data_offset;
+        // Flip one byte in every chunk of QR; each read must report a
+        // checksum mismatch, never wrong array data.
+        for ext in clean.chunk_extents("QR").unwrap() {
+            let mut f = bytes.clone();
+            f[ext.offset as usize + (ext.clen as usize) / 2] ^= 0x01;
+            let bad = SncFile::open(f).unwrap();
+            let var = bad.meta().var("QR").unwrap().clone();
+            let err = bad.read_chunk_raw(&var, ext.index).unwrap_err();
+            assert!(
+                matches!(err, FmtError::Checksum { .. }),
+                "chunk {}: {err}",
+                ext.index
+            );
+            assert!(err.to_string().contains("IntegrityError"), "{err}");
+        }
+        // Sanity: the header region is before the data section.
+        assert!(data_offset > 12);
+    }
+
+    #[test]
+    fn chunk_crcs_match_stored_frames() {
+        let f = SncFile::open(sample_file()).unwrap();
+        for (path, _) in f.meta().all_vars() {
+            for ext in f.chunk_extents(&path).unwrap() {
+                let frame = &f.bytes[ext.offset as usize..(ext.offset + ext.clen) as usize];
+                assert_eq!(scirng::crc32c(frame), ext.crc, "{path} chunk {}", ext.index);
+            }
+        }
     }
 
     #[test]

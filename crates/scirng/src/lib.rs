@@ -28,6 +28,40 @@ pub fn hash64(bytes: &[u8]) -> u64 {
     splitmix64(&mut s)
 }
 
+/// Lazily built lookup table for [`crc32c`] (reflected Castagnoli
+/// polynomial 0x82F63B78 — the CRC HDFS uses for block checksums).
+fn crc32c_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0x82F6_3B78
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        table
+    })
+}
+
+/// CRC-32C (Castagnoli) of `bytes` — the checksum guarding every data
+/// transfer in the workspace (PFS stripe reads, HDFS block replicas, SNC
+/// chunk frames). Software table-driven; deterministic across platforms.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    let table = crc32c_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
 /// xoshiro256++ generator.
 #[derive(Clone, Debug)]
 pub struct Rng {
@@ -209,6 +243,27 @@ mod tests {
         r.fill_bytes(&mut a);
         r.fill_bytes(&mut b);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn crc32c_reference_vectors() {
+        // The canonical check value for CRC-32C.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+        // RFC 3720 §B.4 test patterns.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xffu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn crc32c_detects_single_byte_flips() {
+        let base: Vec<u8> = (0..255u32).map(|i| (i % 251) as u8).collect();
+        let want = crc32c(&base);
+        for i in [0usize, 1, 100, 254] {
+            let mut flipped = base.clone();
+            flipped[i] ^= 0x40;
+            assert_ne!(crc32c(&flipped), want, "flip at {i} must change the crc");
+        }
     }
 
     #[test]

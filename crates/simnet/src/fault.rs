@@ -29,8 +29,61 @@ pub struct FaultPlan {
     pub slow_nodes: Vec<(u32, f64)>,
     /// Independently fail each timed read with this probability.
     pub read_fail_prob: f64,
-    /// Seed for the probabilistic read failures.
+    /// Seeded byte-flip corruptions (see [`CorruptSpec`]).
+    pub corrupt_reads: Vec<CorruptSpec>,
+    /// Seed for the probabilistic read failures and the corruption byte
+    /// patterns.
     pub seed: u64,
+}
+
+/// One seeded byte-flip corruption fault.
+///
+/// `path` names what gets corrupted: a PFS path for stripe reads, or an
+/// HDFS block key (see `hdfs::block_fault_key`) for replica reads. The
+/// corrupted byte position and XOR mask are derived deterministically from
+/// `(plan seed, path, nth)` — never from the live PRNG stream — so adding a
+/// corruption fault does not perturb the probabilistic-failure sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorruptSpec {
+    /// PFS path or HDFS block key the corruption applies to.
+    pub path: String,
+    /// 1-based timed read of `path` at which the corruption (first)
+    /// appears.
+    pub nth: u64,
+    /// `true`: the storage layer's own checksum does *not* catch it — the
+    /// flipped bytes are delivered as if valid and only an end-to-end
+    /// checksum (the SNC chunk CRC) can detect them. `false`: the storage
+    /// layer detects the mismatch itself and surfaces a typed error.
+    pub silent: bool,
+    /// `true`: every read from `nth` onward is corrupt (media corruption —
+    /// re-reading cannot repair it). `false`: only the `nth` read is
+    /// corrupt (a transient flip — the re-read fetches clean bytes).
+    pub persistent: bool,
+    /// HDFS replica scope: corrupt only the copy served by this node
+    /// (single-replica — alternate replicas stay clean). `None` corrupts
+    /// whichever copy serves the read (PFS reads, or all-replica HDFS
+    /// corruption).
+    pub replica: Option<u32>,
+}
+
+impl CorruptSpec {
+    /// Whether this spec corrupts the `nth` read of `path`.
+    fn matches(&self, path: &str, nth: u64) -> bool {
+        self.path == path && (nth == self.nth || (self.persistent && nth > self.nth))
+    }
+}
+
+/// Verdict for one timed read, combining failure and corruption faults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// Deliver the true bytes.
+    Clean,
+    /// Fail this read (the `nth` of its path) with an injected I/O error.
+    Fail { nth: u64 },
+    /// Deliver byte-flipped data for this read (the `nth` of its path).
+    /// When `silent`, the storage layer must pass the bad bytes through;
+    /// otherwise its own checksum detects the flip.
+    Corrupt { nth: u64, silent: bool },
 }
 
 impl FaultPlan {
@@ -45,11 +98,19 @@ impl FaultPlan {
             && self.read_faults.is_empty()
             && self.slow_nodes.is_empty()
             && self.read_fail_prob == 0.0
+            && self.corrupt_reads.is_empty()
     }
 
     /// Kill `node` at virtual time `at_s`.
     pub fn kill_node(mut self, node: u32, at_s: f64) -> FaultPlan {
         self.node_kills.push((node, at_s));
+        self
+    }
+
+    /// Set the seed driving probabilistic read failures and the corruption
+    /// byte patterns (which byte flips, and with what mask).
+    pub fn with_seed(mut self, seed: u64) -> FaultPlan {
+        self.seed = seed;
         self
     }
 
@@ -74,6 +135,75 @@ impl FaultPlan {
         self.read_fail_prob = prob;
         self
     }
+
+    /// Silently flip one byte of the `nth` (1-based) timed read of `path`.
+    /// A transient flip: the re-read fetches clean bytes, so an end-to-end
+    /// checksum can detect *and repair* it.
+    pub fn corrupt_read(mut self, path: impl Into<String>, nth: u64) -> FaultPlan {
+        self.corrupt_reads.push(CorruptSpec {
+            path: path.into(),
+            nth,
+            silent: true,
+            persistent: false,
+            replica: None,
+        });
+        self
+    }
+
+    /// Flip one byte of the `nth` timed read of `path`, caught by the
+    /// storage layer's own checksum (a detected stripe-read corruption —
+    /// surfaces as a typed error instead of bad bytes).
+    pub fn corrupt_read_detected(mut self, path: impl Into<String>, nth: u64) -> FaultPlan {
+        self.corrupt_reads.push(CorruptSpec {
+            path: path.into(),
+            nth,
+            silent: false,
+            persistent: false,
+            replica: None,
+        });
+        self
+    }
+
+    /// Silently corrupt *every* read of `path` from the `nth` onward (media
+    /// corruption: re-reading cannot repair it, so integrity handling must
+    /// quarantine and fail rather than return wrong data).
+    pub fn corrupt_read_persistent(mut self, path: impl Into<String>, nth: u64) -> FaultPlan {
+        self.corrupt_reads.push(CorruptSpec {
+            path: path.into(),
+            nth,
+            silent: true,
+            persistent: true,
+            replica: None,
+        });
+        self
+    }
+
+    /// Corrupt, at rest, the copy of HDFS block `block_key` held by
+    /// `node` (single-replica corruption — reads served by other replicas
+    /// stay clean, so replica fallback repairs the read).
+    pub fn corrupt_replica(mut self, block_key: impl Into<String>, node: u32) -> FaultPlan {
+        self.corrupt_reads.push(CorruptSpec {
+            path: block_key.into(),
+            nth: 1,
+            silent: true,
+            persistent: true,
+            replica: Some(node),
+        });
+        self
+    }
+
+    /// Corrupt every replica of HDFS block `block_key` — no clean copy
+    /// remains, so the read must fail with an integrity error.
+    pub fn corrupt_all_replicas(mut self, block_key: impl Into<String>) -> FaultPlan {
+        self.corrupt_reads.push(CorruptSpec {
+            path: block_key.into(),
+            nth: 1,
+            silent: true,
+            persistent: true,
+            replica: None,
+        });
+        self
+    }
 }
 
 /// Runtime interpreter of a [`FaultPlan`], owned by the simulator.
@@ -83,6 +213,7 @@ pub struct FaultInjector {
     read_counts: HashMap<String, u64>,
     rng: scirng::Rng,
     injected: u64,
+    corrupted: u64,
 }
 
 impl Default for FaultInjector {
@@ -92,6 +223,7 @@ impl Default for FaultInjector {
             read_counts: HashMap::new(),
             rng: scirng::Rng::seed_from_u64(0),
             injected: 0,
+            corrupted: 0,
         }
     }
 }
@@ -102,6 +234,7 @@ impl FaultInjector {
         self.rng = scirng::Rng::seed_from_u64(plan.seed);
         self.read_counts.clear();
         self.injected = 0;
+        self.corrupted = 0;
         self.plan = plan;
     }
 
@@ -115,12 +248,29 @@ impl FaultInjector {
         self.injected
     }
 
+    /// Total corrupted deliveries injected so far (diagnostics).
+    pub fn injected_corruptions(&self) -> u64 {
+        self.corrupted
+    }
+
     /// Record one timed read of `path`; returns `Some(nth)` when this read
     /// must fail (either a planned `(path, nth)` fault or a probabilistic
     /// one). Called by the storage clients at the top of every timed read.
     pub fn take_read_fault(&mut self, path: &str) -> Option<u64> {
+        match self.take_read_outcome(path) {
+            ReadOutcome::Fail { nth } => Some(nth),
+            _ => None,
+        }
+    }
+
+    /// Record one timed read of `path` and return its full verdict —
+    /// failure, corruption, or clean delivery. Fault precedence: planned
+    /// nth-read failures, then corruption specs, then probabilistic
+    /// failures (which draw from the seeded PRNG exactly as in plans
+    /// without corruption, preserving their fault sequences).
+    pub fn take_read_outcome(&mut self, path: &str) -> ReadOutcome {
         if self.plan.is_empty() {
-            return None;
+            return ReadOutcome::Clean;
         }
         let n = self.read_counts.entry(path.to_string()).or_insert(0);
         *n += 1;
@@ -132,13 +282,66 @@ impl FaultInjector {
             .any(|(p, k)| *k == nth && p == path)
         {
             self.injected += 1;
-            return Some(nth);
+            return ReadOutcome::Fail { nth };
+        }
+        if let Some(spec) = self
+            .plan
+            .corrupt_reads
+            .iter()
+            .find(|s| s.replica.is_none() && s.matches(path, nth))
+        {
+            let silent = spec.silent;
+            self.corrupted += 1;
+            return ReadOutcome::Corrupt { nth, silent };
         }
         if self.plan.read_fail_prob > 0.0 && self.rng.f64() < self.plan.read_fail_prob {
             self.injected += 1;
-            return Some(nth);
+            return ReadOutcome::Fail { nth };
         }
-        None
+        ReadOutcome::Clean
+    }
+
+    /// Record one logical HDFS block read of `block_key`, returning its
+    /// 1-based sequence number. Replica attempts within the read then query
+    /// [`FaultInjector::replica_corrupt`] with this number. Deliberately
+    /// does not consult failure faults or the PRNG — block-level failure
+    /// injection stays at the path level where PR 2 put it.
+    pub fn begin_block_read(&mut self, block_key: &str) -> u64 {
+        if self.plan.corrupt_reads.is_empty() {
+            return 0;
+        }
+        let n = self.read_counts.entry(block_key.to_string()).or_insert(0);
+        *n += 1;
+        *n
+    }
+
+    /// Whether the copy of `block_key` served by `node` arrives corrupted
+    /// on the `nth` logical read (from [`FaultInjector::begin_block_read`]).
+    pub fn replica_corrupt(&mut self, block_key: &str, nth: u64, node: u32) -> bool {
+        let hit =
+            self.plan.corrupt_reads.iter().any(|s| {
+                (s.replica.is_none() || s.replica == Some(node)) && s.matches(block_key, nth)
+            });
+        if hit {
+            self.corrupted += 1;
+        }
+        hit
+    }
+
+    /// Deterministic byte-flip pattern for a corrupt delivery of `path`'s
+    /// `nth` read: `(position selector, xor mask)`. The flipping layer
+    /// applies `data[selector % len] ^= mask`. Derived purely from the plan
+    /// seed, the path, and `nth` — not from the live PRNG stream — so the
+    /// same plan corrupts the same byte on every run.
+    pub fn corruption_pattern(&self, path: &str, nth: u64) -> (u64, u8) {
+        let mut s = self
+            .plan
+            .seed
+            .wrapping_add(scirng::hash64(path.as_bytes()))
+            .wrapping_add(nth.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let selector = scirng::splitmix64(&mut s);
+        let mask = (scirng::splitmix64(&mut s) as u8) | 1;
+        (selector, mask)
     }
 
     /// When (if ever) `node` is scheduled to die. With duplicate entries the
@@ -234,5 +437,118 @@ mod tests {
         assert!(inj.take_read_fault("f").is_some());
         inj.install(FaultPlan::none().fail_read("f", 1));
         assert!(inj.take_read_fault("f").is_some(), "counts were reset");
+    }
+
+    #[test]
+    fn transient_corruption_hits_only_the_nth_read() {
+        let mut inj = FaultInjector::default();
+        inj.install(FaultPlan::none().corrupt_read("f", 2));
+        assert_eq!(inj.take_read_outcome("f"), ReadOutcome::Clean);
+        assert_eq!(
+            inj.take_read_outcome("f"),
+            ReadOutcome::Corrupt {
+                nth: 2,
+                silent: true
+            }
+        );
+        assert_eq!(
+            inj.take_read_outcome("f"),
+            ReadOutcome::Clean,
+            "re-read is clean"
+        );
+        assert_eq!(inj.take_read_outcome("g"), ReadOutcome::Clean);
+        assert_eq!(inj.injected_corruptions(), 1);
+        assert_eq!(inj.injected_read_failures(), 0);
+    }
+
+    #[test]
+    fn persistent_corruption_hits_every_read_from_nth() {
+        let mut inj = FaultInjector::default();
+        inj.install(FaultPlan::none().corrupt_read_persistent("f", 2));
+        assert_eq!(inj.take_read_outcome("f"), ReadOutcome::Clean);
+        for nth in 2..6 {
+            assert_eq!(
+                inj.take_read_outcome("f"),
+                ReadOutcome::Corrupt { nth, silent: true },
+                "read {nth} stays corrupt"
+            );
+        }
+    }
+
+    #[test]
+    fn detected_corruption_is_not_silent() {
+        let mut inj = FaultInjector::default();
+        inj.install(FaultPlan::none().corrupt_read_detected("f", 1));
+        assert_eq!(
+            inj.take_read_outcome("f"),
+            ReadOutcome::Corrupt {
+                nth: 1,
+                silent: false
+            }
+        );
+    }
+
+    #[test]
+    fn planned_failure_outranks_corruption() {
+        let mut inj = FaultInjector::default();
+        inj.install(FaultPlan::none().fail_read("f", 1).corrupt_read("f", 1));
+        assert_eq!(inj.take_read_outcome("f"), ReadOutcome::Fail { nth: 1 });
+    }
+
+    #[test]
+    fn replica_scope_limits_corruption_to_one_node() {
+        let mut inj = FaultInjector::default();
+        inj.install(FaultPlan::none().corrupt_replica("blk#7", 2));
+        let nth = inj.begin_block_read("blk#7");
+        assert_eq!(nth, 1);
+        assert!(inj.replica_corrupt("blk#7", nth, 2), "replica 2 is corrupt");
+        assert!(!inj.replica_corrupt("blk#7", nth, 0), "replica 0 is clean");
+        assert!(!inj.replica_corrupt("blk#9", nth, 2), "other blocks clean");
+
+        inj.install(FaultPlan::none().corrupt_all_replicas("blk#7"));
+        let nth = inj.begin_block_read("blk#7");
+        assert!(inj.replica_corrupt("blk#7", nth, 0));
+        assert!(inj.replica_corrupt("blk#7", nth, 1));
+    }
+
+    #[test]
+    fn replica_corruption_is_invisible_to_path_reads() {
+        // A replica-scoped spec must not corrupt plain path-level reads.
+        let mut inj = FaultInjector::default();
+        inj.install(FaultPlan::none().corrupt_replica("f", 1));
+        assert_eq!(inj.take_read_outcome("f"), ReadOutcome::Clean);
+    }
+
+    #[test]
+    fn corruption_pattern_is_stable_and_distinct() {
+        let mut inj = FaultInjector::default();
+        inj.install(FaultPlan::none().with_random_read_failures(9, 0.0));
+        let a = inj.corruption_pattern("f", 1);
+        assert_eq!(a, inj.corruption_pattern("f", 1), "same inputs, same flip");
+        assert_ne!(a, inj.corruption_pattern("f", 2));
+        assert_ne!(a, inj.corruption_pattern("g", 1));
+        assert_ne!(a.1, 0, "xor mask always flips at least one bit");
+        // Drawing from the live PRNG must not perturb the pattern.
+        let before = inj.corruption_pattern("h", 3);
+        inj.take_read_outcome("h");
+        assert_eq!(before, inj.corruption_pattern("h", 3));
+    }
+
+    #[test]
+    fn corruption_does_not_shift_probabilistic_failures() {
+        // The probabilistic fault sequence for reads unaffected by
+        // corruption specs must be identical with and without them.
+        let run = |with_corruption: bool| {
+            let mut plan = FaultPlan::none().with_random_read_failures(11, 0.3);
+            if with_corruption {
+                plan = plan.corrupt_read("other", 999);
+            }
+            let mut inj = FaultInjector::default();
+            inj.install(plan);
+            (0..100)
+                .map(|_| matches!(inj.take_read_outcome("p"), ReadOutcome::Fail { .. }))
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(false), run(true));
     }
 }

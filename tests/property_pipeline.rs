@@ -76,6 +76,103 @@ fn scidp_slabs_equal_direct_reads() {
     }
 }
 
+/// Flipping any single byte of a staged SNC file must never produce
+/// silently wrong output: the run either commits output byte-identical to
+/// the clean run (flip not on the read path, or repaired), or fails with a
+/// typed error — specifically an IntegrityError for flips in the
+/// checksummed chunk-data region.
+#[test]
+fn single_byte_flip_is_detected_or_harmless_never_wrong() {
+    use scidp_suite::mapreduce::Cluster;
+    use scidp_suite::scidp::ScidpError;
+
+    let spec = WrfSpec::tiny(1);
+    let cfg = || WorkflowConfig {
+        n_reducers: 1,
+        raster: (8, 8),
+        ..WorkflowConfig::img_only(["QR"])
+    };
+    let world = || {
+        let mut cluster = paper_cluster(2, &spec);
+        let ds = stage_nuwrf(&mut cluster, &spec, "nuwrf");
+        (cluster, ds)
+    };
+    let read_output = |c: &Cluster| -> Vec<(String, Vec<u8>)> {
+        let h = c.hdfs.borrow();
+        let mut files = h.namenode.list_files_recursive("scidp_out").unwrap();
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        files
+            .iter()
+            .map(|f| {
+                let mut data = Vec::new();
+                for b in h.namenode.blocks(&f.path).unwrap() {
+                    data.extend_from_slice(&h.datanodes.get(b.locations()[0], b.id).unwrap());
+                }
+                (f.path.clone(), data)
+            })
+            .collect()
+    };
+
+    // Clean reference run.
+    let (mut clean, ds) = world();
+    let path = ds.info.files[0].clone();
+    let clean_bytes = clean
+        .pfs
+        .borrow()
+        .file(&path)
+        .unwrap()
+        .data
+        .as_ref()
+        .clone();
+    let data_off = SncFile::open(clean_bytes.clone())
+        .unwrap()
+        .meta()
+        .data_offset;
+    run_scidp(&mut clean, &ds.pfs_uri(), &cfg()).unwrap();
+    let clean_out = read_output(&clean);
+    assert!(!clean_out.is_empty());
+
+    let mut rng = Rng::seed_from_u64(0x00C0_FFEE);
+    let len = clean_bytes.len();
+    for trial in 0..32 {
+        // Alternate between the checksummed data region and anywhere at
+        // all (headers included).
+        let pos = if trial % 2 == 0 {
+            data_off + rng.below(len - data_off)
+        } else {
+            rng.below(len)
+        };
+        let (mut c, ds) = world();
+        {
+            let mut bytes = clean_bytes.clone();
+            bytes[pos] ^= 1 << rng.below(8);
+            c.pfs.borrow_mut().create(path.clone(), bytes);
+        }
+        match run_scidp(&mut c, &ds.pfs_uri(), &cfg()) {
+            Ok(_) => {
+                // Flip was off the read path (skipped variable, slack
+                // space) — the committed output must be bit-identical.
+                assert_eq!(
+                    read_output(&c),
+                    clean_out,
+                    "flip at byte {pos} silently changed the output"
+                );
+            }
+            Err(e) => {
+                // Failing is always acceptable — wrong data is not. Flips
+                // inside the chunk-data region must fail as IntegrityError
+                // (detected by CRC, unrepairable, quarantined).
+                if pos >= data_off {
+                    assert!(
+                        matches!(e, ScidpError::Integrity(_)),
+                        "flip at data byte {pos} failed untyped: {e}"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Input-byte accounting equals the mapped compressed bytes exactly.
 #[test]
 fn input_bytes_equal_mapped_bytes() {

@@ -286,6 +286,7 @@ pub fn run_vanilla(
         spill_to_pfs: false,
         output_to_pfs: false,
         ft: mapreduce::FtConfig::default(),
+        stream: mapreduce::StreamConfig::default(),
     };
     let result = run_job(cluster, job).expect("vanilla job succeeds");
     SolutionReport {
@@ -359,6 +360,7 @@ pub fn run_porthadoop_with_chunks(
         spill_to_pfs: false,
         output_to_pfs: false,
         ft: mapreduce::FtConfig::default(),
+        stream: mapreduce::StreamConfig::default(),
     };
     let result = run_job(cluster, job).expect("porthadoop job succeeds");
     SolutionReport {
@@ -419,6 +421,7 @@ pub fn run_scihadoop(
         spill_to_pfs: false,
         output_to_pfs: false,
         ft: mapreduce::FtConfig::default(),
+        stream: mapreduce::StreamConfig::default(),
     };
     let result = run_job(cluster, job).expect("scihadoop job succeeds");
     SolutionReport {

@@ -38,6 +38,16 @@ impl SplitFetcher for TagFetcher {
         );
     }
 
+    fn open_stream(
+        &self,
+        env: &MrEnv,
+        sim: &mut Sim,
+        node: NodeId,
+    ) -> Option<Box<dyn mapreduce::PieceStream>> {
+        let inner = self.inner.open_stream(env, sim, node)?;
+        Some(mapreduce::retag_stream(inner, self.tag.clone()))
+    }
+
     fn describe(&self) -> String {
         format!("{} [{}]", self.inner.describe(), self.tag)
     }

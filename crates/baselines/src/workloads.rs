@@ -248,6 +248,7 @@ fn terasort(cluster: &mut Cluster, backend: Backend, cfg: &Fig2Config) -> f64 {
         spill_to_pfs: false,
         output_to_pfs: false,
         ft: mapreduce::FtConfig::default(),
+        stream: mapreduce::StreamConfig::default(),
     };
     apply_backend(&mut job, backend);
     run_job(cluster, job).expect("terasort succeeds").elapsed()
@@ -292,6 +293,7 @@ fn grep(cluster: &mut Cluster, backend: Backend, cfg: &Fig2Config) -> f64 {
         spill_to_pfs: false,
         output_to_pfs: false,
         ft: mapreduce::FtConfig::default(),
+        stream: mapreduce::StreamConfig::default(),
     };
     apply_backend(&mut job, backend);
     run_job(cluster, job).expect("grep succeeds").elapsed()
@@ -320,6 +322,7 @@ fn dfsio_write(cluster: &mut Cluster, backend: Backend, cfg: &Fig2Config) -> f64
         spill_to_pfs: false,
         output_to_pfs: false,
         ft: mapreduce::FtConfig::default(),
+        stream: mapreduce::StreamConfig::default(),
     };
     apply_backend(&mut job, backend);
     run_job(cluster, job)
@@ -348,6 +351,7 @@ fn dfsio_read(cluster: &mut Cluster, backend: Backend, cfg: &Fig2Config) -> f64 
         spill_to_pfs: false,
         output_to_pfs: false,
         ft: mapreduce::FtConfig::default(),
+        stream: mapreduce::StreamConfig::default(),
     };
     apply_backend(&mut job, backend);
     run_job(cluster, job)

@@ -73,6 +73,7 @@ fn main() {
             spill_to_pfs: false,
             output_to_pfs: false,
             ft: mapreduce::FtConfig::default(),
+            stream: mapreduce::StreamConfig::default(),
         };
         let t = run_job(&mut c, job).expect("scan job succeeds").elapsed();
         let b = *base.get_or_insert(t);

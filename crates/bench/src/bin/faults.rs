@@ -20,7 +20,7 @@ use mapreduce::{
 };
 use pfs::PfsConfig;
 use scidp_bench::{fmt_s, fmt_x, quick_mode, row};
-use simnet::{ClusterSpec, CostModel, FaultPlan};
+use simnet::{ClusterSpec, CostModel, FaultPlan, NodeId};
 
 const INPUT: &str = "data/faultbench.bin";
 const FILE_BYTES: u64 = 64 * 1024;
@@ -92,6 +92,7 @@ fn byte_count_job(ft: FtConfig) -> Job {
         spill_to_pfs: false,
         output_to_pfs: false,
         ft,
+        stream: mapreduce::StreamConfig::default(),
     }
 }
 
@@ -127,6 +128,50 @@ fn run_with(plan: FaultPlan, ft: FtConfig) -> RunStats {
     let mut c = fresh_cluster();
     c.sim.faults.install(plan);
     let r = run_job(&mut c, byte_count_job(ft)).expect("fault bench job must survive its plan");
+    RunStats {
+        elapsed: r.elapsed(),
+        map_attempts: r.counters.get(keys::MAP_ATTEMPTS),
+        retries: r.counters.get(keys::TASK_RETRIES),
+        spec_launched: r.counters.get(keys::SPECULATIVE_LAUNCHED),
+        spec_won: r.counters.get(keys::SPECULATIVE_WON),
+        blacklisted: r.counters.get(keys::NODE_BLACKLISTED),
+        injected: c.sim.faults.injected_read_failures(),
+        output: read_output(&c),
+    }
+}
+
+/// A single split pinned to node 0 by locality whose first three reads
+/// fail. Locality preference re-schedules every retry onto node 0 until
+/// the third failure crosses `node_blacklist_threshold` (default 3), at
+/// which point the node is blacklisted and attempt 4 succeeds elsewhere.
+fn blacklist_scenario() -> RunStats {
+    const BL_INPUT: &str = "data/blacklist.bin";
+    const BL_BYTES: u64 = 4 * 1024;
+    let mut c = fresh_cluster();
+    let bytes: Vec<u8> = (0..BL_BYTES).map(|i| (i % 5) as u8).collect();
+    c.pfs.borrow_mut().create(BL_INPUT.to_string(), bytes);
+    c.sim.faults.install(
+        FaultPlan::none()
+            .fail_read(BL_INPUT, 1)
+            .fail_read(BL_INPUT, 2)
+            .fail_read(BL_INPUT, 3),
+    );
+    let mut job = byte_count_job(FtConfig {
+        max_task_attempts: 6,
+        ..FtConfig::default()
+    });
+    job.name = "blacklist".into();
+    job.splits = vec![InputSplit {
+        length: BL_BYTES,
+        locations: vec![NodeId(0)],
+        fetcher: Rc::new(FlatPfsFetcher {
+            pfs_path: BL_INPUT.to_string(),
+            offset: 0,
+            len: BL_BYTES,
+            sequential_chunks: 1,
+        }),
+    }];
+    let r = run_job(&mut c, job).expect("blacklist job must finish off the bad node");
     RunStats {
         elapsed: r.elapsed(),
         map_attempts: r.counters.get(keys::MAP_ATTEMPTS),
@@ -236,6 +281,14 @@ fn main() {
     let kill = run_with(FaultPlan::none().kill_node(1, 1.5), FtConfig::default());
     let base = baseline.as_ref().unwrap();
     assert_eq!(kill.output, base.output, "node kill must not change output");
+    // A killed node is taken out of scheduling outright, so no *further*
+    // attempts can fail on it — the blacklist counter staying at zero here
+    // is correct behavior, not a bug (verified below, where repeated
+    // failures on a live node do trip the blacklist).
+    assert_eq!(
+        kill.blacklisted, 0.0,
+        "a dead node is unschedulable, never blacklisted"
+    );
     println!();
     println!(
         "node kill at t=1.5s: {} (vs clean {}), {} retries, {} blacklisted",
@@ -243,6 +296,24 @@ fn main() {
         fmt_s(base.elapsed),
         kill.retries,
         kill.blacklisted,
+    );
+
+    // Blacklist: repeated task failures on one *live* node. A split pinned
+    // to node 0 by locality whose first three reads fail makes attempts
+    // 1–3 all fail there (locality preference re-schedules each retry on
+    // the data-holding node); the third failure crosses the default
+    // threshold, blacklists node 0, and attempt 4 succeeds elsewhere.
+    let bl = blacklist_scenario();
+    assert_eq!(bl.retries, 3.0, "three injected failures, three retries");
+    assert!(
+        bl.blacklisted >= 1.0,
+        "repeated failures on a live node must blacklist it (got {})",
+        bl.blacklisted
+    );
+    println!();
+    println!(
+        "blacklist (3 read failures pinned to node 0): {} retries, {} blacklisted",
+        bl.retries, bl.blacklisted,
     );
 
     // JSON artifact.
@@ -257,7 +328,7 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",");
     let json = format!(
-        "{{\n  \"sweep\": [{sweep_json}],\n  \"speculation\": {{\"slow_factor\": 6.0, \"off_s\": {:.6}, \"on_s\": {:.6}, \"speedup\": {:.3}, \"launched\": {:.0}, \"won\": {:.0}}},\n  \"node_kill\": {{\"elapsed_s\": {:.6}, \"clean_s\": {:.6}, \"task_retries\": {:.0}, \"node_blacklisted\": {:.0}}}\n}}\n",
+        "{{\n  \"sweep\": [{sweep_json}],\n  \"speculation\": {{\"slow_factor\": 6.0, \"off_s\": {:.6}, \"on_s\": {:.6}, \"speedup\": {:.3}, \"launched\": {:.0}, \"won\": {:.0}}},\n  \"node_kill\": {{\"elapsed_s\": {:.6}, \"clean_s\": {:.6}, \"task_retries\": {:.0}, \"node_blacklisted\": {:.0}}},\n  \"blacklist\": {{\"elapsed_s\": {:.6}, \"map_attempts\": {:.0}, \"task_retries\": {:.0}, \"node_blacklisted\": {:.0}, \"injected_read_failures\": {}}}\n}}\n",
         no_spec.elapsed,
         with_spec.elapsed,
         no_spec.elapsed / with_spec.elapsed,
@@ -267,6 +338,11 @@ fn main() {
         base.elapsed,
         kill.retries,
         kill.blacklisted,
+        bl.elapsed,
+        bl.map_attempts,
+        bl.retries,
+        bl.blacklisted,
+        bl.injected,
     );
     std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
     println!();

@@ -53,6 +53,15 @@ pub mod keys {
     pub const CHUNKS_QUARANTINED: &str = "chunks_quarantined";
     /// Data Mapper source files revalidated against the PFS at job launch.
     pub const MAPPING_REVALIDATIONS: &str = "mapping_revalidations";
+    /// Virtual seconds the streaming input pipeline saved vs running the
+    /// same reads and compute back-to-back (Σ over committed map tasks).
+    pub const OVERLAP_SAVED_S: &str = "overlap_saved_s";
+    /// Stream pieces that were already resident when the compute pipeline
+    /// was ready for them (i.e. the prefetch fully hid their read).
+    pub const PIECES_PREFETCHED: &str = "pieces_prefetched";
+    /// Configured decompressed-chunk cache capacity of the job's reader
+    /// (bytes; recorded once per run alongside hit/miss counters).
+    pub const CHUNK_CACHE_CAPACITY_BYTES: &str = "chunk_cache_capacity_bytes";
 }
 
 impl Counters {

@@ -66,14 +66,100 @@ impl FetchResult {
 /// fetchers must never panic on I/O errors.
 pub type FetchDone = Box<dyn FnOnce(&mut Sim, Result<FetchResult, MrError>)>;
 
+/// One chunk-granular unit of a streaming fetch (see [`PieceStream`]).
+///
+/// A piece carries no payload bytes itself — the stream keeps the data
+/// internally and assembles the full [`FetchResult`] in
+/// [`PieceStream::finish`]. What the driver needs per piece is its weight
+/// (to apportion map compute across the overlap timeline) and the charges
+/// and counter deltas its transfer produced.
+pub struct FetchPiece {
+    /// Delivered weight of this piece in bytes (decompressed for codec
+    /// fetchers). The driver attributes `bytes / Σ bytes` of the split-wide
+    /// map compute to this piece when pipelining reads against compute.
+    pub bytes: u64,
+    /// `(phase name, virtual seconds)` of compute this piece's arrival
+    /// implies (e.g. decompressing this one chunk).
+    pub charges: Vec<(&'static str, f64)>,
+    /// `(counter key, amount)` deltas (cache misses, codec seconds,
+    /// integrity events) — attempt-local, exact under retries.
+    pub counters: Vec<(&'static str, f64)>,
+}
+
+/// Completion callback of one [`PieceStream::fetch_piece`]. An `Err` kills
+/// the attempt exactly like a batch fetch error.
+pub type PieceDone = Box<dyn FnOnce(&mut Sim, Result<FetchPiece, MrError>)>;
+
+/// A streaming view of one split's fetch: the driver pulls pieces in index
+/// order through a bounded prefetch window, overlapping in-flight reads
+/// with per-piece map compute, then calls [`PieceStream::finish`] once all
+/// pieces have arrived to assemble the same [`FetchResult`] the batch path
+/// would have produced (byte-identical by construction).
+pub trait PieceStream {
+    /// Number of pieces this stream will deliver (fixed at open time).
+    fn n_pieces(&self) -> usize;
+
+    /// Start the timed transfer of piece `idx`; call `done` exactly once.
+    /// The driver issues pieces in index order, never more than the
+    /// prefetch depth in flight at once.
+    fn fetch_piece(&self, env: &MrEnv, sim: &mut Sim, node: NodeId, idx: usize, done: PieceDone);
+
+    /// Assemble the final result after every piece has arrived. Charges and
+    /// counters already reported on pieces must not be repeated here.
+    fn finish(&self) -> Result<FetchResult, MrError>;
+}
+
 /// Fetches one split's data inside a running task.
 pub trait SplitFetcher {
     /// Start the (timed) fetch on `node`; call `done` exactly once with the
     /// result (or the error that killed this attempt).
     fn fetch(&self, env: &MrEnv, sim: &mut Sim, node: NodeId, done: FetchDone);
 
+    /// Open a streaming view of this split's fetch, or `None` if the
+    /// fetcher only supports one-shot fetches (the default). When `None`
+    /// (or when the job disables streaming) the driver falls back to
+    /// [`SplitFetcher::fetch`].
+    fn open_stream(
+        &self,
+        _env: &MrEnv,
+        _sim: &mut Sim,
+        _node: NodeId,
+    ) -> Option<Box<dyn PieceStream>> {
+        None
+    }
+
     /// Human-readable description for traces.
     fn describe(&self) -> String;
+}
+
+/// Wrap a stream so its assembled [`FetchResult`] carries `tag` — for
+/// fetcher wrappers that re-tag their inner fetcher's result.
+pub fn retag_stream(inner: Box<dyn PieceStream>, tag: String) -> Box<dyn PieceStream> {
+    struct Retag {
+        inner: Box<dyn PieceStream>,
+        tag: String,
+    }
+    impl PieceStream for Retag {
+        fn n_pieces(&self) -> usize {
+            self.inner.n_pieces()
+        }
+        fn fetch_piece(
+            &self,
+            env: &MrEnv,
+            sim: &mut Sim,
+            node: NodeId,
+            idx: usize,
+            done: PieceDone,
+        ) {
+            self.inner.fetch_piece(env, sim, node, idx, done)
+        }
+        fn finish(&self) -> Result<FetchResult, MrError> {
+            let mut fr = self.inner.finish()?;
+            fr.tag = self.tag.clone();
+            Ok(fr)
+        }
+    }
+    Box::new(Retag { inner, tag })
 }
 
 /// One unit of map work.
@@ -241,6 +327,26 @@ pub struct FlatPfsFetcher {
 }
 
 impl FlatPfsFetcher {
+    /// The byte ranges one fetch covers, in read-issue order (shared by the
+    /// batch and streaming paths so both consume fault-plan entries in the
+    /// same per-path order).
+    fn ranges(&self) -> Vec<(u64, u64)> {
+        let k = self.sequential_chunks.max(1) as u64;
+        let chunk = self.len.div_ceil(k);
+        let mut ranges = Vec::new();
+        let mut off = self.offset;
+        let end = self.offset + self.len;
+        while off < end {
+            let l = chunk.min(end - off);
+            ranges.push((off, l));
+            off += l;
+        }
+        if ranges.is_empty() {
+            ranges.push((self.offset, 0));
+        }
+        ranges
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn read_chunks(
         env: MrEnv,
@@ -286,31 +392,95 @@ impl FlatPfsFetcher {
     }
 }
 
+/// Streaming view of a [`FlatPfsFetcher`]: one piece per read request,
+/// parts re-assembled in range order at [`PieceStream::finish`] so the
+/// result is byte-identical to the batch path.
+struct FlatPieceStream {
+    path: String,
+    ranges: Vec<(u64, u64)>,
+    parts: Rc<std::cell::RefCell<Vec<Option<Vec<u8>>>>>,
+}
+
+impl PieceStream for FlatPieceStream {
+    fn n_pieces(&self) -> usize {
+        self.ranges.len()
+    }
+
+    fn fetch_piece(&self, env: &MrEnv, sim: &mut Sim, node: NodeId, idx: usize, done: PieceDone) {
+        let (off, len) = self.ranges[idx];
+        let slots = self.parts.clone();
+        let done_cell = std::rc::Rc::new(std::cell::RefCell::new(Some(done)));
+        let dc = done_cell.clone();
+        let res = pfs::read_at(
+            sim,
+            &env.topo,
+            &env.pfs,
+            node,
+            &self.path,
+            off as usize,
+            len as usize,
+            move |sim, bytes| {
+                let Some(done) = dc.borrow_mut().take() else {
+                    return;
+                };
+                slots.borrow_mut()[idx] = Some(bytes.to_vec());
+                done(
+                    sim,
+                    Ok(FetchPiece {
+                        bytes: len,
+                        charges: Vec::new(),
+                        counters: Vec::new(),
+                    }),
+                );
+            },
+        );
+        if let Err(e) = res {
+            if let Some(done) = done_cell.borrow_mut().take() {
+                let e = MrError(format!("pfs: {e}"));
+                sim.after(0.0, move |sim| done(sim, Err(e)));
+            }
+        }
+    }
+
+    fn finish(&self) -> Result<FetchResult, MrError> {
+        let mut acc = Vec::new();
+        for (i, p) in self.parts.borrow_mut().iter_mut().enumerate() {
+            match p.take() {
+                Some(bytes) => acc.extend_from_slice(&bytes),
+                None => return Err(MrError(format!("stream piece {i} missing at finish"))),
+            }
+        }
+        Ok(FetchResult::plain(TaskInput::Bytes(acc)))
+    }
+}
+
 impl SplitFetcher for FlatPfsFetcher {
     fn fetch(&self, env: &MrEnv, sim: &mut Sim, node: NodeId, done: FetchDone) {
-        let k = self.sequential_chunks.max(1) as u64;
-        let chunk = self.len.div_ceil(k);
-        let mut ranges = Vec::new();
-        let mut off = self.offset;
-        let end = self.offset + self.len;
-        while off < end {
-            let l = chunk.min(end - off);
-            ranges.push((off, l));
-            off += l;
-        }
-        if ranges.is_empty() {
-            ranges.push((self.offset, 0));
-        }
         FlatPfsFetcher::read_chunks(
             env.clone(),
             sim,
             node,
             self.pfs_path.clone(),
-            ranges,
+            self.ranges(),
             0,
             Vec::new(),
             done,
         );
+    }
+
+    fn open_stream(
+        &self,
+        _env: &MrEnv,
+        _sim: &mut Sim,
+        _node: NodeId,
+    ) -> Option<Box<dyn PieceStream>> {
+        let ranges = self.ranges();
+        let parts = Rc::new(std::cell::RefCell::new(vec![None; ranges.len()]));
+        Some(Box::new(FlatPieceStream {
+            path: self.pfs_path.clone(),
+            ranges,
+            parts,
+        }))
     }
 
     fn describe(&self) -> String {

@@ -9,7 +9,7 @@ use simnet::{NodeId, Sim};
 
 use crate::cluster::{Cluster, MrEnv};
 use crate::counters::{keys, Counters};
-use crate::input::{InputSplit, TaskInput};
+use crate::input::{InputSplit, PieceStream, TaskInput};
 
 /// Task-level failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -160,6 +160,29 @@ impl Default for FtConfig {
     }
 }
 
+/// Streaming-input pipeline policy: whether map attempts pull their split
+/// as chunk-granular pieces through a bounded prefetch window, overlapping
+/// in-flight PFS reads with per-piece map compute (§III-A.3's "reads
+/// proceed in parallel and overlapped with compute", realized *inside*
+/// each task instead of only across tasks).
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// Use streaming fetches when a split's fetcher supports them
+    /// (fetchers without streaming support always take the batch path).
+    pub enabled: bool,
+    /// Maximum pieces in flight at once (≥ 1; 2 = double buffering).
+    pub prefetch_depth: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            enabled: true,
+            prefetch_depth: 2,
+        }
+    }
+}
+
 /// A MapReduce job specification.
 #[derive(Clone)]
 pub struct Job {
@@ -179,6 +202,8 @@ pub struct Job {
     pub output_to_pfs: bool,
     /// Retry / blacklist / speculation policy.
     pub ft: FtConfig,
+    /// Intra-task read/compute overlap policy.
+    pub stream: StreamConfig,
 }
 
 impl Job {
@@ -201,6 +226,7 @@ impl Job {
             spill_to_pfs: false,
             output_to_pfs: false,
             ft: FtConfig::default(),
+            stream: StreamConfig::default(),
         }
     }
 }
@@ -878,7 +904,7 @@ fn maybe_speculate(sim: &mut Sim, d: &SharedDriver, id: AttemptId) {
 /// [`Counters`] merged only at commit, so failed/orphaned attempts never
 /// distort the job totals.
 fn run_map_attempt(sim: &mut Sim, d: &SharedDriver, id: AttemptId) {
-    let (env, startup, fetcher, node, split_len) = {
+    let (env, startup, fetcher, node, split_len, stream_cfg) = {
         let dd = d.borrow();
         let info = &dd.attempts[&id];
         (
@@ -887,6 +913,7 @@ fn run_map_attempt(sim: &mut Sim, d: &SharedDriver, id: AttemptId) {
             dd.job.splits[info.task].fetcher.clone(),
             info.node,
             dd.job.splits[info.task].length as f64,
+            dd.job.stream.clone(),
         )
     };
     let mut acnt = Counters::new();
@@ -897,6 +924,23 @@ fn run_map_attempt(sim: &mut Sim, d: &SharedDriver, id: AttemptId) {
             return;
         }
         let fetch_start = sim.now().secs();
+        if stream_cfg.enabled {
+            if let Some(stream) = fetcher.open_stream(&env, sim, node) {
+                run_stream_attempt(
+                    sim,
+                    &d2,
+                    id,
+                    &env,
+                    stream.into(),
+                    node,
+                    startup,
+                    fetch_start,
+                    stream_cfg.prefetch_depth.max(1),
+                    acnt,
+                );
+                return;
+            }
+        }
         let d3 = d2.clone();
         fetcher.fetch(
             &env,
@@ -955,6 +999,275 @@ fn run_map_attempt(sim: &mut Sim, d: &SharedDriver, id: AttemptId) {
                 });
             }),
         );
+    });
+}
+
+/// Bookkeeping of one streaming map attempt: pieces are issued in index
+/// order through a window of at most `prefetch_depth` in-flight reads, and
+/// each arrival is timestamped so the pipelined-compute timeline can be
+/// derived once the full split is resident.
+struct StreamState {
+    next_issue: usize,
+    in_flight: usize,
+    arrived: usize,
+    /// Absolute arrival time of each piece (valid once arrived).
+    arrivals: Vec<f64>,
+    /// Unscaled compute seconds each piece's arrival implies.
+    piece_charge: Vec<f64>,
+    /// Weight of each piece for apportioning split-wide map compute.
+    piece_bytes: Vec<f64>,
+    /// Per-piece `(phase, secs)` charges, accumulated for the task report.
+    charges: Vec<(&'static str, f64)>,
+    /// Attempt-local counters (input bytes + per-piece deltas).
+    acnt: Counters,
+}
+
+/// Streaming fetch of one map attempt (the intra-task read/compute overlap
+/// pipeline). Reads run for real through the simulated PFS with at most
+/// `depth` pieces in flight; the map function runs once on the assembled
+/// input (so output stays byte-identical to the batch path), and the
+/// attempt's duration is the pipelined timeline
+/// `f_i = max(f_{i-1}, a_i) + c_i` — compute of piece `i` starts as soon as
+/// both the piece has arrived (`a_i`) and the previous piece's compute has
+/// finished, i.e. `max(read, compute)`-shaped instead of `read + compute`.
+#[allow(clippy::too_many_arguments)]
+fn run_stream_attempt(
+    sim: &mut Sim,
+    d: &SharedDriver,
+    id: AttemptId,
+    env: &MrEnv,
+    stream: Rc<dyn PieceStream>,
+    node: NodeId,
+    startup: f64,
+    fetch_start: f64,
+    depth: usize,
+    acnt: Counters,
+) {
+    let n = stream.n_pieces();
+    let st = Rc::new(RefCell::new(StreamState {
+        next_issue: 0,
+        in_flight: 0,
+        arrived: 0,
+        arrivals: vec![0.0; n],
+        piece_charge: vec![0.0; n],
+        piece_bytes: vec![0.0; n],
+        charges: Vec::new(),
+        acnt,
+    }));
+    if n == 0 {
+        // Nothing to transfer (e.g. every chunk was cached): straight to map.
+        stream_map(sim, d, id, stream, st, node, startup, fetch_start);
+        return;
+    }
+    issue_pieces(
+        sim,
+        d,
+        id,
+        env,
+        &stream,
+        &st,
+        node,
+        startup,
+        fetch_start,
+        depth,
+    );
+}
+
+/// Top up the prefetch window: issue pieces in index order until `depth`
+/// are in flight or none remain. Each completion refills the window (or,
+/// on the last arrival, runs the map).
+#[allow(clippy::too_many_arguments)]
+fn issue_pieces(
+    sim: &mut Sim,
+    d: &SharedDriver,
+    id: AttemptId,
+    env: &MrEnv,
+    stream: &Rc<dyn PieceStream>,
+    st: &Rc<RefCell<StreamState>>,
+    node: NodeId,
+    startup: f64,
+    fetch_start: f64,
+    depth: usize,
+) {
+    loop {
+        let idx = {
+            let mut s = st.borrow_mut();
+            if s.next_issue >= s.arrivals.len() || s.in_flight >= depth {
+                return;
+            }
+            let i = s.next_issue;
+            s.next_issue += 1;
+            s.in_flight += 1;
+            i
+        };
+        let (d2, env2, stream2, st2) = (d.clone(), env.clone(), stream.clone(), st.clone());
+        stream.fetch_piece(
+            env,
+            sim,
+            node,
+            idx,
+            Box::new(move |sim, res| {
+                if !attempt_live(&d2, id) {
+                    return; // attempt failed or was orphaned mid-stream
+                }
+                let piece = match res {
+                    Ok(p) => p,
+                    Err(e) => {
+                        // Kills the attempt exactly like a batch fetch
+                        // error; siblings still in flight fall silent on
+                        // the `attempt_live` guard above.
+                        attempt_failed(sim, &d2, id, e);
+                        return;
+                    }
+                };
+                let all = {
+                    let mut s = st2.borrow_mut();
+                    s.in_flight -= 1;
+                    s.arrived += 1;
+                    s.arrivals[idx] = sim.now().secs();
+                    s.piece_bytes[idx] = piece.bytes as f64;
+                    s.piece_charge[idx] = piece.charges.iter().map(|(_, c)| c).sum();
+                    s.charges.extend(piece.charges);
+                    for (k, v) in piece.counters {
+                        s.acnt.add(k, v);
+                    }
+                    s.arrived == s.arrivals.len()
+                };
+                if all {
+                    stream_map(sim, &d2, id, stream2, st2, node, startup, fetch_start);
+                } else {
+                    issue_pieces(
+                        sim,
+                        &d2,
+                        id,
+                        &env2,
+                        &stream2,
+                        &st2,
+                        node,
+                        startup,
+                        fetch_start,
+                        depth,
+                    );
+                }
+            }),
+        );
+    }
+}
+
+/// All pieces are resident: assemble the split, run the map function, and
+/// schedule the attempt's end at the pipelined finish time. The "read"
+/// phase records only the *stalled* read seconds (time the compute
+/// pipeline actually waited on bytes); `overlap_saved_s` records how much
+/// shorter the pipelined timeline is than read-then-compute.
+#[allow(clippy::too_many_arguments)]
+fn stream_map(
+    sim: &mut Sim,
+    d: &SharedDriver,
+    id: AttemptId,
+    stream: Rc<dyn PieceStream>,
+    st: Rc<RefCell<StreamState>>,
+    node: NodeId,
+    startup: f64,
+    fetch_start: f64,
+) {
+    let fr = match stream.finish() {
+        Ok(fr) => fr,
+        Err(e) => {
+            attempt_failed(sim, d, id, e);
+            return;
+        }
+    };
+    let (map_fn, penalty) = {
+        let dd = d.borrow();
+        let p = if dd.env.slots_per_node > 1 {
+            sim.cost.parallel_compute_penalty
+        } else {
+            1.0
+        };
+        (dd.job.map_fn.clone(), p)
+    };
+    let mut ctx = TaskCtx::new(sim.cost.clone());
+    ctx.tag = fr.tag;
+    for (phase, secs) in &fr.charges {
+        ctx.charge(phase, *secs);
+    }
+    for (key, v) in &fr.counters {
+        st.borrow_mut().acnt.add(key, *v);
+    }
+    if let Err(e) = (map_fn)(fr.input, &mut ctx) {
+        attempt_failed(sim, d, id, e);
+        return;
+    }
+    let factor = penalty * sim.faults.slow_factor(node.0);
+    let (arrivals, piece_charge, piece_bytes, piece_phases, mut acnt) = {
+        let mut s = st.borrow_mut();
+        (
+            std::mem::take(&mut s.arrivals),
+            std::mem::take(&mut s.piece_charge),
+            std::mem::take(&mut s.piece_bytes),
+            std::mem::take(&mut s.charges),
+            std::mem::take(&mut s.acnt),
+        )
+    };
+    let now = sim.now().secs();
+    let n = arrivals.len();
+    // Compute of piece `i` = its own charge plus its byte-weighted share of
+    // the split-wide charges (map + finish-level fetch charges).
+    let tail = ctx.total_charge();
+    let total_bytes: f64 = piece_bytes.iter().sum();
+    let mut stall = 0.0;
+    let finish_t = if n == 0 {
+        now + tail * factor
+    } else {
+        let mut f = fetch_start;
+        let mut compute_total = 0.0;
+        let mut prefetched = 0.0;
+        for (i, (&a, (&pb, &pc))) in arrivals
+            .iter()
+            .zip(piece_bytes.iter().zip(piece_charge.iter()))
+            .enumerate()
+        {
+            let w = if total_bytes > 0.0 {
+                pb / total_bytes
+            } else {
+                1.0 / n as f64
+            };
+            let c = (pc + tail * w) * factor;
+            compute_total += c;
+            if a <= f && i > 0 {
+                prefetched += 1.0; // read fully hidden behind compute
+            } else {
+                stall += a - f;
+            }
+            f = f.max(a) + c;
+        }
+        // `f == fetch_start + stall + compute_total` by construction, and
+        // `f >= now` since every piece's compute follows its arrival. The
+        // saving is vs. the batch shape `now + compute_total`.
+        let saved = (now + compute_total - f).max(0.0);
+        if saved > 0.0 {
+            acnt.add(keys::OVERLAP_SAVED_S, saved);
+        }
+        if prefetched > 0.0 {
+            acnt.add(keys::PIECES_PREFETCHED, prefetched);
+        }
+        f
+    };
+    let mut phases = vec![("startup", startup), ("read", stall)];
+    for (p, s) in &piece_phases {
+        phases.push((p, s * factor));
+    }
+    for (p, s) in &ctx.charges {
+        phases.push((p, s * factor));
+    }
+    let records = ctx.records;
+    let emitted = ctx.emitted;
+    let d4 = d.clone();
+    sim.after((finish_t - now).max(0.0), move |sim| {
+        if !attempt_live(&d4, id) {
+            return;
+        }
+        finish_map_compute(sim, &d4, id, phases, emitted, records, acnt)
     });
 }
 
@@ -1586,6 +1899,7 @@ mod tests {
             n_reducers: reducers,
             output_dir: "out".into(),
             ft: FtConfig::default(),
+            stream: StreamConfig::default(),
         }
     }
 
@@ -1709,6 +2023,7 @@ mod tests {
             n_reducers: 1,
             output_dir: "out".into(),
             ft: FtConfig::default(),
+            stream: StreamConfig::default(),
         };
         let r = run_job(&mut c, job);
         assert_eq!(r.unwrap_err(), MrError("kaboom".into()));
@@ -1767,6 +2082,7 @@ mod tests {
             n_reducers: 1,
             output_dir: "out".into(),
             ft: FtConfig::default(),
+            stream: StreamConfig::default(),
         };
         let r = run_job(&mut c, job).unwrap();
         let t = &r.tasks[0];

@@ -27,10 +27,11 @@ pub mod job;
 pub use cluster::{Cluster, MrEnv};
 pub use counters::{keys as counter_keys, Counters};
 pub use input::{
-    hdfs_file_splits, integrity_counter_delta, FetchDone, FetchResult, FlatPfsFetcher,
-    HdfsBlockFetcher, InMemoryFetcher, InputSplit, SplitFetcher, TaskInput,
+    hdfs_file_splits, integrity_counter_delta, retag_stream, FetchDone, FetchPiece, FetchResult,
+    FlatPfsFetcher, HdfsBlockFetcher, InMemoryFetcher, InputSplit, PieceDone, PieceStream,
+    SplitFetcher, TaskInput,
 };
 pub use job::{
     run_job, submit_job, submit_job_env, FtConfig, Job, JobResult, MapFn, MrError, Payload,
-    ReduceFn, TaskCtx, TaskKind, TaskReport,
+    ReduceFn, StreamConfig, TaskCtx, TaskKind, TaskReport,
 };

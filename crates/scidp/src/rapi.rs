@@ -34,6 +34,9 @@ pub struct ScidpInput {
     pub align_to_chunks: bool,
     /// Dummy-block size for flat files (real bytes).
     pub flat_block_size: usize,
+    /// Capacity of the job's shared decompressed-chunk cache in bytes
+    /// (0 disables caching).
+    pub cache_bytes: usize,
 }
 
 impl ScidpInput {
@@ -44,6 +47,7 @@ impl ScidpInput {
             chunk_split: 1,
             align_to_chunks: true,
             flat_block_size: 128 << 20,
+            cache_bytes: scifmt::snc::DEFAULT_CACHE_BYTES,
         }
     }
 
@@ -65,6 +69,12 @@ impl ScidpInput {
 
     pub fn flat_block_size(mut self, bytes: usize) -> Self {
         self.flat_block_size = bytes;
+        self
+    }
+
+    /// Size the job's decompressed-chunk cache (0 disables caching).
+    pub fn cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = bytes;
         self
     }
 }
@@ -116,7 +126,7 @@ pub fn make_splits(
         };
         // One decompressed-chunk cache shared by every fetcher of this job
         // (keys are content-unique per file, so one pool serves them all).
-        let cache = std::sync::Arc::new(scifmt::snc::ChunkCache::default());
+        let cache = std::sync::Arc::new(scifmt::snc::ChunkCache::new(input.cache_bytes));
         let mut splits = Vec::with_capacity(mapping.blocks.len());
         for b in &mapping.blocks {
             let fetcher: Rc<dyn mapreduce::SplitFetcher> = match (&b.descriptor, &b.var) {
@@ -251,6 +261,16 @@ impl mapreduce::SplitFetcher for TaggedSciFetcher {
         );
     }
 
+    fn open_stream(
+        &self,
+        env: &MrEnv,
+        sim: &mut simnet::Sim,
+        node: simnet::NodeId,
+    ) -> Option<Box<dyn mapreduce::PieceStream>> {
+        let inner = self.inner.open_stream(env, sim, node)?;
+        Some(mapreduce::retag_stream(inner, encode_tag(&self.inner)))
+    }
+
     fn describe(&self) -> String {
         self.inner.describe()
     }
@@ -379,6 +399,8 @@ pub struct RJob {
     /// Real raster size; `(0, 0)` derives it from the dataset scale so
     /// real PNG bytes and logical image bytes stay proportional.
     pub raster: (u32, u32),
+    /// Intra-task read/compute overlap policy forwarded to the engine job.
+    pub stream: mapreduce::StreamConfig,
 }
 
 /// Build the slab's coordinate data frame (really, with real columns).
@@ -508,6 +530,7 @@ impl RJob {
                 spill_to_pfs: false,
                 output_to_pfs: false,
                 ft: mapreduce::FtConfig::default(),
+                stream: self.stream,
             },
             setup,
         ))

@@ -16,7 +16,10 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use mapreduce::counters::keys;
-use mapreduce::{FetchDone, FetchResult, MrEnv, MrError, SplitFetcher, TaskInput};
+use mapreduce::{
+    FetchDone, FetchPiece, FetchResult, MrEnv, MrError, PieceDone, PieceStream, SplitFetcher,
+    TaskInput,
+};
 use scifmt::hyperslab;
 use scifmt::snc::{assemble_slab, chunk_extents_of, ChunkCache};
 use scifmt::VarMeta;
@@ -302,11 +305,222 @@ impl SplitFetcher for SciSlabFetcher {
         }
     }
 
+    fn open_stream(
+        &self,
+        _env: &MrEnv,
+        _sim: &mut Sim,
+        _node: NodeId,
+    ) -> Option<Box<dyn PieceStream>> {
+        let shape = self.var.shape();
+        let ids =
+            hyperslab::chunks_for_slab(&shape, &self.var.chunk_shape, &self.start, &self.count);
+        let extents = chunk_extents_of(&self.var, self.data_offset);
+        let file_key = ChunkCache::file_key(&self.pfs_path);
+        let collected: Rc<RefCell<HashMap<usize, Arc<Vec<u8>>>>> =
+            Rc::new(RefCell::new(HashMap::new()));
+        let mut pieces = Vec::new();
+        let mut hits = 0usize;
+        for &i in &ids {
+            if self.cache.is_quarantined((file_key, extents[i].offset)) {
+                // Known-bad chunk: deliver it as a piece that fails at
+                // issue time, so the attempt dies with the same typed
+                // error the batch path fast-fails with. Quarantined pieces
+                // sort first so the failure fires before real reads land.
+                pieces.insert(0, SlabPiece::Quarantined(i));
+                continue;
+            }
+            match self.cache.lookup((file_key, extents[i].offset)) {
+                Some(raw) => {
+                    collected.borrow_mut().insert(i, raw);
+                    hits += 1;
+                }
+                None => pieces.push(SlabPiece::Read {
+                    idx: i,
+                    offset: extents[i].offset,
+                    clen: extents[i].clen,
+                    rlen: extents[i].rlen,
+                    crc: extents[i].crc,
+                }),
+            }
+        }
+        Some(Box::new(SlabPieceStream {
+            pfs_path: Rc::new(self.pfs_path.clone()),
+            var: self.var.clone(),
+            start: self.start.clone(),
+            count: self.count.clone(),
+            cache: self.cache.clone(),
+            file_key,
+            hits,
+            pieces,
+            collected,
+        }))
+    }
+
     fn describe(&self) -> String {
         format!(
             "scidp://{}#{}[{:?}+{:?}]",
             self.pfs_path, self.var.name, self.start, self.count
         )
+    }
+}
+
+/// One piece of a streaming slab fetch.
+enum SlabPiece {
+    /// Chunk quarantined by a prior fetch — fails the attempt at issue
+    /// time with zero PFS traffic, like the batch fast-fail.
+    Quarantined(usize),
+    /// A cache-miss chunk: `(idx, offset, clen, rlen, crc)` read through
+    /// the verify/repair machine, decoded and cached on arrival.
+    Read {
+        idx: usize,
+        offset: u64,
+        clen: u64,
+        rlen: u64,
+        crc: u32,
+    },
+}
+
+/// Streaming view of a [`SciSlabFetcher`]: one piece per cache-miss chunk
+/// (cache hits are collected at open and cost nothing). Each piece runs
+/// the same CRC verify → re-read repair → quarantine machine as the batch
+/// path, decodes its chunk on arrival (that is the per-piece compute the
+/// driver overlaps with later reads), and [`PieceStream::finish`]
+/// assembles the identical hyperslab.
+struct SlabPieceStream {
+    pfs_path: Rc<String>,
+    var: Arc<VarMeta>,
+    start: Vec<usize>,
+    count: Vec<usize>,
+    cache: Arc<ChunkCache>,
+    file_key: u64,
+    hits: usize,
+    pieces: Vec<SlabPiece>,
+    collected: Rc<RefCell<HashMap<usize, Arc<Vec<u8>>>>>,
+}
+
+impl PieceStream for SlabPieceStream {
+    fn n_pieces(&self) -> usize {
+        self.pieces.len()
+    }
+
+    fn fetch_piece(&self, env: &MrEnv, sim: &mut Sim, node: NodeId, piece: usize, done: PieceDone) {
+        let (idx, offset, clen, rlen, crc) = match self.pieces[piece] {
+            SlabPiece::Quarantined(i) => {
+                let e = MrError(format!(
+                    "IntegrityError: chunk {i} of {} is quarantined",
+                    self.pfs_path
+                ));
+                sim.after(0.0, move |sim| done(sim, Err(e)));
+                return;
+            }
+            SlabPiece::Read {
+                idx,
+                offset,
+                clen,
+                rlen,
+                crc,
+            } => (idx, offset, clen, rlen, crc),
+        };
+        // Per-piece event cell: the counters this piece reports are the
+        // integrity deltas of just this chunk's read(s).
+        let events = Rc::new(RefCell::new(IntegrityEvents::default()));
+        let decompress_cost = sim.cost.decompress(rlen as usize);
+        let collected = self.collected.clone();
+        let cache = self.cache.clone();
+        let file_key = self.file_key;
+        let done_cell = Rc::new(RefCell::new(Some(done)));
+        let dc = done_cell.clone();
+        let events2 = events.clone();
+        let frame_done: FrameDone = Box::new(move |sim, frame| {
+            let Some(done) = dc.borrow_mut().take() else {
+                return;
+            };
+            let frame = match frame {
+                Ok(frame) => frame,
+                Err(e) => {
+                    done(sim, Err(e));
+                    return;
+                }
+            };
+            // Real decode of the real (verified) chunk bytes, timed for
+            // the Fig. 7 Read/Convert decomposition.
+            let t0 = std::time::Instant::now();
+            let raw = match scifmt::codec::decompress(&frame) {
+                Ok(raw) => raw,
+                Err(e) => {
+                    done(sim, Err(MrError(format!("snc chunk {idx} decode: {e:?}"))));
+                    return;
+                }
+            };
+            let decode_s = t0.elapsed().as_secs_f64();
+            let raw = Arc::new(raw);
+            cache.insert((file_key, offset), raw.clone());
+            collected.borrow_mut().insert(idx, raw);
+            let mut counters = vec![
+                (keys::CHUNK_CACHE_MISSES, 1.0),
+                (keys::CODEC_DECODE_S, decode_s),
+            ];
+            let ev = events2.borrow();
+            if ev.verified_bytes > 0 {
+                counters.push((keys::CHECKSUM_VERIFIED_BYTES, ev.verified_bytes as f64));
+            }
+            if ev.detected > 0 {
+                counters.push((keys::CORRUPTION_DETECTED, ev.detected as f64));
+            }
+            if ev.repaired > 0 {
+                counters.push((keys::CORRUPTION_REPAIRED, ev.repaired as f64));
+            }
+            drop(ev);
+            done(
+                sim,
+                Ok(FetchPiece {
+                    bytes: rlen,
+                    charges: vec![("decompress", decompress_cost)],
+                    counters,
+                }),
+            );
+        });
+        let st = Rc::new(ChunkRead {
+            env: env.clone(),
+            node,
+            pfs_path: self.pfs_path.clone(),
+            idx,
+            offset,
+            clen,
+            crc,
+            events,
+            cache: self.cache.clone(),
+            file_key,
+            done: RefCell::new(Some(frame_done)),
+        });
+        if let Err(e) = chunk_read_attempt(sim, st, 0) {
+            if let Some(done) = done_cell.borrow_mut().take() {
+                let e = MrError(format!("pfs: {e} ({})", self.pfs_path));
+                sim.after(0.0, move |sim| done(sim, Err(e)));
+            }
+        }
+    }
+
+    fn finish(&self) -> Result<FetchResult, MrError> {
+        let chunks = std::mem::take(&mut *self.collected.borrow_mut());
+        let array = assemble_slab(&self.var, &self.start, &self.count, |i| {
+            chunks
+                .get(&i)
+                .map(|a| a.as_slice())
+                .ok_or_else(|| scifmt::FmtError::NotFound(format!("chunk {i}")))
+        })
+        .map_err(|e| MrError(format!("snc slab assembly: {e}")))?;
+        let counters = if self.hits > 0 {
+            vec![(keys::CHUNK_CACHE_HITS, self.hits as f64)]
+        } else {
+            Vec::new()
+        };
+        Ok(FetchResult {
+            input: TaskInput::Array(array),
+            charges: vec![],
+            counters,
+            tag: String::new(),
+        })
     }
 }
 

@@ -48,6 +48,12 @@ pub struct WorkflowConfig {
     /// (real bytes).
     pub flat_block_size: usize,
     pub output_dir: String,
+    /// Capacity of the job's shared decompressed-chunk cache (bytes; 0
+    /// disables caching). Recorded in the job counters as
+    /// `chunk_cache_capacity_bytes`.
+    pub cache_bytes: usize,
+    /// Intra-task read/compute overlap policy.
+    pub stream: mapreduce::StreamConfig,
 }
 
 impl WorkflowConfig {
@@ -64,6 +70,8 @@ impl WorkflowConfig {
             align_to_chunks: true,
             flat_block_size: 128 << 20,
             output_dir: "scidp_out".into(),
+            cache_bytes: scifmt::snc::DEFAULT_CACHE_BYTES,
+            stream: mapreduce::StreamConfig::default(),
         }
     }
 
@@ -213,13 +221,15 @@ pub fn build_rjob(input_path: &str, cfg: &WorkflowConfig) -> RJob {
             .vars(cfg.variables.clone())
             .chunk_split(cfg.chunk_split)
             .align_to_chunks(cfg.align_to_chunks)
-            .flat_block_size(cfg.flat_block_size),
+            .flat_block_size(cfg.flat_block_size)
+            .cache_bytes(cfg.cache_bytes),
         map,
         reduce: Some(reduce),
         n_reducers: cfg.n_reducers,
         output_dir: cfg.output_dir.clone(),
         logical_image: cfg.logical_image,
         raster: cfg.raster,
+        stream: cfg.stream.clone(),
     }
 }
 
@@ -322,6 +332,12 @@ pub fn run_scidp(
             job.counters
                 .add(mapreduce::counters::keys::CHUNKS_QUARANTINED, q as f64);
         }
+        // Record the configured capacity next to the hit/miss counters so
+        // cache results are interpretable from the JobResult alone.
+        job.counters.add(
+            mapreduce::counters::keys::CHUNK_CACHE_CAPACITY_BYTES,
+            cache.capacity() as f64,
+        );
     }
     Ok(WorkflowReport {
         job,

@@ -22,15 +22,21 @@ use std::sync::Mutex;
 
 /// Worker-count default: the `SCIDP_THREADS` environment variable if set,
 /// else the machine's available parallelism, else 1.
+///
+/// The env value is clamped to the available parallelism: oversubscribing a
+/// host is a measured slowdown (0.88–0.90× for 2–8 workers on a 1-core
+/// box, BENCH_codec.json), and clamping to 1 routes all codec call sites to
+/// their sequential path on single-core hosts.
 pub fn default_threads() -> usize {
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     if let Ok(v) = std::env::var("SCIDP_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
+            return n.clamp(1, avail);
         }
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    avail
 }
 
 /// Parallel map over `0..n`: returns `vec![f(0), f(1), ..., f(n-1)]`.
@@ -185,5 +191,27 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn default_threads_clamped_to_available_parallelism() {
+        // An absurd SCIDP_THREADS must not oversubscribe the host. The env
+        // var is process-global, so restore it around the check; results of
+        // concurrently-running par tests are thread-count independent, so
+        // the brief override cannot change any other test's outcome.
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let saved = std::env::var("SCIDP_THREADS").ok();
+        std::env::set_var("SCIDP_THREADS", "4096");
+        let clamped = default_threads();
+        std::env::set_var("SCIDP_THREADS", "0");
+        let floored = default_threads();
+        match saved {
+            Some(v) => std::env::set_var("SCIDP_THREADS", v),
+            None => std::env::remove_var("SCIDP_THREADS"),
+        }
+        assert_eq!(clamped, avail, "env value must clamp to the host");
+        assert_eq!(floored, 1, "zero must floor to one worker");
     }
 }

@@ -146,6 +146,7 @@ fn failing_user_map_function_fails_the_job_not_the_process() {
         output_dir: "boom_out".into(),
         logical_image: (100, 100),
         raster: (8, 8),
+        stream: Default::default(),
     };
     let env = cluster.env();
     let (job, _) = rjob.into_job(&env, 1.0).unwrap();
@@ -411,6 +412,7 @@ mod faults {
             spill_to_pfs: false,
             output_to_pfs: false,
             ft,
+            stream: mapreduce::StreamConfig::default(),
         }
     }
 

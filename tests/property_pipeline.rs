@@ -51,6 +51,7 @@ fn scidp_slabs_equal_direct_reads() {
             output_dir: "sums_out".into(),
             logical_image: (10, 10),
             raster: (8, 8),
+            stream: Default::default(),
         };
         let env = cluster.env();
         let (job, _) = rjob.into_job(&env, 1.0).unwrap();

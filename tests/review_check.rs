@@ -54,6 +54,7 @@ fn verified_bytes_under_concurrent_hdfs_fetches() {
         n_reducers: 1,
         output_dir: "out".into(),
         ft: FtConfig::default(),
+        stream: mapreduce::StreamConfig::default(),
     };
     let r = run_job(&mut c, job).unwrap();
     let verified = r.counters.get(keys::CHECKSUM_VERIFIED_BYTES);

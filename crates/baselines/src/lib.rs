@@ -19,6 +19,8 @@
 //! paper does ("we do not count the conversion time into the total time in
 //! any tests of this paper").
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod convert;
 pub mod datapath;
 pub mod distcp;

@@ -10,6 +10,8 @@
 //! simulator, not the TACC testbed — but the *shapes* (who wins, by what
 //! factor, where crossovers fall) are the reproduction target.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 use mapreduce::Cluster;
 use wrfgen::WrfSpec;
 

@@ -84,12 +84,21 @@ struct WriteState {
 }
 
 fn write_step(sim: &mut Sim, st: Rc<WriteState>, idx: usize) {
-    if idx >= st.chunks.len() {
-        let cb = st.done.borrow_mut().take().expect("write completion");
-        cb(sim);
-        return;
-    }
-    let data = st.chunks[idx].clone();
+    let data = match st.chunks.get(idx) {
+        Some(d) => d.clone(),
+        None => {
+            // Past the last chunk: fire the one-shot completion. The cell
+            // is armed exactly once at write_file, so `take` yields `Some`
+            // on the good path; a second fire would be a scheduler bug and
+            // is surfaced by the debug assertion rather than a panic.
+            let cb = st.done.borrow_mut().take();
+            debug_assert!(cb.is_some(), "write completion fired twice");
+            if let Some(cb) = cb {
+                cb(sim);
+            }
+            return;
+        }
+    };
     let targets = st
         .hdfs
         .borrow_mut()
@@ -114,34 +123,38 @@ fn hop_step(
     targets: Vec<NodeId>,
     hop: usize,
 ) {
-    if hop >= targets.len() {
-        // All replicas landed: commit to NameNode + DataNodes. If the file
-        // was deleted while the pipeline was in flight (an abandoned task
-        // attempt), drop the block on the floor but still drive the chain
-        // to completion so the writer's `done` callback can clean up.
-        {
-            // The pipeline checksums the payload once at commit; every
-            // replica read verifies against this.
-            let crc = scirng::crc32c(&data);
-            let mut h = st.hdfs.borrow_mut();
-            if let Ok(id) = h
-                .namenode
-                .add_block(&st.path, data.len() as u64, targets.clone(), crc)
+    let dst = match targets.get(hop).copied() {
+        Some(d) => d,
+        None => {
+            // All replicas landed: commit to NameNode + DataNodes. If the
+            // file was deleted while the pipeline was in flight (an
+            // abandoned task attempt), drop the block on the floor but
+            // still drive the chain to completion so the writer's `done`
+            // callback can clean up.
             {
-                for t in &targets {
-                    h.datanodes.put(*t, id, data.clone());
+                // The pipeline checksums the payload once at commit; every
+                // replica read verifies against this.
+                let crc = scirng::crc32c(&data);
+                let mut h = st.hdfs.borrow_mut();
+                if let Ok(id) =
+                    h.namenode
+                        .add_block(&st.path, data.len() as u64, targets.clone(), crc)
+                {
+                    for t in &targets {
+                        h.datanodes.put(*t, id, data.clone());
+                    }
                 }
             }
+            write_step(sim, st, idx + 1);
+            return;
         }
-        write_step(sim, st, idx + 1);
-        return;
-    }
-    let src = if hop == 0 {
-        st.writer
-    } else {
-        targets[hop - 1]
     };
-    let dst = targets[hop];
+    // Hop 0 streams from the writer; later hops forward from the previous
+    // replica in the pipeline.
+    let src = match hop.checked_sub(1).and_then(|p| targets.get(p)) {
+        Some(&prev) => prev,
+        None => st.writer,
+    };
     let bytes = sim.cost.lbytes(data.len());
     let path = st.topo.path_remote_disk_write(src, dst);
     let st2 = st.clone();
@@ -208,13 +221,27 @@ struct BlockReadState {
 
 /// Schedule the timed transfer of attempt `i`: RPC, disk seek, data flow.
 fn attempt_step(sim: &mut Sim, st: Rc<BlockReadState>, i: usize) {
-    let owner = st.attempts[i].owner;
-    let data = st.attempts[i].data.clone();
+    // The attempt plan is fixed at read_block time and `i` only advances
+    // past a failed verification, which the planner guarantees leaves at
+    // least one clean replica ahead — running out is a planner bug.
+    let (owner, data) = match st.attempts.get(i) {
+        Some(a) => (a.owner, a.data.clone()),
+        None => {
+            debug_assert!(false, "replica attempt {i} out of range");
+            return;
+        }
+    };
     let bytes = sim.cost.lbytes(data.len());
     let seek = sim.cost.seek_s;
     let rpc = sim.cost.rpc_s;
     let flow_path = st.topo.path_remote_disk_read(owner, st.reader);
-    let disk = flow_path[0];
+    let disk = match flow_path.first().copied() {
+        Some(d) => d,
+        None => {
+            debug_assert!(false, "empty disk-read flow path");
+            return;
+        }
+    };
     let seek_bytes = seek * sim.net.resource(disk).capacity;
     let st2 = st.clone();
     sim.after(rpc, move |sim| {
@@ -236,11 +263,14 @@ fn attempt_step(sim: &mut Sim, st: Rc<BlockReadState>, i: usize) {
 /// verify it against the block checksum, and either hand it over or fall
 /// back to the next replica.
 fn deliver_attempt(sim: &mut Sim, st: Rc<BlockReadState>, i: usize, data: Arc<Vec<u8>>) {
-    let delivered = if st.attempts[i].corrupt && !data.is_empty() {
+    let corrupt = st.attempts.get(i).is_some_and(|a| a.corrupt);
+    let delivered = if corrupt && !data.is_empty() {
         let (selector, mask) = sim.faults.corruption_pattern(&st.key, st.nth);
         let mut copy = data.as_ref().clone();
         let pos = (selector % copy.len() as u64) as usize;
-        copy[pos] ^= mask;
+        if let Some(byte) = copy.get_mut(pos) {
+            *byte ^= mask;
+        }
         Arc::new(copy)
     } else {
         data
@@ -256,12 +286,12 @@ fn deliver_attempt(sim: &mut Sim, st: Rc<BlockReadState>, i: usize, data: Arc<Ve
                 h.integrity.repaired += 1;
             }
         }
-        let cb = st
-            .done
-            .borrow_mut()
-            .take()
-            .expect("read_block completion fires once");
-        cb(sim, delivered);
+        // Armed once at read_block; a second fire is a scheduler bug.
+        let cb = st.done.borrow_mut().take();
+        debug_assert!(cb.is_some(), "read_block completion fired twice");
+        if let Some(cb) = cb {
+            cb(sim, delivered);
+        }
     } else {
         st.hdfs.borrow_mut().integrity.detected += 1;
         // The planning phase only schedules a corrupt attempt when a clean
@@ -376,19 +406,27 @@ struct ReadState {
 }
 
 fn read_step(sim: &mut Sim, st: Rc<ReadState>, idx: usize) {
-    if idx >= st.blocks.len() {
-        let cb = st.done.borrow_mut().take().expect("read completion");
-        let buf = std::mem::take(&mut *st.buf.borrow_mut());
-        cb(sim, Ok(buf));
-        return;
-    }
+    let block = match st.blocks.get(idx) {
+        Some(b) => b,
+        None => {
+            // Past the last block: hand the assembled buffer to the
+            // one-shot completion (armed exactly once at read_file).
+            let cb = st.done.borrow_mut().take();
+            debug_assert!(cb.is_some(), "read completion fired twice");
+            if let Some(cb) = cb {
+                let buf = std::mem::take(&mut *st.buf.borrow_mut());
+                cb(sim, Ok(buf));
+            }
+            return;
+        }
+    };
     let st2 = st.clone();
     let res = read_block(
         sim,
         &st.topo,
         &st.hdfs,
         st.reader,
-        &st.blocks[idx],
+        block,
         move |sim, data| {
             st2.buf.borrow_mut().extend_from_slice(&data);
             read_step(sim, st2.clone(), idx + 1);

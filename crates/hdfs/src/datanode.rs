@@ -24,9 +24,16 @@ impl DataNodes {
         self.stores.len()
     }
 
-    /// Store a replica of a block on a node.
+    /// Store a replica of a block on a node. Out-of-range node ids are
+    /// ignored, mirroring `get` (the NameNode only hands out valid ids).
     pub fn put(&mut self, node: NodeId, id: BlockId, data: Arc<Vec<u8>>) {
-        self.stores[node.0 as usize].insert(id, data);
+        debug_assert!(
+            (node.0 as usize) < self.stores.len(),
+            "node id out of range"
+        );
+        if let Some(store) = self.stores.get_mut(node.0 as usize) {
+            store.insert(id, data);
+        }
     }
 
     /// Fetch a replica from a node (None if the node has no copy or the
@@ -52,9 +59,11 @@ impl DataNodes {
         }
     }
 
-    /// Real bytes stored on one node.
+    /// Real bytes stored on one node (0 for out-of-range node ids).
     pub fn used_bytes(&self, node: NodeId) -> usize {
-        self.stores[node.0 as usize].values().map(|d| d.len()).sum()
+        self.stores
+            .get(node.0 as usize)
+            .map_or(0, |s| s.values().map(|d| d.len()).sum())
     }
 
     /// Real bytes stored across the cluster (replicas counted).

@@ -17,6 +17,8 @@
 //!   only the local disk; a remote read crosses the network. This asymmetry
 //!   is what makes native HDFS beat the Lustre connector in Figure 2.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod block;
 pub mod client;
 pub mod datanode;
@@ -28,7 +30,7 @@ use std::rc::Rc;
 pub use block::{block_fault_key, Block, BlockId, BlockKind, VirtualBlock};
 pub use client::{read_block, read_file, write_file, HdfsError, IntegrityStats};
 pub use datanode::DataNodes;
-pub use namenode::{EditLog, EditOp, FileStatus, NameNode};
+pub use namenode::{EditLog, EditOp, FileStatus, NameNode, NsError};
 
 /// Combined HDFS state (NameNode + DataNodes).
 #[derive(Debug)]

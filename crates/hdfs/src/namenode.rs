@@ -153,6 +153,16 @@ fn split_path(path: &str) -> Vec<&str> {
     path.split('/').filter(|s| !s.is_empty()).collect()
 }
 
+/// Join the first `i + 1` path components for error messages.
+fn join_prefix(parts: &[&str], i: usize) -> String {
+    parts
+        .iter()
+        .take(i + 1)
+        .copied()
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
 impl NameNode {
     pub fn new(n_nodes: usize, block_size: usize, replication: usize) -> NameNode {
         assert!(n_nodes > 0, "need at least one DataNode");
@@ -293,8 +303,8 @@ impl NameNode {
             }
             match cur.get_mut(*part) {
                 Some(INode::Dir(children)) => cur = children,
-                Some(INode::File(_)) => return Err(NsError::NotADirectory(parts[..=i].join("/"))),
-                None => return Err(NsError::NotFound(parts[..=i].join("/"))),
+                Some(INode::File(_)) => return Err(NsError::NotADirectory(join_prefix(parts, i))),
+                None => return Err(NsError::NotFound(join_prefix(parts, i))),
             }
         }
         Ok(cur)
@@ -581,10 +591,15 @@ impl NameNode {
             }
             Err(e) => {
                 // Destination vanished with the source removal (renaming a
-                // dir into itself); undo.
-                self.dir_mut(&fdirs, false)
-                    .expect("source dir present")
-                    .insert(fname, node);
+                // dir into itself); undo. The source parent chain still
+                // exists — we removed a single entry from it, never an
+                // ancestor — so the undo lookup cannot fail.
+                match self.dir_mut(&fdirs, false) {
+                    Ok(d) => {
+                        d.insert(fname, node);
+                    }
+                    Err(_) => debug_assert!(false, "rename undo: source dir vanished"),
+                }
                 Err(e)
             }
         }

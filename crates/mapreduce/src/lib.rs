@@ -19,6 +19,8 @@
 //! Per-task phase timings (startup / read / convert / plot / ... / spill)
 //! are recorded in [`job::TaskReport`]s — Figure 7 is generated from them.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cluster;
 pub mod counters;
 pub mod input;

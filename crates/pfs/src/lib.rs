@@ -15,6 +15,8 @@
 //! * [`mpiio`] — MPI-IO-style *independent* and *two-phase collective*
 //!   parallel reads (the comparison axes of Figure 6).
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod client;
 pub mod fs;
 pub mod layout;

@@ -18,6 +18,8 @@
 //! executes SELECT queries over data frames, which is how the paper's
 //! `highlight` and `top 1%` analyses run inside map tasks.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod error;
 pub mod frame;
 pub mod gif;

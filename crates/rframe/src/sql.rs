@@ -41,8 +41,8 @@ fn tokenize(sql: &str) -> Result<Vec<Tok>> {
     let mut toks = Vec::new();
     let b = sql.as_bytes();
     let mut i = 0;
-    while i < b.len() {
-        let c = b[i] as char;
+    while let Some(&byte) = b.get(i) {
+        let c = byte as char;
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             ',' => {
@@ -109,30 +109,30 @@ fn tokenize(sql: &str) -> Result<Vec<Tok>> {
             '\'' => {
                 let start = i + 1;
                 let mut j = start;
-                while j < b.len() && b[j] != b'\'' {
+                while b.get(j).is_some_and(|&x| x != b'\'') {
                     j += 1;
                 }
                 if j >= b.len() {
                     return Err(FrameError::Sql("unterminated string literal".into()));
                 }
-                toks.push(Tok::Str(sql[start..j].to_string()));
+                toks.push(Tok::Str(sql.get(start..j).unwrap_or("").to_string()));
                 i = j + 1;
             }
             _ if c.is_ascii_digit() || c == '.' => {
                 let start = i;
                 let mut j = i;
-                while j < b.len()
-                    && (b[j].is_ascii_digit()
-                        || b[j] == b'.'
-                        || b[j] == b'e'
-                        || b[j] == b'E'
-                        || ((b[j] == b'+' || b[j] == b'-')
+                while b.get(j).is_some_and(|&x| {
+                    x.is_ascii_digit()
+                        || x == b'.'
+                        || x == b'e'
+                        || x == b'E'
+                        || ((x == b'+' || x == b'-')
                             && j > start
-                            && (b[j - 1] == b'e' || b[j - 1] == b'E')))
-                {
+                            && matches!(b.get(j - 1), Some(b'e') | Some(b'E')))
+                }) {
                     j += 1;
                 }
-                let text = &sql[start..j];
+                let text = sql.get(start..j).unwrap_or("");
                 let v: f64 = text
                     .parse()
                     .map_err(|_| FrameError::Sql(format!("bad number {text:?}")))?;
@@ -142,12 +142,13 @@ fn tokenize(sql: &str) -> Result<Vec<Tok>> {
             _ if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
                 let mut j = i;
-                while j < b.len()
-                    && ((b[j] as char).is_ascii_alphanumeric() || b[j] == b'_' || b[j] == b'.')
+                while b
+                    .get(j)
+                    .is_some_and(|&x| x.is_ascii_alphanumeric() || x == b'_' || x == b'.')
                 {
                     j += 1;
                 }
-                let word = &sql[start..j];
+                let word = sql.get(start..j).unwrap_or("");
                 let upper = word.to_ascii_uppercase();
                 if let Some(kw) = KEYWORDS.iter().find(|&&k| k == upper) {
                     toks.push(Tok::Kw(kw));
@@ -380,7 +381,7 @@ impl Parser {
         for op in ["<=", ">=", "!=", "=", "<", ">"] {
             if self.eat_sym(op) {
                 let r = self.add_expr()?;
-                return Ok(Expr::Bin(Box::new(l), sym_static(op), Box::new(r)));
+                return Ok(Expr::Bin(Box::new(l), op, Box::new(r)));
             }
         }
         Ok(l)
@@ -476,7 +477,7 @@ impl Parser {
         if self.pos != self.toks.len() {
             return Err(FrameError::Sql(format!(
                 "trailing tokens after query: {:?}",
-                &self.toks[self.pos..]
+                self.toks.get(self.pos..).unwrap_or(&[])
             )));
         }
         Ok(Query {
@@ -487,18 +488,6 @@ impl Parser {
             order_by,
             limit,
         })
-    }
-}
-
-fn sym_static(s: &str) -> &'static str {
-    match s {
-        "<=" => "<=",
-        ">=" => ">=",
-        "!=" => "!=",
-        "=" => "=",
-        "<" => "<",
-        ">" => ">",
-        _ => unreachable!(),
     }
 }
 
@@ -684,7 +673,13 @@ fn execute(q: &Query, env: &HashMap<&str, &DataFrame>) -> Result<DataFrame> {
                         out = out.with_column(name, Column::F64(v))?;
                     }
                 }
-                Item::Agg { .. } => unreachable!(),
+                // The non-aggregate path is only taken when no Agg item
+                // exists; reaching one here is a planner inconsistency.
+                Item::Agg { .. } => {
+                    return Err(FrameError::Sql(
+                        "aggregate item in non-aggregate query plan".into(),
+                    ))
+                }
             }
         }
         return Ok(out);
@@ -738,13 +733,18 @@ fn execute(q: &Query, env: &HashMap<&str, &DataFrame>) -> Result<DataFrame> {
         let mut ai = 0;
         for item in &q.items {
             if let Item::Agg { func, arg, .. } = item {
-                match arg {
-                    None => states[gi][ai].update(1.0), // COUNT(*)
+                let v = match arg {
+                    None => Some(1.0), // COUNT(*)
                     Some(e) => {
                         let v = eval(e, &filtered, r)?.as_f64();
-                        if *func == AggFunc::Count || v.is_finite() {
-                            states[gi][ai].update(v);
-                        }
+                        (*func == AggFunc::Count || v.is_finite()).then_some(v)
+                    }
+                };
+                if let Some(v) = v {
+                    // `gi` indexes the group we just pushed/found and
+                    // `ai < n_aggs` by construction of `states` rows.
+                    if let Some(state) = states.get_mut(gi).and_then(|row| row.get_mut(ai)) {
+                        state.update(v);
                     }
                 }
                 ai += 1;
@@ -758,24 +758,30 @@ fn execute(q: &Query, env: &HashMap<&str, &DataFrame>) -> Result<DataFrame> {
     }
     // Build output columns.
     let mut out = DataFrame::new();
+    let mut ai = 0usize;
     for item in &q.items {
         let name = item_name(item);
         match item {
             Item::Expr {
                 expr: Expr::Col(c), ..
             } => {
-                let pos = q.group_by.iter().position(|g| g == c).unwrap();
+                let pos = q.group_by.iter().position(|g| g == c).ok_or_else(|| {
+                    FrameError::Sql(format!("column {c:?} missing from GROUP BY"))
+                })?;
                 // Group key column: retain original type when uniform.
-                let vals: Vec<Value> = order.iter().map(|k| k[pos].clone()).collect();
-                let col = if vals.iter().all(|v| matches!(v, Value::I64(_))) {
-                    Column::I64(
-                        vals.iter()
-                            .map(|v| match v {
-                                Value::I64(x) => *x,
-                                _ => unreachable!(),
-                            })
-                            .collect(),
-                    )
+                let vals: Vec<Value> = order
+                    .iter()
+                    .map(|k| k.get(pos).cloned().unwrap_or(Value::F64(f64::NAN)))
+                    .collect();
+                let ints: Vec<i64> = vals
+                    .iter()
+                    .filter_map(|v| match v {
+                        Value::I64(x) => Some(*x),
+                        _ => None,
+                    })
+                    .collect();
+                let col = if ints.len() == vals.len() {
+                    Column::I64(ints)
                 } else if vals.iter().all(|v| matches!(v, Value::Str(_))) {
                     Column::Str(vals.iter().map(|v| v.to_string()).collect())
                 } else {
@@ -783,19 +789,21 @@ fn execute(q: &Query, env: &HashMap<&str, &DataFrame>) -> Result<DataFrame> {
                 };
                 out = out.with_column(name, col)?;
             }
-            Item::Agg { .. } => {
-                let ai = q.items[..q.items.iter().position(|i| std::ptr::eq(i, item)).unwrap()]
+            Item::Agg { func, .. } => {
+                let v: Vec<f64> = states
                     .iter()
-                    .filter(|i| matches!(i, Item::Agg { .. }))
-                    .count();
-                let func = match item {
-                    Item::Agg { func, .. } => *func,
-                    _ => unreachable!(),
-                };
-                let v: Vec<f64> = states.iter().map(|s| s[ai].finish(func)).collect();
+                    .map(|s| s.get(ai).map_or(f64::NAN, |st| st.finish(*func)))
+                    .collect();
                 out = out.with_column(name, Column::F64(v))?;
+                ai += 1;
             }
-            _ => unreachable!(),
+            other => {
+                // The validation pass above rejects everything else.
+                return Err(FrameError::Sql(format!(
+                    "unexpected item {:?} in aggregate query plan",
+                    item_name(other)
+                )));
+            }
         }
     }
     let out = if let Some((col, desc)) = &q.order_by {

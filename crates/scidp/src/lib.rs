@@ -24,6 +24,8 @@
 //! analyse with `sqldf`, and store results to HDFS — the NU-WRF case study
 //! of §IV.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod error;
 pub mod explorer;
 pub mod mapper;

@@ -275,19 +275,25 @@ impl DataMapper {
         if opts.align_to_chunks {
             // One (or chunk_split) dummy block(s) per stored chunk.
             for ext in chunk_extents_of(var, data_offset) {
-                let split = opts.chunk_split.max(1).min(ext.shape[0].max(1));
+                // Splitting happens along dim 0; a zero-dimensional extent
+                // (scalar variable) always takes the unsplit path.
+                let d0 = ext.shape.first().copied().unwrap_or(1);
+                let split = opts.chunk_split.max(1).min(d0.max(1));
                 if split <= 1 {
                     push_block(namenode, ext.origin.clone(), ext.shape.clone(), ext.clen)?;
                 } else {
-                    let d0 = ext.shape[0];
                     let step = d0.div_ceil(split);
                     let mut s0 = 0usize;
                     while s0 < d0 {
                         let c0 = step.min(d0 - s0);
                         let mut start = ext.origin.clone();
-                        start[0] += s0;
+                        if let Some(s) = start.first_mut() {
+                            *s += s0;
+                        }
                         let mut count = ext.shape.clone();
-                        count[0] = c0;
+                        if let Some(c) = count.first_mut() {
+                            *c = c0;
+                        }
                         let len = (ext.clen as usize * c0 / d0).max(1) as u64;
                         push_block(namenode, start, count, len)?;
                         s0 += c0;
@@ -298,15 +304,21 @@ impl DataMapper {
             // Ablation: fixed-size slabs along dim 0, ignoring chunk
             // boundaries. Tasks will read (and decompress) every chunk
             // their slab touches — the misalignment overhead of §III-B.
-            let bytes_per_row: usize = shape[1..].iter().product::<usize>() * var.dtype.size();
+            let bytes_per_row: usize =
+                shape.get(1..).unwrap_or(&[]).iter().product::<usize>() * var.dtype.size();
             let rows_per_block = (opts.flat_block_size / bytes_per_row.max(1)).max(1);
+            let n_rows = shape.first().copied().unwrap_or(0);
             let mut s0 = 0usize;
-            while s0 < shape[0] {
-                let c0 = rows_per_block.min(shape[0] - s0);
+            while s0 < n_rows {
+                let c0 = rows_per_block.min(n_rows - s0);
                 let mut start = vec![0usize; shape.len()];
-                start[0] = s0;
+                if let Some(s) = start.first_mut() {
+                    *s = s0;
+                }
                 let mut count = shape.clone();
-                count[0] = c0;
+                if let Some(c) = count.first_mut() {
+                    *c = c0;
+                }
                 let len = (bytes_per_row * c0) as u64;
                 push_block(namenode, start, count, len)?;
                 s0 += c0;

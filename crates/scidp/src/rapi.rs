@@ -161,7 +161,14 @@ pub fn make_splits(
                     len: *len,
                     sequential_chunks: 1,
                 }),
-                other => unreachable!("inconsistent mapping entry: {other:?}"),
+                // The Data Mapper emits SciSlab entries with var metadata
+                // and FlatRange entries without; anything else means the
+                // mapping table was built by a different code path.
+                other => {
+                    return Err(ScidpError::Hdfs(format!(
+                        "inconsistent mapping entry: {other:?}"
+                    )))
+                }
             };
             splits.push(InputSplit {
                 length: b.len,
@@ -182,13 +189,18 @@ pub fn make_splits(
             },
         ))
     } else {
-        // Vanilla path: every file under the HDFS directory.
+        // Vanilla path: every file under the HDFS directory. A path that
+        // resolves on neither the PFS nor HDFS is the caller's mistake,
+        // reported as such rather than a generic namespace error.
         let files = env
             .hdfs
             .borrow()
             .namenode
             .list_files_recursive(&input.path)
-            .map_err(|e| ScidpError::Hdfs(e.to_string()))?;
+            .map_err(|e| match e {
+                hdfs::NsError::NotFound(_) => ScidpError::BadInputPath(input.path.clone()),
+                other => ScidpError::Hdfs(other.to_string()),
+            })?;
         let mut splits = Vec::new();
         for f in files {
             splits.extend(hdfs_file_splits(env, &f.path));
@@ -404,7 +416,14 @@ pub struct RJob {
 }
 
 /// Build the slab's coordinate data frame (really, with real columns).
-pub fn slab_to_frame(dims: &[String], origin: &[usize], array: &Array) -> DataFrame {
+///
+/// Fails when the dim names collide (duplicate dims, or a dim literally
+/// named `value`) or when `origin` is shorter than the array rank.
+pub fn slab_to_frame(
+    dims: &[String],
+    origin: &[usize],
+    array: &Array,
+) -> Result<DataFrame, MrError> {
     let shape = array.shape().to_vec();
     let n = array.len();
     let rank = shape.len();
@@ -412,28 +431,27 @@ pub fn slab_to_frame(dims: &[String], origin: &[usize], array: &Array) -> DataFr
     let mut coords = vec![0usize; rank];
     let mut values = Vec::with_capacity(n);
     for i in 0..n {
-        for (d, c) in coords.iter().enumerate() {
-            coord_cols[d].push((origin[d] + c) as i64);
+        for ((col, &c), &o) in coord_cols.iter_mut().zip(&coords).zip(origin) {
+            col.push((o + c) as i64);
         }
         values.push(array.get_f64(i));
-        let mut d = rank;
-        while d > 0 {
-            d -= 1;
-            coords[d] += 1;
-            if coords[d] < shape[d] {
+        // Row-major odometer: bump the innermost dimension, carry left.
+        for (c, &s) in coords.iter_mut().zip(&shape).rev() {
+            *c += 1;
+            if *c < s {
                 break;
             }
-            coords[d] = 0;
+            *c = 0;
         }
     }
     let mut df = DataFrame::new();
     for (name, col) in dims.iter().zip(coord_cols) {
         df = df
             .with_column(name.clone(), Column::I64(col))
-            .expect("coordinate columns are consistent");
+            .map_err(|e| MrError(format!("slab frame column {name:?}: {e}")))?;
     }
     df.with_column("value", Column::F64(values))
-        .expect("value column matches")
+        .map_err(|e| MrError(format!("slab frame value column: {e}")))
 }
 
 /// Real raster size derived from the dataset scale so that real PNG bytes
@@ -466,7 +484,7 @@ pub fn wrap_r_map(
         // Fig. 7 — cheap for SciDP because the data is already binary).
         let raw = array.len() * array.dtype().size();
         ctx.charge("convert", ctx.cost().binary_convert(raw));
-        let frame = slab_to_frame(&dims, &origin, &array);
+        let frame = slab_to_frame(&dims, &origin, &array)?;
         let slab = MapSlab {
             file,
             var,
@@ -581,7 +599,7 @@ mod tests {
     #[test]
     fn slab_frame_has_global_coordinates() {
         let a = Array::from_f32(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
-        let df = slab_to_frame(&["lev".to_string(), "lon".to_string()], &[10, 20], &a);
+        let df = slab_to_frame(&["lev".to_string(), "lon".to_string()], &[10, 20], &a).unwrap();
         assert_eq!(df.n_rows(), 6);
         assert_eq!(
             df.names(),

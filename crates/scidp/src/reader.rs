@@ -138,7 +138,18 @@ impl SplitFetcher for SciSlabFetcher {
             Rc::new(RefCell::new(HashMap::new()));
         let mut needed: Vec<(usize, u64, u64, u64, u32)> = Vec::new();
         for &i in &ids {
-            if self.cache.is_quarantined((file_key, extents[i].offset)) {
+            let ext = match extents.get(i) {
+                Some(e) => e,
+                None => {
+                    // chunks_for_slab only yields ids inside the chunk
+                    // grid; an out-of-range id means the header and the
+                    // grid disagree — fail the read, don't drop data.
+                    let e = MrError(format!("chunk id {i} out of range for {}", self.pfs_path));
+                    sim.after(0.0, move |sim| done(sim, Err(e)));
+                    return;
+                }
+            };
+            if self.cache.is_quarantined((file_key, ext.offset)) {
                 // A prior fetch proved this chunk unreadable (two CRC
                 // failures); fail fast instead of re-reading known-bad data.
                 let e = MrError(format!(
@@ -148,17 +159,11 @@ impl SplitFetcher for SciSlabFetcher {
                 sim.after(0.0, move |sim| done(sim, Err(e)));
                 return;
             }
-            match self.cache.lookup((file_key, extents[i].offset)) {
+            match self.cache.lookup((file_key, ext.offset)) {
                 Some(raw) => {
                     collected.borrow_mut().insert(i, raw);
                 }
-                None => needed.push((
-                    i,
-                    extents[i].offset,
-                    extents[i].clen,
-                    extents[i].rlen,
-                    extents[i].crc,
-                )),
+                None => needed.push((i, ext.offset, ext.clen, ext.rlen, ext.crc)),
             }
         }
         let hits = ids.len() - needed.len();
@@ -222,6 +227,7 @@ impl SplitFetcher for SciSlabFetcher {
                 };
                 // Real decode of the real (now verified) chunk bytes, timed
                 // for the Fig. 7 Read/Convert decomposition.
+                // scilint::allow(d-wallclock, reason = "measures real host decompress cost for the Fig. 7 diagnostic; never feeds back into virtual time")
                 let t0 = std::time::Instant::now();
                 let raw = match scifmt::codec::decompress(&frame) {
                     Ok(raw) => raw,
@@ -321,7 +327,17 @@ impl SplitFetcher for SciSlabFetcher {
         let mut pieces = Vec::new();
         let mut hits = 0usize;
         for &i in &ids {
-            if self.cache.is_quarantined((file_key, extents[i].offset)) {
+            let ext = match extents.get(i) {
+                Some(e) => e,
+                None => {
+                    // Header/grid disagreement (cannot come out of
+                    // chunks_for_slab): fail the attempt at issue time
+                    // like a quarantined chunk rather than drop data.
+                    pieces.insert(0, SlabPiece::Quarantined(i));
+                    continue;
+                }
+            };
+            if self.cache.is_quarantined((file_key, ext.offset)) {
                 // Known-bad chunk: deliver it as a piece that fails at
                 // issue time, so the attempt dies with the same typed
                 // error the batch path fast-fails with. Quarantined pieces
@@ -329,17 +345,17 @@ impl SplitFetcher for SciSlabFetcher {
                 pieces.insert(0, SlabPiece::Quarantined(i));
                 continue;
             }
-            match self.cache.lookup((file_key, extents[i].offset)) {
+            match self.cache.lookup((file_key, ext.offset)) {
                 Some(raw) => {
                     collected.borrow_mut().insert(i, raw);
                     hits += 1;
                 }
                 None => pieces.push(SlabPiece::Read {
                     idx: i,
-                    offset: extents[i].offset,
-                    clen: extents[i].clen,
-                    rlen: extents[i].rlen,
-                    crc: extents[i].crc,
+                    offset: ext.offset,
+                    clen: ext.clen,
+                    rlen: ext.rlen,
+                    crc: ext.crc,
                 }),
             }
         }
@@ -365,6 +381,7 @@ impl SplitFetcher for SciSlabFetcher {
 }
 
 /// One piece of a streaming slab fetch.
+#[derive(Clone, Copy)]
 enum SlabPiece {
     /// Chunk quarantined by a prior fetch — fails the attempt at issue
     /// time with zero PFS traffic, like the batch fast-fail.
@@ -404,8 +421,14 @@ impl PieceStream for SlabPieceStream {
     }
 
     fn fetch_piece(&self, env: &MrEnv, sim: &mut Sim, node: NodeId, piece: usize, done: PieceDone) {
-        let (idx, offset, clen, rlen, crc) = match self.pieces[piece] {
-            SlabPiece::Quarantined(i) => {
+        let (idx, offset, clen, rlen, crc) = match self.pieces.get(piece).copied() {
+            None => {
+                // The piece scheduler only issues indices < n_pieces().
+                let e = MrError(format!("piece {piece} out of range"));
+                sim.after(0.0, move |sim| done(sim, Err(e)));
+                return;
+            }
+            Some(SlabPiece::Quarantined(i)) => {
                 let e = MrError(format!(
                     "IntegrityError: chunk {i} of {} is quarantined",
                     self.pfs_path
@@ -413,13 +436,13 @@ impl PieceStream for SlabPieceStream {
                 sim.after(0.0, move |sim| done(sim, Err(e)));
                 return;
             }
-            SlabPiece::Read {
+            Some(SlabPiece::Read {
                 idx,
                 offset,
                 clen,
                 rlen,
                 crc,
-            } => (idx, offset, clen, rlen, crc),
+            }) => (idx, offset, clen, rlen, crc),
         };
         // Per-piece event cell: the counters this piece reports are the
         // integrity deltas of just this chunk's read(s).
@@ -444,6 +467,7 @@ impl PieceStream for SlabPieceStream {
             };
             // Real decode of the real (verified) chunk bytes, timed for
             // the Fig. 7 Read/Convert decomposition.
+            // scilint::allow(d-wallclock, reason = "measures real host decompress cost for the Fig. 7 diagnostic; never feeds back into virtual time")
             let t0 = std::time::Instant::now();
             let raw = match scifmt::codec::decompress(&frame) {
                 Ok(raw) => raw,

@@ -117,12 +117,14 @@ pub fn nuwrf_map_fn(cfg: &WorkflowConfig) -> crate::rapi::RMapFn {
         Rc::new(
             move |slab: &crate::MapSlab, rctx: &mut RCtx<'_>| -> Result<(), MrError> {
                 let shape = slab.array.shape().to_vec();
-                if shape.len() != 3 {
-                    return Err(MrError(format!(
-                        "NU-WRF workflow expects 3-D slabs, got {shape:?}"
-                    )));
-                }
-                let (levels, rows, cols) = (shape[0], shape[1], shape[2]);
+                let (levels, rows, cols) = match shape.as_slice() {
+                    &[l, r, c] => (l, r, c),
+                    _ => {
+                        return Err(MrError(format!(
+                            "NU-WRF workflow expects 3-D slabs, got {shape:?}"
+                        )))
+                    }
+                };
                 // Plot every vertical level of the slab.
                 for l in 0..levels {
                     let mut grid = Vec::with_capacity(rows * cols);
@@ -132,7 +134,7 @@ pub fn nuwrf_map_fn(cfg: &WorkflowConfig) -> crate::rapi::RMapFn {
                         }
                     }
                     let raster = rctx.image2d(&grid, rows, cols, cmap)?;
-                    let global_lev = slab.origin[0] + l;
+                    let global_lev = slab.origin.first().copied().unwrap_or(0) + l;
                     rctx.emit_image(
                         format!("img/{}/{}/{global_lev:04}", slab.file, slab.var),
                         &raster,
@@ -351,9 +353,9 @@ pub fn run_scidp(
 /// `scidp://f#QR[[0, 0, 0]+[2, 8, 5]]`.
 fn parse_levels(desc: &str) -> Option<u64> {
     let plus = desc.find("+[")?;
-    let rest = &desc[plus + 2..];
+    let rest = desc.get(plus + 2..)?;
     let end = rest.find([',', ']'])?;
-    rest[..end].trim().parse().ok()
+    rest.get(..end)?.trim().parse().ok()
 }
 
 /// Convenience used by tests/benches: run one workflow on a staged dataset.

@@ -24,6 +24,8 @@
 //! `baselines`) through the simulator, using the byte extents this crate
 //! reports ([`SncFile::chunk_extents`]).
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod array;
 pub mod codec;
 pub mod convert;

@@ -166,7 +166,7 @@ pub struct ChunkExtent {
 /// magic — the `nc_open`/`H5Fis_hdf5` probe used by the Sci-format Head
 /// Reader to classify files.
 pub fn is_snc(head: &[u8]) -> bool {
-    head.len() >= 4 && head[..4] == MAGIC
+    head.starts_with(&MAGIC)
 }
 
 /// Given at least the first 12 bytes, how many bytes from file start are
@@ -180,7 +180,13 @@ pub fn required_header_bytes(prefix: &[u8]) -> Result<usize> {
     if !is_snc(prefix) {
         return Err(FmtError::NotSnc);
     }
-    let len = u64::from_le_bytes(prefix[4..12].try_into().unwrap()) as usize;
+    let len = prefix
+        .get(4..12)
+        .and_then(|b| <[u8; 8]>::try_from(b).ok())
+        .map(u64::from_le_bytes)
+        .ok_or(FmtError::Truncated {
+            what: "SNC preamble",
+        })? as usize;
     Ok(12 + len)
 }
 
@@ -362,10 +368,9 @@ impl SncMeta {
     /// (use [`required_header_bytes`] to learn how much to read).
     pub fn parse(bytes: &[u8]) -> Result<SncMeta> {
         let need = required_header_bytes(bytes)?;
-        if bytes.len() < need {
-            return Err(FmtError::Truncated { what: "SNC header" });
-        }
-        let header = &bytes[12..need];
+        let header = bytes
+            .get(12..need)
+            .ok_or(FmtError::Truncated { what: "SNC header" })?;
         let mut r = Reader::new(header);
         let root = read_group(&mut r, 0)?;
         if r.remaining() != 0 {
@@ -557,6 +562,7 @@ impl SncBuilder {
                     g.groups.len() - 1
                 }
             };
+            // scilint::allow(p-index, reason = "idx is position() or the tail just pushed; always in bounds")
             g = &mut g.groups[idx];
         }
         g
@@ -779,6 +785,13 @@ impl Default for ChunkCache {
     }
 }
 
+/// Lock a cache mutex, recovering from poisoning: a poisoned lock only
+/// means another reader panicked mid-operation; the map is still
+/// structurally sound, and a cache must never take the process down.
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 impl ChunkCache {
     pub fn new(cap_bytes: usize) -> ChunkCache {
         ChunkCache {
@@ -799,20 +812,20 @@ impl ChunkCache {
     /// dropped (defensive — verification happens before decode, so a bad
     /// chunk should never have entered the cache).
     pub fn quarantine(&self, key: (u64, u64)) {
-        self.quarantined.lock().unwrap().insert(key);
-        let mut inner = self.inner.lock().unwrap();
+        lock_clean(&self.quarantined).insert(key);
+        let mut inner = lock_clean(&self.inner);
         if let Some(e) = inner.map.remove(&key) {
             inner.bytes -= e.data.len();
         }
     }
 
     pub fn is_quarantined(&self, key: (u64, u64)) -> bool {
-        self.quarantined.lock().unwrap().contains(&key)
+        lock_clean(&self.quarantined).contains(&key)
     }
 
     /// Number of quarantined chunks (reported through job counters).
     pub fn n_quarantined(&self) -> u64 {
-        self.quarantined.lock().unwrap().len() as u64
+        lock_clean(&self.quarantined).len() as u64
     }
 
     /// Stable 64-bit id for a file name (FNV-1a) — combine with a chunk
@@ -828,7 +841,7 @@ impl ChunkCache {
 
     /// Look up a chunk; bumps recency and the hit/miss counters.
     pub fn lookup(&self, key: (u64, u64)) -> Option<Arc<Vec<u8>>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_clean(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(&key) {
@@ -847,7 +860,7 @@ impl ChunkCache {
     /// Insert a decompressed chunk, evicting least-recently-used entries
     /// until it fits. Values larger than the whole capacity are not stored.
     pub fn insert(&self, key: (u64, u64), data: Arc<Vec<u8>>) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_clean(&self.inner);
         let len = data.len();
         if len > inner.cap_bytes {
             return;
@@ -868,9 +881,15 @@ impl ChunkCache {
             let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, e)| e.last_use) else {
                 break;
             };
-            let e = inner.map.remove(&victim).expect("victim present");
-            inner.bytes -= e.data.len();
-            inner.evictions += 1;
+            match inner.map.remove(&victim) {
+                Some(e) => {
+                    inner.bytes -= e.data.len();
+                    inner.evictions += 1;
+                }
+                // Unreachable (victim was just read out of the map), but a
+                // cache must not loop forever if it ever were.
+                None => break,
+            }
         }
     }
 
@@ -890,7 +909,7 @@ impl ChunkCache {
     }
 
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock_clean(&self.inner);
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -902,25 +921,31 @@ impl ChunkCache {
 
     /// Change capacity in place (evicts down to the new bound).
     pub fn set_capacity(&self, cap_bytes: usize) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_clean(&self.inner);
         inner.cap_bytes = cap_bytes;
         while inner.bytes > inner.cap_bytes {
             let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, e)| e.last_use) else {
                 break;
             };
-            let e = inner.map.remove(&victim).expect("victim present");
-            inner.bytes -= e.data.len();
-            inner.evictions += 1;
+            match inner.map.remove(&victim) {
+                Some(e) => {
+                    inner.bytes -= e.data.len();
+                    inner.evictions += 1;
+                }
+                // Unreachable (victim was just read out of the map), but a
+                // cache must not loop forever if it ever were.
+                None => break,
+            }
         }
     }
 
     pub fn capacity(&self) -> usize {
-        self.inner.lock().unwrap().cap_bytes
+        lock_clean(&self.inner).cap_bytes
     }
 
     /// Drop every resident entry (counters are kept).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_clean(&self.inner);
         inner.map.clear();
         inner.bytes = 0;
     }
@@ -949,7 +974,7 @@ impl SncFile {
         // Content-derived id: header bytes + length (files sharing a cache
         // almost surely differ here; collisions would only share *chunk
         // offsets* too, which contiguous layouts make distinct anyway).
-        let head = &bytes[..meta.data_offset.min(bytes.len())];
+        let head = bytes.get(..meta.data_offset).unwrap_or(&bytes);
         let mut h: u64 = ChunkCache::file_key("snc") ^ (bytes.len() as u64);
         for &b in head {
             h ^= b as u64;
@@ -1047,18 +1072,23 @@ impl SncFile {
         let shape = var.shape();
         hyperslab::check_bounds(&shape, start, count)?;
         let ids = hyperslab::chunks_for_slab(&shape, &var.chunk_shape, start, count);
-        let total_raw: u64 = ids.iter().map(|&i| var.chunks[i].rlen).sum();
+        let total_raw: u64 = ids
+            .iter()
+            .filter_map(|&i| var.chunks.get(i))
+            .map(|c| c.rlen)
+            .sum();
         let threads = if (total_raw as usize) >= PAR_MIN_BYTES {
             par::default_threads()
         } else {
             1
         };
-        let fetched = par::par_map_indexed(ids.len(), threads, 2, |k| {
-            self.read_chunk_cached(&var, ids[k])
+        let fetched = par::par_map_indexed(ids.len(), threads, 2, |k| match ids.get(k) {
+            Some(&id) => self.read_chunk_cached(&var, id),
+            None => Err(FmtError::Invalid("chunk index out of range".into())),
         });
         let mut by_id: HashMap<usize, Arc<Vec<u8>>> = HashMap::with_capacity(ids.len());
-        for (k, res) in fetched.into_iter().enumerate() {
-            by_id.insert(ids[k], res?);
+        for (&id, res) in ids.iter().zip(fetched) {
+            by_id.insert(id, res?);
         }
         assemble_slab(&var, start, count, |idx| {
             by_id

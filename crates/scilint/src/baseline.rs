@@ -1,0 +1,85 @@
+//! The baseline ratchet.
+//!
+//! Existing debt is recorded as `(file, rule) -> count` in a committed
+//! text file. A run fails only when a `(file, rule)` bucket *exceeds* its
+//! baselined count — so new debt is impossible to add, while old debt can
+//! be paid down file by file. `--update-baseline` rewrites the file from
+//! the current findings (the ratchet clicks down; CI diffs make a ratchet
+//! *up* reviewable and deliberate).
+
+use std::collections::BTreeMap;
+
+/// `(file, rule) -> allowed count`.
+pub type Baseline = BTreeMap<(String, String), usize>;
+
+/// Parse the baseline format: `<count> <rule> <file>` per line, `#`
+/// comments and blank lines ignored. Malformed lines are reported, not
+/// silently dropped.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut out = Baseline::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (count, rule, file) = match (it.next(), it.next(), it.next()) {
+            (Some(c), Some(r), Some(f)) => (c, r, f),
+            _ => {
+                return Err(format!(
+                    "baseline line {}: expected `<count> <rule> <file>`",
+                    ln + 1
+                ))
+            }
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad count `{count}`", ln + 1))?;
+        out.insert((file.to_string(), rule.to_string()), count);
+    }
+    Ok(out)
+}
+
+/// Serialise a baseline deterministically (sorted by file, then rule).
+pub fn render(b: &Baseline) -> String {
+    let mut s = String::from(
+        "# scilint baseline — known debt, per (file, rule). Counts may only go down:\n\
+         # a run fails when a bucket exceeds its entry here. Regenerate with\n\
+         # `cargo run -p scilint -- --workspace --update-baseline`.\n",
+    );
+    for ((file, rule), count) in b {
+        if *count > 0 {
+            s.push_str(&format!("{count} {rule} {file}\n"));
+        }
+    }
+    s
+}
+
+/// Bucket counts for current findings.
+pub fn bucket_counts<'a, I: Iterator<Item = (&'a str, &'a str)>>(findings: I) -> Baseline {
+    let mut out = Baseline::new();
+    for (file, rule) in findings {
+        *out.entry((file.to_string(), rule.to_string())).or_insert(0) += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut b = Baseline::new();
+        b.insert(("crates/pfs/src/fs.rs".into(), "p-index".into()), 3);
+        b.insert(("crates/hdfs/src/block.rs".into(), "p-unwrap".into()), 1);
+        let text = render(&b);
+        let parsed = parse(&text).map_err(|e| e.to_string());
+        assert_eq!(parsed.as_ref().ok(), Some(&b));
+        assert!(
+            parse("3 p-index f.rs trailing-junk").is_ok(),
+            "3 fields parse"
+        );
+        assert!(parse("notanumber p-index f.rs").is_err());
+    }
+}

@@ -1,0 +1,642 @@
+//! Per-file rule scanning over the token stream.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{Lexed, Pragma, Tok, TokKind};
+use crate::rules::rule_info;
+use crate::{Config, Finding, InputFile};
+
+/// Identifiers that can legally precede `[` without it being an index
+/// expression (`&mut [u8]`, `for x in [..]`, `let [a, b] = ..`, ...).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "mut", "ref", "dyn", "impl", "where", "as", "in", "return", "break", "continue", "else",
+    "match", "if", "while", "loop", "move", "box", "await", "yield", "use", "pub", "crate",
+    "super", "let", "fn", "const", "static", "type", "enum", "struct", "trait", "mod", "unsafe",
+    "extern", "async", "for",
+];
+
+/// Wrapper idents that may appear between a binding name and the hash type
+/// in a declaration (`x: Rc<RefCell<HashMap<..>>>`).
+const TYPE_WRAPPERS: &[&str] = &[
+    "Rc",
+    "Arc",
+    "Box",
+    "RefCell",
+    "Cell",
+    "Mutex",
+    "RwLock",
+    "Option",
+    "std",
+    "collections",
+    "cell",
+    "sync",
+    "rc",
+    "alloc",
+];
+
+/// Iterator-producing methods whose order is seed-dependent on hash types.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Tokens downstream of a hash iteration that make the order harmless:
+/// collecting into an ordered map or reducing with an order-independent
+/// fold.
+const ORDER_SINKS: &[&str] = &[
+    "BTreeMap",
+    "BTreeSet",
+    "sort",
+    "sort_by",
+    "sort_unstable",
+    "sorted",
+    "sum",
+    "count",
+    "len",
+    "min",
+    "max",
+    "all",
+    "any",
+    "is_empty",
+];
+
+/// Marks every token that belongs to a `#[cfg(test)]`/`#[test]` item so
+/// P-rules only see shipping library code.
+pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_attr_start = toks.get(i).map(|t| t.is_punct("#")).unwrap_or(false)
+            && toks.get(i + 1).map(|t| t.is_punct("[")).unwrap_or(false);
+        if !is_attr_start {
+            i += 1;
+            continue;
+        }
+        // Balanced attribute content.
+        let (close, idents) = scan_attr(toks, i + 1);
+        let is_test = idents.iter().any(|s| s == "test")
+            && !idents.iter().any(|s| s == "not" || s == "cfg_attr");
+        if !is_test {
+            i = close + 1;
+            continue;
+        }
+        // Mark the attribute, any stacked attributes, and the item body.
+        let mut j = close + 1;
+        while toks.get(j).map(|t| t.is_punct("#")).unwrap_or(false)
+            && toks.get(j + 1).map(|t| t.is_punct("[")).unwrap_or(false)
+        {
+            let (c2, _) = scan_attr(toks, j + 1);
+            j = c2 + 1;
+        }
+        // Item ends at `;` at depth 0 or at the close of its first brace
+        // block.
+        let mut depth = 0i32;
+        let mut saw_brace = false;
+        let mut end = j;
+        while let Some(t) = toks.get(end) {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" => {
+                        depth += 1;
+                        saw_brace = true;
+                    }
+                    "}" => {
+                        depth -= 1;
+                        if saw_brace && depth == 0 {
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            end += 1;
+        }
+        for m in mask.iter_mut().take((end + 1).min(toks.len())).skip(i) {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// Scan a balanced `[...]` starting at the opening bracket index; return
+/// (index of closing bracket, idents seen inside).
+fn scan_attr(toks: &[Tok], open: usize) -> (usize, Vec<String>) {
+    let mut depth = 0i32;
+    let mut idents = Vec::new();
+    let mut i = open;
+    while let Some(t) = toks.get(i) {
+        match t.kind {
+            TokKind::Punct if t.text == "[" => depth += 1,
+            TokKind::Punct if t.text == "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (i, idents);
+                }
+            }
+            TokKind::Ident => idents.push(t.text.clone()),
+            _ => {}
+        }
+        i += 1;
+    }
+    (toks.len().saturating_sub(1), idents)
+}
+
+/// Skip a balanced group starting at `open` (which must be `(`/`{`/`[`);
+/// returns the index just past the matching close. If `open` is not a
+/// group opener, returns `open` unchanged.
+fn skip_group(toks: &[Tok], open: usize) -> usize {
+    let (o, c) = match toks.get(open).map(|t| t.text.as_str()) {
+        Some("(") => ("(", ")"),
+        Some("{") => ("{", "}"),
+        Some("[") => ("[", "]"),
+        _ => return open,
+    };
+    let mut depth = 0i32;
+    let mut i = open;
+    while let Some(t) = toks.get(i) {
+        if t.kind == TokKind::Punct && t.text == o {
+            depth += 1;
+        } else if t.kind == TokKind::Punct && t.text == c {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Names in this file bound to `HashMap`/`HashSet` (locals, fields,
+/// params), by a backward scan from each hash-type mention.
+fn hash_bound_names(toks: &[Tok]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk backwards over type-position tokens towards `name :` or
+        // `let [mut] name =`.
+        let mut j = i;
+        let mut steps = 0;
+        while j > 0 && steps < 24 {
+            j -= 1;
+            steps += 1;
+            let p = match toks.get(j) {
+                Some(p) => p,
+                None => break,
+            };
+            match p.kind {
+                TokKind::Punct if matches!(p.text.as_str(), "<" | "::" | "&" | "," | "(" | ")") => {
+                }
+                TokKind::Lifetime => {}
+                TokKind::Ident if TYPE_WRAPPERS.contains(&p.text.as_str()) => {}
+                TokKind::Punct if p.text == ":" => {
+                    if let Some(n) = toks.get(j.wrapping_sub(1)) {
+                        if n.kind == TokKind::Ident {
+                            names.insert(n.text.clone());
+                        }
+                    }
+                    break;
+                }
+                TokKind::Punct if p.text == "=" => {
+                    // `let [mut] name = HashMap::new()` (possibly through
+                    // wrappers like `Rc::new(RefCell::new(HashMap::new()))`
+                    // — those were skipped above as wrapper idents).
+                    let mut k = j.wrapping_sub(1);
+                    if toks.get(k).map(|t| t.kind) == Some(TokKind::Ident) {
+                        let name_tok = k;
+                        if toks.get(k.wrapping_sub(1)).map(|t| t.is_ident("mut")) == Some(true) {
+                            k = k.wrapping_sub(1);
+                        }
+                        if toks.get(k.wrapping_sub(1)).map(|t| t.is_ident("let")) == Some(true) {
+                            if let Some(n) = toks.get(name_tok) {
+                                names.insert(n.text.clone());
+                            }
+                        }
+                    }
+                    break;
+                }
+                _ => break,
+            }
+        }
+    }
+    names
+}
+
+/// All per-file rule findings for one file (pragmas NOT yet applied).
+pub fn scan_file(file: &InputFile, lexed: &Lexed, cfg: &Config) -> Vec<Finding> {
+    let toks = &lexed.toks;
+    let mask = test_mask(toks);
+    let mut out = Vec::new();
+    let mut push = |rule: &'static str, line: u32, message: String| {
+        out.push(Finding {
+            rule,
+            file: file.rel.clone(),
+            line,
+            message,
+        });
+    };
+
+    let p_scope = !file.is_bin;
+    let wallclock_scope = cfg.wallclock_crates.contains(&file.crate_name);
+    let hash_scope = cfg.hash_iter_crates.contains(&file.crate_name);
+    let spawn_allowed = cfg.thread_allow_files.contains(&file.rel);
+    let hash_names = if hash_scope {
+        hash_bound_names(toks)
+    } else {
+        BTreeSet::new()
+    };
+
+    let masked = |i: usize| mask.get(i).copied().unwrap_or(false);
+
+    for i in 0..toks.len() {
+        if masked(i) {
+            continue;
+        }
+        let t = match toks.get(i) {
+            Some(t) => t,
+            None => break,
+        };
+
+        // ------------------------------------------------ P-rules (libs)
+        if p_scope {
+            if t.is_punct(".") {
+                if let (Some(m), Some(o)) = (toks.get(i + 1), toks.get(i + 2)) {
+                    if m.is_ident("unwrap")
+                        && o.is_punct("(")
+                        && toks.get(i + 3).map(|t| t.is_punct(")")) == Some(true)
+                    {
+                        push(
+                            "p-unwrap",
+                            m.line,
+                            "`.unwrap()` in library code; return the crate's typed error".into(),
+                        );
+                    } else if m.is_ident("expect") && o.is_punct("(") {
+                        push(
+                            "p-expect",
+                            m.line,
+                            "`.expect(..)` in library code; return the crate's typed error".into(),
+                        );
+                    }
+                }
+            }
+            if t.kind == TokKind::Ident
+                && matches!(
+                    t.text.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                )
+                && toks.get(i + 1).map(|n| n.is_punct("!")) == Some(true)
+                && toks.get(i.wrapping_sub(1)).map(|p| p.is_punct("::")) != Some(true)
+            {
+                push(
+                    "p-panic",
+                    t.line,
+                    format!(
+                        "`{}!` in library code; return the crate's typed error",
+                        t.text
+                    ),
+                );
+            }
+            if t.is_punct("[") && i > 0 {
+                if let Some(p) = toks.get(i - 1) {
+                    let index_recv = match p.kind {
+                        TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&p.text.as_str()),
+                        TokKind::Punct => matches!(p.text.as_str(), ")" | "]" | "?"),
+                        _ => false,
+                    };
+                    // `arr[..]` full-range borrow never panics; skip it.
+                    let full_range = toks.get(i + 1).map(|a| a.is_punct(".")) == Some(true)
+                        && toks.get(i + 2).map(|b| b.is_punct(".")) == Some(true)
+                        && toks.get(i + 3).map(|c| c.is_punct("]")) == Some(true);
+                    if index_recv && !full_range {
+                        push(
+                            "p-index",
+                            t.line,
+                            "bare `[..]` indexing in library code; use `.get()` or an iterator"
+                                .into(),
+                        );
+                    }
+                }
+            }
+        }
+
+        // ------------------------------------------------ D-rules
+        if wallclock_scope && (t.is_ident("Instant") || t.is_ident("SystemTime")) {
+            push(
+                "d-wallclock",
+                t.line,
+                format!(
+                    "`{}` in simulator crate `{}`; use simnet virtual time",
+                    t.text, file.crate_name
+                ),
+            );
+        }
+        if !spawn_allowed {
+            let thread_path = i >= 2
+                && toks.get(i - 1).map(|p| p.is_punct("::")) == Some(true)
+                && toks.get(i - 2).map(|p| p.is_ident("thread")) == Some(true);
+            let method_spawn = t.is_ident("spawn")
+                && toks.get(i.wrapping_sub(1)).map(|p| p.is_punct(".")) == Some(true);
+            if (thread_path && (t.is_ident("spawn") || t.is_ident("scope"))) || method_spawn {
+                push(
+                    "d-thread-spawn",
+                    t.line,
+                    "OS threads outside scifmt::par make scheduling nondeterministic".into(),
+                );
+            }
+        }
+        if hash_scope && !hash_names.is_empty() {
+            // Method-call iteration: `name.iter()` / `self.name.keys()` ...
+            if t.kind == TokKind::Ident
+                && hash_names.contains(&t.text)
+                && toks.get(i + 1).map(|p| p.is_punct(".")) == Some(true)
+            {
+                if let Some(m) = toks.get(i + 2) {
+                    if HASH_ITER_METHODS.contains(&m.text.as_str())
+                        && toks.get(i + 3).map(|p| p.is_punct("(")) == Some(true)
+                        && !order_sink_follows(toks, i + 3)
+                    {
+                        push(
+                            "d-hash-iter",
+                            m.line,
+                            format!(
+                                "iterating hash-ordered `{}` feeds seed-dependent order; use BTreeMap or sort",
+                                t.text
+                            ),
+                        );
+                    }
+                }
+            }
+            // `for pat in <expr containing a hash name> {`
+            if t.is_ident("for") {
+                if let Some((expr_lo, expr_hi)) = for_loop_expr(toks, i) {
+                    let window: Vec<&Tok> = toks
+                        .get(expr_lo..expr_hi)
+                        .map(|s| s.iter().collect())
+                        .unwrap_or_default();
+                    let names_hit = window
+                        .iter()
+                        .any(|t| t.kind == TokKind::Ident && hash_names.contains(&t.text));
+                    let sink = window.iter().any(|t| {
+                        t.kind == TokKind::Ident && ORDER_SINKS.contains(&t.text.as_str())
+                    });
+                    // Direct `name.iter()` in the expr is already reported
+                    // by the method check above; only report plain
+                    // `for k in &name` / `for k in name.drain()` style here
+                    // when no method finding fired in this range.
+                    let method_already = window.iter().enumerate().any(|(wi, t)| {
+                        t.kind == TokKind::Ident
+                            && hash_names.contains(&t.text)
+                            && window.get(wi + 1).map(|p| p.is_punct(".")) == Some(true)
+                    });
+                    if names_hit && !sink && !method_already {
+                        push(
+                            "d-hash-iter",
+                            t.line,
+                            "for-loop over a hash-ordered collection; use BTreeMap or sort first"
+                                .into(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// After an iteration call at `open_paren`, look ahead to the end of the
+/// statement for an order-restoring sink (`collect::<BTreeMap<..>>`,
+/// `.sum()`, `.count()` ...).
+fn order_sink_follows(toks: &[Tok], open_paren: usize) -> bool {
+    let mut i = skip_group(toks, open_paren);
+    let mut steps = 0usize;
+    while let Some(t) = toks.get(i) {
+        if steps > 60 || t.is_punct(";") || t.is_punct("{") {
+            return false;
+        }
+        if t.kind == TokKind::Ident && ORDER_SINKS.contains(&t.text.as_str()) {
+            return true;
+        }
+        i += 1;
+        steps += 1;
+    }
+    false
+}
+
+/// For a `for` keyword at `i`, return the token range of the iterated
+/// expression (between `in` and the loop body `{`).
+fn for_loop_expr(toks: &[Tok], i: usize) -> Option<(usize, usize)> {
+    // Find `in` at pattern depth 0 within a short window.
+    let mut j = i + 1;
+    let mut depth = 0i32;
+    let mut steps = 0usize;
+    loop {
+        let t = toks.get(j)?;
+        if steps > 40 {
+            return None;
+        }
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "in" if depth == 0 && t.kind == TokKind::Ident => break,
+            "{" | ";" => return None,
+            _ => {}
+        }
+        j += 1;
+        steps += 1;
+    }
+    let lo = j + 1;
+    let mut k = lo;
+    let mut depth = 0i32;
+    let mut steps = 0usize;
+    loop {
+        let t = toks.get(k)?;
+        if steps > 80 {
+            return None;
+        }
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => return Some((lo, k)),
+            ";" => return None,
+            _ => {}
+        }
+        k += 1;
+        steps += 1;
+    }
+}
+
+/// Apply a file's pragmas to its findings. Returns (kept, suppressed
+/// count, pragma-syntax findings).
+pub fn apply_pragmas(
+    findings: Vec<Finding>,
+    pragmas: &[Pragma],
+    file: &str,
+) -> (Vec<Finding>, usize, Vec<Finding>) {
+    let mut bad = Vec::new();
+    let mut file_allows: BTreeSet<&str> = BTreeSet::new();
+    let mut line_allows: Vec<(u32, &str)> = Vec::new();
+    for p in pragmas {
+        let known = p.rule == "all" || rule_info(&p.rule).is_some();
+        if p.malformed || !p.has_reason || !known {
+            bad.push(Finding {
+                rule: "bad-pragma",
+                file: file.to_string(),
+                line: p.line,
+                message: if p.malformed {
+                    "unparsable allow-pragma".into()
+                } else if !known {
+                    format!("allow-pragma names unknown rule `{}`", p.rule)
+                } else {
+                    format!(
+                        "allow-pragma for `{}` needs a non-empty reason = \"...\"",
+                        p.rule
+                    )
+                },
+            });
+            continue;
+        }
+        if p.file_level {
+            file_allows.insert(p.rule.as_str());
+        } else {
+            line_allows.push((p.target_line, p.rule.as_str()));
+        }
+    }
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for f in findings {
+        let hit = file_allows.contains("all")
+            || file_allows.contains(f.rule)
+            || line_allows
+                .iter()
+                .any(|(l, r)| *l == f.line && (*r == "all" || *r == f.rule));
+        if hit {
+            suppressed += 1;
+        } else {
+            kept.push(f);
+        }
+    }
+    (kept, suppressed, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn file(crate_name: &str, rel: &str) -> InputFile {
+        InputFile {
+            rel: rel.into(),
+            crate_name: crate_name.into(),
+            is_bin: false,
+            src: String::new(),
+        }
+    }
+
+    fn scan(crate_name: &str, src: &str) -> Vec<Finding> {
+        let cfg = Config::default_for_root(std::path::Path::new("."));
+        let lexed = lex(src);
+        scan_file(&file(crate_name, "crates/x/src/lib.rs"), &lexed, &cfg)
+    }
+
+    #[test]
+    fn p_rules_fire_outside_tests_only() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+                   #[cfg(test)]\nmod tests { fn g(x: Option<u8>) -> u8 { x.unwrap() } }\n";
+        let hits = scan("pfs", src);
+        assert_eq!(hits.iter().filter(|f| f.rule == "p-unwrap").count(), 1);
+    }
+
+    #[test]
+    fn index_heuristics() {
+        let hits = scan("pfs", "fn f(v: &[u8], i: usize) -> u8 { v[i] }");
+        assert_eq!(hits.iter().filter(|f| f.rule == "p-index").count(), 1);
+        // Type positions, array literals, patterns and full-range slices
+        // must not fire.
+        let clean = scan(
+            "pfs",
+            "fn g(v: &mut [u8]) -> Vec<u8> { let [a, b] = [1u8, 2]; let w = &v[..]; \
+             w.to_vec() }",
+        );
+        assert_eq!(clean.iter().filter(|f| f.rule == "p-index").count(), 0);
+    }
+
+    #[test]
+    fn d_rules_scoped_to_sim_crates() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        assert_eq!(
+            scan("simnet", src)
+                .iter()
+                .filter(|f| f.rule == "d-wallclock")
+                .count(),
+            1
+        );
+        assert_eq!(
+            scan("bench", src)
+                .iter()
+                .filter(|f| f.rule == "d-wallclock")
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn hash_iteration_detected_with_sink_exemption() {
+        let src = "use std::collections::HashMap;\n\
+             fn f(m: HashMap<String, u64>) -> Vec<String> {\n\
+                 let mut out = Vec::new();\n\
+                 for k in m.keys() { out.push(k.clone()); }\n\
+                 out\n\
+             }\n";
+        assert_eq!(
+            scan("hdfs", src)
+                .iter()
+                .filter(|f| f.rule == "d-hash-iter")
+                .count(),
+            1
+        );
+        let sorted = "use std::collections::BTreeMap;\n\
+             fn f(m: std::collections::HashMap<String, u64>) -> u64 {\n\
+                 m.values().sum()\n\
+             }\n";
+        assert_eq!(
+            scan("hdfs", sorted)
+                .iter()
+                .filter(|f| f.rule == "d-hash-iter")
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn pragma_suppression_and_bad_pragma() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n\
+                   // scilint::allow(p-unwrap, reason = \"validated by caller\")\n\
+                   x.unwrap()\n\
+                   }\n";
+        let lexed = lex(src);
+        let cfg = Config::default_for_root(std::path::Path::new("."));
+        let raw = scan_file(&file("pfs", "crates/x/src/lib.rs"), &lexed, &cfg);
+        let (kept, sup, bad) = apply_pragmas(raw, &lexed.pragmas, "crates/x/src/lib.rs");
+        assert_eq!(kept.len(), 0);
+        assert_eq!(sup, 1);
+        assert_eq!(bad.len(), 0);
+
+        let src2 = "// scilint::allow(p-unwrap)\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let lexed2 = lex(src2);
+        let raw2 = scan_file(&file("pfs", "crates/x/src/lib.rs"), &lexed2, &cfg);
+        let (kept2, _, bad2) = apply_pragmas(raw2, &lexed2.pragmas, "crates/x/src/lib.rs");
+        assert_eq!(kept2.len(), 1, "reason-less pragma must not suppress");
+        assert_eq!(bad2.len(), 1);
+    }
+}

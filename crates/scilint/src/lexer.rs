@@ -1,0 +1,474 @@
+//! A lightweight Rust token scanner.
+//!
+//! Not a parser: it produces a flat token stream that is *accurate about
+//! what is and is not code* — string literals (plain, raw, byte), char
+//! literals vs. lifetimes, line/block comments (nested), and doc comments
+//! are all recognised, so a rule looking for `.unwrap()` can never match
+//! text inside a string or a `///` example. That is the entire reason this
+//! exists instead of `grep`: the seed repo has dozens of `unwrap()` hits
+//! that live in doc comments and test strings.
+//!
+//! Allow-pragmas (`allow(<rule>, reason = "...")` comments addressed to
+//! this tool) are extracted during the same scan, since they live in
+//! comments the token stream drops.
+
+/// Token classes the rules care about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Num,
+    Str,
+    Char,
+    Lifetime,
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// An allow pragma found in a comment (the tool-prefixed `allow(..)`
+/// form; the literal spelling is avoided here so the lexer does not parse
+/// its own documentation as a pragma).
+#[derive(Clone, Debug)]
+pub struct Pragma {
+    /// Line the pragma comment sits on.
+    pub line: u32,
+    /// Line whose findings this pragma suppresses (same line for a trailing
+    /// comment, the next code line for a comment on its own line). Zero for
+    /// file-level pragmas.
+    pub target_line: u32,
+    /// Rule id the pragma names (or `"all"`).
+    pub rule: String,
+    /// The `allow-file` spelling — suppresses the rule in the whole file.
+    pub file_level: bool,
+    /// The pragma carried a non-empty `reason = "..."` justification.
+    pub has_reason: bool,
+    /// Set when the pragma text could not be parsed at all.
+    pub malformed: bool,
+}
+
+/// Result of lexing one file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub pragmas: Vec<Pragma>,
+}
+
+/// Parse a tool-prefixed allow comment.
+///
+/// Grammar: `allow(rule-id)` or `allow(rule-id, reason = "justification")`
+/// after the tool prefix, with `allow-file` as the file-scoped spelling.
+/// Returns `None` when the comment does not mention the tool at all.
+fn parse_pragma(comment: &str, line: u32) -> Option<Pragma> {
+    let at = comment.find("scilint::")?;
+    let rest = comment.get(at + "scilint::".len()..).unwrap_or("");
+    let (file_level, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
+        (true, r)
+    } else if let Some(r) = rest.strip_prefix("allow") {
+        (false, r)
+    } else {
+        return Some(Pragma {
+            line,
+            target_line: line,
+            rule: String::new(),
+            file_level: false,
+            has_reason: false,
+            malformed: true,
+        });
+    };
+    let rest = rest.trim_start();
+    let body = rest
+        .strip_prefix('(')
+        .and_then(|r| r.rfind(')').and_then(|end| r.get(..end)));
+    let body = match body {
+        Some(b) => b,
+        None => {
+            return Some(Pragma {
+                line,
+                target_line: line,
+                rule: String::new(),
+                file_level,
+                has_reason: false,
+                malformed: true,
+            })
+        }
+    };
+    let mut parts = body.splitn(2, ',');
+    let rule = parts.next().unwrap_or("").trim().to_string();
+    let reason_part = parts.next().unwrap_or("").trim();
+    let has_reason = reason_part
+        .strip_prefix("reason")
+        .map(|r| r.trim_start())
+        .and_then(|r| r.strip_prefix('='))
+        .map(|r| r.trim())
+        .map(|r| {
+            // Require a non-empty quoted justification.
+            r.len() > 2 && r.starts_with('"') && r.ends_with('"')
+        })
+        .unwrap_or(false);
+    Some(Pragma {
+        line,
+        target_line: if file_level { 0 } else { line },
+        rule: rule.clone(),
+        file_level,
+        has_reason,
+        malformed: rule.is_empty(),
+    })
+}
+
+/// Lex `src` into tokens + pragmas.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut toks: Vec<Tok> = Vec::new();
+    let mut pragmas: Vec<Pragma> = Vec::new();
+    // Pragmas on their own line need their target resolved to the next
+    // code line; remember which pragmas still await a target.
+    let mut pending_targets: Vec<usize> = Vec::new();
+    let mut line: u32 = 1;
+    // Whether a token has already been emitted on the current line (a
+    // trailing pragma suppresses its own line, a lone pragma the next).
+    let mut line_has_tok = false;
+    let mut i = 0usize;
+
+    macro_rules! push_tok {
+        ($kind:expr, $text:expr) => {{
+            if !pending_targets.is_empty() {
+                for pi in pending_targets.drain(..) {
+                    if let Some(p) = pragmas.get_mut(pi) {
+                        p.target_line = line;
+                    }
+                }
+            }
+            line_has_tok = true;
+            toks.push(Tok {
+                kind: $kind,
+                text: $text,
+                line,
+            });
+        }};
+    }
+
+    while let Some(&c) = b.get(i) {
+        match c {
+            b'\n' => {
+                line += 1;
+                line_has_tok = false;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                // Line comment (incl. doc comments). Scan to end of line.
+                let start = i;
+                while b.get(i).is_some_and(|&x| x != b'\n') {
+                    i += 1;
+                }
+                let text = src.get(start..i).unwrap_or("");
+                if let Some(p) = parse_pragma(text, line) {
+                    let own_line = !line_has_tok;
+                    let idx = pragmas.len();
+                    pragmas.push(p);
+                    let is_file = pragmas.get(idx).map(|p| p.file_level).unwrap_or(false);
+                    if own_line && !is_file {
+                        pending_targets.push(idx);
+                    }
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Block comment, nested.
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while depth > 0 {
+                    match b.get(i) {
+                        None => break,
+                        Some(b'\n') => {
+                            line += 1;
+                            line_has_tok = false;
+                            i += 1;
+                        }
+                        Some(b'/') if b.get(i + 1) == Some(&b'*') => {
+                            depth += 1;
+                            i += 2;
+                        }
+                        Some(b'*') if b.get(i + 1) == Some(&b'/') => {
+                            depth -= 1;
+                            i += 2;
+                        }
+                        Some(_) => i += 1,
+                    }
+                }
+                let text = src.get(start..i).unwrap_or("");
+                if let Some(p) = parse_pragma(text, start_line) {
+                    pragmas.push(p);
+                }
+            }
+            b'"' => {
+                let (end, nl) = scan_string(b, i + 1, 0);
+                push_tok!(TokKind::Str, String::new());
+                line += nl;
+                i = end;
+            }
+            b'r' | b'b' if is_raw_or_byte_string(b, i) => {
+                let mut j = i + 1;
+                // br"..." / rb is not valid, but br is: skip one more prefix.
+                if b.get(j) == Some(&b'"') || b.get(j) == Some(&b'#') {
+                    // r"..." or r#"..."
+                } else if (c == b'b' && b.get(j) == Some(&b'r'))
+                    || (c == b'r' && b.get(j) == Some(&b'b'))
+                {
+                    j += 1;
+                }
+                if b.get(j) == Some(&b'#') || b.get(j) == Some(&b'"') {
+                    let mut hashes = 0usize;
+                    while b.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&b'"') {
+                        let (end, nl) = scan_raw_string(b, j + 1, hashes);
+                        push_tok!(TokKind::Str, String::new());
+                        line += nl;
+                        i = end;
+                        continue;
+                    }
+                }
+                // Not actually a raw string — fall through as ident.
+                let (end, text) = scan_ident(src, b, i);
+                push_tok!(TokKind::Ident, text);
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime or char literal.
+                if is_lifetime(b, i) {
+                    let (end, text) = scan_ident(src, b, i + 1);
+                    push_tok!(TokKind::Lifetime, text);
+                    i = end;
+                } else {
+                    let (end, nl) = scan_char(b, i + 1);
+                    push_tok!(TokKind::Char, String::new());
+                    line += nl;
+                    i = end;
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => {
+                let (end, text) = scan_ident(src, b, i);
+                push_tok!(TokKind::Ident, text);
+                i = end;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while b
+                    .get(j)
+                    .is_some_and(|&x| x.is_ascii_alphanumeric() || x == b'_' || x >= 0x80)
+                {
+                    j += 1;
+                }
+                let text = src.get(i..j).unwrap_or("").to_string();
+                push_tok!(TokKind::Num, text);
+                i = j;
+            }
+            _ => {
+                // Multi-char puncts the rules look at: `::`, `=>`, `->`.
+                let two = src.get(i..(i + 2).min(src.len())).unwrap_or("");
+                if two == "::" || two == "=>" || two == "->" {
+                    push_tok!(TokKind::Punct, two.to_string());
+                    i += 2;
+                } else {
+                    let text = src.get(i..i + 1).unwrap_or("").to_string();
+                    push_tok!(TokKind::Punct, text);
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Pragmas at EOF with no following code: leave target at own line.
+    Lexed { toks, pragmas }
+}
+
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    // r" r# b" br" br# — conservative: require the quote/hash soon after.
+    let c0 = b.get(i).copied().unwrap_or(0);
+    let mut j = i + 1;
+    if (c0 == b'b' && b.get(j) == Some(&b'r')) || (c0 == b'r' && b.get(j) == Some(&b'b')) {
+        j += 1;
+    }
+    let mut k = j;
+    while b.get(k) == Some(&b'#') {
+        k += 1;
+    }
+    b.get(k) == Some(&b'"') || (c0 == b'b' && b.get(j) == Some(&b'"'))
+}
+
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    // 'x where the char after x is not a closing quote → lifetime.
+    match b.get(i + 1) {
+        Some(c) if c.is_ascii_alphabetic() || *c == b'_' => b.get(i + 2) != Some(&b'\''),
+        _ => false,
+    }
+}
+
+fn scan_ident(src: &str, b: &[u8], i: usize) -> (usize, String) {
+    let mut j = i;
+    while b
+        .get(j)
+        .is_some_and(|&c| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80)
+    {
+        j += 1;
+    }
+    (j, src.get(i..j).unwrap_or("").to_string())
+}
+
+/// Scan a (possibly escaped) string body starting after the opening quote.
+/// Returns (index after closing quote, newlines crossed).
+fn scan_string(b: &[u8], mut i: usize, _hashes: usize) -> (usize, u32) {
+    let mut nl = 0u32;
+    while let Some(&c) = b.get(i) {
+        match c {
+            b'\\' => i += 2,
+            b'"' => return (i + 1, nl),
+            b'\n' => {
+                nl += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, nl)
+}
+
+/// Raw string body: ends at `"` followed by `hashes` `#`s. No escapes.
+fn scan_raw_string(b: &[u8], mut i: usize, hashes: usize) -> (usize, u32) {
+    let mut nl = 0u32;
+    while let Some(&c) = b.get(i) {
+        if c == b'\n' {
+            nl += 1;
+            i += 1;
+            continue;
+        }
+        if c == b'"' {
+            let mut k = 0usize;
+            while k < hashes && b.get(i + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return (i + 1 + hashes, nl);
+            }
+        }
+        i += 1;
+    }
+    (i, nl)
+}
+
+/// Char literal body after the opening quote: `a'`, `\n'`, `\''`, `\u{..}'`.
+fn scan_char(b: &[u8], mut i: usize) -> (usize, u32) {
+    let mut nl = 0u32;
+    let mut seen = 0usize;
+    while let Some(&c) = b.get(i) {
+        match c {
+            b'\\' => {
+                i += 2;
+                seen += 1;
+            }
+            b'\'' => return (i + 1, nl),
+            b'\n' => {
+                nl += 1;
+                i += 1;
+                seen += 1;
+            }
+            _ => {
+                i += 1;
+                seen += 1;
+            }
+        }
+        if seen > 12 {
+            // Not a char literal after all (e.g. stray quote); bail out so
+            // the scanner cannot swallow the rest of the file.
+            return (i, nl);
+        }
+    }
+    (i, nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_drop_code_like_text() {
+        let src = r##"
+// has unwrap() in a comment
+/// doc: x.unwrap()
+fn f() {
+    let s = "call .unwrap() here";
+    let r = r#"raw .expect( body"#;
+    s.len();
+}
+"##;
+        let lx = lex(src);
+        let unwraps = lx.toks.iter().filter(|t| t.is_ident("unwrap")).count();
+        let expects = lx.toks.iter().filter(|t| t.is_ident("expect")).count();
+        assert_eq!(unwraps, 0);
+        assert_eq!(expects, 0);
+        assert!(lx.toks.iter().any(|t| t.is_ident("len")));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let lx = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(lx
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert!(lx.toks.iter().any(|t| t.kind == TokKind::Char));
+    }
+
+    #[test]
+    fn pragma_parsing() {
+        let src = "// scilint::allow(p-unwrap, reason = \"checked above\")\nlet x = y.unwrap();\n";
+        let lx = lex(src);
+        let p = lx.pragmas.first().cloned().expect("pragma not found");
+        assert_eq!(p.rule, "p-unwrap");
+        assert!(p.has_reason);
+        assert!(!p.file_level);
+        assert_eq!(p.target_line, 2, "own-line pragma targets next code line");
+
+        let lx2 = lex("let x = y.unwrap(); // scilint::allow(p-unwrap, reason = \"ok\")\n");
+        assert_eq!(lx2.pragmas.first().map(|p| p.target_line), Some(1));
+
+        let lx3 = lex("// scilint::allow-file(p-index, reason = \"dense math\")\n");
+        assert_eq!(lx3.pragmas.first().map(|p| p.file_level), Some(true));
+
+        let lx4 = lex("// scilint::allow(p-unwrap)\n");
+        assert_eq!(lx4.pragmas.first().map(|p| p.has_reason), Some(false));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lx = lex("/* outer /* inner unwrap() */ still comment */ fn g() {}");
+        assert!(!lx.toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(lx.toks.iter().any(|t| t.is_ident("g")));
+    }
+
+    #[test]
+    fn multi_char_puncts() {
+        let lx = lex("match x { A::B(_) => 1, _ => 2 }");
+        assert!(lx.toks.iter().any(|t| t.is_punct("::")));
+        assert!(lx.toks.iter().any(|t| t.is_punct("=>")));
+    }
+}

@@ -1,0 +1,222 @@
+//! `scilint` CLI: walk the workspace, run every rule, apply the baseline
+//! ratchet, and exit nonzero on violations.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use scilint::report::{Resolved, RunReport};
+use scilint::rules::{apply_selector, default_severities, Severity, RULES};
+use scilint::{analyze, baseline, walk_workspace, Config};
+
+const USAGE: &str = "\
+scilint — workspace static analysis (determinism / panic-freedom / completeness)
+
+USAGE:
+  scilint --workspace [options]
+
+OPTIONS:
+  --workspace            lint every crate in the workspace (required mode)
+  --root <dir>           workspace root (default: auto-discover from cwd)
+  --deny <sel>           escalate a rule, family letter (D|P|C|M) or `all`
+  --warn <sel>           demote a rule, family letter or `all`
+  --json                 machine-readable output
+  --baseline <file>      baseline path (default: <root>/scilint.baseline)
+  --no-baseline          ignore any baseline file
+  --update-baseline      rewrite the baseline from current findings and exit
+  --list-rules           print the rule registry and exit
+  -h, --help             this text
+
+EXIT CODES: 0 clean, 1 violations, 2 usage or I/O error.
+";
+
+struct Cli {
+    workspace: bool,
+    root: Option<PathBuf>,
+    json: bool,
+    baseline_path: Option<PathBuf>,
+    no_baseline: bool,
+    update_baseline: bool,
+    list_rules: bool,
+    severities: std::collections::BTreeMap<&'static str, Severity>,
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        workspace: false,
+        root: None,
+        json: false,
+        baseline_path: None,
+        no_baseline: false,
+        update_baseline: false,
+        list_rules: false,
+        severities: default_severities(),
+    };
+    let mut i = 0usize;
+    while let Some(a) = args.get(i) {
+        match a.as_str() {
+            "--workspace" => cli.workspace = true,
+            "--json" => cli.json = true,
+            "--no-baseline" => cli.no_baseline = true,
+            "--update-baseline" => cli.update_baseline = true,
+            "--list-rules" => cli.list_rules = true,
+            "-h" | "--help" => return Err(String::new()),
+            "--root" | "--baseline" | "--deny" | "--warn" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{a} needs a value"))?
+                    .clone();
+                i += 1;
+                match a.as_str() {
+                    "--root" => cli.root = Some(PathBuf::from(&v)),
+                    "--baseline" => cli.baseline_path = Some(PathBuf::from(&v)),
+                    "--deny" => {
+                        for sel in v.split(',') {
+                            if !apply_selector(&mut cli.severities, sel, Severity::Deny) {
+                                return Err(format!("--deny: unknown rule `{sel}`"));
+                            }
+                        }
+                    }
+                    _ => {
+                        for sel in v.split(',') {
+                            if !apply_selector(&mut cli.severities, sel, Severity::Warn) {
+                                return Err(format!("--warn: unknown rule `{sel}`"));
+                            }
+                        }
+                    }
+                }
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(cli)
+}
+
+/// Walk up from cwd to the first directory holding a `Cargo.toml` with a
+/// `[workspace]` table.
+fn discover_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn run() -> Result<u8, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse_cli(&args).inspect_err(|e| {
+        if e.is_empty() {
+            eprint!("{USAGE}");
+            std::process::exit(0);
+        }
+    })?;
+
+    if cli.list_rules {
+        for r in RULES {
+            println!("{:<16} [{}] {}", r.id, r.family.letter(), r.summary);
+        }
+        return Ok(0);
+    }
+    if !cli.workspace {
+        return Err("nothing to do: pass --workspace (see --help)".into());
+    }
+
+    let root = match cli.root {
+        Some(r) => r,
+        None => discover_root().ok_or("could not find a workspace root; pass --root")?,
+    };
+    let cfg = Config::default_for_root(&root);
+    let files = walk_workspace(&root)?;
+    let analysis = analyze(&files, &cfg);
+
+    // Baseline.
+    let bl_path = cli
+        .baseline_path
+        .unwrap_or_else(|| root.join("scilint.baseline"));
+    let bl = if cli.no_baseline {
+        baseline::Baseline::new()
+    } else {
+        match std::fs::read_to_string(&bl_path) {
+            Ok(text) => baseline::parse(&text)?,
+            Err(_) => baseline::Baseline::new(),
+        }
+    };
+
+    // Deny findings participate in the ratchet; warns are informational.
+    let deny_buckets = baseline::bucket_counts(
+        analysis
+            .findings
+            .iter()
+            .filter(|f| cli.severities.get(f.rule) == Some(&Severity::Deny))
+            .map(|f| (f.file.as_str(), f.rule)),
+    );
+
+    if cli.update_baseline {
+        std::fs::write(&bl_path, baseline::render(&deny_buckets))
+            .map_err(|e| format!("write {}: {e}", bl_path.display()))?;
+        println!(
+            "scilint: wrote {} ({} buckets)",
+            bl_path.display(),
+            deny_buckets.values().filter(|c| **c > 0).count()
+        );
+        return Ok(0);
+    }
+
+    let mut report = RunReport {
+        suppressed: analysis.suppressed,
+        ..RunReport::default()
+    };
+    for ((file, rule), allowed) in &bl {
+        let current = deny_buckets
+            .get(&(file.clone(), rule.clone()))
+            .copied()
+            .unwrap_or(0);
+        if current < *allowed {
+            report
+                .slack
+                .push((file.clone(), rule.clone(), current, *allowed));
+        }
+    }
+    for f in analysis.findings {
+        let severity = cli
+            .severities
+            .get(f.rule)
+            .copied()
+            .unwrap_or(Severity::Deny);
+        let baselined = severity == Severity::Deny && {
+            let key = (f.file.clone(), f.rule.to_string());
+            let current = deny_buckets.get(&key).copied().unwrap_or(0);
+            let allowed = bl.get(&key).copied().unwrap_or(0);
+            current <= allowed
+        };
+        report.resolved.push(Resolved {
+            finding: f,
+            severity,
+            baselined,
+        });
+    }
+
+    if cli.json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(if report.violation_count() > 0 { 1 } else { 0 })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => ExitCode::from(code),
+        Err(e) => {
+            eprintln!("scilint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Human and machine-readable rendering of a lint run.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Severity;
+use crate::Finding;
+
+/// A finding with its resolved disposition.
+#[derive(Clone, Debug)]
+pub struct Resolved {
+    pub finding: Finding,
+    pub severity: Severity,
+    /// Covered by the baseline ratchet (does not fail the run).
+    pub baselined: bool,
+}
+
+/// Everything a run produced, ready to render.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    pub resolved: Vec<Resolved>,
+    pub suppressed: usize,
+    /// `(file, rule, current, allowed)` buckets where current < allowed:
+    /// the baseline can ratchet down.
+    pub slack: Vec<(String, String, usize, usize)>,
+}
+
+impl RunReport {
+    /// Findings that fail the run: deny severity and not baselined.
+    pub fn violations(&self) -> impl Iterator<Item = &Resolved> {
+        self.resolved
+            .iter()
+            .filter(|r| r.severity == Severity::Deny && !r.baselined)
+    }
+
+    pub fn violation_count(&self) -> usize {
+        self.violations().count()
+    }
+
+    /// Plain-text rendering.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        for r in &self.resolved {
+            if r.baselined {
+                continue;
+            }
+            s.push_str(&format!(
+                "{}: {}:{}: [{}] {}\n",
+                r.severity.as_str(),
+                r.finding.file,
+                r.finding.line,
+                r.finding.rule,
+                r.finding.message
+            ));
+        }
+        let baselined = self.resolved.iter().filter(|r| r.baselined).count();
+        let warns = self
+            .resolved
+            .iter()
+            .filter(|r| r.severity == Severity::Warn && !r.baselined)
+            .count();
+        s.push_str(&format!(
+            "scilint: {} violation(s), {} warning(s), {} baselined, {} pragma-suppressed\n",
+            self.violation_count(),
+            warns,
+            baselined,
+            self.suppressed
+        ));
+        if !self.slack.is_empty() {
+            s.push_str(&format!(
+                "scilint: {} baseline bucket(s) have slack — run with --update-baseline to ratchet down\n",
+                self.slack.len()
+            ));
+        }
+        s
+    }
+
+    /// Machine-readable JSON (hand-rendered; the workspace carries no
+    /// external crates by design).
+    pub fn render_json(&self) -> String {
+        let mut s = String::from("{\n  \"findings\": [");
+        let mut first = true;
+        for r in &self.resolved {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"baselined\": {}, \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                esc(r.finding.rule),
+                r.severity.as_str(),
+                r.baselined,
+                esc(&r.finding.file),
+                r.finding.line,
+                esc(&r.finding.message)
+            ));
+        }
+        s.push_str("\n  ],\n");
+        let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+        for r in &self.resolved {
+            if !r.baselined && r.severity == Severity::Deny {
+                *by_rule.entry(r.finding.rule).or_insert(0) += 1;
+            }
+        }
+        s.push_str("  \"violations_by_rule\": {");
+        let mut first = true;
+        for (rule, n) in &by_rule {
+            if !first {
+                s.push_str(", ");
+            }
+            first = false;
+            s.push_str(&format!("\"{}\": {}", esc(rule), n));
+        }
+        s.push_str("},\n");
+        s.push_str(&format!(
+            "  \"summary\": {{\"violations\": {}, \"baselined\": {}, \"suppressed\": {}, \"slack_buckets\": {}}}\n}}\n",
+            self.violation_count(),
+            self.resolved.iter().filter(|r| r.baselined).count(),
+            self.suppressed,
+            self.slack.len()
+        ));
+        s
+    }
+}
+
+/// Minimal JSON string escaping.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let rep = RunReport {
+            resolved: vec![Resolved {
+                finding: Finding {
+                    rule: "p-unwrap",
+                    file: "a\"b.rs".into(),
+                    line: 3,
+                    message: "x\ny".into(),
+                },
+                severity: Severity::Deny,
+                baselined: false,
+            }],
+            suppressed: 2,
+            slack: vec![],
+        };
+        let j = rep.render_json();
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("x\\ny"));
+        assert!(j.contains("\"violations\": 1"));
+        assert!(j.contains("\"p-unwrap\": 1"));
+        assert_eq!(rep.violation_count(), 1);
+    }
+}

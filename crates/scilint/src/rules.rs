@@ -1,0 +1,166 @@
+//! Rule registry: ids, families, default severities, documentation.
+
+use std::collections::BTreeMap;
+
+/// How a triggered rule affects the exit code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported, does not fail the run.
+    Warn,
+    /// Fails the run (subject to the baseline ratchet).
+    Deny,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+/// Rule families, selectable as `--deny D` / `--warn P` etc.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Determinism: the simulator must be bit-reproducible.
+    Determinism,
+    /// Panic-freedom: library data paths return typed errors.
+    PanicFreedom,
+    /// Completeness: declared counters/variants must be live.
+    Completeness,
+    /// Meta rules about scilint's own pragma syntax.
+    Meta,
+}
+
+impl Family {
+    pub fn letter(self) -> char {
+        match self {
+            Family::Determinism => 'D',
+            Family::PanicFreedom => 'P',
+            Family::Completeness => 'C',
+            Family::Meta => 'M',
+        }
+    }
+}
+
+/// Static description of one rule.
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub family: Family,
+    pub summary: &'static str,
+}
+
+/// Every rule scilint knows, in stable order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "d-wallclock",
+        family: Family::Determinism,
+        summary: "std::time::Instant/SystemTime in a simulator crate (wall-clock breaks replay)",
+    },
+    RuleInfo {
+        id: "d-thread-spawn",
+        family: Family::Determinism,
+        summary: "OS thread creation outside scifmt::par (scheduling order is nondeterministic)",
+    },
+    RuleInfo {
+        id: "d-hash-iter",
+        family: Family::Determinism,
+        summary: "iteration over a HashMap/HashSet in a simulator crate (order is seed-dependent)",
+    },
+    RuleInfo {
+        id: "p-unwrap",
+        family: Family::PanicFreedom,
+        summary: ".unwrap() in non-test library code (return the crate's typed error instead)",
+    },
+    RuleInfo {
+        id: "p-expect",
+        family: Family::PanicFreedom,
+        summary: ".expect(...) in non-test library code (return the crate's typed error instead)",
+    },
+    RuleInfo {
+        id: "p-panic",
+        family: Family::PanicFreedom,
+        summary: "panic!/unreachable!/todo!/unimplemented! in non-test library code",
+    },
+    RuleInfo {
+        id: "p-index",
+        family: Family::PanicFreedom,
+        summary:
+            "bare slice/collection indexing in non-test library code (use .get() or iterators)",
+    },
+    RuleInfo {
+        id: "c-counter-dead",
+        family: Family::Completeness,
+        summary: "counter key declared in mapreduce::counters::keys but never recorded anywhere",
+    },
+    RuleInfo {
+        id: "c-variant-dead",
+        family: Family::Completeness,
+        summary: "error-enum variant never constructed in non-test code (dead error path)",
+    },
+    RuleInfo {
+        id: "bad-pragma",
+        family: Family::Meta,
+        summary: "allow-pragma without a parsable rule id and non-empty reason = \"...\"",
+    },
+];
+
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Default severity map: everything denies; the baseline absorbs existing
+/// debt so `--deny all` stays green while the debt ratchets down.
+pub fn default_severities() -> BTreeMap<&'static str, Severity> {
+    RULES.iter().map(|r| (r.id, Severity::Deny)).collect()
+}
+
+/// Apply a `--deny`/`--warn` selector: a rule id, a family letter
+/// (`D`/`P`/`C`), or `all`. Returns false when the selector names nothing.
+pub fn apply_selector(
+    sev: &mut BTreeMap<&'static str, Severity>,
+    selector: &str,
+    to: Severity,
+) -> bool {
+    let s = selector.trim();
+    if s.eq_ignore_ascii_case("all") {
+        for r in RULES {
+            sev.insert(r.id, to);
+        }
+        return true;
+    }
+    if s.len() == 1 {
+        let c = s.chars().next().map(|c| c.to_ascii_uppercase());
+        let mut hit = false;
+        for r in RULES {
+            if Some(r.family.letter()) == c {
+                sev.insert(r.id, to);
+                hit = true;
+            }
+        }
+        return hit;
+    }
+    if let Some(r) = RULES.iter().find(|r| r.id == s) {
+        sev.insert(r.id, to);
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectors() {
+        let mut sev = default_severities();
+        assert!(apply_selector(&mut sev, "P", Severity::Warn));
+        assert_eq!(sev.get("p-unwrap"), Some(&Severity::Warn));
+        assert_eq!(sev.get("d-wallclock"), Some(&Severity::Deny));
+        assert!(apply_selector(&mut sev, "all", Severity::Deny));
+        assert_eq!(sev.get("p-unwrap"), Some(&Severity::Deny));
+        assert!(apply_selector(&mut sev, "p-index", Severity::Warn));
+        assert!(!apply_selector(&mut sev, "nope", Severity::Warn));
+    }
+}

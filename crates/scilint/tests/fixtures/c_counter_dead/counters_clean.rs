@@ -1,0 +1,3 @@
+pub mod keys {
+    pub const LIVE: &str = "live";
+}

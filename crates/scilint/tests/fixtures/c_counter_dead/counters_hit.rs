@@ -1,0 +1,4 @@
+pub mod keys {
+    pub const LIVE: &str = "live";
+    pub const DEAD: &str = "dead";
+}

@@ -1,0 +1,5 @@
+pub mod keys {
+    pub const LIVE: &str = "live";
+    // scilint::allow(c-counter-dead, reason = "recorded by the next milestone's shuffle stage")
+    pub const DEAD: &str = "dead";
+}

@@ -1,0 +1,3 @@
+pub fn record(out: &mut Vec<(String, f64)>) {
+    out.push((keys::LIVE.to_string(), 1.0));
+}

@@ -1,0 +1,11 @@
+pub enum DemoError {
+    Used(String),
+    Dead(u32),
+}
+
+pub fn fail(code: Option<u32>) -> Result<(), DemoError> {
+    match code {
+        Some(c) => Err(DemoError::Dead(c)),
+        None => Err(DemoError::Used("boom".to_string())),
+    }
+}

@@ -1,0 +1,8 @@
+pub enum DemoError {
+    Used(String),
+    Dead(u32),
+}
+
+pub fn fail() -> Result<(), DemoError> {
+    Err(DemoError::Used("boom".to_string()))
+}

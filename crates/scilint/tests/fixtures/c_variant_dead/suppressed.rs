@@ -1,0 +1,9 @@
+pub enum DemoError {
+    Used(String),
+    // scilint::allow(c-variant-dead, reason = "reserved for the next fault-model revision")
+    Dead(u32),
+}
+
+pub fn fail() -> Result<(), DemoError> {
+    Err(DemoError::Used("boom".to_string()))
+}

@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn dump(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (_k, v) in m.iter() {
+        out.push(*v);
+    }
+    out
+}

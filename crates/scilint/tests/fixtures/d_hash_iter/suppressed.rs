@@ -1,0 +1,11 @@
+use std::collections::HashMap;
+
+pub fn dump(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    // scilint::allow(d-hash-iter, reason = "result is sorted before anything observes it")
+    for (_k, v) in m.iter() {
+        out.push(*v);
+    }
+    out.sort_unstable();
+    out
+}

@@ -1,0 +1,3 @@
+pub fn side_work() -> i32 {
+    42
+}

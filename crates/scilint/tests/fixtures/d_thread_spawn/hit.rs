@@ -1,0 +1,4 @@
+pub fn side_work() {
+    let h = std::thread::spawn(|| 42);
+    let _ = h.join();
+}

@@ -1,0 +1,5 @@
+pub fn side_work() {
+    // scilint::allow(d-thread-spawn, reason = "bounded scoped pool; joins before returning")
+    let h = std::thread::spawn(|| 42);
+    let _ = h.join();
+}

@@ -1,0 +1,5 @@
+pub fn stamp_nanos() -> u128 {
+    // scilint::allow(d-wallclock, reason = "host-side diagnostic only; never feeds virtual time")
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}

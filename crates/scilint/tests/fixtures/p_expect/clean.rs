@@ -1,0 +1,3 @@
+pub fn open(v: Option<String>) -> Result<String, String> {
+    v.ok_or_else(|| "missing value".to_string())
+}

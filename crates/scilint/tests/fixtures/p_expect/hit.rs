@@ -1,0 +1,3 @@
+pub fn open(v: Option<String>) -> String {
+    v.expect("value present")
+}

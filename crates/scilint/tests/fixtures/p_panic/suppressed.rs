@@ -1,0 +1,8 @@
+pub fn pick(v: i64) -> i64 {
+    match v {
+        0 => 1,
+        1 => 2,
+        // scilint::allow(p-panic, reason = "enum is sealed; other values cannot be built")
+        _ => unreachable!("caller never passes {v}"),
+    }
+}

@@ -1,0 +1,4 @@
+pub fn first(v: &[u32]) -> u32 {
+    // scilint::allow(p-unwrap, reason = "caller guarantees non-empty input")
+    v.first().copied().unwrap()
+}

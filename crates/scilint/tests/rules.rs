@@ -1,0 +1,186 @@
+//! Golden tests: every rule has fixture files for a positive hit, a
+//! pragma-suppressed hit, and a clean variant. Fixtures live under
+//! `tests/fixtures/<rule>/` — a directory name `walk_workspace` skips, so
+//! they never flag the workspace itself.
+
+use std::path::Path;
+
+use scilint::{analyze, Analysis, Config, InputFile};
+
+fn read_fixture(rel: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+/// Lint one fixture as if it were a simnet library file (simnet is in
+/// scope for every D-rule).
+fn lint_simnet(stub: &str, src: String) -> Analysis {
+    let cfg = Config::default_for_root(Path::new("."));
+    let files = [InputFile {
+        rel: format!("crates/simnet/src/{stub}.rs"),
+        crate_name: "simnet".into(),
+        is_bin: false,
+        src,
+    }];
+    analyze(&files, &cfg)
+}
+
+fn rules_of(a: &Analysis) -> Vec<&'static str> {
+    a.findings.iter().map(|f| f.rule).collect()
+}
+
+fn check_trio(dir: &str, rule: &'static str) {
+    let hit = lint_simnet(
+        &format!("{dir}_hit"),
+        read_fixture(&format!("{dir}/hit.rs")),
+    );
+    assert!(
+        rules_of(&hit).contains(&rule),
+        "{dir}/hit.rs should trigger {rule}, got {:?}",
+        hit.findings
+    );
+
+    let sup = lint_simnet(
+        &format!("{dir}_sup"),
+        read_fixture(&format!("{dir}/suppressed.rs")),
+    );
+    assert!(
+        !rules_of(&sup).contains(&rule),
+        "{dir}/suppressed.rs pragma should suppress {rule}, got {:?}",
+        sup.findings
+    );
+    assert!(
+        !rules_of(&sup).contains(&"bad-pragma"),
+        "{dir}/suppressed.rs pragma should be well-formed, got {:?}",
+        sup.findings
+    );
+    assert!(
+        sup.suppressed >= 1,
+        "{dir}/suppressed.rs should count at least one suppression"
+    );
+
+    let clean = lint_simnet(
+        &format!("{dir}_clean"),
+        read_fixture(&format!("{dir}/clean.rs")),
+    );
+    assert!(
+        clean.findings.is_empty(),
+        "{dir}/clean.rs should be clean, got {:?}",
+        clean.findings
+    );
+}
+
+#[test]
+fn p_unwrap_fixtures() {
+    check_trio("p_unwrap", "p-unwrap");
+}
+
+#[test]
+fn p_expect_fixtures() {
+    check_trio("p_expect", "p-expect");
+}
+
+#[test]
+fn p_panic_fixtures() {
+    check_trio("p_panic", "p-panic");
+}
+
+#[test]
+fn p_index_fixtures() {
+    check_trio("p_index", "p-index");
+}
+
+#[test]
+fn d_wallclock_fixtures() {
+    check_trio("d_wallclock", "d-wallclock");
+}
+
+#[test]
+fn d_thread_spawn_fixtures() {
+    check_trio("d_thread_spawn", "d-thread-spawn");
+}
+
+#[test]
+fn d_hash_iter_fixtures() {
+    check_trio("d_hash_iter", "d-hash-iter");
+}
+
+#[test]
+fn p_rules_do_not_apply_to_bins() {
+    let cfg = Config::default_for_root(Path::new("."));
+    let files = [InputFile {
+        rel: "crates/simnet/src/bin/tool.rs".into(),
+        crate_name: "simnet".into(),
+        is_bin: true,
+        src: read_fixture("p_unwrap/hit.rs"),
+    }];
+    let a = analyze(&files, &cfg);
+    assert!(
+        a.findings.is_empty(),
+        "bin targets are exempt from P-rules, got {:?}",
+        a.findings
+    );
+}
+
+#[test]
+fn bad_pragma_fixtures() {
+    // A reason-less pragma is itself a finding AND fails to suppress.
+    let hit = lint_simnet("bad_pragma_hit", read_fixture("bad_pragma/hit.rs"));
+    let rules = rules_of(&hit);
+    assert!(rules.contains(&"bad-pragma"), "got {:?}", hit.findings);
+    assert!(
+        rules.contains(&"p-unwrap"),
+        "malformed pragma must not suppress, got {:?}",
+        hit.findings
+    );
+
+    let clean = lint_simnet("bad_pragma_clean", read_fixture("bad_pragma/clean.rs"));
+    assert!(clean.findings.is_empty(), "got {:?}", clean.findings);
+    assert_eq!(clean.suppressed, 1);
+}
+
+#[test]
+fn c_variant_dead_fixtures() {
+    for (fx, expect_hit, expect_sup) in [
+        ("hit.rs", true, 0usize),
+        ("suppressed.rs", false, 1),
+        ("clean.rs", false, 0),
+    ] {
+        let a = lint_simnet(
+            &format!("variant_{}", fx.replace(".rs", "")),
+            read_fixture(&format!("c_variant_dead/{fx}")),
+        );
+        let has = rules_of(&a).contains(&"c-variant-dead");
+        assert_eq!(has, expect_hit, "c_variant_dead/{fx}: {:?}", a.findings);
+        assert_eq!(a.suppressed, expect_sup, "c_variant_dead/{fx}");
+    }
+}
+
+#[test]
+fn c_counter_dead_fixtures() {
+    let cfg = Config::default_for_root(Path::new("."));
+    let user = InputFile {
+        rel: "crates/scidp/src/user.rs".into(),
+        crate_name: "scidp".into(),
+        is_bin: false,
+        src: read_fixture("c_counter_dead/user.rs"),
+    };
+    for (fx, expect_hit, expect_sup) in [
+        ("counters_hit.rs", true, 0usize),
+        ("counters_suppressed.rs", false, 1),
+        ("counters_clean.rs", false, 0),
+    ] {
+        let decl = InputFile {
+            rel: cfg.counters_file.clone(),
+            crate_name: "mapreduce".into(),
+            is_bin: false,
+            src: read_fixture(&format!("c_counter_dead/{fx}")),
+        };
+        let a = analyze(&[decl, user.clone()], &cfg);
+        let has = rules_of(&a).contains(&"c-counter-dead");
+        assert_eq!(has, expect_hit, "c_counter_dead/{fx}: {:?}", a.findings);
+        assert_eq!(a.suppressed, expect_sup, "c_counter_dead/{fx}");
+    }
+}

@@ -6,6 +6,8 @@
 //! exactly what the synthetic-dataset generators and the seeded tests need.
 //! Not cryptographic, and not intended to be.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 /// SplitMix64 step — also usable standalone for cheap hash mixing.
 #[inline]
 pub fn splitmix64(state: &mut u64) -> u64 {

@@ -24,6 +24,8 @@
 //! bytes are genuinely stored, compressed, parsed and plotted) while `simnet`
 //! accounts for the time that would have elapsed on the paper's testbed.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cost;
 pub mod event;
 pub mod fault;

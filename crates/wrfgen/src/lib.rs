@@ -14,6 +14,8 @@
 //! upsampled, mildly quantised like observational data), which gives the
 //! byte-shuffle + LZ codec a realistic scientific-data compression ratio.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod field;
 pub mod model;
 pub mod writer;

@@ -33,7 +33,8 @@ fn main() {
         &["lev".into(), "lat".into(), "lon".into()],
         &[0, 0, 0],
         &qr,
-    );
+    )
+    .unwrap();
     let mut env = HashMap::new();
     env.insert("df", &df);
     let stats = sqldf(

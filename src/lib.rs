@@ -19,6 +19,8 @@
 //! assert_eq!(report.images, 2 * 4); // 2 files x 4 levels
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub use baselines;
 pub use hdfs;
 pub use mapreduce;

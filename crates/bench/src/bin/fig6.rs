@@ -193,6 +193,7 @@ fn scidp_read(pool: &DatasetPool, w: &Workload, readers: usize) -> f64 {
                 // Bandwidth series reads every chunk exactly once; a cache
                 // would only distort the measured I/O.
                 cache: Arc::new(scifmt::ChunkCache::new(0)),
+                pushdown: None,
             });
         }
     }

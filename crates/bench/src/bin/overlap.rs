@@ -215,6 +215,7 @@ fn slab_job(
                 start: vec![half * SNC_LEVS / 2, 0, 0],
                 count: vec![SNC_LEVS / 2, 32, 32],
                 cache: cache.clone(),
+                pushdown: None,
             }),
         })
         .collect();

@@ -62,6 +62,18 @@ pub mod keys {
     /// Configured decompressed-chunk cache capacity of the job's reader
     /// (bytes; recorded once per run alongside hit/miss counters).
     pub const CHUNK_CACHE_CAPACITY_BYTES: &str = "chunk_cache_capacity_bytes";
+    /// SNC chunks skipped by zone-map pruning before any PFS read or
+    /// decompression was attempted.
+    pub const CHUNKS_SKIPPED_ZONEMAP: &str = "chunks_skipped_zonemap";
+    /// Serialized zone-map header bytes across the job's input variables
+    /// (the metadata cost of pushdown; recorded once per run).
+    pub const ZONE_MAP_BYTES: &str = "zone_map_bytes";
+    /// Compressed PFS bytes whose simulated reads were never issued thanks
+    /// to zone-map pruning.
+    pub const PUSHDOWN_BYTES_AVOIDED: &str = "pushdown_bytes_avoided";
+    /// Rows delivered to the vectorised columnar filter (pre-filter row
+    /// count of pushdown batches).
+    pub const VECTORISED_ROWS: &str = "vectorised_rows";
 }
 
 impl Counters {

@@ -20,6 +20,7 @@
 
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod columnar;
 pub mod error;
 pub mod frame;
 pub mod gif;
@@ -28,6 +29,7 @@ pub mod png;
 pub mod readtable;
 pub mod sql;
 
+pub use columnar::{CmpOp, ColStats, ColumnFold, Lit, MatchBound, Predicate};
 pub use error::{FrameError, Result};
 pub use frame::{Column, DataFrame, Value};
 pub use gif::GifAnimation;

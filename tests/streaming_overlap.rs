@@ -298,6 +298,7 @@ mod integrity {
                 start: vec![0, 0, 0],
                 count: vec![6, 8, 5],
                 cache: Arc::new(ChunkCache::default()),
+                pushdown: None,
             }),
         };
         Job {

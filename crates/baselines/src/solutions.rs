@@ -287,6 +287,7 @@ pub fn run_vanilla(
         output_to_pfs: false,
         ft: mapreduce::FtConfig::default(),
         stream: mapreduce::StreamConfig::default(),
+        shuffle: None,
     };
     let result = run_job(cluster, job).expect("vanilla job succeeds");
     SolutionReport {
@@ -361,6 +362,7 @@ pub fn run_porthadoop_with_chunks(
         output_to_pfs: false,
         ft: mapreduce::FtConfig::default(),
         stream: mapreduce::StreamConfig::default(),
+        shuffle: None,
     };
     let result = run_job(cluster, job).expect("porthadoop job succeeds");
     SolutionReport {
@@ -422,6 +424,7 @@ pub fn run_scihadoop(
         output_to_pfs: false,
         ft: mapreduce::FtConfig::default(),
         stream: mapreduce::StreamConfig::default(),
+        shuffle: None,
     };
     let result = run_job(cluster, job).expect("scihadoop job succeeds");
     SolutionReport {

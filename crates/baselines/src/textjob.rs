@@ -43,9 +43,9 @@ impl SplitFetcher for TagFetcher {
         env: &MrEnv,
         sim: &mut Sim,
         node: NodeId,
-    ) -> Option<Box<dyn mapreduce::PieceStream>> {
+    ) -> Result<Box<dyn mapreduce::PieceStream>, mapreduce::StreamFallback> {
         let inner = self.inner.open_stream(env, sim, node)?;
-        Some(mapreduce::retag_stream(inner, self.tag.clone()))
+        Ok(mapreduce::retag_stream(inner, self.tag.clone()))
     }
 
     fn describe(&self) -> String {

@@ -249,6 +249,7 @@ fn terasort(cluster: &mut Cluster, backend: Backend, cfg: &Fig2Config) -> f64 {
         output_to_pfs: false,
         ft: mapreduce::FtConfig::default(),
         stream: mapreduce::StreamConfig::default(),
+        shuffle: None,
     };
     apply_backend(&mut job, backend);
     run_job(cluster, job).expect("terasort succeeds").elapsed()
@@ -294,6 +295,7 @@ fn grep(cluster: &mut Cluster, backend: Backend, cfg: &Fig2Config) -> f64 {
         output_to_pfs: false,
         ft: mapreduce::FtConfig::default(),
         stream: mapreduce::StreamConfig::default(),
+        shuffle: None,
     };
     apply_backend(&mut job, backend);
     run_job(cluster, job).expect("grep succeeds").elapsed()
@@ -323,6 +325,7 @@ fn dfsio_write(cluster: &mut Cluster, backend: Backend, cfg: &Fig2Config) -> f64
         output_to_pfs: false,
         ft: mapreduce::FtConfig::default(),
         stream: mapreduce::StreamConfig::default(),
+        shuffle: None,
     };
     apply_backend(&mut job, backend);
     run_job(cluster, job)
@@ -352,6 +355,7 @@ fn dfsio_read(cluster: &mut Cluster, backend: Backend, cfg: &Fig2Config) -> f64 
         output_to_pfs: false,
         ft: mapreduce::FtConfig::default(),
         stream: mapreduce::StreamConfig::default(),
+        shuffle: None,
     };
     apply_backend(&mut job, backend);
     run_job(cluster, job)

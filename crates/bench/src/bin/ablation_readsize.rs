@@ -74,6 +74,7 @@ fn main() {
             output_to_pfs: false,
             ft: mapreduce::FtConfig::default(),
             stream: mapreduce::StreamConfig::default(),
+            shuffle: None,
         };
         let t = run_job(&mut c, job).expect("scan job succeeds").elapsed();
         let b = *base.get_or_insert(t);

@@ -93,6 +93,7 @@ fn byte_count_job(ft: FtConfig) -> Job {
         output_to_pfs: false,
         ft,
         stream: mapreduce::StreamConfig::default(),
+        shuffle: None,
     }
 }
 

@@ -114,6 +114,7 @@ fn flat_job(charge_s: f64, stream: StreamConfig) -> Job {
         output_to_pfs: false,
         ft: FtConfig::default(),
         stream,
+        shuffle: None,
     }
 }
 
@@ -246,6 +247,7 @@ fn slab_job(
         output_to_pfs: false,
         ft: FtConfig::default(),
         stream,
+        shuffle: None,
     }
 }
 

@@ -74,6 +74,22 @@ pub mod keys {
     /// Rows delivered to the vectorised columnar filter (pre-filter row
     /// count of pushdown batches).
     pub const VECTORISED_ROWS: &str = "vectorised_rows";
+    /// Stage jobs submitted by the DAG scheduler, including lineage-driven
+    /// re-runs (one per `submit_job_env` of a stage).
+    pub const STAGES_RUN: &str = "stages_run";
+    /// Tasks re-executed because a lost shuffle/result partition forced its
+    /// upstream lineage chain to be recomputed.
+    pub const LINEAGE_RECOMPUTES: &str = "lineage_recomputes";
+    /// Registered shuffle/result partitions invalidated by node deaths.
+    pub const SHUFFLE_PARTITIONS_LOST: &str = "shuffle_partitions_lost";
+    /// Committed map tasks that asked for the streaming fetch path but fell
+    /// back to a batch fetch (sum of the per-reason fallback counters).
+    pub const STREAM_FALLBACKS: &str = "stream_fallbacks";
+    /// Fallbacks because the split's fetcher has no streaming support.
+    pub const STREAM_FALLBACK_UNSUPPORTED: &str = "stream_fallback_unsupported";
+    /// Fallbacks because predicate pushdown delivers pre-filtered frames
+    /// the chunk-granular streaming pipeline cannot assemble.
+    pub const STREAM_FALLBACK_PUSHDOWN: &str = "stream_fallback_pushdown";
 }
 
 impl Counters {

@@ -1,0 +1,1130 @@
+//! Multi-stage DAG scheduler with shuffle-aware stages and lineage
+//! recovery.
+//!
+//! A [`crate::dataset::Dataset`] plan is cut into stages at shuffle
+//! boundaries: narrow operators (`map`, `filter`) fuse into their upstream
+//! stage's task function, each wide operator starts a new stage whose tasks
+//! group the shuffled pairs by key. Every stage runs as one map-only
+//! engine [`Job`] — inheriting the attempt/retry/blacklist/speculation
+//! machinery unchanged — with a [`ShuffleSink`] that hash-partitions the
+//! stage's emitted pairs and registers them in a shared [`ShuffleStore`]
+//! per `(shuffle, map partition)` at task commit.
+//!
+//! Lineage recovery: a node kill invalidates every output the dead node
+//! held. Before each step the driver walks the stages in topological order
+//! and resubmits the *first* stage that is both missing outputs and still
+//! needed by an incomplete descendant — so a lost partition re-runs only
+//! its upstream chain, at partition granularity, never the whole DAG.
+//! Counters: `stages_run` (stage jobs submitted), `lineage_recomputes`
+//! (tasks re-executed for a previously-committed partition),
+//! `shuffle_partitions_lost` (outputs dropped by node deaths).
+//!
+//! A `Dataset` consumed by two downstream operators is compiled (and
+//! executed) once per consumer — plans are trees, not general graphs.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+use simnet::{NodeId, Sim};
+
+use crate::cluster::{Cluster, MrEnv};
+use crate::counters::{keys, Counters};
+use crate::dataset::{Dataset, GroupFn, PairFilterFn, PairMapFn, PlanNode, RecordReadFn};
+use crate::input::{FetchDone, FetchResult, InputSplit, SplitFetcher, TaskInput};
+use crate::job::{
+    serialize_kvs, submit_job_env, FtConfig, Job, Kv, MapFn, MrError, Payload, StreamConfig,
+    TaskCtx,
+};
+
+// ---------------------------------------------------------------------------
+// Shuffle registry
+// ---------------------------------------------------------------------------
+
+/// One registered map output: where it lives and its per-downstream-task
+/// partitions.
+struct StoredOutput {
+    node: NodeId,
+    parts: Vec<Vec<Kv>>,
+}
+
+/// Registry of shuffle (and final-result) outputs, shared between the DAG
+/// driver, the per-stage sink jobs, and the shuffle fetchers.
+#[derive(Default)]
+pub struct ShuffleStore {
+    /// shuffle id → producing map partition id → output.
+    outputs: BTreeMap<u64, BTreeMap<usize, StoredOutput>>,
+    /// shuffle id → number of map outputs a complete shuffle has.
+    expected: BTreeMap<u64, usize>,
+    /// `(shuffle, map partition)` holes hit by fetchers since the last
+    /// drain — non-empty after a stage failure means "lineage, not bug".
+    missing: Vec<(u64, usize)>,
+}
+
+pub(crate) type SharedShuffleStore = Rc<RefCell<ShuffleStore>>;
+
+impl ShuffleStore {
+    fn set_expected(&mut self, shuffle: u64, n: usize) {
+        self.expected.insert(shuffle, n);
+    }
+
+    fn n_expected(&self, shuffle: u64) -> usize {
+        self.expected.get(&shuffle).copied().unwrap_or(0)
+    }
+
+    /// Register one committed map output. First-commit-wins upstream means
+    /// this is called at most once per live (shuffle, partition) — a
+    /// recompute after invalidation simply fills the hole again.
+    pub(crate) fn register(
+        &mut self,
+        shuffle: u64,
+        partition: usize,
+        node: NodeId,
+        parts: Vec<Vec<Kv>>,
+    ) {
+        self.outputs
+            .entry(shuffle)
+            .or_default()
+            .insert(partition, StoredOutput { node, parts });
+    }
+
+    fn get(&self, shuffle: u64, partition: usize) -> Option<&StoredOutput> {
+        self.outputs.get(&shuffle)?.get(&partition)
+    }
+
+    fn has(&self, shuffle: u64, partition: usize) -> bool {
+        self.get(shuffle, partition).is_some()
+    }
+
+    /// Drop every output held by a dead node; returns how many were lost.
+    fn invalidate_node(&mut self, node: NodeId) -> usize {
+        let mut lost = 0;
+        for outs in self.outputs.values_mut() {
+            let before = outs.len();
+            outs.retain(|_, o| o.node != node);
+            lost += before - outs.len();
+        }
+        lost
+    }
+
+    fn note_missing(&mut self, holes: &[(u64, usize)]) {
+        self.missing.extend_from_slice(holes);
+    }
+
+    fn take_missing(&mut self) -> Vec<(u64, usize)> {
+        std::mem::take(&mut self.missing)
+    }
+}
+
+/// Where one stage job deposits its partitioned output (set on
+/// [`Job::shuffle`]). The driver partitions emitted pairs by
+/// `stable_hash(key) % n_partitions` — the same function classic reduce
+/// jobs use — and registers them at commit.
+#[derive(Clone)]
+pub struct ShuffleSink {
+    pub(crate) shuffle_id: u64,
+    pub(crate) n_partitions: usize,
+    /// Stage partition id of each job task index: a recompute job covers a
+    /// sparse subset of the stage's partitions, so job task `i` registers
+    /// as stage partition `task_ids[i]`.
+    pub(crate) task_ids: Rc<Vec<usize>>,
+    pub(crate) store: SharedShuffleStore,
+}
+
+// ---------------------------------------------------------------------------
+// Shuffle fetcher: delivers one stage partition's input pairs
+// ---------------------------------------------------------------------------
+
+/// Fetches partition `partition` of every map output of `sources` (one
+/// entry per parent dataset, tagged) as [`TaskInput::Pairs`], modelling one
+/// network flow per holding node. A hole (an expected output not in the
+/// store) fails the attempt and records the hole so the DAG driver can tell
+/// lineage loss from a genuine task error.
+struct ShuffleFetcher {
+    sources: Vec<(u64, u8)>,
+    partition: usize,
+    store: SharedShuffleStore,
+}
+
+impl SplitFetcher for ShuffleFetcher {
+    fn fetch(&self, env: &MrEnv, sim: &mut Sim, node: NodeId, done: FetchDone) {
+        let mut transfers: Vec<(NodeId, usize)> = Vec::new();
+        let mut pairs: Vec<(u8, String, Payload)> = Vec::new();
+        let mut holes: Vec<(u64, usize)> = Vec::new();
+        {
+            let mut store = self.store.borrow_mut();
+            for &(shuffle, tag) in &self.sources {
+                for m in 0..store.n_expected(shuffle) {
+                    let Some(out) = store.get(shuffle, m) else {
+                        holes.push((shuffle, m));
+                        continue;
+                    };
+                    let Some(kvs) = out.parts.get(self.partition) else {
+                        continue;
+                    };
+                    if kvs.is_empty() {
+                        continue;
+                    }
+                    let bytes: usize = kvs
+                        .iter()
+                        .map(|kv| kv.key.len() + kv.value.approx_bytes())
+                        .sum();
+                    transfers.push((out.node, bytes));
+                    for kv in kvs {
+                        pairs.push((tag, kv.key.clone(), kv.value.clone()));
+                    }
+                }
+            }
+            if !holes.is_empty() {
+                store.note_missing(&holes);
+            }
+        }
+        if !holes.is_empty() {
+            let e = MrError(format!(
+                "shuffle partition {} unavailable: {} lost upstream output(s) {:?}",
+                self.partition,
+                holes.len(),
+                holes
+            ));
+            sim.after(0.0, move |sim| done(sim, Err(e)));
+            return;
+        }
+        let total_bytes: usize = transfers.iter().map(|&(_, b)| b).sum();
+        let mut fr = FetchResult::plain(TaskInput::Pairs(pairs));
+        fr.counters.push((keys::SHUFFLE_BYTES, total_bytes as f64));
+        if transfers.is_empty() {
+            sim.after(0.0, move |sim| done(sim, Ok(fr)));
+            return;
+        }
+        // All pulls run concurrently; the fetch completes when the last
+        // flow arrives (same shape as the classic reduce shuffle).
+        let remaining = Rc::new(RefCell::new(transfers.len()));
+        let finish = Rc::new(RefCell::new(Some((done, fr))));
+        for (src, bytes) in transfers {
+            let flow = sim.cost.lbytes(bytes);
+            let path = env.topo.path_net(src, node);
+            let (remaining, finish) = (remaining.clone(), finish.clone());
+            sim.start_flow(path, flow, move |sim| {
+                let arrived_all = {
+                    let mut rem = remaining.borrow_mut();
+                    *rem -= 1;
+                    *rem == 0
+                };
+                if arrived_all {
+                    if let Some((done, fr)) = finish.borrow_mut().take() {
+                        done(sim, Ok(fr));
+                    }
+                }
+            });
+        }
+    }
+
+    fn describe(&self) -> String {
+        let ids: Vec<u64> = self.sources.iter().map(|&(s, _)| s).collect();
+        format!("shuffle://{ids:?}#p{}", self.partition)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage cutting
+// ---------------------------------------------------------------------------
+
+enum NarrowOp {
+    Map(PairMapFn),
+    Filter(PairFilterFn),
+}
+
+enum StageInput {
+    /// Leaf stage: one task per split.
+    Source(Vec<InputSplit>),
+    /// Post-shuffle stage: one task per shuffle partition, pulling from
+    /// every `(shuffle id, parent tag)` source.
+    Shuffle(Vec<(u64, u8)>),
+}
+
+struct Stage {
+    input: StageInput,
+    n_tasks: usize,
+    /// Shuffle this stage's tasks register into (the final stage registers
+    /// its results under a dedicated id with one bucket per task).
+    out_shuffle: u64,
+    out_partitions: usize,
+    task_fn: MapFn,
+    op: &'static str,
+}
+
+fn apply_narrow(
+    ops: &[NarrowOp],
+    mut records: Vec<(String, Payload)>,
+    ctx: &mut TaskCtx,
+) -> Result<Vec<(String, Payload)>, MrError> {
+    for op in ops {
+        match op {
+            NarrowOp::Map(f) => {
+                let mut next = Vec::with_capacity(records.len());
+                for (k, v) in records {
+                    next.extend(f(&k, v, ctx)?);
+                }
+                records = next;
+            }
+            NarrowOp::Filter(pred) => records.retain(|(k, v)| pred(k, v)),
+        }
+    }
+    Ok(records)
+}
+
+/// Task function of a leaf stage: decode the split, apply the fused narrow
+/// chain, emit.
+fn compile_source(read: RecordReadFn, narrow: Vec<NarrowOp>) -> MapFn {
+    Rc::new(move |input, ctx| {
+        let records = read(input, ctx)?;
+        for (k, v) in apply_narrow(&narrow, records, ctx)? {
+            ctx.emit(k, v);
+        }
+        Ok(())
+    })
+}
+
+/// Task function of a post-shuffle stage: group the delivered pairs by key
+/// (BTreeMap — deterministic key order), run the wide operator per key,
+/// apply the fused narrow chain, emit.
+fn compile_grouped(group: GroupFn, narrow: Vec<NarrowOp>) -> MapFn {
+    Rc::new(move |input, ctx| {
+        let TaskInput::Pairs(pairs) = input else {
+            return Err(MrError("shuffle stage expects pair input".into()));
+        };
+        let in_bytes: usize = pairs
+            .iter()
+            .map(|(_, k, v)| k.len() + v.approx_bytes())
+            .sum();
+        // Same sort/merge cost shape as the classic reduce path.
+        ctx.charge(
+            "sort",
+            ctx.cost().lbytes(in_bytes) * ctx.cost().sort_per_byte,
+        );
+        let mut groups: BTreeMap<String, Vec<(u8, Payload)>> = BTreeMap::new();
+        for (tag, k, v) in pairs {
+            groups.entry(k).or_default().push((tag, v));
+        }
+        let mut records = Vec::new();
+        for (key, tagged) in groups {
+            records.extend(group(&key, tagged, ctx)?);
+        }
+        for (k, v) in apply_narrow(&narrow, records, ctx)? {
+            ctx.emit(k, v);
+        }
+        Ok(())
+    })
+}
+
+struct PlanBuild {
+    stages: Vec<Stage>,
+    next_shuffle: u64,
+}
+
+impl PlanBuild {
+    fn alloc_shuffle(&mut self) -> u64 {
+        self.next_shuffle += 1;
+        self.next_shuffle
+    }
+}
+
+/// Compile the stage that produces `ds` into `(out_shuffle, out_partitions)`,
+/// recursing into parents first so stage ids are topologically ordered.
+/// Returns the stage's index.
+fn build_stage(b: &mut PlanBuild, ds: &Dataset, out_shuffle: u64, out_partitions: usize) -> usize {
+    // Peel the narrow chain off the plan tail; it fuses into this stage.
+    let mut narrow: Vec<NarrowOp> = Vec::new();
+    let mut base = ds.clone();
+    loop {
+        let next = match &*base.node {
+            PlanNode::Map { parent, f } => {
+                narrow.push(NarrowOp::Map(f.clone()));
+                parent.clone()
+            }
+            PlanNode::Filter { parent, pred } => {
+                narrow.push(NarrowOp::Filter(pred.clone()));
+                parent.clone()
+            }
+            PlanNode::Source { .. } | PlanNode::Shuffle { .. } => break,
+        };
+        base = next;
+    }
+    narrow.reverse();
+    let stage = match &*base.node {
+        PlanNode::Source { splits, read } => Stage {
+            n_tasks: splits.len(),
+            input: StageInput::Source(splits.clone()),
+            out_shuffle,
+            out_partitions,
+            task_fn: compile_source(read.clone(), narrow),
+            op: "source",
+        },
+        PlanNode::Shuffle {
+            parents,
+            n_partitions,
+            group,
+            op,
+        } => {
+            let mut sources = Vec::with_capacity(parents.len());
+            for (tag, parent) in parents.iter().enumerate() {
+                let sid = b.alloc_shuffle();
+                build_stage(b, parent, sid, *n_partitions);
+                sources.push((sid, tag as u8));
+            }
+            Stage {
+                input: StageInput::Shuffle(sources),
+                n_tasks: *n_partitions,
+                out_shuffle,
+                out_partitions,
+                task_fn: compile_grouped(group.clone(), narrow),
+                op,
+            }
+        }
+        // Unreachable: the loop above only stops on Source/Shuffle.
+        PlanNode::Map { .. } | PlanNode::Filter { .. } => Stage {
+            n_tasks: 0,
+            input: StageInput::Source(Vec::new()),
+            out_shuffle,
+            out_partitions,
+            task_fn: Rc::new(|_, _| Ok(())),
+            op: "narrow",
+        },
+    };
+    b.stages.push(stage);
+    b.stages.len() - 1
+}
+
+// ---------------------------------------------------------------------------
+// DAG driver
+// ---------------------------------------------------------------------------
+
+/// A DAG job: a dataset plan plus the execution policy every stage job
+/// inherits. Final records are written as `part-<partition>` files under
+/// `output_dir`, serialized exactly like classic job output.
+#[derive(Clone)]
+pub struct DagJob {
+    pub name: String,
+    pub plan: Dataset,
+    pub output_dir: String,
+    /// Part files go to the PFS instead of HDFS.
+    pub output_to_pfs: bool,
+    /// Stage spills cross the network to the PFS (connector mode).
+    pub spill_to_pfs: bool,
+    pub ft: FtConfig,
+    pub stream: StreamConfig,
+}
+
+impl DagJob {
+    pub fn new(name: impl Into<String>, plan: Dataset, output_dir: impl Into<String>) -> DagJob {
+        DagJob {
+            name: name.into(),
+            plan,
+            output_dir: output_dir.into(),
+            output_to_pfs: false,
+            spill_to_pfs: false,
+            ft: FtConfig::default(),
+            stream: StreamConfig::default(),
+        }
+    }
+}
+
+/// One stage-job submission (initial run or lineage recompute).
+#[derive(Clone, Debug)]
+pub struct StageRun {
+    pub stage: usize,
+    /// Wide-operator name ("source" for leaf stages).
+    pub op: &'static str,
+    pub start_s: f64,
+    pub end_s: f64,
+    /// Partitions this submission covered.
+    pub n_tasks: usize,
+    /// How many of them re-ran a previously-committed partition.
+    pub recomputed: usize,
+    /// Whether the stage job succeeded (a failed run with recorded shuffle
+    /// holes triggers lineage recovery instead of failing the DAG).
+    pub ok: bool,
+}
+
+/// Completed DAG summary.
+#[derive(Clone, Debug)]
+pub struct DagResult {
+    pub name: String,
+    pub start_s: f64,
+    pub end_s: f64,
+    /// Merged counters of every committed stage task plus the DAG-level
+    /// `stages_run` / `lineage_recomputes` / `shuffle_partitions_lost`.
+    pub counters: Counters,
+    /// Every stage-job submission, in execution order.
+    pub runs: Vec<StageRun>,
+    pub n_stages: usize,
+    /// Tasks in one clean end-to-end pass (Σ stage partition counts).
+    pub total_tasks: usize,
+}
+
+impl DagResult {
+    pub fn elapsed(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+
+    /// Tasks actually executed across all submissions.
+    pub fn tasks_executed(&self) -> usize {
+        self.runs.iter().map(|r| r.n_tasks).sum()
+    }
+}
+
+struct DagDriver {
+    env: MrEnv,
+    name: String,
+    output_dir: String,
+    output_to_pfs: bool,
+    spill_to_pfs: bool,
+    ft: FtConfig,
+    stream: StreamConfig,
+    stages: Vec<Stage>,
+    /// shuffle id → index of the stage producing it.
+    producer: BTreeMap<u64, usize>,
+    final_stage: usize,
+    store: SharedShuffleStore,
+    /// Per stage, per partition: has this partition ever committed? A
+    /// resubmission of a once-committed partition is a lineage recompute.
+    committed_once: Vec<Vec<bool>>,
+    counters: Counters,
+    runs: Vec<StageRun>,
+    start_s: f64,
+    submissions: usize,
+    max_submissions: usize,
+    writing: bool,
+    #[allow(clippy::type_complexity)]
+    done_cb: Option<Box<dyn FnOnce(&mut Sim, Result<DagResult, MrError>)>>,
+}
+
+type SharedDag = Rc<RefCell<DagDriver>>;
+
+impl DagDriver {
+    fn missing_of(&self, stage: &Stage) -> Vec<usize> {
+        let store = self.store.borrow();
+        (0..stage.n_tasks)
+            .filter(|&p| !store.has(stage.out_shuffle, p))
+            .collect()
+    }
+
+    /// The first (topologically) stage that is missing outputs *and* still
+    /// needed: the final stage is always needed; a parent only while some
+    /// needed descendant is incomplete (a complete descendant never
+    /// re-fetches, so its parents' lost outputs can stay lost).
+    fn pick_next(&self) -> Option<(usize, Vec<usize>)> {
+        let n = self.stages.len();
+        let mut needed = vec![false; n];
+        if let Some(slot) = needed.get_mut(self.final_stage) {
+            *slot = true;
+        }
+        for idx in (0..n).rev() {
+            if !needed.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            let Some(stage) = self.stages.get(idx) else {
+                continue;
+            };
+            if self.missing_of(stage).is_empty() {
+                continue;
+            }
+            if let StageInput::Shuffle(sources) = &stage.input {
+                for (sid, _) in sources {
+                    if let Some(&p) = self.producer.get(sid) {
+                        if let Some(slot) = needed.get_mut(p) {
+                            *slot = true;
+                        }
+                    }
+                }
+            }
+        }
+        for (idx, stage) in self.stages.iter().enumerate() {
+            if !needed.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            let missing = self.missing_of(stage);
+            if !missing.is_empty() {
+                return Some((idx, missing));
+            }
+        }
+        None
+    }
+
+    /// Mark every currently-registered partition of `stage` as committed.
+    fn refresh_committed(&mut self, idx: usize) {
+        let Some(stage) = self.stages.get(idx) else {
+            return;
+        };
+        let store = self.store.borrow();
+        let Some(slots) = self.committed_once.get_mut(idx) else {
+            return;
+        };
+        for (p, slot) in slots.iter_mut().enumerate() {
+            if store.has(stage.out_shuffle, p) {
+                *slot = true;
+            }
+        }
+    }
+}
+
+/// Submit a DAG; `done` fires with the result once every final part file is
+/// written (or with the first unrecoverable error).
+pub fn submit_dag(
+    sim: &mut Sim,
+    env: MrEnv,
+    dag: DagJob,
+    done: impl FnOnce(&mut Sim, Result<DagResult, MrError>) + 'static,
+) {
+    let mut b = PlanBuild {
+        stages: Vec::new(),
+        next_shuffle: 0,
+    };
+    let result_shuffle = b.alloc_shuffle();
+    let final_stage = build_stage(&mut b, &dag.plan, result_shuffle, 1);
+    let stages = b.stages;
+    let store: SharedShuffleStore = Rc::new(RefCell::new(ShuffleStore::default()));
+    {
+        let mut s = store.borrow_mut();
+        for stage in &stages {
+            s.set_expected(stage.out_shuffle, stage.n_tasks);
+        }
+    }
+    let producer: BTreeMap<u64, usize> = stages
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.out_shuffle, i))
+        .collect();
+    let committed_once = stages.iter().map(|s| vec![false; s.n_tasks]).collect();
+    let n_stages = stages.len();
+    let now = sim.now().secs();
+    let d: SharedDag = Rc::new(RefCell::new(DagDriver {
+        env,
+        name: dag.name,
+        output_dir: dag.output_dir,
+        output_to_pfs: dag.output_to_pfs,
+        spill_to_pfs: dag.spill_to_pfs,
+        ft: dag.ft,
+        stream: dag.stream,
+        stages,
+        producer,
+        final_stage,
+        store: store.clone(),
+        committed_once,
+        counters: Counters::new(),
+        runs: Vec::new(),
+        start_s: now,
+        submissions: 0,
+        max_submissions: n_stages * 8 + 8,
+        writing: false,
+        done_cb: Some(Box::new(done)),
+    }));
+    // Watch future planned node kills: a death invalidates every shuffle
+    // output the node held (the stage jobs independently watch the same
+    // plan for their own in-flight attempts).
+    let kills: Vec<(u32, f64)> = sim
+        .faults
+        .plan()
+        .node_kills
+        .iter()
+        .filter(|&&(_, t)| t.is_finite() && t > now)
+        .cloned()
+        .collect();
+    for (node, t) in kills {
+        let d2 = d.clone();
+        sim.at(simnet::SimTime(t), move |_sim| {
+            let mut dd = d2.borrow_mut();
+            if dd.done_cb.is_none() {
+                return;
+            }
+            let lost = dd.store.borrow_mut().invalidate_node(NodeId(node));
+            if lost > 0 {
+                dd.counters.add(keys::SHUFFLE_PARTITIONS_LOST, lost as f64);
+            }
+        });
+    }
+    advance(sim, &d);
+}
+
+/// Convenience: submit, run the world to completion, return the result.
+pub fn run_dag(cluster: &mut Cluster, dag: DagJob) -> Result<DagResult, MrError> {
+    let out: Rc<RefCell<Option<Result<DagResult, MrError>>>> = Rc::new(RefCell::new(None));
+    let o = out.clone();
+    let env = cluster.env();
+    submit_dag(&mut cluster.sim, env, dag, move |_, r| {
+        *o.borrow_mut() = Some(r);
+    });
+    cluster.run();
+    let taken = out.borrow_mut().take();
+    match taken {
+        Some(r) => r,
+        None => Err(MrError("dag did not complete".into())),
+    }
+}
+
+enum Step {
+    Submit {
+        idx: usize,
+        missing: Vec<usize>,
+        recomputed: usize,
+    },
+    Write,
+    Fail(MrError),
+    Wait,
+}
+
+fn advance(sim: &mut Sim, d: &SharedDag) {
+    let step = {
+        let mut dd = d.borrow_mut();
+        if dd.done_cb.is_none() {
+            return;
+        }
+        match dd.pick_next() {
+            Some((idx, missing)) => {
+                dd.submissions += 1;
+                if dd.submissions > dd.max_submissions {
+                    Step::Fail(MrError(format!(
+                        "dag {}: gave up after {} stage submissions (lineage not converging)",
+                        dd.name, dd.max_submissions
+                    )))
+                } else {
+                    let recomputed = missing
+                        .iter()
+                        .filter(|&&p| {
+                            dd.committed_once
+                                .get(idx)
+                                .and_then(|v| v.get(p))
+                                .copied()
+                                .unwrap_or(false)
+                        })
+                        .count();
+                    dd.counters.add(keys::STAGES_RUN, 1.0);
+                    if recomputed > 0 {
+                        dd.counters.add(keys::LINEAGE_RECOMPUTES, recomputed as f64);
+                    }
+                    Step::Submit {
+                        idx,
+                        missing,
+                        recomputed,
+                    }
+                }
+            }
+            None if dd.writing => Step::Wait,
+            None => {
+                dd.writing = true;
+                Step::Write
+            }
+        }
+    };
+    match step {
+        Step::Submit {
+            idx,
+            missing,
+            recomputed,
+        } => submit_stage(sim, d, idx, missing, recomputed),
+        Step::Write => start_output_writes(sim, d),
+        Step::Fail(e) => fail_dag(sim, d, e),
+        Step::Wait => {}
+    }
+}
+
+fn submit_stage(sim: &mut Sim, d: &SharedDag, idx: usize, missing: Vec<usize>, recomputed: usize) {
+    let (job, env, op) = {
+        let dd = d.borrow();
+        let Some(stage) = dd.stages.get(idx) else {
+            return;
+        };
+        let splits: Vec<InputSplit> = match &stage.input {
+            StageInput::Source(splits) => missing
+                .iter()
+                .filter_map(|&p| splits.get(p).cloned())
+                .collect(),
+            StageInput::Shuffle(sources) => missing
+                .iter()
+                .map(|&p| InputSplit {
+                    length: 0,
+                    locations: Vec::new(),
+                    fetcher: Rc::new(ShuffleFetcher {
+                        sources: sources.clone(),
+                        partition: p,
+                        store: dd.store.clone(),
+                    }),
+                })
+                .collect(),
+        };
+        let job = Job {
+            name: format!("{}/s{}r{}", dd.name, idx, dd.submissions),
+            splits,
+            map_fn: stage.task_fn.clone(),
+            reduce_fn: None,
+            n_reducers: 1,
+            output_dir: format!("{}/_dag/s{}", dd.output_dir, idx),
+            spill_to_pfs: dd.spill_to_pfs,
+            output_to_pfs: dd.output_to_pfs,
+            ft: dd.ft.clone(),
+            stream: dd.stream.clone(),
+            shuffle: Some(ShuffleSink {
+                shuffle_id: stage.out_shuffle,
+                n_partitions: stage.out_partitions,
+                task_ids: Rc::new(missing.clone()),
+                store: dd.store.clone(),
+            }),
+        };
+        (job, dd.env.clone(), stage.op)
+    };
+    let n_tasks = missing.len();
+    let start_s = sim.now().secs();
+    let d2 = d.clone();
+    submit_job_env(sim, env, job, move |sim, res| {
+        on_stage_done(sim, &d2, idx, op, start_s, n_tasks, recomputed, res)
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn on_stage_done(
+    sim: &mut Sim,
+    d: &SharedDag,
+    idx: usize,
+    op: &'static str,
+    start_s: f64,
+    n_tasks: usize,
+    recomputed: usize,
+    res: Result<crate::job::JobResult, MrError>,
+) {
+    let failure = {
+        let mut dd = d.borrow_mut();
+        if dd.done_cb.is_none() {
+            return;
+        }
+        dd.refresh_committed(idx);
+        dd.runs.push(StageRun {
+            stage: idx,
+            op,
+            start_s,
+            end_s: sim.now().secs(),
+            n_tasks,
+            recomputed,
+            ok: res.is_ok(),
+        });
+        match res {
+            Ok(jr) => {
+                dd.counters.merge(&jr.counters);
+                None
+            }
+            Err(e) => {
+                // A failure with recorded shuffle holes is lineage loss:
+                // the next advance() walks back to the first incomplete
+                // ancestor. Anything else is a real error.
+                let holes = dd.store.borrow_mut().take_missing();
+                if holes.is_empty() {
+                    Some(e)
+                } else {
+                    None
+                }
+            }
+        }
+    };
+    match failure {
+        Some(e) => fail_dag(sim, d, e),
+        None => advance(sim, d),
+    }
+}
+
+/// All stages complete: serialize each final partition (in partition
+/// order) and write its part file from the node that produced it.
+fn start_output_writes(sim: &mut Sim, d: &SharedDag) {
+    let writes: VecDeque<(NodeId, String, Vec<u8>)> = {
+        let dd = d.borrow();
+        let store = dd.store.borrow();
+        let mut out = VecDeque::new();
+        if let Some(stage) = dd.stages.get(dd.final_stage) {
+            for p in 0..stage.n_tasks {
+                if let Some(stored) = store.get(stage.out_shuffle, p) {
+                    let kvs: Vec<Kv> = stored.parts.iter().flatten().cloned().collect();
+                    let data = serialize_kvs(&kvs);
+                    if !data.is_empty() {
+                        out.push_back((
+                            stored.node,
+                            format!("{}/part-{p:05}", dd.output_dir),
+                            data,
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    };
+    write_next(sim, d, writes);
+}
+
+fn write_next(sim: &mut Sim, d: &SharedDag, mut writes: VecDeque<(NodeId, String, Vec<u8>)>) {
+    let Some((node, path, data)) = writes.pop_front() else {
+        complete_dag(sim, d);
+        return;
+    };
+    let (env, to_pfs) = {
+        let mut dd = d.borrow_mut();
+        if dd.done_cb.is_none() {
+            return;
+        }
+        let key = if dd.output_to_pfs {
+            keys::PFS_WRITE_BYTES
+        } else {
+            keys::HDFS_WRITE_BYTES
+        };
+        dd.counters.add(key, data.len() as f64);
+        (dd.env.clone(), dd.output_to_pfs)
+    };
+    let d2 = d.clone();
+    if to_pfs {
+        pfs::write_new(sim, &env.topo, &env.pfs, node, path, data, move |sim| {
+            write_next(sim, &d2, writes)
+        });
+    } else {
+        {
+            // Replace any stale part file from an earlier run of the same
+            // output dir (mirrors the task-output promotion path).
+            let mut h = env.hdfs.borrow_mut();
+            if let Ok(ids) = h.namenode.delete(&path) {
+                h.datanodes.reclaim(&ids);
+            }
+        }
+        let res = hdfs::write_file(sim, &env.topo, &env.hdfs, node, path, data, move |sim| {
+            write_next(sim, &d2, writes)
+        });
+        if let Err(e) = res {
+            fail_dag(sim, d, MrError(format!("hdfs: {e}")));
+        }
+    }
+}
+
+fn complete_dag(sim: &mut Sim, d: &SharedDag) {
+    let (result, cb) = {
+        let mut dd = d.borrow_mut();
+        if dd.done_cb.is_none() {
+            return;
+        }
+        let result = DagResult {
+            name: dd.name.clone(),
+            start_s: dd.start_s,
+            end_s: sim.now().secs(),
+            counters: dd.counters.clone(),
+            runs: std::mem::take(&mut dd.runs),
+            n_stages: dd.stages.len(),
+            total_tasks: dd.stages.iter().map(|s| s.n_tasks).sum(),
+        };
+        (result, dd.done_cb.take())
+    };
+    if let Some(cb) = cb {
+        cb(sim, Ok(result));
+    }
+}
+
+fn fail_dag(sim: &mut Sim, d: &SharedDag, e: MrError) {
+    let cb = d.borrow_mut().done_cb.take();
+    if let Some(cb) = cb {
+        cb(sim, Err(e));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::InMemoryFetcher;
+    use pfs::PfsConfig;
+    use simnet::{ClusterSpec, CostModel, FaultPlan};
+
+    fn small_cluster(nodes: usize, slots: usize) -> Cluster {
+        let spec = ClusterSpec {
+            compute_nodes: nodes,
+            storage_nodes: 1,
+            osts: 2,
+            slots_per_node: slots,
+            ..ClusterSpec::default()
+        };
+        let pfs_cfg = PfsConfig {
+            n_osts: 2,
+            ..PfsConfig::default()
+        };
+        Cluster::new(spec, pfs_cfg, 1 << 16, 1, CostModel::default())
+    }
+
+    fn mem_splits(n: usize, bytes: usize) -> Vec<InputSplit> {
+        (0..n)
+            .map(|i| InputSplit {
+                length: bytes as u64,
+                locations: vec![],
+                fetcher: Rc::new(InMemoryFetcher {
+                    data: vec![i as u8; bytes],
+                }),
+            })
+            .collect()
+    }
+
+    /// Decode a split's bytes into per-byte-value count records (the DAG
+    /// analogue of the classic word-count map function).
+    fn count_reader() -> RecordReadFn {
+        Rc::new(|input, ctx| {
+            let TaskInput::Bytes(b) = input else {
+                return Err(MrError("expected bytes".into()));
+            };
+            ctx.charge("scan", ctx.cost().scan_per_byte * b.len() as f64);
+            let mut counts: BTreeMap<u8, usize> = BTreeMap::new();
+            for &x in &b {
+                *counts.entry(x).or_default() += 1;
+            }
+            Ok(counts
+                .into_iter()
+                .map(|(k, v)| (format!("w{k}"), Payload::Bytes(v.to_string().into_bytes())))
+                .collect())
+        })
+    }
+
+    fn sum_agg() -> crate::dataset::AggFn {
+        Rc::new(|_key, values, _ctx| {
+            let mut total: u64 = 0;
+            for v in values {
+                let Payload::Bytes(b) = v else {
+                    return Err(MrError("expected byte value".into()));
+                };
+                total += String::from_utf8_lossy(&b)
+                    .parse::<u64>()
+                    .map_err(|e| MrError(format!("bad count: {e}")))?;
+            }
+            Ok(Payload::Bytes(total.to_string().into_bytes()))
+        })
+    }
+
+    /// Read every `part-*` file under `dir` back from HDFS, in path order,
+    /// as one concatenated string.
+    fn read_output(c: &Cluster, dir: &str) -> String {
+        let h = c.hdfs.borrow();
+        let mut files = h.namenode.list_files_recursive(dir).unwrap();
+        files.retain(|f| !f.path.contains("/_"));
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        let mut out = String::new();
+        for f in &files {
+            for blk in h.namenode.blocks(&f.path).unwrap() {
+                let data = h.datanodes.get(blk.locations()[0], blk.id).unwrap();
+                out.push_str(&String::from_utf8_lossy(&data));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn two_stage_wordcount_matches_expected() {
+        let mut c = small_cluster(2, 2);
+        let plan =
+            Dataset::from_splits(mem_splits(4, 100), count_reader()).reduce_by_key(2, sum_agg());
+        let r = run_dag(&mut c, DagJob::new("wc", plan, "out")).unwrap();
+        assert_eq!(r.n_stages, 2);
+        assert_eq!(r.counters.get(keys::STAGES_RUN), 2.0);
+        assert_eq!(r.counters.get(keys::LINEAGE_RECOMPUTES), 0.0);
+        assert_eq!(r.total_tasks, 6); // 4 source + 2 reduce partitions
+        assert_eq!(r.tasks_executed(), 6);
+        // Each split is 100 copies of one byte value.
+        let text = read_output(&c, "out");
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec!["w0\t100", "w1\t100", "w2\t100", "w3\t100"]);
+    }
+
+    #[test]
+    fn narrow_ops_fuse_without_extra_stages() {
+        let mut c = small_cluster(2, 2);
+        let plan = Dataset::from_splits(mem_splits(3, 60), count_reader())
+            .filter(Rc::new(|k, _| k != "w1"))
+            .map(Rc::new(|k, v, _ctx| Ok(vec![(format!("x{k}"), v)])))
+            .reduce_by_key(2, sum_agg())
+            .map(Rc::new(|k, v, _ctx| Ok(vec![(k.to_string(), v)])));
+        let r = run_dag(&mut c, DagJob::new("fuse", plan, "out")).unwrap();
+        // map/filter fold into the stages around them: still 2 stages.
+        assert_eq!(r.n_stages, 2);
+        assert_eq!(r.counters.get(keys::STAGES_RUN), 2.0);
+        let text = read_output(&c, "out");
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec!["xw0\t60", "xw2\t60"]);
+    }
+
+    #[test]
+    fn join_pairs_left_and_right() {
+        let mut c = small_cluster(2, 2);
+        let pairs_src = |items: Vec<(&str, &str)>| {
+            let records: Vec<(String, Payload)> = items
+                .iter()
+                .map(|(k, v)| (k.to_string(), Payload::Bytes(v.as_bytes().to_vec())))
+                .collect();
+            Dataset::from_splits(
+                mem_splits(1, 8),
+                Rc::new(move |_input, _ctx| Ok(records.clone())),
+            )
+        };
+        let left = pairs_src(vec![("a", "l1"), ("a", "l2"), ("b", "lb")]);
+        let right = pairs_src(vec![("a", "r1"), ("c", "rc")]);
+        let joined = left.join(&right, 2).map(Rc::new(|k, v, _ctx| {
+            let Payload::Bytes(b) = v else {
+                return Err(MrError("expected bytes".into()));
+            };
+            let (l, r) = crate::dataset::decode_join(&b)?;
+            Ok(vec![(
+                format!(
+                    "{k}:{}+{}",
+                    String::from_utf8_lossy(&l),
+                    String::from_utf8_lossy(&r)
+                ),
+                Payload::Bytes(Vec::new()),
+            )])
+        }));
+        let r = run_dag(&mut c, DagJob::new("join", joined, "out")).unwrap();
+        // Two source stages + the join stage.
+        assert_eq!(r.n_stages, 3);
+        let text = read_output(&c, "out");
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.sort_unstable();
+        // Only key "a" appears on both sides: 2 lefts x 1 right.
+        assert_eq!(lines.len(), 2);
+        assert!(text.contains("a:l1+r1"));
+        assert!(text.contains("a:l2+r1"));
+        assert!(!text.contains("b:"));
+        assert!(!text.contains("c:"));
+    }
+
+    #[test]
+    fn node_kill_triggers_partition_granular_lineage_recovery() {
+        // Clean run first to learn when stage 1 starts.
+        let plan_of = || {
+            Dataset::from_splits(mem_splits(4, 100), count_reader())
+                .reduce_by_key(4, sum_agg())
+                .map(Rc::new(|k, v, _ctx| Ok(vec![(k.to_string(), v)])))
+                .reduce_by_key(2, sum_agg())
+        };
+        let mut clean = small_cluster(4, 1);
+        let rc = run_dag(&mut clean, DagJob::new("lin", plan_of(), "out")).unwrap();
+        assert_eq!(rc.n_stages, 3);
+        let clean_text = read_output(&clean, "out");
+        let s2_start = rc
+            .runs
+            .iter()
+            .find(|r| r.stage == 2)
+            .map(|r| r.start_s)
+            .unwrap();
+
+        // Faulted run: kill a node right as the last stage starts, after
+        // stages 0 and 1 committed outputs onto it.
+        let mut faulted = small_cluster(4, 1);
+        faulted
+            .sim
+            .faults
+            .install(FaultPlan::none().kill_node(1, s2_start + 1e-6));
+        let rf = run_dag(&mut faulted, DagJob::new("lin", plan_of(), "out")).unwrap();
+        let lost = rf.counters.get(keys::SHUFFLE_PARTITIONS_LOST);
+        assert!(lost > 0.0, "the kill must invalidate shuffle outputs");
+        // Only once-committed partitions re-ran — exactly the lost ones.
+        assert_eq!(rf.counters.get(keys::LINEAGE_RECOMPUTES), lost);
+        // Recovery re-runs a strict subset, never the whole DAG again.
+        assert!(rf.tasks_executed() < 2 * rf.total_tasks);
+        assert_eq!(read_output(&faulted, "out"), clean_text, "byte-identical");
+    }
+}

@@ -11,7 +11,7 @@ use std::rc::Rc;
 use simnet::{NodeId, Sim};
 
 use crate::cluster::MrEnv;
-use crate::job::MrError;
+use crate::job::{MrError, Payload};
 
 /// Data delivered to a map function.
 #[derive(Debug, Clone)]
@@ -22,6 +22,10 @@ pub enum TaskInput {
     Array(scifmt::Array),
     /// An already-built data frame.
     Frame(rframe::DataFrame),
+    /// Shuffled key/value pairs delivered to a post-shuffle DAG stage.
+    /// Each record is `(source tag, key, value)`; the tag tells joins
+    /// which parent dataset the pair came from.
+    Pairs(Vec<(u8, String, Payload)>),
 }
 
 impl TaskInput {
@@ -31,6 +35,34 @@ impl TaskInput {
             TaskInput::Bytes(b) => b.len(),
             TaskInput::Array(a) => a.len() * a.dtype().size(),
             TaskInput::Frame(f) => f.approx_bytes(),
+            TaskInput::Pairs(ps) => ps
+                .iter()
+                .map(|(_, k, v)| 1 + k.len() + v.approx_bytes())
+                .sum(),
+        }
+    }
+}
+
+/// Why a streaming fetch could not be opened for a split. The driver falls
+/// back to the one-shot [`SplitFetcher::fetch`] path and records the reason
+/// under [`crate::counters::keys::STREAM_FALLBACKS`] plus the per-reason key,
+/// so a job that silently loses read/compute overlap is visible in counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamFallback {
+    /// The split's fetcher has no streaming implementation.
+    Unsupported,
+    /// Predicate pushdown pre-filters chunks into a frame, which the
+    /// chunk-granular streaming pipeline cannot assemble piecewise.
+    Pushdown,
+}
+
+impl StreamFallback {
+    /// Counter key naming this fallback reason.
+    pub fn counter_key(&self) -> &'static str {
+        use crate::counters::keys;
+        match self {
+            StreamFallback::Unsupported => keys::STREAM_FALLBACK_UNSUPPORTED,
+            StreamFallback::Pushdown => keys::STREAM_FALLBACK_PUSHDOWN,
         }
     }
 }
@@ -115,17 +147,17 @@ pub trait SplitFetcher {
     /// result (or the error that killed this attempt).
     fn fetch(&self, env: &MrEnv, sim: &mut Sim, node: NodeId, done: FetchDone);
 
-    /// Open a streaming view of this split's fetch, or `None` if the
-    /// fetcher only supports one-shot fetches (the default). When `None`
-    /// (or when the job disables streaming) the driver falls back to
-    /// [`SplitFetcher::fetch`].
+    /// Open a streaming view of this split's fetch, or the reason it cannot
+    /// stream (the default: no streaming support). On `Err` — or when the
+    /// job disables streaming — the driver falls back to
+    /// [`SplitFetcher::fetch`] and counts the fallback reason.
     fn open_stream(
         &self,
         _env: &MrEnv,
         _sim: &mut Sim,
         _node: NodeId,
-    ) -> Option<Box<dyn PieceStream>> {
-        None
+    ) -> Result<Box<dyn PieceStream>, StreamFallback> {
+        Err(StreamFallback::Unsupported)
     }
 
     /// Human-readable description for traces.
@@ -473,10 +505,10 @@ impl SplitFetcher for FlatPfsFetcher {
         _env: &MrEnv,
         _sim: &mut Sim,
         _node: NodeId,
-    ) -> Option<Box<dyn PieceStream>> {
+    ) -> Result<Box<dyn PieceStream>, StreamFallback> {
         let ranges = self.ranges();
         let parts = Rc::new(std::cell::RefCell::new(vec![None; ranges.len()]));
-        Some(Box::new(FlatPieceStream {
+        Ok(Box::new(FlatPieceStream {
             path: self.pfs_path.clone(),
             ranges,
             parts,

@@ -204,6 +204,11 @@ pub struct Job {
     pub ft: FtConfig,
     /// Intra-task read/compute overlap policy.
     pub stream: StreamConfig,
+    /// DAG mode: this job is one stage of a DAG — emitted pairs are
+    /// hash-partitioned and registered in the sink's shuffle store at
+    /// commit instead of being reduced/written here. Mutually exclusive
+    /// with `reduce_fn`.
+    pub shuffle: Option<crate::dag::ShuffleSink>,
 }
 
 impl Job {
@@ -227,6 +232,7 @@ impl Job {
             output_to_pfs: false,
             ft: FtConfig::default(),
             stream: StreamConfig::default(),
+            shuffle: None,
         }
     }
 }
@@ -330,6 +336,22 @@ impl JobResult {
             c.get(keys::SPECULATIVE_WON),
         ))
     }
+
+    /// Streaming-fallback summary from the counters: committed map tasks
+    /// that asked for the streaming fetch path but took the batch path,
+    /// with per-reason counts. `None` when no task fell back.
+    pub fn stream_fallbacks(&self) -> Option<String> {
+        let c = &self.counters;
+        let total = c.get(keys::STREAM_FALLBACKS);
+        if total == 0.0 {
+            return None;
+        }
+        Some(format!(
+            "{total:.0} stream fallback(s) ({:.0} unsupported fetcher, {:.0} pushdown)",
+            c.get(keys::STREAM_FALLBACK_UNSUPPORTED),
+            c.get(keys::STREAM_FALLBACK_PUSHDOWN),
+        ))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -358,6 +380,11 @@ type AttemptId = u64;
 struct TaskState {
     /// Attempts launched so far (including the live ones).
     started: usize,
+    /// Non-speculative attempts launched so far. The retry budget
+    /// (`max_task_attempts`) counts only these: a speculative twin is a
+    /// performance bet, not a failure, and must not eat the task's
+    /// fault-recovery headroom.
+    regular_started: usize,
     /// The task has committed; later attempt callbacks are orphans.
     done: bool,
     /// Attempt ids currently in flight.
@@ -454,6 +481,10 @@ pub fn submit_job_env(
     done: impl FnOnce(&mut Sim, Result<JobResult, MrError>) + 'static,
 ) {
     assert!(job.n_reducers > 0 || job.reduce_fn.is_none());
+    assert!(
+        job.shuffle.is_none() || job.reduce_fn.is_none(),
+        "a shuffle-sink stage is map-only; its grouping runs downstream"
+    );
     let n_nodes = env.topo.n_compute();
     let n_maps = job.splits.len();
     let now = sim.now().secs();
@@ -685,10 +716,12 @@ fn register_attempt(
     {
         let st = dd.task_state_mut(kind, task);
         st.started += 1;
-        st.live.push(id);
         if speculative {
             st.speculated = true;
+        } else {
+            st.regular_started += 1;
         }
+        st.live.push(id);
     }
     dd.counters.add(
         match kind {
@@ -717,10 +750,10 @@ fn attempt_failed(sim: &mut Sim, d: &SharedDriver, id: AttemptId, err: MrError) 
             return; // orphaned twin failing after the task committed
         };
         let node = info.node.0 as usize;
-        let (task_done, others_running, started) = {
+        let (task_done, others_running, regular_started) = {
             let st = dd.task_state_mut(info.kind, info.task);
             st.live.retain(|&x| x != id);
-            (st.done, !st.live.is_empty(), st.started)
+            (st.done, !st.live.is_empty(), st.regular_started)
         };
         if !dd.node_dead[node] {
             dd.free_slots[node] += 1;
@@ -738,7 +771,7 @@ fn attempt_failed(sim: &mut Sim, d: &SharedDriver, id: AttemptId, err: MrError) 
             // A speculative twin died while its sibling lives on (or after
             // the task already committed): nothing to requeue.
             None
-        } else if started >= dd.job.ft.max_task_attempts.max(1) {
+        } else if regular_started >= dd.job.ft.max_task_attempts.max(1) {
             Some(err)
         } else {
             dd.counters.add(keys::TASK_RETRIES, 1.0);
@@ -774,18 +807,18 @@ fn on_node_killed(sim: &mut Sim, d: &SharedDriver, node: usize) {
         let mut exhausted: Option<MrError> = None;
         for id in victims {
             let info = dd.attempts.remove(&id).expect("victim attempt present");
-            let (task_done, others_running, started) = {
+            let (task_done, others_running, regular_started) = {
                 let st = dd.task_state_mut(info.kind, info.task);
                 st.live.retain(|&x| x != id);
-                (st.done, !st.live.is_empty(), st.started)
+                (st.done, !st.live.is_empty(), st.regular_started)
             };
             if task_done || others_running {
                 continue;
             }
-            if started >= dd.job.ft.max_task_attempts.max(1) {
+            if regular_started >= dd.job.ft.max_task_attempts.max(1) {
                 exhausted.get_or_insert(MrError(format!(
                     "{:?} task {} lost to death of node {} after {} attempts",
-                    info.kind, info.task, node, started
+                    info.kind, info.task, node, regular_started
                 )));
             } else {
                 dd.counters.add(keys::TASK_RETRIES, 1.0);
@@ -808,7 +841,10 @@ fn median(v: &[f64]) -> f64 {
         return 0.0;
     }
     let mut s = v.to_vec();
-    s.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+    // total_cmp: a NaN duration (however degenerate the timing) must not
+    // panic the driver mid-job; NaNs sort to the end and the median of the
+    // finite majority still steers speculation sensibly.
+    s.sort_by(f64::total_cmp);
     let n = s.len();
     if n % 2 == 1 {
         s[n / 2]
@@ -880,7 +916,11 @@ fn maybe_speculate(sim: &mut Sim, d: &SharedDriver, id: AttemptId) {
         };
         let (task, node) = (info.task, info.node.0 as usize);
         let st = &dd.map_states[task];
-        if st.done || st.speculated || st.started >= dd.job.ft.max_task_attempts.max(1) {
+        // Note: the attempt budget is deliberately not consulted — a
+        // speculative launch is exempt from `max_task_attempts` (it counts
+        // neither against the budget nor as a retry), so speculating never
+        // costs the task its recovery headroom.
+        if st.done || st.speculated {
             return;
         }
         let n_nodes = dd.free_slots.len();
@@ -925,20 +965,28 @@ fn run_map_attempt(sim: &mut Sim, d: &SharedDriver, id: AttemptId) {
         }
         let fetch_start = sim.now().secs();
         if stream_cfg.enabled {
-            if let Some(stream) = fetcher.open_stream(&env, sim, node) {
-                run_stream_attempt(
-                    sim,
-                    &d2,
-                    id,
-                    &env,
-                    stream.into(),
-                    node,
-                    startup,
-                    fetch_start,
-                    stream_cfg.prefetch_depth.max(1),
-                    acnt,
-                );
-                return;
+            match fetcher.open_stream(&env, sim, node) {
+                Ok(stream) => {
+                    run_stream_attempt(
+                        sim,
+                        &d2,
+                        id,
+                        &env,
+                        stream.into(),
+                        node,
+                        startup,
+                        fetch_start,
+                        stream_cfg.prefetch_depth.max(1),
+                        acnt,
+                    );
+                    return;
+                }
+                Err(fb) => {
+                    // Attempt-local, merged only at commit: exactly one
+                    // fallback (with its reason) per committed task.
+                    acnt.add(keys::STREAM_FALLBACKS, 1.0);
+                    acnt.add(fb.counter_key(), 1.0);
+                }
             }
         }
         let d3 = d2.clone();
@@ -1362,7 +1410,23 @@ fn commit_task(
             TaskKind::Map => {
                 dd.map_nodes[task] = info.node;
                 if let Some(parts) = map_parts {
-                    dd.map_outputs[task] = parts;
+                    match dd.job.shuffle.clone() {
+                        // DAG stage: registration happens here, at commit,
+                        // so first-commit-wins also means register-once —
+                        // an orphaned twin never reaches this point. Job
+                        // task indices are remapped to stage partition ids
+                        // (recompute jobs cover a sparse subset).
+                        Some(sink) => {
+                            let pid = sink.task_ids.get(task).copied().unwrap_or(task);
+                            sink.store.borrow_mut().register(
+                                sink.shuffle_id,
+                                pid,
+                                info.node,
+                                parts,
+                            );
+                        }
+                        None => dd.map_outputs[task] = parts,
+                    }
                 }
                 dd.counters.add(keys::MAP_TASKS, 1.0);
                 let has_locations = !dd.job.splits[task].locations.is_empty();
@@ -1436,13 +1500,16 @@ fn finish_map_compute(
         .sum();
     acnt.add(keys::MAP_OUTPUT_BYTES, out_bytes as f64);
     acnt.add(keys::RECORDS_EMITTED, records as f64);
-    let (env, has_reduce, n_red, spill_to_pfs, output_to_pfs, job_name, dir, node, task) = {
+    let (env, partitioned, n_red, spill_to_pfs, output_to_pfs, job_name, dir, node, task) = {
         let dd = d.borrow();
         let info = &dd.attempts[&id];
+        // A shuffle-sink stage partitions for the *downstream* stage's
+        // width; a classic job partitions for its own reducers.
+        let sink_parts = dd.job.shuffle.as_ref().map(|s| s.n_partitions);
         (
             dd.env.clone(),
-            dd.job.reduce_fn.is_some(),
-            dd.job.n_reducers,
+            dd.job.reduce_fn.is_some() || sink_parts.is_some(),
+            sink_parts.unwrap_or(dd.job.n_reducers),
             dd.job.spill_to_pfs,
             dd.job.output_to_pfs,
             dd.job.name.clone(),
@@ -1451,7 +1518,7 @@ fn finish_map_compute(
             info.task,
         )
     };
-    if has_reduce {
+    if partitioned {
         // Partition + spill.
         let mut parts: Vec<Vec<Kv>> = (0..n_red).map(|_| Vec::new()).collect();
         for kv in emitted {
@@ -1755,7 +1822,7 @@ fn reduce_execute(
     });
 }
 
-fn serialize_kvs(kvs: &[Kv]) -> Vec<u8> {
+pub(crate) fn serialize_kvs(kvs: &[Kv]) -> Vec<u8> {
     let mut out = Vec::new();
     for kv in kvs {
         out.extend_from_slice(kv.key.as_bytes());
@@ -1835,7 +1902,7 @@ mod tests {
     use super::*;
     use crate::input::{hdfs_file_splits, InMemoryFetcher, InputSplit};
     use pfs::PfsConfig;
-    use simnet::{ClusterSpec, CostModel};
+    use simnet::{ClusterSpec, CostModel, FaultPlan};
 
     fn small_cluster(nodes: usize, slots: usize) -> Cluster {
         let spec = ClusterSpec {
@@ -1900,6 +1967,7 @@ mod tests {
             output_dir: "out".into(),
             ft: FtConfig::default(),
             stream: StreamConfig::default(),
+            shuffle: None,
         }
     }
 
@@ -2024,6 +2092,7 @@ mod tests {
             output_dir: "out".into(),
             ft: FtConfig::default(),
             stream: StreamConfig::default(),
+            shuffle: None,
         };
         let r = run_job(&mut c, job);
         assert_eq!(r.unwrap_err(), MrError("kaboom".into()));
@@ -2083,6 +2152,7 @@ mod tests {
             output_dir: "out".into(),
             ft: FtConfig::default(),
             stream: StreamConfig::default(),
+            shuffle: None,
         };
         let r = run_job(&mut c, job).unwrap();
         let t = &r.tasks[0];
@@ -2091,5 +2161,108 @@ mod tests {
         // Wall time covers startup + compute.
         assert!(t.duration() >= 3.5);
         assert!((r.mean_phase(TaskKind::Map, "plot") - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_survives_nan_durations() {
+        // Regression: a NaN duration used to panic the sort comparator
+        // (`partial_cmp().expect(...)`) mid-job.
+        assert!(median(&[f64::NAN]).is_nan());
+        // NaNs sort last under total_cmp, so the finite majority wins.
+        assert_eq!(median(&[3.0, f64::NAN, 1.0]), 3.0);
+        assert_eq!(median(&[2.0, 1.0, f64::NAN, 4.0]), 3.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn stream_fallback_counted_exactly_once_per_task() {
+        // InMemoryFetcher has no streaming support: with streaming enabled
+        // every map attempt falls back to the batch path and says so.
+        let mut c = small_cluster(2, 2);
+        let mut job = word_count_job(mem_splits(4, 100), 1);
+        job.stream = StreamConfig {
+            enabled: true,
+            prefetch_depth: 2,
+        };
+        let r = run_job(&mut c, job).unwrap();
+        assert_eq!(r.counters.get(keys::STREAM_FALLBACKS), 4.0);
+        assert_eq!(r.counters.get(keys::STREAM_FALLBACK_UNSUPPORTED), 4.0);
+        assert_eq!(r.counters.get(keys::STREAM_FALLBACK_PUSHDOWN), 0.0);
+        assert_eq!(
+            r.stream_fallbacks().as_deref(),
+            Some("4 stream fallback(s) (4 unsupported fetcher, 0 pushdown)")
+        );
+        // With streaming off the counter stays silent.
+        let mut c2 = small_cluster(2, 2);
+        let mut job2 = word_count_job(mem_splits(4, 100), 1);
+        job2.stream = StreamConfig {
+            enabled: false,
+            prefetch_depth: 2,
+        };
+        let r2 = run_job(&mut c2, job2).unwrap();
+        assert_eq!(r2.counters.get(keys::STREAM_FALLBACKS), 0.0);
+        assert_eq!(r2.stream_fallbacks(), None);
+    }
+
+    #[test]
+    fn speculative_attempt_is_exempt_from_the_retry_budget() {
+        // max_task_attempts = 1: no retries at all. A straggler twin must
+        // still launch (it is not a retry), and losing the straggler node
+        // afterwards must not count the twin against the exhausted budget.
+        let ft = FtConfig {
+            max_task_attempts: 1,
+            node_blacklist_threshold: 0,
+            speculative: true,
+            speculative_slowdown: 2.0,
+            speculative_min_completed: 0.5,
+        };
+        let splits = mem_splits(4, 4000);
+        let mk_job = |splits: Vec<InputSplit>, ft: FtConfig| Job {
+            name: "spec".into(),
+            spill_to_pfs: false,
+            output_to_pfs: false,
+            splits,
+            map_fn: Rc::new(|input, ctx| {
+                let TaskInput::Bytes(b) = input else {
+                    return Err(MrError("expected bytes".into()));
+                };
+                // Compute-bound so the slow-node factor dominates startup.
+                ctx.charge("scan", 10.0);
+                ctx.emit("k".to_string(), Payload::Bytes(vec![b[0]]));
+                Ok(())
+            }),
+            reduce_fn: None,
+            n_reducers: 1,
+            output_dir: "out".into(),
+            ft,
+            stream: StreamConfig::default(),
+            shuffle: None,
+        };
+        // Clean elapsed calibrates the kill time below.
+        let mut clean = small_cluster(2, 2);
+        let rc = run_job(&mut clean, mk_job(mem_splits(4, 4000), ft.clone())).unwrap();
+        let e = rc.elapsed();
+
+        // Node 1 straggles 20x; its two tasks get speculative twins on
+        // node 0 once node 0's tasks commit. Kill node 1 while the twins
+        // run: the originals die with the budget long spent.
+        let mut c = small_cluster(2, 2);
+        c.sim
+            .faults
+            .install(FaultPlan::none().slow_node(1, 20.0).kill_node(1, 2.3 * e));
+        let r = run_job(&mut c, mk_job(splits, ft)).unwrap();
+        assert!(
+            r.counters.get(keys::SPECULATIVE_LAUNCHED) >= 1.0,
+            "budget of 1 must not block speculation: {:?}",
+            r.counters
+        );
+        // The twins were never booked as retries.
+        assert_eq!(r.counters.get(keys::TASK_RETRIES), 0.0);
+        assert_eq!(r.counters.get(keys::MAP_TASKS), 4.0);
+        // First-commit-wins: the job ends on the twins, not on the 20x
+        // stragglers (which would take ~200s of compute).
+        assert!(r.elapsed() < 100.0, "elapsed {}", r.elapsed());
+        assert!(r.elapsed() > 2.3 * e, "the kill landed mid-run");
     }
 }

@@ -23,15 +23,22 @@
 
 pub mod cluster;
 pub mod counters;
+pub mod dag;
+pub mod dataset;
 pub mod input;
 pub mod job;
 
 pub use cluster::{Cluster, MrEnv};
 pub use counters::{keys as counter_keys, Counters};
+pub use dag::{run_dag, submit_dag, DagJob, DagResult, ShuffleSink, StageRun};
+pub use dataset::{
+    decode_group, decode_join, encode_group, encode_join, AggFn, Dataset, GroupFn, PairFilterFn,
+    PairMapFn, RecordReadFn,
+};
 pub use input::{
     hdfs_file_splits, integrity_counter_delta, retag_stream, FetchDone, FetchPiece, FetchResult,
     FlatPfsFetcher, HdfsBlockFetcher, InMemoryFetcher, InputSplit, PieceDone, PieceStream,
-    SplitFetcher, TaskInput,
+    SplitFetcher, StreamFallback, TaskInput,
 };
 pub use job::{
     run_job, submit_job, submit_job_env, FtConfig, Job, JobResult, MapFn, MrError, Payload,

@@ -43,6 +43,6 @@ pub use rapi::{
 };
 pub use reader::SciSlabFetcher;
 pub use workflow::{
-    build_rjob, nuwrf_map_fn, nuwrf_reduce_fn, run_scidp, run_sql_scan, Analysis, SqlScanConfig,
-    WorkflowConfig, WorkflowReport,
+    build_rjob, build_stats_dag, nuwrf_map_fn, nuwrf_reduce_fn, run_scidp, run_sql_scan,
+    run_stats_dag, Analysis, SqlScanConfig, StatsDagConfig, WorkflowConfig, WorkflowReport,
 };

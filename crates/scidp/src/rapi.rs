@@ -317,9 +317,11 @@ impl mapreduce::SplitFetcher for TaggedSciFetcher {
         env: &MrEnv,
         sim: &mut simnet::Sim,
         node: simnet::NodeId,
-    ) -> Option<Box<dyn mapreduce::PieceStream>> {
+    ) -> Result<Box<dyn mapreduce::PieceStream>, mapreduce::StreamFallback> {
+        // Forward the inner fetcher's fallback reason unchanged (e.g.
+        // `Pushdown` from the slab reader) so the counter tags stay honest.
         let inner = self.inner.open_stream(env, sim, node)?;
-        Some(mapreduce::retag_stream(inner, encode_tag(&self.inner)))
+        Ok(mapreduce::retag_stream(inner, encode_tag(&self.inner)))
     }
 
     fn describe(&self) -> String {
@@ -588,6 +590,7 @@ impl RJob {
                 output_to_pfs: false,
                 ft: mapreduce::FtConfig::default(),
                 stream: self.stream,
+                shuffle: None,
             },
             setup,
         ))

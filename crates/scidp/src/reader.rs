@@ -18,7 +18,7 @@ use std::sync::Arc;
 use mapreduce::counters::keys;
 use mapreduce::{
     FetchDone, FetchPiece, FetchResult, MrEnv, MrError, PieceDone, PieceStream, SplitFetcher,
-    TaskInput,
+    StreamFallback, TaskInput,
 };
 use rframe::{MatchBound, Predicate};
 use scifmt::hyperslab;
@@ -393,12 +393,14 @@ impl SplitFetcher for SciSlabFetcher {
         _env: &MrEnv,
         _sim: &mut Sim,
         _node: NodeId,
-    ) -> Option<Box<dyn PieceStream>> {
+    ) -> Result<Box<dyn PieceStream>, StreamFallback> {
         if self.pushdown.is_some() {
             // Pushdown delivers a filtered frame, not a dense array; the
             // piece-streaming overlap path only knows how to assemble the
-            // latter, so fall back to the batch fetch.
-            return None;
+            // latter, so fall back to the batch fetch. The typed reason
+            // surfaces in the job's `stream_fallbacks` counters instead of
+            // silently losing the overlap pipeline.
+            return Err(StreamFallback::Pushdown);
         }
         let shape = self.var.shape();
         let ids =
@@ -442,7 +444,7 @@ impl SplitFetcher for SciSlabFetcher {
                 }),
             }
         }
-        Some(Box::new(SlabPieceStream {
+        Ok(Box::new(SlabPieceStream {
             pfs_path: Rc::new(self.pfs_path.clone()),
             var: self.var.clone(),
             start: self.start.clone(),

@@ -436,7 +436,7 @@ pub fn run_sql_scan(
                 ctx.charge("convert", ctx.cost().binary_convert(raw));
                 slab_to_frame(&dims, &origin, &array)?
             }
-            TaskInput::Bytes(_) => {
+            TaskInput::Bytes(_) | TaskInput::Pairs(_) => {
                 return Err(MrError(
                     "SQL scan expects scientific slabs; flat inputs need a bytes map".into(),
                 ))
@@ -494,6 +494,181 @@ pub fn run_sql_scan(
         );
     }
     Ok(result)
+}
+
+// ---------------------------------------------------------------------------
+// Chained statistics pipeline as one DAG
+// ---------------------------------------------------------------------------
+
+/// A chained NU-WRF summary-statistics pipeline executed as one multi-stage
+/// DAG (see `mapreduce::dag`): slab tasks emit per-`(var, level)` partial
+/// stats, a first shuffle merges the partials into exact per-level stats,
+/// and a second shuffle rolls the levels up into one record per variable.
+/// Three stages, two shuffle boundaries — a node loss between them recovers
+/// by lineage recompute instead of a pipeline re-run.
+#[derive(Clone, Debug)]
+pub struct StatsDagConfig {
+    /// Variables to summarize (each slab of each variable contributes).
+    pub variables: Vec<String>,
+    /// Width of the per-level merge stage.
+    pub level_partitions: usize,
+    /// Width of the per-variable rollup stage.
+    pub var_partitions: usize,
+    pub chunk_split: usize,
+    pub cache_bytes: usize,
+    pub output_dir: String,
+    pub ft: mapreduce::FtConfig,
+    pub stream: mapreduce::StreamConfig,
+}
+
+impl StatsDagConfig {
+    pub fn new<S: Into<String>>(vars: impl IntoIterator<Item = S>) -> StatsDagConfig {
+        StatsDagConfig {
+            variables: vars.into_iter().map(Into::into).collect(),
+            level_partitions: 4,
+            var_partitions: 2,
+            chunk_split: 1,
+            cache_bytes: scifmt::snc::DEFAULT_CACHE_BYTES,
+            output_dir: "stats_out".into(),
+            ft: mapreduce::FtConfig::default(),
+            stream: mapreduce::StreamConfig::default(),
+        }
+    }
+}
+
+/// `count,sum,min,max` with round-trip float formatting — merging partial
+/// lines in deterministic shuffle order keeps reruns byte-identical.
+fn stats_line(count: u64, sum: f64, min: f64, max: f64) -> Vec<u8> {
+    format!("{count},{sum:?},{min:?},{max:?}").into_bytes()
+}
+
+fn parse_stats(bytes: &[u8]) -> Result<(u64, f64, f64, f64), MrError> {
+    let s = std::str::from_utf8(bytes).map_err(|e| MrError(format!("stats: {e}")))?;
+    let mut it = s.split(',');
+    match (it.next(), it.next(), it.next(), it.next(), it.next()) {
+        (Some(c), Some(sum), Some(mn), Some(mx), None) => Ok((
+            c.parse()
+                .map_err(|e| MrError(format!("stats count: {e}")))?,
+            sum.parse()
+                .map_err(|e| MrError(format!("stats sum: {e}")))?,
+            mn.parse().map_err(|e| MrError(format!("stats min: {e}")))?,
+            mx.parse().map_err(|e| MrError(format!("stats max: {e}")))?,
+        )),
+        _ => Err(MrError(format!("stats: malformed line {s:?}"))),
+    }
+}
+
+/// Merge partial stats lines (values in deterministic shuffle order).
+fn merge_stats(values: Vec<Payload>) -> Result<(u64, f64, f64, f64), MrError> {
+    let mut acc = (0u64, 0.0f64, f64::INFINITY, f64::NEG_INFINITY);
+    for v in values {
+        let Payload::Bytes(b) = v else {
+            return Err(MrError("stats: expected byte payload".into()));
+        };
+        let (c, s, mn, mx) = parse_stats(&b)?;
+        acc = (acc.0 + c, acc.1 + s, acc.2.min(mn), acc.3.max(mx));
+    }
+    Ok(acc)
+}
+
+/// Build the stats pipeline as a lazy [`mapreduce::Dataset`] plan over a
+/// SciDP input.
+pub fn build_stats_dag(
+    env: &mapreduce::MrEnv,
+    input_path: &str,
+    cfg: &StatsDagConfig,
+) -> Result<mapreduce::DagJob, ScidpError> {
+    let input = ScidpInput::path(input_path)
+        .vars(cfg.variables.clone())
+        .chunk_split(cfg.chunk_split)
+        .cache_bytes(cfg.cache_bytes);
+    let (splits, _setup) = make_splits(env, &input)?;
+    // Stage 1 (source): per-level partial stats of each slab.
+    let read: mapreduce::RecordReadFn = Rc::new(move |input, ctx| {
+        let (_file, var, _dims, origin) =
+            decode_tag(ctx.input_tag()).ok_or_else(|| MrError("missing slab tag".into()))?;
+        let TaskInput::Array(array) = input else {
+            return Err(MrError("stats pipeline expects scientific slabs".into()));
+        };
+        let shape = array.shape().to_vec();
+        let (levels, rows, cols) = match shape.as_slice() {
+            &[l, r, c] => (l, r, c),
+            _ => {
+                return Err(MrError(format!(
+                    "stats pipeline expects 3-D slabs, got {shape:?}"
+                )))
+            }
+        };
+        ctx.charge(
+            "convert",
+            ctx.cost()
+                .binary_convert(array.len() * array.dtype().size()),
+        );
+        let lev0 = origin.first().copied().unwrap_or(0);
+        let mut out = Vec::with_capacity(levels);
+        for l in 0..levels {
+            let mut count = 0u64;
+            let (mut sum, mut mn, mut mx) = (0.0f64, f64::INFINITY, f64::NEG_INFINITY);
+            for i in 0..rows {
+                for j in 0..cols {
+                    let v = array.at(&[l, i, j]);
+                    if v.is_finite() {
+                        count += 1;
+                        sum += v;
+                        mn = mn.min(v);
+                        mx = mx.max(v);
+                    }
+                }
+            }
+            ctx.charge("analysis", ctx.cost().sql((rows * cols) as u64));
+            out.push((
+                format!("lvl/{var}/{:04}", lev0 + l),
+                Payload::Bytes(stats_line(count, sum, mn, mx)),
+            ));
+        }
+        Ok(out)
+    });
+    // Stage 2 (shuffle 1): exact per-level stats from the slab partials.
+    let merge: mapreduce::AggFn = Rc::new(|_key, values, _ctx| {
+        let (c, s, mn, mx) = merge_stats(values)?;
+        Ok(Payload::Bytes(stats_line(c, s, mn, mx)))
+    });
+    // Narrow re-key between the shuffles: `lvl/<var>/<lev>` → `var/<var>`.
+    let rekey: mapreduce::PairMapFn = Rc::new(|key, value, _ctx| {
+        let var = match key.split('/').nth(1) {
+            Some(v) => v.to_string(),
+            None => return Err(MrError(format!("stats: unexpected level key {key:?}"))),
+        };
+        Ok(vec![(format!("var/{var}"), value)])
+    });
+    // Stage 3 (shuffle 2): per-variable rollup across its levels.
+    let rollup: mapreduce::AggFn = Rc::new(|_key, values, _ctx| {
+        let levels = values.len() as u64;
+        let (c, s, mn, mx) = merge_stats(values)?;
+        let mean = if c > 0 { s / c as f64 } else { 0.0 };
+        Ok(Payload::Bytes(
+            format!("levels={levels} count={c} min={mn:?} max={mx:?} mean={mean:?}").into_bytes(),
+        ))
+    });
+    let plan = mapreduce::Dataset::from_splits(splits, read)
+        .reduce_by_key(cfg.level_partitions, merge)
+        .map(rekey)
+        .reduce_by_key(cfg.var_partitions, rollup);
+    let mut dag = mapreduce::DagJob::new("nuwrf-stats", plan, cfg.output_dir.clone());
+    dag.ft = cfg.ft.clone();
+    dag.stream = cfg.stream.clone();
+    Ok(dag)
+}
+
+/// Run the chained statistics pipeline as one DAG on the cluster.
+pub fn run_stats_dag(
+    cluster: &mut Cluster,
+    input_path: &str,
+    cfg: &StatsDagConfig,
+) -> Result<mapreduce::DagResult, ScidpError> {
+    let env = cluster.env();
+    let dag = build_stats_dag(&env, input_path, cfg)?;
+    mapreduce::run_dag(cluster, dag).map_err(job_error)
 }
 
 /// Convenience used by tests/benches: run one workflow on a staged dataset.
@@ -602,6 +777,86 @@ mod tests {
         // Output contains both images and the top-1% frames.
         let total: u64 = outs.iter().map(|f| f.len).sum();
         assert!(total > 0);
+    }
+
+    #[test]
+    fn stats_pipeline_runs_as_one_three_stage_dag() {
+        let (mut cluster, input) = stage(2);
+        let cfg = StatsDagConfig {
+            level_partitions: 2,
+            var_partitions: 1,
+            ..StatsDagConfig::new(["QR", "QC"])
+        };
+        let r = run_stats_dag(&mut cluster, &input, &cfg).unwrap();
+        assert_eq!(r.n_stages, 3);
+        assert_eq!(
+            r.counters.get(mapreduce::counters::keys::STAGES_RUN),
+            3.0,
+            "clean run: each stage exactly once"
+        );
+        assert_eq!(
+            r.counters
+                .get(mapreduce::counters::keys::LINEAGE_RECOMPUTES),
+            0.0
+        );
+        // One rollup line per variable reached the output.
+        let h = cluster.hdfs.borrow();
+        let outs = h.namenode.list_files_recursive("stats_out").unwrap();
+        let mut text = String::new();
+        for f in outs.iter().filter(|f| !f.path.contains("/_")) {
+            for b in h.namenode.blocks(&f.path).unwrap() {
+                text.push_str(&String::from_utf8_lossy(
+                    &h.datanodes.get(b.locations()[0], b.id).unwrap(),
+                ));
+            }
+        }
+        let mut vars: Vec<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("var/"))
+            .filter_map(|l| l.split('\t').next())
+            .collect();
+        vars.sort_unstable();
+        assert_eq!(vars, vec!["QC", "QR"]);
+        for line in text.lines() {
+            assert!(line.contains("levels=4"), "tiny spec has 4 levels: {line}");
+            assert!(line.contains("mean="));
+        }
+    }
+
+    #[test]
+    fn pushdown_scan_reports_stream_fallback_once_per_task() {
+        // Pushdown forces the batch path (the streaming pipeline cannot
+        // deliver predicate-filtered frames): with streaming enabled every
+        // map task must record exactly one tagged fallback.
+        let (mut cluster, input) = stage(2);
+        let cfg = SqlScanConfig::new(["QR"], "SELECT * FROM df WHERE value > 0.5");
+        assert!(cfg.pushdown);
+        let r = run_sql_scan(&mut cluster, &input, &cfg).unwrap();
+        let keys = mapreduce::counters::keys::STREAM_FALLBACKS;
+        let maps = r.counters.get(mapreduce::counters::keys::MAP_TASKS);
+        assert!(maps > 0.0);
+        assert_eq!(r.counters.get(keys), maps);
+        assert_eq!(
+            r.counters
+                .get(mapreduce::counters::keys::STREAM_FALLBACK_PUSHDOWN),
+            maps
+        );
+        assert_eq!(
+            r.counters
+                .get(mapreduce::counters::keys::STREAM_FALLBACK_UNSUPPORTED),
+            0.0
+        );
+        assert!(r.stream_fallbacks().is_some());
+
+        // Without pushdown the slab fetcher streams: no fallback at all.
+        let (mut c2, input2) = stage(2);
+        let cfg2 = SqlScanConfig {
+            pushdown: false,
+            ..SqlScanConfig::new(["QR"], "SELECT * FROM df WHERE value > 0.5")
+        };
+        let r2 = run_sql_scan(&mut c2, &input2, &cfg2).unwrap();
+        assert_eq!(r2.counters.get(keys), 0.0);
+        assert_eq!(r2.stream_fallbacks(), None);
     }
 
     #[test]

@@ -413,6 +413,7 @@ mod faults {
             output_to_pfs: false,
             ft,
             stream: mapreduce::StreamConfig::default(),
+            shuffle: None,
         }
     }
 

@@ -55,6 +55,7 @@ fn verified_bytes_under_concurrent_hdfs_fetches() {
         output_dir: "out".into(),
         ft: FtConfig::default(),
         stream: mapreduce::StreamConfig::default(),
+        shuffle: None,
     };
     let r = run_job(&mut c, job).unwrap();
     let verified = r.counters.get(keys::CHECKSUM_VERIFIED_BYTES);

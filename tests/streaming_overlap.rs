@@ -95,6 +95,7 @@ fn flat_job(stream: StreamConfig) -> Job {
             ..FtConfig::default()
         },
         stream,
+        shuffle: None,
     }
 }
 
@@ -336,6 +337,7 @@ mod integrity {
             output_to_pfs: false,
             ft: FtConfig::default(),
             stream,
+            shuffle: None,
         }
     }
 

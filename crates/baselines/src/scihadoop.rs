@@ -153,7 +153,7 @@ impl SplitFetcher for HdfsSciFetcher {
                 });
             if let Err(e) = res {
                 if let Some(d) = done_cell.borrow_mut().take() {
-                    let e = mapreduce::MrError(format!("hdfs: {e} ({})", self.hdfs_path));
+                    let e = mapreduce::MrError::msg(format!("hdfs: {e} ({})", self.hdfs_path));
                     sim.after(0.0, move |sim| d(sim, Err(e)));
                 }
                 return;

@@ -79,14 +79,14 @@ impl SplitFetcher for HdfsWholeFileFetcher {
                                 tag: String::new(),
                             }),
                         ),
-                        Err(e) => done(sim, Err(mapreduce::MrError(format!("hdfs: {e}")))),
+                        Err(e) => done(sim, Err(mapreduce::MrError::msg(format!("hdfs: {e}")))),
                     }
                 }
             },
         );
         if let Err(e) = res {
             if let Some(done) = done_cell.borrow_mut().take() {
-                let e = mapreduce::MrError(format!("hdfs: {e} ({})", self.path));
+                let e = mapreduce::MrError::msg(format!("hdfs: {e} ({})", self.path));
                 sim.after(0.0, move |sim| done(sim, Err(e)));
             }
         }

@@ -76,14 +76,14 @@ pub fn process_text(
 ) -> Result<(), MrError> {
     // read.table: the expensive text parse (real + charged).
     ctx.charge("convert", ctx.cost().text_parse(text.len()));
-    let s =
-        std::str::from_utf8(text).map_err(|e| MrError(format!("input is not UTF-8 text: {e}")))?;
-    let df = read_table(s, true, ',').map_err(|e| MrError(e.to_string()))?;
+    let s = std::str::from_utf8(text)
+        .map_err(|e| MrError::msg(format!("input is not UTF-8 text: {e}")))?;
+    let df = read_table(s, true, ',').map_err(|e| MrError::msg(e.to_string()))?;
     if df.n_rows() == 0 {
         return Ok(());
     }
-    let lat_max = df.column("lat").map_err(|e| MrError(e.to_string()))?;
-    let lon_max = df.column("lon").map_err(|e| MrError(e.to_string()))?;
+    let lat_max = df.column("lat").map_err(|e| MrError::msg(e.to_string()))?;
+    let lon_max = df.column("lon").map_err(|e| MrError::msg(e.to_string()))?;
     let lat_n = (0..df.n_rows())
         .map(|r| lat_max.f64_at(r) as usize)
         .max()
@@ -95,11 +95,13 @@ pub fn process_text(
         .unwrap_or(0)
         + 1;
     let per_level = lat_n * lon_n;
-    let vcol = df.column("value").map_err(|e| MrError(e.to_string()))?;
+    let vcol = df
+        .column("value")
+        .map_err(|e| MrError::msg(e.to_string()))?;
     let values: Vec<f64> = (0..df.n_rows()).map(|r| vcol.f64_at(r)).collect();
-    let levs = df.column("lev").map_err(|e| MrError(e.to_string()))?;
+    let levs = df.column("lev").map_err(|e| MrError::msg(e.to_string()))?;
     if df.n_rows() % per_level != 0 {
-        return Err(MrError(format!(
+        return Err(MrError::msg(format!(
             "ragged text input: {} rows, {per_level} per level",
             df.n_rows()
         )));
@@ -121,7 +123,7 @@ pub fn text_map_fn(cfg: &WorkflowConfig, raster: (u32, u32), scale: f64) -> MapF
     let cfg = cfg.clone();
     Rc::new(move |input, ctx| {
         let TaskInput::Bytes(text) = input else {
-            return Err(MrError("text job expects byte input".into()));
+            return Err(MrError::msg("text job expects byte input"));
         };
         process_text(&text, ctx, &cfg, raster, scale)
     })

@@ -211,7 +211,7 @@ fn terasort(cluster: &mut Cluster, backend: Backend, cfg: &Fig2Config) -> f64 {
         splits,
         map_fn: Rc::new(|input, ctx| {
             let TaskInput::Bytes(b) = input else {
-                return Err(MrError("terasort expects bytes".into()));
+                return Err(MrError::msg("terasort expects bytes"));
             };
             ctx.charge(
                 "scan",
@@ -266,7 +266,7 @@ fn grep(cluster: &mut Cluster, backend: Backend, cfg: &Fig2Config) -> f64 {
         splits,
         map_fn: Rc::new(|input, ctx| {
             let TaskInput::Bytes(b) = input else {
-                return Err(MrError("grep expects bytes".into()));
+                return Err(MrError::msg("grep expects bytes"));
             };
             ctx.charge(
                 "scan",
@@ -344,7 +344,7 @@ fn dfsio_read(cluster: &mut Cluster, backend: Backend, cfg: &Fig2Config) -> f64 
         splits,
         map_fn: Rc::new(|input, _| {
             let TaskInput::Bytes(_) = input else {
-                return Err(MrError("dfsio expects bytes".into()));
+                return Err(MrError::msg("dfsio expects bytes"));
             };
             Ok(())
         }),

@@ -59,7 +59,7 @@ fn main() {
             splits,
             map_fn: Rc::new(|input, ctx| {
                 let TaskInput::Bytes(b) = input else {
-                    return Err(MrError("scan expects bytes".into()));
+                    return Err(MrError::msg("scan expects bytes"));
                 };
                 ctx.charge(
                     "scan",

@@ -75,11 +75,11 @@ fn sum_values(values: Vec<Payload>) -> Result<Payload, MrError> {
     let mut total = 0u64;
     for v in values {
         let Payload::Bytes(b) = v else {
-            return Err(MrError("expected byte value".into()));
+            return Err(MrError::msg("expected byte value"));
         };
         total += String::from_utf8_lossy(&b)
             .parse::<u64>()
-            .map_err(|e| MrError(format!("bad count: {e}")))?;
+            .map_err(|e| MrError::msg(format!("bad count: {e}")))?;
     }
     Ok(Payload::Bytes(total.to_string().into_bytes()))
 }
@@ -90,7 +90,7 @@ fn pipeline() -> Dataset {
         flat_splits(),
         Rc::new(|input, ctx| {
             let TaskInput::Bytes(b) = input else {
-                return Err(MrError("expected bytes".into()));
+                return Err(MrError::msg("expected bytes"));
             };
             let mut counts: BTreeMap<u8, usize> = BTreeMap::new();
             for &x in &b {
@@ -109,7 +109,7 @@ fn pipeline() -> Dataset {
         let id: u64 = k
             .strip_prefix('b')
             .and_then(|s| s.parse().ok())
-            .ok_or_else(|| MrError(format!("unexpected key {k:?}")))?;
+            .ok_or_else(|| MrError::msg(format!("unexpected key {k:?}")))?;
         Ok(vec![(format!("g{}", id % 2), v)])
     }))
     .reduce_by_key(2, Rc::new(|_k, values, _ctx| sum_values(values)))

@@ -63,7 +63,7 @@ fn byte_count_job(ft: FtConfig) -> Job {
         splits,
         map_fn: Rc::new(|input, ctx| {
             let TaskInput::Bytes(b) = input else {
-                return Err(MrError("expected bytes".into()));
+                return Err(MrError::msg("expected bytes"));
             };
             let mut counts: BTreeMap<u8, usize> = BTreeMap::new();
             for &x in &b {

@@ -85,7 +85,7 @@ fn flat_job(charge_s: f64, stream: StreamConfig) -> Job {
         splits,
         map_fn: Rc::new(move |input, ctx| {
             let TaskInput::Bytes(b) = input else {
-                return Err(MrError("expected bytes".into()));
+                return Err(MrError::msg("expected bytes"));
             };
             let mut counts: BTreeMap<u8, usize> = BTreeMap::new();
             for &x in &b {
@@ -225,7 +225,7 @@ fn slab_job(
         splits,
         map_fn: Rc::new(move |input, ctx| {
             let TaskInput::Array(a) = input else {
-                return Err(MrError("expected array".into()));
+                return Err(MrError::msg("expected array"));
             };
             let mut sum = 0.0f64;
             for l in 0..a.shape()[0] {

@@ -65,6 +65,30 @@ pub struct IntegrityStats {
     pub failed: u64,
 }
 
+/// Hedged-read policy (`Hdfs::hedge`; `None` = hedging off, the default —
+/// existing read timings are untouched).
+///
+/// When a replica transfer has not delivered within `after_s` virtual
+/// seconds, the client launches the next replica in parallel instead of
+/// waiting — the real escape hatch for a replica owner that is hung or on
+/// the wrong side of a partition, where the transfer never completes at
+/// all. First delivery wins (the completion is one-shot); the loser's
+/// bytes are discarded without accounting.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HedgeConfig {
+    /// Virtual seconds to wait on a replica before hedging to the next.
+    pub after_s: f64,
+}
+
+/// Hedged-read accounting, updated by [`read_block`] (see [`HedgeConfig`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HedgeStats {
+    /// Alternate-replica transfers launched because the primary stalled.
+    pub hedged_reads: u64,
+    /// Block reads whose winning delivery came from a hedge launch.
+    pub hedged_read_wins: u64,
+}
+
 impl std::error::Error for HdfsError {}
 
 impl From<NsError> for HdfsError {
@@ -215,12 +239,21 @@ struct BlockReadState {
     key: String,
     nth: u64,
     attempts: Vec<ReplicaAttempt>,
+    /// Per-attempt launch guard: CRC fallback and the hedge timer may both
+    /// want to start the same attempt; whoever is first wins.
+    launched: RefCell<Vec<bool>>,
+    /// Deliveries of this read that failed verification (drives the
+    /// `repaired` stat when a later replica completes the read).
+    verify_failures: std::cell::Cell<u64>,
+    /// Hedge deadline, copied from the cluster config at read_block time.
+    hedge_after_s: Option<f64>,
     #[allow(clippy::type_complexity)]
     done: RefCell<Option<Box<dyn FnOnce(&mut Sim, Arc<Vec<u8>>)>>>,
 }
 
 /// Schedule the timed transfer of attempt `i`: RPC, disk seek, data flow.
-fn attempt_step(sim: &mut Sim, st: Rc<BlockReadState>, i: usize) {
+/// `via_hedge` marks launches made by the hedge timer (for win accounting).
+fn attempt_step(sim: &mut Sim, st: Rc<BlockReadState>, i: usize, via_hedge: bool) {
     // The attempt plan is fixed at read_block time and `i` only advances
     // past a failed verification, which the planner guarantees leaves at
     // least one clean replica ahead — running out is a planner bug.
@@ -231,7 +264,35 @@ fn attempt_step(sim: &mut Sim, st: Rc<BlockReadState>, i: usize) {
             return;
         }
     };
-    let bytes = sim.cost.lbytes(data.len());
+    {
+        let mut launched = st.launched.borrow_mut();
+        match launched.get_mut(i) {
+            Some(l) if !*l => *l = true,
+            _ => return,
+        }
+    }
+    // Arm the hedge: if this attempt has not delivered (the read's one-shot
+    // completion is still armed) by the deadline, launch the next replica
+    // in parallel and race them.
+    if let (Some(after_s), true) = (st.hedge_after_s, i + 1 < st.attempts.len()) {
+        let st2 = st.clone();
+        sim.after(after_s, move |sim| {
+            if st2.done.borrow().is_some() && st2.launched.borrow().get(i + 1) == Some(&false) {
+                st2.hdfs.borrow_mut().hedge_stats.hedged_reads += 1;
+                attempt_step(sim, st2, i + 1, true);
+            }
+        });
+    }
+    let now = sim.now().secs();
+    if sim.faults.node_hung(owner.0, now) || sim.faults.partitioned(owner.0, st.reader.0, now) {
+        // The replica owner is hung or unreachable: this transfer never
+        // completes. Schedule nothing (the simulator drains cleanly) — the
+        // hedge timer armed above, or the driver's task deadline, is the
+        // only way out.
+        return;
+    }
+    let link = sim.faults.link_slowdown(owner.0, st.reader.0);
+    let bytes = sim.cost.lbytes(data.len()) * if owner == st.reader { 1.0 } else { link };
     let seek = sim.cost.seek_s;
     let rpc = sim.cost.rpc_s;
     let flow_path = st.topo.path_remote_disk_read(owner, st.reader);
@@ -252,7 +313,7 @@ fn attempt_step(sim: &mut Sim, st: Rc<BlockReadState>, i: usize) {
         };
         sim.start_flow(vec![disk], seek_flow, move |sim| {
             sim.start_flow(flow_path, bytes, move |sim| {
-                deliver_attempt(sim, st2, i, data);
+                deliver_attempt(sim, st2, i, data, via_hedge);
             });
         });
     });
@@ -262,7 +323,18 @@ fn attempt_step(sim: &mut Sim, st: Rc<BlockReadState>, i: usize) {
 /// plan may flip one byte in flight — the stored replica stays clean),
 /// verify it against the block checksum, and either hand it over or fall
 /// back to the next replica.
-fn deliver_attempt(sim: &mut Sim, st: Rc<BlockReadState>, i: usize, data: Arc<Vec<u8>>) {
+fn deliver_attempt(
+    sim: &mut Sim,
+    st: Rc<BlockReadState>,
+    i: usize,
+    data: Arc<Vec<u8>>,
+    via_hedge: bool,
+) {
+    if st.done.borrow().is_none() {
+        // A racing (hedged) attempt already delivered; discard these bytes
+        // without accounting.
+        return;
+    }
     let corrupt = st.attempts.get(i).is_some_and(|a| a.corrupt);
     let delivered = if corrupt && !data.is_empty() {
         let (selector, mask) = sim.faults.corruption_pattern(&st.key, st.nth);
@@ -282,21 +354,28 @@ fn deliver_attempt(sim: &mut Sim, st: Rc<BlockReadState>, i: usize, data: Arc<Ve
             if st.crc != 0 {
                 h.integrity.verified_bytes += delivered.len() as u64;
             }
-            if i > 0 {
+            if st.verify_failures.get() > 0 {
                 h.integrity.repaired += 1;
             }
+            if via_hedge {
+                h.hedge_stats.hedged_read_wins += 1;
+            }
         }
-        // Armed once at read_block; a second fire is a scheduler bug.
-        let cb = st.done.borrow_mut().take();
-        debug_assert!(cb.is_some(), "read_block completion fired twice");
-        if let Some(cb) = cb {
+        // Armed once at read_block (checked non-empty above, and this is
+        // the single-threaded sim — nothing raced us since).
+        if let Some(cb) = st.done.borrow_mut().take() {
             cb(sim, delivered);
         }
     } else {
+        st.verify_failures.set(st.verify_failures.get() + 1);
         st.hdfs.borrow_mut().integrity.detected += 1;
-        // The planning phase only schedules a corrupt attempt when a clean
-        // replica follows it, so `i + 1` is always in bounds here.
-        attempt_step(sim, st, i + 1);
+        // Without hedging the planner guarantees a clean replica follows a
+        // corrupt one, so `i + 1` is in bounds. A hedged plan keeps *every*
+        // candidate, so a corrupt alternate can sit last — nothing to fall
+        // back to from there (other launches are still racing).
+        if i + 1 < st.attempts.len() {
+            attempt_step(sim, st, i + 1, false);
+        }
     }
 }
 
@@ -342,10 +421,12 @@ pub fn read_block(
     }
     let key = block_fault_key(block.id);
     let nth = sim.faults.begin_block_read(&key);
+    let hedge_after_s = hdfs.borrow().hedge.map(|h| h.after_s);
     // The fault plan is deterministic, so each candidate's verdict is known
     // up front; stop at the first replica whose delivery will be accepted.
     // (Unchecksummed blocks accept anything — verification cannot catch
-    // their corruption.)
+    // their corruption.) With hedging enabled the plan keeps the remaining
+    // replicas as alternates so a stalled transfer has somewhere to go.
     let mut attempts = Vec::new();
     let mut clean_found = false;
     {
@@ -365,7 +446,9 @@ pub fn read_block(
             });
             if accepted {
                 clean_found = true;
-                break;
+                if hedge_after_s.is_none() {
+                    break;
+                }
             }
         }
     }
@@ -381,6 +464,7 @@ pub fn read_block(
             replicas: attempts.len(),
         });
     }
+    let n_attempts = attempts.len();
     let st = Rc::new(BlockReadState {
         topo: topo.clone(),
         hdfs: hdfs.clone(),
@@ -389,9 +473,12 @@ pub fn read_block(
         key,
         nth,
         attempts,
+        launched: RefCell::new(vec![false; n_attempts]),
+        verify_failures: std::cell::Cell::new(0),
+        hedge_after_s,
         done: RefCell::new(Some(Box::new(done))),
     });
-    attempt_step(sim, st, 0);
+    attempt_step(sim, st, 0, false);
     Ok(())
 }
 
@@ -752,6 +839,113 @@ mod tests {
             got.borrow_mut().take().unwrap(),
             Err(HdfsError::Integrity { .. })
         ));
+    }
+
+    #[test]
+    fn hedged_read_rescues_hung_replica_owner() {
+        use simnet::FaultPlan;
+        let (mut sim, topo, hdfs) = setup(3, 2);
+        let data: Vec<u8> = (0..64u8).collect();
+        write_file(&mut sim, &topo, &hdfs, NodeId(0), "f", data.clone(), |_| {}).unwrap();
+        sim.run();
+        let block = hdfs.borrow().namenode.blocks("f").unwrap()[0].clone();
+        assert_eq!(block.locations()[0], NodeId(0), "writer-local first");
+        // Node 0 (the primary replica owner) hangs; reader 2 is remote to
+        // both replicas, so without hedging the read would stall forever.
+        sim.faults.install(FaultPlan::none().hang_node(0, 0.0));
+        hdfs.borrow_mut().hedge = Some(HedgeConfig { after_s: 1.0 });
+        let got = Rc::new(RefCell::new(None));
+        let g = got.clone();
+        read_block(&mut sim, &topo, &hdfs, NodeId(2), &block, move |_, d| {
+            *g.borrow_mut() = Some(d.as_ref().clone());
+        })
+        .unwrap();
+        sim.run();
+        assert_eq!(got.borrow_mut().take().unwrap(), data, "hedge delivers");
+        let hs = hdfs.borrow().hedge_stats;
+        assert_eq!(hs.hedged_reads, 1);
+        assert_eq!(hs.hedged_read_wins, 1);
+        assert_eq!(hdfs.borrow().integrity.repaired, 0, "not a CRC repair");
+    }
+
+    #[test]
+    fn hedge_timer_is_inert_on_fast_reads() {
+        let (mut sim, topo, hdfs) = setup(3, 2);
+        let data: Vec<u8> = (0..64u8).collect();
+        write_file(&mut sim, &topo, &hdfs, NodeId(0), "f", data.clone(), |_| {}).unwrap();
+        sim.run();
+        let block = hdfs.borrow().namenode.blocks("f").unwrap()[0].clone();
+        // Generous deadline: the primary delivers first, no hedge launches.
+        hdfs.borrow_mut().hedge = Some(HedgeConfig { after_s: 1e6 });
+        let got = Rc::new(RefCell::new(None));
+        let g = got.clone();
+        read_block(&mut sim, &topo, &hdfs, NodeId(0), &block, move |_, d| {
+            *g.borrow_mut() = Some(d.as_ref().clone());
+        })
+        .unwrap();
+        sim.run();
+        assert_eq!(got.borrow_mut().take().unwrap(), data);
+        assert_eq!(hdfs.borrow().hedge_stats, HedgeStats::default());
+    }
+
+    #[test]
+    fn partitioned_owner_stalls_and_hedge_crosses_to_other_side() {
+        use simnet::FaultPlan;
+        let (mut sim, topo, hdfs) = setup(3, 2);
+        let data: Vec<u8> = (0..64u8).collect();
+        write_file(&mut sim, &topo, &hdfs, NodeId(0), "f", data.clone(), |_| {}).unwrap();
+        sim.run();
+        let block = hdfs.borrow().namenode.blocks("f").unwrap()[0].clone();
+        // Isolate node 0 forever; the reader (node 2) hedges to the other
+        // replica, which sits on its own side of the partition.
+        sim.faults
+            .install(FaultPlan::none().partition(&[0], 0.0, f64::INFINITY));
+        hdfs.borrow_mut().hedge = Some(HedgeConfig { after_s: 0.5 });
+        let got = Rc::new(RefCell::new(None));
+        let g = got.clone();
+        read_block(&mut sim, &topo, &hdfs, NodeId(2), &block, move |_, d| {
+            *g.borrow_mut() = Some(d.as_ref().clone());
+        })
+        .unwrap();
+        sim.run();
+        assert_eq!(got.borrow_mut().take().unwrap(), data);
+        assert_eq!(hdfs.borrow().hedge_stats.hedged_read_wins, 1);
+    }
+
+    #[test]
+    fn slow_link_inflates_remote_read_time() {
+        let time_with = |factor: Option<f64>| {
+            let (mut sim, topo, hdfs) = setup(2, 1);
+            write_file(
+                &mut sim,
+                &topo,
+                &hdfs,
+                NodeId(0),
+                "f",
+                vec![5u8; 64],
+                |_| {},
+            )
+            .unwrap();
+            sim.run();
+            if let Some(f) = factor {
+                use simnet::FaultPlan;
+                sim.faults.install(FaultPlan::none().slow_link(0, 1, f));
+            }
+            let block = hdfs.borrow().namenode.blocks("f").unwrap()[0].clone();
+            let t = Rc::new(RefCell::new(0.0));
+            let t2 = t.clone();
+            let start = sim.now().secs();
+            read_block(&mut sim, &topo, &hdfs, NodeId(1), &block, move |sim, _| {
+                *t2.borrow_mut() = sim.now().secs();
+            })
+            .unwrap();
+            sim.run();
+            let v = *t.borrow() - start;
+            v
+        };
+        let clean = time_with(None);
+        let slow = time_with(Some(4.0));
+        assert!(slow > clean * 1.5, "slow {slow} vs clean {clean}");
     }
 
     #[test]

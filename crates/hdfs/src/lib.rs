@@ -28,7 +28,9 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 pub use block::{block_fault_key, Block, BlockId, BlockKind, VirtualBlock};
-pub use client::{read_block, read_file, write_file, HdfsError, IntegrityStats};
+pub use client::{
+    read_block, read_file, write_file, HdfsError, HedgeConfig, HedgeStats, IntegrityStats,
+};
 pub use datanode::DataNodes;
 pub use namenode::{EditLog, EditOp, FileStatus, NameNode, NsError};
 
@@ -39,6 +41,10 @@ pub struct Hdfs {
     pub datanodes: DataNodes,
     /// Checksum-verification accounting across all block reads.
     pub integrity: IntegrityStats,
+    /// Hedged-read policy (`None` = off; see [`client::HedgeConfig`]).
+    pub hedge: Option<HedgeConfig>,
+    /// Hedged-read accounting across all block reads.
+    pub hedge_stats: HedgeStats,
 }
 
 impl Hdfs {
@@ -49,6 +55,8 @@ impl Hdfs {
             namenode: NameNode::new(n_nodes, block_size, replication),
             datanodes: DataNodes::new(n_nodes),
             integrity: IntegrityStats::default(),
+            hedge: None,
+            hedge_stats: HedgeStats::default(),
         }
     }
 

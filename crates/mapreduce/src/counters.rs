@@ -90,6 +90,27 @@ pub mod keys {
     /// Fallbacks because predicate pushdown delivers pre-filtered frames
     /// the chunk-granular streaming pipeline cannot assemble.
     pub const STREAM_FALLBACK_PUSHDOWN: &str = "stream_fallback_pushdown";
+    /// Heartbeats a node failed to deliver on time (hung, partitioned, or
+    /// dead nodes miss every tick until declared dead or reinstated).
+    pub const HEARTBEATS_MISSED: &str = "heartbeats_missed";
+    /// Attempts killed by the per-attempt hang deadline (the operation
+    /// never completed — unlike a straggler, which merely finishes late).
+    pub const TASKS_HANG_DETECTED: &str = "tasks_hang_detected";
+    /// Alternate-replica HDFS transfers launched because the primary
+    /// stalled past the hedge deadline.
+    pub const HEDGED_READS: &str = "hedged_reads";
+    /// Block reads won by a hedge launch (the alternate delivered first).
+    pub const HEDGED_READ_WINS: &str = "hedged_read_wins";
+    /// Nodes escalated from healthy to suspected by the failure detector.
+    pub const NODES_SUSPECTED: &str = "nodes_suspected";
+    /// Suspected/declared-dead nodes restored to service after their
+    /// heartbeats resumed (e.g. a healed partition).
+    pub const NODES_REINSTATED: &str = "nodes_reinstated";
+    /// Network partitions whose onset fell inside the job's run.
+    pub const PARTITIONS_OBSERVED: &str = "partitions_observed";
+    /// Quarantined SNC chunk entries evicted from the bounded quarantine
+    /// set (LRU) to keep a long-lived process from growing it unboundedly.
+    pub const CHUNKS_QUARANTINED_EVICTED: &str = "chunks_quarantined_evicted";
 }
 
 impl Counters {

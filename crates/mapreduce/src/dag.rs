@@ -59,6 +59,10 @@ pub struct ShuffleStore {
     /// `(shuffle, map partition)` holes hit by fetchers since the last
     /// drain — non-empty after a stage failure means "lineage, not bug".
     missing: Vec<(u64, usize)>,
+    /// Outputs invalidated because their holder was unreachable (hung or
+    /// partitioned away) when a fetch tried to pull them; drained into
+    /// `shuffle_partitions_lost` by the DAG driver.
+    stalled_lost: u64,
 }
 
 pub(crate) type SharedShuffleStore = Rc<RefCell<ShuffleStore>>;
@@ -114,6 +118,25 @@ impl ShuffleStore {
     fn take_missing(&mut self) -> Vec<(u64, usize)> {
         std::mem::take(&mut self.missing)
     }
+
+    /// Drop one registered output whose holder cannot be reached right now
+    /// (hung, or partitioned away from the fetching node). A pull from it
+    /// would stall forever; losing the partition instead routes recovery
+    /// through the lineage machinery, which re-runs the producer task.
+    fn invalidate_stalled(&mut self, shuffle: u64, partition: usize) {
+        let removed = self
+            .outputs
+            .get_mut(&shuffle)
+            .map(|o| o.remove(&partition).is_some())
+            .unwrap_or(false);
+        if removed {
+            self.stalled_lost += 1;
+        }
+    }
+
+    fn take_stalled_lost(&mut self) -> u64 {
+        std::mem::take(&mut self.stalled_lost)
+    }
 }
 
 /// Where one stage job deposits its partitioned output (set on
@@ -151,6 +174,8 @@ impl SplitFetcher for ShuffleFetcher {
         let mut transfers: Vec<(NodeId, usize)> = Vec::new();
         let mut pairs: Vec<(u8, String, Payload)> = Vec::new();
         let mut holes: Vec<(u64, usize)> = Vec::new();
+        let mut stalled: Vec<(u64, usize)> = Vec::new();
+        let now = sim.now().secs();
         {
             let mut store = self.store.borrow_mut();
             for &(shuffle, tag) in &self.sources {
@@ -159,6 +184,17 @@ impl SplitFetcher for ShuffleFetcher {
                         holes.push((shuffle, m));
                         continue;
                     };
+                    // A holder the fetching node cannot reach (hung, or on
+                    // the far side of an active partition) would stall this
+                    // pull forever. Invalidate the output instead: the
+                    // lineage machinery re-runs the producer on a live node
+                    // and the refetch succeeds.
+                    if sim.faults.node_hung(out.node.0, now)
+                        || sim.faults.partitioned(out.node.0, node.0, now)
+                    {
+                        stalled.push((shuffle, m));
+                        continue;
+                    }
                     let Some(kvs) = out.parts.get(self.partition) else {
                         continue;
                     };
@@ -175,16 +211,25 @@ impl SplitFetcher for ShuffleFetcher {
                     }
                 }
             }
+            for &(s, m) in &stalled {
+                store.invalidate_stalled(s, m);
+            }
             if !holes.is_empty() {
                 store.note_missing(&holes);
             }
+            if !stalled.is_empty() {
+                store.note_missing(&stalled);
+            }
         }
-        if !holes.is_empty() {
-            let e = MrError(format!(
-                "shuffle partition {} unavailable: {} lost upstream output(s) {:?}",
+        if !holes.is_empty() || !stalled.is_empty() {
+            let e = MrError::msg(format!(
+                "shuffle partition {} unavailable: {} lost upstream output(s) {:?}, \
+                 {} stalled holder(s) {:?}",
                 self.partition,
                 holes.len(),
-                holes
+                holes,
+                stalled.len(),
+                stalled
             ));
             sim.after(0.0, move |sim| done(sim, Err(e)));
             return;
@@ -291,7 +336,7 @@ fn compile_source(read: RecordReadFn, narrow: Vec<NarrowOp>) -> MapFn {
 fn compile_grouped(group: GroupFn, narrow: Vec<NarrowOp>) -> MapFn {
     Rc::new(move |input, ctx| {
         let TaskInput::Pairs(pairs) = input else {
-            return Err(MrError("shuffle stage expects pair input".into()));
+            return Err(MrError::msg("shuffle stage expects pair input"));
         };
         let in_bytes: usize = pairs
             .iter()
@@ -658,7 +703,7 @@ pub fn run_dag(cluster: &mut Cluster, dag: DagJob) -> Result<DagResult, MrError>
     let taken = out.borrow_mut().take();
     match taken {
         Some(r) => r,
-        None => Err(MrError("dag did not complete".into())),
+        None => Err(MrError::msg("dag did not complete")),
     }
 }
 
@@ -683,7 +728,7 @@ fn advance(sim: &mut Sim, d: &SharedDag) {
             Some((idx, missing)) => {
                 dd.submissions += 1;
                 if dd.submissions > dd.max_submissions {
-                    Step::Fail(MrError(format!(
+                    Step::Fail(MrError::msg(format!(
                         "dag {}: gave up after {} stage submissions (lineage not converging)",
                         dd.name, dd.max_submissions
                     )))
@@ -797,6 +842,11 @@ fn on_stage_done(
             return;
         }
         dd.refresh_committed(idx);
+        let stalled = dd.store.borrow_mut().take_stalled_lost();
+        if stalled > 0 {
+            dd.counters
+                .add(keys::SHUFFLE_PARTITIONS_LOST, stalled as f64);
+        }
         dd.runs.push(StageRun {
             stage: idx,
             op,
@@ -893,7 +943,7 @@ fn write_next(sim: &mut Sim, d: &SharedDag, mut writes: VecDeque<(NodeId, String
             write_next(sim, &d2, writes)
         });
         if let Err(e) = res {
-            fail_dag(sim, d, MrError(format!("hdfs: {e}")));
+            fail_dag(sim, d, MrError::msg(format!("hdfs: {e}")));
         }
     }
 }
@@ -966,7 +1016,7 @@ mod tests {
     fn count_reader() -> RecordReadFn {
         Rc::new(|input, ctx| {
             let TaskInput::Bytes(b) = input else {
-                return Err(MrError("expected bytes".into()));
+                return Err(MrError::msg("expected bytes"));
             };
             ctx.charge("scan", ctx.cost().scan_per_byte * b.len() as f64);
             let mut counts: BTreeMap<u8, usize> = BTreeMap::new();
@@ -985,11 +1035,11 @@ mod tests {
             let mut total: u64 = 0;
             for v in values {
                 let Payload::Bytes(b) = v else {
-                    return Err(MrError("expected byte value".into()));
+                    return Err(MrError::msg("expected byte value"));
                 };
                 total += String::from_utf8_lossy(&b)
                     .parse::<u64>()
-                    .map_err(|e| MrError(format!("bad count: {e}")))?;
+                    .map_err(|e| MrError::msg(format!("bad count: {e}")))?;
             }
             Ok(Payload::Bytes(total.to_string().into_bytes()))
         })
@@ -1065,7 +1115,7 @@ mod tests {
         let right = pairs_src(vec![("a", "r1"), ("c", "rc")]);
         let joined = left.join(&right, 2).map(Rc::new(|k, v, _ctx| {
             let Payload::Bytes(b) = v else {
-                return Err(MrError("expected bytes".into()));
+                return Err(MrError::msg("expected bytes"));
             };
             let (l, r) = crate::dataset::decode_join(&b)?;
             Ok(vec![(

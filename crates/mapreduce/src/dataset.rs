@@ -89,7 +89,7 @@ impl Dataset {
             splits,
             Rc::new(|input, ctx| {
                 let TaskInput::Bytes(b) = input else {
-                    return Err(MrError("from_split_bytes: expected byte input".into()));
+                    return Err(MrError::msg("from_split_bytes: expected byte input"));
                 };
                 Ok(vec![(ctx.input_tag().to_string(), Payload::Bytes(b))])
             }),
@@ -151,7 +151,7 @@ impl Dataset {
                 match v {
                     Payload::Bytes(b) => values.push(b),
                     Payload::Frame(_) => {
-                        return Err(MrError(format!(
+                        return Err(MrError::msg(format!(
                             "group_by_key: frame payload under key {key:?} (bytes only)"
                         )))
                     }
@@ -181,7 +181,7 @@ impl Dataset {
             let mut rights: Vec<Vec<u8>> = Vec::new();
             for (tag, v) in tagged {
                 let Payload::Bytes(b) = v else {
-                    return Err(MrError(format!(
+                    return Err(MrError::msg(format!(
                         "join: frame payload under key {key:?} (bytes only)"
                     )));
                 };
@@ -225,7 +225,7 @@ pub fn decode_group(mut bytes: &[u8]) -> Result<Vec<Vec<u8>>, MrError> {
     let mut out = Vec::new();
     while !bytes.is_empty() {
         let (head, rest) = bytes.split_at_checked(4).ok_or_else(|| {
-            MrError(format!(
+            MrError::msg(format!(
                 "decode_group: truncated length prefix ({} bytes left)",
                 bytes.len()
             ))
@@ -233,9 +233,9 @@ pub fn decode_group(mut bytes: &[u8]) -> Result<Vec<Vec<u8>>, MrError> {
         let mut len_buf = [0u8; 4];
         len_buf.copy_from_slice(head);
         let len = u32::from_le_bytes(len_buf) as usize;
-        let (value, rest) = rest
-            .split_at_checked(len)
-            .ok_or_else(|| MrError(format!("decode_group: value truncated (want {len} bytes)")))?;
+        let (value, rest) = rest.split_at_checked(len).ok_or_else(|| {
+            MrError::msg(format!("decode_group: value truncated (want {len} bytes)"))
+        })?;
         out.push(value.to_vec());
         bytes = rest;
     }
@@ -253,7 +253,7 @@ pub fn decode_join(bytes: &[u8]) -> Result<(Vec<u8>, Vec<u8>), MrError> {
     let mut it = parts.into_iter();
     match (it.next(), it.next(), it.next()) {
         (Some(l), Some(r), None) => Ok((l, r)),
-        _ => Err(MrError("decode_join: expected exactly two parts".into())),
+        _ => Err(MrError::msg("decode_join: expected exactly two parts")),
     }
 }
 

@@ -248,6 +248,31 @@ pub fn integrity_counter_delta(
     out
 }
 
+/// Counter deltas for the hedged-read events one block read produced.
+/// Folding the cluster-wide [`hdfs::HedgeStats`] delta into attempt-local
+/// counters keeps `hedged_reads`/`hedged_read_wins` exact under retries and
+/// speculation — a failed attempt's hedges vanish with its counters.
+pub fn hedge_counter_delta(
+    before: hdfs::HedgeStats,
+    after: hdfs::HedgeStats,
+) -> Vec<(&'static str, f64)> {
+    use crate::counters::keys;
+    let mut out = Vec::new();
+    if after.hedged_reads > before.hedged_reads {
+        out.push((
+            keys::HEDGED_READS,
+            (after.hedged_reads - before.hedged_reads) as f64,
+        ));
+    }
+    if after.hedged_read_wins > before.hedged_read_wins {
+        out.push((
+            keys::HEDGED_READ_WINS,
+            (after.hedged_read_wins - before.hedged_read_wins) as f64,
+        ));
+    }
+    out
+}
+
 /// Reads one real HDFS block (the vanilla Hadoop record reader).
 pub struct HdfsBlockFetcher {
     pub path: String,
@@ -258,13 +283,22 @@ impl SplitFetcher for HdfsBlockFetcher {
     fn fetch(&self, env: &MrEnv, sim: &mut Sim, node: NodeId, done: FetchDone) {
         // HDFS block reads address blocks, not paths; count the read (and
         // test it against the fault plan) under the file path here.
-        if let Some(nth) = sim.faults.take_read_fault(&self.path) {
-            let e = MrError(format!(
-                "injected I/O error on read #{nth} of {}",
-                self.path
-            ));
-            sim.after(0.0, move |sim| done(sim, Err(e)));
-            return;
+        match sim.faults.take_read_outcome(&self.path) {
+            simnet::ReadOutcome::Fail { nth } => {
+                let e = MrError::msg(format!(
+                    "injected I/O error on read #{nth} of {}",
+                    self.path
+                ));
+                sim.after(0.0, move |sim| done(sim, Err(e)));
+                return;
+            }
+            simnet::ReadOutcome::Hang { .. } => {
+                // The read never completes — drop the callback so only the
+                // driver's hang deadline can recover the attempt.
+                drop(done);
+                return;
+            }
+            _ => {}
         }
         let block = {
             let h = env.hdfs.borrow();
@@ -273,7 +307,7 @@ impl SplitFetcher for HdfsBlockFetcher {
                     Some(b) => b.clone(),
                     None => {
                         drop(h);
-                        let e = MrError(format!(
+                        let e = MrError::msg(format!(
                             "block #{} of {} out of range",
                             self.block_index, self.path
                         ));
@@ -283,7 +317,7 @@ impl SplitFetcher for HdfsBlockFetcher {
                 },
                 Err(e) => {
                     drop(h);
-                    let e = MrError(format!("hdfs: {e}"));
+                    let e = MrError::msg(format!("hdfs: {e}"));
                     sim.after(0.0, move |sim| done(sim, Err(e)));
                     return;
                 }
@@ -296,19 +330,24 @@ impl SplitFetcher for HdfsBlockFetcher {
         // attempt-local counters, so a failed attempt's events are dropped
         // with it — exactly like every other per-attempt counter.
         let before = env.hdfs.borrow().integrity;
+        let hedge_before = env.hdfs.borrow().hedge_stats;
         let env2 = env.clone();
         let done_cell = std::rc::Rc::new(std::cell::RefCell::new(Some(done)));
         let dc = done_cell.clone();
         let res = hdfs::read_block(sim, &env.topo, &env.hdfs, node, &block, move |sim, data| {
             if let Some(d) = dc.borrow_mut().take() {
                 let mut fr = FetchResult::plain(TaskInput::Bytes(data.as_ref().clone()));
-                fr.counters = integrity_counter_delta(before, env2.hdfs.borrow().integrity);
+                let h = env2.hdfs.borrow();
+                fr.counters = integrity_counter_delta(before, h.integrity);
+                fr.counters
+                    .extend(hedge_counter_delta(hedge_before, h.hedge_stats));
+                drop(h);
                 d(sim, Ok(fr));
             }
         });
         if let Err(e) = res {
             if let Some(d) = done_cell.borrow_mut().take() {
-                let e = MrError(format!("hdfs: {e} ({})", self.path));
+                let e = MrError::msg(format!("hdfs: {e} ({})", self.path));
                 sim.after(0.0, move |sim| d(sim, Err(e)));
             }
         }
@@ -417,7 +456,7 @@ impl FlatPfsFetcher {
         );
         if let Err(e) = res {
             if let Some(done) = done_cell.borrow_mut().take() {
-                let e = MrError(format!("pfs: {e}"));
+                let e = MrError::msg(format!("pfs: {e}"));
                 sim.after(0.0, move |sim| done(sim, Err(e)));
             }
         }
@@ -468,7 +507,7 @@ impl PieceStream for FlatPieceStream {
         );
         if let Err(e) = res {
             if let Some(done) = done_cell.borrow_mut().take() {
-                let e = MrError(format!("pfs: {e}"));
+                let e = MrError::msg(format!("pfs: {e}"));
                 sim.after(0.0, move |sim| done(sim, Err(e)));
             }
         }
@@ -479,7 +518,7 @@ impl PieceStream for FlatPieceStream {
         for (i, p) in self.parts.borrow_mut().iter_mut().enumerate() {
             match p.take() {
                 Some(bytes) => acc.extend_from_slice(&bytes),
-                None => return Err(MrError(format!("stream piece {i} missing at finish"))),
+                None => return Err(MrError::msg(format!("stream piece {i} missing at finish"))),
             }
         }
         Ok(FetchResult::plain(TaskInput::Bytes(acc)))

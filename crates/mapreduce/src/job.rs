@@ -11,13 +11,39 @@ use crate::cluster::{Cluster, MrEnv};
 use crate::counters::{keys, Counters};
 use crate::input::{InputSplit, PieceStream, TaskInput};
 
-/// Task-level failure.
+/// Task- or job-level failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct MrError(pub String);
+pub enum MrError {
+    /// Free-form task failure (fetch error, user code error, injected
+    /// fault) — the catch-all the engine has always reported.
+    Msg(String),
+    /// Graceful-degradation floor breached: the cluster's live task slots
+    /// fell below [`FtConfig::min_live_slots`], so the driver failed fast
+    /// instead of limping on (or stalling) at hopeless parallelism.
+    QuorumLost { live_slots: usize, floor: usize },
+}
+
+impl MrError {
+    /// A free-form failure (the old `MrError::msg(msg)` constructor).
+    pub fn msg(m: impl Into<String>) -> MrError {
+        MrError::Msg(m.into())
+    }
+
+    /// The failure text without the `Display` prefix — what upper layers
+    /// match on to classify errors.
+    pub fn message(&self) -> String {
+        match self {
+            MrError::Msg(m) => m.clone(),
+            MrError::QuorumLost { live_slots, floor } => {
+                format!("quorum lost: {live_slots} live slot(s), floor is {floor}")
+            }
+        }
+    }
+}
 
 impl fmt::Display for MrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "task failed: {}", self.0)
+        write!(f, "task failed: {}", self.message())
     }
 }
 
@@ -146,6 +172,35 @@ pub struct FtConfig {
     /// Fraction of maps that must have committed before speculation is
     /// considered (there is no meaningful median earlier).
     pub speculative_min_completed: f64,
+    /// Simulated seconds between failure-detector heartbeat ticks. The
+    /// detector only arms itself when the installed fault plan contains
+    /// hangs or partitions, so clean runs carry zero detector events.
+    pub heartbeat_interval_s: f64,
+    /// Consecutive missed heartbeats before a node is *suspected*.
+    pub suspect_after_misses: usize,
+    /// Consecutive missed heartbeats before a suspected node is *declared
+    /// dead*: its slots are withdrawn and its tasks requeued. Unlike a
+    /// fault-plan kill this is reversible — heartbeats resuming (a healed
+    /// partition) reinstate the node.
+    pub dead_after_misses: usize,
+    /// Per-attempt hang deadline = `max(hang_deadline_min_s, factor × q75
+    /// of committed map durations)`. An attempt still running past its
+    /// deadline is declared hung and failed (0 disables deadline checks).
+    pub hang_deadline_factor: f64,
+    /// Deadline floor while too few maps have committed for a meaningful
+    /// duration quantile.
+    pub hang_deadline_min_s: f64,
+    /// Base of the exponential retry backoff: the k-th retry of a task
+    /// waits `min(base·2^(k−1), retry_backoff_max_s)` scaled by a
+    /// deterministic jitter in [0.5, 1.5) drawn from the fault-plan seed
+    /// (0 requeues immediately, the historical behaviour).
+    pub retry_backoff_base_s: f64,
+    /// Cap on one backoff delay.
+    pub retry_backoff_max_s: f64,
+    /// Graceful-degradation floor: if the cluster's usable task slots drop
+    /// below this, the job fails fast with [`MrError::QuorumLost`] instead
+    /// of limping on at hopeless parallelism (0 disables the floor).
+    pub min_live_slots: usize,
 }
 
 impl Default for FtConfig {
@@ -156,6 +211,14 @@ impl Default for FtConfig {
             speculative: true,
             speculative_slowdown: 2.0,
             speculative_min_completed: 0.5,
+            heartbeat_interval_s: 3.0,
+            suspect_after_misses: 2,
+            dead_after_misses: 4,
+            hang_deadline_factor: 3.0,
+            hang_deadline_min_s: 45.0,
+            retry_backoff_base_s: 0.0,
+            retry_backoff_max_s: 30.0,
+            min_live_slots: 0,
         }
     }
 }
@@ -318,8 +381,12 @@ impl JobResult {
     }
 
     /// One-line fault-tolerance summary from the counters: attempts vs
-    /// committed tasks, retries, speculation, blacklisting. `None` when the
-    /// run was clean (every task committed on its first and only attempt).
+    /// committed tasks, retries, speculation, blacklisting, plus — when they
+    /// occurred — lineage recoveries and failure-detector events (hangs,
+    /// suspicions, reinstatements, hedged reads). `None` when the run was
+    /// clean (every task committed on its first and only attempt and no
+    /// detector event fired). `stages_run` alone never triggers a summary:
+    /// a multi-stage DAG is not a fault.
     pub fn fault_summary(&self) -> Option<String> {
         let c = &self.counters;
         let attempts = c.get(keys::MAP_ATTEMPTS) + c.get(keys::REDUCE_ATTEMPTS);
@@ -327,14 +394,50 @@ impl JobResult {
         let retries = c.get(keys::TASK_RETRIES);
         let spec = c.get(keys::SPECULATIVE_LAUNCHED);
         let black = c.get(keys::NODE_BLACKLISTED);
-        if attempts <= tasks && retries == 0.0 && spec == 0.0 && black == 0.0 {
+        let lineage = c.get(keys::LINEAGE_RECOMPUTES);
+        let lost = c.get(keys::SHUFFLE_PARTITIONS_LOST);
+        let hangs = c.get(keys::TASKS_HANG_DETECTED);
+        let suspected = c.get(keys::NODES_SUSPECTED);
+        let reinstated = c.get(keys::NODES_REINSTATED);
+        let hedged = c.get(keys::HEDGED_READS);
+        if attempts <= tasks
+            && retries == 0.0
+            && spec == 0.0
+            && black == 0.0
+            && lineage == 0.0
+            && lost == 0.0
+            && hangs == 0.0
+            && suspected == 0.0
+            && hedged == 0.0
+        {
             return None;
         }
-        Some(format!(
+        let mut s = format!(
             "{attempts:.0} attempts for {tasks:.0} tasks ({retries:.0} retries, \
              {spec:.0} speculative launched / {:.0} won, {black:.0} nodes blacklisted)",
             c.get(keys::SPECULATIVE_WON),
-        ))
+        );
+        if lineage > 0.0 || lost > 0.0 {
+            s.push_str(&format!(
+                "; {lost:.0} shuffle partition(s) lost, {lineage:.0} lineage recompute(s) \
+                 over {:.0} stage run(s)",
+                c.get(keys::STAGES_RUN),
+            ));
+        }
+        if hangs > 0.0 || suspected > 0.0 || reinstated > 0.0 {
+            s.push_str(&format!(
+                "; detector: {hangs:.0} hang(s), {suspected:.0} suspected / \
+                 {reinstated:.0} reinstated, {:.0} heartbeats missed",
+                c.get(keys::HEARTBEATS_MISSED),
+            ));
+        }
+        if hedged > 0.0 {
+            s.push_str(&format!(
+                "; {hedged:.0} hedged read(s) / {:.0} won",
+                c.get(keys::HEDGED_READ_WINS),
+            ));
+        }
+        Some(s)
     }
 
     /// Streaming-fallback summary from the counters: committed map tasks
@@ -404,6 +507,19 @@ struct Driver {
     node_dead: Vec<bool>,
     node_blacklisted: Vec<bool>,
     node_failures: Vec<usize>,
+    /// Suspicion ladder of the heartbeat failure detector (healthy →
+    /// suspected → declared dead). Unlike `node_dead`, declared-dead is
+    /// reversible: resumed heartbeats reinstate the node.
+    node_suspected: Vec<bool>,
+    node_declared_dead: Vec<bool>,
+    /// Consecutive heartbeat misses per node.
+    hb_misses: Vec<usize>,
+    /// Per-attempt hang deadlines armed (hangs, read hangs or partitions
+    /// present — a partitioned node's completions are dropped and only a
+    /// deadline can recover an attempt stranded by a short partition).
+    hang_checks_armed: bool,
+    /// Deterministic jitter for retry backoff, seeded from the fault plan.
+    backoff_rng: scirng::Rng,
     n_maps: usize,
     maps_done: usize,
     map_states: Vec<TaskState>,
@@ -426,7 +542,33 @@ type SharedDriver = Rc<RefCell<Driver>>;
 
 impl Driver {
     fn node_usable(&self, n: usize) -> bool {
-        !self.node_dead[n] && !self.node_blacklisted[n]
+        !self.node_dead[n] && !self.node_blacklisted[n] && !self.node_declared_dead[n]
+    }
+
+    /// Usable task slots across the cluster (capacity, not free slots).
+    fn live_slots(&self) -> usize {
+        (0..self.node_dead.len())
+            .filter(|&n| self.node_usable(n))
+            .map(|_| self.env.slots_per_node)
+            .sum()
+    }
+
+    /// The quorum check: `Some(error)` when the graceful-degradation floor
+    /// is breached.
+    fn quorum_breach(&self) -> Option<MrError> {
+        let floor = self.job.ft.min_live_slots;
+        if floor == 0 {
+            return None;
+        }
+        let live = self.live_slots();
+        if live < floor {
+            Some(MrError::QuorumLost {
+                live_slots: live,
+                floor,
+            })
+        } else {
+            None
+        }
     }
 
     fn task_state_mut(&mut self, kind: TaskKind, task: usize) -> &mut TaskState {
@@ -450,6 +592,15 @@ impl Driver {
 fn attempt_live(d: &SharedDriver, id: AttemptId) -> bool {
     let dd = d.borrow();
     dd.alive() && dd.attempts.contains_key(&id)
+}
+
+/// A worker the driver cannot hear from right now: hung, or cut off by an
+/// active partition. Completion callbacks from silent nodes are dropped —
+/// the report never reaches the driver — and only the failure detector
+/// (heartbeats, hang deadlines) can recover the stranded attempt.
+fn node_silent(sim: &Sim, node: NodeId) -> bool {
+    let now = sim.now().secs();
+    sim.faults.node_hung(node.0, now) || sim.faults.partition_isolated(node.0, now)
 }
 
 fn stable_hash(s: &str) -> u64 {
@@ -493,6 +644,14 @@ pub fn submit_job_env(
         .map(|n| sim.faults.node_dead(n as u32, now))
         .collect();
     let n_reducers = job.n_reducers;
+    // Arm the detector machinery only when the plan can actually produce
+    // silence: hangs and partitions never complete on their own, so only a
+    // heartbeat/deadline can recover from them. Clean (and merely slow or
+    // crashy) plans keep the driver's event stream exactly as before.
+    let plan = sim.faults.plan();
+    let detector_armed = !plan.node_hangs.is_empty() || !plan.partitions.is_empty();
+    let hang_checks_armed = detector_armed || !plan.read_hangs.is_empty();
+    let backoff_rng = scirng::Rng::seed_from_u64(plan.seed ^ 0x6861_6e67_5f64_6574);
     let d = Rc::new(RefCell::new(Driver {
         free_slots: node_dead
             .iter()
@@ -501,6 +660,11 @@ pub fn submit_job_env(
         node_dead,
         node_blacklisted: vec![false; n_nodes],
         node_failures: vec![0; n_nodes],
+        node_suspected: vec![false; n_nodes],
+        node_declared_dead: vec![false; n_nodes],
+        hb_misses: vec![0; n_nodes],
+        hang_checks_armed,
+        backoff_rng,
         env,
         start_s: now,
         pending_maps: (0..n_maps).collect(),
@@ -536,6 +700,34 @@ pub fn submit_job_env(
         sim.at(simnet::SimTime(t), move |sim| {
             on_node_killed(sim, &d2, node as usize)
         });
+    }
+    if detector_armed {
+        // Count partitions whose onset falls inside the run, then start the
+        // heartbeat loop (ticks stop rescheduling once the job finishes).
+        let mut onset_now = 0u64;
+        let mut future_onsets: Vec<f64> = Vec::new();
+        for spec in &sim.faults.plan().partitions {
+            if spec.from_s > now {
+                future_onsets.push(spec.from_s);
+            } else if spec.active(now) {
+                onset_now += 1;
+            }
+        }
+        if onset_now > 0 {
+            d.borrow_mut()
+                .counters
+                .add(keys::PARTITIONS_OBSERVED, onset_now as f64);
+        }
+        for t in future_onsets {
+            let d2 = d.clone();
+            sim.at(simnet::SimTime(t), move |_sim| {
+                let mut dd = d2.borrow_mut();
+                if dd.alive() {
+                    dd.counters.add(keys::PARTITIONS_OBSERVED, 1.0);
+                }
+            });
+        }
+        schedule_heartbeat(sim, &d, 1);
     }
     if n_maps == 0 {
         let d2 = d.clone();
@@ -676,7 +868,7 @@ fn try_schedule(sim: &mut Sim, d: &SharedDriver) {
                 fail_job(
                     sim,
                     d,
-                    MrError(format!(
+                    MrError::msg(format!(
                         "no usable nodes left for {waiting} pending task(s)"
                     )),
                 );
@@ -688,9 +880,11 @@ fn try_schedule(sim: &mut Sim, d: &SharedDriver) {
 }
 
 /// Register a new attempt of `task` on `node` and charge the attempt-level
-/// counters (these are job-global meta counters, not task output).
+/// counters (these are job-global meta counters, not task output). When the
+/// hang deadline is armed, a deadline check is queued at the instant the
+/// attempt would be declared hung.
 fn register_attempt(
-    sim: &Sim,
+    sim: &mut Sim,
     d: &SharedDriver,
     kind: TaskKind,
     task: usize,
@@ -698,40 +892,62 @@ fn register_attempt(
     local: bool,
     speculative: bool,
 ) -> AttemptId {
-    let mut dd = d.borrow_mut();
-    let id = dd.next_attempt;
-    dd.next_attempt += 1;
-    dd.attempts.insert(
-        id,
-        AttemptInfo {
-            kind,
-            task,
-            node,
-            start_s: sim.now().secs(),
-            local,
-            speculative,
-            spec_check_scheduled: false,
-        },
-    );
-    {
-        let st = dd.task_state_mut(kind, task);
-        st.started += 1;
-        if speculative {
-            st.speculated = true;
-        } else {
-            st.regular_started += 1;
+    let (id, deadline) = {
+        let mut dd = d.borrow_mut();
+        let id = dd.next_attempt;
+        dd.next_attempt += 1;
+        dd.attempts.insert(
+            id,
+            AttemptInfo {
+                kind,
+                task,
+                node,
+                start_s: sim.now().secs(),
+                local,
+                speculative,
+                spec_check_scheduled: false,
+            },
+        );
+        {
+            let st = dd.task_state_mut(kind, task);
+            st.started += 1;
+            if speculative {
+                st.speculated = true;
+            } else {
+                st.regular_started += 1;
+            }
+            st.live.push(id);
         }
-        st.live.push(id);
-    }
-    dd.counters.add(
-        match kind {
-            TaskKind::Map => keys::MAP_ATTEMPTS,
-            TaskKind::Reduce => keys::REDUCE_ATTEMPTS,
-        },
-        1.0,
-    );
-    if speculative {
-        dd.counters.add(keys::SPECULATIVE_LAUNCHED, 1.0);
+        dd.counters.add(
+            match kind {
+                TaskKind::Map => keys::MAP_ATTEMPTS,
+                TaskKind::Reduce => keys::REDUCE_ATTEMPTS,
+            },
+            1.0,
+        );
+        if speculative {
+            dd.counters.add(keys::SPECULATIVE_LAUNCHED, 1.0);
+        }
+        let factor = dd.job.ft.hang_deadline_factor;
+        let deadline = if dd.hang_checks_armed && factor > 0.0 {
+            // Adaptive deadline: a generous multiple of the q75 committed
+            // map duration, floored while too few maps have finished.
+            Some(
+                dd.job
+                    .ft
+                    .hang_deadline_min_s
+                    .max(factor * quantile(&dd.map_durations, 0.75)),
+            )
+        } else {
+            None
+        };
+        (id, deadline)
+    };
+    if let Some(deadline) = deadline {
+        let d2 = d.clone();
+        sim.after(deadline, move |sim| {
+            hang_deadline_check(sim, &d2, id, deadline)
+        });
     }
     id
 }
@@ -741,7 +957,30 @@ fn register_attempt(
 /// are exhausted — in which case the job fails with the attempt's error,
 /// unchanged.
 fn attempt_failed(sim: &mut Sim, d: &SharedDriver, id: AttemptId, err: MrError) {
-    let exhausted = {
+    attempt_failed_inner(sim, d, id, err, true)
+}
+
+/// `count_node_failure`: whether the failure counts against the node's
+/// blacklist tally. The hang detector passes `false` for attempts stranded
+/// by a hung or partitioned node — the *fault* silenced them, and
+/// blacklisting would make a healed partition permanent.
+fn attempt_failed_inner(
+    sim: &mut Sim,
+    d: &SharedDriver,
+    id: AttemptId,
+    err: MrError,
+    count_node_failure: bool,
+) {
+    enum Next {
+        Fail(MrError),
+        Requeue {
+            delay: f64,
+            kind: TaskKind,
+            task: usize,
+        },
+        Schedule,
+    }
+    let next = {
         let mut dd = d.borrow_mut();
         if !dd.alive() {
             return;
@@ -755,36 +994,84 @@ fn attempt_failed(sim: &mut Sim, d: &SharedDriver, id: AttemptId, err: MrError) 
             st.live.retain(|&x| x != id);
             (st.done, !st.live.is_empty(), st.regular_started)
         };
-        if !dd.node_dead[node] {
+        let mut breach: Option<MrError> = None;
+        if !dd.node_dead[node] && !dd.node_declared_dead[node] {
             dd.free_slots[node] += 1;
-            dd.node_failures[node] += 1;
-            let th = dd.job.ft.node_blacklist_threshold;
-            let usable = (0..dd.node_dead.len())
-                .filter(|&n| dd.node_usable(n))
-                .count();
-            if th > 0 && !dd.node_blacklisted[node] && dd.node_failures[node] >= th && usable > 1 {
-                dd.node_blacklisted[node] = true;
-                dd.counters.add(keys::NODE_BLACKLISTED, 1.0);
+            if count_node_failure {
+                dd.node_failures[node] += 1;
+                let th = dd.job.ft.node_blacklist_threshold;
+                let usable = (0..dd.node_dead.len())
+                    .filter(|&n| dd.node_usable(n))
+                    .count();
+                if th > 0
+                    && !dd.node_blacklisted[node]
+                    && dd.node_failures[node] >= th
+                    && usable > 1
+                {
+                    dd.node_blacklisted[node] = true;
+                    dd.counters.add(keys::NODE_BLACKLISTED, 1.0);
+                    breach = dd.quorum_breach();
+                }
             }
         }
-        if task_done || others_running {
+        if let Some(e) = breach {
+            Next::Fail(e)
+        } else if task_done || others_running {
             // A speculative twin died while its sibling lives on (or after
             // the task already committed): nothing to requeue.
-            None
+            Next::Schedule
         } else if regular_started >= dd.job.ft.max_task_attempts.max(1) {
-            Some(err)
+            Next::Fail(err)
         } else {
             dd.counters.add(keys::TASK_RETRIES, 1.0);
-            match info.kind {
-                TaskKind::Map => dd.pending_maps.push_back(info.task),
-                TaskKind::Reduce => dd.pending_reduces.push_back(info.task),
+            // Exponential backoff with deterministic jitter: the k-th retry
+            // of this task waits before requeueing, easing pressure on a
+            // struggling cluster. Off (base = 0) requeues immediately.
+            let base = dd.job.ft.retry_backoff_base_s;
+            let retries = regular_started.saturating_sub(1).max(1) as u32;
+            let delay = if base > 0.0 {
+                let raw = base * 2f64.powi(retries as i32 - 1);
+                let jitter = 0.5 + dd.backoff_rng.f64();
+                raw.min(dd.job.ft.retry_backoff_max_s.max(base)) * jitter
+            } else {
+                0.0
+            };
+            if delay <= 0.0 {
+                match info.kind {
+                    TaskKind::Map => dd.pending_maps.push_back(info.task),
+                    TaskKind::Reduce => dd.pending_reduces.push_back(info.task),
+                }
             }
-            None
+            Next::Requeue {
+                delay,
+                kind: info.kind,
+                task: info.task,
+            }
         }
     };
-    match exhausted {
-        Some(e) => fail_job(sim, d, e),
-        None => try_schedule(sim, d),
+    match next {
+        Next::Fail(e) => fail_job(sim, d, e),
+        Next::Schedule => try_schedule(sim, d),
+        Next::Requeue { delay, kind, task } if delay > 0.0 => {
+            // The task stays out of the pending queue until the backoff
+            // expires — a held-back task cannot trip the Stuck detector
+            // because its requeue event is always in flight.
+            let d2 = d.clone();
+            sim.after(delay, move |sim| {
+                {
+                    let mut dd = d2.borrow_mut();
+                    if !dd.alive() {
+                        return;
+                    }
+                    match kind {
+                        TaskKind::Map => dd.pending_maps.push_back(task),
+                        TaskKind::Reduce => dd.pending_reduces.push_back(task),
+                    }
+                }
+                try_schedule(sim, &d2);
+            });
+        }
+        Next::Requeue { .. } => try_schedule(sim, d),
     }
 }
 
@@ -804,7 +1091,7 @@ fn on_node_killed(sim: &mut Sim, d: &SharedDriver, node: usize) {
             .filter(|(_, i)| i.node.0 as usize == node)
             .map(|(&id, _)| id)
             .collect();
-        let mut exhausted: Option<MrError> = None;
+        let mut exhausted: Option<MrError> = dd.quorum_breach();
         for id in victims {
             let info = dd.attempts.remove(&id).expect("victim attempt present");
             let (task_done, others_running, regular_started) = {
@@ -816,7 +1103,7 @@ fn on_node_killed(sim: &mut Sim, d: &SharedDriver, node: usize) {
                 continue;
             }
             if regular_started >= dd.job.ft.max_task_attempts.max(1) {
-                exhausted.get_or_insert(MrError(format!(
+                exhausted.get_or_insert(MrError::msg(format!(
                     "{:?} task {} lost to death of node {} after {} attempts",
                     info.kind, info.task, node, regular_started
                 )));
@@ -834,6 +1121,182 @@ fn on_node_killed(sim: &mut Sim, d: &SharedDriver, node: usize) {
         Some(e) => fail_job(sim, d, e),
         None => try_schedule(sim, d),
     }
+}
+
+/// Queue heartbeat tick `k` of the failure detector at
+/// `start + k·interval` simulated seconds. Each tick reschedules the next
+/// while the job is alive, so the loop dies with the job and never keeps
+/// the simulator spinning.
+fn schedule_heartbeat(sim: &mut Sim, d: &SharedDriver, tick: u64) {
+    let (start, interval) = {
+        let dd = d.borrow();
+        (dd.start_s, dd.job.ft.heartbeat_interval_s)
+    };
+    if interval <= 0.0 || !interval.is_finite() {
+        return;
+    }
+    let d2 = d.clone();
+    sim.at(
+        simnet::SimTime(start + tick as f64 * interval),
+        move |sim| heartbeat_tick(sim, &d2, tick),
+    );
+}
+
+/// One detector tick: a node inside an active partition or past its hang
+/// onset cannot deliver a heartbeat; consecutive misses walk it up the
+/// suspicion ladder (suspected → declared dead), and a resumed heartbeat
+/// (healed partition) walks it back down — reinstating its slots instead of
+/// blacklisting it for good.
+fn heartbeat_tick(sim: &mut Sim, d: &SharedDriver, tick: u64) {
+    let (declare, reinstated) = {
+        let mut dd = d.borrow_mut();
+        if !dd.alive() {
+            return; // job finished: stop ticking
+        }
+        let now = sim.now().secs();
+        let n_nodes = dd.node_dead.len();
+        let suspect_after = dd.job.ft.suspect_after_misses.max(1);
+        let dead_after = dd.job.ft.dead_after_misses.max(suspect_after);
+        let mut declare: Vec<usize> = Vec::new();
+        let mut reinstated = false;
+        for n in 0..n_nodes {
+            if dd.node_dead[n] || dd.node_blacklisted[n] {
+                continue; // permanently out of the detector's scope
+            }
+            let silent =
+                sim.faults.node_hung(n as u32, now) || sim.faults.partition_isolated(n as u32, now);
+            if silent {
+                dd.hb_misses[n] += 1;
+                dd.counters.add(keys::HEARTBEATS_MISSED, 1.0);
+                if dd.hb_misses[n] >= suspect_after && !dd.node_suspected[n] {
+                    dd.node_suspected[n] = true;
+                    dd.counters.add(keys::NODES_SUSPECTED, 1.0);
+                }
+                if dd.hb_misses[n] >= dead_after && !dd.node_declared_dead[n] {
+                    declare.push(n);
+                }
+            } else if dd.hb_misses[n] > 0 {
+                // Heartbeats resumed: clear suspicion and give the node its
+                // slots back if it had been declared dead.
+                dd.hb_misses[n] = 0;
+                if dd.node_suspected[n] || dd.node_declared_dead[n] {
+                    dd.counters.add(keys::NODES_REINSTATED, 1.0);
+                }
+                dd.node_suspected[n] = false;
+                if dd.node_declared_dead[n] {
+                    dd.node_declared_dead[n] = false;
+                    dd.free_slots[n] = dd.env.slots_per_node;
+                    reinstated = true;
+                }
+            }
+        }
+        (declare, reinstated)
+    };
+    for n in declare {
+        on_node_declared_dead(sim, d, n);
+    }
+    if reinstated {
+        try_schedule(sim, d);
+    }
+    if d.borrow().alive() {
+        schedule_heartbeat(sim, d, tick + 1);
+    }
+}
+
+/// The detector declared `node` dead: withdraw its slots, orphan its live
+/// attempts and requeue their tasks — exactly like a fault-plan kill except
+/// the state is reversible (a later heartbeat reinstates the node) and the
+/// node's failure tally is untouched, so a healed partition never leaves
+/// the node blacklisted.
+fn on_node_declared_dead(sim: &mut Sim, d: &SharedDriver, node: usize) {
+    let exhausted = {
+        let mut dd = d.borrow_mut();
+        if !dd.alive() || dd.node_dead[node] || dd.node_declared_dead[node] {
+            return;
+        }
+        dd.node_declared_dead[node] = true;
+        dd.free_slots[node] = 0;
+        let victims: Vec<AttemptId> = dd
+            .attempts
+            .iter()
+            .filter(|(_, i)| i.node.0 as usize == node)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut exhausted: Option<MrError> = dd.quorum_breach();
+        for id in victims {
+            let info = dd.attempts.remove(&id).expect("victim attempt present");
+            let (task_done, others_running, regular_started) = {
+                let st = dd.task_state_mut(info.kind, info.task);
+                st.live.retain(|&x| x != id);
+                (st.done, !st.live.is_empty(), st.regular_started)
+            };
+            if task_done || others_running {
+                continue;
+            }
+            if regular_started >= dd.job.ft.max_task_attempts.max(1) {
+                exhausted.get_or_insert(MrError::msg(format!(
+                    "{:?} task {} lost to declared-dead node {} after {} attempts",
+                    info.kind, info.task, node, regular_started
+                )));
+            } else {
+                dd.counters.add(keys::TASK_RETRIES, 1.0);
+                match info.kind {
+                    TaskKind::Map => dd.pending_maps.push_back(info.task),
+                    TaskKind::Reduce => dd.pending_reduces.push_back(info.task),
+                }
+            }
+        }
+        exhausted
+    };
+    match exhausted {
+        Some(e) => fail_job(sim, d, e),
+        None => try_schedule(sim, d),
+    }
+}
+
+/// The per-attempt deadline fired: the attempt is hung if it is still in
+/// flight. Hangs on a silenced node (hung or partitioned) are charged to
+/// the fault, not the node — its failure tally stays untouched so a healed
+/// partition reinstates a clean node; a hung *read* on a healthy node
+/// counts as an ordinary task failure.
+fn hang_deadline_check(sim: &mut Sim, d: &SharedDriver, id: AttemptId, deadline: f64) {
+    let verdict = {
+        let mut dd = d.borrow_mut();
+        if !dd.alive() {
+            return;
+        }
+        let Some(info) = dd.attempts.get(&id) else {
+            return; // finished, failed or orphaned before the deadline
+        };
+        let (kind, task, node) = (info.kind, info.task, info.node.0 as usize);
+        let now = sim.now().secs();
+        let node_silent = sim.faults.node_hung(node as u32, now)
+            || sim.faults.partition_isolated(node as u32, now);
+        dd.counters.add(keys::TASKS_HANG_DETECTED, 1.0);
+        (kind, task, node, node_silent)
+    };
+    let (kind, task, node, node_silent) = verdict;
+    attempt_failed_inner(
+        sim,
+        d,
+        id,
+        MrError::msg(format!(
+            "{kind:?} task {task} hung on node {node}: no completion within \
+             its {deadline:.1}s deadline"
+        )),
+        !node_silent,
+    );
+}
+
+/// Sorted `q`-quantile of `v` (nearest-rank); 0 on empty input.
+fn quantile(v: &[f64], q: f64) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    let mut s = v.to_vec();
+    s.sort_by(f64::total_cmp);
+    let idx = ((s.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+    s[idx.min(s.len() - 1)]
 }
 
 fn median(v: &[f64]) -> f64 {
@@ -1040,7 +1503,7 @@ fn run_map_attempt(sim: &mut Sim, d: &SharedDriver, id: AttemptId) {
                 let emitted = ctx.emitted;
                 let d4 = d3.clone();
                 sim.after(compute, move |sim| {
-                    if !attempt_live(&d4, id) {
+                    if !attempt_live(&d4, id) || node_silent(sim, node) {
                         return;
                     }
                     finish_map_compute(sim, &d4, id, phases, emitted, records, acnt)
@@ -1312,7 +1775,7 @@ fn stream_map(
     let emitted = ctx.emitted;
     let d4 = d.clone();
     sim.after((finish_t - now).max(0.0), move |sim| {
-        if !attempt_live(&d4, id) {
+        if !attempt_live(&d4, id) || node_silent(sim, node) {
             return;
         }
         finish_map_compute(sim, &d4, id, phases, emitted, records, acnt)
@@ -1399,7 +1862,7 @@ fn commit_task(
         for o in others {
             if let Some(oi) = dd.attempts.remove(&o) {
                 let n = oi.node.0 as usize;
-                if !dd.node_dead[n] {
+                if !dd.node_dead[n] && !dd.node_declared_dead[n] {
                     dd.free_slots[n] += 1;
                 }
             }
@@ -1460,7 +1923,7 @@ fn commit_task(
             phases,
         });
         let n = info.node.0 as usize;
-        if !dd.node_dead[n] {
+        if !dd.node_dead[n] && !dd.node_declared_dead[n] {
             dd.free_slots[n] += 1;
         }
         kind
@@ -1586,7 +2049,7 @@ fn finish_map_compute(
                 finish_write(sim, phases)
             });
             if let Err(e) = res {
-                attempt_failed(sim, d, id, MrError(format!("hdfs: {e}")));
+                attempt_failed(sim, d, id, MrError::msg(format!("hdfs: {e}")));
             }
         }
     }
@@ -1713,7 +2176,7 @@ fn run_reduce_attempt(sim: &mut Sim, d: &SharedDriver, id: AttemptId) {
                 if let Err(e) = res {
                     // Un-issued pulls keep `remaining` above zero, so the
                     // after_shuffle callback can never double-fire.
-                    spill_read_err = Some(MrError(format!("pfs: {e} ({spill_path})")));
+                    spill_read_err = Some(MrError::msg(format!("pfs: {e} ({spill_path})")));
                     break;
                 }
             } else {
@@ -1784,7 +2247,7 @@ fn reduce_execute(
     let emitted = ctx.emitted;
     let d2 = d.clone();
     sim.after(compute, move |sim| {
-        if !attempt_live(&d2, id) {
+        if !attempt_live(&d2, id) || node_silent(sim, node) {
             return;
         }
         acnt.add(keys::RECORDS_EMITTED, records as f64);
@@ -1816,7 +2279,7 @@ fn reduce_execute(
                 finish(sim, phases)
             });
             if let Err(e) = res {
-                attempt_failed(sim, &d2, id, MrError(format!("hdfs: {e}")));
+                attempt_failed(sim, &d2, id, MrError::msg(format!("hdfs: {e}")));
             }
         }
     });
@@ -1939,7 +2402,7 @@ mod tests {
             splits,
             map_fn: Rc::new(|input, ctx| {
                 let TaskInput::Bytes(b) = input else {
-                    return Err(MrError("expected bytes".into()));
+                    return Err(MrError::msg("expected bytes"));
                 };
                 // Count byte values (stand-in for words).
                 let mut counts: BTreeMap<u8, usize> = BTreeMap::new();
@@ -2086,7 +2549,7 @@ mod tests {
             spill_to_pfs: false,
             output_to_pfs: false,
             splits: mem_splits(2, 10),
-            map_fn: Rc::new(|_, _| Err(MrError("kaboom".into()))),
+            map_fn: Rc::new(|_, _| Err(MrError::msg("kaboom"))),
             reduce_fn: None,
             n_reducers: 1,
             output_dir: "out".into(),
@@ -2095,7 +2558,7 @@ mod tests {
             shuffle: None,
         };
         let r = run_job(&mut c, job);
-        assert_eq!(r.unwrap_err(), MrError("kaboom".into()));
+        assert_eq!(r.unwrap_err(), MrError::msg("kaboom"));
     }
 
     #[test]
@@ -2216,6 +2679,7 @@ mod tests {
             speculative: true,
             speculative_slowdown: 2.0,
             speculative_min_completed: 0.5,
+            ..FtConfig::default()
         };
         let splits = mem_splits(4, 4000);
         let mk_job = |splits: Vec<InputSplit>, ft: FtConfig| Job {
@@ -2225,7 +2689,7 @@ mod tests {
             splits,
             map_fn: Rc::new(|input, ctx| {
                 let TaskInput::Bytes(b) = input else {
-                    return Err(MrError("expected bytes".into()));
+                    return Err(MrError::msg("expected bytes"));
                 };
                 // Compute-bound so the slow-node factor dominates startup.
                 ctx.charge("scan", 10.0);
@@ -2264,5 +2728,161 @@ mod tests {
         // stragglers (which would take ~200s of compute).
         assert!(r.elapsed() < 100.0, "elapsed {}", r.elapsed());
         assert!(r.elapsed() > 2.3 * e, "the kill landed mid-run");
+    }
+
+    /// A compute-bound job whose map charges a fixed `secs` so detector
+    /// timelines are easy to reason about.
+    fn slow_map_job(n_splits: usize, secs: f64, ft: FtConfig) -> Job {
+        Job {
+            name: "slowmap".into(),
+            spill_to_pfs: false,
+            output_to_pfs: false,
+            splits: mem_splits(n_splits, 100),
+            map_fn: Rc::new(move |input, ctx| {
+                let TaskInput::Bytes(b) = input else {
+                    return Err(MrError::msg("expected bytes"));
+                };
+                ctx.charge("scan", secs);
+                ctx.emit(format!("k{}", b[0]), Payload::Bytes(vec![b[0]]));
+                Ok(())
+            }),
+            reduce_fn: Some(Rc::new(|key, values, ctx| {
+                ctx.emit(key, Payload::Bytes(vec![values.len() as u8]));
+                Ok(())
+            })),
+            n_reducers: 1,
+            output_dir: "out".into(),
+            ft,
+            stream: StreamConfig::default(),
+            shuffle: None,
+        }
+    }
+
+    #[test]
+    fn hung_node_is_declared_dead_and_job_degrades() {
+        let mut c = small_cluster(3, 1);
+        c.sim.faults.install(FaultPlan::none().hang_node(2, 0.5));
+        let ft = FtConfig {
+            heartbeat_interval_s: 1.0,
+            suspect_after_misses: 2,
+            dead_after_misses: 3,
+            hang_deadline_min_s: 60.0,
+            ..FtConfig::default()
+        };
+        let r = run_job(&mut c, slow_map_job(6, 2.0, ft)).unwrap();
+        // All tasks complete on the two surviving nodes.
+        assert_eq!(r.counters.get(keys::MAP_TASKS), 6.0);
+        assert_eq!(r.counters.get(keys::REDUCE_TASKS), 1.0);
+        assert!(r.counters.get(keys::HEARTBEATS_MISSED) >= 3.0);
+        assert_eq!(r.counters.get(keys::NODES_SUSPECTED), 1.0);
+        // A hang never heals: no reinstatement, and the detector path must
+        // not blacklist the node (the fault, not the node, is to blame).
+        assert_eq!(r.counters.get(keys::NODES_REINSTATED), 0.0);
+        assert_eq!(r.counters.get(keys::NODE_BLACKLISTED), 0.0);
+        assert!(r.counters.get(keys::TASK_RETRIES) >= 1.0);
+        let summary = r.fault_summary().expect("degraded run has a summary");
+        assert!(summary.contains("suspected"), "summary: {summary}");
+    }
+
+    #[test]
+    fn healed_partition_reinstates_instead_of_blacklisting() {
+        let mut c = small_cluster(3, 1);
+        c.sim
+            .faults
+            .install(FaultPlan::none().partition(&[2], 0.5, 10.0));
+        let ft = FtConfig {
+            heartbeat_interval_s: 1.0,
+            suspect_after_misses: 1,
+            dead_after_misses: 2,
+            hang_deadline_min_s: 60.0,
+            ..FtConfig::default()
+        };
+        // 9 maps x 3s on effectively 2 nodes: the job outlives the heal at
+        // t = 10, so the tick after it sees node 2's heartbeats resume.
+        let r = run_job(&mut c, slow_map_job(9, 3.0, ft)).unwrap();
+        assert_eq!(r.counters.get(keys::MAP_TASKS), 9.0);
+        assert_eq!(r.counters.get(keys::PARTITIONS_OBSERVED), 1.0);
+        assert!(r.counters.get(keys::NODES_SUSPECTED) >= 1.0);
+        assert!(
+            r.counters.get(keys::NODES_REINSTATED) >= 1.0,
+            "healed partition must reinstate: {:?}",
+            r.counters
+        );
+        assert_eq!(
+            r.counters.get(keys::NODE_BLACKLISTED),
+            0.0,
+            "a healed partition must not leave the node blacklisted"
+        );
+    }
+
+    #[test]
+    fn quorum_floor_breached_fails_typed() {
+        let mut c = small_cluster(2, 1);
+        c.sim.faults.install(FaultPlan::none().hang_node(1, 0.2));
+        let ft = FtConfig {
+            heartbeat_interval_s: 1.0,
+            suspect_after_misses: 1,
+            dead_after_misses: 2,
+            min_live_slots: 2,
+            ..FtConfig::default()
+        };
+        let err = run_job(&mut c, slow_map_job(4, 2.0, ft)).unwrap_err();
+        match err {
+            MrError::QuorumLost { live_slots, floor } => {
+                assert_eq!(live_slots, 1);
+                assert_eq!(floor, 2);
+            }
+            other => panic!("expected QuorumLost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_summary_folds_in_detector_and_lineage_counters() {
+        let mk = |f: &dyn Fn(&mut Counters)| {
+            let mut c = Counters::new();
+            c.add(keys::MAP_ATTEMPTS, 4.0);
+            c.add(keys::MAP_TASKS, 4.0);
+            f(&mut c);
+            JobResult {
+                name: "s".into(),
+                start_s: 0.0,
+                end_s: 1.0,
+                tasks: vec![],
+                counters: c,
+            }
+        };
+        // A multi-stage DAG is not a fault: stages_run alone stays silent.
+        assert_eq!(mk(&|c| c.add(keys::STAGES_RUN, 3.0)).fault_summary(), None);
+        let det = mk(&|c| {
+            c.add(keys::TASKS_HANG_DETECTED, 1.0);
+            c.add(keys::NODES_SUSPECTED, 1.0);
+            c.add(keys::NODES_REINSTATED, 1.0);
+            c.add(keys::HEARTBEATS_MISSED, 5.0);
+        });
+        let s = det
+            .fault_summary()
+            .expect("detector events trigger summary");
+        assert!(
+            s.contains("1 hang(s)") && s.contains("1 suspected / 1 reinstated"),
+            "summary: {s}"
+        );
+        let lin = mk(&|c| {
+            c.add(keys::SHUFFLE_PARTITIONS_LOST, 2.0);
+            c.add(keys::LINEAGE_RECOMPUTES, 3.0);
+            c.add(keys::STAGES_RUN, 4.0);
+        });
+        let s = lin
+            .fault_summary()
+            .expect("lineage recovery triggers summary");
+        assert!(
+            s.contains("2 shuffle partition(s) lost") && s.contains("4 stage run(s)"),
+            "summary: {s}"
+        );
+        let hedge = mk(&|c| {
+            c.add(keys::HEDGED_READS, 2.0);
+            c.add(keys::HEDGED_READ_WINS, 1.0);
+        });
+        let s = hedge.fault_summary().expect("hedged reads trigger summary");
+        assert!(s.contains("2 hedged read(s) / 1 won"), "summary: {s}");
     }
 }

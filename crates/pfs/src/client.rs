@@ -93,6 +93,13 @@ pub fn read_at(
             nth,
         });
     }
+    if let ReadOutcome::Hang { .. } = outcome {
+        // The read never completes: drop `done` without scheduling anything
+        // (no flow is started, so the simulator drains cleanly). Only a
+        // caller-side deadline can recover from this.
+        drop(done);
+        return Ok(());
+    }
     let (segments, payload) = {
         let p = pfs.borrow();
         let file = p

@@ -388,7 +388,7 @@ impl<'a> RCtx<'a> {
         cmap: ColorMap,
     ) -> Result<Raster, MrError> {
         let r = image2d(grid, rows, cols, self.raster.0, self.raster.1, cmap)
-            .map_err(|e| MrError(format!("image2d: {e}")))?;
+            .map_err(|e| MrError::msg(format!("image2d: {e}")))?;
         let pixels = self.logical_image.0 * self.logical_image.1;
         self.inner.charge("plot", self.inner.cost().plot(pixels));
         Ok(r)
@@ -404,7 +404,7 @@ impl<'a> RCtx<'a> {
         let logical_rows = (rows as f64 * self.scale) as u64;
         self.inner
             .charge("analysis", self.inner.cost().sql(logical_rows));
-        rframe::sqldf(query, env).map_err(|e| MrError(e.to_string()))
+        rframe::sqldf(query, env).map_err(|e| MrError::msg(e.to_string()))
     }
 
     /// Emit an image keyed for the reduce side (`rhdfs` store).
@@ -489,10 +489,10 @@ pub fn slab_to_frame(
     for (name, col) in dims.iter().zip(coord_cols) {
         df = df
             .with_column(name.clone(), Column::I64(col))
-            .map_err(|e| MrError(format!("slab frame column {name:?}: {e}")))?;
+            .map_err(|e| MrError::msg(format!("slab frame column {name:?}: {e}")))?;
     }
     df.with_column("value", Column::F64(values))
-        .map_err(|e| MrError(format!("slab frame value column: {e}")))
+        .map_err(|e| MrError::msg(format!("slab frame value column: {e}")))
 }
 
 /// Real raster size derived from the dataset scale so that real PNG bytes
@@ -515,12 +515,12 @@ pub fn wrap_r_map(
 ) -> MapFn {
     Rc::new(move |input, ctx| {
         let TaskInput::Array(array) = input else {
-            return Err(MrError(
-                "SciDP R job expects scientific slabs; flat inputs need a bytes map".into(),
+            return Err(MrError::msg(
+                "SciDP R job expects scientific slabs; flat inputs need a bytes map",
             ));
         };
         let (file, var, dims, origin) =
-            decode_tag(ctx.input_tag()).ok_or_else(|| MrError("missing slab tag".into()))?;
+            decode_tag(ctx.input_tag()).ok_or_else(|| MrError::msg("missing slab tag"))?;
         // Convert binary slab into the R data frame ("Convert" in
         // Fig. 7 — cheap for SciDP because the data is already binary).
         let raw = array.len() * array.dtype().size();

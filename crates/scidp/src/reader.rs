@@ -93,14 +93,14 @@ fn chunk_read_attempt(sim: &mut Sim, st: Rc<ChunkRead>, attempt: u32) -> Result<
                 let st3 = st2.clone();
                 if let Err(e) = chunk_read_attempt(sim, st3, 1) {
                     if let Some(d) = st2.done.borrow_mut().take() {
-                        let e = MrError(format!("pfs: {e} ({})", st2.pfs_path));
+                        let e = MrError::msg(format!("pfs: {e} ({})", st2.pfs_path));
                         sim.after(0.0, move |sim| d(sim, Err(e)));
                     }
                 }
             } else {
                 st2.cache.quarantine((st2.file_key, st2.offset));
                 if let Some(d) = st2.done.borrow_mut().take() {
-                    let e = MrError(format!(
+                    let e = MrError::msg(format!(
                         "IntegrityError: chunk {} of {} failed crc32c verification twice; \
                          chunk quarantined",
                         st2.idx, st2.pfs_path
@@ -163,7 +163,8 @@ impl SplitFetcher for SciSlabFetcher {
                     // chunks_for_slab only yields ids inside the chunk
                     // grid; an out-of-range id means the header and the
                     // grid disagree — fail the read, don't drop data.
-                    let e = MrError(format!("chunk id {i} out of range for {}", self.pfs_path));
+                    let e =
+                        MrError::msg(format!("chunk id {i} out of range for {}", self.pfs_path));
                     sim.after(0.0, move |sim| done(sim, Err(e)));
                     return;
                 }
@@ -173,7 +174,7 @@ impl SplitFetcher for SciSlabFetcher {
                 // failures); fail fast instead of re-reading known-bad
                 // data. This stays ahead of zone-map pruning so known-bad
                 // chunks fail identically with and without pushdown.
-                let e = MrError(format!(
+                let e = MrError::msg(format!(
                     "IntegrityError: chunk {i} of {} is quarantined",
                     self.pfs_path
                 ));
@@ -228,14 +229,14 @@ impl SplitFetcher for SciSlabFetcher {
             Rc::new(move |chunks: &HashMap<usize, Arc<Vec<u8>>>| match &plan {
                 Some(pred) => {
                     let frame = assemble_frame(&var, &dims, &start, &count, chunks, &skipped)
-                        .map_err(|e| MrError(format!("snc pushdown assembly: {e}")))?;
+                        .map_err(|e| MrError::msg(format!("snc pushdown assembly: {e}")))?;
                     let rows = frame.n_rows();
                     let mask = pred
                         .eval_mask(&frame)
-                        .map_err(|e| MrError(format!("pushdown predicate: {e}")))?;
+                        .map_err(|e| MrError::msg(format!("pushdown predicate: {e}")))?;
                     let frame = frame
                         .filter(&mask)
-                        .map_err(|e| MrError(format!("pushdown filter: {e}")))?;
+                        .map_err(|e| MrError::msg(format!("pushdown filter: {e}")))?;
                     Ok((
                         TaskInput::Frame(frame),
                         vec![
@@ -252,7 +253,7 @@ impl SplitFetcher for SciSlabFetcher {
                         .ok_or_else(|| scifmt::FmtError::NotFound(format!("chunk {i}")))
                 })
                 .map(|a| (TaskInput::Array(a), Vec::new()))
-                .map_err(|e| MrError(format!("snc slab assembly: {e}"))),
+                .map_err(|e| MrError::msg(format!("snc slab assembly: {e}"))),
             })
         };
 
@@ -309,7 +310,10 @@ impl SplitFetcher for SciSlabFetcher {
                     Ok(raw) => raw,
                     Err(e) => {
                         if let Some(d) = dc.borrow_mut().take() {
-                            d(sim, Err(MrError(format!("snc chunk {idx} decode: {e:?}"))));
+                            d(
+                                sim,
+                                Err(MrError::msg(format!("snc chunk {idx} decode: {e:?}"))),
+                            );
                         }
                         return;
                     }
@@ -380,7 +384,7 @@ impl SplitFetcher for SciSlabFetcher {
                 // Injected or genuine PFS error: fail the attempt (once) and
                 // stop issuing the remaining chunk reads.
                 if let Some(d) = done_cell.borrow_mut().take() {
-                    let e = MrError(format!("pfs: {e} ({})", self.pfs_path));
+                    let e = MrError::msg(format!("pfs: {e} ({})", self.pfs_path));
                     sim.after(0.0, move |sim| d(sim, Err(e)));
                 }
                 return;
@@ -509,12 +513,12 @@ impl PieceStream for SlabPieceStream {
         let (idx, offset, clen, rlen, crc) = match self.pieces.get(piece).copied() {
             None => {
                 // The piece scheduler only issues indices < n_pieces().
-                let e = MrError(format!("piece {piece} out of range"));
+                let e = MrError::msg(format!("piece {piece} out of range"));
                 sim.after(0.0, move |sim| done(sim, Err(e)));
                 return;
             }
             Some(SlabPiece::Quarantined(i)) => {
-                let e = MrError(format!(
+                let e = MrError::msg(format!(
                     "IntegrityError: chunk {i} of {} is quarantined",
                     self.pfs_path
                 ));
@@ -557,7 +561,10 @@ impl PieceStream for SlabPieceStream {
             let raw = match scifmt::codec::decompress(&frame) {
                 Ok(raw) => raw,
                 Err(e) => {
-                    done(sim, Err(MrError(format!("snc chunk {idx} decode: {e:?}"))));
+                    done(
+                        sim,
+                        Err(MrError::msg(format!("snc chunk {idx} decode: {e:?}"))),
+                    );
                     return;
                 }
             };
@@ -604,7 +611,7 @@ impl PieceStream for SlabPieceStream {
         });
         if let Err(e) = chunk_read_attempt(sim, st, 0) {
             if let Some(done) = done_cell.borrow_mut().take() {
-                let e = MrError(format!("pfs: {e} ({})", self.pfs_path));
+                let e = MrError::msg(format!("pfs: {e} ({})", self.pfs_path));
                 sim.after(0.0, move |sim| done(sim, Err(e)));
             }
         }
@@ -618,7 +625,7 @@ impl PieceStream for SlabPieceStream {
                 .map(|a| a.as_slice())
                 .ok_or_else(|| scifmt::FmtError::NotFound(format!("chunk {i}")))
         })
-        .map_err(|e| MrError(format!("snc slab assembly: {e}")))?;
+        .map_err(|e| MrError::msg(format!("snc slab assembly: {e}")))?;
         let counters = if self.hits > 0 {
             vec![(keys::CHUNK_CACHE_HITS, self.hits as f64)]
         } else {
@@ -962,8 +969,8 @@ mod tests {
             Err(e) => e,
             Ok(_) => panic!("persistent corruption must fail the fetch"),
         };
-        assert!(err.0.contains("IntegrityError"), "{err}");
-        assert!(err.0.contains("quarantined"), "{err}");
+        assert!(err.message().contains("IntegrityError"), "{err}");
+        assert!(err.message().contains("quarantined"), "{err}");
         assert_eq!(cache.n_quarantined(), 1);
 
         // Second fetch: fast-fail on the quarantine list, zero PFS traffic.
@@ -983,7 +990,7 @@ mod tests {
             Err(e) => e,
             Ok(_) => panic!("quarantined chunk must fail the fetch"),
         };
-        assert!(err2.0.contains("is quarantined"), "{err2}");
+        assert!(err2.message().contains("is quarantined"), "{err2}");
         assert_eq!(c.sim.net.bytes_admitted, bytes_before);
     }
 }

@@ -120,7 +120,7 @@ pub fn nuwrf_map_fn(cfg: &WorkflowConfig) -> crate::rapi::RMapFn {
                 let (levels, rows, cols) = match shape.as_slice() {
                     &[l, r, c] => (l, r, c),
                     _ => {
-                        return Err(MrError(format!(
+                        return Err(MrError::msg(format!(
                             "NU-WRF workflow expects 3-D slabs, got {shape:?}"
                         )))
                     }
@@ -155,7 +155,7 @@ pub fn nuwrf_map_fn(cfg: &WorkflowConfig) -> crate::rapi::RMapFn {
                         let values = slab
                             .frame
                             .f64_column("value")
-                            .map_err(|e| MrError(e.to_string()))?;
+                            .map_err(|e| MrError::msg(e.to_string()))?;
                         let mut sorted: Vec<f64> =
                             values.iter().copied().filter(|v| v.is_finite()).collect();
                         sorted.sort_by(f64::total_cmp);
@@ -196,7 +196,8 @@ pub fn nuwrf_reduce_fn() -> crate::rapi::RReduceFn {
                     Payload::Bytes(_) => None,
                 })
                 .collect();
-            let merged = DataFrame::concat(frames.iter()).map_err(|e| MrError(e.to_string()))?;
+            let merged =
+                DataFrame::concat(frames.iter()).map_err(|e| MrError::msg(e.to_string()))?;
             let rows = merged.n_rows();
             let out = if key.starts_with("hl/") {
                 // Global top-k from the per-task top-k partials.
@@ -235,14 +236,14 @@ pub fn build_rjob(input_path: &str, cfg: &WorkflowConfig) -> RJob {
     }
 }
 
-/// Map a job-level error back to the SciDP error type: unrepaired
-/// corruption surfaces as [`ScidpError::Integrity`], everything else as the
-/// generic engine failure.
+/// Map a job-level error back to the SciDP error type: quorum loss stays
+/// typed, unrepaired corruption surfaces as [`ScidpError::Integrity`], and
+/// everything else becomes the generic engine failure.
 fn job_error(e: MrError) -> ScidpError {
-    if e.0.contains("IntegrityError") {
-        ScidpError::Integrity(e.0)
-    } else {
-        ScidpError::Hdfs(e.0)
+    match e {
+        MrError::QuorumLost { live_slots, floor } => ScidpError::QuorumLost { live_slots, floor },
+        MrError::Msg(m) if m.contains("IntegrityError") => ScidpError::Integrity(m),
+        MrError::Msg(m) => ScidpError::Hdfs(m),
     }
 }
 
@@ -293,7 +294,7 @@ pub fn run_scidp(
         rv.set(sources.len() as u64);
         let job = match reval {
             Err(e) => {
-                *r2.borrow_mut() = Some(Err(MrError(e.to_string())));
+                *r2.borrow_mut() = Some(Err(MrError::msg(e.to_string())));
                 return;
             }
             Ok(crate::mapper::Revalidation::Current) => job,
@@ -303,7 +304,7 @@ pub fn run_scidp(
                     job
                 }
                 Err(e) => {
-                    *r2.borrow_mut() = Some(Err(MrError(e.to_string())));
+                    *r2.borrow_mut() = Some(Err(MrError::msg(e.to_string())));
                     return;
                 }
             },
@@ -333,6 +334,13 @@ pub fn run_scidp(
         if q > 0 {
             job.counters
                 .add(mapreduce::counters::keys::CHUNKS_QUARANTINED, q as f64);
+        }
+        let qe = cache.n_quarantine_evicted();
+        if qe > 0 {
+            job.counters.add(
+                mapreduce::counters::keys::CHUNKS_QUARANTINED_EVICTED,
+                qe as f64,
+            );
         }
         // Record the configured capacity next to the hit/miss counters so
         // cache results are interpretable from the JobResult alone.
@@ -418,7 +426,7 @@ pub fn run_sql_scan(
     let sql = cfg.sql.clone();
     let map_fn: mapreduce::MapFn = Rc::new(move |input, ctx| {
         let (file, var, dims, origin) =
-            decode_tag(ctx.input_tag()).ok_or_else(|| MrError("missing slab tag".into()))?;
+            decode_tag(ctx.input_tag()).ok_or_else(|| MrError::msg("missing slab tag"))?;
         let frame = match input {
             // Pushdown delivery: the reader already built the filtered
             // coordinate+value frame straight from the surviving chunks.
@@ -437,8 +445,8 @@ pub fn run_sql_scan(
                 slab_to_frame(&dims, &origin, &array)?
             }
             TaskInput::Bytes(_) | TaskInput::Pairs(_) => {
-                return Err(MrError(
-                    "SQL scan expects scientific slabs; flat inputs need a bytes map".into(),
+                return Err(MrError::msg(
+                    "SQL scan expects scientific slabs; flat inputs need a bytes map",
                 ))
             }
         };
@@ -447,7 +455,7 @@ pub fn run_sql_scan(
         ctx.charge("analysis", ctx.cost().sql(logical_rows));
         let mut env = HashMap::new();
         env.insert("df", &frame);
-        let out = rframe::sqldf(&sql, &env).map_err(|e| MrError(e.to_string()))?;
+        let out = rframe::sqldf(&sql, &env).map_err(|e| MrError::msg(e.to_string()))?;
         let origin: Vec<String> = origin.iter().map(|o| o.to_string()).collect();
         ctx.emit(
             format!("sql/{file}/{var}/{}", origin.join(".")),
@@ -464,7 +472,7 @@ pub fn run_sql_scan(
                 Payload::Bytes(_) => None,
             })
             .collect();
-        let merged = DataFrame::concat(frames.iter()).map_err(|e| MrError(e.to_string()))?;
+        let merged = DataFrame::concat(frames.iter()).map_err(|e| MrError::msg(e.to_string()))?;
         let logical_rows = (merged.n_rows() as f64 * reduce_scale) as u64;
         ctx.charge("analysis", ctx.cost().sql(logical_rows));
         ctx.emit(key, Payload::Frame(merged));
@@ -543,18 +551,20 @@ fn stats_line(count: u64, sum: f64, min: f64, max: f64) -> Vec<u8> {
 }
 
 fn parse_stats(bytes: &[u8]) -> Result<(u64, f64, f64, f64), MrError> {
-    let s = std::str::from_utf8(bytes).map_err(|e| MrError(format!("stats: {e}")))?;
+    let s = std::str::from_utf8(bytes).map_err(|e| MrError::msg(format!("stats: {e}")))?;
     let mut it = s.split(',');
     match (it.next(), it.next(), it.next(), it.next(), it.next()) {
         (Some(c), Some(sum), Some(mn), Some(mx), None) => Ok((
             c.parse()
-                .map_err(|e| MrError(format!("stats count: {e}")))?,
+                .map_err(|e| MrError::msg(format!("stats count: {e}")))?,
             sum.parse()
-                .map_err(|e| MrError(format!("stats sum: {e}")))?,
-            mn.parse().map_err(|e| MrError(format!("stats min: {e}")))?,
-            mx.parse().map_err(|e| MrError(format!("stats max: {e}")))?,
+                .map_err(|e| MrError::msg(format!("stats sum: {e}")))?,
+            mn.parse()
+                .map_err(|e| MrError::msg(format!("stats min: {e}")))?,
+            mx.parse()
+                .map_err(|e| MrError::msg(format!("stats max: {e}")))?,
         )),
-        _ => Err(MrError(format!("stats: malformed line {s:?}"))),
+        _ => Err(MrError::msg(format!("stats: malformed line {s:?}"))),
     }
 }
 
@@ -563,7 +573,7 @@ fn merge_stats(values: Vec<Payload>) -> Result<(u64, f64, f64, f64), MrError> {
     let mut acc = (0u64, 0.0f64, f64::INFINITY, f64::NEG_INFINITY);
     for v in values {
         let Payload::Bytes(b) = v else {
-            return Err(MrError("stats: expected byte payload".into()));
+            return Err(MrError::msg("stats: expected byte payload"));
         };
         let (c, s, mn, mx) = parse_stats(&b)?;
         acc = (acc.0 + c, acc.1 + s, acc.2.min(mn), acc.3.max(mx));
@@ -586,15 +596,15 @@ pub fn build_stats_dag(
     // Stage 1 (source): per-level partial stats of each slab.
     let read: mapreduce::RecordReadFn = Rc::new(move |input, ctx| {
         let (_file, var, _dims, origin) =
-            decode_tag(ctx.input_tag()).ok_or_else(|| MrError("missing slab tag".into()))?;
+            decode_tag(ctx.input_tag()).ok_or_else(|| MrError::msg("missing slab tag"))?;
         let TaskInput::Array(array) = input else {
-            return Err(MrError("stats pipeline expects scientific slabs".into()));
+            return Err(MrError::msg("stats pipeline expects scientific slabs"));
         };
         let shape = array.shape().to_vec();
         let (levels, rows, cols) = match shape.as_slice() {
             &[l, r, c] => (l, r, c),
             _ => {
-                return Err(MrError(format!(
+                return Err(MrError::msg(format!(
                     "stats pipeline expects 3-D slabs, got {shape:?}"
                 )))
             }
@@ -637,7 +647,7 @@ pub fn build_stats_dag(
     let rekey: mapreduce::PairMapFn = Rc::new(|key, value, _ctx| {
         let var = match key.split('/').nth(1) {
             Some(v) => v.to_string(),
-            None => return Err(MrError(format!("stats: unexpected level key {key:?}"))),
+            None => return Err(MrError::msg(format!("stats: unexpected level key {key:?}"))),
         };
         Ok(vec![(format!("var/{var}"), value)])
     });

@@ -966,8 +966,44 @@ pub struct ChunkCache {
     misses: AtomicU64,
     /// Chunks that failed CRC verification twice (media corruption — a
     /// re-read cannot repair them). Readers check this before issuing I/O
-    /// and fail fast instead of re-fetching known-bad bytes.
-    quarantined: Mutex<std::collections::BTreeSet<(u64, u64)>>,
+    /// and fail fast instead of re-fetching known-bad bytes. Bounded
+    /// true-LRU: a long-lived process scanning many corrupt files must not
+    /// grow the set without limit, so the least-recently-touched entries
+    /// are evicted past [`DEFAULT_QUARANTINE_CAP`] (an evicted chunk is
+    /// merely re-detected — two failed CRC reads — if met again).
+    quarantined: Mutex<QuarantineInner>,
+}
+
+/// Default bound on the quarantine set (entries, not bytes — each is one
+/// 16-byte key).
+pub const DEFAULT_QUARANTINE_CAP: usize = 4096;
+
+struct QuarantineInner {
+    cap: usize,
+    tick: u64,
+    evicted: u64,
+    /// key → last-touch tick.
+    map: HashMap<(u64, u64), u64>,
+    /// Recency index (ticks are unique): first row = LRU victim.
+    order: std::collections::BTreeMap<u64, (u64, u64)>,
+}
+
+impl QuarantineInner {
+    fn touch(&mut self, key: (u64, u64)) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(prev) = self.map.insert(key, tick) {
+            self.order.remove(&prev);
+        }
+        self.order.insert(tick, key);
+        while self.map.len() > self.cap.max(1) {
+            let Some((_, victim)) = self.order.pop_first() else {
+                break;
+            };
+            self.map.remove(&victim);
+            self.evicted += 1;
+        }
+    }
 }
 
 impl std::fmt::Debug for ChunkCache {
@@ -1008,15 +1044,22 @@ impl ChunkCache {
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-            quarantined: Mutex::new(std::collections::BTreeSet::new()),
+            quarantined: Mutex::new(QuarantineInner {
+                cap: DEFAULT_QUARANTINE_CAP,
+                tick: 0,
+                evicted: 0,
+                map: HashMap::new(),
+                order: std::collections::BTreeMap::new(),
+            }),
         }
     }
 
-    /// Mark a chunk as unrepairably corrupt. Any cached payload for it is
-    /// dropped (defensive — verification happens before decode, so a bad
-    /// chunk should never have entered the cache).
+    /// Mark a chunk as unrepairably corrupt (bumps its quarantine recency).
+    /// Any cached payload for it is dropped (defensive — verification
+    /// happens before decode, so a bad chunk should never have entered the
+    /// cache).
     pub fn quarantine(&self, key: (u64, u64)) {
-        lock_clean(&self.quarantined).insert(key);
+        lock_clean(&self.quarantined).touch(key);
         let mut inner = lock_clean(&self.inner);
         if let Some(e) = inner.map.remove(&key) {
             inner.bytes -= e.data.len();
@@ -1024,13 +1067,41 @@ impl ChunkCache {
         }
     }
 
+    /// Whether a chunk is quarantined; a hit counts as a touch (true LRU —
+    /// chunks that readers keep tripping over stay resident).
     pub fn is_quarantined(&self, key: (u64, u64)) -> bool {
-        lock_clean(&self.quarantined).contains(&key)
+        let mut q = lock_clean(&self.quarantined);
+        if q.map.contains_key(&key) {
+            q.touch(key);
+            true
+        } else {
+            false
+        }
     }
 
     /// Number of quarantined chunks (reported through job counters).
     pub fn n_quarantined(&self) -> u64 {
-        lock_clean(&self.quarantined).len() as u64
+        lock_clean(&self.quarantined).map.len() as u64
+    }
+
+    /// Quarantine entries evicted by the LRU bound since creation
+    /// (`chunks_quarantined_evicted` in job counters).
+    pub fn n_quarantine_evicted(&self) -> u64 {
+        lock_clean(&self.quarantined).evicted
+    }
+
+    /// Change the quarantine bound in place (evicts down to the new bound;
+    /// a bound of 0 is clamped to 1).
+    pub fn set_quarantine_capacity(&self, cap: usize) {
+        let mut q = lock_clean(&self.quarantined);
+        q.cap = cap;
+        while q.map.len() > q.cap.max(1) {
+            let Some((_, victim)) = q.order.pop_first() else {
+                break;
+            };
+            q.map.remove(&victim);
+            q.evicted += 1;
+        }
     }
 
     /// Stable 64-bit id for a file name (FNV-1a) — combine with a chunk
@@ -1731,6 +1802,34 @@ mod tests {
         let s = g.cache_stats();
         assert_eq!(s.misses, 4);
         assert_eq!(s.hits, 4, "clone reuses the original's chunks");
+    }
+
+    #[test]
+    fn quarantine_set_is_bounded_lru() {
+        let c = ChunkCache::new(1 << 20);
+        c.set_quarantine_capacity(3);
+        for k in 0..3u64 {
+            c.quarantine((k, 0));
+        }
+        assert_eq!(c.n_quarantined(), 3);
+        assert_eq!(c.n_quarantine_evicted(), 0);
+        // Touch (0,0) so it becomes most-recent; (1,0) is now the LRU victim.
+        assert!(c.is_quarantined((0, 0)));
+        c.quarantine((3, 0));
+        assert_eq!(c.n_quarantined(), 3, "bound holds");
+        assert_eq!(c.n_quarantine_evicted(), 1);
+        assert!(!c.is_quarantined((1, 0)), "LRU entry evicted");
+        assert!(c.is_quarantined((0, 0)), "recently touched entry survives");
+        assert!(c.is_quarantined((2, 0)));
+        assert!(c.is_quarantined((3, 0)));
+        // Shrinking the bound evicts down to it immediately.
+        c.set_quarantine_capacity(1);
+        assert_eq!(c.n_quarantined(), 1);
+        assert_eq!(c.n_quarantine_evicted(), 3);
+        assert!(
+            c.is_quarantined((3, 0)),
+            "most-recent entry is the survivor"
+        );
     }
 
     #[test]

@@ -341,6 +341,21 @@ pub fn scan_file(file: &InputFile, lexed: &Lexed, cfg: &Config) -> Vec<Finding> 
                 ),
             );
         }
+        if wallclock_scope
+            && t.is_ident("sleep")
+            && i >= 2
+            && toks.get(i - 1).map(|p| p.is_punct("::")) == Some(true)
+            && toks.get(i - 2).map(|p| p.is_ident("thread")) == Some(true)
+        {
+            push(
+                "d-sleep",
+                t.line,
+                format!(
+                    "`thread::sleep` in simulator crate `{}`; blocking wall-clock waits stall the event loop — schedule a simnet timer instead",
+                    file.crate_name
+                ),
+            );
+        }
         if !spawn_allowed {
             let thread_path = i >= 2
                 && toks.get(i - 1).map(|p| p.is_punct("::")) == Some(true)
@@ -585,6 +600,34 @@ mod tests {
             scan("bench", src)
                 .iter()
                 .filter(|f| f.rule == "d-wallclock")
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn thread_sleep_flagged_in_sim_crates_only() {
+        let src = "fn f() { std::thread::sleep(std::time::Duration::from_millis(5)); }";
+        assert_eq!(
+            scan("simnet", src)
+                .iter()
+                .filter(|f| f.rule == "d-sleep")
+                .count(),
+            1
+        );
+        assert_eq!(
+            scan("bench", src)
+                .iter()
+                .filter(|f| f.rule == "d-sleep")
+                .count(),
+            0
+        );
+        // A method named `sleep` (no `thread::` path) is not the OS call.
+        let method = "fn f(s: &Sim) { s.sleep(5.0); }";
+        assert_eq!(
+            scan("simnet", method)
+                .iter()
+                .filter(|f| f.rule == "d-sleep")
                 .count(),
             0
         );

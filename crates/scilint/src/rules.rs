@@ -59,6 +59,12 @@ pub const RULES: &[RuleInfo] = &[
         summary: "std::time::Instant/SystemTime in a simulator crate (wall-clock breaks replay)",
     },
     RuleInfo {
+        id: "d-sleep",
+        family: Family::Determinism,
+        summary:
+            "std::thread::sleep in a simulator crate (blocks the event loop on wall-clock time)",
+    },
+    RuleInfo {
         id: "d-thread-spawn",
         family: Family::Determinism,
         summary: "OS thread creation outside scifmt::par (scheduling order is nondeterministic)",

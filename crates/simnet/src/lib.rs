@@ -35,7 +35,9 @@ pub mod topology;
 
 pub use cost::CostModel;
 pub use event::Sim;
-pub use fault::{CorruptSpec, FaultInjector, FaultPlan, ReadOutcome};
+pub use fault::{
+    CorruptSpec, FaultInjector, FaultPlan, FaultPlanError, PartitionSpec, ReadOutcome,
+};
 pub use flow::{FlowId, FlowNet, Resource, ResourceId};
 pub use time::SimTime;
 pub use topology::{ClusterSpec, NodeId, StorageNodeId, Topology};

@@ -35,8 +35,8 @@ fn level_means(cluster: &mut mapreduce::Cluster, uri: &str) -> Vec<(i64, f64)> {
                     _ => None,
                 })
                 .collect();
-            let merged =
-                DataFrame::concat(frames.iter()).map_err(|e| mapreduce::MrError(e.to_string()))?;
+            let merged = DataFrame::concat(frames.iter())
+                .map_err(|e| mapreduce::MrError::msg(e.to_string()))?;
             let mut env = HashMap::new();
             env.insert("df", &merged);
             // Weighted recombination: all partials carry equal n here.

@@ -76,8 +76,8 @@ fn main() {
                     _ => None,
                 })
                 .collect();
-            let merged =
-                DataFrame::concat(frames.iter()).map_err(|e| mapreduce::MrError(e.to_string()))?;
+            let merged = DataFrame::concat(frames.iter())
+                .map_err(|e| mapreduce::MrError::msg(e.to_string()))?;
             let mut env = HashMap::new();
             env.insert("df", &merged);
             let m = rctx.sqldf("SELECT MAX(m) AS m FROM df", &env)?;

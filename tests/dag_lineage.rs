@@ -52,7 +52,7 @@ fn flat_splits() -> Vec<InputSplit> {
 /// Count byte values of a split: the source records of every pipeline here.
 fn count_records(input: TaskInput, _n: ()) -> Result<Vec<(String, Payload)>, MrError> {
     let TaskInput::Bytes(b) = input else {
-        return Err(MrError("expected bytes".into()));
+        return Err(MrError::msg("expected bytes"));
     };
     let mut counts: BTreeMap<u8, usize> = BTreeMap::new();
     for &x in &b {
@@ -68,11 +68,11 @@ fn sum_payloads(values: Vec<Payload>) -> Result<u64, MrError> {
     let mut total = 0u64;
     for v in values {
         let Payload::Bytes(b) = v else {
-            return Err(MrError("expected byte value".into()));
+            return Err(MrError::msg("expected byte value"));
         };
         total += String::from_utf8_lossy(&b)
             .parse::<u64>()
-            .map_err(|e| MrError(format!("bad count: {e}")))?;
+            .map_err(|e| MrError::msg(format!("bad count: {e}")))?;
     }
     Ok(total)
 }
@@ -82,7 +82,7 @@ fn parity_key(key: &str) -> Result<String, MrError> {
     let k: u64 = key
         .strip_prefix('b')
         .and_then(|s| s.parse().ok())
-        .ok_or_else(|| MrError(format!("unexpected key {key:?}")))?;
+        .ok_or_else(|| MrError::msg(format!("unexpected key {key:?}")))?;
     Ok(format!("g{}", k % 2))
 }
 
@@ -174,12 +174,12 @@ fn run_hand_chained(c: &mut Cluster) -> (Vec<(String, Vec<u8>)>, usize) {
         splits2,
         Rc::new(|input, ctx| {
             let TaskInput::Bytes(b) = input else {
-                return Err(MrError("expected bytes".into()));
+                return Err(MrError::msg("expected bytes"));
             };
             for line in String::from_utf8_lossy(&b).lines() {
                 let (k, v) = line
                     .split_once('\t')
-                    .ok_or_else(|| MrError(format!("bad line {line:?}")))?;
+                    .ok_or_else(|| MrError::msg(format!("bad line {line:?}")))?;
                 ctx.emit(parity_key(k)?, Payload::Bytes(v.as_bytes().to_vec()));
             }
             Ok(())

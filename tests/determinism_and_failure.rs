@@ -140,7 +140,7 @@ fn failing_user_map_function_fails_the_job_not_the_process() {
     let rjob = RJob {
         name: "boom".into(),
         input: ScidpInput::path(ds.pfs_uri()).vars(["QR"]),
-        map: Rc::new(|_, _| Err(mapreduce::MrError("user code exploded".into()))),
+        map: Rc::new(|_, _| Err(mapreduce::MrError::msg("user code exploded"))),
         reduce: None,
         n_reducers: 1,
         output_dir: "boom_out".into(),
@@ -153,7 +153,7 @@ fn failing_user_map_function_fails_the_job_not_the_process() {
     let result = run_job(&mut cluster, job);
     assert_eq!(
         result.unwrap_err(),
-        mapreduce::MrError("user code exploded".into())
+        mapreduce::MrError::msg("user code exploded")
     );
 }
 
@@ -384,7 +384,7 @@ mod faults {
             splits,
             map_fn: Rc::new(|input, ctx| {
                 let TaskInput::Bytes(b) = input else {
-                    return Err(MrError("expected bytes".into()));
+                    return Err(MrError::msg("expected bytes"));
                 };
                 let mut counts: BTreeMap<u8, usize> = BTreeMap::new();
                 for &x in &b {
@@ -548,7 +548,7 @@ mod faults {
             .install(FaultPlan::none().with_random_read_failures(7, 1.0));
         let err = run_job(&mut c, byte_count_job(FtConfig::default())).unwrap_err();
         assert!(
-            err.0.contains("injected I/O error"),
+            err.message().contains("injected I/O error"),
             "task error passes through unchanged: {err:?}"
         );
         let h = c.hdfs.borrow();

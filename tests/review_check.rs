@@ -46,7 +46,7 @@ fn verified_bytes_under_concurrent_hdfs_fetches() {
         splits,
         map_fn: Rc::new(|input, _ctx| {
             let TaskInput::Bytes(_) = input else {
-                return Err(MrError("expected bytes".into()));
+                return Err(MrError::msg("expected bytes"));
             };
             Ok(())
         }),

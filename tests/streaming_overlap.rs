@@ -62,7 +62,7 @@ fn flat_job(stream: StreamConfig) -> Job {
         splits,
         map_fn: Rc::new(|input, ctx| {
             let TaskInput::Bytes(b) = input else {
-                return Err(MrError("expected bytes".into()));
+                return Err(MrError::msg("expected bytes"));
             };
             let mut counts: BTreeMap<u8, usize> = BTreeMap::new();
             for &x in &b {
@@ -307,7 +307,7 @@ mod integrity {
             splits: vec![split],
             map_fn: Rc::new(|input, ctx| {
                 let TaskInput::Array(a) = input else {
-                    return Err(MrError("expected array".into()));
+                    return Err(MrError::msg("expected array"));
                 };
                 // Per-level sums pin every decoded element.
                 let (levs, lats, lons) = (a.shape()[0], a.shape()[1], a.shape()[2]);
@@ -377,11 +377,11 @@ mod integrity {
         let job = slab_job(&mut c, StreamConfig::default());
         let err = run_job(&mut c, job).unwrap_err();
         assert!(
-            err.0.contains("IntegrityError"),
+            err.message().contains("IntegrityError"),
             "typed integrity failure expected, got: {}",
-            err.0
+            err.message()
         );
-        assert!(err.0.contains("quarantined"), "{}", err.0);
+        assert!(err.message().contains("quarantined"), "{}", err.message());
     }
 
     #[test]

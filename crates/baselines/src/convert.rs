@@ -7,7 +7,7 @@
 //! total.
 
 use mapreduce::Cluster;
-use scifmt::SncFile;
+use scidp::ReaderSession;
 
 use crate::util::StagedDataset;
 
@@ -23,6 +23,10 @@ pub struct ConversionReport {
     /// Text bytes / stored (compressed) bytes of the converted variables —
     /// the paper reports ~33x.
     pub expansion_vs_compressed: f64,
+    /// Effective chunk-cache capacity of the conversion's reader session:
+    /// ONE shared pool serves every opened file, so this is the total
+    /// chunk memory the conversion holds — not a per-file figure.
+    pub cache_capacity_bytes: usize,
 }
 
 /// Convert the selected variables of every file to CSV text on the PFS
@@ -36,18 +40,20 @@ pub fn convert_dataset(
     let mut text_bytes = 0usize;
     let mut raw_bytes = 0usize;
     let mut stored_bytes = 0usize;
-    // One decompressed-chunk pool across every staged file: cache keys are
-    // content-derived, so the converter never re-decodes a chunk it (or a
-    // prior conversion of the same dataset) has already seen.
-    let cache = std::sync::Arc::new(scifmt::ChunkCache::default());
+    // One reader session for the whole conversion: every file opened
+    // through it shares a single content-keyed decompressed-chunk pool, so
+    // the converter never re-decodes a chunk it (or a prior conversion of
+    // the same dataset) has already seen — and holds one cache's worth of
+    // memory, not one per file.
+    let session = ReaderSession::default();
     for path in &ds.info.files {
         let bytes = {
             let p = cluster.pfs.borrow();
             p.file(path).expect("staged file present").data.clone()
         };
-        let f = SncFile::open(bytes.as_ref().clone())
-            .expect("staged file parses")
-            .with_cache(cache.clone());
+        let f = session
+            .open(bytes.as_ref().clone())
+            .expect("staged file parses");
         let converted =
             scifmt::convert::snc_to_csv(&f, Some(variables)).expect("selected variables exist");
         for c in converted {
@@ -73,6 +79,7 @@ pub fn convert_dataset(
         text_bytes,
         conversion_time,
         expansion_vs_compressed: text_bytes as f64 / stored_bytes.max(1) as f64,
+        cache_capacity_bytes: session.effective_capacity(),
     }
 }
 
@@ -95,6 +102,9 @@ mod tests {
             "{}",
             rep.expansion_vs_compressed
         );
+        // One shared session cache — the effective capacity is reported
+        // once, not multiplied by the number of opened files.
+        assert_eq!(rep.cache_capacity_bytes, scifmt::snc::DEFAULT_CACHE_BYTES);
         // The text really parses back.
         let p = c.pfs.borrow();
         let text = p.file(&rep.text_files[0]).unwrap().data.clone();

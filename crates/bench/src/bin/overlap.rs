@@ -217,6 +217,7 @@ fn slab_job(
                 count: vec![SNC_LEVS / 2, 32, 32],
                 cache: cache.clone(),
                 pushdown: None,
+                cluster_admit: None,
             }),
         })
         .collect();

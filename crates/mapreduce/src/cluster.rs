@@ -1,8 +1,10 @@
 //! The combined simulated-cluster world: simulator + topology + both file
 //! systems. Every experiment builds one of these.
 
+use std::rc::Rc;
+
 use pfs::{Pfs, PfsConfig, SharedPfs};
-use simnet::{ClusterSpec, CostModel, FlowNet, Sim, SimTime, Topology};
+use simnet::{ClusterCache, ClusterSpec, CostModel, FlowNet, Sim, SimTime, Topology};
 
 use hdfs::{Hdfs, SharedHdfs};
 
@@ -14,6 +16,10 @@ pub struct MrEnv {
     pub hdfs: SharedHdfs,
     /// Concurrent task slots per compute node (8 in the paper).
     pub slots_per_node: usize,
+    /// Cluster-wide chunk-cache registry shared by every job and DAG stage
+    /// in this world (disabled — zero capacity — unless a workload turns
+    /// it on via [`Cluster::cluster_cache`]).
+    pub cluster_cache: Rc<ClusterCache>,
 }
 
 /// The full simulated world: one Hadoop cluster + one PFS storage cluster.
@@ -22,6 +28,9 @@ pub struct Cluster {
     pub topo: Topology,
     pub pfs: SharedPfs,
     pub hdfs: SharedHdfs,
+    /// Cluster chunk-cache tier (see [`simnet::ClusterCache`]); disabled
+    /// by default so existing workloads are timing-identical.
+    pub cluster_cache: Rc<ClusterCache>,
 }
 
 impl Cluster {
@@ -49,7 +58,14 @@ impl Cluster {
             topo,
             pfs,
             hdfs,
+            cluster_cache: Rc::new(ClusterCache::new(0)),
         }
+    }
+
+    /// Turn on the cluster chunk-cache tier with `per_node_bytes` of chunk
+    /// memory per compute node.
+    pub fn enable_cluster_cache(&self, per_node_bytes: u64) {
+        self.cluster_cache.set_per_node_capacity(per_node_bytes);
     }
 
     /// Paper-default cluster (§V-A): 8 Hadoop nodes, 2 OSS / 24 OSTs.
@@ -69,6 +85,7 @@ impl Cluster {
             pfs: self.pfs.clone(),
             hdfs: self.hdfs.clone(),
             slots_per_node: self.topo.spec.slots_per_node,
+            cluster_cache: Rc::clone(&self.cluster_cache),
         }
     }
 

@@ -111,6 +111,23 @@ pub mod keys {
     /// Quarantined SNC chunk entries evicted from the bounded quarantine
     /// set (LRU) to keep a long-lived process from growing it unboundedly.
     pub const CHUNKS_QUARANTINED_EVICTED: &str = "chunks_quarantined_evicted";
+    /// SNC chunks served decompressed from the cluster cache tier (the
+    /// chunk was resident on the executing node from an earlier job or
+    /// stage — no PFS read, no codec work).
+    pub const CLUSTER_CACHE_HITS: &str = "cluster_cache_hits";
+    /// SNC chunks the cluster cache tier did not hold on the executing
+    /// node (full PFS read + decompress paid).
+    pub const CLUSTER_CACHE_MISSES: &str = "cluster_cache_misses";
+    /// Cluster-cache entries evicted during this job (per-job delta of the
+    /// registry's lifetime eviction count; LRU, unpinned before pinned).
+    pub const CLUSTER_CACHE_EVICTIONS: &str = "cluster_cache_evictions";
+    /// Committed maps the scheduler placed on a node *because* it held the
+    /// split's chunks in the cluster cache (dynamic cache locality — the
+    /// preference tier above static split locality).
+    pub const CACHE_LOCALITY_MAPS: &str = "cache_locality_maps";
+    /// Compressed PFS bytes whose reads were never issued because the
+    /// decompressed chunk was served from the cluster cache tier.
+    pub const PFS_BYTES_AVOIDED: &str = "pfs_bytes_avoided";
 }
 
 impl Counters {

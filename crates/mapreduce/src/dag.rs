@@ -686,6 +686,11 @@ pub fn submit_dag(
             if lost > 0 {
                 dd.counters.add(keys::SHUFFLE_PARTITIONS_LOST, lost as f64);
             }
+            // The node's cluster-cache residency dies with it too — a
+            // between-stages kill must not leave ghost entries steering
+            // the next stage's placement (the stage jobs only invalidate
+            // for kills that land while they run).
+            dd.env.cluster_cache.invalidate_node(NodeId(node));
         });
     }
     advance(sim, &d);

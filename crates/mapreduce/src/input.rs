@@ -160,6 +160,16 @@ pub trait SplitFetcher {
         Err(StreamFallback::Unsupported)
     }
 
+    /// Chunk keys this split would read from the cluster chunk-cache tier
+    /// (`(content file key, chunk offset)` pairs — see
+    /// [`simnet::ClusterCache`]). The scheduler uses them for *dynamic*
+    /// cache locality: a pending map whose chunks are resident on a free
+    /// node is preferred there over static split locality. The default —
+    /// no hints — opts a fetcher out of cache-aware placement entirely.
+    fn cache_hints(&self) -> Vec<simnet::ChunkKey> {
+        Vec::new()
+    }
+
     /// Human-readable description for traces.
     fn describe(&self) -> String;
 }

@@ -5,7 +5,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
-use simnet::{NodeId, Sim};
+use simnet::{ChunkKey, NodeId, Sim};
 
 use crate::cluster::{Cluster, MrEnv};
 use crate::counters::{keys, Counters};
@@ -350,6 +350,22 @@ impl JobResult {
         self.end_s - self.start_s
     }
 
+    /// Fraction of locality-eligible committed maps that ran data-local:
+    /// `data_local / (data_local + remote)`. Maps over location-less splits
+    /// (`any_locality_maps` — e.g. PFS dummy blocks) are excluded: locality
+    /// is not a concept for them and counting them would dilute the ratio.
+    /// `None` when no map was locality-eligible.
+    pub fn locality_ratio(&self) -> Option<f64> {
+        let local = self.counters.get(keys::LOCAL_MAPS);
+        let remote = self.counters.get(keys::REMOTE_MAPS);
+        let eligible = local + remote;
+        if eligible == 0.0 {
+            None
+        } else {
+            Some(local / eligible)
+        }
+    }
+
     /// Mean of a phase over all tasks of one kind.
     pub fn mean_phase(&self, kind: TaskKind, phase: &str) -> f64 {
         let v: Vec<f64> = self
@@ -470,6 +486,9 @@ struct AttemptInfo {
     start_s: f64,
     /// Scheduled on a node holding the split (locality hit).
     local: bool,
+    /// Scheduled on a node holding the split's chunks in the cluster
+    /// chunk-cache tier (dynamic cache locality).
+    cache_local: bool,
     /// A speculative duplicate of a straggling attempt.
     speculative: bool,
     /// A straggler check event has been queued for this attempt.
@@ -528,6 +547,13 @@ struct Driver {
     map_nodes: Vec<NodeId>,
     /// Durations of committed maps (speculation median).
     map_durations: Vec<f64>,
+    /// Per-split cluster-cache chunk keys (from
+    /// [`crate::input::SplitFetcher::cache_hints`]); all empty when the
+    /// cluster cache tier is disabled, so the scheduler pays nothing.
+    cache_hints: Vec<Vec<ChunkKey>>,
+    /// Cluster-cache registry eviction count when this job started; the
+    /// per-job delta lands in [`keys::CLUSTER_CACHE_EVICTIONS`].
+    cluster_evictions_start: u64,
     attempts: BTreeMap<AttemptId, AttemptInfo>,
     next_attempt: AttemptId,
     reports: Vec<TaskReport>,
@@ -643,6 +669,14 @@ pub fn submit_job_env(
     let node_dead: Vec<bool> = (0..n_nodes)
         .map(|n| sim.faults.node_dead(n as u32, now))
         .collect();
+    // A node dead before this job started must not keep ghost entries in
+    // the cluster cache tier (its memory died with it) — the mid-job kill
+    // path does the same through on_node_killed.
+    for (n, &dead) in node_dead.iter().enumerate() {
+        if dead {
+            env.cluster_cache.invalidate_node(NodeId(n as u32));
+        }
+    }
     let n_reducers = job.n_reducers;
     // Arm the detector machinery only when the plan can actually produce
     // silence: hangs and partitions never complete on their own, so only a
@@ -652,6 +686,15 @@ pub fn submit_job_env(
     let detector_armed = !plan.node_hangs.is_empty() || !plan.partitions.is_empty();
     let hang_checks_armed = detector_armed || !plan.read_hangs.is_empty();
     let backoff_rng = scirng::Rng::seed_from_u64(plan.seed ^ 0x6861_6e67_5f64_6574);
+    // Precompute cache-locality hints only when the tier is live: a
+    // disabled registry means empty hints, zero scheduler overhead and
+    // timing identical to a world without the tier.
+    let cache_hints: Vec<Vec<ChunkKey>> = if env.cluster_cache.enabled() {
+        job.splits.iter().map(|s| s.fetcher.cache_hints()).collect()
+    } else {
+        vec![Vec::new(); n_maps]
+    };
+    let cluster_evictions_start = env.cluster_cache.stats().evictions;
     let d = Rc::new(RefCell::new(Driver {
         free_slots: node_dead
             .iter()
@@ -677,6 +720,8 @@ pub fn submit_job_env(
         map_outputs: vec![Vec::new(); n_maps],
         map_nodes: vec![NodeId(0); n_maps],
         map_durations: Vec::new(),
+        cache_hints,
+        cluster_evictions_start,
         attempts: BTreeMap::new(),
         next_attempt: 0,
         reports: Vec::new(),
@@ -754,6 +799,7 @@ enum Pick {
         node: NodeId,
         task: usize,
         local: bool,
+        cache_local: bool,
     },
     Reduce {
         node: NodeId,
@@ -779,25 +825,60 @@ fn try_schedule(sim: &mut Sim, d: &SharedDriver) {
             let n_nodes = dd.free_slots.len();
             let mut pick: Option<Pick> = None;
             if !dd.pending_maps.is_empty() {
-                'outer: for node in 0..n_nodes {
-                    if !dd.node_usable(node) || dd.free_slots[node] == 0 {
+                // Dynamic cache locality — the top preference tier: a
+                // pending split whose chunks are resident in the cluster
+                // cache on a free node runs there, skipping its PFS reads
+                // entirely. Hints are all-empty when the tier is disabled,
+                // so this pass is free for every existing workload.
+                'cache: for node in 0..n_nodes {
+                    if !dd.node_usable(node) || dd.free_slots.get(node).copied().unwrap_or(0) == 0 {
                         continue;
                     }
                     let nid = NodeId(node as u32);
-                    // Locality preference: a pending split stored on this
-                    // node.
-                    if let Some(pos) = dd
-                        .pending_maps
-                        .iter()
-                        .position(|&t| dd.job.splits[t].locations.contains(&nid))
-                    {
-                        let task = dd.pending_maps.remove(pos).unwrap();
+                    if let Some(pos) = dd.pending_maps.iter().position(|&t| {
+                        dd.cache_hints.get(t).is_some_and(|hints| {
+                            hints.iter().any(|&k| dd.env.cluster_cache.holds(nid, k))
+                        })
+                    }) {
+                        let Some(task) = dd.pending_maps.remove(pos) else {
+                            continue;
+                        };
+                        let local = dd
+                            .job
+                            .splits
+                            .get(task)
+                            .is_some_and(|s| s.locations.contains(&nid));
                         pick = Some(Pick::Map {
                             node: nid,
                             task,
-                            local: true,
+                            local,
+                            cache_local: true,
                         });
-                        break 'outer;
+                        break 'cache;
+                    }
+                }
+                if pick.is_none() {
+                    'outer: for node in 0..n_nodes {
+                        if !dd.node_usable(node) || dd.free_slots[node] == 0 {
+                            continue;
+                        }
+                        let nid = NodeId(node as u32);
+                        // Locality preference: a pending split stored on
+                        // this node.
+                        if let Some(pos) = dd
+                            .pending_maps
+                            .iter()
+                            .position(|&t| dd.job.splits[t].locations.contains(&nid))
+                        {
+                            let task = dd.pending_maps.remove(pos).unwrap();
+                            pick = Some(Pick::Map {
+                                node: nid,
+                                task,
+                                local: true,
+                                cache_local: false,
+                            });
+                            break 'outer;
+                        }
                     }
                 }
                 if pick.is_none() {
@@ -813,6 +894,7 @@ fn try_schedule(sim: &mut Sim, d: &SharedDriver) {
                             node: NodeId(node as u32),
                             task,
                             local: false,
+                            cache_local: false,
                         });
                     }
                 }
@@ -856,12 +938,19 @@ fn try_schedule(sim: &mut Sim, d: &SharedDriver) {
             }
         };
         match sched {
-            Sched::Run(Pick::Map { node, task, local }) => {
-                let id = register_attempt(sim, d, TaskKind::Map, task, node, local, false);
+            Sched::Run(Pick::Map {
+                node,
+                task,
+                local,
+                cache_local,
+            }) => {
+                let id =
+                    register_attempt(sim, d, TaskKind::Map, task, node, local, cache_local, false);
                 run_map_attempt(sim, d, id);
             }
             Sched::Run(Pick::Reduce { node, task }) => {
-                let id = register_attempt(sim, d, TaskKind::Reduce, task, node, false, false);
+                let id =
+                    register_attempt(sim, d, TaskKind::Reduce, task, node, false, false, false);
                 run_reduce_attempt(sim, d, id);
             }
             Sched::Stuck(waiting) => {
@@ -883,6 +972,7 @@ fn try_schedule(sim: &mut Sim, d: &SharedDriver) {
 /// counters (these are job-global meta counters, not task output). When the
 /// hang deadline is armed, a deadline check is queued at the instant the
 /// attempt would be declared hung.
+#[allow(clippy::too_many_arguments)]
 fn register_attempt(
     sim: &mut Sim,
     d: &SharedDriver,
@@ -890,6 +980,7 @@ fn register_attempt(
     task: usize,
     node: NodeId,
     local: bool,
+    cache_local: bool,
     speculative: bool,
 ) -> AttemptId {
     let (id, deadline) = {
@@ -904,6 +995,7 @@ fn register_attempt(
                 node,
                 start_s: sim.now().secs(),
                 local,
+                cache_local,
                 speculative,
                 spec_check_scheduled: false,
             },
@@ -1085,6 +1177,10 @@ fn on_node_killed(sim: &mut Sim, d: &SharedDriver, node: usize) {
         }
         dd.node_dead[node] = true;
         dd.free_slots[node] = 0;
+        // The node's cached chunks died with its memory — invalidate them
+        // exactly like its shuffle outputs, so no later stage is steered
+        // to (or served from) a ghost replica.
+        dd.env.cluster_cache.invalidate_node(NodeId(node as u32));
         let victims: Vec<AttemptId> = dd
             .attempts
             .iter()
@@ -1396,10 +1492,14 @@ fn maybe_speculate(sim: &mut Sim, d: &SharedDriver, id: AttemptId) {
         dd.free_slots[c] -= 1;
         let nid = NodeId(c as u32);
         let local = dd.job.splits[task].locations.contains(&nid);
-        (task, nid, local)
+        let cache_local = dd
+            .cache_hints
+            .get(task)
+            .is_some_and(|hints| hints.iter().any(|&k| dd.env.cluster_cache.holds(nid, k)));
+        (task, nid, local, cache_local)
     };
-    let (task, node, local) = launch;
-    let id2 = register_attempt(sim, d, TaskKind::Map, task, node, local, true);
+    let (task, node, local, cache_local) = launch;
+    let id2 = register_attempt(sim, d, TaskKind::Map, task, node, local, cache_local, true);
     run_map_attempt(sim, d, id2);
 }
 
@@ -1903,6 +2003,9 @@ fn commit_task(
                     },
                     1.0,
                 );
+                if info.cache_local {
+                    dd.counters.add(keys::CACHE_LOCALITY_MAPS, 1.0);
+                }
                 if info.speculative {
                     dd.counters.add(keys::SPECULATIVE_WON, 1.0);
                 }
@@ -2346,6 +2449,20 @@ fn complete(sim: &mut Sim, d: &SharedDriver) {
         }
         let mut tasks = std::mem::take(&mut dd.reports);
         tasks.sort_by_key(|t| (t.kind == TaskKind::Reduce, t.index));
+        // Cluster-cache evictions during this job's run (registry stats
+        // are world-lifetime monotonic; the delta is this job's share).
+        if dd.env.cluster_cache.enabled() {
+            let evicted = dd
+                .env
+                .cluster_cache
+                .stats()
+                .evictions
+                .saturating_sub(dd.cluster_evictions_start);
+            if evicted > 0 {
+                dd.counters
+                    .add(keys::CLUSTER_CACHE_EVICTIONS, evicted as f64);
+            }
+        }
         let result = JobResult {
             name: dd.job.name.clone(),
             start_s: dd.start_s,
@@ -2535,6 +2652,16 @@ mod tests {
         // Both blocks were written from node 0 → both local there; at least
         // one map must be data-local.
         assert!(r.counters.get(keys::LOCAL_MAPS) >= 1.0);
+        // locality_ratio counts only locality-eligible maps: with 2 maps
+        // over located splits, local+remote is exactly 2 and the ratio is
+        // local/2 ≥ 0.5 (any-locality maps would be excluded entirely).
+        let ratio = r.locality_ratio().expect("located splits are eligible");
+        let local = r.counters.get(keys::LOCAL_MAPS);
+        let remote = r.counters.get(keys::REMOTE_MAPS);
+        assert_eq!(local + remote, 2.0, "both maps locality-eligible");
+        assert!((ratio - local / (local + remote)).abs() < 1e-12);
+        assert!(ratio >= 0.5, "locality ratio too low: {ratio}");
+        assert_eq!(r.counters.get(keys::ANY_MAPS), 0.0);
         for t in r.tasks.iter().filter(|t| t.kind == TaskKind::Map) {
             assert!(t.phase("read") > 0.0, "read phase recorded");
             assert!(t.phase("startup") > 0.0);

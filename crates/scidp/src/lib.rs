@@ -29,6 +29,7 @@
 pub mod error;
 pub mod explorer;
 pub mod mapper;
+pub mod placement;
 pub mod pushdown;
 pub mod rapi;
 pub mod reader;
@@ -37,11 +38,12 @@ pub mod workflow;
 pub use error::ScidpError;
 pub use explorer::{parse_pfs_path, ExploreReport, ExploredFile, FileExplorer, FileFormat};
 pub use mapper::{DataMapper, MappedBlock, MapperOptions, Mapping, Revalidation};
+pub use placement::{Placement, PlacementConfig, PlacementPolicy};
 pub use rapi::{
     decode_tag, derived_raster, encode_slab_tag, make_splits, wrap_r_map, wrap_r_reduce, MapSlab,
-    RCtx, RJob, RMapFn, RReduceFn, ScidpInput, SetupInfo,
+    PlacementSpec, RCtx, RJob, RMapFn, RReduceFn, ScidpInput, SetupInfo,
 };
-pub use reader::SciSlabFetcher;
+pub use reader::{ReaderSession, SciSlabFetcher};
 pub use workflow::{
     build_rjob, build_stats_dag, nuwrf_map_fn, nuwrf_reduce_fn, run_scidp, run_sql_scan,
     run_stats_dag, Analysis, SqlScanConfig, StatsDagConfig, WorkflowConfig, WorkflowReport,

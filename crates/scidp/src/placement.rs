@@ -1,0 +1,209 @@
+//! Data-placement policy: where should a dataset's decoded chunks live?
+//!
+//! SciDP gives a workflow three placements for a PFS-resident dataset:
+//! read it **PFS-direct** every time (no cache footprint), let hot chunks
+//! ride the **cluster cache tier** (optionally *pinned* against LRU
+//! eviction), or **materialise to HDFS** once and run everything after
+//! from local blocks (the classic copy-in path the paper argues against —
+//! still right for datasets re-read far more often than cache capacity
+//! allows). The policy here decides per dataset from two observables: how
+//! many times the workflow has touched the dataset, and whether it fits in
+//! the aggregate cache at all.
+//!
+//! The decision maps onto the reader's admission handle
+//! ([`crate::SciSlabFetcher::cluster_admit`]): `PfsDirect` and
+//! `HdfsMaterialised` never admit, `Cached` admits unpinned, `CachePinned`
+//! admits pinned. Lookups are unconditional — whatever is resident serves.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Where a dataset's bytes should be served from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Read from the PFS on every access; never occupy cache memory.
+    /// Right for datasets touched once (classic streaming scan).
+    PfsDirect,
+    /// Admit decoded chunks to the cluster cache tier, evictable by LRU.
+    Cached,
+    /// Admit and pin: LRU prefers evicting every unpinned entry first.
+    /// Right for small, very hot datasets (iterative stencils, lookup
+    /// tables) re-read many times.
+    CachePinned,
+    /// Copy into HDFS once and serve all later reads from local blocks —
+    /// for datasets far larger than the cache that are still re-read
+    /// often enough to amortise the copy.
+    HdfsMaterialised,
+}
+
+impl Placement {
+    /// The reader-side admission setting this placement implies.
+    pub fn cluster_admit(self) -> Option<bool> {
+        match self {
+            Placement::PfsDirect | Placement::HdfsMaterialised => None,
+            Placement::Cached => Some(false),
+            Placement::CachePinned => Some(true),
+        }
+    }
+}
+
+/// Thresholds steering [`PlacementPolicy::decide`].
+#[derive(Clone, Copy, Debug)]
+pub struct PlacementConfig {
+    /// Accesses (including the current one) after which a cache-fitting
+    /// dataset is admitted. 1 = admit on first touch (optimistic: pays
+    /// nothing in the sim, warms the tier for any later stage).
+    pub admit_after: u64,
+    /// Accesses after which a cache-fitting dataset is pinned.
+    pub pin_after: u64,
+    /// Fraction of the aggregate cache a dataset may occupy and still be
+    /// considered "fitting". Above it, caching would just thrash LRU.
+    pub fit_fraction: f64,
+    /// Accesses after which an over-sized dataset is worth materialising
+    /// to HDFS instead of re-reading the PFS.
+    pub materialise_after: u64,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> PlacementConfig {
+        PlacementConfig {
+            admit_after: 1,
+            pin_after: 2,
+            fit_fraction: 0.5,
+            materialise_after: 3,
+        }
+    }
+}
+
+/// Per-dataset placement decisions from observed access counts.
+///
+/// Deterministic: state is a `BTreeMap` keyed by dataset name, decisions
+/// depend only on the access history — never on wall-clock or iteration
+/// order. Interior-mutable so one policy can be shared by the setup path
+/// (`&self` everywhere).
+#[derive(Debug)]
+pub struct PlacementPolicy {
+    cfg: PlacementConfig,
+    accesses: RefCell<BTreeMap<String, u64>>,
+}
+
+impl Default for PlacementPolicy {
+    fn default() -> PlacementPolicy {
+        PlacementPolicy::new(PlacementConfig::default())
+    }
+}
+
+impl PlacementPolicy {
+    pub fn new(cfg: PlacementConfig) -> PlacementPolicy {
+        PlacementPolicy {
+            cfg,
+            accesses: RefCell::new(BTreeMap::new()),
+        }
+    }
+
+    /// Record one access to `dataset` and decide its placement for this
+    /// access. `dataset_bytes` is the dataset's mapped (raw) size;
+    /// `aggregate_cache_bytes` is per-node capacity × nodes (0 = tier off,
+    /// which forces `PfsDirect`: nothing can serve cached bytes anyway).
+    pub fn observe(
+        &self,
+        dataset: &str,
+        dataset_bytes: u64,
+        aggregate_cache_bytes: u64,
+    ) -> Placement {
+        let mut map = self.accesses.borrow_mut();
+        let n = map.entry(dataset.to_string()).or_insert(0);
+        *n += 1;
+        let n = *n;
+        self.place(n, dataset_bytes, aggregate_cache_bytes)
+    }
+
+    /// Decide without recording (what `observe` would return on access
+    /// `n_accesses`).
+    pub fn decide(
+        &self,
+        dataset: &str,
+        dataset_bytes: u64,
+        aggregate_cache_bytes: u64,
+    ) -> Placement {
+        let n = *self.accesses.borrow().get(dataset).unwrap_or(&0);
+        self.place(n.max(1), dataset_bytes, aggregate_cache_bytes)
+    }
+
+    /// Observed access count for a dataset.
+    pub fn accesses(&self, dataset: &str) -> u64 {
+        *self.accesses.borrow().get(dataset).unwrap_or(&0)
+    }
+
+    fn place(&self, n: u64, dataset_bytes: u64, aggregate_cache_bytes: u64) -> Placement {
+        if aggregate_cache_bytes == 0 {
+            return Placement::PfsDirect;
+        }
+        let fits = (dataset_bytes as f64) <= (aggregate_cache_bytes as f64) * self.cfg.fit_fraction;
+        if fits {
+            if n >= self.cfg.pin_after {
+                Placement::CachePinned
+            } else if n >= self.cfg.admit_after {
+                Placement::Cached
+            } else {
+                Placement::PfsDirect
+            }
+        } else if n >= self.cfg.materialise_after {
+            Placement::HdfsMaterialised
+        } else {
+            Placement::PfsDirect
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admit_maps_onto_reader_handle() {
+        assert_eq!(Placement::PfsDirect.cluster_admit(), None);
+        assert_eq!(Placement::HdfsMaterialised.cluster_admit(), None);
+        assert_eq!(Placement::Cached.cluster_admit(), Some(false));
+        assert_eq!(Placement::CachePinned.cluster_admit(), Some(true));
+    }
+
+    #[test]
+    fn tier_off_forces_pfs_direct() {
+        let p = PlacementPolicy::default();
+        for _ in 0..5 {
+            assert_eq!(p.observe("d", 1 << 20, 0), Placement::PfsDirect);
+        }
+    }
+
+    #[test]
+    fn fitting_dataset_graduates_to_pinned() {
+        let p = PlacementPolicy::default();
+        // 1 MiB dataset vs 64 MiB aggregate: fits (<= 50%).
+        assert_eq!(p.observe("d", 1 << 20, 64 << 20), Placement::Cached);
+        assert_eq!(p.observe("d", 1 << 20, 64 << 20), Placement::CachePinned);
+        assert_eq!(p.observe("d", 1 << 20, 64 << 20), Placement::CachePinned);
+        assert_eq!(p.accesses("d"), 3);
+    }
+
+    #[test]
+    fn oversized_dataset_goes_hdfs_after_repeats() {
+        let p = PlacementPolicy::default();
+        // 48 MiB vs 64 MiB aggregate: over the 50% fit fraction.
+        let (b, agg) = (48u64 << 20, 64u64 << 20);
+        assert_eq!(p.observe("big", b, agg), Placement::PfsDirect);
+        assert_eq!(p.observe("big", b, agg), Placement::PfsDirect);
+        assert_eq!(p.observe("big", b, agg), Placement::HdfsMaterialised);
+    }
+
+    #[test]
+    fn datasets_tracked_independently() {
+        let p = PlacementPolicy::default();
+        p.observe("a", 1 << 20, 64 << 20);
+        assert_eq!(p.accesses("a"), 1);
+        assert_eq!(p.accesses("b"), 0);
+        // decide() never records.
+        assert_eq!(p.decide("b", 1 << 20, 64 << 20), Placement::Cached);
+        assert_eq!(p.accesses("b"), 0);
+    }
+}

@@ -19,6 +19,7 @@ use scifmt::Array;
 use crate::error::ScidpError;
 use crate::explorer::{parse_pfs_path, FileExplorer};
 use crate::mapper::{DataMapper, MapperOptions};
+use crate::placement::{Placement, PlacementPolicy};
 use crate::reader::SciSlabFetcher;
 
 /// Job input description (the `input=` argument of `rmr2::mapreduce`).
@@ -41,6 +42,22 @@ pub struct ScidpInput {
     /// prove it false are skipped before any read, and surviving slabs
     /// arrive as predicate-filtered coordinate+value frames.
     pub pushdown: Option<rframe::Predicate>,
+    /// How this job's dataset placement (cluster-cache admission) is
+    /// decided. The default is a fixed [`Placement::PfsDirect`], which
+    /// never admits — byte- and timing-identical to the pre-placement
+    /// behaviour even when the cluster tier is enabled.
+    pub placement: PlacementSpec,
+}
+
+/// How a job's dataset placement is chosen (see [`crate::placement`]).
+#[derive(Clone, Debug)]
+pub enum PlacementSpec {
+    /// Use this placement unconditionally.
+    Fixed(Placement),
+    /// Consult a shared [`PlacementPolicy`]: access counts accumulate
+    /// across every job that carries the same policy handle, so a dataset
+    /// graduates PFS-direct → cached → pinned as a workflow re-reads it.
+    Auto(Rc<PlacementPolicy>),
 }
 
 impl ScidpInput {
@@ -53,6 +70,7 @@ impl ScidpInput {
             flat_block_size: 128 << 20,
             cache_bytes: scifmt::snc::DEFAULT_CACHE_BYTES,
             pushdown: None,
+            placement: PlacementSpec::Fixed(Placement::PfsDirect),
         }
     }
 
@@ -88,6 +106,18 @@ impl ScidpInput {
         self.pushdown = p;
         self
     }
+
+    /// Fix the dataset placement for this job.
+    pub fn placement(mut self, p: Placement) -> Self {
+        self.placement = PlacementSpec::Fixed(p);
+        self
+    }
+
+    /// Let a shared policy decide placement from observed access counts.
+    pub fn placement_auto(mut self, policy: Rc<PlacementPolicy>) -> Self {
+        self.placement = PlacementSpec::Auto(policy);
+        self
+    }
 }
 
 /// Extra info returned by split construction.
@@ -110,6 +140,10 @@ pub struct SetupInfo {
     /// Serialized zone-map bytes across the mapped variables — the header
     /// metadata a pushdown scan reads in exchange for the chunks it skips.
     pub zone_map_bytes: u64,
+    /// The placement decided for this job's dataset (PFS inputs only).
+    /// `HdfsMaterialised` is a recommendation recorded here for the
+    /// workflow layer — the splits themselves still read PFS-direct.
+    pub placement: Option<Placement>,
 }
 
 /// Build input splits for a [`ScidpInput`] — the `addInputPath` hook.
@@ -142,6 +176,17 @@ pub fn make_splits(
         // (keys are content-unique per file, so one pool serves them all).
         let cache = std::sync::Arc::new(scifmt::snc::ChunkCache::new(input.cache_bytes));
         let plan = input.pushdown.clone().map(std::sync::Arc::new);
+        // Placement decision for this dataset: one per job, applied to
+        // every scientific fetcher. Aggregate capacity is what the whole
+        // tier could hold (0 while the tier is off, forcing PfsDirect).
+        let aggregate_cache = env.cluster_cache.per_node_capacity() * env.topo.n_compute() as u64;
+        let placement = match &input.placement {
+            PlacementSpec::Fixed(p) => *p,
+            PlacementSpec::Auto(policy) => {
+                policy.observe(&input.path, mapping.mapped_bytes, aggregate_cache)
+            }
+        };
+        let cluster_admit = placement.cluster_admit();
         let mut zone_map_bytes = 0u64;
         let mut zone_seen: std::collections::HashSet<(String, String)> =
             std::collections::HashSet::new();
@@ -183,6 +228,7 @@ pub fn make_splits(
                             count: count.clone(),
                             cache: cache.clone(),
                             pushdown: plan.clone(),
+                            cluster_admit,
                         },
                     })
                 }
@@ -225,6 +271,7 @@ pub fn make_splits(
                 sources: mapping.sources,
                 chunk_cache: Some(cache),
                 zone_map_bytes,
+                placement: Some(placement),
             },
         ))
     } else {
@@ -322,6 +369,10 @@ impl mapreduce::SplitFetcher for TaggedSciFetcher {
         // `Pushdown` from the slab reader) so the counter tags stay honest.
         let inner = self.inner.open_stream(env, sim, node)?;
         Ok(mapreduce::retag_stream(inner, encode_tag(&self.inner)))
+    }
+
+    fn cache_hints(&self) -> Vec<simnet::ChunkKey> {
+        self.inner.cache_hints()
     }
 
     fn describe(&self) -> String {
@@ -629,6 +680,7 @@ mod tests {
             count: vec![2, 8],
             cache: std::sync::Arc::new(scifmt::ChunkCache::new(0)),
             pushdown: None,
+            cluster_admit: None,
         };
         let tag = encode_tag(&f);
         let (file, var, dims, origin) = decode_tag(&tag).unwrap();

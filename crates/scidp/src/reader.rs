@@ -10,7 +10,7 @@
 //! PFS concurrently — that aggregate parallel read is Figure 6's "SciDP"
 //! series.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::Arc;
@@ -22,7 +22,7 @@ use mapreduce::{
 };
 use rframe::{MatchBound, Predicate};
 use scifmt::hyperslab;
-use scifmt::snc::{assemble_slab, chunk_extents_of, ChunkCache};
+use scifmt::snc::{assemble_slab, chunk_extents_of, ChunkCache, SncFile, DEFAULT_CACHE_BYTES};
 use scifmt::VarMeta;
 use simnet::{NodeId, Sim};
 
@@ -99,6 +99,9 @@ fn chunk_read_attempt(sim: &mut Sim, st: Rc<ChunkRead>, attempt: u32) -> Result<
                 }
             } else {
                 st2.cache.quarantine((st2.file_key, st2.offset));
+                // The cluster tier must never outlive the quarantine: purge
+                // any resident copy on every node and block re-admission.
+                st2.env.cluster_cache.quarantine((st2.file_key, st2.offset));
                 if let Some(d) = st2.done.borrow_mut().take() {
                     let e = MrError::msg(format!(
                         "IntegrityError: chunk {} of {} failed crc32c verification twice; \
@@ -130,6 +133,12 @@ pub struct SciSlabFetcher {
     /// result is delivered as the predicate-filtered coordinate+value
     /// frame ([`TaskInput::Frame`]) instead of the dense array.
     pub pushdown: Option<Arc<Predicate>>,
+    /// Cluster-cache admission for this dataset, from the placement policy
+    /// (see [`crate::placement`]): `None` = never admit (PFS-direct or
+    /// HDFS-materialised datasets), `Some(pinned)` = admit decoded chunks,
+    /// optionally pinned against LRU eviction. Lookups always happen when
+    /// the tier is enabled — residual entries serve any dataset.
+    pub cluster_admit: Option<bool>,
 }
 
 impl SplitFetcher for SciSlabFetcher {
@@ -156,6 +165,14 @@ impl SplitFetcher for SciSlabFetcher {
         let mut needed: Vec<(usize, u64, u64, u64, u32)> = Vec::new();
         let mut skipped: HashSet<usize> = HashSet::new();
         let mut skipped_bytes = 0u64;
+        let cluster_on = env.cluster_cache.enabled();
+        let mut cluster_hits = 0usize;
+        let mut cluster_misses = 0usize;
+        // Raw (decompressed) bytes served from the cluster tier — charged
+        // at memory speed — and compressed bytes whose PFS reads that
+        // avoided.
+        let mut cluster_hit_raw = 0u64;
+        let mut cluster_avoided = 0u64;
         for &i in &ids {
             let ext = match extents.get(i) {
                 Some(e) => e,
@@ -206,10 +223,44 @@ impl SplitFetcher for SciSlabFetcher {
                 Some(raw) => {
                     collected.borrow_mut().insert(i, raw);
                 }
-                None => needed.push((i, ext.offset, ext.clen, ext.rlen, ext.crc)),
+                // Job-cache miss: consult the cluster tier. Only residency
+                // on the *executing* node is a hit (remote holders steer
+                // the scheduler, they don't serve data).
+                None => match env.cluster_cache.lookup(node, (file_key, ext.offset)) {
+                    Some(raw) => {
+                        // Seed the job cache so sibling fetchers of this
+                        // job hit without another registry round.
+                        self.cache.insert((file_key, ext.offset), raw.clone());
+                        collected.borrow_mut().insert(i, raw);
+                        cluster_hits += 1;
+                        cluster_hit_raw += ext.rlen;
+                        cluster_avoided += ext.clen;
+                    }
+                    None => {
+                        if cluster_on {
+                            cluster_misses += 1;
+                        }
+                        needed.push((i, ext.offset, ext.clen, ext.rlen, ext.crc));
+                    }
+                },
             }
         }
-        let hits = ids.len() - needed.len() - skipped.len();
+        let hits = ids.len() - needed.len() - skipped.len() - cluster_hits;
+        let cluster_hit_cost = sim.cost.cache_hit(cluster_hit_raw as usize);
+        // Counter block shared by the all-cached and read paths: the
+        // cluster-tier counters only exist when the tier is live, so every
+        // existing workload's counter set is unchanged.
+        let cluster_counters = move || {
+            let mut c: Vec<(&'static str, f64)> = Vec::new();
+            if cluster_on {
+                c.push((keys::CLUSTER_CACHE_HITS, cluster_hits as f64));
+                c.push((keys::CLUSTER_CACHE_MISSES, cluster_misses as f64));
+                if cluster_avoided > 0 {
+                    c.push((keys::PFS_BYTES_AVOIDED, cluster_avoided as f64));
+                }
+            }
+            c
+        };
         let misses = needed.len();
         let var = self.var.clone();
         let start = self.start.clone();
@@ -259,13 +310,19 @@ impl SplitFetcher for SciSlabFetcher {
 
         if needed.is_empty() {
             // Everything (possibly nothing) came from the cache — or was
-            // pruned away.
+            // pruned away. Cluster hits pay the node-local memory-copy
+            // charge instead of a PFS read.
             let result = assemble(&collected.borrow()).map(|(input, extra)| {
                 let mut counters = vec![(keys::CHUNK_CACHE_HITS, hits as f64)];
+                counters.extend(cluster_counters());
                 counters.extend(extra);
+                let mut charges: Vec<(&'static str, f64)> = Vec::new();
+                if cluster_hits > 0 {
+                    charges.push(("cache_read", cluster_hit_cost));
+                }
                 FetchResult {
                     input,
-                    charges: vec![],
+                    charges,
                     counters,
                     tag: String::new(),
                 }
@@ -282,6 +339,7 @@ impl SplitFetcher for SciSlabFetcher {
         let decode_s = Rc::new(RefCell::new(0.0f64));
         let events = Rc::new(RefCell::new(IntegrityEvents::default()));
         let path = Rc::new(self.pfs_path.clone());
+        let cluster_admit = self.cluster_admit;
         for (idx, offset, clen, _rlen, crc) in needed {
             let collected = collected.clone();
             let remaining = remaining.clone();
@@ -290,6 +348,7 @@ impl SplitFetcher for SciSlabFetcher {
             let events2 = events.clone();
             let cache = self.cache.clone();
             let assemble = assemble.clone();
+            let envc = env.clone();
             let frame_done: FrameDone = Box::new(move |sim, frame| {
                 let frame = match frame {
                     Ok(frame) => frame,
@@ -321,6 +380,14 @@ impl SplitFetcher for SciSlabFetcher {
                 *decode_s.borrow_mut() += t0.elapsed().as_secs_f64();
                 let raw = Arc::new(raw);
                 cache.insert((file_key, offset), raw.clone());
+                // Placement-gated cluster admission: the decoded (verified)
+                // chunk becomes node-local for every later job/stage. The
+                // registry itself refuses quarantined or oversized entries
+                // and no-ops while the tier is disabled.
+                if let Some(pinned) = cluster_admit {
+                    envc.cluster_cache
+                        .insert(node, (file_key, offset), raw.clone(), pinned);
+                }
                 collected.borrow_mut().insert(idx, raw);
                 let mut rem = remaining.borrow_mut();
                 *rem -= 1;
@@ -356,12 +423,17 @@ impl SplitFetcher for SciSlabFetcher {
                     counters.push((keys::CORRUPTION_REPAIRED, ev.repaired as f64));
                 }
                 drop(ev);
+                counters.extend(cluster_counters());
                 counters.extend(extra);
+                let mut charges = vec![("decompress", decompress_cost)];
+                if cluster_hits > 0 {
+                    charges.push(("cache_read", cluster_hit_cost));
+                }
                 d(
                     sim,
                     Ok(FetchResult {
                         input,
-                        charges: vec![("decompress", decompress_cost)],
+                        charges,
                         counters,
                         tag: String::new(),
                     }),
@@ -394,9 +466,9 @@ impl SplitFetcher for SciSlabFetcher {
 
     fn open_stream(
         &self,
-        _env: &MrEnv,
-        _sim: &mut Sim,
-        _node: NodeId,
+        env: &MrEnv,
+        sim: &mut Sim,
+        node: NodeId,
     ) -> Result<Box<dyn PieceStream>, StreamFallback> {
         if self.pushdown.is_some() {
             // Pushdown delivers a filtered frame, not a dense array; the
@@ -415,6 +487,11 @@ impl SplitFetcher for SciSlabFetcher {
             Rc::new(RefCell::new(HashMap::new()));
         let mut pieces = Vec::new();
         let mut hits = 0usize;
+        let cluster_on = env.cluster_cache.enabled();
+        let mut cluster_hits = 0usize;
+        let mut cluster_misses = 0usize;
+        let mut cluster_hit_raw = 0u64;
+        let mut cluster_avoided = 0u64;
         for &i in &ids {
             let ext = match extents.get(i) {
                 Some(e) => e,
@@ -439,13 +516,30 @@ impl SplitFetcher for SciSlabFetcher {
                     collected.borrow_mut().insert(i, raw);
                     hits += 1;
                 }
-                None => pieces.push(SlabPiece::Read {
-                    idx: i,
-                    offset: ext.offset,
-                    clen: ext.clen,
-                    rlen: ext.rlen,
-                    crc: ext.crc,
-                }),
+                // Job-cache miss: a node-local cluster-tier copy turns the
+                // piece into a zero-read open-time hit, exactly like the
+                // batch path.
+                None => match env.cluster_cache.lookup(node, (file_key, ext.offset)) {
+                    Some(raw) => {
+                        self.cache.insert((file_key, ext.offset), raw.clone());
+                        collected.borrow_mut().insert(i, raw);
+                        cluster_hits += 1;
+                        cluster_hit_raw += ext.rlen;
+                        cluster_avoided += ext.clen;
+                    }
+                    None => {
+                        if cluster_on {
+                            cluster_misses += 1;
+                        }
+                        pieces.push(SlabPiece::Read {
+                            idx: i,
+                            offset: ext.offset,
+                            clen: ext.clen,
+                            rlen: ext.rlen,
+                            crc: ext.crc,
+                        });
+                    }
+                },
             }
         }
         Ok(Box::new(SlabPieceStream {
@@ -456,9 +550,32 @@ impl SplitFetcher for SciSlabFetcher {
             cache: self.cache.clone(),
             file_key,
             hits,
+            cluster_on,
+            cluster_admit: self.cluster_admit,
+            cluster_hits,
+            cluster_misses,
+            cluster_avoided,
+            // `finish()` has no `Sim` handle, so the memory-copy charge for
+            // the open-time cluster hits is priced here.
+            cluster_hit_cost: sim.cost.cache_hit(cluster_hit_raw as usize),
             pieces,
             collected,
         }))
+    }
+
+    fn cache_hints(&self) -> Vec<simnet::ChunkKey> {
+        // The chunk keys this split will ask the cluster tier for — the
+        // scheduler probes these against each node's registry shard to
+        // place the map cache-local. Only computed when the tier is live
+        // (the driver skips the call otherwise).
+        let shape = self.var.shape();
+        let ids =
+            hyperslab::chunks_for_slab(&shape, &self.var.chunk_shape, &self.start, &self.count);
+        let extents = chunk_extents_of(&self.var, self.data_offset);
+        let file_key = ChunkCache::file_key(&self.pfs_path);
+        ids.iter()
+            .filter_map(|&i| extents.get(i).map(|e| (file_key, e.offset)))
+            .collect()
     }
 
     fn describe(&self) -> String {
@@ -500,6 +617,13 @@ struct SlabPieceStream {
     cache: Arc<ChunkCache>,
     file_key: u64,
     hits: usize,
+    /// Whether the cluster tier was live at open (gates counter emission).
+    cluster_on: bool,
+    cluster_admit: Option<bool>,
+    cluster_hits: usize,
+    cluster_misses: usize,
+    cluster_avoided: u64,
+    cluster_hit_cost: f64,
     pieces: Vec<SlabPiece>,
     collected: Rc<RefCell<HashMap<usize, Arc<Vec<u8>>>>>,
 }
@@ -540,6 +664,8 @@ impl PieceStream for SlabPieceStream {
         let collected = self.collected.clone();
         let cache = self.cache.clone();
         let file_key = self.file_key;
+        let cluster_admit = self.cluster_admit;
+        let envc = env.clone();
         let done_cell = Rc::new(RefCell::new(Some(done)));
         let dc = done_cell.clone();
         let events2 = events.clone();
@@ -571,6 +697,12 @@ impl PieceStream for SlabPieceStream {
             let decode_s = t0.elapsed().as_secs_f64();
             let raw = Arc::new(raw);
             cache.insert((file_key, offset), raw.clone());
+            // Same placement-gated admission as the batch path: the piece's
+            // decoded chunk becomes node-local cluster state on arrival.
+            if let Some(pinned) = cluster_admit {
+                envc.cluster_cache
+                    .insert(node, (file_key, offset), raw.clone(), pinned);
+            }
             collected.borrow_mut().insert(idx, raw);
             let mut counters = vec![
                 (keys::CHUNK_CACHE_MISSES, 1.0),
@@ -626,17 +758,79 @@ impl PieceStream for SlabPieceStream {
                 .ok_or_else(|| scifmt::FmtError::NotFound(format!("chunk {i}")))
         })
         .map_err(|e| MrError::msg(format!("snc slab assembly: {e}")))?;
-        let counters = if self.hits > 0 {
+        let mut counters = if self.hits > 0 {
             vec![(keys::CHUNK_CACHE_HITS, self.hits as f64)]
         } else {
             Vec::new()
         };
+        if self.cluster_on {
+            counters.push((keys::CLUSTER_CACHE_HITS, self.cluster_hits as f64));
+            counters.push((keys::CLUSTER_CACHE_MISSES, self.cluster_misses as f64));
+            if self.cluster_avoided > 0 {
+                counters.push((keys::PFS_BYTES_AVOIDED, self.cluster_avoided as f64));
+            }
+        }
+        let charges = if self.cluster_hits > 0 {
+            vec![("cache_read", self.cluster_hit_cost)]
+        } else {
+            vec![]
+        };
         Ok(FetchResult {
             input: TaskInput::Array(array),
-            charges: vec![],
+            charges,
             counters,
             tag: String::new(),
         })
+    }
+}
+
+/// A reader session: every [`SncFile`] opened through it shares ONE
+/// content-keyed decompressed-chunk cache, instead of each open allocating
+/// its own private [`DEFAULT_CACHE_BYTES`] cache. A converter or scan that
+/// walks hundreds of files therefore holds `capacity` bytes of chunk
+/// memory total — not `capacity × files` — and repeated chunks of the
+/// *same* file opened twice actually hit (keys are content-derived, so a
+/// re-open maps onto the already-resident entries).
+pub struct ReaderSession {
+    cache: Arc<ChunkCache>,
+    files_opened: Cell<usize>,
+}
+
+impl Default for ReaderSession {
+    /// A session with the per-file default capacity — now shared by every
+    /// file instead of multiplied by them.
+    fn default() -> ReaderSession {
+        ReaderSession::new(DEFAULT_CACHE_BYTES)
+    }
+}
+
+impl ReaderSession {
+    pub fn new(cache_bytes: usize) -> ReaderSession {
+        ReaderSession {
+            cache: Arc::new(ChunkCache::new(cache_bytes)),
+            files_opened: Cell::new(0),
+        }
+    }
+
+    /// Open an SNC container backed by the session-shared cache.
+    pub fn open(&self, bytes: impl Into<Arc<Vec<u8>>>) -> scifmt::Result<SncFile> {
+        self.files_opened.set(self.files_opened.get() + 1);
+        Ok(SncFile::open(bytes)?.with_cache(self.cache.clone()))
+    }
+
+    /// The shared cache (e.g. to hand to [`SciSlabFetcher`]s directly).
+    pub fn cache(&self) -> &Arc<ChunkCache> {
+        &self.cache
+    }
+
+    pub fn files_opened(&self) -> usize {
+        self.files_opened.get()
+    }
+
+    /// The session's chunk-memory bound. This is the *effective* capacity
+    /// no matter how many files are opened — report it once, not per file.
+    pub fn effective_capacity(&self) -> usize {
+        self.cache.capacity()
     }
 }
 
@@ -691,6 +885,45 @@ mod tests {
     }
 
     #[test]
+    fn reader_session_shares_one_cache_across_files() {
+        // Two distinct containers opened through one session share a single
+        // pool; re-opening the same container maps onto already-resident
+        // entries (keys are content-derived).
+        let build = |seed: f32| {
+            let data: Vec<f32> = (0..2 * 4 * 3).map(|i| i as f32 + seed).collect();
+            let full = Array::from_f32(vec![2, 4, 3], data).unwrap();
+            let mut b = SncBuilder::new();
+            b.add_var(
+                "",
+                "QR",
+                &[("lev", 2), ("lat", 4), ("lon", 3)],
+                &[2, 4, 3],
+                Codec::ShuffleLz { elem: 4 },
+                full,
+            )
+            .unwrap();
+            b.finish()
+        };
+        let (b1, b2) = (build(0.0), build(100.0));
+        let session = ReaderSession::new(1 << 20);
+        let f1 = session.open(b1.clone()).unwrap();
+        let f2 = session.open(b2).unwrap();
+        assert!(Arc::ptr_eq(f1.cache(), f2.cache()), "one pool, two files");
+        assert_eq!(session.files_opened(), 2);
+        // Capacity is the session's bound, not capacity × files.
+        assert_eq!(session.effective_capacity(), 1 << 20);
+        f1.get_vara("QR", &[0, 0, 0], &[2, 4, 3]).unwrap();
+        f2.get_vara("QR", &[0, 0, 0], &[2, 4, 3]).unwrap();
+        let after_two = session.cache().stats().misses;
+        assert!(after_two >= 2, "each file decoded its own chunk");
+        // Re-open file 1: same content → same keys → pure hits.
+        let f1b = session.open(b1).unwrap();
+        f1b.get_vara("QR", &[0, 0, 0], &[2, 4, 3]).unwrap();
+        assert_eq!(session.cache().stats().misses, after_two);
+        assert_eq!(session.files_opened(), 3);
+    }
+
+    #[test]
     fn fetch_assembles_exact_slab() {
         let mut c = cluster();
         let (var, off, full) = stage_var(&mut c);
@@ -702,6 +935,7 @@ mod tests {
             count: vec![3, 4, 5],
             cache: Arc::new(ChunkCache::new(0)),
             pushdown: None,
+            cluster_admit: None,
         };
         #[allow(clippy::type_complexity)]
         let got: Rc<RefCell<Option<(TaskInput, Vec<(&'static str, f64)>)>>> =
@@ -750,6 +984,7 @@ mod tests {
             count: vec![2, 8, 5],
             cache: Arc::new(ChunkCache::new(0)),
             pushdown: None,
+            cluster_admit: None,
         };
         let env = c.env();
         fetcher.fetch(&env, &mut c.sim, NodeId(1), Box::new(|_, _| {}));
@@ -779,6 +1014,7 @@ mod tests {
             count,
             cache: cache.clone(),
             pushdown: None,
+            cluster_admit: None,
         };
         let env = c.env();
         let first = mk(vec![0, 0, 0], vec![4, 8, 5]); // chunks 0 and 1
@@ -825,6 +1061,7 @@ mod tests {
             count: vec![6, 8, 5],
             cache: Arc::new(ChunkCache::default()),
             pushdown: None,
+            cluster_admit: None,
         };
         let got = Rc::new(RefCell::new(None));
         let g = got.clone();
@@ -859,6 +1096,7 @@ mod tests {
             count: vec![2, 8, 5],
             cache: Arc::new(ChunkCache::new(0)),
             pushdown: None,
+            cluster_admit: None,
         };
         let got = Rc::new(RefCell::new(None));
         let g = got.clone();
@@ -899,6 +1137,7 @@ mod tests {
             count: vec![2, 8, 5],
             cache: Arc::new(ChunkCache::new(0)),
             pushdown: None,
+            cluster_admit: None,
         };
         let got = Rc::new(RefCell::new(None));
         let g = got.clone();
@@ -952,6 +1191,7 @@ mod tests {
             count: vec![2, 8, 5],
             cache: cache.clone(),
             pushdown: None,
+            cluster_admit: None,
         };
         let got = Rc::new(RefCell::new(None));
         let g = got.clone();

@@ -17,7 +17,8 @@ use mapreduce::{run_job, submit_job_env, Cluster, JobResult, MrError, Payload, T
 use rframe::{ColorMap, DataFrame};
 
 use crate::error::ScidpError;
-use crate::rapi::{decode_tag, make_splits, slab_to_frame, RCtx, RJob, ScidpInput};
+use crate::placement::Placement;
+use crate::rapi::{decode_tag, make_splits, slab_to_frame, PlacementSpec, RCtx, RJob, ScidpInput};
 
 /// In-map analysis (Fig. 9's x-axis cases).
 #[derive(Clone, Debug, PartialEq)]
@@ -52,6 +53,13 @@ pub struct WorkflowConfig {
     /// disables caching). Recorded in the job counters as
     /// `chunk_cache_capacity_bytes`.
     pub cache_bytes: usize,
+    /// Per-node capacity of the *cluster* chunk-cache tier (bytes; 0
+    /// leaves the tier off). Enabled on the cluster at run time; entries
+    /// survive this job and warm every later job on the same cluster.
+    pub cluster_cache_bytes: u64,
+    /// How the input dataset's placement (cluster-cache admission) is
+    /// decided — fixed, or from a shared access-count policy.
+    pub placement: PlacementSpec,
     /// Intra-task read/compute overlap policy.
     pub stream: mapreduce::StreamConfig,
 }
@@ -71,6 +79,8 @@ impl WorkflowConfig {
             flat_block_size: 128 << 20,
             output_dir: "scidp_out".into(),
             cache_bytes: scifmt::snc::DEFAULT_CACHE_BYTES,
+            cluster_cache_bytes: 0,
+            placement: PlacementSpec::Fixed(Placement::PfsDirect),
             stream: mapreduce::StreamConfig::default(),
         }
     }
@@ -218,14 +228,16 @@ pub fn nuwrf_reduce_fn() -> crate::rapi::RReduceFn {
 pub fn build_rjob(input_path: &str, cfg: &WorkflowConfig) -> RJob {
     let map = nuwrf_map_fn(cfg);
     let reduce = nuwrf_reduce_fn();
+    let mut input = ScidpInput::path(input_path)
+        .vars(cfg.variables.clone())
+        .chunk_split(cfg.chunk_split)
+        .align_to_chunks(cfg.align_to_chunks)
+        .flat_block_size(cfg.flat_block_size)
+        .cache_bytes(cfg.cache_bytes);
+    input.placement = cfg.placement.clone();
     RJob {
         name: format!("scidp-{:?}", cfg.analysis),
-        input: ScidpInput::path(input_path)
-            .vars(cfg.variables.clone())
-            .chunk_split(cfg.chunk_split)
-            .align_to_chunks(cfg.align_to_chunks)
-            .flat_block_size(cfg.flat_block_size)
-            .cache_bytes(cfg.cache_bytes),
+        input,
         map,
         reduce: Some(reduce),
         n_reducers: cfg.n_reducers,
@@ -253,6 +265,9 @@ pub fn run_scidp(
     input_path: &str,
     cfg: &WorkflowConfig,
 ) -> Result<WorkflowReport, ScidpError> {
+    if cfg.cluster_cache_bytes > 0 {
+        cluster.enable_cluster_cache(cfg.cluster_cache_bytes);
+    }
     let rjob = build_rjob(input_path, cfg);
     // Kept aside in case launch-time revalidation finds the sources
     // changed and the mapping must be rebuilt.
@@ -524,6 +539,10 @@ pub struct StatsDagConfig {
     pub var_partitions: usize,
     pub chunk_split: usize,
     pub cache_bytes: usize,
+    /// Per-node cluster chunk-cache capacity (bytes; 0 = tier off).
+    pub cluster_cache_bytes: u64,
+    /// Dataset placement (cluster-cache admission) for the source stage.
+    pub placement: PlacementSpec,
     pub output_dir: String,
     pub ft: mapreduce::FtConfig,
     pub stream: mapreduce::StreamConfig,
@@ -537,6 +556,8 @@ impl StatsDagConfig {
             var_partitions: 2,
             chunk_split: 1,
             cache_bytes: scifmt::snc::DEFAULT_CACHE_BYTES,
+            cluster_cache_bytes: 0,
+            placement: PlacementSpec::Fixed(Placement::PfsDirect),
             output_dir: "stats_out".into(),
             ft: mapreduce::FtConfig::default(),
             stream: mapreduce::StreamConfig::default(),
@@ -588,10 +609,11 @@ pub fn build_stats_dag(
     input_path: &str,
     cfg: &StatsDagConfig,
 ) -> Result<mapreduce::DagJob, ScidpError> {
-    let input = ScidpInput::path(input_path)
+    let mut input = ScidpInput::path(input_path)
         .vars(cfg.variables.clone())
         .chunk_split(cfg.chunk_split)
         .cache_bytes(cfg.cache_bytes);
+    input.placement = cfg.placement.clone();
     let (splits, _setup) = make_splits(env, &input)?;
     // Stage 1 (source): per-level partial stats of each slab.
     let read: mapreduce::RecordReadFn = Rc::new(move |input, ctx| {
@@ -676,6 +698,9 @@ pub fn run_stats_dag(
     input_path: &str,
     cfg: &StatsDagConfig,
 ) -> Result<mapreduce::DagResult, ScidpError> {
+    if cfg.cluster_cache_bytes > 0 {
+        cluster.enable_cluster_cache(cfg.cluster_cache_bytes);
+    }
     let env = cluster.env();
     let dag = build_stats_dag(&env, input_path, cfg)?;
     mapreduce::run_dag(cluster, dag).map_err(job_error)

@@ -411,4 +411,64 @@ mod tests {
         assert_eq!(hits.len(), 1);
         assert!(hits.first().map(|f| f.message.contains("DEAD")) == Some(true));
     }
+
+    #[test]
+    fn cluster_cache_counter_keys_covered() {
+        // The rule must track the cache-tier keys like any other: keys
+        // recorded through the reader (`keys::`) or a bench's
+        // `counter_keys::` alias are live; a declared-but-never-recorded
+        // cache key is flagged.
+        let cfg = Config::default_for_root(std::path::Path::new("."));
+        let decl = input(
+            &cfg.counters_file.clone(),
+            "mapreduce",
+            "pub mod keys {\n\
+               pub const CLUSTER_CACHE_HITS: &str = \"cluster_cache_hits\";\n\
+               pub const CLUSTER_CACHE_MISSES: &str = \"cluster_cache_misses\";\n\
+               pub const CLUSTER_CACHE_EVICTIONS: &str = \"cluster_cache_evictions\";\n\
+               pub const CACHE_LOCALITY_MAPS: &str = \"cache_locality_maps\";\n\
+               pub const PFS_BYTES_AVOIDED: &str = \"pfs_bytes_avoided\";\n\
+               pub const CLUSTER_CACHE_GHOSTS: &str = \"cluster_cache_ghosts\";\n\
+             }\n",
+        );
+        let reader = input(
+            "crates/scidp/src/reader.rs",
+            "scidp",
+            "fn f(c: &mut Counters) {\n\
+               c.add(keys::CLUSTER_CACHE_HITS, 1.0);\n\
+               c.add(keys::CLUSTER_CACHE_MISSES, 1.0);\n\
+               c.add(keys::CLUSTER_CACHE_EVICTIONS, 1.0);\n\
+               c.add(keys::CACHE_LOCALITY_MAPS, 1.0);\n\
+             }\n",
+        );
+        let bench = input(
+            "crates/bench/src/bin/cache.rs",
+            "scidp-bench",
+            "fn g(c: &Counters) -> f64 { c.get(counter_keys::PFS_BYTES_AVOIDED) }\n",
+        );
+        let l1 = lex(&decl.src);
+        let l2 = lex(&reader.src);
+        let l3 = lex(&bench.src);
+        let files = vec![
+            LexedFile {
+                file: &decl,
+                lexed: &l1,
+            },
+            LexedFile {
+                file: &reader,
+                lexed: &l2,
+            },
+            LexedFile {
+                file: &bench,
+                lexed: &l3,
+            },
+        ];
+        let hits = counter_rule(&files, &cfg);
+        assert_eq!(hits.len(), 1, "only the unrecorded cache key is dead");
+        assert!(
+            hits.first()
+                .map(|f| f.message.contains("CLUSTER_CACHE_GHOSTS"))
+                == Some(true)
+        );
+    }
 }

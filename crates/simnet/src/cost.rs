@@ -32,6 +32,10 @@ pub struct CostModel {
     pub binary_convert_per_byte: f64,
     /// Codec decode, charged per *raw* (decompressed) byte.
     pub decompress_per_byte: f64,
+    /// Serving one raw byte from the cluster chunk-cache tier (a node-local
+    /// memory copy — no disk, no NIC, no codec). Charged instead of the PFS
+    /// read + decompress on a cluster-cache hit.
+    pub cache_hit_per_byte: f64,
     /// Codec encode, charged per raw byte.
     pub compress_per_byte: f64,
     /// netCDF → CSV conversion, charged per raw byte (the offline step the
@@ -67,6 +71,8 @@ impl Default for CostModel {
             binary_convert_per_byte: 1.5e-8,
             // ~1 GB/s — byte-shuffle + LZ decode.
             decompress_per_byte: 1.0e-9,
+            // ~5 GB/s — memcpy out of a warm page cache.
+            cache_hit_per_byte: 2.0e-10,
             // ~250 MB/s encode.
             compress_per_byte: 4.0e-9,
             // ~10 MB/s: dump + format every float as text (>1 h for the
@@ -113,6 +119,13 @@ impl CostModel {
     #[inline]
     pub fn compress(&self, real_raw: usize) -> f64 {
         self.lbytes(real_raw) * self.compress_per_byte
+    }
+
+    /// Virtual seconds to serve `real` raw bytes from the cluster
+    /// chunk-cache tier (node-local memory copy).
+    #[inline]
+    pub fn cache_hit(&self, real_raw: usize) -> f64 {
+        self.lbytes(real_raw) * self.cache_hit_per_byte
     }
 
     /// Virtual seconds to render a `w x h` *logical* image.

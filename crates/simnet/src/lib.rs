@@ -26,6 +26,7 @@
 
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod cache;
 pub mod cost;
 pub mod event;
 pub mod fault;
@@ -33,6 +34,7 @@ pub mod flow;
 pub mod time;
 pub mod topology;
 
+pub use cache::{ChunkKey, ClusterCache, ClusterCacheStats};
 pub use cost::CostModel;
 pub use event::Sim;
 pub use fault::{

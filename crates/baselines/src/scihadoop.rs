@@ -11,7 +11,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use hdfs::Block;
-use mapreduce::{FetchDone, FetchResult, InputSplit, MrEnv, SplitFetcher, TaskInput};
+use mapreduce::{FetchDone, FetchResult, InputSplit, MrEnv, MrError, SplitFetcher, TaskInput};
 use scidp::encode_slab_tag;
 use scifmt::snc::{assemble_slab, chunk_extents_of};
 use scifmt::{SncMeta, VarMeta};
@@ -44,17 +44,29 @@ impl SplitFetcher for HdfsSciFetcher {
             .collect();
         let blocks: Vec<(u64, Block)> = {
             let h = env.hdfs.borrow();
-            let mut off = 0u64;
-            h.namenode
-                .blocks(&self.hdfs_path)
-                .expect("staged container on HDFS")
-                .iter()
-                .map(|b| {
-                    let entry = (off, b.clone());
-                    off += b.len;
-                    entry
-                })
-                .collect()
+            match h.namenode.blocks(&self.hdfs_path) {
+                Ok(bs) => {
+                    let mut off = 0u64;
+                    bs.iter()
+                        .map(|b| {
+                            let entry = (off, b.clone());
+                            off += b.len;
+                            entry
+                        })
+                        .collect()
+                }
+                Err(e) => {
+                    drop(h);
+                    done(
+                        sim,
+                        Err(MrError::msg(format!(
+                            "scihadoop fetch: staged container `{}`: {e}",
+                            self.hdfs_path
+                        ))),
+                    );
+                    return;
+                }
+            }
         };
         // Which blocks overlap any needed chunk range?
         let mut needed: Vec<usize> = Vec::new();
@@ -128,16 +140,42 @@ impl SplitFetcher for HdfsSciFetcher {
                     for &(idx, coff, clen) in &chunk_ranges {
                         let frame = slice_range(coff, clen);
                         assert_eq!(frame.len() as u64, clen, "chunk fully covered by blocks");
-                        let raw = scifmt::codec::decompress(&frame).expect("staged chunk decodes");
-                        raw_chunks.insert(idx, raw);
+                        match scifmt::codec::decompress(&frame) {
+                            Ok(raw) => {
+                                raw_chunks.insert(idx, raw);
+                            }
+                            Err(e) => {
+                                let Some(d) = dc.borrow_mut().take() else {
+                                    return;
+                                };
+                                d(
+                                    sim,
+                                    Err(MrError::msg(format!(
+                                        "scihadoop fetch: chunk {idx} decode: {e}"
+                                    ))),
+                                );
+                                return;
+                            }
+                        }
                     }
-                    let array = assemble_slab(&var, &start, &count, |i| {
+                    let array = match assemble_slab(&var, &start, &count, |i| {
                         raw_chunks
                             .get(&i)
                             .cloned()
                             .ok_or_else(|| scifmt::FmtError::NotFound(format!("chunk {i}")))
-                    })
-                    .expect("slab assembles from staged chunks");
+                    }) {
+                        Ok(a) => a,
+                        Err(e) => {
+                            let Some(d) = dc.borrow_mut().take() else {
+                                return;
+                            };
+                            d(
+                                sim,
+                                Err(MrError::msg(format!("scihadoop fetch: assemble: {e}"))),
+                            );
+                            return;
+                        }
+                    };
                     let Some(d) = dc.borrow_mut().take() else {
                         return; // a sibling block read already failed this fetch
                     };

@@ -146,7 +146,8 @@ fn stage_input(cluster: &mut Cluster, backend: Backend, path: &str, data: Vec<u8
 fn input_splits(cluster: &Cluster, backend: Backend, path: &str) -> Vec<InputSplit> {
     let env = cluster.env();
     match backend {
-        Backend::Hdfs => mapreduce::hdfs_file_splits(&env, path),
+        // scilint::allow(p-expect, reason = "harness staging precondition: stage_input created the path immediately above; a miss is a bug in the bench itself")
+        Backend::Hdfs => mapreduce::hdfs_file_splits(&env, path).expect("staged input path"),
         Backend::Connector => {
             let len = cluster.pfs.borrow().len_of(path).expect("staged input");
             let block = cluster.hdfs.borrow().namenode.block_size;

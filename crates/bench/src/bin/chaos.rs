@@ -207,7 +207,7 @@ fn run_hdfs(plan: FaultPlan, hedge_after_s: f64) -> RunStats {
         after_s: hedge_after_s,
     });
     let env = c.env();
-    let mut splits = hdfs_file_splits(&env, "data/hedge.bin");
+    let mut splits = hdfs_file_splits(&env, "data/hedge.bin").expect("staged hedge input");
     // Strip locality so maps land on every node and read the blocks over
     // the network (local reads would never need a hedge).
     for s in &mut splits {

@@ -89,6 +89,26 @@ pub struct HedgeStats {
     pub hedged_read_wins: u64,
 }
 
+/// Integrity and hedge events of *one* block read, attributed to that read
+/// alone. Callers that need per-read accounting (task-attempt counters)
+/// must use these rather than deltas of the cluster-wide
+/// [`IntegrityStats`]/[`HedgeStats`]: concurrent reads interleave their
+/// updates to the shared stats, so a start/finish delta around one read
+/// absorbs every other read that completed in the window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReadEvents {
+    /// Payload bytes of this read that passed CRC-32C verification.
+    pub verified_bytes: u64,
+    /// Replica deliveries of this read that failed verification.
+    pub detected: u64,
+    /// 1 when this read met corruption but completed from another replica.
+    pub repaired: u64,
+    /// Hedge transfers this read launched.
+    pub hedged_reads: u64,
+    /// 1 when this read's winning delivery came from a hedge launch.
+    pub hedged_read_wins: u64,
+}
+
 impl std::error::Error for HdfsError {}
 
 impl From<NsError> for HdfsError {
@@ -247,8 +267,18 @@ struct BlockReadState {
     verify_failures: std::cell::Cell<u64>,
     /// Hedge deadline, copied from the cluster config at read_block time.
     hedge_after_s: Option<f64>,
+    /// Events of this read alone (see [`ReadEvents`]).
+    events: std::cell::Cell<ReadEvents>,
     #[allow(clippy::type_complexity)]
-    done: RefCell<Option<Box<dyn FnOnce(&mut Sim, Arc<Vec<u8>>)>>>,
+    done: RefCell<Option<Box<dyn FnOnce(&mut Sim, Arc<Vec<u8>>, ReadEvents)>>>,
+}
+
+impl BlockReadState {
+    fn record(&self, f: impl FnOnce(&mut ReadEvents)) {
+        let mut ev = self.events.get();
+        f(&mut ev);
+        self.events.set(ev);
+    }
 }
 
 /// Schedule the timed transfer of attempt `i`: RPC, disk seek, data flow.
@@ -279,6 +309,7 @@ fn attempt_step(sim: &mut Sim, st: Rc<BlockReadState>, i: usize, via_hedge: bool
         sim.after(after_s, move |sim| {
             if st2.done.borrow().is_some() && st2.launched.borrow().get(i + 1) == Some(&false) {
                 st2.hdfs.borrow_mut().hedge_stats.hedged_reads += 1;
+                st2.record(|ev| ev.hedged_reads += 1);
                 attempt_step(sim, st2, i + 1, true);
             }
         });
@@ -353,22 +384,26 @@ fn deliver_attempt(
             let mut h = st.hdfs.borrow_mut();
             if st.crc != 0 {
                 h.integrity.verified_bytes += delivered.len() as u64;
+                st.record(|ev| ev.verified_bytes += delivered.len() as u64);
             }
             if st.verify_failures.get() > 0 {
                 h.integrity.repaired += 1;
+                st.record(|ev| ev.repaired += 1);
             }
             if via_hedge {
                 h.hedge_stats.hedged_read_wins += 1;
+                st.record(|ev| ev.hedged_read_wins += 1);
             }
         }
         // Armed once at read_block (checked non-empty above, and this is
         // the single-threaded sim — nothing raced us since).
         if let Some(cb) = st.done.borrow_mut().take() {
-            cb(sim, delivered);
+            cb(sim, delivered, st.events.get());
         }
     } else {
         st.verify_failures.set(st.verify_failures.get() + 1);
         st.hdfs.borrow_mut().integrity.detected += 1;
+        st.record(|ev| ev.detected += 1);
         // Without hedging the planner guarantees a clean replica follows a
         // corrupt one, so `i + 1` is in bounds. A hedged plan keeps *every*
         // candidate, so a corrupt alternate can sit last — nothing to fall
@@ -395,6 +430,22 @@ pub fn read_block(
     reader: NodeId,
     block: &Block,
     done: impl FnOnce(&mut Sim, Arc<Vec<u8>>) + 'static,
+) -> Result<(), HdfsError> {
+    read_block_with_events(sim, topo, hdfs, reader, block, move |sim, data, _ev| {
+        done(sim, data)
+    })
+}
+
+/// [`read_block`], but the completion also receives the [`ReadEvents`] of
+/// this read alone — the only safe source for per-attempt counters when
+/// reads run concurrently.
+pub fn read_block_with_events(
+    sim: &mut Sim,
+    topo: &Topology,
+    hdfs: &SharedHdfs,
+    reader: NodeId,
+    block: &Block,
+    done: impl FnOnce(&mut Sim, Arc<Vec<u8>>, ReadEvents) + 'static,
 ) -> Result<(), HdfsError> {
     let locations = block.locations();
     if block.is_dummy() {
@@ -476,6 +527,7 @@ pub fn read_block(
         launched: RefCell::new(vec![false; n_attempts]),
         verify_failures: std::cell::Cell::new(0),
         hedge_after_s,
+        events: std::cell::Cell::new(ReadEvents::default()),
         done: RefCell::new(Some(Box::new(done))),
     });
     attempt_step(sim, st, 0, false);

@@ -229,56 +229,29 @@ impl std::fmt::Debug for InputSplit {
 // HDFS block fetcher
 // ---------------------------------------------------------------------------
 
-/// Counter deltas for the integrity events one read produced (only keys
-/// with events appear, keeping fault-free fetch results unchanged).
-pub fn integrity_counter_delta(
-    before: hdfs::IntegrityStats,
-    after: hdfs::IntegrityStats,
-) -> Vec<(&'static str, f64)> {
+/// Counter deltas for the integrity and hedge events *one* block read
+/// produced (only keys with events appear, keeping fault-free fetch
+/// results unchanged). Takes the per-read [`hdfs::ReadEvents`] rather than
+/// a delta of the cluster-wide stats: concurrent fetches interleave their
+/// updates to the shared stats, so a snapshot delta around one read would
+/// absorb every other read completing in the window and double-count.
+pub fn read_event_counters(ev: hdfs::ReadEvents) -> Vec<(&'static str, f64)> {
     use crate::counters::keys;
     let mut out = Vec::new();
-    if after.verified_bytes > before.verified_bytes {
-        out.push((
-            keys::CHECKSUM_VERIFIED_BYTES,
-            (after.verified_bytes - before.verified_bytes) as f64,
-        ));
+    if ev.verified_bytes > 0 {
+        out.push((keys::CHECKSUM_VERIFIED_BYTES, ev.verified_bytes as f64));
     }
-    if after.detected > before.detected {
-        out.push((
-            keys::CORRUPTION_DETECTED,
-            (after.detected - before.detected) as f64,
-        ));
+    if ev.detected > 0 {
+        out.push((keys::CORRUPTION_DETECTED, ev.detected as f64));
     }
-    if after.repaired > before.repaired {
-        out.push((
-            keys::CORRUPTION_REPAIRED,
-            (after.repaired - before.repaired) as f64,
-        ));
+    if ev.repaired > 0 {
+        out.push((keys::CORRUPTION_REPAIRED, ev.repaired as f64));
     }
-    out
-}
-
-/// Counter deltas for the hedged-read events one block read produced.
-/// Folding the cluster-wide [`hdfs::HedgeStats`] delta into attempt-local
-/// counters keeps `hedged_reads`/`hedged_read_wins` exact under retries and
-/// speculation — a failed attempt's hedges vanish with its counters.
-pub fn hedge_counter_delta(
-    before: hdfs::HedgeStats,
-    after: hdfs::HedgeStats,
-) -> Vec<(&'static str, f64)> {
-    use crate::counters::keys;
-    let mut out = Vec::new();
-    if after.hedged_reads > before.hedged_reads {
-        out.push((
-            keys::HEDGED_READS,
-            (after.hedged_reads - before.hedged_reads) as f64,
-        ));
+    if ev.hedged_reads > 0 {
+        out.push((keys::HEDGED_READS, ev.hedged_reads as f64));
     }
-    if after.hedged_read_wins > before.hedged_read_wins {
-        out.push((
-            keys::HEDGED_READ_WINS,
-            (after.hedged_read_wins - before.hedged_read_wins) as f64,
-        ));
+    if ev.hedged_read_wins > 0 {
+        out.push((keys::HEDGED_READ_WINS, ev.hedged_read_wins as f64));
     }
     out
 }
@@ -335,26 +308,26 @@ impl SplitFetcher for HdfsBlockFetcher {
         };
         // `read_block` consumes its callback even when it fails
         // synchronously, so route completion through a take-once cell.
-        // Integrity accounting: snapshot the cluster-wide stats and charge
-        // this attempt with the delta its read produced. The deltas land in
-        // attempt-local counters, so a failed attempt's events are dropped
-        // with it — exactly like every other per-attempt counter.
-        let before = env.hdfs.borrow().integrity;
-        let hedge_before = env.hdfs.borrow().hedge_stats;
-        let env2 = env.clone();
+        // Integrity accounting: the read reports its own events, which land
+        // in attempt-local counters — exact under concurrent fetches (a
+        // cluster-wide stats delta would absorb overlapping reads) and under
+        // retries (a failed attempt's events are dropped with it).
         let done_cell = std::rc::Rc::new(std::cell::RefCell::new(Some(done)));
         let dc = done_cell.clone();
-        let res = hdfs::read_block(sim, &env.topo, &env.hdfs, node, &block, move |sim, data| {
-            if let Some(d) = dc.borrow_mut().take() {
-                let mut fr = FetchResult::plain(TaskInput::Bytes(data.as_ref().clone()));
-                let h = env2.hdfs.borrow();
-                fr.counters = integrity_counter_delta(before, h.integrity);
-                fr.counters
-                    .extend(hedge_counter_delta(hedge_before, h.hedge_stats));
-                drop(h);
-                d(sim, Ok(fr));
-            }
-        });
+        let res = hdfs::read_block_with_events(
+            sim,
+            &env.topo,
+            &env.hdfs,
+            node,
+            &block,
+            move |sim, data, ev| {
+                if let Some(d) = dc.borrow_mut().take() {
+                    let mut fr = FetchResult::plain(TaskInput::Bytes(data.as_ref().clone()));
+                    fr.counters = read_event_counters(ev);
+                    d(sim, Ok(fr));
+                }
+            },
+        );
         if let Err(e) = res {
             if let Some(d) = done_cell.borrow_mut().take() {
                 let e = MrError::msg(format!("hdfs: {e} ({})", self.path));
@@ -369,15 +342,16 @@ impl SplitFetcher for HdfsBlockFetcher {
 }
 
 /// Build one split per block of an HDFS file (`FileInputFormat` on HDFS).
-pub fn hdfs_file_splits(env: &MrEnv, path: &str) -> Vec<InputSplit> {
+///
+/// A missing or non-file input path is reported as a typed error — the
+/// Hadoop `InvalidInputException` analogue at job-setup time.
+pub fn hdfs_file_splits(env: &MrEnv, path: &str) -> Result<Vec<InputSplit>, MrError> {
     let hdfs = env.hdfs.borrow();
-    // Job-setup time (not task time): a missing input path is a caller bug,
-    // so failing fast here is the Hadoop `InvalidInputException` analogue.
     let blocks = hdfs
         .namenode
         .blocks(path)
-        .expect("hdfs_file_splits: input path missing at job setup");
-    blocks
+        .map_err(|e| MrError::msg(format!("hdfs_file_splits({path}): {e}")))?;
+    Ok(blocks
         .iter()
         .enumerate()
         .map(|(i, b)| InputSplit {
@@ -388,7 +362,7 @@ pub fn hdfs_file_splits(env: &MrEnv, path: &str) -> Vec<InputSplit> {
                 block_index: i,
             }),
         })
-        .collect()
+        .collect())
 }
 
 // ---------------------------------------------------------------------------

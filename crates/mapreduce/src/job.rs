@@ -790,7 +790,10 @@ pub fn run_job(cluster: &mut Cluster, job: Job) -> Result<JobResult, MrError> {
         *o.borrow_mut() = Some(r);
     });
     cluster.run();
-    let result = out.borrow_mut().take().expect("job completed");
+    let result = out
+        .borrow_mut()
+        .take()
+        .unwrap_or_else(|| Err(MrError::msg("job did not complete before the sim drained")));
     result
 }
 
@@ -870,7 +873,9 @@ fn try_schedule(sim: &mut Sim, d: &SharedDriver) {
                             .iter()
                             .position(|&t| dd.job.splits[t].locations.contains(&nid))
                         {
-                            let task = dd.pending_maps.remove(pos).unwrap();
+                            let Some(task) = dd.pending_maps.remove(pos) else {
+                                continue;
+                            };
                             pick = Some(Pick::Map {
                                 node: nid,
                                 task,
@@ -889,34 +894,36 @@ fn try_schedule(sim: &mut Sim, d: &SharedDriver) {
                         .filter(|&n| dd.node_usable(n) && dd.free_slots[n] > 0)
                         .max_by_key(|&n| dd.free_slots[n]);
                     if let Some(node) = best {
-                        let task = dd.pending_maps.pop_front().expect("pending nonempty");
-                        pick = Some(Pick::Map {
-                            node: NodeId(node as u32),
-                            task,
-                            local: false,
-                            cache_local: false,
-                        });
+                        if let Some(task) = dd.pending_maps.pop_front() {
+                            pick = Some(Pick::Map {
+                                node: NodeId(node as u32),
+                                task,
+                                local: false,
+                                cache_local: false,
+                            });
+                        }
                     }
                 }
             }
-            if pick.is_none() && !dd.pending_reduces.is_empty() {
+            if pick.is_none() {
                 // Reducers honor the same slot limits as maps; prefer the
                 // round-robin home node `r % n_nodes` when it has capacity.
-                let r = *dd.pending_reduces.front().expect("reduce pending");
-                let pref = r % n_nodes;
-                let node = if dd.node_usable(pref) && dd.free_slots[pref] > 0 {
-                    Some(pref)
-                } else {
-                    (0..n_nodes)
-                        .filter(|&n| dd.node_usable(n) && dd.free_slots[n] > 0)
-                        .max_by_key(|&n| dd.free_slots[n])
-                };
-                if let Some(node) = node {
-                    dd.pending_reduces.pop_front();
-                    pick = Some(Pick::Reduce {
-                        node: NodeId(node as u32),
-                        task: r,
-                    });
+                if let Some(r) = dd.pending_reduces.front().copied() {
+                    let pref = r % n_nodes;
+                    let node = if dd.node_usable(pref) && dd.free_slots[pref] > 0 {
+                        Some(pref)
+                    } else {
+                        (0..n_nodes)
+                            .filter(|&n| dd.node_usable(n) && dd.free_slots[n] > 0)
+                            .max_by_key(|&n| dd.free_slots[n])
+                    };
+                    if let Some(node) = node {
+                        dd.pending_reduces.pop_front();
+                        pick = Some(Pick::Reduce {
+                            node: NodeId(node as u32),
+                            task: r,
+                        });
+                    }
                 }
             }
             match pick {
@@ -1189,7 +1196,9 @@ fn on_node_killed(sim: &mut Sim, d: &SharedDriver, node: usize) {
             .collect();
         let mut exhausted: Option<MrError> = dd.quorum_breach();
         for id in victims {
-            let info = dd.attempts.remove(&id).expect("victim attempt present");
+            let Some(info) = dd.attempts.remove(&id) else {
+                continue;
+            };
             let (task_done, others_running, regular_started) = {
                 let st = dd.task_state_mut(info.kind, info.task);
                 st.live.retain(|&x| x != id);
@@ -1320,7 +1329,9 @@ fn on_node_declared_dead(sim: &mut Sim, d: &SharedDriver, node: usize) {
             .collect();
         let mut exhausted: Option<MrError> = dd.quorum_breach();
         for id in victims {
-            let info = dd.attempts.remove(&id).expect("victim attempt present");
+            let Some(info) = dd.attempts.remove(&id) else {
+                continue;
+            };
             let (task_done, others_running, regular_started) = {
                 let st = dd.task_state_mut(info.kind, info.task);
                 st.live.retain(|&x| x != id);
@@ -1437,17 +1448,16 @@ fn schedule_speculation_checks(sim: &mut Sim, d: &SharedDriver) {
             .collect();
         let mut out = Vec::new();
         for id in ids {
-            let (task, start_s) = {
-                let i = &dd.attempts[&id];
-                (i.task, i.start_s)
+            let (task, start_s) = match dd.attempts.get(&id) {
+                Some(i) => (i.task, i.start_s),
+                None => continue,
             };
             if dd.map_states[task].done || dd.map_states[task].speculated {
                 continue;
             }
-            dd.attempts
-                .get_mut(&id)
-                .expect("attempt present")
-                .spec_check_scheduled = true;
+            if let Some(i) = dd.attempts.get_mut(&id) {
+                i.spec_check_scheduled = true;
+            }
             out.push((id, start_s + factor * med));
         }
         out
@@ -2229,7 +2239,9 @@ fn run_reduce_attempt(sim: &mut Sim, d: &SharedDriver, id: AttemptId) {
         )
             as Box<dyn FnOnce(&mut Sim, Vec<Kv>)>)));
         if n_transfers == 0 {
-            let cb = after_shuffle.borrow_mut().take().unwrap();
+            let Some(cb) = after_shuffle.borrow_mut().take() else {
+                return;
+            };
             cb(sim, Vec::new());
             return;
         }
@@ -2254,7 +2266,9 @@ fn run_reduce_attempt(sim: &mut Sim, d: &SharedDriver, id: AttemptId) {
                 *rem -= 1;
                 if *rem == 0 {
                     drop(rem);
-                    let cb = after_shuffle.borrow_mut().take().unwrap();
+                    let Some(cb) = after_shuffle.borrow_mut().take() else {
+                        return;
+                    };
                     let kvs = std::mem::take(&mut *collected.borrow_mut());
                     cb(sim, kvs);
                 }
@@ -2328,7 +2342,10 @@ fn reduce_execute(
     for kv in kvs {
         groups.entry(kv.key).or_default().push(kv.value);
     }
-    let reduce_fn = d.borrow().job.reduce_fn.clone().expect("reduce fn");
+    let Some(reduce_fn) = d.borrow().job.reduce_fn.clone() else {
+        attempt_failed(sim, d, id, MrError::msg("reduce task without a reduce_fn"));
+        return;
+    };
     let mut ctx = TaskCtx::new(sim.cost.clone());
     for (key, values) in groups {
         if let Err(e) = (reduce_fn)(&key, values, &mut ctx) {
@@ -2645,7 +2662,7 @@ mod tests {
         .unwrap();
         c.run();
         let env = c.env();
-        let splits = hdfs_file_splits(&env, "in");
+        let splits = hdfs_file_splits(&env, "in").expect("staged input path");
         assert_eq!(splits.len(), 2);
         let job = word_count_job(splits, 1);
         let r = run_job(&mut c, job).unwrap();

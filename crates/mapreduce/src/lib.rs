@@ -36,7 +36,7 @@ pub use dataset::{
     PairMapFn, RecordReadFn,
 };
 pub use input::{
-    hdfs_file_splits, integrity_counter_delta, retag_stream, FetchDone, FetchPiece, FetchResult,
+    hdfs_file_splits, read_event_counters, retag_stream, FetchDone, FetchPiece, FetchResult,
     FlatPfsFetcher, HdfsBlockFetcher, InMemoryFetcher, InputSplit, PieceDone, PieceStream,
     SplitFetcher, StreamFallback, TaskInput,
 };

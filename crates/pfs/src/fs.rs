@@ -123,10 +123,13 @@ impl Pfs {
             mtime: self.next_mtime,
             crc,
         };
-        self.files.insert(path.clone(), file);
-        self.files
-            .get(&path)
-            .expect("file present: inserted on the line above")
+        match self.files.entry(path) {
+            std::collections::btree_map::Entry::Occupied(mut o) => {
+                o.insert(file);
+                o.into_mut()
+            }
+            std::collections::btree_map::Entry::Vacant(v) => v.insert(file),
+        }
     }
 
     /// Look up a file.

@@ -289,7 +289,9 @@ pub fn make_splits(
             })?;
         let mut splits = Vec::new();
         for f in files {
-            splits.extend(hdfs_file_splits(env, &f.path));
+            splits.extend(
+                hdfs_file_splits(env, &f.path).map_err(|e| ScidpError::Hdfs(e.to_string()))?,
+            );
         }
         Ok((splits, SetupInfo::default()))
     }

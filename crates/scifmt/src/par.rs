@@ -104,7 +104,12 @@ pub fn par_chunks_mut<T, F>(
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let item = queue.lock().unwrap().pop();
+                // Poison-tolerant: if a worker panicked, keep draining the
+                // queue instead of cascading a second panic from here.
+                let item = match queue.lock() {
+                    Ok(mut q) => q.pop(),
+                    Err(poisoned) => poisoned.into_inner().pop(),
+                };
                 let Some((i, c)) = item else { return };
                 f(i, c);
             });

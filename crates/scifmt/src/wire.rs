@@ -108,17 +108,26 @@ impl<'a> Reader<'a> {
 
     pub fn get_u32(&mut self) -> Result<u32> {
         let b = self.take(4, "u32")?;
-        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+        let a = b
+            .try_into()
+            .map_err(|_| FmtError::Truncated { what: "u32" })?;
+        Ok(u32::from_le_bytes(a))
     }
 
     pub fn get_u64(&mut self) -> Result<u64> {
         let b = self.take(8, "u64")?;
-        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+        let a = b
+            .try_into()
+            .map_err(|_| FmtError::Truncated { what: "u64" })?;
+        Ok(u64::from_le_bytes(a))
     }
 
     pub fn get_f64(&mut self) -> Result<f64> {
         let b = self.take(8, "f64")?;
-        Ok(f64::from_le_bytes(b.try_into().unwrap()))
+        let a = b
+            .try_into()
+            .map_err(|_| FmtError::Truncated { what: "f64" })?;
+        Ok(f64::from_le_bytes(a))
     }
 
     pub fn get_varint(&mut self) -> Result<u64> {

@@ -1,0 +1,121 @@
+//! Lint-runtime budget bench: time one full workspace scilint pass (walk +
+//! lex + per-file rules + call graph + transitive rules) and emit
+//! `BENCH_lint.json` with the wall time, file count, and findings by family.
+//!
+//! The pass must fit in the CI budget (default 5000 ms) — scilint runs on
+//! every push, so its cost has to stay in noise next to the build itself.
+//! Exit codes: 0 within budget, 1 over budget, 2 I/O or usage error.
+//!
+//! Run: `cargo run --release -p scilint --bin lint_bench [--root <dir>]
+//!       [--out <file>] [--budget-ms <n>]`
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use scilint::rules::RULES;
+use scilint::{analyze, walk_workspace, Config};
+
+fn family_letter(rule: &str) -> char {
+    RULES
+        .iter()
+        .find(|r| r.id == rule)
+        .map(|r| r.family.letter())
+        .unwrap_or('?')
+}
+
+fn discover_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if let Ok(text) = std::fs::read_to_string(dir.join("Cargo.toml")) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn run() -> Result<u8, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut out = String::from("BENCH_lint.json");
+    let mut budget_ms: u64 = 5000;
+    let mut i = 0usize;
+    while let Some(a) = args.get(i) {
+        let value = |i: usize| -> Result<String, String> {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{} needs a value", args.get(i).map_or("", |s| s)))
+        };
+        match a.as_str() {
+            "--root" => {
+                root = Some(PathBuf::from(value(i)?));
+                i += 1;
+            }
+            "--out" => {
+                out = value(i)?;
+                i += 1;
+            }
+            "--budget-ms" => {
+                budget_ms = value(i)?.parse().map_err(|e| format!("--budget-ms: {e}"))?;
+                i += 1;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    let root = match root {
+        Some(r) => r,
+        None => discover_root().ok_or("could not find a workspace root; pass --root")?,
+    };
+    let cfg = Config::default_for_root(&root);
+
+    // Timed region: exactly what `scilint --workspace` does per run.
+    let t0 = Instant::now();
+    let files = walk_workspace(&root)?;
+    let analysis = analyze(&files, &cfg);
+    let wall_ms = t0.elapsed().as_millis() as u64;
+
+    let mut by_family: BTreeMap<char, usize> = BTreeMap::new();
+    for fam in ['D', 'P', 'C', 'M', 'G', 'R'] {
+        by_family.insert(fam, 0);
+    }
+    for f in &analysis.findings {
+        *by_family.entry(family_letter(f.rule)).or_insert(0) += 1;
+    }
+    let fam_json: Vec<String> = by_family
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {v}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"wall_ms\": {wall_ms},\n  \"budget_ms\": {budget_ms},\n  \"files\": {},\n  \"findings\": {},\n  \"findings_by_family\": {{{}}}\n}}\n",
+        files.len(),
+        analysis.findings.len(),
+        fam_json.join(", "),
+    );
+    std::fs::write(&out, &json).map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "scilint pass: {wall_ms} ms over {} files, {} findings (budget {budget_ms} ms); wrote {out}",
+        files.len(),
+        analysis.findings.len(),
+    );
+    if wall_ms > budget_ms {
+        eprintln!("lint_bench: over budget: {wall_ms} ms > {budget_ms} ms");
+        return Ok(1);
+    }
+    Ok(0)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => ExitCode::from(code),
+        Err(e) => {
+            eprintln!("lint_bench: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

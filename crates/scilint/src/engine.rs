@@ -153,7 +153,7 @@ fn scan_attr(toks: &[Tok], open: usize) -> (usize, Vec<String>) {
 /// Skip a balanced group starting at `open` (which must be `(`/`{`/`[`);
 /// returns the index just past the matching close. If `open` is not a
 /// group opener, returns `open` unchanged.
-fn skip_group(toks: &[Tok], open: usize) -> usize {
+pub(crate) fn skip_group(toks: &[Tok], open: usize) -> usize {
     let (o, c) = match toks.get(open).map(|t| t.text.as_str()) {
         Some("(") => ("(", ")"),
         Some("{") => ("{", "}"),
@@ -174,6 +174,39 @@ fn skip_group(toks: &[Tok], open: usize) -> usize {
         i += 1;
     }
     toks.len()
+}
+
+/// Is the `[` at `i` a bare index expression (the p-index heuristic,
+/// shared with the call-graph sink scan so both report identical sites)?
+pub(crate) fn index_site(toks: &[Tok], i: usize) -> bool {
+    if !toks.get(i).map(|t| t.is_punct("[")).unwrap_or(false) || i == 0 {
+        return false;
+    }
+    let Some(p) = toks.get(i - 1) else {
+        return false;
+    };
+    let index_recv = match p.kind {
+        TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&p.text.as_str()),
+        TokKind::Punct => matches!(p.text.as_str(), ")" | "]" | "?"),
+        _ => false,
+    };
+    // `arr[..]` full-range borrow never panics; skip it.
+    let full_range = toks.get(i + 1).map(|a| a.is_punct(".")) == Some(true)
+        && toks.get(i + 2).map(|b| b.is_punct(".")) == Some(true)
+        && toks.get(i + 3).map(|c| c.is_punct("]")) == Some(true);
+    index_recv && !full_range
+}
+
+/// Panic-family macro invocation at `i` (`panic!`, `unreachable!`, ...).
+pub(crate) fn panic_macro_site(toks: &[Tok], i: usize) -> bool {
+    toks.get(i).is_some_and(|t| {
+        t.kind == TokKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+    }) && toks.get(i + 1).map(|n| n.is_punct("!")) == Some(true)
+        && toks.get(i.wrapping_sub(1)).map(|p| p.is_punct("::")) != Some(true)
 }
 
 /// Names in this file bound to `HashMap`/`HashSet` (locals, fields,
@@ -250,6 +283,7 @@ pub fn scan_file(file: &InputFile, lexed: &Lexed, cfg: &Config) -> Vec<Finding> 
     let p_scope = !file.is_bin;
     let wallclock_scope = cfg.wallclock_crates.contains(&file.crate_name);
     let hash_scope = cfg.hash_iter_crates.contains(&file.crate_name);
+    let r_scope = cfg.wallclock_crates.contains(&file.crate_name);
     let spawn_allowed = cfg.thread_allow_files.contains(&file.rel);
     let hash_names = if hash_scope {
         hash_bound_names(toks)
@@ -290,14 +324,7 @@ pub fn scan_file(file: &InputFile, lexed: &Lexed, cfg: &Config) -> Vec<Finding> 
                     }
                 }
             }
-            if t.kind == TokKind::Ident
-                && matches!(
-                    t.text.as_str(),
-                    "panic" | "unreachable" | "todo" | "unimplemented"
-                )
-                && toks.get(i + 1).map(|n| n.is_punct("!")) == Some(true)
-                && toks.get(i.wrapping_sub(1)).map(|p| p.is_punct("::")) != Some(true)
-            {
+            if panic_macro_site(toks, i) {
                 push(
                     "p-panic",
                     t.line,
@@ -307,26 +334,12 @@ pub fn scan_file(file: &InputFile, lexed: &Lexed, cfg: &Config) -> Vec<Finding> 
                     ),
                 );
             }
-            if t.is_punct("[") && i > 0 {
-                if let Some(p) = toks.get(i - 1) {
-                    let index_recv = match p.kind {
-                        TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&p.text.as_str()),
-                        TokKind::Punct => matches!(p.text.as_str(), ")" | "]" | "?"),
-                        _ => false,
-                    };
-                    // `arr[..]` full-range borrow never panics; skip it.
-                    let full_range = toks.get(i + 1).map(|a| a.is_punct(".")) == Some(true)
-                        && toks.get(i + 2).map(|b| b.is_punct(".")) == Some(true)
-                        && toks.get(i + 3).map(|c| c.is_punct("]")) == Some(true);
-                    if index_recv && !full_range {
-                        push(
-                            "p-index",
-                            t.line,
-                            "bare `[..]` indexing in library code; use `.get()` or an iterator"
-                                .into(),
-                        );
-                    }
-                }
+            if index_site(toks, i) {
+                push(
+                    "p-index",
+                    t.line,
+                    "bare `[..]` indexing in library code; use `.get()` or an iterator".into(),
+                );
             }
         }
 
@@ -370,6 +383,47 @@ pub fn scan_file(file: &InputFile, lexed: &Lexed, cfg: &Config) -> Vec<Finding> 
                 );
             }
         }
+        // ------------------------------------------------ R-rules (local)
+        if r_scope {
+            // `Err(..) => {}` / `Err(..) => ()` — an error path that
+            // deliberately does nothing, invisible to counters and callers.
+            if t.is_ident("Err") && toks.get(i + 1).map(|p| p.is_punct("(")) == Some(true) {
+                let after = skip_group(toks, i + 1);
+                if toks.get(after).map(|p| p.is_punct("=>")) == Some(true) {
+                    let empty_block = toks.get(after + 1).map(|p| p.is_punct("{")) == Some(true)
+                        && toks.get(after + 2).map(|p| p.is_punct("}")) == Some(true);
+                    let unit = toks.get(after + 1).map(|p| p.is_punct("(")) == Some(true)
+                        && toks.get(after + 2).map(|p| p.is_punct(")")) == Some(true);
+                    if empty_block || unit {
+                        push(
+                            "r-swallowed-error",
+                            t.line,
+                            "`Err(..) => {}` silently discards a typed error in a simulator \
+                             crate; handle it, count it, or propagate"
+                                .into(),
+                        );
+                    }
+                }
+            }
+            // `.ok();` — a Result dropped on the floor after converting the
+            // error away. (`.ok()?` / `.ok().map(..)` consume the value and
+            // are fine.)
+            if t.is_punct(".")
+                && toks.get(i + 1).map(|m| m.is_ident("ok")) == Some(true)
+                && toks.get(i + 2).map(|p| p.is_punct("(")) == Some(true)
+                && toks.get(i + 3).map(|p| p.is_punct(")")) == Some(true)
+                && toks.get(i + 4).map(|p| p.is_punct(";")) == Some(true)
+            {
+                push(
+                    "r-swallowed-error",
+                    toks.get(i + 1).map(|m| m.line).unwrap_or(t.line),
+                    "`.ok();` throws away a typed error in a simulator crate; handle it, \
+                     count it, or propagate"
+                        .into(),
+                );
+            }
+        }
+
         if hash_scope && !hash_names.is_empty() {
             // Method-call iteration: `name.iter()` / `self.name.keys()` ...
             if t.kind == TokKind::Ident

@@ -22,6 +22,7 @@
 pub mod baseline;
 pub mod cross;
 pub mod engine;
+pub mod graph;
 pub mod lexer;
 pub mod report;
 pub mod rules;
@@ -65,6 +66,9 @@ pub struct Config {
     pub thread_allow_files: BTreeSet<String>,
     /// Rel path of the counter-key declarations.
     pub counters_file: String,
+    /// Hot entry points for `g-panic-reachable`, as `crate::fn` or
+    /// `crate::Type::fn` specs.
+    pub hot_entries: Vec<String>,
 }
 
 impl Config {
@@ -80,6 +84,23 @@ impl Config {
                 .map(|s| s.to_string())
                 .collect(),
             counters_file: "crates/mapreduce/src/counters.rs".to_string(),
+            hot_entries: [
+                "mapreduce::run_job",
+                "mapreduce::submit_dag",
+                "mapreduce::run_dag",
+                "mapreduce::HdfsBlockFetcher::fetch",
+                "mapreduce::FlatPfsFetcher::fetch",
+                "scidp::run_scidp",
+                "scidp::run_sql_scan",
+                "scidp::run_stats_dag",
+                "scidp::SciSlabFetcher::fetch",
+                "simnet::ClusterCache::lookup",
+                "simnet::ClusterCache::insert",
+                "simnet::ClusterCache::invalidate_node",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         }
     }
 }
@@ -116,6 +137,10 @@ pub fn analyze(files: &[InputFile], cfg: &Config) -> Analysis {
         per_file.entry(f.file.clone()).or_default().push(f);
     }
     for f in cross::variant_rule(&lexed_files) {
+        per_file.entry(f.file.clone()).or_default().push(f);
+    }
+    let g = graph::build(&lexed_files, cfg);
+    for f in graph::graph_rules(&lexed_files, cfg, &g) {
         per_file.entry(f.file.clone()).or_default().push(f);
     }
     let mut out = Analysis::default();

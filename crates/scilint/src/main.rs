@@ -17,6 +17,9 @@ USAGE:
 OPTIONS:
   --workspace            lint every crate in the workspace (required mode)
   --root <dir>           workspace root (default: auto-discover from cwd)
+  --changed <git-ref>    report findings only for files changed since <git-ref>
+                         (analysis still covers the whole workspace so that
+                         graph rules see every edge; the baseline still applies)
   --deny <sel>           escalate a rule, family letter (D|P|C|M) or `all`
   --warn <sel>           demote a rule, family letter or `all`
   --json                 machine-readable output
@@ -37,6 +40,7 @@ struct Cli {
     no_baseline: bool,
     update_baseline: bool,
     list_rules: bool,
+    changed: Option<String>,
     severities: std::collections::BTreeMap<&'static str, Severity>,
 }
 
@@ -49,6 +53,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         no_baseline: false,
         update_baseline: false,
         list_rules: false,
+        changed: None,
         severities: default_severities(),
     };
     let mut i = 0usize;
@@ -60,7 +65,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--update-baseline" => cli.update_baseline = true,
             "--list-rules" => cli.list_rules = true,
             "-h" | "--help" => return Err(String::new()),
-            "--root" | "--baseline" | "--deny" | "--warn" => {
+            "--root" | "--baseline" | "--deny" | "--warn" | "--changed" => {
                 let v = args
                     .get(i + 1)
                     .ok_or_else(|| format!("{a} needs a value"))?
@@ -69,6 +74,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 match a.as_str() {
                     "--root" => cli.root = Some(PathBuf::from(&v)),
                     "--baseline" => cli.baseline_path = Some(PathBuf::from(&v)),
+                    "--changed" => cli.changed = Some(v),
                     "--deny" => {
                         for sel in v.split(',') {
                             if !apply_selector(&mut cli.severities, sel, Severity::Deny) {
@@ -90,6 +96,33 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         i += 1;
     }
     Ok(cli)
+}
+
+/// Files changed relative to `git_ref`, as root-relative paths matching the
+/// `file` field of findings. Includes uncommitted working-tree changes, which
+/// is what a pre-push `scilint --changed origin/main` wants to see.
+fn changed_files(
+    root: &std::path::Path,
+    git_ref: &str,
+) -> Result<std::collections::BTreeSet<String>, String> {
+    let out = std::process::Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["diff", "--name-only", git_ref])
+        .output()
+        .map_err(|e| format!("--changed: failed to run git: {e}"))?;
+    if !out.status.success() {
+        let err = String::from_utf8_lossy(&out.stderr);
+        return Err(format!(
+            "--changed: git diff --name-only {git_ref} failed: {}",
+            err.trim()
+        ));
+    }
+    Ok(String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| l.trim().to_string())
+        .filter(|l| !l.is_empty())
+        .collect())
 }
 
 /// Walk up from cwd to the first directory holding a `Cargo.toml` with a
@@ -135,6 +168,14 @@ fn run() -> Result<u8, String> {
     let cfg = Config::default_for_root(&root);
     let files = walk_workspace(&root)?;
     let analysis = analyze(&files, &cfg);
+
+    // `--changed <ref>`: the analysis above is always whole-workspace (graph
+    // rules need every edge to resolve transitive reachability), but the
+    // report is narrowed to files touched since <ref>.
+    let changed_set: Option<std::collections::BTreeSet<String>> = match &cli.changed {
+        None => None,
+        Some(git_ref) => Some(changed_files(&root, git_ref)?),
+    };
 
     // Baseline.
     let bl_path = cli
@@ -185,6 +226,11 @@ fn run() -> Result<u8, String> {
         }
     }
     for f in analysis.findings {
+        if let Some(set) = &changed_set {
+            if !set.contains(&f.file) {
+                continue;
+            }
+        }
         let severity = cli
             .severities
             .get(f.rule)

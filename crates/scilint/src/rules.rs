@@ -29,6 +29,10 @@ pub enum Family {
     PanicFreedom,
     /// Completeness: declared counters/variants must be live.
     Completeness,
+    /// Graph: transitive properties over the workspace call graph.
+    Graph,
+    /// Result hygiene: typed errors must not be silently dropped.
+    ResultHygiene,
     /// Meta rules about scilint's own pragma syntax.
     Meta,
 }
@@ -39,6 +43,8 @@ impl Family {
             Family::Determinism => 'D',
             Family::PanicFreedom => 'P',
             Family::Completeness => 'C',
+            Family::Graph => 'G',
+            Family::ResultHygiene => 'R',
             Family::Meta => 'M',
         }
     }
@@ -104,6 +110,32 @@ pub const RULES: &[RuleInfo] = &[
         id: "c-variant-dead",
         family: Family::Completeness,
         summary: "error-enum variant never constructed in non-test code (dead error path)",
+    },
+    RuleInfo {
+        id: "g-wallclock-transitive",
+        family: Family::Graph,
+        summary: "simulator-crate fn transitively reaches Instant/SystemTime through another crate",
+    },
+    RuleInfo {
+        id: "g-sleep-transitive",
+        family: Family::Graph,
+        summary: "simulator-crate fn transitively reaches thread::sleep through another crate",
+    },
+    RuleInfo {
+        id: "g-panic-reachable",
+        family: Family::Graph,
+        summary:
+            "hot entry point transitively reaches unwrap/expect/panic! in another file's lib code",
+    },
+    RuleInfo {
+        id: "r-unchecked-result",
+        family: Family::ResultHygiene,
+        summary: "Result from a workspace fn discarded (bare `f(..);` statement or `let _ =`)",
+    },
+    RuleInfo {
+        id: "r-swallowed-error",
+        family: Family::ResultHygiene,
+        summary: "`Err(..) => {}` or `.ok();` silently drops a typed error in a simulator crate",
     },
     RuleInfo {
         id: "bad-pragma",

@@ -1,0 +1,6 @@
+// Hot entry point: transitively reaches an unwrap in another crate's lib
+// code. The per-file P-rules only see the sink file; the graph connects it
+// back to this entry.
+pub fn drive() {
+    mapreduce::step();
+}

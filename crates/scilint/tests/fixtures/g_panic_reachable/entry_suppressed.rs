@@ -1,0 +1,4 @@
+// scilint::allow(g-panic-reachable, reason = "demo driver: helper panics are acceptable in this harness and abort the whole run by design")
+pub fn drive() {
+    mapreduce::step();
+}

@@ -1,0 +1,8 @@
+pub fn step() {
+    let v: Option<u32> = probe();
+    let _ = v.unwrap();
+}
+
+fn probe() -> Option<u32> {
+    Some(7)
+}

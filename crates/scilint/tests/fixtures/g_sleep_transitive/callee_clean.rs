@@ -1,0 +1,3 @@
+pub fn nap() {
+    // busy-wait free: the simulated clock advances by events, not time
+}

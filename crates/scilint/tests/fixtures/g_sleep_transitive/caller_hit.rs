@@ -1,0 +1,3 @@
+pub fn backoff() {
+    wrfgen::nap();
+}

@@ -1,0 +1,4 @@
+pub fn backoff() {
+    // scilint::allow(g-sleep-transitive, reason = "tooling path only; never reached during a simulated run")
+    wrfgen::nap();
+}

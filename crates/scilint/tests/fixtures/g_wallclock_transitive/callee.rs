@@ -1,0 +1,6 @@
+// Non-sim helper crate: reading the wall clock is legal here per-file,
+// but a sim-crate caller must not transitively depend on it.
+pub fn elapsed_ms() -> u64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_millis() as u64
+}

@@ -1,0 +1,5 @@
+// Simulator-crate code calling into a helper crate that reads the wall
+// clock: no token in THIS file trips d-wallclock, only the graph sees it.
+pub fn tick_budget() -> u64 {
+    wrfgen::elapsed_ms()
+}

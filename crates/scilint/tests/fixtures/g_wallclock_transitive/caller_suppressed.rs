@@ -1,0 +1,4 @@
+pub fn tick_budget() -> u64 {
+    // scilint::allow(g-wallclock-transitive, reason = "calibration-only timer; value never feeds sim event ordering")
+    wrfgen::elapsed_ms()
+}

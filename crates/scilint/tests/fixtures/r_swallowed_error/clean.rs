@@ -1,0 +1,6 @@
+pub fn poll(r: Result<u32, String>) -> u32 {
+    match r {
+        Ok(v) => v,
+        Err(_) => 0,
+    }
+}

@@ -1,0 +1,6 @@
+pub fn poll(r: Result<u32, String>) {
+    match r {
+        Ok(_v) => {}
+        Err(_) => {}
+    }
+}

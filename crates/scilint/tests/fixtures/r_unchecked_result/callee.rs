@@ -1,0 +1,3 @@
+pub fn load_cfg() -> Result<u32, String> {
+    Ok(1)
+}

@@ -1,0 +1,11 @@
+pub fn boot() -> Result<u32, String> {
+    let v = wrfgen::load_cfg()?;
+    Ok(v)
+}
+
+pub fn reboot() -> u32 {
+    match wrfgen::load_cfg() {
+        Ok(v) => v,
+        Err(_) => 0,
+    }
+}

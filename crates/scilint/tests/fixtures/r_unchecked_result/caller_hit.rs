@@ -1,0 +1,8 @@
+// Both discard shapes: the bare-statement call and the `let _ =` bind.
+pub fn boot() {
+    wrfgen::load_cfg();
+}
+
+pub fn reboot() {
+    let _ = wrfgen::load_cfg();
+}

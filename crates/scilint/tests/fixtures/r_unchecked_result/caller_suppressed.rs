@@ -1,0 +1,4 @@
+pub fn boot() {
+    // scilint::allow(r-unchecked-result, reason = "best-effort warm-up: a failed preload only costs latency, never correctness")
+    wrfgen::load_cfg();
+}

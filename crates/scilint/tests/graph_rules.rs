@@ -1,0 +1,219 @@
+//! Golden tests for the call-graph rules (G family) and Result-hygiene
+//! rules (R family). Unlike the per-file trios in `rules.rs`, each graph
+//! fixture is a *pair* of files in different crates: the defect is only
+//! visible once calls are resolved across the crate boundary.
+
+use std::path::Path;
+
+use scilint::{analyze, Analysis, Config, InputFile};
+
+fn read_fixture(rel: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+fn file(rel: &str, crate_name: &str, src: String) -> InputFile {
+    InputFile {
+        rel: rel.to_string(),
+        crate_name: crate_name.to_string(),
+        is_bin: false,
+        src,
+    }
+}
+
+/// Lint a sim-crate caller file alongside a non-sim (wrfgen) callee file.
+fn lint_pair(caller_src: String, callee_src: String, hot: &[&str]) -> Analysis {
+    let mut cfg = Config::default_for_root(Path::new("."));
+    cfg.hot_entries = hot.iter().map(|s| s.to_string()).collect();
+    let files = [
+        file("crates/simnet/src/clockwork.rs", "simnet", caller_src),
+        file("crates/wrfgen/src/helper_fixture.rs", "wrfgen", callee_src),
+    ];
+    analyze(&files, &cfg)
+}
+
+fn rules_of(a: &Analysis) -> Vec<&'static str> {
+    a.findings.iter().map(|f| f.rule).collect()
+}
+
+/// hit / pragma-suppressed / clean triple for one crossing-edge rule.
+fn check_crossing(dir: &str, rule: &'static str) {
+    let hit = lint_pair(
+        read_fixture(&format!("{dir}/caller_hit.rs")),
+        read_fixture(&format!("{dir}/callee.rs")),
+        &[],
+    );
+    assert!(
+        rules_of(&hit).contains(&rule),
+        "{dir}: caller_hit + callee should trigger {rule}, got {:?}",
+        hit.findings
+    );
+
+    let sup = lint_pair(
+        read_fixture(&format!("{dir}/caller_suppressed.rs")),
+        read_fixture(&format!("{dir}/callee.rs")),
+        &[],
+    );
+    assert!(
+        !rules_of(&sup).contains(&rule),
+        "{dir}: pragma should suppress {rule}, got {:?}",
+        sup.findings
+    );
+    assert!(
+        !rules_of(&sup).contains(&"bad-pragma"),
+        "{dir}: pragma should be well-formed, got {:?}",
+        sup.findings
+    );
+    assert!(sup.suppressed >= 1, "{dir}: suppression should be counted");
+
+    let clean = lint_pair(
+        read_fixture(&format!("{dir}/caller_hit.rs")),
+        read_fixture(&format!("{dir}/callee_clean.rs")),
+        &[],
+    );
+    assert!(
+        !rules_of(&clean).contains(&rule),
+        "{dir}: clean callee should not trigger {rule}, got {:?}",
+        clean.findings
+    );
+}
+
+#[test]
+fn g_wallclock_transitive_fixtures() {
+    check_crossing("g_wallclock_transitive", "g-wallclock-transitive");
+}
+
+#[test]
+fn g_sleep_transitive_fixtures() {
+    check_crossing("g_sleep_transitive", "g-sleep-transitive");
+}
+
+/// The transitive finding must be anchored in the *caller* file at the
+/// crossing call line — that is where the fix (or the pragma) belongs.
+#[test]
+fn g_wallclock_anchored_at_crossing_edge() {
+    let a = lint_pair(
+        read_fixture("g_wallclock_transitive/caller_hit.rs"),
+        read_fixture("g_wallclock_transitive/callee.rs"),
+        &[],
+    );
+    let f = a
+        .findings
+        .iter()
+        .find(|f| f.rule == "g-wallclock-transitive")
+        .expect("finding present");
+    assert_eq!(f.file, "crates/simnet/src/clockwork.rs");
+    assert!(
+        f.message.contains("elapsed_ms"),
+        "witness path should name the callee: {}",
+        f.message
+    );
+}
+
+/// g-panic-reachable pairs an entry file (simnet) with a panicking helper
+/// in another crate (mapreduce) — a cross-crate, cross-file reach.
+fn lint_panic_pair(entry_src: String, helper_src: String) -> Analysis {
+    let mut cfg = Config::default_for_root(Path::new("."));
+    cfg.hot_entries = vec!["simnet::drive".to_string()];
+    let files = [
+        file("crates/simnet/src/driver_fixture.rs", "simnet", entry_src),
+        file(
+            "crates/mapreduce/src/helper_fixture.rs",
+            "mapreduce",
+            helper_src,
+        ),
+    ];
+    analyze(&files, &cfg)
+}
+
+#[test]
+fn g_panic_reachable_fixtures() {
+    let rule = "g-panic-reachable";
+    let hit = lint_panic_pair(
+        read_fixture("g_panic_reachable/entry_hit.rs"),
+        read_fixture("g_panic_reachable/helper.rs"),
+    );
+    assert!(
+        rules_of(&hit).contains(&rule),
+        "entry_hit + helper should trigger {rule}, got {:?}",
+        hit.findings
+    );
+    // Anchored at the entry's fn line in the entry file, naming the sink file.
+    let f = hit
+        .findings
+        .iter()
+        .find(|f| f.rule == rule)
+        .expect("finding present");
+    assert_eq!(f.file, "crates/simnet/src/driver_fixture.rs");
+    assert!(
+        f.message.contains("crates/mapreduce/src/helper_fixture.rs"),
+        "message should name the sink file: {}",
+        f.message
+    );
+
+    let sup = lint_panic_pair(
+        read_fixture("g_panic_reachable/entry_suppressed.rs"),
+        read_fixture("g_panic_reachable/helper.rs"),
+    );
+    assert!(
+        !rules_of(&sup).contains(&rule),
+        "entry pragma should suppress {rule}, got {:?}",
+        sup.findings
+    );
+    assert!(
+        !rules_of(&sup).contains(&"bad-pragma"),
+        "pragma should be well-formed, got {:?}",
+        sup.findings
+    );
+
+    let clean = lint_panic_pair(
+        read_fixture("g_panic_reachable/entry_hit.rs"),
+        read_fixture("g_panic_reachable/helper_clean.rs"),
+    );
+    assert!(
+        !rules_of(&clean).contains(&rule),
+        "panic-free helper should not trigger {rule}, got {:?}",
+        clean.findings
+    );
+}
+
+#[test]
+fn r_unchecked_result_fixtures() {
+    let rule = "r-unchecked-result";
+    let hit = lint_pair(
+        read_fixture("r_unchecked_result/caller_hit.rs"),
+        read_fixture("r_unchecked_result/callee.rs"),
+        &[],
+    );
+    let n = rules_of(&hit).iter().filter(|r| **r == rule).count();
+    assert_eq!(
+        n, 2,
+        "both the bare statement and `let _ =` should trigger {rule}, got {:?}",
+        hit.findings
+    );
+
+    let sup = lint_pair(
+        read_fixture("r_unchecked_result/caller_suppressed.rs"),
+        read_fixture("r_unchecked_result/callee.rs"),
+        &[],
+    );
+    assert!(
+        !rules_of(&sup).contains(&rule),
+        "pragma should suppress {rule}, got {:?}",
+        sup.findings
+    );
+    assert!(sup.suppressed >= 1, "suppression should be counted");
+
+    let clean = lint_pair(
+        read_fixture("r_unchecked_result/caller_clean.rs"),
+        read_fixture("r_unchecked_result/callee.rs"),
+        &[],
+    );
+    assert!(
+        !rules_of(&clean).contains(&rule),
+        "`?` and `match` uses should not trigger {rule}, got {:?}",
+        clean.findings
+    );
+}

@@ -108,6 +108,11 @@ fn d_hash_iter_fixtures() {
 }
 
 #[test]
+fn r_swallowed_error_fixtures() {
+    check_trio("r_swallowed_error", "r-swallowed-error");
+}
+
+#[test]
 fn p_rules_do_not_apply_to_bins() {
     let cfg = Config::default_for_root(Path::new("."));
     let files = [InputFile {

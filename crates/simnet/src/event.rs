@@ -188,6 +188,7 @@ impl Sim {
             callbacks.push(
                 self.flow_callbacks
                     .remove(&id)
+                    // scilint::allow(p-expect, reason = "sim-state invariant: every flow registers its callback at start_flow; a miss means corrupt event state and must stop the run, not drop a completion")
                     .expect("completion callback present"),
             );
         }
@@ -205,6 +206,7 @@ impl Sim {
         let kind = self
             .events
             .remove(&id)
+            // scilint::allow(p-expect, reason = "event-loop invariant: every queued id has exactly one payload; a miss means corrupt sim state and must stop the run, not skip an event")
             .expect("event payload present for queued id");
         debug_assert!(key.time >= self.now);
         self.now = key.time;

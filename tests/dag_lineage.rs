@@ -166,7 +166,7 @@ fn run_hand_chained(c: &mut Cluster) -> (Vec<(String, Vec<u8>)>, usize) {
         files.sort_by(|a, b| a.path.cmp(&b.path));
         drop(h);
         for f in files {
-            splits2.extend(hdfs_file_splits(&env, &f.path));
+            splits2.extend(hdfs_file_splits(&env, &f.path).expect("chain1 output staged"));
         }
     }
     let job2 = Job::new(

@@ -37,7 +37,7 @@ fn verified_bytes_under_concurrent_hdfs_fetches() {
     .unwrap();
     c.run();
     let env = c.env();
-    let splits = mapreduce::hdfs_file_splits(&env, "in");
+    let splits = mapreduce::hdfs_file_splits(&env, "in").expect("staged input path");
     assert_eq!(splits.len(), 4);
     let job = Job {
         name: "t".into(),
